@@ -1,0 +1,96 @@
+// Ablation — why the interruptible SHA-256 / base-hash design exists.
+//
+// The verifier must know the expected MRENCLAVE of every singleton enclave
+// it issues a token for. Two ways to get it:
+//
+//   remeasure : hash the entire enclave construction stream per token
+//               (no interruptible SHA needed, but O(enclave size) work on
+//               the verifier for EVERY instance; the verifier also needs
+//               the full binary image)
+//   base-hash : resume the suspended state and hash one page + finalize
+//               (SinClave: O(1) per instance, no binary needed)
+//
+// The crossover is immediate and the gap grows linearly with enclave size
+// — this is the quantitative argument for the paper's §4.4 mechanism.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "core/predictor.h"
+#include "sgx/measurement.h"
+#include "core/signer.h"
+#include "crypto/drbg.h"
+
+namespace {
+
+using namespace sinclave;
+
+struct Prepared {
+  core::EnclaveImage image;
+  core::BaseHash base_hash;
+};
+
+const Prepared& prepared(std::int64_t heap_mb) {
+  static std::map<std::int64_t, Prepared> cache;
+  auto it = cache.find(heap_mb);
+  if (it == cache.end()) {
+    crypto::Drbg rng = crypto::Drbg::from_seed(99, "ablation");
+    static const crypto::RsaKeyPair key = crypto::RsaKeyPair::generate(rng, 1024);
+    core::EnclaveImage image = core::EnclaveImage::synthetic(
+        "ablation-" + std::to_string(heap_mb), 64 << 10,
+        static_cast<std::uint64_t>(heap_mb) << 20);
+    const core::Signer signer(&key);
+    core::BaseHash bh = signer.sign_sinclave(image).base_hash;
+    it = cache.emplace(heap_mb, Prepared{std::move(image), bh}).first;
+  }
+  return it->second;
+}
+
+core::InstancePage page_for(std::uint8_t i) {
+  core::InstancePage page;
+  page.token = core::AttestationToken::from_view(Bytes(32, i));
+  page.verifier_id = Hash256::from_view(Bytes(32, 0x42));
+  return page;
+}
+
+void BM_PredictFromBaseHash(benchmark::State& state) {
+  const Prepared& p = prepared(state.range(0));
+  std::uint8_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::MeasurementPredictor::predict(p.base_hash, page_for(++i)));
+  }
+}
+
+void BM_NaiveFullRemeasure(benchmark::State& state) {
+  const Prepared& p = prepared(state.range(0));
+  // The verifier re-derives the whole measurement per instance. Uses the
+  // interruptible hasher like the SinClave verifier would; the point is
+  // the O(enclave) vs O(page) asymptotic, not the hasher flavour.
+  std::uint8_t i = 0;
+  for (auto _ : state) {
+    const core::InstancePage page = page_for(++i);
+    sgx::MeasurementLog log;
+    log.ecreate(p.image.ssa_frame_size, p.image.total_size());
+    for (std::uint64_t pg = 0; pg < p.image.code_pages(); ++pg)
+      log.add_measured_page(pg * sgx::kPageSize, sgx::SecInfo::reg_rx(),
+                            p.image.code_page(pg));
+    const Bytes zero_page(sgx::kPageSize, 0);
+    const std::uint64_t heap_base = p.image.code_bytes_padded();
+    for (std::uint64_t pg = 0; pg < p.image.heap_pages(); ++pg)
+      log.add_measured_page(heap_base + pg * sgx::kPageSize,
+                            sgx::SecInfo::reg_rw(), zero_page);
+    log.add_measured_page(p.image.instance_page_offset(),
+                          sgx::SecInfo::reg_rw(), page.render());
+    benchmark::DoNotOptimize(log.finalize());
+  }
+}
+
+BENCHMARK(BM_PredictFromBaseHash)->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_NaiveFullRemeasure)->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// Fig. 6 — "Calculation of a SHA256 checksum with different
+// implementations", plus the constant base-hash finalization time.
+//
+// Series (paper -> here):
+//   Ring                -> Sha256Fast (optimized one-shot)
+//   SinClave            -> Sha256 (interruptible), full finalization
+//   SinClave-BaseHash   -> Sha256 (interruptible), suspend + encode instead
+//                          of finalizing (wins on small buffers because it
+//                          skips the finalization round)
+//   finalization        -> resume exported state + finalize only
+//                          (the paper's constant 32 us)
+//
+// Expected shape: Fast is fastest at every size (roughly constant MB/s);
+// the interruptible variants track each other at ~0.4-0.6x of Fast;
+// BaseHash beats plain SinClave on small buffers; finalization is O(1).
+#include <benchmark/benchmark.h>
+
+#include "core/base_hash.h"
+#include "crypto/drbg.h"
+#include "crypto/sha256.h"
+#include "crypto/sha256_fast.h"
+
+namespace {
+
+using namespace sinclave;
+
+Bytes make_buffer(std::size_t size) {
+  crypto::Drbg rng = crypto::Drbg::from_seed(6, "fig6");
+  return rng.generate(size);
+}
+
+void BM_Ring(benchmark::State& state) {
+  const Bytes buf = make_buffer(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    crypto::Sha256Fast h;
+    h.update(buf);
+    benchmark::DoNotOptimize(h.finalize());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+
+void BM_SinClave(benchmark::State& state) {
+  const Bytes buf = make_buffer(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    crypto::Sha256 h;
+    h.update(buf);
+    benchmark::DoNotOptimize(h.finalize());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+
+void BM_SinClaveBaseHash(benchmark::State& state) {
+  // Buffer sizes are 64-byte multiples, so the state is always exportable
+  // — exactly the situation of an enclave measurement stream.
+  const Bytes buf = make_buffer(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    crypto::Sha256 h;
+    h.update(buf);
+    benchmark::DoNotOptimize(h.export_state().encode());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+
+void BM_BaseHashFinalization(benchmark::State& state) {
+  // Constant-time: resume a suspended measurement and finalize it.
+  crypto::Sha256 h;
+  h.update(make_buffer(static_cast<std::size_t>(state.range(0))));
+  const crypto::Sha256State suspended = h.export_state();
+  for (auto _ : state) {
+    crypto::Sha256 resumed = crypto::Sha256::resume(suspended);
+    benchmark::DoNotOptimize(resumed.finalize());
+  }
+}
+
+constexpr std::int64_t kKiB = 1024;
+constexpr std::int64_t kMiB = 1024 * kKiB;
+
+#define SHA_SIZES                                                       \
+  Arg(2 * kKiB)->Arg(16 * kKiB)->Arg(128 * kKiB)->Arg(1 * kMiB)         \
+      ->Arg(8 * kMiB)->Arg(64 * kMiB)
+
+BENCHMARK(BM_Ring)->SHA_SIZES;
+BENCHMARK(BM_SinClave)->SHA_SIZES;
+BENCHMARK(BM_SinClaveBaseHash)->SHA_SIZES;
+// Finalization cost must not depend on how much was hashed before.
+BENCHMARK(BM_BaseHashFinalization)->Arg(2 * kKiB)->Arg(64 * kMiB);
+
+}  // namespace
+
+BENCHMARK_MAIN();

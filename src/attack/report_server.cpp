@@ -1,0 +1,41 @@
+#include "attack/report_server.h"
+
+#include "common/error.h"
+#include "common/serial.h"
+
+namespace sinclave::attack {
+
+void register_report_server(runtime::ProgramRegistry& registry) {
+  registry.register_program(
+      kReportServerProgram, [](runtime::AppContext& ctx) -> int {
+        if (ctx.config == nullptr || ctx.config->args.empty()) return 1;
+        if (!ctx.make_report || ctx.network == nullptr) return 1;
+        const std::string address = ctx.config->args[0];
+
+        // The "server loop": in the simulator, registering the handler is
+        // the loop — each incoming request invokes it synchronously.
+        auto make_report = ctx.make_report;
+        ctx.network->listen(address, [make_report](ByteView raw) {
+          ByteReader r(raw);
+          const sgx::TargetInfo target =
+              sgx::TargetInfo::deserialize(r.bytes());
+          const sgx::ReportData data = r.fixed<64>();
+          r.expect_done();
+          return make_report(target, data).serialize();
+        });
+        ctx.output = "report server listening on " + address;
+        return 0;
+      });
+}
+
+sgx::Report request_report(net::SimNetwork& net, const std::string& address,
+                           const sgx::TargetInfo& target,
+                           const sgx::ReportData& report_data) {
+  ByteWriter w;
+  w.bytes(target.serialize());
+  w.raw(report_data.view());
+  auto conn = net.connect(address);
+  return sgx::Report::deserialize(conn.call(w.data()));
+}
+
+}  // namespace sinclave::attack

@@ -1,0 +1,34 @@
+// The report server (§3.2, "Creating a Report Server").
+//
+// A report server is a victim enclave coerced — purely through unmeasured
+// configuration — into producing SGX reports with adversary-chosen
+// REPORTDATA. It is implemented here as an ordinary runtime Program (like
+// the paper's 33-line Python socket server): it listens on a network
+// address taken from its (attacker-supplied) arguments and answers
+//
+//     request : serialized TargetInfo || 64-byte REPORTDATA
+//     response: serialized Report (hardware-MACed by the genuine enclave)
+//
+// via the framework's report API. Nothing about running it is reflected in
+// the enclave's measurement — which is the vulnerability.
+#pragma once
+
+#include <string>
+
+#include "runtime/program.h"
+
+namespace sinclave::attack {
+
+/// Program name the attacker's configuration selects.
+inline constexpr const char* kReportServerProgram = "report_server";
+
+/// Registers the report server under kReportServerProgram. The listen
+/// address comes from config.args[0].
+void register_report_server(runtime::ProgramRegistry& registry);
+
+/// Client helper: ask a running report server for a report.
+sgx::Report request_report(net::SimNetwork& net, const std::string& address,
+                           const sgx::TargetInfo& target,
+                           const sgx::ReportData& report_data);
+
+}  // namespace sinclave::attack

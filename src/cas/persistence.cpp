@@ -1,0 +1,67 @@
+#include "cas/persistence.h"
+
+#include "common/serial.h"
+#include "crypto/aead.h"
+
+namespace sinclave::cas {
+
+namespace {
+Bytes counter_ad(std::uint64_t value) {
+  ByteWriter w;
+  w.str("sinclave-cas-seal-v1");
+  w.u64(value);
+  return std::move(w).take();
+}
+}  // namespace
+
+const char* to_string(UnsealStatus s) {
+  switch (s) {
+    case UnsealStatus::kOk:
+      return "ok";
+    case UnsealStatus::kBadSeal:
+      return "bad-seal";
+    case UnsealStatus::kRolledBack:
+      return "rolled-back";
+    case UnsealStatus::kMalformed:
+      return "malformed";
+  }
+  return "unknown";
+}
+
+Bytes seal_state(ByteView seal_key, MonotonicCounter& counter,
+                 ByteView state, crypto::Drbg& rng) {
+  const crypto::Aead aead(seal_key);
+  const std::uint64_t bound = counter.increment();
+  const Bytes nonce = rng.generate(crypto::kAeadNonceSize);
+  ByteWriter w;
+  w.u64(bound);
+  w.raw(nonce);
+  w.bytes(aead.seal(nonce, state, counter_ad(bound)));
+  return std::move(w).take();
+}
+
+UnsealStatus unseal_state(ByteView seal_key, const MonotonicCounter& counter,
+                          ByteView blob, Bytes& out) {
+  std::uint64_t bound = 0;
+  Bytes nonce, sealed;
+  try {
+    ByteReader r(blob);
+    bound = r.u64();
+    nonce = r.raw(crypto::kAeadNonceSize);
+    sealed = r.bytes();
+    r.expect_done();
+  } catch (const ParseError&) {
+    return UnsealStatus::kMalformed;
+  }
+
+  const crypto::Aead aead(seal_key);
+  const auto plaintext = aead.open(nonce, sealed, counter_ad(bound));
+  if (!plaintext.has_value()) return UnsealStatus::kBadSeal;
+  // Freshness: only the most recent seal (counter value bound at seal time
+  // equals the hardware counter now) is acceptable.
+  if (bound != counter.read()) return UnsealStatus::kRolledBack;
+  out = *plaintext;
+  return UnsealStatus::kOk;
+}
+
+}  // namespace sinclave::cas

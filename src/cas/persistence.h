@@ -1,0 +1,60 @@
+// CAS state sealing with rollback protection.
+//
+// The singleton guarantee — every attestation token attests AT MOST ONCE —
+// is only as durable as the verifier's token database. If the CAS restarts
+// from persistent state the adversarial host controls, rolling that state
+// back to a snapshot taken *before* a token was consumed would mark the
+// token unused again and reinstate the reuse attack (the classic rollback
+// problem, cf. ROTE/Memoir).
+//
+// Defense implemented here:
+//   * the full CAS state (policies + token database) is sealed with an
+//     AEAD key available only inside the CAS enclave (derivable via
+//     EGETKEY on real hardware; caller-supplied in the simulator),
+//   * every seal binds the current value of a hardware monotonic counter
+//     (TPM NV-counter / SGX platform-service analogue) as associated data
+//     and then advances the counter,
+//   * restore verifies the blob AND requires its bound counter value to
+//     equal the counter's current value — any earlier snapshot fails.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "crypto/drbg.h"
+
+namespace sinclave::cas {
+
+/// Hardware monotonic counter stand-in. Strictly increasing; the adversary
+/// can read it but not rewind it.
+class MonotonicCounter {
+ public:
+  std::uint64_t read() const { return value_; }
+  /// Advance and return the new value.
+  std::uint64_t increment() { return ++value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Outcome of an unseal attempt.
+enum class UnsealStatus {
+  kOk,
+  kBadSeal,    // wrong key or tampered ciphertext
+  kRolledBack, // authentic blob, but bound to a stale counter value
+  kMalformed,
+};
+
+const char* to_string(UnsealStatus s);
+
+/// Seal `state` under `seal_key` (32 bytes), binding — and advancing — the
+/// monotonic counter.
+Bytes seal_state(ByteView seal_key, MonotonicCounter& counter,
+                 ByteView state, crypto::Drbg& rng);
+
+/// Unseal. On kOk, `out` receives the plaintext state.
+UnsealStatus unseal_state(ByteView seal_key, const MonotonicCounter& counter,
+                          ByteView blob, Bytes& out);
+
+}  // namespace sinclave::cas

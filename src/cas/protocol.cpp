@@ -1,0 +1,127 @@
+#include "cas/protocol.h"
+
+#include "common/error.h"
+#include "common/serial.h"
+
+namespace sinclave::cas {
+
+Bytes AppConfig::serialize() const {
+  ByteWriter w;
+  w.str(program);
+  w.u32(static_cast<std::uint32_t>(args.size()));
+  for (const auto& a : args) w.str(a);
+  w.u32(static_cast<std::uint32_t>(env.size()));
+  for (const auto& [k, v] : env) {
+    w.str(k);
+    w.str(v);
+  }
+  w.u32(static_cast<std::uint32_t>(secrets.size()));
+  for (const auto& [k, v] : secrets) {
+    w.str(k);
+    w.bytes(v);
+  }
+  w.bytes(fs_key);
+  w.raw(fs_manifest_root.view());
+  return std::move(w).take();
+}
+
+AppConfig AppConfig::deserialize(ByteView data) {
+  ByteReader r(data);
+  AppConfig c;
+  c.program = r.str();
+  const std::uint32_t n_args = r.u32();
+  for (std::uint32_t i = 0; i < n_args; ++i) c.args.push_back(r.str());
+  const std::uint32_t n_env = r.u32();
+  for (std::uint32_t i = 0; i < n_env; ++i) {
+    std::string k = r.str();
+    c.env[k] = r.str();
+  }
+  const std::uint32_t n_secrets = r.u32();
+  for (std::uint32_t i = 0; i < n_secrets; ++i) {
+    std::string k = r.str();
+    c.secrets[k] = r.bytes();
+  }
+  c.fs_key = r.bytes();
+  c.fs_manifest_root = r.fixed<32>();
+  r.expect_done();
+  return c;
+}
+
+Bytes InstanceRequest::serialize() const {
+  ByteWriter w;
+  w.str(session_name);
+  w.bytes(common_sigstruct.serialize());
+  return std::move(w).take();
+}
+
+InstanceRequest InstanceRequest::deserialize(ByteView data) {
+  ByteReader r(data);
+  InstanceRequest req;
+  req.session_name = r.str();
+  req.common_sigstruct = sgx::SigStruct::deserialize(r.bytes());
+  r.expect_done();
+  return req;
+}
+
+Bytes InstanceResponse::serialize() const {
+  ByteWriter w;
+  w.u8(ok ? 1 : 0);
+  w.str(error);
+  w.raw(token.view());
+  w.raw(verifier_id.view());
+  w.bytes(ok ? singleton_sigstruct.serialize() : Bytes{});
+  return std::move(w).take();
+}
+
+InstanceResponse InstanceResponse::deserialize(ByteView data) {
+  ByteReader r(data);
+  InstanceResponse resp;
+  resp.ok = r.u8() != 0;
+  resp.error = r.str();
+  resp.token = r.fixed<32>();
+  resp.verifier_id = r.fixed<32>();
+  const Bytes sig = r.bytes();
+  if (resp.ok) resp.singleton_sigstruct = sgx::SigStruct::deserialize(sig);
+  r.expect_done();
+  return resp;
+}
+
+Bytes AttestPayload::serialize() const {
+  ByteWriter w;
+  w.str(session_name);
+  w.bytes(quote.serialize());
+  w.u8(token.has_value() ? 1 : 0);
+  if (token.has_value()) w.raw(token->view());
+  return std::move(w).take();
+}
+
+AttestPayload AttestPayload::deserialize(ByteView data) {
+  ByteReader r(data);
+  AttestPayload p;
+  p.session_name = r.str();
+  p.quote = quote::Quote::deserialize(r.bytes());
+  if (r.u8() != 0) p.token = r.fixed<32>();
+  r.expect_done();
+  return p;
+}
+
+Bytes ConfigResponse::serialize() const {
+  ByteWriter w;
+  w.u8(ok ? 1 : 0);
+  w.str(error);
+  w.bytes(ok ? config.serialize() : Bytes{});
+  return std::move(w).take();
+}
+
+ConfigResponse ConfigResponse::deserialize(ByteView data) {
+  ByteReader r(data);
+  ConfigResponse resp;
+  resp.ok = r.u8() != 0;
+  resp.error = r.str();
+  const Bytes cfg = r.bytes();
+  if (resp.ok) resp.config = AppConfig::deserialize(cfg);
+  r.expect_done();
+  return resp;
+}
+
+}  // namespace sinclave::cas

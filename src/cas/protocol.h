@@ -1,0 +1,88 @@
+// Wire protocol between enclaves/starters and the CAS verifier service.
+//
+// Two endpoints:
+//  * the *instance* endpoint (plain RPC — nothing secret flows here): the
+//    untrusted starter requests an attestation token + on-demand SigStruct
+//    for a session ("Singleton Page Retrieval", Fig. 7c),
+//  * the *attestation* endpoint (secure channel): the enclave runtime — or,
+//    in the attack, the TEE impersonator — presents a quote bound to the
+//    channel and (in SinClave mode) its attestation token, and receives the
+//    application configuration.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "core/instance_page.h"
+#include "quote/quote.h"
+#include "sgx/sigstruct.h"
+
+namespace sinclave::cas {
+
+/// Application configuration: everything the paper lists as
+/// behaviour-determining yet unmeasured — program selection, arguments,
+/// environment, secrets, the filesystem key and the expected filesystem
+/// state ("completeness").
+struct AppConfig {
+  std::string program;
+  std::vector<std::string> args;
+  std::map<std::string, std::string> env;
+  std::map<std::string, Bytes> secrets;
+  Bytes fs_key;              // 32-byte volume key (empty: no volume)
+  Hash256 fs_manifest_root;  // expected volume manifest (ignored if no key)
+
+  Bytes serialize() const;
+  static AppConfig deserialize(ByteView data);
+
+  friend bool operator==(const AppConfig&, const AppConfig&) = default;
+};
+
+/// Starter -> CAS (instance endpoint).
+struct InstanceRequest {
+  std::string session_name;
+  sgx::SigStruct common_sigstruct;
+
+  Bytes serialize() const;
+  static InstanceRequest deserialize(ByteView data);
+};
+
+/// CAS -> starter (instance endpoint).
+struct InstanceResponse {
+  bool ok = false;
+  std::string error;  // set when !ok
+  core::AttestationToken token;
+  Hash256 verifier_id;  // hash of the CAS identity key the enclave must pin
+  sgx::SigStruct singleton_sigstruct;
+
+  Bytes serialize() const;
+  static InstanceResponse deserialize(ByteView data);
+};
+
+/// Client handshake payload on the attestation endpoint.
+struct AttestPayload {
+  std::string session_name;
+  quote::Quote quote;
+  /// Present in SinClave (singleton) mode only.
+  std::optional<core::AttestationToken> token;
+
+  Bytes serialize() const;
+  static AttestPayload deserialize(ByteView data);
+};
+
+/// Encrypted request commands on an attested session.
+enum class Command : std::uint8_t { kGetConfig = 1 };
+
+/// Encrypted response to kGetConfig.
+struct ConfigResponse {
+  bool ok = false;
+  std::string error;
+  AppConfig config;
+
+  Bytes serialize() const;
+  static ConfigResponse deserialize(ByteView data);
+};
+
+}  // namespace sinclave::cas

@@ -1,0 +1,334 @@
+#include "cas/service.h"
+
+#include "common/serial.h"
+#include "core/on_demand.h"
+#include "core/predictor.h"
+#include "crypto/sha256.h"
+
+namespace sinclave::cas {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+std::string policy_path(const std::string& session_name) {
+  return "policies/" + session_name;
+}
+}  // namespace
+
+Bytes Policy::serialize() const {
+  ByteWriter w;
+  w.str(session_name);
+  w.raw(expected_signer.view());
+  w.u8(require_singleton ? 1 : 0);
+  w.u8(allow_debug ? 1 : 0);
+  w.u8(expected_mr_enclave.has_value() ? 1 : 0);
+  if (expected_mr_enclave.has_value()) w.raw(expected_mr_enclave->view());
+  w.u8(base_hash.has_value() ? 1 : 0);
+  if (base_hash.has_value()) w.bytes(base_hash->encode());
+  w.bytes(config.serialize());
+  return std::move(w).take();
+}
+
+Policy Policy::deserialize(ByteView data) {
+  ByteReader r(data);
+  Policy p;
+  p.session_name = r.str();
+  p.expected_signer = r.fixed<32>();
+  p.require_singleton = r.u8() != 0;
+  p.allow_debug = r.u8() != 0;
+  if (r.u8() != 0) p.expected_mr_enclave = r.fixed<32>();
+  if (r.u8() != 0) p.base_hash = core::BaseHash::decode(r.bytes());
+  p.config = AppConfig::deserialize(r.bytes());
+  r.expect_done();
+  return p;
+}
+
+CasService::CasService(quote::AttestationService* attestation,
+                       crypto::RsaKeyPair identity, crypto::Drbg rng)
+    : attestation_(attestation),
+      identity_(std::move(identity)),
+      rng_(std::move(rng)),
+      policy_db_(rng_.generate(32),
+                 crypto::Drbg(rng_.generate(16), "cas-db-nonces")) {
+  if (attestation_ == nullptr)
+    throw Error("cas: attestation service required");
+}
+
+Hash256 CasService::verifier_id() const {
+  return crypto::sha256(identity_.public_key().modulus_be());
+}
+
+void CasService::add_signer_key(crypto::RsaKeyPair signer) {
+  const Hash256 id = crypto::sha256(signer.public_key().modulus_be());
+  signer_keys_.emplace(id, std::move(signer));
+}
+
+void CasService::install_policy(const Policy& policy) {
+  policy_db_.write_file(policy_path(policy.session_name), policy.serialize());
+}
+
+std::optional<Policy> CasService::load_policy(
+    const std::string& session_name) const {
+  const auto blob = policy_db_.read_file(policy_path(session_name));
+  if (!blob.has_value()) return std::nullopt;
+  return Policy::deserialize(*blob);
+}
+
+void CasService::bind(net::SimNetwork& net, const std::string& address) {
+  net.listen(address + ".instance", [this](ByteView raw) {
+    InstanceResponse resp;
+    try {
+      resp = handle_instance(InstanceRequest::deserialize(raw));
+    } catch (const ParseError& e) {
+      resp.ok = false;
+      resp.error = e.what();
+    }
+    return resp.serialize();
+  });
+
+  secure_server_ = std::make_unique<net::SecureServer>(
+      &identity_, crypto::Drbg(rng_.generate(16), "cas-channel"),
+      [this](ByteView payload, ByteView dh, std::uint64_t sid) {
+        return on_handshake(payload, dh, sid);
+      },
+      [this](std::uint64_t sid, ByteView plaintext) {
+        return on_request(sid, plaintext);
+      });
+  net.listen(address,
+             [this](ByteView raw) { return secure_server_->handle(raw); });
+}
+
+InstanceResponse CasService::handle_instance(const InstanceRequest& request) {
+  InstanceResponse resp;
+  InstanceTimings t;
+  const auto total_start = Clock::now();
+
+  // "Misc": decrypt and parse the session's policy from the encrypted DB.
+  auto mark = Clock::now();
+  const auto policy = load_policy(request.session_name);
+  t.db_load = Clock::now() - mark;
+
+  if (!policy.has_value()) {
+    resp.error = "unknown session";
+    return resp;
+  }
+  if (!policy->require_singleton || !policy->base_hash.has_value()) {
+    resp.error = "session is not configured for singleton enclaves";
+    return resp;
+  }
+  const auto signer_it = signer_keys_.find(policy->expected_signer);
+  if (signer_it == signer_keys_.end()) {
+    resp.error = "no signer key uploaded for this session";
+    return resp;
+  }
+
+  // Verify the received common SigStruct: authentic (RSA) and from the
+  // expected signer.
+  mark = Clock::now();
+  const bool sig_ok = request.common_sigstruct.signature_valid();
+  t.verify = Clock::now() - mark;
+  if (!sig_ok) {
+    resp.error = "common sigstruct signature invalid";
+    return resp;
+  }
+  if (request.common_sigstruct.mr_signer() != policy->expected_signer) {
+    resp.error = "common sigstruct from unexpected signer";
+    return resp;
+  }
+
+  // Predict measurements: the common one (cross-check the received
+  // SigStruct against the policy's base hash) and the singleton one.
+  core::AttestationToken token;
+  rng_.generate(token.data.data(), token.size());
+
+  mark = Clock::now();
+  const sgx::Measurement expected_common =
+      core::MeasurementPredictor::predict_common(*policy->base_hash);
+  core::InstancePage page;
+  page.token = token;
+  page.verifier_id = verifier_id();
+  const sgx::Measurement expected_singleton =
+      core::MeasurementPredictor::predict(*policy->base_hash, page);
+  t.predict = Clock::now() - mark;
+
+  if (request.common_sigstruct.enclave_hash != expected_common) {
+    resp.error = "common sigstruct does not match session base hash";
+    return resp;
+  }
+
+  // On-demand SigStruct for the individualized enclave.
+  mark = Clock::now();
+  resp.singleton_sigstruct = core::make_on_demand_sigstruct(
+      request.common_sigstruct, expected_singleton, signer_it->second);
+  t.sign = Clock::now() - mark;
+
+  tokens_.emplace(token, PendingToken{request.session_name,
+                                      expected_singleton, false});
+  resp.ok = true;
+  resp.token = token;
+  resp.verifier_id = verifier_id();
+
+  t.total = Clock::now() - total_start;
+  last_timings_ = t;
+  return resp;
+}
+
+std::optional<Bytes> CasService::on_handshake(ByteView client_payload,
+                                              ByteView client_dh,
+                                              std::uint64_t session_id) {
+  AttestPayload payload;
+  try {
+    payload = AttestPayload::deserialize(client_payload);
+  } catch (const ParseError&) {
+    last_attest_verdict_ = Verdict::kMalformed;
+    return std::nullopt;
+  }
+
+  const auto policy = load_policy(payload.session_name);
+  if (!policy.has_value()) {
+    last_attest_verdict_ = Verdict::kPolicyViolation;
+    return std::nullopt;
+  }
+
+  // 1. Quote genuineness (the TEE provider's attestation service).
+  const quote::QuoteVerification qv = attestation_->verify(payload.quote);
+  if (!qv.ok()) {
+    last_attest_verdict_ = qv.verdict;
+    return std::nullopt;
+  }
+
+  // 2. Channel binding: REPORTDATA must commit to the client's DH key.
+  if (!(qv.report_data == net::channel_binding(client_dh))) {
+    last_attest_verdict_ = Verdict::kPolicyViolation;
+    return std::nullopt;
+  }
+
+  // 3. No debug enclaves unless the policy opts in.
+  if (qv.identity->attributes.debug() && !policy->allow_debug) {
+    last_attest_verdict_ = Verdict::kAttributesMismatch;
+    return std::nullopt;
+  }
+
+  // 4. Signer pin.
+  if (qv.identity->mr_signer != policy->expected_signer) {
+    last_attest_verdict_ = Verdict::kSignerMismatch;
+    return std::nullopt;
+  }
+
+  // 5. Measurement check: singleton (SinClave) or pinned common (baseline).
+  if (policy->require_singleton) {
+    if (!payload.token.has_value()) {
+      last_attest_verdict_ = Verdict::kTokenUnknown;
+      return std::nullopt;
+    }
+    const auto it = tokens_.find(*payload.token);
+    if (it == tokens_.end() ||
+        it->second.session_name != payload.session_name) {
+      last_attest_verdict_ = Verdict::kTokenUnknown;
+      return std::nullopt;
+    }
+    if (it->second.used) {
+      last_attest_verdict_ = Verdict::kTokenReused;
+      return std::nullopt;
+    }
+    if (qv.identity->mr_enclave != it->second.expected_mr) {
+      last_attest_verdict_ = Verdict::kMeasurementMismatch;
+      return std::nullopt;
+    }
+    it->second.used = true;  // singleton: this token never attests again
+  } else {
+    if (!policy->expected_mr_enclave.has_value() ||
+        qv.identity->mr_enclave != *policy->expected_mr_enclave) {
+      last_attest_verdict_ = Verdict::kMeasurementMismatch;
+      return std::nullopt;
+    }
+  }
+
+  last_attest_verdict_ = Verdict::kOk;
+  attested_sessions_[session_id] = payload.session_name;
+  return to_bytes("attested");
+}
+
+Bytes CasService::on_request(std::uint64_t session_id, ByteView plaintext) {
+  ConfigResponse resp;
+  ByteReader r(plaintext);
+  const auto cmd = static_cast<Command>(r.u8());
+  if (cmd != Command::kGetConfig) {
+    resp.error = "unknown command";
+    return resp.serialize();
+  }
+  const auto it = attested_sessions_.find(session_id);
+  if (it == attested_sessions_.end()) {
+    resp.error = "session not attested";
+    return resp.serialize();
+  }
+  const auto policy = load_policy(it->second);
+  if (!policy.has_value()) {
+    resp.error = "policy disappeared";
+    return resp.serialize();
+  }
+  resp.ok = true;
+  resp.config = policy->config;
+  return resp.serialize();
+}
+
+std::size_t CasService::tokens_outstanding() const {
+  std::size_t n = 0;
+  for (const auto& [token, pending] : tokens_)
+    if (!pending.used) ++n;
+  return n;
+}
+
+std::size_t CasService::tokens_used() const {
+  return tokens_.size() - tokens_outstanding();
+}
+
+Bytes CasService::export_state() const {
+  ByteWriter w;
+  const auto names = policy_db_.list_files();
+  w.u32(static_cast<std::uint32_t>(names.size()));
+  for (const auto& name : names) {
+    const auto blob = policy_db_.read_file(name);
+    if (!blob.has_value()) throw Error("cas: policy db corrupted");
+    w.str(name);
+    w.bytes(*blob);
+  }
+  w.u32(static_cast<std::uint32_t>(tokens_.size()));
+  for (const auto& [token, pending] : tokens_) {
+    w.raw(token.view());
+    w.str(pending.session_name);
+    w.raw(pending.expected_mr.view());
+    w.u8(pending.used ? 1 : 0);
+  }
+  return std::move(w).take();
+}
+
+void CasService::import_state(ByteView state) {
+  ByteReader r(state);
+  std::map<core::AttestationToken, PendingToken> tokens;
+  std::vector<std::pair<std::string, Bytes>> policies;
+  const std::uint32_t n_policies = r.u32();
+  for (std::uint32_t i = 0; i < n_policies; ++i) {
+    std::string name = r.str();
+    policies.emplace_back(std::move(name), r.bytes());
+  }
+  const std::uint32_t n_tokens = r.u32();
+  for (std::uint32_t i = 0; i < n_tokens; ++i) {
+    const auto token = r.fixed<32>();
+    PendingToken pending;
+    pending.session_name = r.str();
+    pending.expected_mr = r.fixed<32>();
+    pending.used = r.u8() != 0;
+    tokens.emplace(token, std::move(pending));
+  }
+  r.expect_done();
+
+  // Commit only after the whole state parsed.
+  for (auto& [name, blob] : policies) {
+    Policy policy = Policy::deserialize(blob);
+    install_policy(policy);
+  }
+  tokens_ = std::move(tokens);
+}
+
+}  // namespace sinclave::cas

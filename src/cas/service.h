@@ -1,0 +1,131 @@
+// The Configuration and Attestation Service (CAS) — the trusted verifier.
+//
+// Mirrors SCONE CAS as the paper uses it, extended with the SinClave
+// mechanisms (§4.4):
+//
+//  * policy database, encrypted at rest (policies are decrypted and parsed
+//    on every request — that work is the "miscellaneous CAS activities"
+//    dominating Fig. 7c),
+//  * quote verification through the TEE provider's attestation service,
+//  * channel binding (quote REPORTDATA must commit to the client's DH key),
+//  * SinClave: one-time token minting, verifier-side expected-MRENCLAVE
+//    prediction from the base hash, on-demand SigStruct signing with the
+//    enclave signer's key (which is uploaded to — and never leaves — CAS),
+//    and singleton enforcement (every token attests at most once).
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "cas/protocol.h"
+#include "core/base_hash.h"
+#include "crypto/drbg.h"
+#include "crypto/rsa.h"
+#include "fs/encrypted_volume.h"
+#include "net/secure_channel.h"
+#include "net/sim_network.h"
+#include "quote/attestation_service.h"
+
+namespace sinclave::cas {
+
+/// Per-session verification policy, stored encrypted in the CAS database.
+struct Policy {
+  std::string session_name;
+  /// MRSIGNER pin: which signer's enclaves may attest for this session.
+  Hash256 expected_signer;
+  /// SinClave mode: enforce singleton enclaves for this session.
+  bool require_singleton = false;
+  /// Permit debug-attribute enclaves (insecure; off by default).
+  bool allow_debug = false;
+  /// Baseline mode: the pinned common MRENCLAVE.
+  std::optional<sgx::Measurement> expected_mr_enclave;
+  /// SinClave mode: the base hash used to predict singleton measurements.
+  std::optional<core::BaseHash> base_hash;
+  /// Delivered to the enclave after successful attestation.
+  AppConfig config;
+
+  Bytes serialize() const;
+  static Policy deserialize(ByteView data);
+};
+
+class CasService {
+ public:
+  /// Wall-clock breakdown of the last instance request (Fig. 7c series).
+  struct InstanceTimings {
+    std::chrono::nanoseconds db_load{0};    // decrypt+parse policy ("misc")
+    std::chrono::nanoseconds verify{0};     // common SigStruct verification
+    std::chrono::nanoseconds predict{0};    // expected-MRENCLAVE finalization
+    std::chrono::nanoseconds sign{0};       // on-demand SigStruct signing
+    std::chrono::nanoseconds total{0};
+  };
+
+  CasService(quote::AttestationService* attestation,
+             crypto::RsaKeyPair identity, crypto::Drbg rng);
+
+  const crypto::RsaPublicKey& identity() const {
+    return identity_.public_key();
+  }
+  /// SHA-256 of the identity modulus — what instance pages embed.
+  Hash256 verifier_id() const;
+
+  /// Upload an enclave signer's key pair (required for on-demand SigStruct
+  /// creation for that signer's enclaves).
+  void add_signer_key(crypto::RsaKeyPair signer);
+
+  /// Install (or replace) a session policy; persisted encrypted.
+  void install_policy(const Policy& policy);
+
+  /// Start serving: `address` (secure attestation endpoint) and
+  /// `address + ".instance"` (plain starter endpoint).
+  void bind(net::SimNetwork& net, const std::string& address);
+
+  /// Direct entry points (benchmarks call these without the network).
+  InstanceResponse handle_instance(const InstanceRequest& request);
+
+  const InstanceTimings& last_instance_timings() const {
+    return last_timings_;
+  }
+  /// Verdict of the most recent attestation attempt (test observability).
+  Verdict last_attest_verdict() const { return last_attest_verdict_; }
+
+  std::size_t tokens_outstanding() const;
+  std::size_t tokens_used() const;
+
+  /// Serialize the full mutable state — policies and the token database —
+  /// for sealing across restarts (cas/persistence.h). Losing or rolling
+  /// back the token database would reinstate the reuse attack, so this
+  /// state must only ever be persisted through seal_state().
+  Bytes export_state() const;
+  /// Replace policies and token database from a previously exported state.
+  void import_state(ByteView state);
+
+ private:
+  std::optional<Policy> load_policy(const std::string& session_name) const;
+
+  std::optional<Bytes> on_handshake(ByteView client_payload,
+                                    ByteView client_dh,
+                                    std::uint64_t session_id);
+  Bytes on_request(std::uint64_t session_id, ByteView plaintext);
+
+  struct PendingToken {
+    std::string session_name;
+    sgx::Measurement expected_mr;
+    bool used = false;
+  };
+
+  quote::AttestationService* attestation_;
+  crypto::RsaKeyPair identity_;
+  mutable crypto::Drbg rng_;
+  mutable fs::EncryptedVolume policy_db_;
+  std::map<Hash256, crypto::RsaKeyPair> signer_keys_;
+  std::map<core::AttestationToken, PendingToken> tokens_;
+  std::map<std::uint64_t, std::string> attested_sessions_;
+  std::unique_ptr<net::SecureServer> secure_server_;
+  InstanceTimings last_timings_;
+  Verdict last_attest_verdict_ = Verdict::kOk;
+};
+
+}  // namespace sinclave::cas

@@ -1,0 +1,85 @@
+// Byte-buffer utilities shared by every module.
+//
+// The whole code base passes binary data as `Bytes` (owning) or
+// `std::span<const std::uint8_t>` (non-owning view), following the Core
+// Guidelines advice to prefer span parameters over pointer+length pairs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sinclave {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteView = std::span<const std::uint8_t>;
+
+/// Lower-case hex encoding of a byte range.
+std::string to_hex(ByteView data);
+
+/// Parse a hex string (upper or lower case). Throws Error on malformed input.
+Bytes from_hex(std::string_view hex);
+
+/// Constant-time equality; returns false for length mismatch without leaking
+/// position information. Used for MAC and token comparisons.
+bool ct_equal(ByteView a, ByteView b);
+
+/// Overwrite a buffer with zeros in a way the optimizer must not elide.
+/// Used to scrub key material.
+void secure_zero(std::uint8_t* data, std::size_t len);
+
+/// Convenience: copy a string's bytes into a Bytes buffer.
+Bytes to_bytes(std::string_view s);
+
+/// Convenience: interpret bytes as a string (for config payloads in tests).
+std::string to_string(ByteView data);
+
+/// Concatenate any number of byte ranges.
+Bytes concat(std::initializer_list<ByteView> parts);
+
+/// Fixed-size byte array with value semantics (hashes, MACs, keys, tokens).
+template <std::size_t N>
+struct FixedBytes {
+  std::array<std::uint8_t, N> data{};
+
+  static constexpr std::size_t size() { return N; }
+  std::uint8_t* begin() { return data.data(); }
+  const std::uint8_t* begin() const { return data.data(); }
+  std::uint8_t* end() { return data.data() + N; }
+  const std::uint8_t* end() const { return data.data() + N; }
+
+  ByteView view() const { return ByteView{data.data(), N}; }
+  Bytes to_vector() const { return Bytes{data.begin(), data.end()}; }
+  std::string hex() const { return to_hex(view()); }
+
+  bool is_zero() const {
+    for (auto b : data)
+      if (b != 0) return false;
+    return true;
+  }
+
+  friend bool operator==(const FixedBytes& a, const FixedBytes& b) {
+    return a.data == b.data;
+  }
+  friend auto operator<=>(const FixedBytes& a, const FixedBytes& b) {
+    return a.data <=> b.data;
+  }
+
+  static FixedBytes from_view(ByteView v);
+};
+
+template <std::size_t N>
+FixedBytes<N> FixedBytes<N>::from_view(ByteView v) {
+  FixedBytes<N> out;
+  const std::size_t n = v.size() < N ? v.size() : N;
+  for (std::size_t i = 0; i < n; ++i) out.data[i] = v[i];
+  return out;
+}
+
+using Hash256 = FixedBytes<32>;
+using Mac128 = FixedBytes<16>;
+
+}  // namespace sinclave

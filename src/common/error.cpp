@@ -1,0 +1,33 @@
+#include "common/error.h"
+
+namespace sinclave {
+
+const char* to_string(Verdict v) {
+  switch (v) {
+    case Verdict::kOk:
+      return "ok";
+    case Verdict::kBadSignature:
+      return "bad-signature";
+    case Verdict::kBadMac:
+      return "bad-mac";
+    case Verdict::kMeasurementMismatch:
+      return "measurement-mismatch";
+    case Verdict::kSignerMismatch:
+      return "signer-mismatch";
+    case Verdict::kAttributesMismatch:
+      return "attributes-mismatch";
+    case Verdict::kTokenUnknown:
+      return "token-unknown";
+    case Verdict::kTokenReused:
+      return "token-reused";
+    case Verdict::kPolicyViolation:
+      return "policy-violation";
+    case Verdict::kStale:
+      return "stale";
+    case Verdict::kMalformed:
+      return "malformed";
+  }
+  return "unknown";
+}
+
+}  // namespace sinclave

@@ -1,0 +1,52 @@
+// Error handling conventions.
+//
+// Programming errors and unrecoverable conditions throw `Error` (or a
+// subclass). Expected protocol outcomes — e.g. "this quote does not verify"
+// — are reported as status enums on the relevant API instead of exceptions,
+// because a failed verification is a normal result for a verifier, not an
+// exceptional condition.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sinclave {
+
+/// Base exception for the whole library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when deserialization encounters malformed input.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error("parse: " + what) {}
+};
+
+/// Thrown on misuse of the simulated SGX instruction set (e.g. EADD after
+/// EINIT). Mirrors the #GP/#PF faults real hardware raises.
+class SgxFault : public Error {
+ public:
+  explicit SgxFault(const std::string& what) : Error("sgx fault: " + what) {}
+};
+
+/// Verification verdicts used across attestation components.
+enum class Verdict {
+  kOk,
+  kBadSignature,
+  kBadMac,
+  kMeasurementMismatch,
+  kSignerMismatch,
+  kAttributesMismatch,
+  kTokenUnknown,
+  kTokenReused,
+  kPolicyViolation,
+  kStale,
+  kMalformed,
+};
+
+/// Human-readable verdict name (stable, used in logs and tests).
+const char* to_string(Verdict v);
+
+}  // namespace sinclave

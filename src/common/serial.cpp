@@ -1,0 +1,92 @@
+#include "common/serial.h"
+
+#include "common/error.h"
+
+namespace sinclave {
+
+void ByteWriter::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::raw(ByteView data) {
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+void ByteWriter::bytes(ByteView data) {
+  u32(static_cast<std::uint32_t>(data.size()));
+  raw(data);
+}
+
+void ByteWriter::str(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void ByteWriter::zeros(std::size_t n) {
+  buf_.insert(buf_.end(), n, 0);
+}
+
+ByteView ByteReader::raw_view(std::size_t n) {
+  if (remaining() < n) throw ParseError("truncated input");
+  ByteView out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+std::uint8_t ByteReader::u8() {
+  return raw_view(1)[0];
+}
+
+std::uint16_t ByteReader::u16() {
+  auto v = raw_view(2);
+  return static_cast<std::uint16_t>(v[0] | (v[1] << 8));
+}
+
+std::uint32_t ByteReader::u32() {
+  auto v = raw_view(4);
+  std::uint32_t out = 0;
+  for (int i = 3; i >= 0; --i) out = (out << 8) | v[static_cast<std::size_t>(i)];
+  return out;
+}
+
+std::uint64_t ByteReader::u64() {
+  auto v = raw_view(8);
+  std::uint64_t out = 0;
+  for (int i = 7; i >= 0; --i) out = (out << 8) | v[static_cast<std::size_t>(i)];
+  return out;
+}
+
+Bytes ByteReader::raw(std::size_t n) {
+  auto v = raw_view(n);
+  return Bytes{v.begin(), v.end()};
+}
+
+Bytes ByteReader::bytes() {
+  const std::uint32_t n = u32();
+  if (remaining() < n) throw ParseError("truncated byte string");
+  return raw(n);
+}
+
+std::string ByteReader::str() {
+  const Bytes b = bytes();
+  return std::string{b.begin(), b.end()};
+}
+
+void ByteReader::skip(std::size_t n) {
+  (void)raw_view(n);
+}
+
+void ByteReader::expect_done() const {
+  if (!done()) throw ParseError("trailing bytes after message");
+}
+
+}  // namespace sinclave

@@ -1,0 +1,79 @@
+// Little-endian binary serialization helpers.
+//
+// All wire formats in this repository (SGX structures, RPC messages, the
+// base-hash encoding) are defined in terms of these primitives so that the
+// byte layout is explicit and platform independent.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+
+namespace sinclave {
+
+/// Appends little-endian encoded values to a growing byte buffer.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// Raw bytes, no length prefix.
+  void raw(ByteView data);
+  /// Length-prefixed (u32) byte string.
+  void bytes(ByteView data);
+  /// Length-prefixed (u32) UTF-8 string.
+  void str(std::string_view s);
+  /// Pad with `n` zero bytes.
+  void zeros(std::size_t n);
+
+  const Bytes& data() const& { return buf_; }
+  Bytes take() && { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Reads little-endian values from a byte view. Throws ParseError on
+/// truncated input; callers need no manual bounds checks.
+class ByteReader {
+ public:
+  explicit ByteReader(ByteView data) : data_(data) {}
+  /// A reader holds only a view; constructing it from an rvalue buffer
+  /// would dangle as soon as the statement ends. Bind the buffer first.
+  explicit ByteReader(Bytes&&) = delete;
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  /// Read exactly n raw bytes.
+  Bytes raw(std::size_t n);
+  /// Read a u32-length-prefixed byte string.
+  Bytes bytes();
+  /// Read a u32-length-prefixed UTF-8 string.
+  std::string str();
+  /// Skip n bytes.
+  void skip(std::size_t n);
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return remaining() == 0; }
+  /// Throw ParseError unless the whole input was consumed.
+  void expect_done() const;
+
+  template <std::size_t N>
+  FixedBytes<N> fixed() {
+    return FixedBytes<N>::from_view(raw_view(N));
+  }
+
+ private:
+  ByteView raw_view(std::size_t n);
+
+  ByteView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace sinclave

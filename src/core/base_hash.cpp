@@ -1,0 +1,36 @@
+#include "core/base_hash.h"
+
+#include "common/error.h"
+#include "common/serial.h"
+
+namespace sinclave::core {
+
+namespace {
+constexpr std::uint32_t kBaseHashMagic = 0x42534831;  // "BSH1"
+}
+
+Bytes BaseHash::encode() const {
+  ByteWriter w;
+  w.u32(kBaseHashMagic);
+  w.bytes(state.encode());
+  w.u64(enclave_size);
+  w.u64(instance_page_offset);
+  w.u32(ssa_frame_size);
+  return std::move(w).take();
+}
+
+BaseHash BaseHash::decode(ByteView data) {
+  ByteReader r(data);
+  if (r.u32() != kBaseHashMagic) throw ParseError("base hash: bad magic");
+  BaseHash b;
+  b.state = crypto::Sha256State::decode(r.bytes());
+  b.enclave_size = r.u64();
+  b.instance_page_offset = r.u64();
+  b.ssa_frame_size = r.u32();
+  r.expect_done();
+  if (b.instance_page_offset >= b.enclave_size)
+    throw ParseError("base hash: instance page outside enclave");
+  return b;
+}
+
+}  // namespace sinclave::core

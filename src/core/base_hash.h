@@ -1,0 +1,38 @@
+// The base enclave hash — SinClave's central artifact (§4.4).
+//
+// A base hash is the *suspended* SHA-256 state of an enclave measurement,
+// captured after the whole enclave except the final instance page has been
+// measured, together with the structural facts a verifier needs to finish
+// the computation for any candidate instance page:
+//
+//   * the suspended hash state (8 words + block-aligned length),
+//   * the enclave size and SSA frame size (fixed by ECREATE),
+//   * the offset where the instance page will be added.
+//
+// The signer ships this (embedded next to the common SigStruct) instead of
+// — not in place of — the final measurement; the verifier can then compute
+// the unique expected MRENCLAVE for a singleton enclave carrying any token
+// without rehashing the whole enclave: only one page of measurement work
+// plus finalization (the constant ~32 us of Fig. 6) remains.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "crypto/sha256.h"
+
+namespace sinclave::core {
+
+struct BaseHash {
+  crypto::Sha256State state;
+  std::uint64_t enclave_size = 0;
+  std::uint64_t instance_page_offset = 0;
+  std::uint32_t ssa_frame_size = 1;
+
+  Bytes encode() const;
+  static BaseHash decode(ByteView data);
+
+  friend bool operator==(const BaseHash&, const BaseHash&) = default;
+};
+
+}  // namespace sinclave::core

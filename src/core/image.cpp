@@ -1,0 +1,82 @@
+#include "core/image.h"
+
+#include <cstring>
+
+#include "common/error.h"
+#include "common/serial.h"
+#include "crypto/drbg.h"
+
+namespace sinclave::core {
+
+std::uint64_t EnclaveImage::code_bytes_padded() const {
+  const std::uint64_t pages =
+      (code.size() + sgx::kPageSize - 1) / sgx::kPageSize;
+  return std::max<std::uint64_t>(pages, 1) * sgx::kPageSize;
+}
+
+std::uint64_t EnclaveImage::heap_pages() const {
+  if (heap_bytes % sgx::kPageSize != 0)
+    throw Error("image: heap size must be a page multiple");
+  return heap_bytes / sgx::kPageSize;
+}
+
+std::uint64_t EnclaveImage::instance_page_offset() const {
+  return code_bytes_padded() + heap_bytes;
+}
+
+std::uint64_t EnclaveImage::total_size() const {
+  return instance_page_offset() + sgx::kPageSize;
+}
+
+Bytes EnclaveImage::code_page(std::uint64_t page_index) const {
+  if (page_index >= code_pages()) throw Error("image: code page out of range");
+  Bytes page(sgx::kPageSize, 0);
+  const std::size_t start = page_index * sgx::kPageSize;
+  if (start < code.size()) {
+    const std::size_t n = std::min<std::size_t>(sgx::kPageSize,
+                                                code.size() - start);
+    std::memcpy(page.data(), code.data() + start, n);
+  }
+  return page;
+}
+
+EnclaveImage EnclaveImage::synthetic(const std::string& name,
+                                     std::size_t code_size,
+                                     std::uint64_t heap_bytes) {
+  EnclaveImage img;
+  img.name = name;
+  crypto::Drbg rng(to_bytes(name), "synthetic-image");
+  img.code = rng.generate(code_size);
+  img.heap_bytes = heap_bytes;
+  return img;
+}
+
+Bytes EnclaveImage::serialize() const {
+  ByteWriter w;
+  w.str(name);
+  w.bytes(code);
+  w.u64(heap_bytes);
+  w.u64(attributes.flags);
+  w.u64(attributes.xfrm);
+  w.u32(ssa_frame_size);
+  w.u16(isv_prod_id);
+  w.u16(isv_svn);
+  return std::move(w).take();
+}
+
+EnclaveImage EnclaveImage::deserialize(ByteView data) {
+  ByteReader r(data);
+  EnclaveImage img;
+  img.name = r.str();
+  img.code = r.bytes();
+  img.heap_bytes = r.u64();
+  img.attributes.flags = r.u64();
+  img.attributes.xfrm = r.u64();
+  img.ssa_frame_size = r.u32();
+  img.isv_prod_id = r.u16();
+  img.isv_svn = r.u16();
+  r.expect_done();
+  return img;
+}
+
+}  // namespace sinclave::core

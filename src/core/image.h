@@ -1,0 +1,58 @@
+// Enclave binary images and their memory layout.
+//
+// An EnclaveImage is what the signer measures and the starter loads — the
+// simulator's equivalent of a SCONE-built ELF binary. Layout (Fig. 5):
+//
+//   offset 0 ........... code/data pages (RX, measured content)
+//   code_end ........... heap pages (RW, measured zero pages)
+//   total - 4096 ....... the instance page (RW; zero for common enclaves,
+//                        token + verifier id for singletons)
+//
+// The instance page slot exists in *every* image so baseline and SinClave
+// enclaves are byte-comparable; the baseline simply leaves it zeroed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+#include "sgx/types.h"
+
+namespace sinclave::core {
+
+struct EnclaveImage {
+  /// Program name (informational; shows up in policies and logs).
+  std::string name;
+  /// Code+data content; padded to a page multiple when measured.
+  Bytes code;
+  /// Heap size in bytes (page multiple).
+  std::uint64_t heap_bytes = 1 << 20;
+  sgx::Attributes attributes;
+  std::uint32_t ssa_frame_size = 1;
+  std::uint16_t isv_prod_id = 0;
+  std::uint16_t isv_svn = 0;
+
+  std::uint64_t code_bytes_padded() const;
+  std::uint64_t code_pages() const { return code_bytes_padded() / sgx::kPageSize; }
+  std::uint64_t heap_pages() const;
+  /// Offset of the instance page (always the last page).
+  std::uint64_t instance_page_offset() const;
+  /// Total enclave size including the instance page.
+  std::uint64_t total_size() const;
+
+  /// One code page's content, zero-padded at the tail of the code segment.
+  Bytes code_page(std::uint64_t page_index) const;
+
+  /// Deterministic synthetic image of roughly `code_size` bytes of "code"
+  /// — used by tests, benchmarks and examples in place of a real binary.
+  static EnclaveImage synthetic(const std::string& name,
+                                std::size_t code_size,
+                                std::uint64_t heap_bytes);
+
+  Bytes serialize() const;
+  static EnclaveImage deserialize(ByteView data);
+
+  friend bool operator==(const EnclaveImage&, const EnclaveImage&) = default;
+};
+
+}  // namespace sinclave::core

@@ -1,0 +1,44 @@
+#include "core/instance_page.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/serial.h"
+
+namespace sinclave::core {
+
+namespace {
+constexpr std::uint64_t kInstancePageMagic = 0x53494e434c415645;  // "SINCLAVE"
+}
+
+Bytes InstancePage::render() const {
+  ByteWriter w;
+  w.u64(kInstancePageMagic);
+  w.raw(token.view());
+  w.raw(verifier_id.view());
+  w.zeros(sgx::kPageSize - w.size());
+  return std::move(w).take();
+}
+
+std::optional<InstancePage> InstancePage::parse(ByteView page) {
+  if (page.size() != sgx::kPageSize)
+    throw ParseError("instance page: wrong size");
+  const bool all_zero =
+      std::all_of(page.begin(), page.end(), [](std::uint8_t b) { return b == 0; });
+  if (all_zero) return std::nullopt;
+
+  ByteReader r(page);
+  if (r.u64() != kInstancePageMagic)
+    throw ParseError("instance page: bad magic");
+  InstancePage out;
+  out.token = r.fixed<32>();
+  out.verifier_id = r.fixed<32>();
+  // Remaining bytes must be zero padding.
+  const Bytes rest = r.raw(r.remaining());
+  if (!std::all_of(rest.begin(), rest.end(),
+                   [](std::uint8_t b) { return b == 0; }))
+    throw ParseError("instance page: nonzero padding");
+  return out;
+}
+
+}  // namespace sinclave::core

@@ -1,0 +1,43 @@
+// The instance (singleton) page (§4.4, Fig. 5).
+//
+// System software adds this one extra page at the end of the enclave during
+// construction. Its content individualizes MRENCLAVE:
+//
+//   * the one-time attestation token minted by the verifier, and
+//   * the verifier's cryptographic identity (hash of its public key).
+//
+// The runtime inside the enclave reads the page after EINIT:
+//   * all-zero page  -> "common enclave": start without attestation
+//                       (or run the vulnerable baseline flow),
+//   * valid content  -> "singleton enclave": the runtime MUST attest with
+//                       this token, and MUST accept configuration only from
+//                       the verifier whose identity is embedded here.
+#pragma once
+
+#include <optional>
+
+#include "common/bytes.h"
+#include "sgx/types.h"
+
+namespace sinclave::core {
+
+/// One-time attestation token (256-bit random value minted by the verifier).
+using AttestationToken = FixedBytes<32>;
+
+struct InstancePage {
+  AttestationToken token;
+  /// SHA-256 of the verifier's RSA public modulus.
+  Hash256 verifier_id;
+
+  /// Render into a full 4096-byte page (magic + fields + zero padding).
+  Bytes render() const;
+
+  /// Parse a page read back from enclave memory. Returns nullopt for the
+  /// all-zero page (common enclave). Throws ParseError for a page that is
+  /// neither zero nor well-formed (construction-time corruption).
+  static std::optional<InstancePage> parse(ByteView page);
+
+  friend bool operator==(const InstancePage&, const InstancePage&) = default;
+};
+
+}  // namespace sinclave::core

@@ -1,0 +1,21 @@
+#include "core/on_demand.h"
+
+#include "common/error.h"
+
+namespace sinclave::core {
+
+sgx::SigStruct make_on_demand_sigstruct(const sgx::SigStruct& common,
+                                        const sgx::Measurement& singleton_mr,
+                                        const crypto::RsaKeyPair& signer) {
+  if (!(common.signer_key == signer.public_key()))
+    throw Error("on-demand sigstruct: common sigstruct from different signer");
+  if (!common.signature_valid())
+    throw Error("on-demand sigstruct: common sigstruct signature invalid");
+
+  sgx::SigStruct out = common;
+  out.enclave_hash = singleton_mr;
+  out.sign(signer);
+  return out;
+}
+
+}  // namespace sinclave::core

@@ -1,0 +1,27 @@
+// On-demand SigStruct creation (§4.4).
+//
+// EINIT only accepts an enclave whose MRENCLAVE matches a SigStruct signed
+// by the enclave signer. Because every singleton enclave has a unique
+// MRENCLAVE, the verifier — which holds the signer's private key — must
+// mint a fresh SigStruct per instance. The on-demand SigStruct is identical
+// to the common one except for the enclave hash (and consequently the
+// signature); in particular MRSIGNER, attributes, product id and SVN are
+// preserved, so sealing-key derivations and signer-based policies are
+// unaffected.
+#pragma once
+
+#include "crypto/rsa.h"
+#include "sgx/sigstruct.h"
+
+namespace sinclave::core {
+
+/// Derive the per-instance SigStruct from the signer-approved common one.
+/// `common` must already verify under `signer`'s public key — creating
+/// singleton SigStructs for enclaves the signer never approved would let
+/// anyone with verifier access mint arbitrary enclaves under the signer's
+/// identity. Throws Error on that precondition.
+sgx::SigStruct make_on_demand_sigstruct(const sgx::SigStruct& common,
+                                        const sgx::Measurement& singleton_mr,
+                                        const crypto::RsaKeyPair& signer);
+
+}  // namespace sinclave::core

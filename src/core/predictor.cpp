@@ -1,0 +1,25 @@
+#include "core/predictor.h"
+
+#include "sgx/measurement.h"
+
+namespace sinclave::core {
+
+sgx::Measurement MeasurementPredictor::finish(const BaseHash& base,
+                                              ByteView page_content) {
+  sgx::MeasurementLog log = sgx::MeasurementLog::resume(base.state);
+  log.add_measured_page(base.instance_page_offset, sgx::SecInfo::reg_rw(),
+                        page_content);
+  return log.finalize();
+}
+
+sgx::Measurement MeasurementPredictor::predict(const BaseHash& base,
+                                               const InstancePage& page) {
+  return finish(base, page.render());
+}
+
+sgx::Measurement MeasurementPredictor::predict_common(const BaseHash& base) {
+  const Bytes zero_page(sgx::kPageSize, 0);
+  return finish(base, zero_page);
+}
+
+}  // namespace sinclave::core

@@ -1,0 +1,35 @@
+// Verifier-side measurement prediction ("Verifiable Enclave Extension",
+// §4.4).
+//
+// Given a base hash and a candidate instance page, the verifier resumes the
+// suspended SHA-256 state, folds in exactly the measurement operations the
+// starter must execute for the instance page (one EADD + 16 EEXTENDs), and
+// finalizes. The result is the unique MRENCLAVE the singleton enclave will
+// have — computable without access to the enclave binary and in constant
+// time (one page of hashing + finalization).
+#pragma once
+
+#include <optional>
+
+#include "core/base_hash.h"
+#include "core/instance_page.h"
+#include "sgx/types.h"
+
+namespace sinclave::core {
+
+class MeasurementPredictor {
+ public:
+  /// Expected MRENCLAVE of the singleton enclave carrying `page`.
+  static sgx::Measurement predict(const BaseHash& base,
+                                  const InstancePage& page);
+
+  /// Expected MRENCLAVE of the common enclave (zeroed instance page) —
+  /// lets the verifier cross-check a received common SigStruct against a
+  /// received base hash without trusting either in isolation.
+  static sgx::Measurement predict_common(const BaseHash& base);
+
+ private:
+  static sgx::Measurement finish(const BaseHash& base, ByteView page_content);
+};
+
+}  // namespace sinclave::core

@@ -1,0 +1,113 @@
+#include "core/signer.h"
+
+#include "common/error.h"
+#include "sgx/measurement.h"
+
+namespace sinclave::core {
+
+namespace {
+
+/// Replays the full construction stream of `image` into `log`, stopping
+/// before the instance page. `after_op` runs after every measurement
+/// operation (the interruptible path uses it to export the hash state —
+/// the suspend/resume cost the paper attributes the signing overhead to).
+template <typename Log, typename AfterOp>
+void measure_until_instance_page(Log& log, const EnclaveImage& image,
+                                 AfterOp&& after_op) {
+  log.ecreate(image.ssa_frame_size, image.total_size());
+  after_op();
+
+  for (std::uint64_t p = 0; p < image.code_pages(); ++p) {
+    const Bytes page = image.code_page(p);
+    log.eadd(p * sgx::kPageSize, sgx::SecInfo::reg_rx());
+    after_op();
+    for (std::size_t c = 0; c < sgx::kChunksPerPage; ++c) {
+      log.eextend(p * sgx::kPageSize + c * sgx::kExtendChunkSize,
+                  ByteView{page.data() + c * sgx::kExtendChunkSize,
+                           sgx::kExtendChunkSize});
+      after_op();
+    }
+  }
+
+  const Bytes zero_page(sgx::kPageSize, 0);
+  const std::uint64_t heap_base = image.code_bytes_padded();
+  for (std::uint64_t p = 0; p < image.heap_pages(); ++p) {
+    const std::uint64_t off = heap_base + p * sgx::kPageSize;
+    log.eadd(off, sgx::SecInfo::reg_rw());
+    after_op();
+    for (std::size_t c = 0; c < sgx::kChunksPerPage; ++c) {
+      log.eextend(off + c * sgx::kExtendChunkSize,
+                  ByteView{zero_page.data() + c * sgx::kExtendChunkSize,
+                           sgx::kExtendChunkSize});
+      after_op();
+    }
+  }
+}
+
+/// Appends the (zeroed) instance page to finish a *common* measurement.
+template <typename Log>
+void measure_zero_instance_page(Log& log, const EnclaveImage& image) {
+  const Bytes zero_page(sgx::kPageSize, 0);
+  log.add_measured_page(image.instance_page_offset(), sgx::SecInfo::reg_rw(),
+                        zero_page);
+}
+
+}  // namespace
+
+Signer::Signer(const crypto::RsaKeyPair* key) : key_(key) {
+  if (key_ == nullptr) throw Error("signer: key required");
+}
+
+sgx::Measurement Signer::measure_fast(const EnclaveImage& image) const {
+  sgx::FastMeasurementLog log;
+  measure_until_instance_page(log, image, [] {});
+  measure_zero_instance_page(log, image);
+  return log.finalize();
+}
+
+Signer::InterruptibleMeasurement Signer::measure_interruptible(
+    const EnclaveImage& image) const {
+  sgx::MeasurementLog log;
+  crypto::Sha256State scratch{};
+  // Export after every operation: the interruptible implementation's
+  // defining cost (and capability).
+  measure_until_instance_page(log, image,
+                              [&] { scratch = log.export_state(); });
+
+  InterruptibleMeasurement out;
+  out.base_hash.state = log.export_state();
+  out.base_hash.enclave_size = image.total_size();
+  out.base_hash.instance_page_offset = image.instance_page_offset();
+  out.base_hash.ssa_frame_size = image.ssa_frame_size;
+
+  measure_zero_instance_page(log, image);
+  out.mr_enclave = log.finalize();
+  return out;
+}
+
+sgx::SigStruct Signer::make_sigstruct(const EnclaveImage& image,
+                                      const sgx::Measurement& mr) const {
+  sgx::SigStruct sig;
+  sig.enclave_hash = mr;
+  sig.attributes = image.attributes;
+  // Enforce every attribute bit except INIT (set by hardware).
+  sig.attribute_mask =
+      sgx::Attributes{~std::uint64_t{sgx::Attributes::kInit}, ~std::uint64_t{0}};
+  sig.isv_prod_id = image.isv_prod_id;
+  sig.isv_svn = image.isv_svn;
+  sig.date = 20231105;  // the paper's arXiv date; informational only
+  sig.debug_allowed = image.attributes.debug();
+  sig.sign(*key_);
+  return sig;
+}
+
+SignedImage Signer::sign_baseline(const EnclaveImage& image) const {
+  return SignedImage{make_sigstruct(image, measure_fast(image))};
+}
+
+SinclaveSignedImage Signer::sign_sinclave(const EnclaveImage& image) const {
+  const InterruptibleMeasurement m = measure_interruptible(image);
+  return SinclaveSignedImage{make_sigstruct(image, m.mr_enclave), m.base_hash};
+}
+
+}  // namespace sinclave::core

@@ -1,0 +1,64 @@
+// The enclave signer tool (the SCONE signing step, §5.2 "Enclave Program
+// Compilation").
+//
+// Two signing paths exist and both are benchmarked in Fig. 7a:
+//   * sign_baseline  — measures the image with the optimized SHA-256 and
+//     produces only the common SigStruct (today's SCONE behaviour),
+//   * sign_sinclave  — measures with the *interruptible* SHA-256, exports
+//     the hash state after every construction operation (that per-operation
+//     suspend/resume is the paper's explanation for the 4x signing
+//     overhead), and additionally emits the BaseHash captured just before
+//     the instance page.
+//
+// Both paths measure the same operation stream, so they produce identical
+// common MRENCLAVE values — asserted by tests.
+#pragma once
+
+#include "core/base_hash.h"
+#include "core/image.h"
+#include "crypto/rsa.h"
+#include "sgx/sigstruct.h"
+
+namespace sinclave::core {
+
+/// Result of the baseline signing path.
+struct SignedImage {
+  sgx::SigStruct sigstruct;  // pins the common (zero instance page) MRENCLAVE
+};
+
+/// Result of the SinClave signing path.
+struct SinclaveSignedImage {
+  sgx::SigStruct sigstruct;  // the *common* SigStruct (same as baseline's)
+  BaseHash base_hash;        // suspended state for verifier-side finalization
+};
+
+class Signer {
+ public:
+  /// The signer key is borrowed; in the SinClave deployment model it is
+  /// subsequently uploaded to the trusted verifier (CAS), which needs it
+  /// for on-demand SigStruct creation.
+  explicit Signer(const crypto::RsaKeyPair* key);
+
+  SignedImage sign_baseline(const EnclaveImage& image) const;
+  SinclaveSignedImage sign_sinclave(const EnclaveImage& image) const;
+
+  /// Measurement of the common enclave using the optimized hasher
+  /// (baseline path), without signing.
+  sgx::Measurement measure_fast(const EnclaveImage& image) const;
+
+  /// Measurement + base hash using the interruptible hasher (SinClave
+  /// path), without signing.
+  struct InterruptibleMeasurement {
+    sgx::Measurement mr_enclave;
+    BaseHash base_hash;
+  };
+  InterruptibleMeasurement measure_interruptible(const EnclaveImage& image) const;
+
+ private:
+  sgx::SigStruct make_sigstruct(const EnclaveImage& image,
+                                const sgx::Measurement& mr) const;
+
+  const crypto::RsaKeyPair* key_;
+};
+
+}  // namespace sinclave::core

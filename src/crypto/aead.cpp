@@ -1,0 +1,64 @@
+#include "crypto/aead.h"
+
+#include "common/error.h"
+#include "common/serial.h"
+#include "crypto/aes.h"
+#include "crypto/hkdf.h"
+#include "crypto/hmac.h"
+
+namespace sinclave::crypto {
+
+Aead::Aead(ByteView key256) {
+  if (key256.size() != 32) throw Error("aead: key must be 32 bytes");
+  enc_key_ = hkdf(ByteView{}, key256, to_bytes("sinclave-aead-enc"), 32);
+  mac_key_ = hkdf(ByteView{}, key256, to_bytes("sinclave-aead-mac"), 32);
+}
+
+namespace {
+Hash256 compute_tag(ByteView mac_key, ByteView nonce, ByteView ad,
+                    ByteView ciphertext) {
+  HmacSha256 mac(mac_key);
+  mac.update(nonce);
+  ByteWriter lens;
+  lens.u64(ad.size());
+  lens.u64(ciphertext.size());
+  mac.update(lens.data());
+  mac.update(ad);
+  mac.update(ciphertext);
+  return mac.finalize();
+}
+}  // namespace
+
+Bytes Aead::seal(ByteView nonce, ByteView plaintext,
+                 ByteView associated_data) const {
+  if (nonce.size() != kAeadNonceSize) throw Error("aead: bad nonce size");
+  Bytes out(plaintext.size() + kAeadTagSize);
+  const Aes cipher(enc_key_);
+  aes_ctr_xor(cipher, nonce, 0, plaintext, out.data());
+  const Hash256 tag = compute_tag(
+      mac_key_, nonce, associated_data,
+      ByteView{out.data(), plaintext.size()});
+  std::copy(tag.begin(), tag.begin() + kAeadTagSize,
+            out.begin() + static_cast<long>(plaintext.size()));
+  return out;
+}
+
+std::optional<Bytes> Aead::open(ByteView nonce, ByteView sealed,
+                                ByteView associated_data) const {
+  if (nonce.size() != kAeadNonceSize) return std::nullopt;
+  if (sealed.size() < kAeadTagSize) return std::nullopt;
+  const std::size_t ct_len = sealed.size() - kAeadTagSize;
+  const ByteView ciphertext = sealed.subspan(0, ct_len);
+  const ByteView tag = sealed.subspan(ct_len);
+
+  const Hash256 expect = compute_tag(mac_key_, nonce, associated_data, ciphertext);
+  if (!ct_equal(tag, ByteView{expect.data.data(), kAeadTagSize}))
+    return std::nullopt;
+
+  Bytes plaintext(ct_len);
+  const Aes cipher(enc_key_);
+  aes_ctr_xor(cipher, nonce, 0, ciphertext, plaintext.data());
+  return plaintext;
+}
+
+}  // namespace sinclave::crypto

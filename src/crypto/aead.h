@@ -1,0 +1,38 @@
+// Authenticated encryption: AES-256-CTR + HMAC-SHA256 (encrypt-then-MAC).
+//
+// Stand-in for AES-GCM in the encrypted filesystem and the secure channel.
+// The MAC covers nonce || associated-data-length || associated-data ||
+// ciphertext, so truncation and AD swaps are detected.
+#pragma once
+
+#include <optional>
+
+#include "common/bytes.h"
+
+namespace sinclave::crypto {
+
+/// Nonce size used throughout (96-bit, CTR friendly).
+inline constexpr std::size_t kAeadNonceSize = 12;
+/// MAC tag size appended to every ciphertext (128-bit).
+inline constexpr std::size_t kAeadTagSize = 16;
+
+/// AEAD with a 256-bit key, split internally into independent encryption and
+/// MAC subkeys via HKDF.
+class Aead {
+ public:
+  explicit Aead(ByteView key256);
+
+  /// Returns ciphertext || tag. Nonces must never repeat under one key;
+  /// callers use counters or DRBG nonces.
+  Bytes seal(ByteView nonce, ByteView plaintext, ByteView associated_data) const;
+
+  /// Verifies and decrypts; nullopt on any authentication failure.
+  std::optional<Bytes> open(ByteView nonce, ByteView sealed,
+                            ByteView associated_data) const;
+
+ private:
+  Bytes enc_key_;
+  Bytes mac_key_;
+};
+
+}  // namespace sinclave::crypto

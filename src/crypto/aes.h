@@ -1,0 +1,38 @@
+// AES-128/AES-256 block cipher (FIPS 197) and CTR mode.
+//
+// Used by the encrypted filesystem (src/fs) and the secure channel AEAD.
+// The implementation is a compact, portable S-box version; throughput is
+// not on any measured path of the paper's figures.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace sinclave::crypto {
+
+/// AES block cipher with a 128- or 256-bit key (encryption direction only;
+/// all modes used in this repo are CTR-based and never need block decryption).
+class Aes {
+ public:
+  /// key.size() must be 16 or 32.
+  explicit Aes(ByteView key);
+  ~Aes();
+
+  Aes(const Aes&) = delete;
+  Aes& operator=(const Aes&) = delete;
+
+  /// Encrypt exactly one 16-byte block.
+  void encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const;
+
+ private:
+  std::uint32_t round_keys_[60];
+  int rounds_;
+};
+
+/// AES-CTR keystream XOR: encryption and decryption are the same operation.
+/// `nonce` is 12 bytes; the 32-bit block counter starts at `counter0`.
+void aes_ctr_xor(const Aes& cipher, ByteView nonce, std::uint32_t counter0,
+                 ByteView in, std::uint8_t* out);
+
+}  // namespace sinclave::crypto

@@ -1,0 +1,358 @@
+#include "crypto/bignum.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace sinclave::crypto {
+
+using u128 = unsigned __int128;
+
+void BigInt::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigInt::BigInt(std::uint64_t v) {
+  if (v != 0) limbs_.push_back(v);
+}
+
+BigInt BigInt::from_bytes_be(ByteView bytes) {
+  BigInt out;
+  out.limbs_.assign((bytes.size() + 7) / 8, 0);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    // Byte i (from the most significant end) lands in limb/shift:
+    const std::size_t bit_pos = (bytes.size() - 1 - i) * 8;
+    out.limbs_[bit_pos / 64] |= std::uint64_t{bytes[i]} << (bit_pos % 64);
+  }
+  out.trim();
+  return out;
+}
+
+Bytes BigInt::to_bytes_be(std::size_t min_len) const {
+  const std::size_t n_bytes = (bit_length() + 7) / 8;
+  const std::size_t len = std::max(n_bytes, min_len);
+  Bytes out(len, 0);
+  for (std::size_t i = 0; i < n_bytes; ++i) {
+    const std::size_t bit_pos = i * 8;
+    out[len - 1 - i] =
+        static_cast<std::uint8_t>(limbs_[bit_pos / 64] >> (bit_pos % 64));
+  }
+  return out;
+}
+
+BigInt BigInt::from_hex(std::string_view hex) {
+  std::string padded(hex);
+  if (padded.size() % 2 != 0) padded.insert(padded.begin(), '0');
+  return from_bytes_be(sinclave::from_hex(padded));
+}
+
+std::string BigInt::to_hex() const {
+  if (is_zero()) return "0";
+  std::string s = sinclave::to_hex(to_bytes_be());
+  const std::size_t first = s.find_first_not_of('0');
+  return s.substr(first == std::string::npos ? s.size() - 1 : first);
+}
+
+std::size_t BigInt::bit_length() const {
+  if (limbs_.empty()) return 0;
+  std::size_t bits = (limbs_.size() - 1) * 64;
+  std::uint64_t top = limbs_.back();
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigInt::bit(std::size_t i) const {
+  const std::size_t limb = i / 64;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 64)) & 1;
+}
+
+int BigInt::compare(const BigInt& a, const BigInt& b) {
+  if (a.limbs_.size() != b.limbs_.size())
+    return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+  for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+BigInt BigInt::operator+(const BigInt& rhs) const {
+  BigInt out;
+  const std::size_t n = std::max(limbs_.size(), rhs.limbs_.size());
+  out.limbs_.resize(n + 1, 0);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t a = i < limbs_.size() ? limbs_[i] : 0;
+    const std::uint64_t b = i < rhs.limbs_.size() ? rhs.limbs_[i] : 0;
+    const u128 sum = u128{a} + b + carry;
+    out.limbs_[i] = static_cast<std::uint64_t>(sum);
+    carry = static_cast<std::uint64_t>(sum >> 64);
+  }
+  out.limbs_[n] = carry;
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::operator-(const BigInt& rhs) const {
+  if (*this < rhs) throw Error("bignum: subtraction underflow");
+  BigInt out;
+  out.limbs_.resize(limbs_.size(), 0);
+  std::uint64_t borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const std::uint64_t b = i < rhs.limbs_.size() ? rhs.limbs_[i] : 0;
+    const u128 sub = u128{limbs_[i]} - b - borrow;
+    out.limbs_[i] = static_cast<std::uint64_t>(sub);
+    borrow = (sub >> 64) ? 1 : 0;  // wrapped => borrow
+  }
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::operator*(const BigInt& rhs) const {
+  if (is_zero() || rhs.is_zero()) return BigInt{};
+  BigInt out;
+  out.limbs_.assign(limbs_.size() + rhs.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < rhs.limbs_.size(); ++j) {
+      const u128 cur =
+          u128{limbs_[i]} * rhs.limbs_[j] + out.limbs_[i + j] + carry;
+      out.limbs_[i + j] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    out.limbs_[i + rhs.limbs_.size()] += carry;
+  }
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::operator<<(std::size_t bits) const {
+  if (is_zero()) return {};
+  const std::size_t limb_shift = bits / 64;
+  const std::size_t bit_shift = bits % 64;
+  BigInt out;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    out.limbs_[i + limb_shift] |= limbs_[i] << bit_shift;
+    if (bit_shift != 0)
+      out.limbs_[i + limb_shift + 1] |= limbs_[i] >> (64 - bit_shift);
+  }
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::operator>>(std::size_t bits) const {
+  const std::size_t limb_shift = bits / 64;
+  if (limb_shift >= limbs_.size()) return {};
+  const std::size_t bit_shift = bits % 64;
+  BigInt out;
+  out.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
+    out.limbs_[i] = limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size())
+      out.limbs_[i] |= limbs_[i + limb_shift + 1] << (64 - bit_shift);
+  }
+  out.trim();
+  return out;
+}
+
+BigIntDivMod BigInt::div_mod(const BigInt& dividend, const BigInt& divisor) {
+  if (divisor.is_zero()) throw Error("bignum: division by zero");
+  if (dividend < divisor) return {BigInt{}, dividend};
+
+  // Limb-oriented schoolbook division with a 64-bit quotient estimate per
+  // step (Knuth D without full normalization subtleties: estimates are
+  // corrected by the at-most-two adjustment loop).
+  const std::size_t shift = dividend.bit_length() - divisor.bit_length();
+  BigInt rem = dividend;
+  BigInt quot;
+  quot.limbs_.assign(shift / 64 + 1, 0);
+  for (std::size_t s = shift + 1; s-- > 0;) {
+    const BigInt shifted = divisor << s;
+    if (shifted <= rem) {
+      rem = rem - shifted;
+      quot.limbs_[s / 64] |= std::uint64_t{1} << (s % 64);
+    }
+  }
+  quot.trim();
+  return {quot, rem};
+}
+
+std::uint64_t BigInt::mod_u64(std::uint64_t d) const {
+  if (d == 0) throw Error("bignum: mod by zero");
+  u128 rem = 0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    rem = ((rem << 64) | limbs_[i]) % d;
+  }
+  return static_cast<std::uint64_t>(rem);
+}
+
+BigInt BigInt::mod_exp(const BigInt& base, const BigInt& exp, const BigInt& m) {
+  if (m.is_zero() || m == BigInt{1}) throw Error("bignum: modulus must be > 1");
+  if (m.is_odd()) {
+    const Montgomery ctx(m);
+    return ctx.exp(base, exp);
+  }
+  // Even modulus fallback (unused by RSA/DH but kept for completeness).
+  BigInt result{1};
+  BigInt b = base.mod(m);
+  for (std::size_t i = exp.bit_length(); i-- > 0;) {
+    result = (result * result).mod(m);
+    if (exp.bit(i)) result = (result * b).mod(m);
+  }
+  return result;
+}
+
+BigInt BigInt::mod_inverse(const BigInt& a, const BigInt& m) {
+  // Extended Euclid with an explicitly signed Bezout coefficient.
+  struct Signed {
+    BigInt v;
+    bool neg = false;
+  };
+  auto sub = [](const Signed& x, const Signed& y) -> Signed {
+    // x - y
+    if (x.neg == y.neg) {
+      if (x.v >= y.v) return {x.v - y.v, x.neg};
+      return {y.v - x.v, !x.neg};
+    }
+    return {x.v + y.v, x.neg};
+  };
+
+  BigInt r0 = m;
+  BigInt r1 = a.mod(m);
+  Signed t0{BigInt{}, false};
+  Signed t1{BigInt{1}, false};
+  while (!r1.is_zero()) {
+    const BigIntDivMod dm = div_mod(r0, r1);
+    r0 = r1;
+    r1 = dm.remainder;
+    const Signed t2 = sub(t0, Signed{dm.quotient * t1.v, t1.neg});
+    t0 = t1;
+    t1 = t2;
+  }
+  if (!(r0 == BigInt{1})) throw Error("bignum: not invertible");
+  if (t0.neg) return m - t0.v.mod(m);
+  return t0.v.mod(m);
+}
+
+BigInt BigInt::gcd(BigInt a, BigInt b) {
+  while (!b.is_zero()) {
+    BigInt r = a.mod(b);
+    a = b;
+    b = r;
+  }
+  return a;
+}
+
+// ---------------------------------------------------------------------------
+// Montgomery context
+// ---------------------------------------------------------------------------
+
+Montgomery::Montgomery(const BigInt& modulus) : n_(modulus) {
+  if (!modulus.is_odd()) throw Error("montgomery: modulus must be odd");
+  k_ = n_.limbs_.size();
+
+  // n0_inv = -n^{-1} mod 2^64 via Newton iteration.
+  const std::uint64_t n0 = n_.limbs_[0];
+  std::uint64_t x = 1;
+  for (int i = 0; i < 6; ++i) x *= 2 - n0 * x;
+  n0_inv_ = ~x + 1;  // negate mod 2^64
+
+  // R^2 mod n with R = 2^(64k): square-by-shifting.
+  BigInt r{1};
+  r = (r << (64 * k_)).mod(n_);
+  rr_ = (r * r).mod(n_);
+}
+
+std::vector<std::uint64_t> Montgomery::mul(
+    const std::vector<std::uint64_t>& a,
+    const std::vector<std::uint64_t>& b) const {
+  // CIOS Montgomery multiplication. a and b are k_-limb (zero padded).
+  std::vector<std::uint64_t> t(k_ + 2, 0);
+  const auto& n = n_.limbs_;
+  for (std::size_t i = 0; i < k_; ++i) {
+    // t += a[i] * b
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < k_; ++j) {
+      const u128 cur = u128{a[i]} * b[j] + t[j] + carry;
+      t[j] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    u128 cur = u128{t[k_]} + carry;
+    t[k_] = static_cast<std::uint64_t>(cur);
+    t[k_ + 1] += static_cast<std::uint64_t>(cur >> 64);
+
+    // m = t[0] * n0_inv mod 2^64; t += m * n; t >>= 64
+    const std::uint64_t m = t[0] * n0_inv_;
+    carry = 0;
+    for (std::size_t j = 0; j < k_; ++j) {
+      const u128 c2 = u128{m} * n[j] + t[j] + carry;
+      if (j == 0) {
+        // t[0] becomes zero by construction; only the carry matters.
+        carry = static_cast<std::uint64_t>(c2 >> 64);
+      } else {
+        t[j - 1] = static_cast<std::uint64_t>(c2);
+        carry = static_cast<std::uint64_t>(c2 >> 64);
+      }
+    }
+    cur = u128{t[k_]} + carry;
+    t[k_ - 1] = static_cast<std::uint64_t>(cur);
+    t[k_] = t[k_ + 1] + static_cast<std::uint64_t>(cur >> 64);
+    t[k_ + 1] = 0;
+  }
+
+  // Conditional subtraction: result may be >= n.
+  std::vector<std::uint64_t> result(t.begin(), t.begin() + static_cast<long>(k_));
+  bool ge = t[k_] != 0;
+  if (!ge) {
+    ge = true;
+    for (std::size_t i = k_; i-- > 0;) {
+      if (result[i] != n[i]) {
+        ge = result[i] > n[i];
+        break;
+      }
+    }
+  }
+  if (ge) {
+    std::uint64_t borrow = 0;
+    for (std::size_t i = 0; i < k_; ++i) {
+      const u128 sub = u128{result[i]} - n[i] - borrow;
+      result[i] = static_cast<std::uint64_t>(sub);
+      borrow = (sub >> 64) ? 1 : 0;
+    }
+  }
+  return result;
+}
+
+std::vector<std::uint64_t> Montgomery::to_mont(const BigInt& v) const {
+  BigInt reduced = v.mod(n_);
+  std::vector<std::uint64_t> padded = reduced.limbs_;
+  padded.resize(k_, 0);
+  std::vector<std::uint64_t> rr = rr_.limbs_;
+  rr.resize(k_, 0);
+  return mul(padded, rr);
+}
+
+BigInt Montgomery::from_mont(std::vector<std::uint64_t> v) const {
+  std::vector<std::uint64_t> one(k_, 0);
+  one[0] = 1;
+  BigInt out;
+  out.limbs_ = mul(v, one);
+  out.trim();
+  return out;
+}
+
+BigInt Montgomery::exp(const BigInt& base, const BigInt& exponent) const {
+  std::vector<std::uint64_t> acc = to_mont(BigInt{1});
+  const std::vector<std::uint64_t> b = to_mont(base);
+  for (std::size_t i = exponent.bit_length(); i-- > 0;) {
+    acc = mul(acc, acc);
+    if (exponent.bit(i)) acc = mul(acc, b);
+  }
+  return from_mont(std::move(acc));
+}
+
+}  // namespace sinclave::crypto

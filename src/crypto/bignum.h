@@ -1,0 +1,136 @@
+// Arbitrary-precision unsigned integers and modular arithmetic.
+//
+// Backs RSA-3072 (SigStruct signing/verification, quote signatures) and
+// finite-field Diffie-Hellman (secure channel). Only non-negative values
+// are representable; all protocol math is modular. Limbs are 64-bit,
+// little-endian, normalized (no high zero limbs).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace sinclave::crypto {
+
+class BigInt;
+
+/// Result of long division (declared outside BigInt because a nested struct
+/// could not hold the still-incomplete class type).
+struct BigIntDivMod;
+
+class BigInt {
+ public:
+  BigInt() = default;
+  BigInt(std::uint64_t v);  // NOLINT(google-explicit-constructor): numeric literal convenience
+
+  /// Big-endian byte import/export (the wire format of RSA/DH values).
+  static BigInt from_bytes_be(ByteView bytes);
+  /// Export big-endian, left-padded with zeros to at least `min_len` bytes.
+  Bytes to_bytes_be(std::size_t min_len = 0) const;
+
+  static BigInt from_hex(std::string_view hex);
+  std::string to_hex() const;
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_odd() const { return !limbs_.empty() && (limbs_[0] & 1); }
+  /// Number of significant bits; 0 for zero.
+  std::size_t bit_length() const;
+  /// Value of bit i (0 = least significant).
+  bool bit(std::size_t i) const;
+  std::size_t limb_count() const { return limbs_.size(); }
+
+  friend bool operator==(const BigInt& a, const BigInt& b) {
+    return a.limbs_ == b.limbs_;
+  }
+  static int compare(const BigInt& a, const BigInt& b);
+  friend bool operator<(const BigInt& a, const BigInt& b) {
+    return compare(a, b) < 0;
+  }
+  friend bool operator<=(const BigInt& a, const BigInt& b) {
+    return compare(a, b) <= 0;
+  }
+  friend bool operator>(const BigInt& a, const BigInt& b) {
+    return compare(a, b) > 0;
+  }
+  friend bool operator>=(const BigInt& a, const BigInt& b) {
+    return compare(a, b) >= 0;
+  }
+
+  BigInt operator+(const BigInt& rhs) const;
+  /// Requires *this >= rhs (values are unsigned). Throws Error otherwise.
+  BigInt operator-(const BigInt& rhs) const;
+  BigInt operator*(const BigInt& rhs) const;
+  BigInt operator<<(std::size_t bits) const;
+  BigInt operator>>(std::size_t bits) const;
+
+  /// Long division; divisor must be non-zero.
+  static BigIntDivMod div_mod(const BigInt& dividend, const BigInt& divisor);
+  BigInt mod(const BigInt& m) const;
+  /// Fast remainder by a single 64-bit divisor (trial division in keygen).
+  std::uint64_t mod_u64(std::uint64_t d) const;
+
+  /// (base ^ exp) mod m. Uses Montgomery multiplication when m is odd,
+  /// plain square-and-multiply otherwise. m must be > 1.
+  static BigInt mod_exp(const BigInt& base, const BigInt& exp, const BigInt& m);
+
+  /// Multiplicative inverse of a modulo m (m > 1); throws Error when
+  /// gcd(a, m) != 1.
+  static BigInt mod_inverse(const BigInt& a, const BigInt& m);
+
+  static BigInt gcd(BigInt a, BigInt b);
+
+  /// Uniform random value in [0, bound) drawn from caller-supplied bytes
+  /// generator (see Drbg); bound must be > 0.
+  template <typename RandomBytesFn>
+  static BigInt random_below(const BigInt& bound, RandomBytesFn&& fill) {
+    const std::size_t n_bytes = (bound.bit_length() + 7) / 8;
+    const std::size_t top_bits = bound.bit_length() % 8;
+    for (;;) {
+      Bytes buf(n_bytes);
+      fill(buf.data(), buf.size());
+      if (top_bits != 0)
+        buf[0] &= static_cast<std::uint8_t>((1u << top_bits) - 1);
+      BigInt candidate = from_bytes_be(buf);
+      if (candidate < bound) return candidate;
+    }
+  }
+
+ private:
+  void trim();
+  friend class Montgomery;
+
+  std::vector<std::uint64_t> limbs_;
+};
+
+struct BigIntDivMod {
+  BigInt quotient;
+  BigInt remainder;
+};
+
+inline BigInt BigInt::mod(const BigInt& m) const {
+  return div_mod(*this, m).remainder;
+}
+
+/// Montgomery multiplication context for a fixed odd modulus. Exposed so
+/// RSA can reuse one context across CRT exponentiations.
+class Montgomery {
+ public:
+  explicit Montgomery(const BigInt& modulus);
+
+  BigInt exp(const BigInt& base, const BigInt& exponent) const;
+
+ private:
+  std::vector<std::uint64_t> mul(const std::vector<std::uint64_t>& a,
+                                 const std::vector<std::uint64_t>& b) const;
+  std::vector<std::uint64_t> to_mont(const BigInt& v) const;
+  BigInt from_mont(std::vector<std::uint64_t> v) const;
+
+  BigInt n_;
+  BigInt rr_;  // R^2 mod n
+  std::uint64_t n0_inv_;
+  std::size_t k_;  // limb count of n
+};
+
+}  // namespace sinclave::crypto

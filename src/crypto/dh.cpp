@@ -1,0 +1,54 @@
+#include "crypto/dh.h"
+
+#include "common/error.h"
+
+namespace sinclave::crypto {
+
+namespace {
+// RFC 3526 §3, 2048-bit MODP group prime.
+constexpr const char* kModp2048Hex =
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD1"
+    "29024E088A67CC74020BBEA63B139B22514A08798E3404DD"
+    "EF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245"
+    "E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3D"
+    "C2007CB8A163BF0598DA48361C55D39A69163FA8FD24CF5F"
+    "83655D23DCA3AD961C62F356208552BB9ED529077096966D"
+    "670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9"
+    "DE2BCBF6955817183995497CEA956AE515D2261898FA0510"
+    "15728E5A8AACAA68FFFFFFFFFFFFFFFF";
+constexpr std::size_t kGroupBytes = 256;
+constexpr std::size_t kExponentBytes = 48;  // 384-bit ephemeral exponent
+}  // namespace
+
+const DhGroup& DhGroup::modp2048() {
+  static const DhGroup group{BigInt::from_hex(kModp2048Hex), BigInt{2}};
+  return group;
+}
+
+DhKeyPair DhKeyPair::generate(Drbg& rng) {
+  const DhGroup& grp = DhGroup::modp2048();
+  DhKeyPair kp;
+  Bytes exp = rng.generate(kExponentBytes);
+  exp[0] |= 0x80;  // full-width exponent
+  kp.x_ = BigInt::from_bytes_be(exp);
+  kp.gx_ = BigInt::mod_exp(grp.g, kp.x_, grp.p);
+  return kp;
+}
+
+Bytes DhKeyPair::public_value() const {
+  return gx_.to_bytes_be(kGroupBytes);
+}
+
+Bytes DhKeyPair::shared_secret(ByteView peer_public) const {
+  const DhGroup& grp = DhGroup::modp2048();
+  const BigInt peer = BigInt::from_bytes_be(peer_public);
+  const BigInt p_minus_1 = grp.p - BigInt{1};
+  if (peer <= BigInt{1} || peer >= p_minus_1)
+    throw Error("dh: degenerate peer public value");
+  const BigInt secret = BigInt::mod_exp(peer, x_, grp.p);
+  return secret.to_bytes_be(kGroupBytes);
+}
+
+}  // namespace sinclave::crypto

@@ -1,0 +1,41 @@
+// Finite-field Diffie-Hellman over the RFC 3526 2048-bit MODP group.
+//
+// Provides the key agreement for the attested secure channel (net/
+// secure_channel.h) — the stand-in for the TLS/wireguard channels the
+// paper's systems (SCONE CAS, SGX-LKL) bind to attestation reports.
+#pragma once
+
+#include "common/bytes.h"
+#include "crypto/bignum.h"
+#include "crypto/drbg.h"
+
+namespace sinclave::crypto {
+
+/// The shared group parameters (RFC 3526 group 14: 2048-bit prime, g = 2).
+struct DhGroup {
+  BigInt p;
+  BigInt g;
+
+  static const DhGroup& modp2048();
+};
+
+/// One party's ephemeral key pair.
+class DhKeyPair {
+ public:
+  /// Generate an ephemeral key with a 384-bit exponent (>= 192-bit security
+  /// against discrete log in this group).
+  static DhKeyPair generate(Drbg& rng);
+
+  /// Public value g^x mod p, big-endian, fixed 256-byte width.
+  Bytes public_value() const;
+
+  /// Shared secret (g^y)^x mod p from the peer's public value. Throws Error
+  /// if the peer value is out of range or degenerate (<= 1 or >= p-1).
+  Bytes shared_secret(ByteView peer_public) const;
+
+ private:
+  BigInt x_;
+  BigInt gx_;
+};
+
+}  // namespace sinclave::crypto

@@ -1,0 +1,81 @@
+#include "crypto/drbg.h"
+
+#include <cstring>
+
+#include "common/error.h"
+#include "common/serial.h"
+#include "crypto/hmac.h"
+
+namespace sinclave::crypto {
+
+Drbg::Drbg(ByteView entropy, std::string_view personalization) {
+  std::memset(key_.data.data(), 0x00, 32);
+  std::memset(v_.data.data(), 0x01, 32);
+  const Bytes seed_material =
+      concat({entropy, ByteView{reinterpret_cast<const std::uint8_t*>(
+                                    personalization.data()),
+                                personalization.size()}});
+  update(seed_material);
+}
+
+Drbg Drbg::from_seed(std::uint64_t seed, std::string_view pers) {
+  ByteWriter w;
+  w.u64(seed);
+  return Drbg(w.data(), pers);
+}
+
+void Drbg::update(ByteView provided) {
+  // K = HMAC(K, V || 0x00 || provided); V = HMAC(K, V)
+  {
+    HmacSha256 h(key_.view());
+    h.update(v_.view());
+    const std::uint8_t zero = 0x00;
+    h.update(ByteView{&zero, 1});
+    h.update(provided);
+    key_ = h.finalize();
+  }
+  v_ = hmac_sha256(key_.view(), v_.view());
+  if (!provided.empty()) {
+    HmacSha256 h(key_.view());
+    h.update(v_.view());
+    const std::uint8_t one = 0x01;
+    h.update(ByteView{&one, 1});
+    h.update(provided);
+    key_ = h.finalize();
+    v_ = hmac_sha256(key_.view(), v_.view());
+  }
+}
+
+void Drbg::generate(std::uint8_t* out, std::size_t len) {
+  std::size_t produced = 0;
+  while (produced < len) {
+    v_ = hmac_sha256(key_.view(), v_.view());
+    const std::size_t take = std::min<std::size_t>(32, len - produced);
+    std::memcpy(out + produced, v_.data.data(), take);
+    produced += take;
+  }
+  update({});
+}
+
+Bytes Drbg::generate(std::size_t len) {
+  Bytes out(len);
+  generate(out.data(), len);
+  return out;
+}
+
+std::uint64_t Drbg::uniform(std::uint64_t bound) {
+  if (bound == 0) throw Error("drbg: uniform bound must be positive");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = UINT64_MAX - (UINT64_MAX % bound);
+  for (;;) {
+    std::uint64_t v = 0;
+    generate(reinterpret_cast<std::uint8_t*>(&v), sizeof(v));
+    if (v < limit) return v % bound;
+  }
+}
+
+void Drbg::reseed(ByteView entropy) {
+  update(entropy);
+}
+
+}  // namespace sinclave::crypto

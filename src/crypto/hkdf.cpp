@@ -1,0 +1,37 @@
+#include "crypto/hkdf.h"
+
+#include "common/error.h"
+#include "crypto/hmac.h"
+
+namespace sinclave::crypto {
+
+Hash256 hkdf_extract(ByteView salt, ByteView ikm) {
+  return hmac_sha256(salt, ikm);
+}
+
+Bytes hkdf_expand(ByteView prk, ByteView info, std::size_t length) {
+  if (length > 255 * 32) throw Error("hkdf: output too long");
+  Bytes out;
+  out.reserve(length);
+  Bytes t;  // T(i-1)
+  std::uint8_t counter = 1;
+  while (out.size() < length) {
+    HmacSha256 h(prk);
+    h.update(t);
+    h.update(info);
+    h.update(ByteView{&counter, 1});
+    const Hash256 block = h.finalize();
+    t = block.to_vector();
+    const std::size_t take = std::min<std::size_t>(32, length - out.size());
+    out.insert(out.end(), t.begin(), t.begin() + static_cast<long>(take));
+    ++counter;
+  }
+  return out;
+}
+
+Bytes hkdf(ByteView salt, ByteView ikm, ByteView info, std::size_t length) {
+  const Hash256 prk = hkdf_extract(salt, ikm);
+  return hkdf_expand(prk.view(), info, length);
+}
+
+}  // namespace sinclave::crypto

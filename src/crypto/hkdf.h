@@ -1,0 +1,20 @@
+// HKDF-SHA256 (RFC 5869): extract-then-expand key derivation.
+//
+// Used to derive secure-channel traffic keys from the DH shared secret and
+// to derive the SGX simulator's key hierarchy from the fuse keys.
+#pragma once
+
+#include "common/bytes.h"
+
+namespace sinclave::crypto {
+
+/// HKDF-Extract: PRK = HMAC(salt, ikm).
+Hash256 hkdf_extract(ByteView salt, ByteView ikm);
+
+/// HKDF-Expand: derive `length` output bytes (length <= 255*32).
+Bytes hkdf_expand(ByteView prk, ByteView info, std::size_t length);
+
+/// Convenience: extract + expand in one call.
+Bytes hkdf(ByteView salt, ByteView ikm, ByteView info, std::size_t length);
+
+}  // namespace sinclave::crypto

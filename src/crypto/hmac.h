@@ -1,0 +1,30 @@
+// HMAC-SHA256 (RFC 2104).
+//
+// Used for: report MACs in the SGX simulator (as the stand-in for AES-CMAC,
+// see DESIGN.md), the encrypt-then-MAC AEAD, HKDF, and HMAC-DRBG.
+#pragma once
+
+#include "common/bytes.h"
+#include "crypto/sha256.h"
+
+namespace sinclave::crypto {
+
+/// Streaming HMAC-SHA256 for multi-part messages.
+class HmacSha256 {
+ public:
+  explicit HmacSha256(ByteView key);
+  void update(ByteView data);
+  Hash256 finalize();
+
+ private:
+  Sha256 inner_;
+  std::uint8_t opad_key_[64];
+};
+
+/// One-shot HMAC-SHA256 of `data` under `key`.
+Hash256 hmac_sha256(ByteView key, ByteView data);
+
+/// First 16 bytes of the HMAC — used where SGX uses a 128-bit CMAC.
+Mac128 hmac_sha256_128(ByteView key, ByteView data);
+
+}  // namespace sinclave::crypto

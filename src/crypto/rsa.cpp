@@ -1,0 +1,190 @@
+#include "crypto/rsa.h"
+
+#include "common/error.h"
+#include "common/serial.h"
+#include "crypto/sha256.h"
+
+namespace sinclave::crypto {
+
+namespace {
+
+// PKCS#1 v1.5 DigestInfo prefix for SHA-256 (RFC 8017 §9.2 note 1).
+constexpr std::uint8_t kSha256DigestInfo[] = {
+    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01,
+    0x65, 0x03, 0x04, 0x02, 0x01, 0x05, 0x00, 0x04, 0x20};
+
+/// EMSA-PKCS1-v1_5 encoding of SHA-256(message) into `em_len` bytes.
+Bytes pkcs1_encode(ByteView message, std::size_t em_len) {
+  const Hash256 digest = sha256(message);
+  const std::size_t t_len = sizeof(kSha256DigestInfo) + 32;
+  if (em_len < t_len + 11) throw Error("rsa: modulus too small for pkcs1");
+  Bytes em(em_len, 0xff);
+  em[0] = 0x00;
+  em[1] = 0x01;
+  em[em_len - t_len - 1] = 0x00;
+  std::copy(std::begin(kSha256DigestInfo), std::end(kSha256DigestInfo),
+            em.begin() + static_cast<long>(em_len - t_len));
+  std::copy(digest.begin(), digest.end(),
+            em.begin() + static_cast<long>(em_len - 32));
+  return em;
+}
+
+}  // namespace
+
+bool RsaPublicKey::verify_pkcs1_sha256(ByteView message,
+                                       ByteView signature) const {
+  const std::size_t em_len = (n.bit_length() + 7) / 8;
+  if (signature.size() != em_len) return false;
+  const BigInt s = BigInt::from_bytes_be(signature);
+  if (s >= n) return false;
+  const BigInt m = BigInt::mod_exp(s, BigInt{kRsaPublicExponent}, n);
+  const Bytes em = m.to_bytes_be(em_len);
+  const Bytes expected = pkcs1_encode(message, em_len);
+  return ct_equal(em, expected);
+}
+
+Bytes RsaPublicKey::serialize() const {
+  ByteWriter w;
+  w.bytes(n.to_bytes_be());
+  return std::move(w).take();
+}
+
+RsaPublicKey RsaPublicKey::deserialize(ByteView data) {
+  ByteReader r(data);
+  RsaPublicKey k;
+  k.n = BigInt::from_bytes_be(r.bytes());
+  r.expect_done();
+  return k;
+}
+
+namespace primes {
+
+namespace {
+// Primes below 2000 for trial division (precomputed once).
+const std::vector<std::uint64_t>& small_primes() {
+  static const std::vector<std::uint64_t> primes = [] {
+    std::vector<std::uint64_t> out;
+    std::vector<bool> sieve(2000, true);
+    for (std::uint64_t i = 2; i < 2000; ++i) {
+      if (!sieve[i]) continue;
+      out.push_back(i);
+      for (std::uint64_t j = i * i; j < 2000; j += i) sieve[j] = false;
+    }
+    return out;
+  }();
+  return primes;
+}
+}  // namespace
+
+bool miller_rabin(const BigInt& n, int rounds, Drbg& rng) {
+  const BigInt n_minus_1 = n - BigInt{1};
+  // n - 1 = d * 2^r with d odd
+  std::size_t r = 0;
+  BigInt d = n_minus_1;
+  while (!d.is_odd()) {
+    d = d >> 1;
+    ++r;
+  }
+
+  const Montgomery ctx(n);
+  const BigInt n_minus_3 = n - BigInt{3};
+  for (int round = 0; round < rounds; ++round) {
+    // base in [2, n-2]
+    const BigInt a =
+        BigInt::random_below(n_minus_3, [&](std::uint8_t* p, std::size_t len) {
+          rng.generate(p, len);
+        }) +
+        BigInt{2};
+    BigInt x = ctx.exp(a, d);
+    if (x == BigInt{1} || x == n_minus_1) continue;
+    bool witness = true;
+    for (std::size_t i = 0; i + 1 < r; ++i) {
+      x = (x * x).mod(n);
+      if (x == n_minus_1) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+bool is_probable_prime(const BigInt& n, Drbg& rng) {
+  if (n < BigInt{2}) return false;
+  for (std::uint64_t p : small_primes()) {
+    if (n == BigInt{p}) return true;
+    if (n.mod_u64(p) == 0) return false;
+  }
+  return miller_rabin(n, 8, rng);
+}
+
+BigInt generate_prime(std::size_t bits, Drbg& rng) {
+  if (bits < 16) throw Error("rsa: prime size too small");
+  const std::size_t n_bytes = (bits + 7) / 8;
+  for (;;) {
+    Bytes buf = rng.generate(n_bytes);
+    // Force exact bit length and set the second-highest bit so p*q has
+    // exactly 2*bits bits; force odd.
+    const std::size_t top = (bits - 1) % 8;
+    buf[0] &= static_cast<std::uint8_t>((1u << (top + 1)) - 1);
+    buf[0] |= static_cast<std::uint8_t>(1u << top);
+    if (top == 0) {
+      buf[1] |= 0x80;
+    } else {
+      buf[0] |= static_cast<std::uint8_t>(1u << (top - 1));
+    }
+    buf[n_bytes - 1] |= 1;
+    BigInt candidate = BigInt::from_bytes_be(buf);
+    if (is_probable_prime(candidate, rng)) return candidate;
+  }
+}
+
+}  // namespace primes
+
+RsaKeyPair RsaKeyPair::generate(Drbg& rng, std::size_t bits) {
+  if (bits < 512 || bits % 2 != 0)
+    throw Error("rsa: key size must be an even number of bits >= 512");
+  RsaKeyPair kp;
+  kp.modulus_bytes_ = bits / 8;
+  const BigInt e{kRsaPublicExponent};
+  for (;;) {
+    kp.p_ = primes::generate_prime(bits / 2, rng);
+    kp.q_ = primes::generate_prime(bits / 2, rng);
+    if (kp.p_ == kp.q_) continue;
+    if (kp.q_ > kp.p_) std::swap(kp.p_, kp.q_);  // keep p > q for CRT
+
+    const BigInt p1 = kp.p_ - BigInt{1};
+    const BigInt q1 = kp.q_ - BigInt{1};
+    const BigInt phi = p1 * q1;
+    if (!(BigInt::gcd(e, phi) == BigInt{1})) continue;
+
+    kp.pub_.n = kp.p_ * kp.q_;
+    kp.d_ = BigInt::mod_inverse(e, phi);
+    kp.dp_ = kp.d_.mod(p1);
+    kp.dq_ = kp.d_.mod(q1);
+    kp.qinv_ = BigInt::mod_inverse(kp.q_, kp.p_);
+    return kp;
+  }
+}
+
+BigInt RsaKeyPair::private_op(const BigInt& input) const {
+  if (input >= pub_.n) throw Error("rsa: input out of range");
+  // CRT: m1 = c^dp mod p, m2 = c^dq mod q, h = qinv*(m1-m2) mod p.
+  const Montgomery mp(p_);
+  const Montgomery mq(q_);
+  const BigInt m1 = mp.exp(input.mod(p_), dp_);
+  const BigInt m2 = mq.exp(input.mod(q_), dq_);
+  const BigInt diff = m1 >= m2 ? m1 - m2 : (m1 + p_) - m2.mod(p_);
+  const BigInt h = (qinv_ * diff).mod(p_);
+  return m2 + h * q_;
+}
+
+Bytes RsaKeyPair::sign_pkcs1_sha256(ByteView message) const {
+  const Bytes em = pkcs1_encode(message, modulus_bytes_);
+  const BigInt m = BigInt::from_bytes_be(em);
+  const BigInt s = private_op(m);
+  return s.to_bytes_be(modulus_bytes_);
+}
+
+}  // namespace sinclave::crypto

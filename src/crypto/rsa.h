@@ -1,0 +1,71 @@
+// RSA-3072 key generation, PKCS#1 v1.5 signatures (SHA-256).
+//
+// SGX SigStructs are signed with 3072-bit RSA; SinClave's verifier creates
+// an *on-demand* SigStruct per singleton enclave, so signing latency is a
+// first-class measured quantity (Fig. 7b/7c). Signing uses the CRT;
+// verification uses the public exponent 65537.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "crypto/bignum.h"
+#include "crypto/drbg.h"
+
+namespace sinclave::crypto {
+
+inline constexpr std::size_t kRsaBits = 3072;
+inline constexpr std::size_t kRsaBytes = kRsaBits / 8;
+inline constexpr std::uint64_t kRsaPublicExponent = 65537;
+
+/// Public half: modulus + fixed exponent 65537.
+struct RsaPublicKey {
+  BigInt n;
+
+  Bytes modulus_be() const { return n.to_bytes_be(kRsaBytes); }
+
+  /// Verify a PKCS#1 v1.5 SHA-256 signature. Returns false on any mismatch
+  /// (wrong length, bad padding, wrong digest).
+  bool verify_pkcs1_sha256(ByteView message, ByteView signature) const;
+
+  Bytes serialize() const;
+  static RsaPublicKey deserialize(ByteView data);
+
+  friend bool operator==(const RsaPublicKey&, const RsaPublicKey&) = default;
+};
+
+/// Full key pair with CRT acceleration parameters.
+class RsaKeyPair {
+ public:
+  /// Generate a fresh key pair; `bits` must be even and >= 512. All entropy
+  /// comes from `rng`, so seeded generators give reproducible keys.
+  static RsaKeyPair generate(Drbg& rng, std::size_t bits = kRsaBits);
+
+  const RsaPublicKey& public_key() const { return pub_; }
+
+  /// PKCS#1 v1.5 SHA-256 signature over `message`.
+  Bytes sign_pkcs1_sha256(ByteView message) const;
+
+  /// Raw private-key operation (used by tests to cross-check CRT math).
+  BigInt private_op(const BigInt& input) const;
+
+ private:
+  RsaPublicKey pub_;
+  BigInt p_, q_;
+  BigInt d_;
+  BigInt dp_, dq_, qinv_;
+  std::size_t modulus_bytes_ = kRsaBytes;
+};
+
+/// Deterministic primality test helpers, exposed for unit testing.
+namespace primes {
+/// Miller-Rabin with `rounds` random bases from rng. Assumes n odd, n > 3.
+bool miller_rabin(const BigInt& n, int rounds, Drbg& rng);
+/// Full candidate check: small-prime trial division then Miller-Rabin.
+bool is_probable_prime(const BigInt& n, Drbg& rng);
+/// Generate a random prime with exactly `bits` bits (top two bits set so
+/// that products of two such primes have exactly 2*bits bits).
+BigInt generate_prime(std::size_t bits, Drbg& rng);
+}  // namespace primes
+
+}  // namespace sinclave::crypto

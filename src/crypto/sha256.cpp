@@ -1,0 +1,192 @@
+#include "crypto/sha256.h"
+
+#include <cstring>
+
+#include "common/error.h"
+#include "common/serial.h"
+
+namespace sinclave::crypto {
+
+namespace {
+
+constexpr std::uint32_t kInit[8] = {
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+    0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+};
+
+constexpr std::uint32_t kRound[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+};
+
+std::uint32_t rotr(std::uint32_t x, unsigned n) {
+  return (x >> n) | (x << (32 - n));
+}
+
+constexpr std::uint32_t kStateMagic = 0x53484132;  // "SHA2"
+
+}  // namespace
+
+Bytes Sha256State::encode() const {
+  ByteWriter w;
+  w.u32(kStateMagic);
+  for (std::uint32_t v : h) w.u32(v);
+  w.u64(byte_count);
+  return std::move(w).take();
+}
+
+Sha256State Sha256State::decode(ByteView data) {
+  ByteReader r(data);
+  if (r.u32() != kStateMagic) throw ParseError("sha256 state: bad magic");
+  Sha256State s{};
+  for (auto& v : s.h) v = r.u32();
+  s.byte_count = r.u64();
+  r.expect_done();
+  if (s.byte_count % 64 != 0)
+    throw ParseError("sha256 state: length not block aligned");
+  return s;
+}
+
+Sha256::Sha256() {
+  std::memcpy(state_.h, kInit, sizeof(kInit));
+  state_.byte_count = 0;
+}
+
+void Sha256::process_block(const std::uint8_t* block) {
+  std::uint32_t w[64];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (std::uint32_t{block[4 * i]} << 24) |
+           (std::uint32_t{block[4 * i + 1]} << 16) |
+           (std::uint32_t{block[4 * i + 2]} << 8) |
+           std::uint32_t{block[4 * i + 3]};
+  }
+  for (int i = 16; i < 64; ++i) {
+    const std::uint32_t s0 =
+        rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+    const std::uint32_t s1 =
+        rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+  }
+
+  std::uint32_t a = state_.h[0], b = state_.h[1], c = state_.h[2],
+                d = state_.h[3], e = state_.h[4], f = state_.h[5],
+                g = state_.h[6], h = state_.h[7];
+
+  for (int i = 0; i < 64; ++i) {
+    const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+    const std::uint32_t ch = (e & f) ^ (~e & g);
+    const std::uint32_t t1 = h + s1 + ch + kRound[i] + w[i];
+    const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+    const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+    const std::uint32_t t2 = s0 + maj;
+    h = g;
+    g = f;
+    f = e;
+    e = d + t1;
+    d = c;
+    c = b;
+    b = a;
+    a = t1 + t2;
+  }
+
+  state_.h[0] += a;
+  state_.h[1] += b;
+  state_.h[2] += c;
+  state_.h[3] += d;
+  state_.h[4] += e;
+  state_.h[5] += f;
+  state_.h[6] += g;
+  state_.h[7] += h;
+}
+
+void Sha256::update(ByteView data) {
+  if (finalized_) throw Error("sha256: update after finalize");
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
+  state_.byte_count += n;
+
+  if (buffered_ > 0) {
+    const std::size_t take = std::min(n, 64 - buffered_);
+    std::memcpy(buffer_ + buffered_, p, take);
+    buffered_ += take;
+    p += take;
+    n -= take;
+    if (buffered_ == 64) {
+      process_block(buffer_);
+      buffered_ = 0;
+    }
+  }
+  while (n >= 64) {
+    process_block(p);
+    p += 64;
+    n -= 64;
+  }
+  if (n > 0) {
+    std::memcpy(buffer_, p, n);
+    buffered_ = n;
+  }
+}
+
+Hash256 Sha256::finalize() {
+  if (finalized_) throw Error("sha256: double finalize");
+
+  const std::uint64_t bit_count = state_.byte_count * 8;
+  std::uint8_t pad[72];
+  std::size_t pad_len = 0;
+  pad[pad_len++] = 0x80;
+  while ((state_.byte_count + pad_len) % 64 != 56) pad[pad_len++] = 0;
+  for (int i = 7; i >= 0; --i)
+    pad[pad_len++] = static_cast<std::uint8_t>(bit_count >> (8 * i));
+
+  // Route padding through the normal block machinery; the message length
+  // counter is restored afterwards because padding is not message data.
+  const std::uint64_t saved = state_.byte_count;
+  update(ByteView{pad, pad_len});
+  state_.byte_count = saved;
+  finalized_ = true;
+
+  Hash256 out;
+  for (int i = 0; i < 8; ++i) {
+    out.data[static_cast<std::size_t>(4 * i)] =
+        static_cast<std::uint8_t>(state_.h[i] >> 24);
+    out.data[static_cast<std::size_t>(4 * i + 1)] =
+        static_cast<std::uint8_t>(state_.h[i] >> 16);
+    out.data[static_cast<std::size_t>(4 * i + 2)] =
+        static_cast<std::uint8_t>(state_.h[i] >> 8);
+    out.data[static_cast<std::size_t>(4 * i + 3)] =
+        static_cast<std::uint8_t>(state_.h[i]);
+  }
+  return out;
+}
+
+Sha256State Sha256::export_state() const {
+  if (finalized_) throw Error("sha256: export after finalize");
+  if (!exportable())
+    throw Error("sha256: state export requires 64-byte alignment");
+  return state_;
+}
+
+Sha256 Sha256::resume(const Sha256State& state) {
+  if (state.byte_count % 64 != 0)
+    throw Error("sha256: resume state not block aligned");
+  Sha256 h;
+  h.state_ = state;
+  return h;
+}
+
+Hash256 sha256(ByteView data) {
+  Sha256 h;
+  h.update(data);
+  return h.finalize();
+}
+
+}  // namespace sinclave::crypto

@@ -1,0 +1,325 @@
+#include "crypto/sha256_fast.h"
+
+#include <cstring>
+
+#if defined(__x86_64__)
+#include <cpuid.h>
+#include <immintrin.h>
+#endif
+
+#include "common/error.h"
+
+namespace sinclave::crypto {
+
+namespace {
+
+constexpr std::uint32_t K[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+};
+
+inline std::uint32_t rotr(std::uint32_t x, unsigned n) {
+  return (x >> n) | (x << (32 - n));
+}
+
+inline std::uint32_t load_be32(const std::uint8_t* p) {
+  return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
+         (std::uint32_t{p[2]} << 8) | std::uint32_t{p[3]};
+}
+
+// One unrolled round. `w` is the rolling 16-entry schedule window.
+#define SHA256_ROUND(a, b, c, d, e, f, g, h, i, wval)                        \
+  do {                                                                       \
+    const std::uint32_t t1 = (h) + (rotr((e), 6) ^ rotr((e), 11) ^           \
+                                    rotr((e), 25)) +                         \
+                             (((e) & (f)) ^ (~(e) & (g))) + K[(i)] + (wval); \
+    const std::uint32_t t2 = (rotr((a), 2) ^ rotr((a), 13) ^ rotr((a), 22)) + \
+                             (((a) & (b)) ^ ((a) & (c)) ^ ((b) & (c)));      \
+    (d) += t1;                                                               \
+    (h) = t1 + t2;                                                           \
+  } while (0)
+
+#define SHA256_SCHEDULE(w, i)                                          \
+  ((w)[(i) & 15] += (rotr((w)[((i) - 2) & 15], 17) ^                   \
+                     rotr((w)[((i) - 2) & 15], 19) ^                   \
+                     ((w)[((i) - 2) & 15] >> 10)) +                    \
+                    (w)[((i) - 7) & 15] +                              \
+                    (rotr((w)[((i) - 15) & 15], 7) ^                   \
+                     rotr((w)[((i) - 15) & 15], 18) ^                  \
+                     ((w)[((i) - 15) & 15] >> 3)))
+
+#if defined(__x86_64__)
+
+bool cpu_has_sha_ni() {
+  static const bool has = [] {
+    unsigned a = 0, b = 0, c = 0, d = 0;
+    if (!__get_cpuid_count(7, 0, &a, &b, &c, &d)) return false;
+    return (b & (1u << 29)) != 0;  // EBX bit 29: SHA extensions
+  }();
+  return has;
+}
+
+// SHA-NI block processing (the same hardware path Ring/OpenSSL use —
+// the reason the paper's baseline reaches ~405 MB/s while the portable
+// interruptible implementation stays near ~180 MB/s).
+__attribute__((target("sha,sse4.1")))
+void process_blocks_shani(std::uint32_t state[8], const std::uint8_t* data,
+                          std::size_t n_blocks) {
+  const __m128i kShuffleMask =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bULL, 0x0405060700010203ULL);
+
+  // Repack h0..h7 into the ABEF/CDGH register layout SHA-NI expects.
+  __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[0]));
+  __m128i state1 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[4]));
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);        // CDAB
+  state1 = _mm_shuffle_epi32(state1, 0x1B);  // EFGH
+  __m128i state0 = _mm_alignr_epi8(tmp, state1, 8);    // ABEF
+  state1 = _mm_blend_epi16(state1, tmp, 0xF0);         // CDGH
+
+  alignas(16) static const std::uint32_t kK[64] = {
+      0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+      0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+      0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+      0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+      0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+      0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+      0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+      0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+      0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+      0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+      0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+  };
+// Lambdas do not inherit the enclosing function's target attribute, so the
+// helpers must be macros.
+#define SHANI_KPAIR(group) \
+  _mm_load_si128(reinterpret_cast<const __m128i*>(&kK[4 * (group)]))
+#define SHANI_ROUNDS(sched_plus_k)                                   \
+  do {                                                               \
+    state1 = _mm_sha256rnds2_epu32(state1, state0, (sched_plus_k));  \
+    state0 = _mm_sha256rnds2_epu32(                                  \
+        state0, state1, _mm_shuffle_epi32((sched_plus_k), 0x0E));    \
+  } while (0)
+
+  for (std::size_t blk = 0; blk < n_blocks; ++blk, data += 64) {
+    const __m128i abef_save = state0;
+    const __m128i cdgh_save = state1;
+
+    __m128i msgs[4];
+    for (int i = 0; i < 4; ++i) {
+      msgs[i] = _mm_shuffle_epi8(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 16 * i)),
+          kShuffleMask);
+    }
+
+    __m128i msg;
+
+    // Groups 0-2: raw message words; seed the schedule.
+    msg = _mm_add_epi32(msgs[0], SHANI_KPAIR(0));
+    SHANI_ROUNDS(msg);
+    msg = _mm_add_epi32(msgs[1], SHANI_KPAIR(1));
+    SHANI_ROUNDS(msg);
+    msgs[0] = _mm_sha256msg1_epu32(msgs[0], msgs[1]);
+    msg = _mm_add_epi32(msgs[2], SHANI_KPAIR(2));
+    SHANI_ROUNDS(msg);
+    msgs[1] = _mm_sha256msg1_epu32(msgs[1], msgs[2]);
+
+    // Groups 3-12: full schedule pipeline.
+    for (int g = 3; g <= 12; ++g) {
+      __m128i& ma = msgs[g & 3];
+      __m128i& mb = msgs[(g + 1) & 3];
+      __m128i& md = msgs[(g + 3) & 3];
+      msg = _mm_add_epi32(ma, SHANI_KPAIR(g));
+      state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+      const __m128i t = _mm_alignr_epi8(ma, md, 4);
+      mb = _mm_add_epi32(mb, t);
+      mb = _mm_sha256msg2_epu32(mb, ma);
+      state0 = _mm_sha256rnds2_epu32(state0, state1,
+                                     _mm_shuffle_epi32(msg, 0x0E));
+      md = _mm_sha256msg1_epu32(md, ma);
+    }
+
+    // Groups 13-14: finish remaining schedule words, no further msg1.
+    for (int g = 13; g <= 14; ++g) {
+      __m128i& ma = msgs[g & 3];
+      __m128i& mb = msgs[(g + 1) & 3];
+      __m128i& md = msgs[(g + 3) & 3];
+      msg = _mm_add_epi32(ma, SHANI_KPAIR(g));
+      state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+      const __m128i t = _mm_alignr_epi8(ma, md, 4);
+      mb = _mm_add_epi32(mb, t);
+      mb = _mm_sha256msg2_epu32(mb, ma);
+      state0 = _mm_sha256rnds2_epu32(state0, state1,
+                                     _mm_shuffle_epi32(msg, 0x0E));
+    }
+
+    // Group 15.
+    msg = _mm_add_epi32(msgs[15 & 3], SHANI_KPAIR(15));
+    SHANI_ROUNDS(msg);
+
+    state0 = _mm_add_epi32(state0, abef_save);
+    state1 = _mm_add_epi32(state1, cdgh_save);
+  }
+
+  // Repack ABEF/CDGH back to h0..h7.
+  tmp = _mm_shuffle_epi32(state0, 0x1B);     // FEBA
+  state1 = _mm_shuffle_epi32(state1, 0xB1);  // DCHG
+  state0 = _mm_blend_epi16(tmp, state1, 0xF0);      // DCBA
+  state1 = _mm_alignr_epi8(state1, tmp, 8);         // HGFE
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[0]), state0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[4]), state1);
+}
+
+#endif  // __x86_64__
+
+}  // namespace
+
+Sha256Fast::Sha256Fast() {
+  h_[0] = 0x6a09e667;
+  h_[1] = 0xbb67ae85;
+  h_[2] = 0x3c6ef372;
+  h_[3] = 0xa54ff53a;
+  h_[4] = 0x510e527f;
+  h_[5] = 0x9b05688c;
+  h_[6] = 0x1f83d9ab;
+  h_[7] = 0x5be0cd19;
+}
+
+void Sha256Fast::process_blocks(const std::uint8_t* data, std::size_t n_blocks) {
+#if defined(__x86_64__)
+  if (cpu_has_sha_ni()) {
+    process_blocks_shani(h_, data, n_blocks);
+    return;
+  }
+#endif
+  std::uint32_t a, b, c, d, e, f, g, h;
+  for (std::size_t blk = 0; blk < n_blocks; ++blk, data += 64) {
+    std::uint32_t w[16];
+    for (int i = 0; i < 16; ++i) w[i] = load_be32(data + 4 * i);
+
+    a = h_[0];
+    b = h_[1];
+    c = h_[2];
+    d = h_[3];
+    e = h_[4];
+    f = h_[5];
+    g = h_[6];
+    h = h_[7];
+
+    // Rounds 0..15 use the loaded words directly.
+    SHA256_ROUND(a, b, c, d, e, f, g, h, 0, w[0]);
+    SHA256_ROUND(h, a, b, c, d, e, f, g, 1, w[1]);
+    SHA256_ROUND(g, h, a, b, c, d, e, f, 2, w[2]);
+    SHA256_ROUND(f, g, h, a, b, c, d, e, 3, w[3]);
+    SHA256_ROUND(e, f, g, h, a, b, c, d, 4, w[4]);
+    SHA256_ROUND(d, e, f, g, h, a, b, c, 5, w[5]);
+    SHA256_ROUND(c, d, e, f, g, h, a, b, 6, w[6]);
+    SHA256_ROUND(b, c, d, e, f, g, h, a, 7, w[7]);
+    SHA256_ROUND(a, b, c, d, e, f, g, h, 8, w[8]);
+    SHA256_ROUND(h, a, b, c, d, e, f, g, 9, w[9]);
+    SHA256_ROUND(g, h, a, b, c, d, e, f, 10, w[10]);
+    SHA256_ROUND(f, g, h, a, b, c, d, e, 11, w[11]);
+    SHA256_ROUND(e, f, g, h, a, b, c, d, 12, w[12]);
+    SHA256_ROUND(d, e, f, g, h, a, b, c, 13, w[13]);
+    SHA256_ROUND(c, d, e, f, g, h, a, b, 14, w[14]);
+    SHA256_ROUND(b, c, d, e, f, g, h, a, 15, w[15]);
+
+    // Rounds 16..63 extend the schedule in place, 16 rounds per batch.
+    for (int i = 16; i < 64; i += 16) {
+      SHA256_ROUND(a, b, c, d, e, f, g, h, i + 0, SHA256_SCHEDULE(w, i + 0));
+      SHA256_ROUND(h, a, b, c, d, e, f, g, i + 1, SHA256_SCHEDULE(w, i + 1));
+      SHA256_ROUND(g, h, a, b, c, d, e, f, i + 2, SHA256_SCHEDULE(w, i + 2));
+      SHA256_ROUND(f, g, h, a, b, c, d, e, i + 3, SHA256_SCHEDULE(w, i + 3));
+      SHA256_ROUND(e, f, g, h, a, b, c, d, i + 4, SHA256_SCHEDULE(w, i + 4));
+      SHA256_ROUND(d, e, f, g, h, a, b, c, i + 5, SHA256_SCHEDULE(w, i + 5));
+      SHA256_ROUND(c, d, e, f, g, h, a, b, i + 6, SHA256_SCHEDULE(w, i + 6));
+      SHA256_ROUND(b, c, d, e, f, g, h, a, i + 7, SHA256_SCHEDULE(w, i + 7));
+      SHA256_ROUND(a, b, c, d, e, f, g, h, i + 8, SHA256_SCHEDULE(w, i + 8));
+      SHA256_ROUND(h, a, b, c, d, e, f, g, i + 9, SHA256_SCHEDULE(w, i + 9));
+      SHA256_ROUND(g, h, a, b, c, d, e, f, i + 10, SHA256_SCHEDULE(w, i + 10));
+      SHA256_ROUND(f, g, h, a, b, c, d, e, i + 11, SHA256_SCHEDULE(w, i + 11));
+      SHA256_ROUND(e, f, g, h, a, b, c, d, i + 12, SHA256_SCHEDULE(w, i + 12));
+      SHA256_ROUND(d, e, f, g, h, a, b, c, i + 13, SHA256_SCHEDULE(w, i + 13));
+      SHA256_ROUND(c, d, e, f, g, h, a, b, i + 14, SHA256_SCHEDULE(w, i + 14));
+      SHA256_ROUND(b, c, d, e, f, g, h, a, i + 15, SHA256_SCHEDULE(w, i + 15));
+    }
+
+    h_[0] += a;
+    h_[1] += b;
+    h_[2] += c;
+    h_[3] += d;
+    h_[4] += e;
+    h_[5] += f;
+    h_[6] += g;
+    h_[7] += h;
+  }
+}
+
+void Sha256Fast::update(ByteView data) {
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
+  byte_count_ += n;
+
+  if (buffered_ > 0) {
+    const std::size_t take = std::min(n, 64 - buffered_);
+    std::memcpy(buffer_ + buffered_, p, take);
+    buffered_ += take;
+    p += take;
+    n -= take;
+    if (buffered_ == 64) {
+      process_blocks(buffer_, 1);
+      buffered_ = 0;
+    }
+  }
+  if (n >= 64) {
+    const std::size_t blocks = n / 64;
+    process_blocks(p, blocks);
+    p += blocks * 64;
+    n -= blocks * 64;
+  }
+  if (n > 0) {
+    std::memcpy(buffer_, p, n);
+    buffered_ = n;
+  }
+}
+
+Hash256 Sha256Fast::finalize() {
+  const std::uint64_t bit_count = byte_count_ * 8;
+  std::uint8_t pad[72];
+  std::size_t pad_len = 0;
+  pad[pad_len++] = 0x80;
+  while ((byte_count_ + pad_len) % 64 != 56) pad[pad_len++] = 0;
+  for (int i = 7; i >= 0; --i)
+    pad[pad_len++] = static_cast<std::uint8_t>(bit_count >> (8 * i));
+  update(ByteView{pad, pad_len});
+
+  Hash256 out;
+  for (int i = 0; i < 8; ++i) {
+    out.data[static_cast<std::size_t>(4 * i)] =
+        static_cast<std::uint8_t>(h_[i] >> 24);
+    out.data[static_cast<std::size_t>(4 * i + 1)] =
+        static_cast<std::uint8_t>(h_[i] >> 16);
+    out.data[static_cast<std::size_t>(4 * i + 2)] =
+        static_cast<std::uint8_t>(h_[i] >> 8);
+    out.data[static_cast<std::size_t>(4 * i + 3)] =
+        static_cast<std::uint8_t>(h_[i]);
+  }
+  return out;
+}
+
+Hash256 sha256_fast(ByteView data) {
+  Sha256Fast h;
+  h.update(data);
+  return h.finalize();
+}
+
+}  // namespace sinclave::crypto

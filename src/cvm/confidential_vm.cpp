@@ -1,0 +1,225 @@
+#include "cvm/confidential_vm.h"
+
+#include "common/error.h"
+#include "common/serial.h"
+
+namespace sinclave::cvm {
+
+namespace {
+constexpr std::uint64_t kIdBlockMagic = 0x53494e434c564d31;  // "SINCLVM1"
+}
+
+VmImage VmImage::synthetic(const std::string& name, std::size_t kernel_size) {
+  crypto::Drbg rng(to_bytes(name), "synthetic-vm");
+  VmImage img;
+  img.name = name;
+  img.firmware = rng.generate(64 << 10);
+  img.kernel = rng.generate(kernel_size);
+  img.initrd = rng.generate(kernel_size / 4 + 64);
+  img.cmdline = "console=ttyS0 root=/dev/vda1 app=" + name;
+  return img;
+}
+
+void LaunchMeasurement::record(std::string_view kind, ByteView content) {
+  // Record header: kind + content length, padded to 64 bytes; then the
+  // content, zero padded to a 64-byte multiple. Alignment keeps the hash
+  // state exportable between records.
+  ByteWriter header;
+  header.str(kind);
+  header.u64(content.size());
+  ByteWriter block;
+  block.bytes(header.data());
+  if (block.size() % 64 != 0) block.zeros(64 - block.size() % 64);
+  hash_.update(block.data());
+
+  hash_.update(content);
+  if (content.size() % 64 != 0) {
+    ByteWriter pad;
+    pad.zeros(64 - content.size() % 64);
+    hash_.update(pad.data());
+  }
+}
+
+void LaunchMeasurement::measure_image(const VmImage& image) {
+  record("firmware", image.firmware);
+  record("kernel", image.kernel);
+  record("initrd", image.initrd);
+  record("cmdline", to_bytes(image.cmdline));
+}
+
+void LaunchMeasurement::measure_id_block(ByteView id_block) {
+  record("id-block", id_block);
+}
+
+Hash256 LaunchMeasurement::finalize() const {
+  crypto::Sha256 copy = hash_;
+  return copy.finalize();
+}
+
+LaunchMeasurement LaunchMeasurement::resume(const crypto::Sha256State& state) {
+  LaunchMeasurement m;
+  m.hash_ = crypto::Sha256::resume(state);
+  return m;
+}
+
+Bytes VmIdBlock::render() const {
+  ByteWriter w;
+  w.u64(kIdBlockMagic);
+  w.raw(token.view());
+  w.raw(verifier_id.view());
+  return std::move(w).take();
+}
+
+std::optional<VmIdBlock> VmIdBlock::parse(ByteView data) {
+  if (data.empty()) return std::nullopt;
+  ByteReader r(data);
+  if (r.u64() != kIdBlockMagic) throw ParseError("vm id block: bad magic");
+  VmIdBlock out;
+  out.token = r.fixed<32>();
+  out.verifier_id = r.fixed<32>();
+  r.expect_done();
+  return out;
+}
+
+Bytes VmReport::signed_message() const {
+  ByteWriter w;
+  w.raw(launch_digest.view());
+  w.raw(report_data.view());
+  w.raw(platform_id.view());
+  return std::move(w).take();
+}
+
+Bytes VmReport::serialize() const {
+  ByteWriter w;
+  w.raw(signed_message());
+  w.bytes(signature);
+  return std::move(w).take();
+}
+
+VmReport VmReport::deserialize(ByteView data) {
+  ByteReader r(data);
+  VmReport rep;
+  rep.launch_digest = r.fixed<32>();
+  rep.report_data = r.fixed<64>();
+  rep.platform_id = r.fixed<32>();
+  rep.signature = r.bytes();
+  r.expect_done();
+  return rep;
+}
+
+SecureProcessor::SecureProcessor(crypto::Drbg rng, std::size_t key_bits)
+    : key_(crypto::RsaKeyPair::generate(rng, key_bits)) {}
+
+SecureProcessor::VmId SecureProcessor::launch(const VmImage& image,
+                                              ByteView id_block) {
+  LaunchMeasurement m;
+  m.measure_image(image);
+  if (!id_block.empty()) m.measure_id_block(id_block);
+  const VmId id = next_id_++;
+  running_[id] = m.finalize();
+  return id;
+}
+
+VmReport SecureProcessor::attest(VmId vm,
+                                 const FixedBytes<64>& report_data) const {
+  const auto it = running_.find(vm);
+  if (it == running_.end()) throw Error("secure processor: no such VM");
+  VmReport report;
+  report.launch_digest = it->second;
+  report.report_data = report_data;
+  report.platform_id = platform_id();
+  report.signature = key_.sign_pkcs1_sha256(report.signed_message());
+  return report;
+}
+
+Hash256 SecureProcessor::launch_digest(VmId vm) const {
+  const auto it = running_.find(vm);
+  if (it == running_.end()) throw Error("secure processor: no such VM");
+  return it->second;
+}
+
+void SecureProcessor::terminate(VmId vm) {
+  if (running_.erase(vm) == 0) throw Error("secure processor: no such VM");
+}
+
+Hash256 SecureProcessor::platform_id() const {
+  return crypto::sha256(key_.public_key().modulus_be());
+}
+
+VmVerifier::VmVerifier(crypto::Drbg rng) : rng_(std::move(rng)) {
+  // The verifier's public identity, drawn once from its seed (stands in
+  // for the hash of an identity public key).
+  rng_.generate(identity_.data.data(), identity_.size());
+}
+
+Hash256 VmVerifier::verifier_id() const {
+  return identity_;
+}
+
+void VmVerifier::register_baseline(const std::string& session,
+                                   const Hash256& digest) {
+  sessions_[session] = Session{false, digest, std::nullopt};
+}
+
+void VmVerifier::register_singleton(const std::string& session,
+                                    const crypto::Sha256State& base_digest) {
+  sessions_[session] = Session{true, Hash256{}, base_digest};
+}
+
+void VmVerifier::trust_platform(const crypto::RsaPublicKey& key) {
+  platforms_[crypto::sha256(key.modulus_be())] = key;
+}
+
+std::optional<VmIdBlock> VmVerifier::issue_id_block(
+    const std::string& session) {
+  const auto it = sessions_.find(session);
+  if (it == sessions_.end() || !it->second.singleton) return std::nullopt;
+
+  VmIdBlock block;
+  rng_.generate(block.token.data.data(), block.token.size());
+  block.verifier_id = verifier_id();
+
+  LaunchMeasurement m = LaunchMeasurement::resume(*it->second.base);
+  m.measure_id_block(block.render());
+  tokens_[block.token] = PendingToken{session, m.finalize(), false};
+  return block;
+}
+
+Verdict VmVerifier::verify(const std::string& session, const VmReport& report,
+                           const std::optional<core::AttestationToken>& token) {
+  const auto sess = sessions_.find(session);
+  if (sess == sessions_.end()) return Verdict::kPolicyViolation;
+
+  const auto platform = platforms_.find(report.platform_id);
+  if (platform == platforms_.end()) return Verdict::kSignerMismatch;
+  if (!platform->second.verify_pkcs1_sha256(report.signed_message(),
+                                            report.signature))
+    return Verdict::kBadSignature;
+
+  if (!sess->second.singleton) {
+    // Baseline: any VM with the pinned digest, any number of times. This
+    // acceptance of clones/replays is the documented vulnerability.
+    return report.launch_digest == sess->second.pinned_digest
+               ? Verdict::kOk
+               : Verdict::kMeasurementMismatch;
+  }
+
+  if (!token.has_value()) return Verdict::kTokenUnknown;
+  const auto pending = tokens_.find(*token);
+  if (pending == tokens_.end() || pending->second.session != session)
+    return Verdict::kTokenUnknown;
+  if (pending->second.used) return Verdict::kTokenReused;
+  if (report.launch_digest != pending->second.expected_digest)
+    return Verdict::kMeasurementMismatch;
+  pending->second.used = true;
+  return Verdict::kOk;
+}
+
+std::size_t VmVerifier::tokens_outstanding() const {
+  std::size_t n = 0;
+  for (const auto& [token, pending] : tokens_)
+    if (!pending.used) ++n;
+  return n;
+}
+
+}  // namespace sinclave::cvm

@@ -1,0 +1,172 @@
+// Singleton confidential VMs — the paper's §4.4 extension.
+//
+// AMD SEV-SNP / Intel TDX measure a confidential VM only while it boots;
+// afterwards the launch digest is frozen, exactly like MRENCLAVE at EINIT.
+// The paper notes the same reuse consequence: "an attacker can just boot
+// the VM from a victim" — a byte-identical clone produces the same launch
+// digest and attests successfully, e.g. to mount side-channel analysis in
+// a lab, or to replay a previously-attested VM.
+//
+// The fix transfers unchanged: the launch flow appends an *ID block*
+// (token + verifier identity) as the final measured item, the launch-digest
+// computation is built from 64-byte-aligned records so its SHA-256 state is
+// suspendable right before the ID block (a VM-level base hash), and the
+// verifier predicts the unique expected digest per issued token.
+//
+// Substrate note: the secure processor (AMD-SP / TDX module analogue) is
+// simulated like the SGX CPU — a per-platform key signs VM attestation
+// reports; only VMs actually launched on the platform can be attested.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "core/instance_page.h"
+#include "crypto/drbg.h"
+#include "crypto/rsa.h"
+#include "crypto/sha256.h"
+
+namespace sinclave::cvm {
+
+/// A confidential VM image: everything the host supplies at launch and the
+/// secure processor measures.
+struct VmImage {
+  std::string name;
+  Bytes firmware;
+  Bytes kernel;
+  Bytes initrd;
+  std::string cmdline;
+
+  /// Deterministic synthetic image for tests/benchmarks.
+  static VmImage synthetic(const std::string& name, std::size_t kernel_size);
+};
+
+/// The VM launch digest computation. Every record is padded to a 64-byte
+/// multiple, so — like the SGX measurement log — the running SHA-256 state
+/// between records is exportable ("VM base digest") and resumable.
+class LaunchMeasurement {
+ public:
+  void record(std::string_view kind, ByteView content);
+  void measure_image(const VmImage& image);
+  /// The ID block must be the final record of a singleton VM.
+  void measure_id_block(ByteView id_block);
+
+  Hash256 finalize() const;
+  crypto::Sha256State export_state() const { return hash_.export_state(); }
+  static LaunchMeasurement resume(const crypto::Sha256State& state);
+
+ private:
+  crypto::Sha256 hash_;
+};
+
+/// Token + verifier identity appended to a singleton VM's launch log; the
+/// VM-level analogue of the SGX instance page.
+struct VmIdBlock {
+  core::AttestationToken token;
+  Hash256 verifier_id;
+
+  Bytes render() const;
+  static std::optional<VmIdBlock> parse(ByteView data);
+
+  friend bool operator==(const VmIdBlock&, const VmIdBlock&) = default;
+};
+
+/// VM attestation report signed by the platform's secure processor.
+struct VmReport {
+  Hash256 launch_digest;
+  FixedBytes<64> report_data;
+  Hash256 platform_id;
+  Bytes signature;
+
+  Bytes signed_message() const;
+  Bytes serialize() const;
+  static VmReport deserialize(ByteView data);
+
+  friend bool operator==(const VmReport&, const VmReport&) = default;
+};
+
+/// The platform security co-processor (AMD-SP / TDX module analogue):
+/// launches VMs, owns the attestation key, signs reports for running VMs.
+class SecureProcessor {
+ public:
+  using VmId = std::uint64_t;
+
+  explicit SecureProcessor(crypto::Drbg rng, std::size_t key_bits = 1024);
+
+  /// Launch a VM: measures the image (and ID block, when given) into the
+  /// launch digest and starts the VM.
+  VmId launch(const VmImage& image, ByteView id_block = {});
+
+  /// Report for a *running* VM with caller-chosen report data. Throws
+  /// Error for unknown VMs — reports cannot be fabricated off-platform.
+  VmReport attest(VmId vm, const FixedBytes<64>& report_data) const;
+
+  Hash256 launch_digest(VmId vm) const;
+  void terminate(VmId vm);
+
+  const crypto::RsaPublicKey& platform_key() const {
+    return key_.public_key();
+  }
+  Hash256 platform_id() const;
+
+ private:
+  crypto::RsaKeyPair key_;
+  std::map<VmId, Hash256> running_;
+  VmId next_id_ = 1;
+};
+
+/// The user's VM verifier. Baseline mode pins a static launch digest
+/// (vulnerable to clone/reuse); singleton mode issues one-time tokens and
+/// predicts per-instance digests from the VM base digest.
+class VmVerifier {
+ public:
+  explicit VmVerifier(crypto::Drbg rng);
+
+  Hash256 verifier_id() const;
+
+  /// Baseline registration: pin the digest of the plain image.
+  void register_baseline(const std::string& session, const Hash256& digest);
+
+  /// Singleton registration: pin the suspended pre-ID-block state.
+  void register_singleton(const std::string& session,
+                          const crypto::Sha256State& base_digest);
+
+  /// Trust a platform's attestation key.
+  void trust_platform(const crypto::RsaPublicKey& key);
+
+  /// Singleton flow step 1: mint a token; returns the ID block the host
+  /// must append at launch. nullopt for unknown/baseline sessions.
+  std::optional<VmIdBlock> issue_id_block(const std::string& session);
+
+  /// Verify an attestation. Baseline sessions accept any report with the
+  /// pinned digest (arbitrarily often — the vulnerability). Singleton
+  /// sessions require the token and consume it.
+  Verdict verify(const std::string& session, const VmReport& report,
+                 const std::optional<core::AttestationToken>& token);
+
+  std::size_t tokens_outstanding() const;
+
+ private:
+  struct Session {
+    bool singleton = false;
+    Hash256 pinned_digest;                       // baseline
+    std::optional<crypto::Sha256State> base;     // singleton
+  };
+  struct PendingToken {
+    std::string session;
+    Hash256 expected_digest;
+    bool used = false;
+  };
+
+  crypto::Drbg rng_;
+  Hash256 identity_;
+  std::map<std::string, Session> sessions_;
+  std::map<core::AttestationToken, PendingToken> tokens_;
+  std::map<Hash256, crypto::RsaPublicKey> platforms_;
+};
+
+}  // namespace sinclave::cvm

@@ -1,0 +1,72 @@
+// Encrypted, integrity-protected volume (the SCONE protected-FS stand-in).
+//
+// Files are sealed per entry with AEAD (AES-256-CTR + HMAC), the file name
+// bound as associated data. The *host* stores only ciphertext blobs and can
+// tamper with them arbitrarily — the host_* methods model exactly that
+// adversarial access, and tests verify tampering is always detected.
+//
+// The paper's "completeness" argument: filesystem content can change an
+// application's behaviour, so the verifier must bind it. manifest_root()
+// provides the binding — a deterministic hash over all (name, content-hash)
+// pairs that a policy can pin and the runtime re-derives after mounting.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "crypto/aead.h"
+#include "crypto/drbg.h"
+
+namespace sinclave::fs {
+
+class EncryptedVolume {
+ public:
+  /// `key256` protects every file; `rng` supplies per-write nonces.
+  EncryptedVolume(ByteView key256, crypto::Drbg rng);
+
+  /// Write (create or replace) a file. Plaintext never reaches host storage.
+  void write_file(const std::string& name, ByteView content);
+
+  /// Read and verify a file. nullopt when missing or when the host blob
+  /// fails authentication (tampered / truncated / swapped).
+  std::optional<Bytes> read_file(const std::string& name) const;
+
+  bool exists(const std::string& name) const;
+  void remove_file(const std::string& name);
+  std::vector<std::string> list_files() const;
+
+  /// Deterministic root hash over all (name, SHA-256(content)) pairs in
+  /// lexicographic name order. Throws Error if any file fails verification.
+  Hash256 manifest_root() const;
+
+  /// Total plaintext bytes across all files (workload modeling).
+  std::uint64_t total_plaintext_bytes() const;
+
+  // --- Host (adversary) surface ---
+
+  /// Mutable access to a file's ciphertext blob, as the untrusted host has.
+  Bytes& host_blob(const std::string& name);
+  /// Replace a blob wholesale (e.g. with a blob copied from another file).
+  void host_replace_blob(const std::string& name, Bytes blob);
+  /// Export/import the whole ciphertext store (volume cloning — used by
+  /// the attack: the adversary may copy volumes freely).
+  std::map<std::string, Bytes> host_export() const { return blobs_; }
+  void host_import(std::map<std::string, Bytes> blobs) {
+    blobs_ = std::move(blobs);
+  }
+
+  /// Re-open an existing host store under a (possibly different) key.
+  static EncryptedVolume adopt(ByteView key256, crypto::Drbg rng,
+                               std::map<std::string, Bytes> blobs);
+
+ private:
+  crypto::Aead aead_;
+  mutable crypto::Drbg rng_;
+  std::map<std::string, Bytes> blobs_;  // name -> nonce || sealed
+};
+
+}  // namespace sinclave::fs

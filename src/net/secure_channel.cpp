@@ -1,0 +1,230 @@
+#include "net/secure_channel.h"
+
+#include "common/error.h"
+#include "common/serial.h"
+#include "crypto/hkdf.h"
+#include "crypto/sha256.h"
+
+namespace sinclave::net {
+
+namespace {
+
+constexpr std::uint8_t kMsgHandshake = 0;
+constexpr std::uint8_t kMsgData = 1;
+
+constexpr std::uint8_t kStatusRejected = 0;
+constexpr std::uint8_t kStatusOk = 1;
+
+struct TrafficKeys {
+  Bytes c2s;
+  Bytes s2c;
+};
+
+TrafficKeys derive_keys(ByteView shared_secret, ByteView client_dh,
+                        ByteView server_dh) {
+  const Hash256 transcript = crypto::sha256(concat({client_dh, server_dh}));
+  TrafficKeys keys;
+  keys.c2s = crypto::hkdf(to_bytes("sinclave-channel"), shared_secret,
+                          concat({to_bytes("c2s"), transcript.view()}), 32);
+  keys.s2c = crypto::hkdf(to_bytes("sinclave-channel"), shared_secret,
+                          concat({to_bytes("s2c"), transcript.view()}), 32);
+  return keys;
+}
+
+Bytes counter_nonce(std::uint64_t counter) {
+  ByteWriter w;
+  w.u32(0);
+  w.u64(counter);
+  return std::move(w).take();
+}
+
+Bytes session_ad(std::string_view direction, std::uint64_t session_id) {
+  ByteWriter w;
+  w.str(direction);
+  w.u64(session_id);
+  return std::move(w).take();
+}
+
+}  // namespace
+
+FixedBytes<64> channel_binding(ByteView client_dh_public) {
+  const Hash256 h = crypto::sha256(client_dh_public);
+  return FixedBytes<64>::from_view(h.view());  // zero padded to 64 bytes
+}
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+SecureServer::SecureServer(const crypto::RsaKeyPair* identity,
+                           crypto::Drbg rng, HandshakeHook on_handshake,
+                           RequestHandler on_request)
+    : identity_(identity),
+      rng_(std::move(rng)),
+      on_handshake_(std::move(on_handshake)),
+      on_request_(std::move(on_request)) {
+  if (identity_ == nullptr) throw Error("secure server: identity required");
+  if (!on_handshake_ || !on_request_)
+    throw Error("secure server: hooks required");
+}
+
+Bytes SecureServer::handle(ByteView raw) {
+  try {
+    ByteReader r(raw);
+    const std::uint8_t type = r.u8();
+
+    if (type == kMsgHandshake) {
+      const Bytes client_dh = r.bytes();
+      const Bytes client_payload = r.bytes();
+      r.expect_done();
+
+      const std::uint64_t session_id = next_session_;
+      const auto server_payload =
+          on_handshake_(client_payload, client_dh, session_id);
+      if (!server_payload.has_value()) {
+        ByteWriter w;
+        w.u8(kStatusRejected);
+        return std::move(w).take();
+      }
+
+      crypto::DhKeyPair server_dh = crypto::DhKeyPair::generate(rng_);
+      const Bytes server_pub = server_dh.public_value();
+      const Bytes secret = server_dh.shared_secret(client_dh);
+      TrafficKeys keys = derive_keys(secret, client_dh, server_pub);
+
+      next_session_++;
+      sessions_.emplace(session_id,
+                        Session{crypto::Aead(keys.c2s), crypto::Aead(keys.s2c),
+                                0, 0});
+
+      ByteWriter w;
+      w.u8(kStatusOk);
+      w.u64(session_id);
+      w.bytes(server_pub);
+      w.bytes(identity_->sign_pkcs1_sha256(concat({client_dh, server_pub})));
+      w.bytes(*server_payload);
+      return std::move(w).take();
+    }
+
+    if (type == kMsgData) {
+      const std::uint64_t session_id = r.u64();
+      const std::uint64_t counter = r.u64();
+      const Bytes ciphertext = r.bytes();
+      r.expect_done();
+
+      const auto it = sessions_.find(session_id);
+      if (it == sessions_.end()) {
+        ByteWriter w;
+        w.u8(kStatusRejected);
+        return std::move(w).take();
+      }
+      Session& s = it->second;
+      // Strictly increasing counters prevent replay within a session.
+      if (counter < s.recv_counter) {
+        ByteWriter w;
+        w.u8(kStatusRejected);
+        return std::move(w).take();
+      }
+      const auto plaintext = s.c2s.open(counter_nonce(counter), ciphertext,
+                                        session_ad("c2s", session_id));
+      if (!plaintext.has_value()) {
+        ByteWriter w;
+        w.u8(kStatusRejected);
+        return std::move(w).take();
+      }
+      s.recv_counter = counter + 1;
+
+      const Bytes response = on_request_(session_id, *plaintext);
+      const std::uint64_t send_counter = s.send_counter++;
+      ByteWriter w;
+      w.u8(kStatusOk);
+      w.u64(send_counter);
+      w.bytes(s.s2c.seal(counter_nonce(send_counter), response,
+                         session_ad("s2c", session_id)));
+      return std::move(w).take();
+    }
+
+    ByteWriter w;
+    w.u8(kStatusRejected);
+    return std::move(w).take();
+  } catch (const ParseError&) {
+    ByteWriter w;
+    w.u8(kStatusRejected);
+    return std::move(w).take();
+  }
+}
+
+void SecureServer::close_session(std::uint64_t session_id) {
+  sessions_.erase(session_id);
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+SecureClient::SecureClient(crypto::Drbg rng)
+    : rng_(std::move(rng)), dh_(crypto::DhKeyPair::generate(rng_)) {
+  dh_public_ = dh_.public_value();
+}
+
+std::optional<Bytes> SecureClient::connect(
+    SimNetwork::Connection connection,
+    const crypto::RsaPublicKey& expected_server, ByteView client_payload) {
+  ByteWriter req;
+  req.u8(kMsgHandshake);
+  req.bytes(dh_public_);
+  req.bytes(client_payload);
+  const Bytes raw = connection.call(req.data());
+
+  ByteReader r(raw);
+  if (r.u8() != kStatusOk) return std::nullopt;
+  const std::uint64_t session_id = r.u64();
+  const Bytes server_pub = r.bytes();
+  const Bytes signature = r.bytes();
+  const Bytes server_payload = r.bytes();
+  r.expect_done();
+
+  // Server authentication: the expected verifier must have signed the
+  // handshake transcript. A mismatch is an active attack, not a routine
+  // rejection -> throw.
+  if (!expected_server.verify_pkcs1_sha256(concat({dh_public_, server_pub}),
+                                           signature))
+    throw Error("secure channel: server identity mismatch");
+
+  const Bytes secret = dh_.shared_secret(server_pub);
+  TrafficKeys keys = derive_keys(secret, dh_public_, server_pub);
+  session_.emplace(Session{connection, session_id, crypto::Aead(keys.c2s),
+                           crypto::Aead(keys.s2c), 0, 0});
+  return server_payload;
+}
+
+Bytes SecureClient::call(ByteView plaintext) {
+  if (!session_.has_value()) throw Error("secure channel: not connected");
+  Session& s = *session_;
+
+  const std::uint64_t counter = s.send_counter++;
+  ByteWriter req;
+  req.u8(kMsgData);
+  req.u64(s.id);
+  req.u64(counter);
+  req.bytes(s.c2s.seal(counter_nonce(counter), plaintext,
+                       session_ad("c2s", s.id)));
+  const Bytes raw = s.connection.call(req.data());
+
+  ByteReader r(raw);
+  if (r.u8() != kStatusOk) throw Error("secure channel: request rejected");
+  const std::uint64_t resp_counter = r.u64();
+  const Bytes ciphertext = r.bytes();
+  r.expect_done();
+  if (resp_counter < s.recv_counter)
+    throw Error("secure channel: replayed response");
+  const auto plain =
+      s.s2c.open(counter_nonce(resp_counter), ciphertext,
+                 session_ad("s2c", s.id));
+  if (!plain.has_value())
+    throw Error("secure channel: response authentication failed");
+  s.recv_counter = resp_counter + 1;
+  return *plain;
+}
+
+}  // namespace sinclave::net

@@ -1,0 +1,119 @@
+// Attestation-bindable secure channel (the RA-TLS / wireguard stand-in).
+//
+// Handshake (client = enclave runtime, starter tool, or the attacker's
+// impersonator; server = the verifier/CAS):
+//
+//   client -> server : client DH public || opaque client payload
+//   server -> client : server DH public || RSA signature over
+//                      (client DH || server DH) || opaque server payload
+//
+// Both sides derive AES-256 AEAD traffic keys from the DH secret via HKDF.
+// The *server* is authenticated by its RSA identity key (clients check it
+// against the expected verifier identity — for SinClave singletons, against
+// the identity baked into the measured instance page). The *client* is
+// authenticated at a higher layer: its payload typically carries an SGX
+// quote whose REPORTDATA must commit to the client's DH public key. That
+// commitment — and how the paper's attack forges it via a report server —
+// is the crux of §3.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "common/bytes.h"
+#include "crypto/aead.h"
+#include "crypto/dh.h"
+#include "crypto/drbg.h"
+#include "crypto/rsa.h"
+#include "net/sim_network.h"
+
+namespace sinclave::net {
+
+/// The value an attested client must place in its report's REPORTDATA:
+/// SHA-256 of the client DH public key, zero padded to 64 bytes.
+FixedBytes<64> channel_binding(ByteView client_dh_public);
+
+/// Server half. Owns per-session traffic keys; plug `handle` into
+/// SimNetwork::listen.
+class SecureServer {
+ public:
+  /// Decides whether to accept a handshake. Receives the client's payload
+  /// and DH public key; returns the server payload to accept, or nullopt
+  /// to reject the session.
+  using HandshakeHook =
+      std::function<std::optional<Bytes>(ByteView client_payload,
+                                         ByteView client_dh_public,
+                                         std::uint64_t session_id)>;
+  /// Handles one decrypted request; the return value is encrypted back.
+  using RequestHandler =
+      std::function<Bytes(std::uint64_t session_id, ByteView plaintext)>;
+
+  SecureServer(const crypto::RsaKeyPair* identity, crypto::Drbg rng,
+               HandshakeHook on_handshake, RequestHandler on_request);
+
+  /// Raw transport entry point.
+  Bytes handle(ByteView raw);
+
+  /// Terminate a session (e.g. after config delivery).
+  void close_session(std::uint64_t session_id);
+
+  std::size_t open_sessions() const { return sessions_.size(); }
+
+ private:
+  struct Session {
+    crypto::Aead c2s;
+    crypto::Aead s2c;
+    std::uint64_t recv_counter = 0;
+    std::uint64_t send_counter = 0;
+  };
+
+  const crypto::RsaKeyPair* identity_;
+  crypto::Drbg rng_;
+  HandshakeHook on_handshake_;
+  RequestHandler on_request_;
+  std::map<std::uint64_t, Session> sessions_;
+  std::uint64_t next_session_ = 1;
+};
+
+/// Client half.
+class SecureClient {
+ public:
+  explicit SecureClient(crypto::Drbg rng);
+
+  /// The DH public key, available before connecting so callers can bind it
+  /// into a report (channel_binding()).
+  const Bytes& dh_public() const { return dh_public_; }
+
+  /// Run the handshake. `expected_server` pins the server identity —
+  /// mismatch throws Error (this is the check SinClave roots in the
+  /// instance page). Returns the server's handshake payload; nullopt when
+  /// the server rejected the session.
+  std::optional<Bytes> connect(SimNetwork::Connection connection,
+                               const crypto::RsaPublicKey& expected_server,
+                               ByteView client_payload);
+
+  /// Encrypted round trip; only valid after a successful connect. Throws
+  /// Error if the server cannot decrypt / authenticate (torn session).
+  Bytes call(ByteView plaintext);
+
+  bool connected() const { return session_.has_value(); }
+
+ private:
+  struct Session {
+    SimNetwork::Connection connection;
+    std::uint64_t id;
+    crypto::Aead c2s;
+    crypto::Aead s2c;
+    std::uint64_t send_counter = 0;
+    std::uint64_t recv_counter = 0;
+  };
+
+  crypto::Drbg rng_;
+  crypto::DhKeyPair dh_;
+  Bytes dh_public_;
+  std::optional<Session> session_;
+};
+
+}  // namespace sinclave::net

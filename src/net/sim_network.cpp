@@ -1,0 +1,45 @@
+#include "net/sim_network.h"
+
+#include <thread>
+
+#include "common/error.h"
+
+namespace sinclave::net {
+
+void SimNetwork::listen(const std::string& address, Handler handler) {
+  if (!handler) throw Error("net: null handler");
+  const auto [it, inserted] = listeners_.emplace(address, std::move(handler));
+  (void)it;
+  if (!inserted) throw Error("net: address already in use: " + address);
+}
+
+void SimNetwork::shutdown(const std::string& address) {
+  listeners_.erase(address);
+}
+
+bool SimNetwork::has_listener(const std::string& address) const {
+  return listeners_.contains(address);
+}
+
+void SimNetwork::spend(std::chrono::microseconds d) {
+  virtual_time_ += d;
+  if (latency_.real_sleep && d.count() > 0) std::this_thread::sleep_for(d);
+}
+
+SimNetwork::Connection SimNetwork::connect(const std::string& address) {
+  if (!listeners_.contains(address))
+    throw Error("net: connection refused: " + address);
+  spend(latency_.connect);
+  return Connection(this, address);
+}
+
+Bytes SimNetwork::Connection::call(ByteView request) {
+  const auto it = net_->listeners_.find(address_);
+  if (it == net_->listeners_.end())
+    throw Error("net: peer went away: " + address_);
+  net_->spend(net_->latency_.round_trip);
+  ++net_->round_trips_;
+  return it->second(request);
+}
+
+}  // namespace sinclave::net

@@ -1,0 +1,78 @@
+// In-process network simulator.
+//
+// Services register request handlers under string addresses; clients open
+// connections and perform synchronous request/response calls. A configurable
+// latency model either really sleeps (wall-clock benchmarks, e.g. the
+// connection-setup share of Fig. 7c) or merely accounts virtual time
+// (fast deterministic tests).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace sinclave::net {
+
+struct LatencyModel {
+  /// One-time cost of opening a connection (the paper's "O/C" 3.74 ms).
+  std::chrono::microseconds connect{0};
+  /// Per round-trip cost.
+  std::chrono::microseconds round_trip{0};
+  /// true: sleep for the configured latencies (benchmarks);
+  /// false: only account them in virtual_time (tests).
+  bool real_sleep = false;
+};
+
+class SimNetwork {
+ public:
+  using Handler = std::function<Bytes(ByteView request)>;
+
+  explicit SimNetwork(LatencyModel latency = {}) : latency_(latency) {}
+
+  /// Register a service. Throws Error if the address is taken.
+  void listen(const std::string& address, Handler handler);
+  void shutdown(const std::string& address);
+  bool has_listener(const std::string& address) const;
+
+  /// A client-side connection handle. Cheap to copy; performing a call on
+  /// a connection whose listener went away throws Error.
+  class Connection {
+   public:
+    /// One synchronous round trip.
+    Bytes call(ByteView request);
+    const std::string& address() const { return address_; }
+
+   private:
+    friend class SimNetwork;
+    Connection(SimNetwork* net, std::string address)
+        : net_(net), address_(std::move(address)) {}
+    SimNetwork* net_;
+    std::string address_;
+  };
+
+  /// Open a connection (pays the connect latency). Throws Error when
+  /// nothing listens at `address`.
+  Connection connect(const std::string& address);
+
+  /// Total virtual network time accounted so far (both modes).
+  std::chrono::nanoseconds virtual_time() const { return virtual_time_; }
+  /// Total round trips performed (tests assert protocol message counts).
+  std::uint64_t round_trips() const { return round_trips_; }
+
+  const LatencyModel& latency() const { return latency_; }
+
+ private:
+  void spend(std::chrono::microseconds d);
+
+  LatencyModel latency_;
+  std::map<std::string, Handler> listeners_;
+  std::chrono::nanoseconds virtual_time_{0};
+  std::uint64_t round_trips_ = 0;
+};
+
+}  // namespace sinclave::net

@@ -1,0 +1,33 @@
+#include "quote/attestation_service.h"
+
+#include "crypto/sha256.h"
+
+namespace sinclave::quote {
+
+void AttestationService::register_platform(const crypto::RsaPublicKey& qe_key) {
+  platforms_[crypto::sha256(qe_key.modulus_be())] = qe_key;
+}
+
+void AttestationService::revoke_platform(const Hash256& qe_id) {
+  platforms_.erase(qe_id);
+}
+
+QuoteVerification AttestationService::verify(const Quote& quote) const {
+  QuoteVerification out;
+  const auto it = platforms_.find(quote.qe_id);
+  if (it == platforms_.end()) {
+    out.verdict = Verdict::kSignerMismatch;  // unknown platform
+    return out;
+  }
+  if (!it->second.verify_pkcs1_sha256(quote.signed_message(),
+                                      quote.signature)) {
+    out.verdict = Verdict::kBadSignature;
+    return out;
+  }
+  out.verdict = Verdict::kOk;
+  out.identity = quote.report.identity;
+  out.report_data = quote.report.report_data;
+  return out;
+}
+
+}  // namespace sinclave::quote

@@ -1,0 +1,46 @@
+// The TEE provider's attestation service (IAS/DCAP stand-in).
+//
+// Holds the set of trusted platform attestation keys and answers "is this
+// quote genuine?" (steps (5)-(6) in the paper's Fig. 3). It checks only
+// *authenticity* — whether genuine hardware produced the quote. Deciding
+// whether the attested identity is the *expected* one is the verifier's
+// job (the CAS policy layer, src/cas).
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "common/error.h"
+#include "crypto/rsa.h"
+#include "quote/quote.h"
+
+namespace sinclave::quote {
+
+/// Outcome of quote verification.
+struct QuoteVerification {
+  Verdict verdict = Verdict::kMalformed;
+  /// Set iff verdict == kOk.
+  std::optional<sgx::EnclaveIdentity> identity;
+  std::optional<sgx::ReportData> report_data;
+
+  bool ok() const { return verdict == Verdict::kOk; }
+};
+
+class AttestationService {
+ public:
+  /// Register a platform's quoting-enclave attestation key (models Intel's
+  /// provisioning database).
+  void register_platform(const crypto::RsaPublicKey& qe_key);
+
+  /// Drop a platform (e.g. TCB recovery / key revocation).
+  void revoke_platform(const Hash256& qe_id);
+
+  QuoteVerification verify(const Quote& quote) const;
+
+  std::size_t platform_count() const { return platforms_.size(); }
+
+ private:
+  std::map<Hash256, crypto::RsaPublicKey> platforms_;
+};
+
+}  // namespace sinclave::quote

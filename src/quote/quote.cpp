@@ -1,0 +1,33 @@
+#include "quote/quote.h"
+
+#include "common/error.h"
+#include "common/serial.h"
+
+namespace sinclave::quote {
+
+Bytes Quote::signed_message() const {
+  ByteWriter w;
+  w.raw(report.mac_message());
+  w.raw(qe_id.view());
+  return std::move(w).take();
+}
+
+Bytes Quote::serialize() const {
+  ByteWriter w;
+  w.bytes(report.serialize());
+  w.raw(qe_id.view());
+  w.bytes(signature);
+  return std::move(w).take();
+}
+
+Quote Quote::deserialize(ByteView data) {
+  ByteReader r(data);
+  Quote q;
+  q.report = sgx::Report::deserialize(r.bytes());
+  q.qe_id = r.fixed<32>();
+  q.signature = r.bytes();
+  r.expect_done();
+  return q;
+}
+
+}  // namespace sinclave::quote

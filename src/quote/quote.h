@@ -1,0 +1,33 @@
+// Remotely verifiable quotes.
+//
+// A quote is a report whose hardware MAC has been checked by the platform's
+// quoting enclave (local attestation) and replaced by a signature from the
+// quoting enclave's attestation key, which a remote attestation service can
+// verify (steps (2)-(4) of the paper's Fig. 3 protocol).
+#pragma once
+
+#include "common/bytes.h"
+#include "crypto/rsa.h"
+#include "sgx/report.h"
+
+namespace sinclave::quote {
+
+struct Quote {
+  /// The attested enclave's report body (the embedded MAC field is zeroed;
+  /// it is platform-local and meaningless to remote parties).
+  sgx::Report report;
+  /// Identifies the quoting enclave / platform attestation key.
+  Hash256 qe_id;
+  /// Attestation-key signature over the report body.
+  Bytes signature;
+
+  /// The byte string the signature covers.
+  Bytes signed_message() const;
+
+  Bytes serialize() const;
+  static Quote deserialize(ByteView data);
+
+  friend bool operator==(const Quote&, const Quote&) = default;
+};
+
+}  // namespace sinclave::quote

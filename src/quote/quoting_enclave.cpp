@@ -1,0 +1,59 @@
+#include "quote/quoting_enclave.h"
+
+#include "common/error.h"
+#include "crypto/sha256.h"
+
+namespace sinclave::quote {
+
+QuotingEnclave::QuotingEnclave(sgx::SgxCpu& cpu, crypto::Drbg& rng,
+                               std::size_t attestation_key_bits)
+    : cpu_(cpu),
+      attestation_key_(crypto::RsaKeyPair::generate(rng, attestation_key_bits)) {
+  // Construct the QE as a one-page enclave whose content commits to the
+  // attestation public key, then initialize it with a self-created signer.
+  sgx::Attributes attrs;
+  attrs.flags |= sgx::Attributes::kProvisionKey;
+  enclave_id_ = cpu_.ecreate(sgx::kPageSize, attrs);
+
+  Bytes page(sgx::kPageSize, 0);
+  const Hash256 key_commitment =
+      crypto::sha256(attestation_key_.public_key().modulus_be());
+  std::copy(key_commitment.begin(), key_commitment.end(), page.begin());
+  cpu_.add_measured_page(enclave_id_, 0, page, sgx::SecInfo::reg_rx());
+
+  sgx::SigStruct sig;
+  sig.enclave_hash = cpu_.current_measurement(enclave_id_);
+  sig.attributes = attrs;
+  sig.attribute_mask = sgx::Attributes{~std::uint64_t{0}, ~std::uint64_t{0}};
+  sig.sign(attestation_key_);  // QE signs itself with the attestation key
+
+  const Verdict v = cpu_.einit(enclave_id_, sig);
+  if (v != Verdict::kOk)
+    throw Error(std::string("quoting enclave failed to initialize: ") +
+                to_string(v));
+}
+
+sgx::TargetInfo QuotingEnclave::target_info() const {
+  const sgx::EnclaveIdentity& id = cpu_.identity(enclave_id_);
+  return sgx::TargetInfo{id.mr_enclave, id.attributes};
+}
+
+std::optional<Quote> QuotingEnclave::generate_quote(
+    const sgx::Report& report) const {
+  // Local attestation: only reports MACed by this platform's hardware for
+  // this QE verify here.
+  if (!cpu_.verify_report(enclave_id_, report)) return std::nullopt;
+
+  Quote q;
+  q.report = report;
+  q.report.mac = Mac128{};  // platform-local, not part of the quote
+  q.qe_id = qe_id();
+  q.signature = attestation_key_.sign_pkcs1_sha256(q.signed_message());
+  return q;
+}
+
+Hash256 QuotingEnclave::qe_id() const {
+  return crypto::sha256(attestation_key_.public_key().modulus_be());
+}
+
+}  // namespace sinclave::quote

@@ -1,0 +1,50 @@
+// The platform quoting enclave.
+//
+// Runs as a genuine (simulated) enclave on the SGX CPU: application enclaves
+// EREPORT towards its TargetInfo, it locally attests the report by checking
+// the hardware MAC with its EGETKEY(REPORT_KEY), and converts valid reports
+// into remotely verifiable quotes signed with its attestation key.
+#pragma once
+
+#include <optional>
+
+#include "crypto/drbg.h"
+#include "crypto/rsa.h"
+#include "quote/quote.h"
+#include "sgx/cpu.h"
+
+namespace sinclave::quote {
+
+class QuotingEnclave {
+ public:
+  /// Builds and initializes the QE enclave on `cpu`. `attestation_key_bits`
+  /// is configurable because RSA keygen dominates setup time in tests
+  /// (production DCAP uses ECDSA-P256; the signature scheme is not on any
+  /// measured path of the paper).
+  QuotingEnclave(sgx::SgxCpu& cpu, crypto::Drbg& rng,
+                 std::size_t attestation_key_bits = 1024);
+
+  /// Where application enclaves aim their EREPORT.
+  sgx::TargetInfo target_info() const;
+
+  /// Local attestation + quote generation. Returns nullopt when the report
+  /// MAC does not verify (report not produced by this platform's hardware
+  /// for this QE).
+  std::optional<Quote> generate_quote(const sgx::Report& report) const;
+
+  /// The attestation key's public half, registered with the attestation
+  /// service out of band.
+  const crypto::RsaPublicKey& attestation_key() const {
+    return attestation_key_.public_key();
+  }
+
+  /// Identifier derived from the attestation key.
+  Hash256 qe_id() const;
+
+ private:
+  sgx::SgxCpu& cpu_;
+  sgx::SgxCpu::EnclaveId enclave_id_;
+  crypto::RsaKeyPair attestation_key_;
+};
+
+}  // namespace sinclave::quote

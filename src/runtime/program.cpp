@@ -1,0 +1,18 @@
+#include "runtime/program.h"
+
+#include "common/error.h"
+
+namespace sinclave::runtime {
+
+void ProgramRegistry::register_program(const std::string& name,
+                                       Program program) {
+  if (!program) throw Error("program registry: null program");
+  programs_[name] = std::move(program);
+}
+
+const Program* ProgramRegistry::find(const std::string& name) const {
+  const auto it = programs_.find(name);
+  return it == programs_.end() ? nullptr : &it->second;
+}
+
+}  // namespace sinclave::runtime

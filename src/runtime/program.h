@@ -1,0 +1,54 @@
+// The application/program model (the "interpreter" abstraction).
+//
+// The paper's attack hinges on the fact that WHICH program an enclave runs
+// is decided by unmeasured configuration: the same Python interpreter
+// enclave runs whatever the config points it at. We model programs as
+// registered callables selected *by name from the attested configuration*
+// — exactly the indirection the attack exploits. The AppContext handed to a
+// program mirrors what SGX frameworks expose to user code: configuration,
+// secrets, the mounted encrypted filesystem, networking, and — crucially —
+// report generation with caller-chosen REPORTDATA (SCONE C functions,
+// Occlum ioctls, Gramine /dev/attestation; §3.2).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "cas/protocol.h"
+#include "fs/encrypted_volume.h"
+#include "net/sim_network.h"
+#include "sgx/report.h"
+
+namespace sinclave::runtime {
+
+/// Execution context a program receives from the runtime.
+struct AppContext {
+  const cas::AppConfig* config = nullptr;
+  /// Mounted volume (set iff the config carried a filesystem key).
+  fs::EncryptedVolume* volume = nullptr;
+  net::SimNetwork* network = nullptr;
+  /// EREPORT with arbitrary REPORTDATA — the framework attestation API.
+  std::function<sgx::Report(const sgx::TargetInfo&, const sgx::ReportData&)>
+      make_report;
+  /// Accumulates program output (observable by tests/examples).
+  std::string output;
+};
+
+/// A program returns an exit code; nonzero is failure.
+using Program = std::function<int(AppContext&)>;
+
+/// Name -> program table (the "binaries on the filesystem").
+class ProgramRegistry {
+ public:
+  void register_program(const std::string& name, Program program);
+  const Program* find(const std::string& name) const;
+  std::size_t size() const { return programs_.size(); }
+
+ private:
+  std::map<std::string, Program> programs_;
+};
+
+}  // namespace sinclave::runtime

@@ -1,0 +1,82 @@
+#include "runtime/starter.h"
+
+namespace sinclave::runtime {
+
+StartedEnclave start_enclave(
+    sgx::SgxCpu& cpu, const core::EnclaveImage& image,
+    const sgx::SigStruct& sigstruct,
+    const std::optional<core::InstancePage>& instance_page,
+    const std::optional<sgx::EinitToken>& launch_token) {
+  StartedEnclave out;
+  out.id = cpu.ecreate(image.total_size(), image.attributes,
+                       image.ssa_frame_size);
+  out.instance_page_offset = image.instance_page_offset();
+
+  // Code segment: measured content pages, read-execute.
+  for (std::uint64_t p = 0; p < image.code_pages(); ++p) {
+    cpu.add_measured_page(out.id, p * sgx::kPageSize, image.code_page(p),
+                          sgx::SecInfo::reg_rx());
+  }
+
+  // Heap: measured zero pages, read-write. Empty views share the CPU's
+  // zero-page storage, so large heaps cost hash time but no memory.
+  const std::uint64_t heap_base = image.code_bytes_padded();
+  for (std::uint64_t p = 0; p < image.heap_pages(); ++p) {
+    cpu.add_measured_page(out.id, heap_base + p * sgx::kPageSize, ByteView{},
+                          sgx::SecInfo::reg_rw());
+  }
+
+  // Instance page: token+verifier identity for singletons, zeros otherwise.
+  if (instance_page.has_value()) {
+    cpu.add_measured_page(out.id, out.instance_page_offset,
+                          instance_page->render(), sgx::SecInfo::reg_rw());
+  } else {
+    cpu.add_measured_page(out.id, out.instance_page_offset, ByteView{},
+                          sgx::SecInfo::reg_rw());
+  }
+
+  out.einit_verdict = cpu.einit(out.id, sigstruct, launch_token);
+  return out;
+}
+
+SingletonStart start_singleton_enclave(sgx::SgxCpu& cpu,
+                                       net::SimNetwork& net,
+                                       const std::string& cas_address,
+                                       const core::EnclaveImage& image,
+                                       const sgx::SigStruct& common_sigstruct,
+                                       const std::string& session_name) {
+  SingletonStart out;
+
+  cas::InstanceRequest request;
+  request.session_name = session_name;
+  request.common_sigstruct = common_sigstruct;
+
+  cas::InstanceResponse response;
+  try {
+    auto conn = net.connect(cas_address + ".instance");
+    response = cas::InstanceResponse::deserialize(
+        conn.call(request.serialize()));
+  } catch (const Error& e) {
+    out.error = std::string("instance request failed: ") + e.what();
+    return out;
+  }
+  if (!response.ok) {
+    out.error = "verifier refused instance: " + response.error;
+    return out;
+  }
+
+  core::InstancePage page;
+  page.token = response.token;
+  page.verifier_id = response.verifier_id;
+
+  out.token = response.token;
+  out.verifier_id = response.verifier_id;
+  out.enclave =
+      start_enclave(cpu, image, response.singleton_sigstruct, page);
+  if (!out.enclave.ok())
+    out.error = std::string("einit failed: ") +
+                to_string(out.enclave.einit_verdict);
+  return out;
+}
+
+}  // namespace sinclave::runtime

@@ -1,0 +1,260 @@
+#include "sgx/cpu.h"
+
+#include <cstring>
+
+#include "common/serial.h"
+#include "crypto/hkdf.h"
+#include "crypto/hmac.h"
+
+namespace sinclave::sgx {
+
+namespace {
+
+Bytes derive_fuse(std::uint64_t platform_seed, std::string_view label) {
+  ByteWriter seed;
+  seed.u64(platform_seed);
+  return crypto::hkdf(/*salt=*/{}, seed.data(),
+                      to_bytes(std::string("sgx-fuse-") + std::string(label)),
+                      32);
+}
+
+// All-zero page used as the shared backing of unmaterialized pages.
+const std::array<std::uint8_t, kPageSize>& zero_page() {
+  static const std::array<std::uint8_t, kPageSize> z{};
+  return z;
+}
+
+}  // namespace
+
+SgxCpu::SgxCpu(const Config& config)
+    : config_(config),
+      report_fuse_(derive_fuse(config.platform_seed, "report")),
+      seal_fuse_(derive_fuse(config.platform_seed, "seal")),
+      launch_fuse_(derive_fuse(config.platform_seed, "launch")),
+      key_id_rng_(crypto::Drbg::from_seed(config.platform_seed, "key-id")) {}
+
+SgxCpu::Enclave& SgxCpu::get(EnclaveId id) {
+  const auto it = enclaves_.find(id);
+  if (it == enclaves_.end()) throw SgxFault("no such enclave");
+  return it->second;
+}
+
+const SgxCpu::Enclave& SgxCpu::get(EnclaveId id) const {
+  const auto it = enclaves_.find(id);
+  if (it == enclaves_.end()) throw SgxFault("no such enclave");
+  return it->second;
+}
+
+SgxCpu::Enclave& SgxCpu::get_initialized(EnclaveId id) {
+  Enclave& e = get(id);
+  if (!e.initialized) throw SgxFault("enclave not initialized");
+  return e;
+}
+
+const SgxCpu::Enclave& SgxCpu::get_initialized(EnclaveId id) const {
+  const Enclave& e = get(id);
+  if (!e.initialized) throw SgxFault("enclave not initialized");
+  return e;
+}
+
+SgxCpu::EnclaveId SgxCpu::ecreate(std::uint64_t size,
+                                  const Attributes& attributes,
+                                  std::uint32_t ssa_frame_size) {
+  if (size == 0 || size % kPageSize != 0)
+    throw SgxFault("ECREATE: size must be a positive page multiple");
+  if (attributes.flags & Attributes::kInit)
+    throw SgxFault("ECREATE: INIT attribute is set by hardware only");
+  const EnclaveId id = next_id_++;
+  Enclave& e = enclaves_[id];
+  e.size = size;
+  e.attributes = attributes;
+  e.ssa_frame_size = ssa_frame_size;
+  e.log.ecreate(ssa_frame_size, size);
+  return id;
+}
+
+void SgxCpu::eadd(EnclaveId id, std::uint64_t page_offset, ByteView page,
+                  const SecInfo& secinfo) {
+  Enclave& e = get(id);
+  if (e.initialized) throw SgxFault("EADD: enclave already initialized");
+  if (page_offset % kPageSize != 0)
+    throw SgxFault("EADD: offset not page aligned");
+  if (page_offset + kPageSize > e.size)
+    throw SgxFault("EADD: page outside enclave range");
+  if (e.pages.contains(page_offset)) throw SgxFault("EADD: page already mapped");
+  if (!page.empty() && page.size() != kPageSize)
+    throw SgxFault("EADD: page must be 4096 bytes (or empty for zeros)");
+
+  Page p;
+  p.secinfo = secinfo;
+  if (!page.empty()) {
+    bool all_zero = true;
+    for (std::uint8_t b : page) {
+      if (b != 0) {
+        all_zero = false;
+        break;
+      }
+    }
+    if (!all_zero) {
+      p.data = std::make_unique<std::array<std::uint8_t, kPageSize>>();
+      std::memcpy(p.data->data(), page.data(), kPageSize);
+    }
+  }
+  e.pages.emplace(page_offset, std::move(p));
+  e.log.eadd(page_offset, secinfo);
+}
+
+void SgxCpu::eextend(EnclaveId id, std::uint64_t chunk_offset) {
+  Enclave& e = get(id);
+  if (e.initialized) throw SgxFault("EEXTEND: enclave already initialized");
+  const std::uint64_t page_offset = chunk_offset & ~(kPageSize - 1);
+  const auto it = e.pages.find(page_offset);
+  if (it == e.pages.end()) throw SgxFault("EEXTEND: page not mapped");
+  const auto& storage = it->second.data ? *it->second.data : zero_page();
+  const std::size_t in_page = chunk_offset % kPageSize;
+  e.log.eextend(chunk_offset,
+                ByteView{storage.data() + in_page, kExtendChunkSize});
+}
+
+void SgxCpu::add_measured_page(EnclaveId id, std::uint64_t page_offset,
+                               ByteView page, const SecInfo& secinfo) {
+  eadd(id, page_offset, page, secinfo);
+  for (std::size_t c = 0; c < kChunksPerPage; ++c)
+    eextend(id, page_offset + c * kExtendChunkSize);
+}
+
+Verdict SgxCpu::einit(EnclaveId id, const SigStruct& sigstruct,
+                      const std::optional<EinitToken>& token) {
+  Enclave& e = get(id);
+  if (e.initialized) throw SgxFault("EINIT: already initialized");
+
+  if (!sigstruct.signature_valid()) return Verdict::kBadSignature;
+
+  const Measurement mr_enclave = e.log.finalize();
+  if (mr_enclave != sigstruct.enclave_hash)
+    return Verdict::kMeasurementMismatch;
+
+  if (!e.attributes.matches_masked(sigstruct.attributes,
+                                   sigstruct.attribute_mask))
+    return Verdict::kAttributesMismatch;
+
+  if (e.attributes.debug() && !sigstruct.debug_allowed)
+    return Verdict::kPolicyViolation;
+
+  const SignerId mr_signer = sigstruct.mr_signer();
+
+  if (!config_.flexible_launch_control && !e.attributes.debug()) {
+    // Pre-FLC: production enclaves need a valid EINITTOKEN.
+    if (!token.has_value()) return Verdict::kPolicyViolation;
+    const Mac128 expect =
+        crypto::hmac_sha256_128(launch_fuse_, token->mac_message());
+    if (!ct_equal(token->mac.view(), expect.view())) return Verdict::kBadMac;
+    if (token->mr_enclave != mr_enclave || token->mr_signer != mr_signer ||
+        !(token->attributes == e.attributes))
+      return Verdict::kPolicyViolation;
+  }
+
+  e.identity.mr_enclave = mr_enclave;
+  e.identity.mr_signer = mr_signer;
+  e.identity.attributes = e.attributes;
+  e.identity.attributes.flags |= Attributes::kInit;
+  e.identity.isv_prod_id = sigstruct.isv_prod_id;
+  e.identity.isv_svn = sigstruct.isv_svn;
+  e.initialized = true;
+  return Verdict::kOk;
+}
+
+bool SgxCpu::initialized(EnclaveId id) const {
+  return get(id).initialized;
+}
+
+const EnclaveIdentity& SgxCpu::identity(EnclaveId id) const {
+  return get_initialized(id).identity;
+}
+
+std::uint64_t SgxCpu::enclave_size(EnclaveId id) const {
+  return get(id).size;
+}
+
+Bytes SgxCpu::derive_report_key(const Measurement& target_mr,
+                                const Attributes& target_attributes) const {
+  ByteWriter msg;
+  msg.str("REPORT_KEY");
+  msg.raw(target_mr.view());
+  msg.u64(target_attributes.flags);
+  msg.u64(target_attributes.xfrm);
+  msg.raw(config_.cpu_svn.view());
+  return crypto::hmac_sha256(report_fuse_, msg.data()).to_vector();
+}
+
+Report SgxCpu::ereport(EnclaveId id, const TargetInfo& target,
+                       const ReportData& report_data) {
+  const Enclave& e = get_initialized(id);
+  Report report;
+  report.cpu_svn = config_.cpu_svn;
+  report.identity = e.identity;
+  report.report_data = report_data;
+  key_id_rng_.generate(report.key_id.data.data(), report.key_id.size());
+  const Bytes key = derive_report_key(target.mr_enclave, target.attributes);
+  report.mac = crypto::hmac_sha256_128(key, report.mac_message());
+  return report;
+}
+
+Bytes SgxCpu::egetkey_report(EnclaveId id) const {
+  const Enclave& e = get_initialized(id);
+  return derive_report_key(e.identity.mr_enclave, e.identity.attributes);
+}
+
+bool SgxCpu::verify_report(EnclaveId id, const Report& report) const {
+  const Bytes key = egetkey_report(id);
+  const Mac128 expect = crypto::hmac_sha256_128(key, report.mac_message());
+  return ct_equal(report.mac.view(), expect.view());
+}
+
+Bytes SgxCpu::egetkey_seal(EnclaveId id, SealPolicy policy) const {
+  const Enclave& e = get_initialized(id);
+  ByteWriter msg;
+  msg.str("SEAL_KEY");
+  switch (policy) {
+    case SealPolicy::kMrEnclave:
+      msg.u8(0);
+      msg.raw(e.identity.mr_enclave.view());
+      break;
+    case SealPolicy::kMrSigner:
+      msg.u8(1);
+      msg.raw(e.identity.mr_signer.view());
+      break;
+  }
+  msg.u16(e.identity.isv_prod_id);
+  msg.u16(e.identity.isv_svn);
+  return crypto::hmac_sha256(seal_fuse_, msg.data()).to_vector();
+}
+
+Bytes SgxCpu::egetkey_launch(EnclaveId id) const {
+  const Enclave& e = get_initialized(id);
+  if (!(e.identity.attributes.flags & Attributes::kEinitTokenKey))
+    throw SgxFault("EGETKEY: launch key requires EINITTOKEN_KEY attribute");
+  return launch_fuse_;
+}
+
+Bytes SgxCpu::read_page(EnclaveId id, std::uint64_t page_offset) const {
+  const Enclave& e = get(id);
+  const auto it = e.pages.find(page_offset);
+  if (it == e.pages.end()) throw SgxFault("read: page not mapped");
+  const auto& storage = it->second.data ? *it->second.data : zero_page();
+  return Bytes{storage.begin(), storage.end()};
+}
+
+void SgxCpu::eremove(EnclaveId id) {
+  if (enclaves_.erase(id) == 0) throw SgxFault("EREMOVE: no such enclave");
+}
+
+Measurement SgxCpu::current_measurement(EnclaveId id) const {
+  return get(id).log.finalize();
+}
+
+Bytes SgxCpu::platform_launch_key() const {
+  return launch_fuse_;
+}
+
+}  // namespace sinclave::sgx

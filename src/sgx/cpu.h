@@ -1,0 +1,161 @@
+// The simulated SGX CPU: enclave lifecycle instructions and key hierarchy.
+//
+// Models the hardware half of the paper's trust argument:
+//  * ECREATE/EADD/EEXTEND build an enclave and extend its measurement log
+//    (exact block format in sgx/measurement.h).
+//  * EINIT verifies the SigStruct and freezes the enclave; afterwards no
+//    construction is possible and MRENCLAVE is fixed.
+//  * EREPORT emits reports MACed with a key derived from per-platform fuse
+//    keys and the *target* enclave's identity.
+//  * EGETKEY derives report/seal/launch keys for a running enclave.
+//
+// Trust-boundary note (simulation): methods documented as "in-enclave" are
+// the ones real hardware only exposes to code executing inside the enclave;
+// all components live in one process here, so the boundary is enforced by
+// convention and checked in tests, not by hardware.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "crypto/drbg.h"
+#include "sgx/launch.h"
+#include "sgx/measurement.h"
+#include "sgx/report.h"
+#include "sgx/sigstruct.h"
+#include "sgx/types.h"
+
+namespace sinclave::sgx {
+
+/// Key derivation policy for EGETKEY(SEAL_KEY).
+enum class SealPolicy { kMrEnclave, kMrSigner };
+
+class SgxCpu {
+ public:
+  using EnclaveId = std::uint64_t;
+
+  struct Config {
+    /// Root of the simulated fuse keys; two CPUs with the same seed are
+    /// "the same physical processor".
+    std::uint64_t platform_seed = 0;
+    /// Simulated microcode/TCB version, bound into reports.
+    FixedBytes<16> cpu_svn;
+    /// Flexible Launch Control: when true (modern default), production
+    /// enclaves launch without an EINITTOKEN.
+    bool flexible_launch_control = true;
+  };
+
+  explicit SgxCpu(const Config& config);
+
+  // --- Enclave construction (executed by the untrusted starter) ---
+
+  /// ECREATE: allocate an enclave of `size` bytes (page multiple, power of
+  /// two not required in the simulator) with the given attributes.
+  EnclaveId ecreate(std::uint64_t size, const Attributes& attributes,
+                    std::uint32_t ssa_frame_size = 1);
+
+  /// EADD: add one page at `page_offset`. `page` is kPageSize bytes, or
+  /// empty for an all-zero page (zero pages share storage, so multi-GB
+  /// heaps are cheap to simulate). Extends the measurement with the EADD
+  /// block only; use eextend()/add_measured_page() to measure content.
+  void eadd(EnclaveId id, std::uint64_t page_offset, ByteView page,
+            const SecInfo& secinfo);
+
+  /// EEXTEND: measure the 256-byte chunk at `chunk_offset` of a page
+  /// previously added with eadd.
+  void eextend(EnclaveId id, std::uint64_t chunk_offset);
+
+  /// EADD + 16x EEXTEND.
+  void add_measured_page(EnclaveId id, std::uint64_t page_offset,
+                         ByteView page, const SecInfo& secinfo);
+
+  /// EINIT: verify the SigStruct (and launch token when FLC is off) and
+  /// lock the enclave. On success the enclave's identity becomes readable
+  /// and EREPORT/EGETKEY become available.
+  Verdict einit(EnclaveId id, const SigStruct& sigstruct,
+                const std::optional<EinitToken>& token = std::nullopt);
+
+  // --- Post-initialization ---
+
+  bool initialized(EnclaveId id) const;
+  const EnclaveIdentity& identity(EnclaveId id) const;
+  std::uint64_t enclave_size(EnclaveId id) const;
+
+  /// EREPORT (in-enclave): produce a report for `target` carrying
+  /// caller-chosen REPORTDATA.
+  Report ereport(EnclaveId id, const TargetInfo& target,
+                 const ReportData& report_data);
+
+  /// EGETKEY(REPORT_KEY) (in-enclave): the key verifying reports that were
+  /// targeted at this enclave.
+  Bytes egetkey_report(EnclaveId id) const;
+
+  /// Convenience built on egetkey_report: verify a report targeted at
+  /// enclave `id`.
+  bool verify_report(EnclaveId id, const Report& report) const;
+
+  /// EGETKEY(SEAL_KEY) (in-enclave).
+  Bytes egetkey_seal(EnclaveId id, SealPolicy policy) const;
+
+  /// EGETKEY(LAUNCH_KEY): only available to enclaves with the
+  /// EINITTOKEN_KEY attribute (the launch enclave). The LaunchEnclave
+  /// helper in sgx/launch.h wraps this.
+  Bytes egetkey_launch(EnclaveId id) const;
+
+  /// Read a page of enclave memory (in-enclave; used by the runtime to
+  /// read its instance page). Returns kPageSize bytes.
+  Bytes read_page(EnclaveId id, std::uint64_t page_offset) const;
+
+  /// Destroy an enclave (EREMOVE of all pages).
+  void eremove(EnclaveId id);
+
+  /// Current (not yet finalized) measurement — a debugging/test aid; real
+  /// hardware exposes the final MRENCLAVE only.
+  Measurement current_measurement(EnclaveId id) const;
+
+  /// Platform launch key — models the launch enclave's EGETKEY result
+  /// without constructing an actual launch enclave. Used by LaunchAuthority.
+  Bytes platform_launch_key() const;
+
+  const Config& config() const { return config_; }
+
+ private:
+  struct Page {
+    SecInfo secinfo;
+    /// Null means an all-zero page (shared representation).
+    std::unique_ptr<std::array<std::uint8_t, kPageSize>> data;
+  };
+
+  struct Enclave {
+    std::uint64_t size = 0;
+    Attributes attributes;
+    std::uint32_t ssa_frame_size = 1;
+    FastMeasurementLog log;
+    std::map<std::uint64_t, Page> pages;
+    bool initialized = false;
+    EnclaveIdentity identity;
+  };
+
+  Enclave& get(EnclaveId id);
+  const Enclave& get(EnclaveId id) const;
+  Enclave& get_initialized(EnclaveId id);
+  const Enclave& get_initialized(EnclaveId id) const;
+
+  /// Report-MAC key for reports aimed at the given target identity.
+  Bytes derive_report_key(const Measurement& target_mr,
+                          const Attributes& target_attributes) const;
+
+  Config config_;
+  Bytes report_fuse_;
+  Bytes seal_fuse_;
+  Bytes launch_fuse_;
+  crypto::Drbg key_id_rng_;
+  std::map<EnclaveId, Enclave> enclaves_;
+  EnclaveId next_id_ = 1;
+};
+
+}  // namespace sinclave::sgx

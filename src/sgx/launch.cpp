@@ -1,0 +1,67 @@
+#include "sgx/launch.h"
+
+#include <algorithm>
+
+#include "common/serial.h"
+#include "crypto/hmac.h"
+#include "sgx/cpu.h"
+
+namespace sinclave::sgx {
+
+Bytes EinitToken::mac_message() const {
+  ByteWriter w;
+  w.raw(mr_enclave.view());
+  w.raw(mr_signer.view());
+  w.u64(attributes.flags);
+  w.u64(attributes.xfrm);
+  w.u8(debug ? 1 : 0);
+  return std::move(w).take();
+}
+
+Bytes EinitToken::serialize() const {
+  ByteWriter w;
+  w.raw(mac_message());
+  w.raw(mac.view());
+  return std::move(w).take();
+}
+
+EinitToken EinitToken::deserialize(ByteView data) {
+  ByteReader r(data);
+  EinitToken t;
+  t.mr_enclave = r.fixed<32>();
+  t.mr_signer = r.fixed<32>();
+  t.attributes.flags = r.u64();
+  t.attributes.xfrm = r.u64();
+  t.debug = r.u8() != 0;
+  t.mac = r.fixed<16>();
+  r.expect_done();
+  return t;
+}
+
+LaunchAuthority::LaunchAuthority(const SgxCpu& cpu)
+    : launch_key_(cpu.platform_launch_key()) {}
+
+void LaunchAuthority::whitelist_signer(const SignerId& signer) {
+  if (std::find(whitelist_.begin(), whitelist_.end(), signer) ==
+      whitelist_.end())
+    whitelist_.push_back(signer);
+}
+
+std::optional<EinitToken> LaunchAuthority::request_token(
+    const Measurement& mr_enclave, const SignerId& mr_signer,
+    const Attributes& attributes) const {
+  const bool debug = attributes.debug();
+  if (!debug && std::find(whitelist_.begin(), whitelist_.end(), mr_signer) ==
+                    whitelist_.end()) {
+    return std::nullopt;  // production launch requires a whitelisted signer
+  }
+  EinitToken token;
+  token.mr_enclave = mr_enclave;
+  token.mr_signer = mr_signer;
+  token.attributes = attributes;
+  token.debug = debug;
+  token.mac = crypto::hmac_sha256_128(launch_key_, token.mac_message());
+  return token;
+}
+
+}  // namespace sinclave::sgx

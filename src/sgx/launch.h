@@ -1,0 +1,58 @@
+// EINIT tokens and the launch authority (pre-FLC launch control).
+//
+// Before Flexible Launch Control, a production enclave could only be
+// initialized with an EINITTOKEN minted by the Intel-signed launch enclave.
+// The token authorizes a specific (MRENCLAVE, MRSIGNER, attributes) triple
+// and is MACed with the platform launch key. The simulator reproduces this
+// path so tests can cover both launch-control regimes the paper describes
+// (§2.2.2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "sgx/types.h"
+
+namespace sinclave::sgx {
+
+struct EinitToken {
+  Measurement mr_enclave;
+  SignerId mr_signer;
+  Attributes attributes;
+  bool debug = false;
+  Mac128 mac;
+
+  /// Serialization of the MACed fields.
+  Bytes mac_message() const;
+
+  Bytes serialize() const;
+  static EinitToken deserialize(ByteView data);
+
+  friend bool operator==(const EinitToken&, const EinitToken&) = default;
+};
+
+class SgxCpu;
+
+/// Models the launch enclave: mints EINITTOKENs under a simple signer
+/// whitelist policy. Holds the platform launch key obtained from the CPU.
+class LaunchAuthority {
+ public:
+  explicit LaunchAuthority(const SgxCpu& cpu);
+
+  /// Allow enclaves from this signer to launch in production mode.
+  void whitelist_signer(const SignerId& signer);
+
+  /// Mint a token, or nullopt when policy denies (production enclave from
+  /// a non-whitelisted signer). Debug enclaves are always allowed.
+  std::optional<EinitToken> request_token(const Measurement& mr_enclave,
+                                          const SignerId& mr_signer,
+                                          const Attributes& attributes) const;
+
+ private:
+  Bytes launch_key_;
+  std::vector<SignerId> whitelist_;
+};
+
+}  // namespace sinclave::sgx

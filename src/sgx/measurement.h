@@ -1,0 +1,147 @@
+// The SGX enclave measurement log.
+//
+// MRENCLAVE is the SHA-256 over a log of enclave-construction operations.
+// Each operation contributes whole 64-byte blocks (SDM vol. 3D):
+//
+//   ECREATE : "ECREATE\0" | u32 ssa_frame_size | u64 enclave_size | 44 zeros
+//   EADD    : "EADD\0\0\0\0" | u64 page_offset | 48-byte SECINFO prefix
+//   EEXTEND : "EEXTEND\0" | u64 chunk_offset | 48 zeros, then the 256 data
+//             bytes of the chunk (4 further blocks)
+//
+// Because every operation is 64-byte aligned, the running SHA-256 state
+// between operations is exportable/resumable — the foundation of the
+// SinClave base enclave hash (src/core/base_hash.h).
+//
+// Two log flavours share the block format via the templates below:
+//  * MeasurementLog      — interruptible SHA-256; state export/resume.
+//    Used by the SinClave signer and the verifier-side predictor.
+//  * FastMeasurementLog  — optimized SHA-256, no export. Used by the
+//    simulated CPU (hardware measures at full speed and its hash state is
+//    not externally observable) and by the baseline signer.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "crypto/sha256.h"
+#include "crypto/sha256_fast.h"
+#include "sgx/types.h"
+
+namespace sinclave::sgx {
+
+namespace measurement_ops {
+
+/// Append the ECREATE block to any SHA-256-like hasher.
+template <typename Hasher>
+void absorb_ecreate(Hasher& h, std::uint32_t ssa_frame_size,
+                    std::uint64_t enclave_size) {
+  std::uint8_t block[64] = {};
+  std::memcpy(block, "ECREATE\0", 8);
+  std::memcpy(block + 8, &ssa_frame_size, 4);
+  std::memcpy(block + 12, &enclave_size, 8);
+  h.update(ByteView{block, 64});
+}
+
+template <typename Hasher>
+void absorb_eadd(Hasher& h, std::uint64_t page_offset, const SecInfo& secinfo) {
+  std::uint8_t block[64] = {};
+  std::memcpy(block, "EADD\0\0\0\0", 8);
+  std::memcpy(block + 8, &page_offset, 8);
+  const std::uint64_t flags = secinfo.packed_flags();
+  std::memcpy(block + 16, &flags, 8);
+  h.update(ByteView{block, 64});
+}
+
+template <typename Hasher>
+void absorb_eextend(Hasher& h, std::uint64_t chunk_offset, ByteView chunk256) {
+  std::uint8_t block[64] = {};
+  std::memcpy(block, "EEXTEND\0", 8);
+  std::memcpy(block + 8, &chunk_offset, 8);
+  h.update(ByteView{block, 64});
+  h.update(chunk256);
+}
+
+}  // namespace measurement_ops
+
+/// Common log behaviour over a hasher type.
+template <typename Hasher>
+class BasicMeasurementLog {
+ public:
+  /// Record enclave creation. Must be the first operation.
+  void ecreate(std::uint32_t ssa_frame_size, std::uint64_t enclave_size) {
+    if (operations_ != 0)
+      throw SgxFault("measurement: ECREATE must be the first operation");
+    measurement_ops::absorb_ecreate(hash_, ssa_frame_size, enclave_size);
+    ++operations_;
+  }
+
+  /// Record addition of a page at `page_offset` (page aligned).
+  void eadd(std::uint64_t page_offset, const SecInfo& secinfo) {
+    if (operations_ == 0) throw SgxFault("measurement: EADD before ECREATE");
+    if (page_offset % kPageSize != 0)
+      throw SgxFault("measurement: EADD offset not page aligned");
+    measurement_ops::absorb_eadd(hash_, page_offset, secinfo);
+    ++operations_;
+  }
+
+  /// Record measurement of one 256-byte chunk at `chunk_offset`.
+  void eextend(std::uint64_t chunk_offset, ByteView chunk256) {
+    if (operations_ == 0)
+      throw SgxFault("measurement: EEXTEND before ECREATE");
+    if (chunk256.size() != kExtendChunkSize)
+      throw SgxFault("measurement: EEXTEND requires a 256-byte chunk");
+    if (chunk_offset % kExtendChunkSize != 0)
+      throw SgxFault("measurement: EEXTEND offset not 256-byte aligned");
+    measurement_ops::absorb_eextend(hash_, chunk_offset, chunk256);
+    ++operations_;
+  }
+
+  /// Convenience: eadd followed by eextend over all 16 chunks of the page.
+  void add_measured_page(std::uint64_t page_offset, const SecInfo& secinfo,
+                         ByteView page) {
+    if (page.size() != kPageSize)
+      throw SgxFault("measurement: page must be 4096 bytes");
+    eadd(page_offset, secinfo);
+    for (std::size_t c = 0; c < kChunksPerPage; ++c)
+      eextend(page_offset + c * kExtendChunkSize,
+              page.subspan(c * kExtendChunkSize, kExtendChunkSize));
+  }
+
+  /// Number of construction operations recorded so far.
+  std::uint64_t operation_count() const { return operations_; }
+
+  /// Finalize into MRENCLAVE. Works on a copy so the log stays usable —
+  /// a verifier measures several candidate extensions from one prefix.
+  Measurement finalize() const {
+    Hasher copy = hash_;
+    return copy.finalize();
+  }
+
+ protected:
+  Hasher hash_;
+  std::uint64_t operations_ = 0;
+};
+
+/// Interruptible log: supports base-hash export and resume.
+class MeasurementLog : public BasicMeasurementLog<crypto::Sha256> {
+ public:
+  /// Export the resumable mid-state (the base enclave hash payload).
+  crypto::Sha256State export_state() const { return hash_.export_state(); }
+
+  /// Resume from a previously exported state, e.g. on the verifier side.
+  /// The operation counter restarts relative to the resume point.
+  static MeasurementLog resume(const crypto::Sha256State& state) {
+    MeasurementLog log;
+    log.hash_ = crypto::Sha256::resume(state);
+    log.operations_ = state.byte_count / 64;  // block count: >0 iff non-empty
+    return log;
+  }
+};
+
+/// Hardware-speed log without export (the simulated CPU's internal state,
+/// like real silicon, is not observable mid-construction).
+class FastMeasurementLog : public BasicMeasurementLog<crypto::Sha256Fast> {};
+
+}  // namespace sinclave::sgx

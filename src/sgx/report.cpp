@@ -1,0 +1,64 @@
+#include "sgx/report.h"
+
+#include "common/error.h"
+#include "common/serial.h"
+
+namespace sinclave::sgx {
+
+Bytes TargetInfo::serialize() const {
+  ByteWriter w;
+  w.raw(mr_enclave.view());
+  w.u64(attributes.flags);
+  w.u64(attributes.xfrm);
+  return std::move(w).take();
+}
+
+TargetInfo TargetInfo::deserialize(ByteView data) {
+  ByteReader r(data);
+  TargetInfo t;
+  t.mr_enclave = r.fixed<32>();
+  t.attributes.flags = r.u64();
+  t.attributes.xfrm = r.u64();
+  r.expect_done();
+  return t;
+}
+
+Bytes Report::mac_message() const {
+  ByteWriter w;
+  w.raw(cpu_svn.view());
+  w.raw(identity.mr_enclave.view());
+  w.raw(identity.mr_signer.view());
+  w.u64(identity.attributes.flags);
+  w.u64(identity.attributes.xfrm);
+  w.u16(identity.isv_prod_id);
+  w.u16(identity.isv_svn);
+  w.raw(report_data.view());
+  w.raw(key_id.view());
+  return std::move(w).take();
+}
+
+Bytes Report::serialize() const {
+  ByteWriter w;
+  w.raw(mac_message());
+  w.raw(mac.view());
+  return std::move(w).take();
+}
+
+Report Report::deserialize(ByteView data) {
+  ByteReader r(data);
+  Report rep;
+  rep.cpu_svn = r.fixed<16>();
+  rep.identity.mr_enclave = r.fixed<32>();
+  rep.identity.mr_signer = r.fixed<32>();
+  rep.identity.attributes.flags = r.u64();
+  rep.identity.attributes.xfrm = r.u64();
+  rep.identity.isv_prod_id = r.u16();
+  rep.identity.isv_svn = r.u16();
+  rep.report_data = r.fixed<64>();
+  rep.key_id = r.fixed<32>();
+  rep.mac = r.fixed<16>();
+  r.expect_done();
+  return rep;
+}
+
+}  // namespace sinclave::sgx

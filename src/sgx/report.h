@@ -1,0 +1,49 @@
+// SGX reports (EREPORT output) and report targeting.
+//
+// A report binds the producing enclave's identity (MRENCLAVE, MRSIGNER,
+// attributes, ISV ids) together with 64 bytes of caller-chosen REPORTDATA,
+// MACed with a key only the *target* enclave (and the CPU) can derive.
+// The REPORTDATA field is exactly what the paper's attack abuses: a report
+// server produces reports with arbitrary attacker-chosen REPORTDATA.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "sgx/types.h"
+
+namespace sinclave::sgx {
+
+/// 64-byte user data bound into a report (e.g. a channel public key hash).
+using ReportData = FixedBytes<64>;
+
+/// Identifies the enclave a report is destined for; the MAC key is derived
+/// from these fields so only that enclave can verify the report.
+struct TargetInfo {
+  Measurement mr_enclave;
+  Attributes attributes;
+
+  Bytes serialize() const;
+  static TargetInfo deserialize(ByteView data);
+
+  friend bool operator==(const TargetInfo&, const TargetInfo&) = default;
+};
+
+struct Report {
+  /// CPU security version (simulated platform TCB level).
+  FixedBytes<16> cpu_svn;
+  EnclaveIdentity identity;
+  ReportData report_data;
+  FixedBytes<32> key_id;  // freshness of the MAC key derivation
+  Mac128 mac;
+
+  /// Serialization of everything covered by the MAC.
+  Bytes mac_message() const;
+
+  Bytes serialize() const;
+  static Report deserialize(ByteView data);
+
+  friend bool operator==(const Report&, const Report&) = default;
+};
+
+}  // namespace sinclave::sgx

@@ -1,0 +1,68 @@
+#include "sgx/sigstruct.h"
+
+#include "common/serial.h"
+#include "crypto/sha256.h"
+
+namespace sinclave::sgx {
+
+namespace {
+constexpr std::uint32_t kSigStructMagic = 0x53494753;  // "SIGS"
+}
+
+Bytes SigStruct::signing_message() const {
+  ByteWriter w;
+  w.u32(kSigStructMagic);
+  w.raw(enclave_hash.view());
+  w.u64(attributes.flags);
+  w.u64(attributes.xfrm);
+  w.u64(attribute_mask.flags);
+  w.u64(attribute_mask.xfrm);
+  w.u16(isv_prod_id);
+  w.u16(isv_svn);
+  w.u32(date);
+  w.u8(debug_allowed ? 1 : 0);
+  return std::move(w).take();
+}
+
+void SigStruct::sign(const crypto::RsaKeyPair& signer) {
+  signer_key = signer.public_key();
+  signature = signer.sign_pkcs1_sha256(signing_message());
+}
+
+bool SigStruct::signature_valid() const {
+  if (signature.empty()) return false;
+  return signer_key.verify_pkcs1_sha256(signing_message(), signature);
+}
+
+SignerId SigStruct::mr_signer() const {
+  return crypto::sha256(signer_key.modulus_be());
+}
+
+Bytes SigStruct::serialize() const {
+  ByteWriter w;
+  w.raw(signing_message());
+  w.bytes(signer_key.serialize());
+  w.bytes(signature);
+  return std::move(w).take();
+}
+
+SigStruct SigStruct::deserialize(ByteView data) {
+  ByteReader r(data);
+  if (r.u32() != kSigStructMagic) throw ParseError("sigstruct: bad magic");
+  SigStruct s;
+  s.enclave_hash = r.fixed<32>();
+  s.attributes.flags = r.u64();
+  s.attributes.xfrm = r.u64();
+  s.attribute_mask.flags = r.u64();
+  s.attribute_mask.xfrm = r.u64();
+  s.isv_prod_id = r.u16();
+  s.isv_svn = r.u16();
+  s.date = r.u32();
+  s.debug_allowed = r.u8() != 0;
+  s.signer_key = crypto::RsaPublicKey::deserialize(r.bytes());
+  s.signature = r.bytes();
+  r.expect_done();
+  return s;
+}
+
+}  // namespace sinclave::sgx

@@ -1,0 +1,53 @@
+// The Enclave Signature Structure (SigStruct).
+//
+// Created by the enclave signer, consumed by EINIT: it pins the expected
+// MRENCLAVE, the allowed attributes (with a mask), product id and security
+// version, all under an RSA-3072 signature. MRSIGNER is defined as
+// SHA-256(modulus). SinClave's verifier creates *on-demand* SigStructs —
+// one per singleton enclave — by swapping the enclave_hash and re-signing
+// (src/core/on_demand.h); the signer key itself never leaves the verifier.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "crypto/rsa.h"
+#include "sgx/types.h"
+
+namespace sinclave::sgx {
+
+struct SigStruct {
+  /// Signed fields.
+  Measurement enclave_hash;     // expected MRENCLAVE
+  Attributes attributes;        // expected attribute values
+  Attributes attribute_mask;    // which attribute bits EINIT enforces
+  std::uint16_t isv_prod_id = 0;
+  std::uint16_t isv_svn = 0;
+  std::uint32_t date = 0;       // yyyymmdd, informational
+  bool debug_allowed = false;   // signer permits debug launch
+
+  /// Signer public key and signature over the signed fields.
+  crypto::RsaPublicKey signer_key;
+  Bytes signature;
+
+  /// Canonical serialization of the signed fields (the RSA message).
+  Bytes signing_message() const;
+
+  /// Sign with the enclave signer's private key; fills signer_key+signature.
+  void sign(const crypto::RsaKeyPair& signer);
+
+  /// Check the RSA signature against the embedded public key.
+  bool signature_valid() const;
+
+  /// MRSIGNER := SHA-256 over the signer's modulus.
+  SignerId mr_signer() const;
+
+  /// Full wire encoding (for embedding into enclave binaries and RPC).
+  Bytes serialize() const;
+  static SigStruct deserialize(ByteView data);
+
+  friend bool operator==(const SigStruct&, const SigStruct&) = default;
+};
+
+}  // namespace sinclave::sgx

@@ -1,0 +1,83 @@
+// Core SGX data types shared across the simulator: enclave attributes,
+// page security info, measurement values. Field layouts follow the Intel
+// SDM (vol. 3D) closely enough that every structure the measurement hash
+// consumes is a multiple of 64 bytes — the property SinClave's base-hash
+// mechanism depends on.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace sinclave::sgx {
+
+inline constexpr std::size_t kPageSize = 4096;
+/// EEXTEND measures 256-byte chunks; 16 chunks per page.
+inline constexpr std::size_t kExtendChunkSize = 256;
+inline constexpr std::size_t kChunksPerPage = kPageSize / kExtendChunkSize;
+
+/// Enclave measurement (MRENCLAVE) and signer identity (MRSIGNER).
+using Measurement = Hash256;
+using SignerId = Hash256;
+
+/// SECS.ATTRIBUTES: execution-environment flags bound into measurement,
+/// reports and key derivations. Bit positions mirror the SDM.
+struct Attributes {
+  static constexpr std::uint64_t kInit = 1u << 0;   // set by hardware at EINIT
+  static constexpr std::uint64_t kDebug = 1u << 1;
+  static constexpr std::uint64_t kMode64 = 1u << 2;
+  static constexpr std::uint64_t kProvisionKey = 1u << 4;
+  static constexpr std::uint64_t kEinitTokenKey = 1u << 5;
+
+  std::uint64_t flags = kMode64;
+  std::uint64_t xfrm = 0x3;  // X87|SSE always required
+
+  bool debug() const { return flags & kDebug; }
+
+  /// True when `this` is allowed under a signer-specified mask pair:
+  /// every bit the mask selects must match the expected attributes.
+  bool matches_masked(const Attributes& expected, const Attributes& mask) const {
+    return (flags & mask.flags) == (expected.flags & mask.flags) &&
+           (xfrm & mask.xfrm) == (expected.xfrm & mask.xfrm);
+  }
+
+  friend bool operator==(const Attributes&, const Attributes&) = default;
+};
+
+/// Page permissions and type (SECINFO.FLAGS); the first 8 bytes of the
+/// 48-byte SECINFO block hashed by EADD.
+struct SecInfo {
+  static constexpr std::uint64_t kRead = 1u << 0;
+  static constexpr std::uint64_t kWrite = 1u << 1;
+  static constexpr std::uint64_t kExecute = 1u << 2;
+
+  enum class PageType : std::uint8_t { kSecs = 0, kTcs = 1, kReg = 2 };
+
+  std::uint64_t permissions = kRead | kWrite;
+  PageType page_type = PageType::kReg;
+
+  std::uint64_t packed_flags() const {
+    return permissions | (std::uint64_t{static_cast<std::uint8_t>(page_type)} << 8);
+  }
+
+  static SecInfo reg_rw() { return SecInfo{}; }
+  static SecInfo reg_rx() {
+    return SecInfo{kRead | kExecute, PageType::kReg};
+  }
+  static SecInfo tcs() { return SecInfo{kRead | kWrite, PageType::kTcs}; }
+
+  friend bool operator==(const SecInfo&, const SecInfo&) = default;
+};
+
+/// Identity of an enclave as seen by verifiers: everything a report binds.
+struct EnclaveIdentity {
+  Measurement mr_enclave;
+  SignerId mr_signer;
+  Attributes attributes;
+  std::uint16_t isv_prod_id = 0;
+  std::uint16_t isv_svn = 0;
+
+  friend bool operator==(const EnclaveIdentity&, const EnclaveIdentity&) = default;
+};
+
+}  // namespace sinclave::sgx

@@ -1,0 +1,173 @@
+#include "workload/workloads.h"
+
+#include "core/signer.h"
+#include "crypto/sha256_fast.h"
+#include "runtime/starter.h"
+
+namespace sinclave::workload {
+
+namespace {
+
+constexpr const char* kWorkloadProgram = "workload_app";
+constexpr std::size_t kComputeUnitBytes = 256 << 10;
+
+std::string mode_suffix(runtime::RuntimeMode mode) {
+  return mode == runtime::RuntimeMode::kBaseline ? "baseline" : "sinclave";
+}
+
+}  // namespace
+
+WorkloadSpec python_workload() {
+  WorkloadSpec s;
+  s.name = "python";
+  s.code_bytes = 2 << 20;   // interpreter + stdlib
+  s.heap_bytes = 16u << 20;
+  s.process_count = 1;
+  s.file_count = 16;        // scripts + data on the encrypted volume
+  s.file_bytes = 64 << 10;
+  s.compute_units = 10000;
+  return s;
+}
+
+WorkloadSpec openvino_workload() {
+  WorkloadSpec s;
+  s.name = "openvino";
+  s.code_bytes = 4 << 20;   // inference engine
+  s.heap_bytes = 32u << 20;
+  s.process_count = 2;      // pipeline: decoder + classifier
+  s.file_count = 8;         // model + labels + images
+  s.file_bytes = 128 << 10;
+  s.compute_units = 4300;
+  return s;
+}
+
+WorkloadSpec pytorch_workload() {
+  WorkloadSpec s;
+  s.name = "pytorch";
+  s.code_bytes = 8 << 20;   // framework + native kernels
+  s.heap_bytes = 16u << 20;
+  s.process_count = 8;      // trainer + dataloader workers
+  s.file_count = 6;         // dataset shards (workers stream lazily;
+                            // only a slice is read at startup)
+  s.file_bytes = 64 << 10;
+  s.compute_units = 240;
+  return s;
+}
+
+void register_workload_programs(runtime::ProgramRegistry& registry) {
+  registry.register_program(kWorkloadProgram, [](runtime::AppContext& ctx) {
+    if (ctx.config == nullptr || ctx.config->args.empty()) return 1;
+    const std::uint64_t units = std::stoull(ctx.config->args[0]);
+
+    // Startup phase: consume the (already integrity-verified) volume.
+    std::uint64_t bytes_read = 0;
+    if (ctx.volume != nullptr) {
+      for (const auto& name : ctx.volume->list_files()) {
+        const auto content = ctx.volume->read_file(name);
+        if (!content.has_value()) return 2;
+        bytes_read += content->size();
+      }
+    }
+
+    // Compute phase: a deterministic CPU-bound kernel.
+    Bytes buffer(kComputeUnitBytes);
+    for (std::size_t i = 0; i < buffer.size(); ++i)
+      buffer[i] = static_cast<std::uint8_t>(i * 131 + 17);
+    std::uint8_t accumulator = 0;
+    for (std::uint64_t u = 0; u < units; ++u) {
+      buffer[0] = static_cast<std::uint8_t>(u);
+      accumulator ^= crypto::sha256_fast(buffer).data[0];
+    }
+
+    ctx.output = "read=" + std::to_string(bytes_read) +
+                 " units=" + std::to_string(units) +
+                 " acc=" + std::to_string(accumulator);
+    return 0;
+  });
+}
+
+WorkloadResult run_workload(Testbed& bed, const WorkloadSpec& spec,
+                            runtime::RuntimeMode mode) {
+  WorkloadResult result;
+  if (bed.programs().find(kWorkloadProgram) == nullptr)
+    register_workload_programs(bed.programs());
+
+  // --- Deployment preparation (not timed: build/provisioning time) ---
+  const core::EnclaveImage image = core::EnclaveImage::synthetic(
+      "img-" + spec.name, spec.code_bytes, spec.heap_bytes);
+  const core::Signer signer(&bed.user_signer());
+
+  crypto::Drbg fs_rng = bed.child_rng("workload-fs-" + spec.name);
+  const Bytes fs_key = fs_rng.generate(32);
+  fs::EncryptedVolume volume(fs_key, bed.child_rng("volume-" + spec.name));
+  for (std::size_t f = 0; f < spec.file_count; ++f) {
+    Bytes content = fs_rng.generate(spec.file_bytes);
+    volume.write_file("data/shard-" + std::to_string(f), content);
+  }
+
+  const std::string session = spec.name + "." + mode_suffix(mode);
+  const std::uint64_t units_per_process =
+      spec.compute_units / static_cast<std::uint64_t>(spec.process_count);
+
+  cas::Policy policy;
+  policy.session_name = session;
+  policy.expected_signer =
+      crypto::sha256(bed.user_signer().public_key().modulus_be());
+  policy.config.program = kWorkloadProgram;
+  policy.config.args = {std::to_string(units_per_process)};
+  policy.config.fs_key = fs_key;
+  policy.config.fs_manifest_root = volume.manifest_root();
+  policy.config.secrets["api-key"] = to_bytes("secret-" + session);
+
+  sgx::SigStruct sigstruct;
+  if (mode == runtime::RuntimeMode::kBaseline) {
+    const core::SignedImage si = signer.sign_baseline(image);
+    sigstruct = si.sigstruct;
+    policy.expected_mr_enclave = si.sigstruct.enclave_hash;
+  } else {
+    const core::SinclaveSignedImage si = signer.sign_sinclave(image);
+    sigstruct = si.sigstruct;
+    policy.require_singleton = true;
+    policy.base_hash = si.base_hash;
+  }
+  bed.cas().install_policy(policy);
+
+  runtime::EnclaveRuntime rt = bed.make_runtime(mode);
+  runtime::RunOptions options;
+  options.cas_address = bed.cas_address();
+  options.cas_identity = bed.cas().identity();
+  options.session_name = session;
+  options.volume_blobs = volume.host_export();
+
+  // --- The measured run: every process start pays the full path ---
+  const auto start = std::chrono::steady_clock::now();
+  for (int p = 0; p < spec.process_count; ++p) {
+    runtime::RunResult run;
+    if (mode == runtime::RuntimeMode::kBaseline) {
+      const runtime::StartedEnclave enclave =
+          runtime::start_enclave(bed.cpu(), image, sigstruct);
+      run = rt.run(enclave, options);
+      bed.cpu().eremove(enclave.id);
+    } else {
+      const runtime::SingletonStart s = runtime::start_singleton_enclave(
+          bed.cpu(), bed.network(), bed.cas_address(), image, sigstruct,
+          session);
+      if (!s.ok()) {
+        result.error = "process " + std::to_string(p) + ": " + s.error;
+        return result;
+      }
+      run = rt.run(s.enclave, options);
+      bed.cpu().eremove(s.enclave.id);
+    }
+    if (!run.ok) {
+      result.error = "process " + std::to_string(p) + ": " + run.error;
+      return result;
+    }
+    ++result.enclaves_started;
+  }
+  result.total = std::chrono::steady_clock::now() - start;
+  result.ok = true;
+  return result;
+}
+
+}  // namespace sinclave::workload

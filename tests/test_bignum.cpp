@@ -1,0 +1,251 @@
+// Unit + property tests for the big-integer substrate.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "crypto/bignum.h"
+#include "crypto/drbg.h"
+
+namespace sinclave::crypto {
+namespace {
+
+BigInt rand_bigint(Drbg& rng, std::size_t bytes) {
+  return BigInt::from_bytes_be(rng.generate(bytes));
+}
+
+TEST(BigInt, ZeroProperties) {
+  const BigInt z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_FALSE(z.is_odd());
+  EXPECT_EQ(z.bit_length(), 0u);
+  EXPECT_EQ(z, BigInt{0});
+  EXPECT_EQ(z.to_hex(), "0");
+}
+
+TEST(BigInt, ByteRoundTrip) {
+  const Bytes be = from_hex("0102030405060708090a0b0c0d0e0f10");
+  const BigInt v = BigInt::from_bytes_be(be);
+  EXPECT_EQ(v.to_bytes_be(), be);
+  EXPECT_EQ(v.to_hex(), "102030405060708090a0b0c0d0e0f10");
+}
+
+TEST(BigInt, LeadingZerosIgnoredOnImport) {
+  EXPECT_EQ(BigInt::from_bytes_be(from_hex("000000ff")), BigInt{255});
+}
+
+TEST(BigInt, PaddedExport) {
+  const BigInt v{0xabcd};
+  EXPECT_EQ(to_hex(v.to_bytes_be(4)), "0000abcd");
+}
+
+TEST(BigInt, BitAccess) {
+  const BigInt v{0b1010};
+  EXPECT_FALSE(v.bit(0));
+  EXPECT_TRUE(v.bit(1));
+  EXPECT_FALSE(v.bit(2));
+  EXPECT_TRUE(v.bit(3));
+  EXPECT_FALSE(v.bit(64));
+  EXPECT_EQ(v.bit_length(), 4u);
+}
+
+TEST(BigInt, AddSubInverse) {
+  Drbg rng = Drbg::from_seed(1, "addsub");
+  for (int i = 0; i < 50; ++i) {
+    const BigInt a = rand_bigint(rng, 40);
+    const BigInt b = rand_bigint(rng, 36);
+    EXPECT_EQ((a + b) - b, a);
+    EXPECT_EQ((a + b) - a, b);
+  }
+}
+
+TEST(BigInt, SubtractionUnderflowThrows) {
+  EXPECT_THROW(BigInt{1} - BigInt{2}, Error);
+}
+
+TEST(BigInt, AdditionCarryChain) {
+  // 2^128 - 1 + 1 == 2^128
+  const BigInt max = BigInt::from_hex(
+      "ffffffffffffffffffffffffffffffff");
+  const BigInt sum = max + BigInt{1};
+  EXPECT_EQ(sum.to_hex(), "100000000000000000000000000000000");
+}
+
+TEST(BigInt, MulDistributes) {
+  Drbg rng = Drbg::from_seed(2, "mul");
+  for (int i = 0; i < 30; ++i) {
+    const BigInt a = rand_bigint(rng, 24);
+    const BigInt b = rand_bigint(rng, 24);
+    const BigInt c = rand_bigint(rng, 24);
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+  }
+}
+
+TEST(BigInt, MulByZeroAndOne) {
+  const BigInt a = BigInt::from_hex("deadbeefcafebabe1234");
+  EXPECT_TRUE((a * BigInt{}).is_zero());
+  EXPECT_EQ(a * BigInt{1}, a);
+}
+
+TEST(BigInt, ShiftsAreMulDivByPowersOfTwo) {
+  Drbg rng = Drbg::from_seed(3, "shift");
+  for (std::size_t s : {1u, 13u, 64u, 65u, 130u}) {
+    const BigInt a = rand_bigint(rng, 30);
+    EXPECT_EQ(a << s, a * BigInt::mod_exp(BigInt{2}, BigInt{s},
+                                          BigInt::from_hex("1" + std::string(64, '0'))));
+    EXPECT_EQ((a << s) >> s, a);
+  }
+}
+
+TEST(BigInt, DivModInvariant) {
+  Drbg rng = Drbg::from_seed(4, "divmod");
+  for (int i = 0; i < 40; ++i) {
+    const BigInt a = rand_bigint(rng, 48);
+    BigInt b = rand_bigint(rng, 20);
+    if (b.is_zero()) b = BigInt{7};
+    const auto [q, r] = BigInt::div_mod(a, b);
+    EXPECT_TRUE(r < b);
+    EXPECT_EQ(q * b + r, a);
+  }
+}
+
+TEST(BigInt, DivByZeroThrows) {
+  EXPECT_THROW(BigInt::div_mod(BigInt{1}, BigInt{}), Error);
+}
+
+TEST(BigInt, ModU64MatchesGeneralMod) {
+  Drbg rng = Drbg::from_seed(5, "modu64");
+  for (std::uint64_t d : {3ull, 65537ull, 0xffffffffffffffc5ull}) {
+    const BigInt a = rand_bigint(rng, 56);
+    EXPECT_EQ(BigInt{a.mod_u64(d)}, a.mod(BigInt{d}));
+  }
+}
+
+TEST(BigInt, CompareOrdering) {
+  const BigInt small{3}, big = BigInt::from_hex("10000000000000000");
+  EXPECT_LT(small, big);
+  EXPECT_GT(big, small);
+  EXPECT_LE(small, small);
+  EXPECT_GE(big, big);
+}
+
+// --- modular exponentiation ---
+
+TEST(ModExp, SmallKnownValues) {
+  // 4^13 mod 497 = 445 (classic textbook example)
+  EXPECT_EQ(BigInt::mod_exp(BigInt{4}, BigInt{13}, BigInt{497}), BigInt{445});
+  // Fermat: a^(p-1) mod p == 1 for prime p
+  EXPECT_EQ(BigInt::mod_exp(BigInt{2}, BigInt{1008}, BigInt{1009}), BigInt{1});
+}
+
+TEST(ModExp, ZeroAndOneExponent) {
+  const BigInt m = BigInt::from_hex("ffffffffffffffffffffffc5");
+  const BigInt b = BigInt::from_hex("123456789abcdef0");
+  EXPECT_EQ(BigInt::mod_exp(b, BigInt{}, m), BigInt{1});
+  EXPECT_EQ(BigInt::mod_exp(b, BigInt{1}, m), b.mod(m));
+}
+
+TEST(ModExp, MontgomeryMatchesPlainForOddModulus) {
+  Drbg rng = Drbg::from_seed(6, "modexp");
+  for (int i = 0; i < 10; ++i) {
+    BigInt m = rand_bigint(rng, 16);
+    if (!m.is_odd()) m = m + BigInt{1};
+    if (m <= BigInt{1}) m = BigInt{3};
+    const BigInt b = rand_bigint(rng, 16);
+    const BigInt e = rand_bigint(rng, 4);
+    // Plain square-and-multiply reference:
+    BigInt ref{1};
+    const BigInt base = b.mod(m);
+    for (std::size_t j = e.bit_length(); j-- > 0;) {
+      ref = (ref * ref).mod(m);
+      if (e.bit(j)) ref = (ref * base).mod(m);
+    }
+    EXPECT_EQ(BigInt::mod_exp(b, e, m), ref);
+  }
+}
+
+TEST(ModExp, MultiplicativeHomomorphism) {
+  // (a*b)^e mod m == a^e * b^e mod m
+  Drbg rng = Drbg::from_seed(7, "homo");
+  BigInt m = rand_bigint(rng, 32);
+  if (!m.is_odd()) m = m + BigInt{1};
+  const BigInt a = rand_bigint(rng, 32);
+  const BigInt b = rand_bigint(rng, 32);
+  const BigInt e{65537};
+  const BigInt lhs = BigInt::mod_exp((a * b).mod(m), e, m);
+  const BigInt rhs = (BigInt::mod_exp(a, e, m) * BigInt::mod_exp(b, e, m)).mod(m);
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST(ModExp, RejectsTrivialModulus) {
+  EXPECT_THROW(BigInt::mod_exp(BigInt{2}, BigInt{2}, BigInt{1}), Error);
+  EXPECT_THROW(BigInt::mod_exp(BigInt{2}, BigInt{2}, BigInt{}), Error);
+}
+
+TEST(ModExp, EvenModulusFallback) {
+  // 3^5 mod 10 = 243 mod 10 = 3
+  EXPECT_EQ(BigInt::mod_exp(BigInt{3}, BigInt{5}, BigInt{10}), BigInt{3});
+}
+
+// --- modular inverse / gcd ---
+
+TEST(ModInverse, KnownValue) {
+  // 3 * 4 = 12 ≡ 1 (mod 11)
+  EXPECT_EQ(BigInt::mod_inverse(BigInt{3}, BigInt{11}), BigInt{4});
+}
+
+TEST(ModInverse, RandomInvertibles) {
+  Drbg rng = Drbg::from_seed(8, "inv");
+  const BigInt m = BigInt::from_hex(
+      "fffffffffffffffffffffffffffffffeffffffffffffffff");  // odd
+  for (int i = 0; i < 20; ++i) {
+    BigInt a = rand_bigint(rng, 20);
+    if (a.is_zero()) continue;
+    if (!(BigInt::gcd(a, m) == BigInt{1})) continue;
+    const BigInt inv = BigInt::mod_inverse(a, m);
+    EXPECT_EQ((a * inv).mod(m), BigInt{1});
+  }
+}
+
+TEST(ModInverse, NonInvertibleThrows) {
+  EXPECT_THROW(BigInt::mod_inverse(BigInt{6}, BigInt{9}), Error);
+}
+
+TEST(Gcd, BasicValues) {
+  EXPECT_EQ(BigInt::gcd(BigInt{48}, BigInt{18}), BigInt{6});
+  EXPECT_EQ(BigInt::gcd(BigInt{17}, BigInt{13}), BigInt{1});
+  EXPECT_EQ(BigInt::gcd(BigInt{0}, BigInt{5}), BigInt{5});
+}
+
+TEST(RandomBelow, StaysInRange) {
+  Drbg rng = Drbg::from_seed(9, "below");
+  const BigInt bound = BigInt::from_hex("ffff00000001");
+  for (int i = 0; i < 50; ++i) {
+    const BigInt v = BigInt::random_below(
+        bound, [&](std::uint8_t* p, std::size_t n) { rng.generate(p, n); });
+    EXPECT_TRUE(v < bound);
+  }
+}
+
+TEST(Montgomery, RejectsEvenModulus) {
+  EXPECT_THROW(Montgomery(BigInt{10}), Error);
+}
+
+TEST(Montgomery, LargeExponentiationMatchesFermat) {
+  // 2^(p-1) ≡ 1 mod p for the MODP-2048 prime (it is prime).
+  const BigInt p = BigInt::from_hex(
+      "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD1"
+      "29024E088A67CC74020BBEA63B139B22514A08798E3404DD"
+      "EF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245"
+      "E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+      "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3D"
+      "C2007CB8A163BF0598DA48361C55D39A69163FA8FD24CF5F"
+      "83655D23DCA3AD961C62F356208552BB9ED529077096966D"
+      "670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+      "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9"
+      "DE2BCBF6955817183995497CEA956AE515D2261898FA0510"
+      "15728E5A8AACAA68FFFFFFFFFFFFFFFF");
+  const Montgomery ctx(p);
+  EXPECT_EQ(ctx.exp(BigInt{2}, p - BigInt{1}), BigInt{1});
+}
+
+}  // namespace
+}  // namespace sinclave::crypto

@@ -1,0 +1,257 @@
+// Unit tests for the CAS verifier service: policy persistence, the
+// instance (token issuance) endpoint, attestation verdicts, and token
+// accounting — exercised directly, without the full runtime stack.
+#include <gtest/gtest.h>
+
+#include "cas/service.h"
+#include "core/predictor.h"
+#include "core/signer.h"
+#include "crypto/sha256.h"
+#include "quote/quoting_enclave.h"
+#include "runtime/starter.h"
+#include "sgx/cpu.h"
+
+namespace sinclave::cas {
+namespace {
+
+class CasTest : public ::testing::Test {
+ protected:
+  CasTest()
+      : rng_(crypto::Drbg::from_seed(5, "cas-tests")),
+        signer_key_(crypto::RsaKeyPair::generate(rng_, 1024)),
+        cas_(&attestation_, crypto::RsaKeyPair::generate(rng_, 1024),
+             crypto::Drbg::from_seed(6, "cas-service")),
+        image_(core::EnclaveImage::synthetic("cas-test", sgx::kPageSize,
+                                             2 * sgx::kPageSize)),
+        signer_(&signer_key_),
+        signed_(signer_.sign_sinclave(image_)) {
+    cas_.add_signer_key(signer_key_);
+  }
+
+  Policy singleton_policy(const std::string& name) {
+    Policy p;
+    p.session_name = name;
+    p.expected_signer = crypto::sha256(signer_key_.public_key().modulus_be());
+    p.require_singleton = true;
+    p.base_hash = signed_.base_hash;
+    p.config.program = "x";
+    return p;
+  }
+
+  InstanceRequest request(const std::string& name) {
+    InstanceRequest r;
+    r.session_name = name;
+    r.common_sigstruct = signed_.sigstruct;
+    return r;
+  }
+
+  crypto::Drbg rng_;
+  crypto::RsaKeyPair signer_key_;
+  quote::AttestationService attestation_;
+  CasService cas_;
+  core::EnclaveImage image_;
+  core::Signer signer_;
+  core::SinclaveSignedImage signed_;
+};
+
+TEST_F(CasTest, VerifierIdIsIdentityHash) {
+  EXPECT_EQ(cas_.verifier_id(),
+            crypto::sha256(cas_.identity().modulus_be()));
+}
+
+TEST_F(CasTest, InstanceRequestHappyPath) {
+  cas_.install_policy(singleton_policy("s"));
+  const InstanceResponse resp = cas_.handle_instance(request("s"));
+  ASSERT_TRUE(resp.ok) << resp.error;
+  EXPECT_FALSE(resp.token.is_zero());
+  EXPECT_EQ(resp.verifier_id, cas_.verifier_id());
+  EXPECT_TRUE(resp.singleton_sigstruct.signature_valid());
+  // The on-demand SigStruct matches the prediction for this token.
+  core::InstancePage page;
+  page.token = resp.token;
+  page.verifier_id = resp.verifier_id;
+  EXPECT_EQ(resp.singleton_sigstruct.enclave_hash,
+            core::MeasurementPredictor::predict(signed_.base_hash, page));
+}
+
+TEST_F(CasTest, InstanceRequestUnknownSession) {
+  const InstanceResponse resp = cas_.handle_instance(request("nope"));
+  EXPECT_FALSE(resp.ok);
+  EXPECT_EQ(resp.error, "unknown session");
+}
+
+TEST_F(CasTest, InstanceRequestBaselineSessionRefused) {
+  Policy p = singleton_policy("base");
+  p.require_singleton = false;
+  p.base_hash.reset();
+  p.expected_mr_enclave = signed_.sigstruct.enclave_hash;
+  cas_.install_policy(p);
+  const InstanceResponse resp = cas_.handle_instance(request("base"));
+  EXPECT_FALSE(resp.ok);
+}
+
+TEST_F(CasTest, InstanceRequestNeedsSignerKey) {
+  CasService bare(&attestation_,
+                  crypto::RsaKeyPair::generate(rng_, 1024),
+                  crypto::Drbg::from_seed(7, "bare"));
+  bare.install_policy(singleton_policy("s"));
+  const InstanceResponse resp = bare.handle_instance(request("s"));
+  EXPECT_FALSE(resp.ok);
+  EXPECT_EQ(resp.error, "no signer key uploaded for this session");
+}
+
+TEST_F(CasTest, InstanceRequestRejectsTamperedSigstruct) {
+  cas_.install_policy(singleton_policy("s"));
+  InstanceRequest req = request("s");
+  req.common_sigstruct.signature[3] ^= 1;
+  const InstanceResponse resp = cas_.handle_instance(req);
+  EXPECT_FALSE(resp.ok);
+  EXPECT_EQ(resp.error, "common sigstruct signature invalid");
+}
+
+TEST_F(CasTest, InstanceRequestRejectsForeignSigner) {
+  cas_.install_policy(singleton_policy("s"));
+  auto other_key = crypto::RsaKeyPair::generate(rng_, 1024);
+  cas_.add_signer_key(other_key);
+  core::Signer other_signer(&other_key);
+  InstanceRequest req = request("s");
+  req.common_sigstruct = other_signer.sign_sinclave(image_).sigstruct;
+  const InstanceResponse resp = cas_.handle_instance(req);
+  EXPECT_FALSE(resp.ok);
+  EXPECT_EQ(resp.error, "common sigstruct from unexpected signer");
+}
+
+TEST_F(CasTest, InstanceRequestRejectsWrongBaseImage) {
+  cas_.install_policy(singleton_policy("s"));
+  core::EnclaveImage other = image_;
+  other.code[0] ^= 1;
+  InstanceRequest req = request("s");
+  req.common_sigstruct = signer_.sign_sinclave(other).sigstruct;
+  const InstanceResponse resp = cas_.handle_instance(req);
+  EXPECT_FALSE(resp.ok);
+  EXPECT_NE(resp.error.find("base hash"), std::string::npos);
+}
+
+TEST_F(CasTest, TokensAreUniqueAndTracked) {
+  cas_.install_policy(singleton_policy("s"));
+  const auto a = cas_.handle_instance(request("s"));
+  const auto b = cas_.handle_instance(request("s"));
+  ASSERT_TRUE(a.ok && b.ok);
+  EXPECT_NE(a.token, b.token);
+  EXPECT_EQ(cas_.tokens_outstanding(), 2u);
+  EXPECT_EQ(cas_.tokens_used(), 0u);
+}
+
+TEST_F(CasTest, TimingsPopulatedAfterInstanceRequest) {
+  cas_.install_policy(singleton_policy("s"));
+  ASSERT_TRUE(cas_.handle_instance(request("s")).ok);
+  const auto& t = cas_.last_instance_timings();
+  EXPECT_GT(t.total.count(), 0);
+  EXPECT_GT(t.sign.count(), 0);
+  EXPECT_GT(t.verify.count(), 0);
+  EXPECT_GT(t.predict.count(), 0);
+  EXPECT_LE(t.sign + t.verify + t.predict + t.db_load, t.total);
+}
+
+TEST_F(CasTest, PolicyReplaceTakesEffect) {
+  // Installing a policy with the same session name replaces it — the
+  // software-update path: the new version's base hash supersedes the old.
+  cas_.install_policy(singleton_policy("s"));
+  core::EnclaveImage v2 = image_;
+  v2.code[0] ^= 0xff;
+  v2.isv_svn = 2;
+  const auto signed_v2 = signer_.sign_sinclave(v2);
+  Policy p2 = singleton_policy("s");
+  p2.base_hash = signed_v2.base_hash;
+  cas_.install_policy(p2);
+
+  // Old binary refused, new binary accepted.
+  EXPECT_FALSE(cas_.handle_instance(request("s")).ok);
+  InstanceRequest req;
+  req.session_name = "s";
+  req.common_sigstruct = signed_v2.sigstruct;
+  EXPECT_TRUE(cas_.handle_instance(req).ok);
+}
+
+// --- protocol serialization ---
+
+TEST(Protocol, AppConfigRoundTrip) {
+  AppConfig c;
+  c.program = "prog";
+  c.args = {"a", "b"};
+  c.env = {{"K", "V"}, {"X", "Y"}};
+  c.secrets = {{"s1", Bytes{1, 2, 3}}, {"s2", {}}};
+  c.fs_key = Bytes(32, 9);
+  c.fs_manifest_root.data[0] = 7;
+  EXPECT_EQ(AppConfig::deserialize(c.serialize()), c);
+}
+
+TEST(Protocol, EmptyAppConfigRoundTrip) {
+  EXPECT_EQ(AppConfig::deserialize(AppConfig{}.serialize()), AppConfig{});
+}
+
+TEST(Protocol, InstanceResponseErrorRoundTrip) {
+  InstanceResponse r;
+  r.ok = false;
+  r.error = "nope";
+  const InstanceResponse back = InstanceResponse::deserialize(r.serialize());
+  EXPECT_FALSE(back.ok);
+  EXPECT_EQ(back.error, "nope");
+}
+
+TEST(Protocol, PolicySerializationRoundTripAllFields) {
+  Policy p;
+  p.session_name = "sess";
+  p.expected_signer.data[1] = 2;
+  p.require_singleton = true;
+  p.allow_debug = true;
+  p.expected_mr_enclave = sgx::Measurement{};
+  crypto::Sha256 h;
+  h.update(Bytes(64, 1));
+  p.base_hash = core::BaseHash{h.export_state(), 4 * sgx::kPageSize,
+                               3 * sgx::kPageSize, 1};
+  p.config.program = "x";
+  const Policy back = Policy::deserialize(p.serialize());
+  EXPECT_EQ(back.session_name, p.session_name);
+  EXPECT_EQ(back.require_singleton, p.require_singleton);
+  EXPECT_EQ(back.allow_debug, p.allow_debug);
+  EXPECT_EQ(back.expected_mr_enclave, p.expected_mr_enclave);
+  EXPECT_EQ(back.base_hash->state, p.base_hash->state);
+  EXPECT_EQ(back.config, p.config);
+}
+
+TEST(Protocol, PolicyWithoutOptionalsRoundTrip) {
+  Policy p;
+  p.session_name = "min";
+  const Policy back = Policy::deserialize(p.serialize());
+  EXPECT_FALSE(back.expected_mr_enclave.has_value());
+  EXPECT_FALSE(back.base_hash.has_value());
+}
+
+TEST(Protocol, AttestPayloadTokenOptional) {
+  quote::Quote q;
+  q.report.identity.isv_prod_id = 3;
+  AttestPayload with;
+  with.session_name = "s";
+  with.quote = q;
+  with.token = core::AttestationToken::from_view(Bytes(32, 5));
+  const AttestPayload back = AttestPayload::deserialize(with.serialize());
+  EXPECT_TRUE(back.token.has_value());
+  EXPECT_EQ(*back.token, *with.token);
+
+  AttestPayload without;
+  without.session_name = "s";
+  without.quote = q;
+  EXPECT_FALSE(
+      AttestPayload::deserialize(without.serialize()).token.has_value());
+}
+
+TEST(Protocol, MalformedBytesThrowParseError) {
+  EXPECT_THROW(AppConfig::deserialize(Bytes{1, 2, 3}), ParseError);
+  EXPECT_THROW(InstanceRequest::deserialize(Bytes{}), ParseError);
+  EXPECT_THROW(AttestPayload::deserialize(Bytes(10, 0xff)), ParseError);
+  EXPECT_THROW(ConfigResponse::deserialize(Bytes{}), ParseError);
+}
+
+}  // namespace
+}  // namespace sinclave::cas

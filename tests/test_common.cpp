@@ -1,0 +1,162 @@
+// Unit tests for src/common: hex codec, constant-time compare, serializers.
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "common/serial.h"
+
+namespace sinclave {
+namespace {
+
+TEST(Hex, RoundTrip) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xff, 0x10};
+  EXPECT_EQ(to_hex(data), "0001abff10");
+  EXPECT_EQ(from_hex("0001abff10"), data);
+  EXPECT_EQ(from_hex("0001ABFF10"), data);
+}
+
+TEST(Hex, EmptyInput) {
+  EXPECT_EQ(to_hex(Bytes{}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Hex, RejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), Error);
+}
+
+TEST(Hex, RejectsNonHexDigit) {
+  EXPECT_THROW(from_hex("zz"), Error);
+}
+
+TEST(CtEqual, EqualBuffers) {
+  const Bytes a = {1, 2, 3};
+  EXPECT_TRUE(ct_equal(a, a));
+}
+
+TEST(CtEqual, DifferentContent) {
+  const Bytes a = {1, 2, 3};
+  const Bytes b = {1, 2, 4};
+  EXPECT_FALSE(ct_equal(a, b));
+}
+
+TEST(CtEqual, DifferentLength) {
+  const Bytes a = {1, 2, 3};
+  const Bytes b = {1, 2};
+  EXPECT_FALSE(ct_equal(a, b));
+}
+
+TEST(CtEqual, EmptyBuffersEqual) {
+  EXPECT_TRUE(ct_equal(Bytes{}, Bytes{}));
+}
+
+TEST(FixedBytes, ZeroDetection) {
+  Hash256 h;
+  EXPECT_TRUE(h.is_zero());
+  h.data[31] = 1;
+  EXPECT_FALSE(h.is_zero());
+}
+
+TEST(FixedBytes, FromViewTruncatesAndPads) {
+  const Bytes longer(40, 0xaa);
+  const auto h = Hash256::from_view(longer);
+  EXPECT_EQ(h.data[0], 0xaa);
+  EXPECT_EQ(h.data[31], 0xaa);
+
+  const Bytes shorter(4, 0xbb);
+  const auto h2 = Hash256::from_view(shorter);
+  EXPECT_EQ(h2.data[3], 0xbb);
+  EXPECT_EQ(h2.data[4], 0x00);
+}
+
+TEST(FixedBytes, Ordering) {
+  Hash256 a, b;
+  b.data[0] = 1;
+  EXPECT_LT(a, b);
+  EXPECT_NE(a, b);
+}
+
+TEST(Concat, JoinsParts) {
+  const Bytes a = {1, 2};
+  const Bytes b = {};
+  const Bytes c = {3};
+  EXPECT_EQ(concat({a, b, c}), (Bytes{1, 2, 3}));
+}
+
+TEST(Serial, ScalarRoundTrip) {
+  ByteWriter w;
+  w.u8(0x12);
+  w.u16(0x3456);
+  w.u32(0x789abcde);
+  w.u64(0x0123456789abcdefULL);
+
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u8(), 0x12);
+  EXPECT_EQ(r.u16(), 0x3456);
+  EXPECT_EQ(r.u32(), 0x789abcdeu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serial, LittleEndianLayout) {
+  ByteWriter w;
+  w.u32(0x01020304);
+  EXPECT_EQ(to_hex(w.data()), "04030201");
+}
+
+TEST(Serial, LengthPrefixedBytes) {
+  ByteWriter w;
+  w.bytes(Bytes{9, 8, 7});
+  w.str("hi");
+
+  ByteReader r(w.data());
+  EXPECT_EQ(r.bytes(), (Bytes{9, 8, 7}));
+  EXPECT_EQ(r.str(), "hi");
+  r.expect_done();
+}
+
+TEST(Serial, TruncatedInputThrows) {
+  ByteWriter w;
+  w.u16(7);
+  ByteReader r(w.data());
+  EXPECT_THROW(r.u32(), ParseError);
+}
+
+TEST(Serial, TrailingBytesDetected) {
+  ByteWriter w;
+  w.u32(7);
+  ByteReader r(w.data());
+  r.u16();
+  EXPECT_THROW(r.expect_done(), ParseError);
+}
+
+TEST(Serial, BadLengthPrefixThrows) {
+  ByteWriter w;
+  w.u32(1000);  // claims 1000 bytes, provides none
+  ByteReader r(w.data());
+  EXPECT_THROW(r.bytes(), ParseError);
+}
+
+TEST(Serial, ZerosPadding) {
+  ByteWriter w;
+  w.zeros(5);
+  EXPECT_EQ(w.size(), 5u);
+  EXPECT_EQ(w.data(), Bytes(5, 0));
+}
+
+TEST(Serial, FixedRead) {
+  ByteWriter w;
+  Bytes h(32, 0xcd);
+  w.raw(h);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.fixed<32>().to_vector(), h);
+}
+
+TEST(Verdict, Names) {
+  EXPECT_STREQ(to_string(Verdict::kOk), "ok");
+  EXPECT_STREQ(to_string(Verdict::kTokenReused), "token-reused");
+  EXPECT_STREQ(to_string(Verdict::kMeasurementMismatch),
+               "measurement-mismatch");
+}
+
+}  // namespace
+}  // namespace sinclave

@@ -1,0 +1,395 @@
+// Unit + property tests for the symmetric crypto substrate: SHA-256 (both
+// variants, including the interruptible state export that implements the
+// paper's base enclave hash), HMAC, HKDF, DRBG, AES, AEAD.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "crypto/aead.h"
+#include "crypto/aes.h"
+#include "crypto/drbg.h"
+#include "crypto/hkdf.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+#include "crypto/sha256_fast.h"
+
+namespace sinclave::crypto {
+namespace {
+
+// --- SHA-256 known-answer tests (FIPS 180-4 / NIST CAVP vectors) ---
+
+struct ShaVector {
+  const char* message;
+  const char* digest_hex;
+};
+
+const ShaVector kShaVectors[] = {
+    {"", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"},
+    {"abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"},
+    {"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+     "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"},
+    {"The quick brown fox jumps over the lazy dog",
+     "d7a8fbb307d7809469ca9abcb0082e4f8d5651e46d3cdb762d02d0bf37c9e592"},
+};
+
+class Sha256Vectors : public ::testing::TestWithParam<ShaVector> {};
+
+TEST_P(Sha256Vectors, InterruptibleMatchesStandard) {
+  const auto& v = GetParam();
+  EXPECT_EQ(sha256(to_bytes(v.message)).hex(), v.digest_hex);
+}
+
+TEST_P(Sha256Vectors, FastMatchesStandard) {
+  const auto& v = GetParam();
+  EXPECT_EQ(sha256_fast(to_bytes(v.message)).hex(), v.digest_hex);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kat, Sha256Vectors, ::testing::ValuesIn(kShaVectors));
+
+TEST(Sha256, MillionA) {
+  // Classic FIPS long test: 1,000,000 repetitions of 'a'.
+  Sha256 h;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(h.finalize().hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+// Property: chunked updates produce the same digest as a single update,
+// for both implementations, across many split points.
+class Sha256Chunking : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Sha256Chunking, SplitInvariance) {
+  const std::size_t split = GetParam();
+  Bytes msg(257);
+  for (std::size_t i = 0; i < msg.size(); ++i)
+    msg[i] = static_cast<std::uint8_t>(i * 31 + 7);
+
+  const Hash256 expect = sha256(msg);
+  if (split > msg.size()) return;
+
+  Sha256 a;
+  a.update(ByteView{msg.data(), split});
+  a.update(ByteView{msg.data() + split, msg.size() - split});
+  EXPECT_EQ(a.finalize(), expect);
+
+  Sha256Fast b;
+  b.update(ByteView{msg.data(), split});
+  b.update(ByteView{msg.data() + split, msg.size() - split});
+  EXPECT_EQ(b.finalize(), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Splits, Sha256Chunking,
+                         ::testing::Values(0, 1, 7, 63, 64, 65, 128, 200, 256,
+                                           257));
+
+// Property: both implementations agree on random messages of many lengths.
+class Sha256Agreement : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Sha256Agreement, FastEqualsInterruptible) {
+  Drbg rng = Drbg::from_seed(GetParam(), "sha-agreement");
+  const Bytes msg = rng.generate(GetParam());
+  EXPECT_EQ(sha256(msg), sha256_fast(msg));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, Sha256Agreement,
+                         ::testing::Values(0, 1, 55, 56, 57, 63, 64, 65, 119,
+                                           120, 127, 128, 1000, 4096, 10000));
+
+// --- The paper's core primitive: interruptible state export/resume ---
+
+TEST(Sha256Interruptible, ExportResumeEqualsOneShot) {
+  Bytes msg(640);
+  for (std::size_t i = 0; i < msg.size(); ++i)
+    msg[i] = static_cast<std::uint8_t>(i);
+
+  Sha256 first;
+  first.update(ByteView{msg.data(), 256});
+  ASSERT_TRUE(first.exportable());
+  const Sha256State mid = first.export_state();
+
+  // The state travels (e.g. signer -> verifier) as 44 bytes...
+  const Bytes wire = mid.encode();
+  EXPECT_EQ(wire.size(), 44u);
+  const Sha256State decoded = Sha256State::decode(wire);
+  EXPECT_EQ(decoded, mid);
+
+  // ...and the verifier resumes and finishes the computation.
+  Sha256 second = Sha256::resume(decoded);
+  second.update(ByteView{msg.data() + 256, msg.size() - 256});
+  EXPECT_EQ(second.finalize(), sha256(msg));
+}
+
+TEST(Sha256Interruptible, ExportRequiresBlockAlignment) {
+  Sha256 h;
+  h.update(to_bytes("short"));
+  EXPECT_FALSE(h.exportable());
+  EXPECT_THROW(h.export_state(), Error);
+}
+
+TEST(Sha256Interruptible, ExportAtEveryBlockBoundary) {
+  Bytes msg(64 * 8);
+  Drbg rng = Drbg::from_seed(1, "block-boundaries");
+  rng.generate(msg.data(), msg.size());
+  const Hash256 expect = sha256(msg);
+
+  for (std::size_t blocks = 0; blocks <= 8; ++blocks) {
+    Sha256 a;
+    a.update(ByteView{msg.data(), blocks * 64});
+    Sha256 b = Sha256::resume(a.export_state());
+    b.update(ByteView{msg.data() + blocks * 64, msg.size() - blocks * 64});
+    EXPECT_EQ(b.finalize(), expect) << "boundary " << blocks;
+  }
+}
+
+TEST(Sha256Interruptible, DecodeRejectsGarbage) {
+  EXPECT_THROW(Sha256State::decode(Bytes(44, 0)), ParseError);
+  Sha256 h;
+  Bytes wire = h.export_state().encode();
+  wire[36] = 3;  // low byte of the length counter -> unaligned byte_count
+  EXPECT_THROW(Sha256State::decode(wire), ParseError);
+  wire.pop_back();
+  EXPECT_THROW(Sha256State::decode(wire), ParseError);
+}
+
+TEST(Sha256Interruptible, UseAfterFinalizeThrows) {
+  Sha256 h;
+  h.update(to_bytes("x"));
+  (void)h.finalize();
+  EXPECT_THROW(h.update(to_bytes("y")), Error);
+  EXPECT_THROW(h.finalize(), Error);
+  EXPECT_THROW(h.export_state(), Error);
+}
+
+TEST(Sha256Interruptible, ByteCountTracksMessageOnly) {
+  Sha256 h;
+  h.update(Bytes(130, 0));
+  EXPECT_EQ(h.byte_count(), 130u);
+}
+
+// --- HMAC (RFC 4231 vectors) ---
+
+TEST(Hmac, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  const auto mac = hmac_sha256(key, to_bytes("Hi There"));
+  EXPECT_EQ(mac.hex(),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  const auto mac = hmac_sha256(to_bytes("Jefe"),
+                               to_bytes("what do ya want for nothing?"));
+  EXPECT_EQ(mac.hex(),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case6LongKey) {
+  const Bytes key(131, 0xaa);
+  const auto mac = hmac_sha256(
+      key, to_bytes("Test Using Larger Than Block-Size Key - Hash Key First"));
+  EXPECT_EQ(mac.hex(),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, StreamingEqualsOneShot) {
+  const Bytes key = to_bytes("streaming-key");
+  const Bytes msg = to_bytes("part one|part two|part three");
+  HmacSha256 h(key);
+  h.update(to_bytes("part one|"));
+  h.update(to_bytes("part two|"));
+  h.update(to_bytes("part three"));
+  EXPECT_EQ(h.finalize(), hmac_sha256(key, msg));
+}
+
+TEST(Hmac, TruncatedVariant) {
+  const Bytes key = to_bytes("k");
+  const auto full = hmac_sha256(key, to_bytes("m"));
+  const auto trunc = hmac_sha256_128(key, to_bytes("m"));
+  EXPECT_TRUE(ct_equal(trunc.view(), ByteView{full.data.data(), 16}));
+}
+
+// --- HKDF (RFC 5869 test case 1) ---
+
+TEST(Hkdf, Rfc5869Case1) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes salt = from_hex("000102030405060708090a0b0c");
+  const Bytes info = from_hex("f0f1f2f3f4f5f6f7f8f9");
+  const Bytes okm = hkdf(salt, ikm, info, 42);
+  EXPECT_EQ(to_hex(okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+TEST(Hkdf, ExpandLengthLimit) {
+  const Bytes prk(32, 1);
+  EXPECT_NO_THROW(hkdf_expand(prk, {}, 255 * 32));
+  EXPECT_THROW(hkdf_expand(prk, {}, 255 * 32 + 1), Error);
+}
+
+TEST(Hkdf, DistinctInfoDistinctKeys) {
+  const Bytes ikm(32, 7);
+  EXPECT_NE(hkdf({}, ikm, to_bytes("a"), 32), hkdf({}, ikm, to_bytes("b"), 32));
+}
+
+// --- DRBG ---
+
+TEST(Drbg, DeterministicAcrossInstances) {
+  Drbg a = Drbg::from_seed(42, "test");
+  Drbg b = Drbg::from_seed(42, "test");
+  EXPECT_EQ(a.generate(64), b.generate(64));
+}
+
+TEST(Drbg, PersonalizationSeparatesStreams) {
+  Drbg a = Drbg::from_seed(42, "alpha");
+  Drbg b = Drbg::from_seed(42, "beta");
+  EXPECT_NE(a.generate(32), b.generate(32));
+}
+
+TEST(Drbg, ReseedChangesStream) {
+  Drbg a = Drbg::from_seed(42);
+  Drbg b = Drbg::from_seed(42);
+  b.reseed(to_bytes("extra"));
+  EXPECT_NE(a.generate(32), b.generate(32));
+}
+
+TEST(Drbg, UniformStaysBelowBound) {
+  Drbg rng = Drbg::from_seed(7);
+  for (int i = 0; i < 200; ++i) EXPECT_LT(rng.uniform(13), 13u);
+}
+
+TEST(Drbg, UniformZeroBoundThrows) {
+  Drbg rng = Drbg::from_seed(7);
+  EXPECT_THROW(rng.uniform(0), Error);
+}
+
+TEST(Drbg, UniformCoversRange) {
+  Drbg rng = Drbg::from_seed(11);
+  bool seen[5] = {};
+  for (int i = 0; i < 200; ++i) seen[rng.uniform(5)] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+// --- AES (FIPS 197 appendix vectors) ---
+
+TEST(Aes, Fips197Aes128) {
+  const Bytes key = from_hex("000102030405060708090a0b0c0d0e0f");
+  const Bytes pt = from_hex("00112233445566778899aabbccddeeff");
+  const Aes aes(key);
+  std::uint8_t ct[16];
+  aes.encrypt_block(pt.data(), ct);
+  EXPECT_EQ(to_hex(ByteView{ct, 16}), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(Aes, Fips197Aes256) {
+  const Bytes key =
+      from_hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const Bytes pt = from_hex("00112233445566778899aabbccddeeff");
+  const Aes aes(key);
+  std::uint8_t ct[16];
+  aes.encrypt_block(pt.data(), ct);
+  EXPECT_EQ(to_hex(ByteView{ct, 16}), "8ea2b7ca516745bfeafc49904b496089");
+}
+
+TEST(Aes, RejectsBadKeySize) {
+  EXPECT_THROW(Aes(Bytes(17, 0)), Error);
+  EXPECT_THROW(Aes(Bytes(24, 0)), Error);  // AES-192 intentionally unsupported
+}
+
+TEST(AesCtr, XorIsInvolution) {
+  Drbg rng = Drbg::from_seed(3);
+  const Bytes key = rng.generate(32);
+  const Bytes nonce = rng.generate(12);
+  const Bytes msg = rng.generate(1000);
+  const Aes aes(key);
+
+  Bytes ct(msg.size());
+  aes_ctr_xor(aes, nonce, 0, msg, ct.data());
+  EXPECT_NE(ct, msg);
+  Bytes back(msg.size());
+  aes_ctr_xor(aes, nonce, 0, ct, back.data());
+  EXPECT_EQ(back, msg);
+}
+
+TEST(AesCtr, CounterOffsetIsStreamSeek) {
+  // Keystream starting at counter 2 must equal the tail of the keystream
+  // starting at counter 0 — CTR counters address absolute block positions.
+  const Aes aes(Bytes(32, 9));
+  const Bytes nonce(12, 1);
+  Bytes s0(48, 0), s2(16, 0);
+  aes_ctr_xor(aes, nonce, 0, Bytes(48, 0), s0.data());
+  aes_ctr_xor(aes, nonce, 2, Bytes(16, 0), s2.data());
+  EXPECT_EQ(Bytes(s0.begin() + 32, s0.end()), s2);
+}
+
+// --- AEAD ---
+
+TEST(Aead, SealOpenRoundTrip) {
+  Drbg rng = Drbg::from_seed(5);
+  const Aead aead(rng.generate(32));
+  const Bytes nonce = rng.generate(12);
+  const Bytes msg = to_bytes("attested configuration payload");
+  const Bytes ad = to_bytes("session-17");
+
+  const Bytes sealed = aead.seal(nonce, msg, ad);
+  EXPECT_EQ(sealed.size(), msg.size() + kAeadTagSize);
+  const auto opened = aead.open(nonce, sealed, ad);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, msg);
+}
+
+TEST(Aead, DetectsCiphertextTampering) {
+  Drbg rng = Drbg::from_seed(6);
+  const Aead aead(rng.generate(32));
+  const Bytes nonce = rng.generate(12);
+  Bytes sealed = aead.seal(nonce, to_bytes("secret"), {});
+  sealed[0] ^= 1;
+  EXPECT_FALSE(aead.open(nonce, sealed, {}).has_value());
+}
+
+TEST(Aead, DetectsTagTampering) {
+  Drbg rng = Drbg::from_seed(6);
+  const Aead aead(rng.generate(32));
+  const Bytes nonce = rng.generate(12);
+  Bytes sealed = aead.seal(nonce, to_bytes("secret"), {});
+  sealed.back() ^= 1;
+  EXPECT_FALSE(aead.open(nonce, sealed, {}).has_value());
+}
+
+TEST(Aead, DetectsAssociatedDataMismatch) {
+  Drbg rng = Drbg::from_seed(6);
+  const Aead aead(rng.generate(32));
+  const Bytes nonce = rng.generate(12);
+  const Bytes sealed = aead.seal(nonce, to_bytes("secret"), to_bytes("ad-1"));
+  EXPECT_FALSE(aead.open(nonce, sealed, to_bytes("ad-2")).has_value());
+}
+
+TEST(Aead, DetectsNonceMismatch) {
+  Drbg rng = Drbg::from_seed(6);
+  const Aead aead(rng.generate(32));
+  const Bytes sealed = aead.seal(Bytes(12, 1), to_bytes("secret"), {});
+  EXPECT_FALSE(aead.open(Bytes(12, 2), sealed, {}).has_value());
+}
+
+TEST(Aead, RejectsTooShortCiphertext) {
+  const Aead aead(Bytes(32, 3));
+  EXPECT_FALSE(aead.open(Bytes(12, 0), Bytes(8, 0), {}).has_value());
+}
+
+TEST(Aead, EmptyPlaintextStillAuthenticated) {
+  const Aead aead(Bytes(32, 4));
+  const Bytes nonce(12, 7);
+  const Bytes sealed = aead.seal(nonce, {}, to_bytes("ad"));
+  EXPECT_EQ(sealed.size(), kAeadTagSize);
+  EXPECT_TRUE(aead.open(nonce, sealed, to_bytes("ad")).has_value());
+  EXPECT_FALSE(aead.open(nonce, sealed, to_bytes("xx")).has_value());
+}
+
+TEST(Aead, DistinctKeysCannotOpen) {
+  const Aead a(Bytes(32, 1));
+  const Aead b(Bytes(32, 2));
+  const Bytes nonce(12, 0);
+  const Bytes sealed = a.seal(nonce, to_bytes("m"), {});
+  EXPECT_FALSE(b.open(nonce, sealed, {}).has_value());
+}
+
+}  // namespace
+}  // namespace sinclave::crypto

@@ -1,0 +1,258 @@
+// Tests for the confidential-VM extension (§4.4's closing paragraph):
+// launch measurement resumability, the VM reuse attack against baseline
+// digest pinning, and its defeat by singleton VMs.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "cvm/confidential_vm.h"
+
+namespace sinclave::cvm {
+namespace {
+
+crypto::Drbg rng(std::uint64_t seed) {
+  return crypto::Drbg::from_seed(seed, "cvm-tests");
+}
+
+// --- launch measurement ---
+
+TEST(LaunchMeasurement, DeterministicPerImage) {
+  const VmImage img = VmImage::synthetic("vm-a", 64 << 10);
+  LaunchMeasurement a, b;
+  a.measure_image(img);
+  b.measure_image(img);
+  EXPECT_EQ(a.finalize(), b.finalize());
+}
+
+TEST(LaunchMeasurement, SensitiveToEveryComponent) {
+  const VmImage base = VmImage::synthetic("vm-b", 64 << 10);
+  LaunchMeasurement ref;
+  ref.measure_image(base);
+  const Hash256 reference = ref.finalize();
+
+  auto digest_of = [](const VmImage& img) {
+    LaunchMeasurement m;
+    m.measure_image(img);
+    return m.finalize();
+  };
+
+  VmImage fw = base;
+  fw.firmware[0] ^= 1;
+  EXPECT_NE(digest_of(fw), reference);
+  VmImage kn = base;
+  kn.kernel.back() ^= 1;
+  EXPECT_NE(digest_of(kn), reference);
+  VmImage ird = base;
+  ird.initrd[5] ^= 1;
+  EXPECT_NE(digest_of(ird), reference);
+  VmImage cmd = base;
+  cmd.cmdline += " init=/bin/sh";  // the classic boot-param attack
+  EXPECT_NE(digest_of(cmd), reference);
+}
+
+TEST(LaunchMeasurement, RecordBoundariesMatter) {
+  // "ab" + "c" must differ from "a" + "bc": records are framed, not
+  // concatenated raw.
+  LaunchMeasurement a, b;
+  a.record("k", to_bytes("ab"));
+  a.record("k", to_bytes("c"));
+  b.record("k", to_bytes("a"));
+  b.record("k", to_bytes("bc"));
+  EXPECT_NE(a.finalize(), b.finalize());
+}
+
+TEST(LaunchMeasurement, ResumeEqualsContinuous) {
+  const VmImage img = VmImage::synthetic("vm-c", 32 << 10);
+  VmIdBlock block;
+  block.token = core::AttestationToken::from_view(Bytes(32, 2));
+  block.verifier_id = Hash256::from_view(Bytes(32, 3));
+
+  LaunchMeasurement continuous;
+  continuous.measure_image(img);
+  continuous.measure_id_block(block.render());
+
+  LaunchMeasurement first;
+  first.measure_image(img);
+  LaunchMeasurement second = LaunchMeasurement::resume(first.export_state());
+  second.measure_id_block(block.render());
+
+  EXPECT_EQ(second.finalize(), continuous.finalize());
+}
+
+TEST(VmIdBlock, RenderParseRoundTrip) {
+  VmIdBlock block;
+  auto r = rng(1);
+  r.generate(block.token.data.data(), 32);
+  r.generate(block.verifier_id.data.data(), 32);
+  const auto parsed = VmIdBlock::parse(block.render());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, block);
+  EXPECT_FALSE(VmIdBlock::parse({}).has_value());
+  EXPECT_THROW(VmIdBlock::parse(Bytes(72, 1)), ParseError);
+}
+
+// --- secure processor ---
+
+class CvmTest : public ::testing::Test {
+ protected:
+  CvmTest()
+      : sp_(rng(10), 1024),
+        verifier_(rng(11)),
+        image_(VmImage::synthetic("victim-vm", 128 << 10)) {
+    verifier_.trust_platform(sp_.platform_key());
+  }
+
+  Hash256 plain_digest() {
+    LaunchMeasurement m;
+    m.measure_image(image_);
+    return m.finalize();
+  }
+
+  crypto::Sha256State base_digest() {
+    LaunchMeasurement m;
+    m.measure_image(image_);
+    return m.export_state();
+  }
+
+  SecureProcessor sp_;
+  VmVerifier verifier_;
+  VmImage image_;
+};
+
+TEST_F(CvmTest, LaunchAndAttest) {
+  const auto vm = sp_.launch(image_);
+  EXPECT_EQ(sp_.launch_digest(vm), plain_digest());
+  const VmReport report = sp_.attest(vm, {});
+  EXPECT_EQ(report.launch_digest, plain_digest());
+  EXPECT_EQ(VmReport::deserialize(report.serialize()), report);
+}
+
+TEST_F(CvmTest, TerminatedVmCannotAttest) {
+  const auto vm = sp_.launch(image_);
+  sp_.terminate(vm);
+  EXPECT_THROW(sp_.attest(vm, {}), Error);
+  EXPECT_THROW(sp_.terminate(vm), Error);
+}
+
+TEST_F(CvmTest, BaselineVerifiesPinnedDigest) {
+  verifier_.register_baseline("vm-session", plain_digest());
+  const auto vm = sp_.launch(image_);
+  EXPECT_EQ(verifier_.verify("vm-session", sp_.attest(vm, {}), std::nullopt),
+            Verdict::kOk);
+}
+
+TEST_F(CvmTest, BaselineRejectsUnknownPlatformAndTampering) {
+  verifier_.register_baseline("vm-session", plain_digest());
+  const auto vm = sp_.launch(image_);
+  VmReport report = sp_.attest(vm, {});
+
+  SecureProcessor rogue(rng(12), 1024);  // untrusted platform
+  const auto rogue_vm = rogue.launch(image_);
+  EXPECT_EQ(verifier_.verify("vm-session", rogue.attest(rogue_vm, {}),
+                             std::nullopt),
+            Verdict::kSignerMismatch);
+
+  report.report_data.data[0] ^= 1;
+  EXPECT_EQ(verifier_.verify("vm-session", report, std::nullopt),
+            Verdict::kBadSignature);
+}
+
+// --- the reuse attack, VM edition ---
+
+TEST_F(CvmTest, BaselineAcceptsClonedVm) {
+  // The vulnerability: the adversary copies the victim's disk/VM image and
+  // boots it themselves. Baseline attestation cannot tell the clone from
+  // the original — it verifies again and again.
+  verifier_.register_baseline("vm-session", plain_digest());
+
+  const auto original = sp_.launch(image_);
+  EXPECT_EQ(verifier_.verify("vm-session", sp_.attest(original, {}),
+                             std::nullopt),
+            Verdict::kOk);
+
+  const VmImage clone = image_;  // bit-identical copy
+  const auto cloned_vm = sp_.launch(clone);
+  EXPECT_EQ(verifier_.verify("vm-session", sp_.attest(cloned_vm, {}),
+                             std::nullopt),
+            Verdict::kOk)
+      << "baseline accepts the clone - the documented weakness";
+}
+
+TEST_F(CvmTest, SingletonVmFlowSucceedsOnce) {
+  verifier_.register_singleton("vm-session", base_digest());
+  const auto block = verifier_.issue_id_block("vm-session");
+  ASSERT_TRUE(block.has_value());
+
+  const auto vm = sp_.launch(image_, block->render());
+  const VmReport report = sp_.attest(vm, {});
+  EXPECT_EQ(verifier_.verify("vm-session", report, block->token),
+            Verdict::kOk);
+  // Exactly once: the token is consumed.
+  EXPECT_EQ(verifier_.verify("vm-session", report, block->token),
+            Verdict::kTokenReused);
+  EXPECT_EQ(verifier_.tokens_outstanding(), 0u);
+}
+
+TEST_F(CvmTest, SingletonBlocksClonedVm) {
+  verifier_.register_singleton("vm-session", base_digest());
+  const auto block = verifier_.issue_id_block("vm-session");
+  ASSERT_TRUE(block.has_value());
+  const auto vm = sp_.launch(image_, block->render());
+  ASSERT_EQ(verifier_.verify("vm-session", sp_.attest(vm, {}), block->token),
+            Verdict::kOk);
+
+  // Clone WITH the same id block: same digest, but the token is spent.
+  const auto clone_with_block = sp_.launch(image_, block->render());
+  EXPECT_EQ(verifier_.verify("vm-session", sp_.attest(clone_with_block, {}),
+                             block->token),
+            Verdict::kTokenReused);
+
+  // Clone WITHOUT an id block: digest does not match any expected value.
+  const auto fresh = verifier_.issue_id_block("vm-session");
+  const auto clone_plain = sp_.launch(image_);
+  EXPECT_EQ(verifier_.verify("vm-session", sp_.attest(clone_plain, {}),
+                             fresh->token),
+            Verdict::kMeasurementMismatch);
+}
+
+TEST_F(CvmTest, SingletonTokensIndividualizeDigests) {
+  verifier_.register_singleton("vm-session", base_digest());
+  const auto a = verifier_.issue_id_block("vm-session");
+  const auto b = verifier_.issue_id_block("vm-session");
+  const auto vm_a = sp_.launch(image_, a->render());
+  const auto vm_b = sp_.launch(image_, b->render());
+  EXPECT_NE(sp_.launch_digest(vm_a), sp_.launch_digest(vm_b));
+}
+
+TEST_F(CvmTest, SingletonRejectsPatchedImageEvenWithValidToken) {
+  verifier_.register_singleton("vm-session", base_digest());
+  const auto block = verifier_.issue_id_block("vm-session");
+  VmImage patched = image_;
+  patched.cmdline += " init=/bin/sh";
+  const auto vm = sp_.launch(patched, block->render());
+  EXPECT_EQ(verifier_.verify("vm-session", sp_.attest(vm, {}), block->token),
+            Verdict::kMeasurementMismatch);
+}
+
+TEST_F(CvmTest, IssueIdBlockOnlyForSingletonSessions) {
+  verifier_.register_baseline("base-session", plain_digest());
+  EXPECT_FALSE(verifier_.issue_id_block("base-session").has_value());
+  EXPECT_FALSE(verifier_.issue_id_block("unknown").has_value());
+}
+
+TEST_F(CvmTest, VerifyUnknownSessionAndMissingToken) {
+  verifier_.register_singleton("vm-session", base_digest());
+  const auto block = verifier_.issue_id_block("vm-session");
+  const auto vm = sp_.launch(image_, block->render());
+  const VmReport report = sp_.attest(vm, {});
+  EXPECT_EQ(verifier_.verify("nope", report, block->token),
+            Verdict::kPolicyViolation);
+  EXPECT_EQ(verifier_.verify("vm-session", report, std::nullopt),
+            Verdict::kTokenUnknown);
+  const auto foreign =
+      core::AttestationToken::from_view(Bytes(32, 0x77));
+  EXPECT_EQ(verifier_.verify("vm-session", report, foreign),
+            Verdict::kTokenUnknown);
+}
+
+}  // namespace
+}  // namespace sinclave::cvm

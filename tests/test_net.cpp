@@ -1,0 +1,230 @@
+// Tests for the network simulator and the attestation-bindable secure
+// channel (server authentication, confidentiality, replay protection).
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "crypto/sha256.h"
+#include "net/secure_channel.h"
+#include "net/sim_network.h"
+
+namespace sinclave::net {
+namespace {
+
+crypto::Drbg rng(std::uint64_t seed) {
+  return crypto::Drbg::from_seed(seed, "net-tests");
+}
+
+// --- SimNetwork ---
+
+TEST(SimNetwork, RequestResponse) {
+  SimNetwork net;
+  net.listen("echo", [](ByteView req) {
+    Bytes out{req.begin(), req.end()};
+    out.push_back('!');
+    return out;
+  });
+  auto conn = net.connect("echo");
+  EXPECT_EQ(conn.call(to_bytes("hi")), to_bytes("hi!"));
+  EXPECT_EQ(net.round_trips(), 1u);
+}
+
+TEST(SimNetwork, ConnectionRefusedWithoutListener) {
+  SimNetwork net;
+  EXPECT_THROW(net.connect("nobody"), Error);
+}
+
+TEST(SimNetwork, AddressCollisionRejected) {
+  SimNetwork net;
+  net.listen("a", [](ByteView) { return Bytes{}; });
+  EXPECT_THROW(net.listen("a", [](ByteView) { return Bytes{}; }), Error);
+}
+
+TEST(SimNetwork, ShutdownBreaksConnections) {
+  SimNetwork net;
+  net.listen("svc", [](ByteView) { return Bytes{1}; });
+  auto conn = net.connect("svc");
+  net.shutdown("svc");
+  EXPECT_FALSE(net.has_listener("svc"));
+  EXPECT_THROW(conn.call(Bytes{}), Error);
+}
+
+TEST(SimNetwork, VirtualTimeAccounting) {
+  LatencyModel lat;
+  lat.connect = std::chrono::microseconds(500);
+  lat.round_trip = std::chrono::microseconds(200);
+  lat.real_sleep = false;
+  SimNetwork net(lat);
+  net.listen("svc", [](ByteView) { return Bytes{}; });
+  auto conn = net.connect("svc");
+  conn.call(Bytes{});
+  conn.call(Bytes{});
+  EXPECT_EQ(net.virtual_time(), std::chrono::microseconds(900));
+}
+
+// --- secure channel ---
+
+struct ChannelFixture : ::testing::Test {
+  ChannelFixture()
+      : identity_(crypto::RsaKeyPair::generate(setup_rng_, 1024)),
+        other_identity_(crypto::RsaKeyPair::generate(setup_rng_, 1024)) {}
+
+  /// Server that accepts every handshake and echoes requests uppercased.
+  void serve(const std::string& address) {
+    server_ = std::make_unique<SecureServer>(
+        &identity_, rng(2),
+        [this](ByteView payload, ByteView, std::uint64_t) {
+          last_payload_ = Bytes{payload.begin(), payload.end()};
+          return std::optional<Bytes>{to_bytes("welcome")};
+        },
+        [](std::uint64_t, ByteView plaintext) {
+          Bytes out{plaintext.begin(), plaintext.end()};
+          for (auto& b : out)
+            b = static_cast<std::uint8_t>(std::toupper(b));
+          return out;
+        });
+    net_.listen(address, [this](ByteView raw) { return server_->handle(raw); });
+  }
+
+  crypto::Drbg setup_rng_ = rng(1);
+  crypto::RsaKeyPair identity_;
+  crypto::RsaKeyPair other_identity_;
+  SimNetwork net_;
+  std::unique_ptr<SecureServer> server_;
+  Bytes last_payload_;
+};
+
+TEST_F(ChannelFixture, HandshakeAndEncryptedCall) {
+  serve("svc");
+  SecureClient client(rng(3));
+  const auto hello =
+      client.connect(net_.connect("svc"), identity_.public_key(),
+                     to_bytes("client-payload"));
+  ASSERT_TRUE(hello.has_value());
+  EXPECT_EQ(*hello, to_bytes("welcome"));
+  EXPECT_EQ(last_payload_, to_bytes("client-payload"));
+  EXPECT_EQ(client.call(to_bytes("abc")), to_bytes("ABC"));
+  EXPECT_EQ(client.call(to_bytes("xyz")), to_bytes("XYZ"));
+}
+
+TEST_F(ChannelFixture, ServerIdentityPinningDetectsImpostor) {
+  // The server signs with identity_, but the client expects other_identity_
+  // — the exact check SinClave roots in the instance page.
+  serve("svc");
+  SecureClient client(rng(4));
+  EXPECT_THROW(client.connect(net_.connect("svc"),
+                              other_identity_.public_key(), {}),
+               Error);
+}
+
+TEST_F(ChannelFixture, RejectedHandshakeYieldsNullopt) {
+  server_ = std::make_unique<SecureServer>(
+      &identity_, rng(5),
+      [](ByteView, ByteView, std::uint64_t) {
+        return std::optional<Bytes>{};  // reject all
+      },
+      [](std::uint64_t, ByteView) { return Bytes{}; });
+  net_.listen("svc", [this](ByteView raw) { return server_->handle(raw); });
+
+  SecureClient client(rng(6));
+  EXPECT_FALSE(
+      client.connect(net_.connect("svc"), identity_.public_key(), {})
+          .has_value());
+  EXPECT_THROW(client.call(Bytes{}), Error);  // never connected
+}
+
+TEST_F(ChannelFixture, EavesdropperSeesNoPlaintext) {
+  // Wrap the transport to capture ciphertext like an on-path adversary.
+  std::vector<Bytes> wire;
+  server_ = std::make_unique<SecureServer>(
+      &identity_, rng(7),
+      [](ByteView, ByteView, std::uint64_t) {
+        return std::optional<Bytes>{Bytes{}};
+      },
+      [](std::uint64_t, ByteView) { return to_bytes("topsecret-response"); });
+  net_.listen("svc", [&](ByteView raw) {
+    wire.emplace_back(raw.begin(), raw.end());
+    Bytes resp = server_->handle(raw);
+    wire.push_back(resp);
+    return resp;
+  });
+
+  SecureClient client(rng(8));
+  ASSERT_TRUE(client.connect(net_.connect("svc"), identity_.public_key(), {})
+                  .has_value());
+  client.call(to_bytes("topsecret-request"));
+
+  const Bytes needle_req = to_bytes("topsecret-request");
+  const Bytes needle_resp = to_bytes("topsecret-response");
+  for (const Bytes& frame : wire) {
+    const std::string hay(frame.begin(), frame.end());
+    EXPECT_EQ(hay.find("topsecret-request"), std::string::npos);
+    EXPECT_EQ(hay.find("topsecret-response"), std::string::npos);
+  }
+}
+
+TEST_F(ChannelFixture, ReplayedDataFrameRejected) {
+  serve("svc");
+  SecureClient client(rng(9));
+  ASSERT_TRUE(client.connect(net_.connect("svc"), identity_.public_key(), {})
+                  .has_value());
+
+  // Capture a legitimate encrypted frame by replaying raw bytes directly
+  // against the server handler.
+  client.call(to_bytes("one"));
+  // Build a stale frame: counter 0 was already consumed.
+  // (We reconstruct it by asking the client to produce another frame and
+  // tampering the counter downward is covered by the server check.)
+  // Directly exercise the server's counter check:
+  // a second frame with counter 0 must be rejected.
+  // The simplest realization: snapshot raw frame bytes via the network.
+  Bytes captured;
+  net_.shutdown("svc");
+  net_.listen("svc", [&](ByteView raw) {
+    captured = Bytes{raw.begin(), raw.end()};
+    return server_->handle(raw);
+  });
+  SecureClient client2(rng(10));
+  ASSERT_TRUE(client2.connect(net_.connect("svc"), identity_.public_key(), {})
+                  .has_value());
+  client2.call(to_bytes("fresh"));
+  ASSERT_FALSE(captured.empty());
+
+  // Replay the captured data frame verbatim: server must reject (counter
+  // no longer fresh).
+  const Bytes replay_response = server_->handle(captured);
+  EXPECT_EQ(replay_response[0], 0);  // kStatusRejected
+}
+
+TEST_F(ChannelFixture, SessionsAreIndependent) {
+  serve("svc");
+  SecureClient a(rng(11)), b(rng(12));
+  ASSERT_TRUE(a.connect(net_.connect("svc"), identity_.public_key(),
+                        to_bytes("a")).has_value());
+  ASSERT_TRUE(b.connect(net_.connect("svc"), identity_.public_key(),
+                        to_bytes("b")).has_value());
+  EXPECT_EQ(a.call(to_bytes("aa")), to_bytes("AA"));
+  EXPECT_EQ(b.call(to_bytes("bb")), to_bytes("BB"));
+  EXPECT_EQ(server_->open_sessions(), 2u);
+  server_->close_session(1);
+  EXPECT_EQ(server_->open_sessions(), 1u);
+}
+
+TEST_F(ChannelFixture, MalformedFramesRejectedGracefully) {
+  serve("svc");
+  EXPECT_EQ(server_->handle(Bytes{})[0], 0);
+  EXPECT_EQ(server_->handle(Bytes{9, 9, 9})[0], 0);
+  EXPECT_EQ(server_->handle(Bytes{1, 0, 0})[0], 0);  // truncated data frame
+}
+
+TEST(ChannelBinding, CommitsToDhKey) {
+  const Bytes key1(256, 1), key2(256, 2);
+  const auto b1 = channel_binding(key1);
+  const auto b2 = channel_binding(key2);
+  EXPECT_NE(b1, b2);
+  // First 32 bytes are the hash, rest zero padding.
+  EXPECT_EQ(Hash256::from_view(b1.view()), crypto::sha256(key1));
+  for (std::size_t i = 32; i < 64; ++i) EXPECT_EQ(b1.data[i], 0);
+}
+
+}  // namespace
+}  // namespace sinclave::net

@@ -1,0 +1,202 @@
+// Tests for CAS state sealing and rollback protection — the durability
+// half of the singleton guarantee: a CAS restart must not forget which
+// tokens were consumed, and the adversarial host must not be able to roll
+// the token database back to a pre-consumption snapshot.
+#include <gtest/gtest.h>
+
+#include "attack/impersonator.h"
+#include "cas/persistence.h"
+#include "cas/service.h"
+#include "core/signer.h"
+#include "crypto/sha256.h"
+#include "runtime/starter.h"
+#include "workload/testbed.h"
+
+namespace sinclave::cas {
+namespace {
+
+// --- seal/unseal primitive ---
+
+class SealTest : public ::testing::Test {
+ protected:
+  crypto::Drbg rng_ = crypto::Drbg::from_seed(61, "seal-tests");
+  Bytes key_ = rng_.generate(32);
+  MonotonicCounter counter_;
+};
+
+TEST_F(SealTest, RoundTrip) {
+  const Bytes state = to_bytes("token-database-contents");
+  const Bytes blob = seal_state(key_, counter_, state, rng_);
+  Bytes out;
+  EXPECT_EQ(unseal_state(key_, counter_, blob, out), UnsealStatus::kOk);
+  EXPECT_EQ(out, state);
+}
+
+TEST_F(SealTest, SealAdvancesCounter) {
+  EXPECT_EQ(counter_.read(), 0u);
+  seal_state(key_, counter_, to_bytes("a"), rng_);
+  EXPECT_EQ(counter_.read(), 1u);
+  seal_state(key_, counter_, to_bytes("b"), rng_);
+  EXPECT_EQ(counter_.read(), 2u);
+}
+
+TEST_F(SealTest, WrongKeyRejected) {
+  const Bytes blob = seal_state(key_, counter_, to_bytes("s"), rng_);
+  Bytes out;
+  EXPECT_EQ(unseal_state(rng_.generate(32), counter_, blob, out),
+            UnsealStatus::kBadSeal);
+}
+
+TEST_F(SealTest, TamperedBlobRejected) {
+  Bytes blob = seal_state(key_, counter_, to_bytes("s"), rng_);
+  blob.back() ^= 1;
+  Bytes out;
+  EXPECT_EQ(unseal_state(key_, counter_, blob, out), UnsealStatus::kBadSeal);
+}
+
+TEST_F(SealTest, MalformedBlobRejected) {
+  Bytes out;
+  EXPECT_EQ(unseal_state(key_, counter_, Bytes{1, 2}, out),
+            UnsealStatus::kMalformed);
+}
+
+TEST_F(SealTest, StaleSnapshotRejected) {
+  // The rollback attack: keep the older (authentic!) blob, present it
+  // after a newer seal happened.
+  const Bytes old_blob = seal_state(key_, counter_, to_bytes("old"), rng_);
+  const Bytes new_blob = seal_state(key_, counter_, to_bytes("new"), rng_);
+
+  Bytes out;
+  EXPECT_EQ(unseal_state(key_, counter_, old_blob, out),
+            UnsealStatus::kRolledBack);
+  EXPECT_EQ(unseal_state(key_, counter_, new_blob, out), UnsealStatus::kOk);
+  EXPECT_EQ(out, to_bytes("new"));
+}
+
+TEST_F(SealTest, CounterValueCannotBeForgedInBlob) {
+  // Attacker rewrites the bound counter value in an old blob to the
+  // current one: the AEAD associated data catches it.
+  Bytes old_blob = seal_state(key_, counter_, to_bytes("old"), rng_);
+  seal_state(key_, counter_, to_bytes("new"), rng_);
+  // Counter field is the first u64 of the blob (little-endian).
+  old_blob[0] = static_cast<std::uint8_t>(counter_.read());
+  Bytes out;
+  EXPECT_EQ(unseal_state(key_, counter_, old_blob, out),
+            UnsealStatus::kBadSeal);
+}
+
+// --- full CAS restart + rollback scenario ---
+
+class CasRestartTest : public ::testing::Test {
+ protected:
+  CasRestartTest()
+      : bed_(workload::TestbedConfig{.seed = 62, .rsa_bits = 1024}),
+        image_(core::EnclaveImage::synthetic("restart", sgx::kPageSize,
+                                             sgx::kPageSize)) {
+    bed_.programs().register_program("ok",
+                                     [](runtime::AppContext&) { return 0; });
+    const core::Signer signer(&bed_.user_signer());
+    signed_image_ = signer.sign_sinclave(image_);
+
+    Policy policy;
+    policy.session_name = "restart-session";
+    policy.expected_signer =
+        crypto::sha256(bed_.user_signer().public_key().modulus_be());
+    policy.require_singleton = true;
+    policy.base_hash = signed_image_.base_hash;
+    policy.config.program = "ok";
+    bed_.cas().install_policy(policy);
+  }
+
+  /// Run the legitimate singleton flow once; returns the consumed token.
+  core::AttestationToken attest_once() {
+    const auto start = runtime::start_singleton_enclave(
+        bed_.cpu(), bed_.network(), bed_.cas_address(), image_,
+        signed_image_.sigstruct, "restart-session");
+    EXPECT_TRUE(start.ok()) << start.error;
+    auto rt = bed_.make_runtime(runtime::RuntimeMode::kSinclave);
+    runtime::RunOptions o;
+    o.cas_address = bed_.cas_address();
+    o.cas_identity = bed_.cas().identity();
+    o.session_name = "restart-session";
+    EXPECT_TRUE(rt.run(start.enclave, o).ok);
+    return start.token;
+  }
+
+  workload::Testbed bed_;
+  core::EnclaveImage image_;
+  core::SinclaveSignedImage signed_image_;
+  crypto::Drbg seal_rng_ = crypto::Drbg::from_seed(63, "seal");
+  Bytes seal_key_ = seal_rng_.generate(32);
+  MonotonicCounter counter_;
+};
+
+TEST_F(CasRestartTest, StateSurvivesRestart) {
+  const auto token = attest_once();
+  EXPECT_EQ(bed_.cas().tokens_used(), 1u);
+
+  // Seal, "restart" (import into the same service), verify the consumed
+  // token is still consumed.
+  const Bytes blob =
+      seal_state(seal_key_, counter_, bed_.cas().export_state(), seal_rng_);
+  Bytes state;
+  ASSERT_EQ(unseal_state(seal_key_, counter_, blob, state), UnsealStatus::kOk);
+  bed_.cas().import_state(state);
+  EXPECT_EQ(bed_.cas().tokens_used(), 1u);
+
+  // Replaying the old token after restore still fails.
+  attack::TeeImpersonator imp(&bed_.network(), &bed_.qe(), "nowhere",
+                              bed_.child_rng("imp"));
+  (void)token;  // replay path requires a report server; verdict suffices:
+  // direct check through a fresh legitimate enclave with the stale token is
+  // covered by test_attack; here assert the database state round-tripped.
+  EXPECT_EQ(bed_.cas().tokens_outstanding(), 0u);
+}
+
+TEST_F(CasRestartTest, RollbackSnapshotIsRejected) {
+  // Adversary snapshots CAS state BEFORE the token is consumed...
+  const auto start = runtime::start_singleton_enclave(
+      bed_.cpu(), bed_.network(), bed_.cas_address(), image_,
+      signed_image_.sigstruct, "restart-session");
+  ASSERT_TRUE(start.ok());
+  const Bytes pre_blob =
+      seal_state(seal_key_, counter_, bed_.cas().export_state(), seal_rng_);
+
+  // ...the token is consumed and fresh state sealed...
+  auto rt = bed_.make_runtime(runtime::RuntimeMode::kSinclave);
+  runtime::RunOptions o;
+  o.cas_address = bed_.cas_address();
+  o.cas_identity = bed_.cas().identity();
+  o.session_name = "restart-session";
+  ASSERT_TRUE(rt.run(start.enclave, o).ok);
+  const Bytes post_blob =
+      seal_state(seal_key_, counter_, bed_.cas().export_state(), seal_rng_);
+
+  // ...and at "restart" the host supplies the pre-consumption snapshot.
+  Bytes state;
+  EXPECT_EQ(unseal_state(seal_key_, counter_, pre_blob, state),
+            UnsealStatus::kRolledBack);
+  // Only the latest state restores — the token stays consumed.
+  ASSERT_EQ(unseal_state(seal_key_, counter_, post_blob, state),
+            UnsealStatus::kOk);
+  bed_.cas().import_state(state);
+  EXPECT_EQ(bed_.cas().tokens_used(), 1u);
+  EXPECT_EQ(bed_.cas().tokens_outstanding(), 0u);
+}
+
+TEST_F(CasRestartTest, ExportImportPreservesPolicies) {
+  const Bytes state = bed_.cas().export_state();
+  bed_.cas().import_state(state);
+  // Policy still answers instance requests after the round trip.
+  const auto start = runtime::start_singleton_enclave(
+      bed_.cpu(), bed_.network(), bed_.cas_address(), image_,
+      signed_image_.sigstruct, "restart-session");
+  EXPECT_TRUE(start.ok()) << start.error;
+}
+
+TEST_F(CasRestartTest, ImportRejectsGarbage) {
+  EXPECT_THROW(bed_.cas().import_state(Bytes{1, 2, 3}), ParseError);
+}
+
+}  // namespace
+}  // namespace sinclave::cas

@@ -1,0 +1,144 @@
+// Tests for the quoting enclave and the attestation service — the local
+// attestation -> quote -> remote verification chain of Fig. 3.
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.h"
+#include "quote/attestation_service.h"
+#include "quote/quoting_enclave.h"
+#include "sgx/cpu.h"
+
+namespace sinclave::quote {
+namespace {
+
+class QuoteTest : public ::testing::Test {
+ protected:
+  QuoteTest() : qe_(cpu_, qe_rng_, 1024) {
+    attestation_.register_platform(qe_.attestation_key());
+    signer_ = std::make_unique<crypto::RsaKeyPair>(
+        crypto::RsaKeyPair::generate(app_rng_, 1024));
+  }
+
+  sgx::SgxCpu::EnclaveId make_app_enclave(std::uint8_t fill) {
+    const auto id = cpu_.ecreate(sgx::kPageSize, sgx::Attributes{});
+    cpu_.add_measured_page(id, 0, Bytes(sgx::kPageSize, fill),
+                           sgx::SecInfo::reg_rx());
+    sgx::SigStruct sig;
+    sig.enclave_hash = cpu_.current_measurement(id);
+    sig.attribute_mask = sgx::Attributes{
+        ~std::uint64_t{sgx::Attributes::kInit}, ~std::uint64_t{0}};
+    sig.sign(*signer_);
+    if (cpu_.einit(id, sig) != Verdict::kOk)
+      throw Error("test enclave failed to init");
+    return id;
+  }
+
+  sgx::Report app_report(sgx::SgxCpu::EnclaveId id,
+                         const sgx::ReportData& data) {
+    return cpu_.ereport(id, qe_.target_info(), data);
+  }
+
+  sgx::SgxCpu cpu_{sgx::SgxCpu::Config{1, {}, true}};
+  crypto::Drbg qe_rng_ = crypto::Drbg::from_seed(2, "qe");
+  crypto::Drbg app_rng_ = crypto::Drbg::from_seed(3, "app");
+  QuotingEnclave qe_;
+  AttestationService attestation_;
+  std::unique_ptr<crypto::RsaKeyPair> signer_;
+};
+
+TEST_F(QuoteTest, EndToEndQuoteVerifies) {
+  const auto id = make_app_enclave(0x11);
+  sgx::ReportData data;
+  data.data[0] = 0xab;
+  const auto quote = qe_.generate_quote(app_report(id, data));
+  ASSERT_TRUE(quote.has_value());
+
+  const QuoteVerification v = attestation_.verify(*quote);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.identity->mr_enclave, cpu_.identity(id).mr_enclave);
+  EXPECT_EQ(v.report_data->data[0], 0xab);
+}
+
+TEST_F(QuoteTest, QuoteStripsPlatformMac) {
+  const auto id = make_app_enclave(0x12);
+  const auto quote = qe_.generate_quote(app_report(id, sgx::ReportData{}));
+  ASSERT_TRUE(quote.has_value());
+  EXPECT_TRUE(quote->report.mac.is_zero());
+}
+
+TEST_F(QuoteTest, ForgedReportRejectedByQe) {
+  // A report fabricated without the hardware MAC key must not quote: this
+  // is why the paper's adversary needs a report *server* inside a real
+  // enclave instead of fabricating reports directly.
+  sgx::Report forged;
+  forged.identity.mr_enclave.data[0] = 0x55;
+  EXPECT_FALSE(qe_.generate_quote(forged).has_value());
+}
+
+TEST_F(QuoteTest, TamperedReportRejectedByQe) {
+  const auto id = make_app_enclave(0x13);
+  sgx::Report report = app_report(id, sgx::ReportData{});
+  report.identity.mr_enclave.data[0] ^= 1;  // claim another enclave
+  EXPECT_FALSE(qe_.generate_quote(report).has_value());
+}
+
+TEST_F(QuoteTest, TamperedQuoteRejectedByService) {
+  const auto id = make_app_enclave(0x14);
+  auto quote = qe_.generate_quote(app_report(id, sgx::ReportData{}));
+  ASSERT_TRUE(quote.has_value());
+  quote->report.report_data.data[0] ^= 1;  // rewrite bound channel key
+  EXPECT_EQ(attestation_.verify(*quote).verdict, Verdict::kBadSignature);
+}
+
+TEST_F(QuoteTest, UnknownPlatformRejected) {
+  const auto id = make_app_enclave(0x15);
+  const auto quote = qe_.generate_quote(app_report(id, sgx::ReportData{}));
+  ASSERT_TRUE(quote.has_value());
+
+  AttestationService empty;
+  EXPECT_EQ(empty.verify(*quote).verdict, Verdict::kSignerMismatch);
+}
+
+TEST_F(QuoteTest, RevokedPlatformRejected) {
+  const auto id = make_app_enclave(0x16);
+  const auto quote = qe_.generate_quote(app_report(id, sgx::ReportData{}));
+  ASSERT_TRUE(quote.has_value());
+
+  attestation_.revoke_platform(qe_.qe_id());
+  EXPECT_EQ(attestation_.verify(*quote).verdict, Verdict::kSignerMismatch);
+  EXPECT_EQ(attestation_.platform_count(), 0u);
+}
+
+TEST_F(QuoteTest, QuoteSerializationRoundTrip) {
+  const auto id = make_app_enclave(0x17);
+  const auto quote = qe_.generate_quote(app_report(id, sgx::ReportData{}));
+  ASSERT_TRUE(quote.has_value());
+  EXPECT_EQ(Quote::deserialize(quote->serialize()), *quote);
+  // And a deserialized quote still verifies.
+  EXPECT_TRUE(
+      attestation_.verify(Quote::deserialize(quote->serialize())).ok());
+}
+
+TEST_F(QuoteTest, CrossPlatformQuoteDoesNotVerify) {
+  // Quote from an unregistered second platform's QE.
+  sgx::SgxCpu cpu2{sgx::SgxCpu::Config{77, {}, true}};
+  crypto::Drbg rng2 = crypto::Drbg::from_seed(78, "qe2");
+  QuotingEnclave qe2(cpu2, rng2, 1024);
+
+  const auto id = cpu2.ecreate(sgx::kPageSize, sgx::Attributes{});
+  cpu2.add_measured_page(id, 0, ByteView{}, sgx::SecInfo::reg_rw());
+  sgx::SigStruct sig;
+  sig.enclave_hash = cpu2.current_measurement(id);
+  sig.attribute_mask = sgx::Attributes{
+      ~std::uint64_t{sgx::Attributes::kInit}, ~std::uint64_t{0}};
+  sig.sign(*signer_);
+  ASSERT_EQ(cpu2.einit(id, sig), Verdict::kOk);
+
+  const auto quote = qe2.generate_quote(
+      cpu2.ereport(id, qe2.target_info(), sgx::ReportData{}));
+  ASSERT_TRUE(quote.has_value());
+  // attestation_ only trusts platform 1.
+  EXPECT_FALSE(attestation_.verify(*quote).ok());
+}
+
+}  // namespace
+}  // namespace sinclave::quote

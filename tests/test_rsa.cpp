@@ -1,0 +1,202 @@
+// Unit + property tests for primality testing, RSA keygen, PKCS#1 v1.5
+// signatures, and finite-field DH. Most tests use reduced key sizes so the
+// suite stays fast; the full 3072-bit path is exercised once and measured
+// properly in bench_fig7b_sigstruct.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "crypto/dh.h"
+#include "crypto/drbg.h"
+#include "crypto/rsa.h"
+
+namespace sinclave::crypto {
+namespace {
+
+Drbg test_rng(std::uint64_t seed) {
+  return Drbg::from_seed(seed, "rsa-tests");
+}
+
+// --- primality ---
+
+TEST(Primes, SmallPrimesRecognized) {
+  Drbg rng = test_rng(1);
+  for (std::uint64_t p : {2ull, 3ull, 5ull, 7ull, 101ull, 65537ull, 1009ull})
+    EXPECT_TRUE(primes::is_probable_prime(BigInt{p}, rng)) << p;
+}
+
+TEST(Primes, SmallCompositesRejected) {
+  Drbg rng = test_rng(2);
+  for (std::uint64_t c : {1ull, 4ull, 9ull, 15ull, 91ull, 65535ull, 1001ull})
+    EXPECT_FALSE(primes::is_probable_prime(BigInt{c}, rng)) << c;
+}
+
+TEST(Primes, CarmichaelNumbersRejected) {
+  // Carmichael numbers fool Fermat tests but not Miller-Rabin.
+  Drbg rng = test_rng(3);
+  for (std::uint64_t c : {561ull, 1105ull, 1729ull, 2465ull, 6601ull, 41041ull})
+    EXPECT_FALSE(primes::is_probable_prime(BigInt{c}, rng)) << c;
+}
+
+TEST(Primes, ProductOfTwoPrimesRejected) {
+  Drbg rng = test_rng(4);
+  const BigInt p = primes::generate_prime(64, rng);
+  const BigInt q = primes::generate_prime(64, rng);
+  EXPECT_FALSE(primes::is_probable_prime(p * q, rng));
+}
+
+class PrimeGeneration : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PrimeGeneration, ExactBitLengthAndOdd) {
+  Drbg rng = test_rng(5 + GetParam());
+  const BigInt p = primes::generate_prime(GetParam(), rng);
+  EXPECT_EQ(p.bit_length(), GetParam());
+  EXPECT_TRUE(p.is_odd());
+  // Second-highest bit set (so products have exactly 2n bits):
+  EXPECT_TRUE(p.bit(GetParam() - 2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PrimeGeneration,
+                         ::testing::Values(32, 64, 128, 256));
+
+TEST(Primes, GenerationIsDeterministicPerSeed) {
+  Drbg a = test_rng(77), b = test_rng(77);
+  EXPECT_EQ(primes::generate_prime(128, a), primes::generate_prime(128, b));
+}
+
+// --- RSA ---
+
+TEST(Rsa, GenerateRejectsBadSizes) {
+  Drbg rng = test_rng(10);
+  EXPECT_THROW(RsaKeyPair::generate(rng, 256), Error);
+  EXPECT_THROW(RsaKeyPair::generate(rng, 513), Error);
+}
+
+TEST(Rsa, SignVerifyRoundTrip) {
+  Drbg rng = test_rng(11);
+  const RsaKeyPair kp = RsaKeyPair::generate(rng, 1024);
+  const Bytes msg = to_bytes("sigstruct-under-test");
+  const Bytes sig = kp.sign_pkcs1_sha256(msg);
+  EXPECT_EQ(sig.size(), 128u);
+  EXPECT_TRUE(kp.public_key().verify_pkcs1_sha256(msg, sig));
+}
+
+TEST(Rsa, VerifyRejectsWrongMessage) {
+  Drbg rng = test_rng(12);
+  const RsaKeyPair kp = RsaKeyPair::generate(rng, 1024);
+  const Bytes sig = kp.sign_pkcs1_sha256(to_bytes("original"));
+  EXPECT_FALSE(kp.public_key().verify_pkcs1_sha256(to_bytes("forged"), sig));
+}
+
+TEST(Rsa, VerifyRejectsCorruptedSignature) {
+  Drbg rng = test_rng(13);
+  const RsaKeyPair kp = RsaKeyPair::generate(rng, 1024);
+  const Bytes msg = to_bytes("m");
+  Bytes sig = kp.sign_pkcs1_sha256(msg);
+  for (std::size_t pos : {0ul, sig.size() / 2, sig.size() - 1}) {
+    Bytes bad = sig;
+    bad[pos] ^= 0x01;
+    EXPECT_FALSE(kp.public_key().verify_pkcs1_sha256(msg, bad)) << pos;
+  }
+}
+
+TEST(Rsa, VerifyRejectsWrongLengthSignature) {
+  Drbg rng = test_rng(14);
+  const RsaKeyPair kp = RsaKeyPair::generate(rng, 1024);
+  const Bytes msg = to_bytes("m");
+  Bytes sig = kp.sign_pkcs1_sha256(msg);
+  sig.pop_back();
+  EXPECT_FALSE(kp.public_key().verify_pkcs1_sha256(msg, sig));
+  sig.push_back(0);
+  sig.push_back(0);
+  EXPECT_FALSE(kp.public_key().verify_pkcs1_sha256(msg, sig));
+}
+
+TEST(Rsa, VerifyRejectsOtherKeysSignature) {
+  Drbg rng = test_rng(15);
+  const RsaKeyPair a = RsaKeyPair::generate(rng, 1024);
+  const RsaKeyPair b = RsaKeyPair::generate(rng, 1024);
+  const Bytes msg = to_bytes("m");
+  EXPECT_FALSE(b.public_key().verify_pkcs1_sha256(msg, a.sign_pkcs1_sha256(msg)));
+}
+
+TEST(Rsa, CrtMatchesPlainExponentiation) {
+  Drbg rng = test_rng(16);
+  const RsaKeyPair kp = RsaKeyPair::generate(rng, 768);
+  const BigInt n = kp.public_key().n;
+  Drbg rng2 = test_rng(17);
+  for (int i = 0; i < 5; ++i) {
+    const BigInt m = BigInt::random_below(
+        n, [&](std::uint8_t* p, std::size_t len) { rng2.generate(p, len); });
+    // Encrypt with e then decrypt with the CRT private op.
+    const BigInt c = BigInt::mod_exp(m, BigInt{kRsaPublicExponent}, n);
+    EXPECT_EQ(kp.private_op(c), m);
+  }
+}
+
+TEST(Rsa, PrivateOpRejectsOutOfRange) {
+  Drbg rng = test_rng(18);
+  const RsaKeyPair kp = RsaKeyPair::generate(rng, 512);
+  EXPECT_THROW(kp.private_op(kp.public_key().n), Error);
+}
+
+TEST(Rsa, DeterministicKeygenPerSeed) {
+  Drbg a = test_rng(19), b = test_rng(19);
+  EXPECT_EQ(RsaKeyPair::generate(a, 512).public_key().n,
+            RsaKeyPair::generate(b, 512).public_key().n);
+}
+
+TEST(Rsa, PublicKeySerializationRoundTrip) {
+  Drbg rng = test_rng(20);
+  const RsaKeyPair kp = RsaKeyPair::generate(rng, 512);
+  const Bytes wire = kp.public_key().serialize();
+  EXPECT_EQ(RsaPublicKey::deserialize(wire), kp.public_key());
+}
+
+TEST(Rsa, ModulusHasRequestedSize) {
+  Drbg rng = test_rng(21);
+  EXPECT_EQ(RsaKeyPair::generate(rng, 1024).public_key().n.bit_length(), 1024u);
+}
+
+TEST(Rsa, SignaturesAreDeterministic) {
+  // PKCS#1 v1.5 is deterministic: same key + message => same signature.
+  Drbg rng = test_rng(22);
+  const RsaKeyPair kp = RsaKeyPair::generate(rng, 512);
+  EXPECT_EQ(kp.sign_pkcs1_sha256(to_bytes("m")),
+            kp.sign_pkcs1_sha256(to_bytes("m")));
+}
+
+// --- DH ---
+
+TEST(Dh, SharedSecretAgreement) {
+  Drbg rng = test_rng(30);
+  const DhKeyPair alice = DhKeyPair::generate(rng);
+  const DhKeyPair bob = DhKeyPair::generate(rng);
+  EXPECT_EQ(alice.shared_secret(bob.public_value()),
+            bob.shared_secret(alice.public_value()));
+}
+
+TEST(Dh, DistinctEphemeralsDistinctSecrets) {
+  Drbg rng = test_rng(31);
+  const DhKeyPair a = DhKeyPair::generate(rng);
+  const DhKeyPair b = DhKeyPair::generate(rng);
+  const DhKeyPair c = DhKeyPair::generate(rng);
+  EXPECT_NE(a.shared_secret(c.public_value()), b.shared_secret(c.public_value()));
+}
+
+TEST(Dh, PublicValueFixedWidth) {
+  Drbg rng = test_rng(32);
+  EXPECT_EQ(DhKeyPair::generate(rng).public_value().size(), 256u);
+}
+
+TEST(Dh, RejectsDegeneratePeerValues) {
+  Drbg rng = test_rng(33);
+  const DhKeyPair kp = DhKeyPair::generate(rng);
+  EXPECT_THROW(kp.shared_secret(BigInt{0}.to_bytes_be(256)), Error);
+  EXPECT_THROW(kp.shared_secret(BigInt{1}.to_bytes_be(256)), Error);
+  const BigInt p = DhGroup::modp2048().p;
+  EXPECT_THROW(kp.shared_secret((p - BigInt{1}).to_bytes_be(256)), Error);
+  EXPECT_THROW(kp.shared_secret(p.to_bytes_be(256)), Error);
+}
+
+}  // namespace
+}  // namespace sinclave::crypto

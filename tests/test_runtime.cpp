@@ -1,0 +1,207 @@
+// Unit tests for the runtime module: the starter (enclave construction),
+// the program registry, and EnclaveRuntime failure stages that the
+// integration suite does not reach.
+#include <gtest/gtest.h>
+
+#include "core/on_demand.h"
+#include "core/predictor.h"
+#include "core/signer.h"
+#include "crypto/sha256.h"
+#include "runtime/enclave_runtime.h"
+#include "runtime/starter.h"
+#include "workload/testbed.h"
+
+namespace sinclave::runtime {
+namespace {
+
+class StarterTest : public ::testing::Test {
+ protected:
+  StarterTest()
+      : rng_(crypto::Drbg::from_seed(21, "starter-tests")),
+        key_(crypto::RsaKeyPair::generate(rng_, 1024)),
+        signer_(&key_),
+        image_(core::EnclaveImage::synthetic("starter", 2 * sgx::kPageSize,
+                                             sgx::kPageSize)) {}
+
+  crypto::Drbg rng_;
+  crypto::RsaKeyPair key_;
+  core::Signer signer_;
+  core::EnclaveImage image_;
+  sgx::SgxCpu cpu_{sgx::SgxCpu::Config{3, {}, true}};
+};
+
+TEST_F(StarterTest, CommonEnclaveStarts) {
+  const auto si = signer_.sign_baseline(image_);
+  const StartedEnclave enclave = start_enclave(cpu_, image_, si.sigstruct);
+  EXPECT_TRUE(enclave.ok());
+  EXPECT_EQ(cpu_.enclave_size(enclave.id), image_.total_size());
+  EXPECT_EQ(enclave.instance_page_offset, image_.instance_page_offset());
+}
+
+TEST_F(StarterTest, InstancePageContentReadableAfterStart) {
+  const auto si = signer_.sign_sinclave(image_);
+  core::InstancePage page;
+  page.token = core::AttestationToken::from_view(Bytes(32, 3));
+  page.verifier_id = crypto::sha256(to_bytes("v"));
+  const sgx::SigStruct od = core::make_on_demand_sigstruct(
+      si.sigstruct,
+      core::MeasurementPredictor::predict(si.base_hash, page), key_);
+
+  const StartedEnclave enclave = start_enclave(cpu_, image_, od, page);
+  ASSERT_TRUE(enclave.ok());
+  const auto parsed = core::InstancePage::parse(
+      cpu_.read_page(enclave.id, enclave.instance_page_offset));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, page);
+}
+
+TEST_F(StarterTest, WrongSigstructFailsEinit) {
+  const auto si = signer_.sign_baseline(image_);
+  core::InstancePage page;  // page changes MRENCLAVE; sigstruct does not match
+  page.token = core::AttestationToken::from_view(Bytes(32, 1));
+  const StartedEnclave enclave =
+      start_enclave(cpu_, image_, si.sigstruct, page);
+  EXPECT_FALSE(enclave.ok());
+  EXPECT_EQ(enclave.einit_verdict, Verdict::kMeasurementMismatch);
+}
+
+TEST_F(StarterTest, SingletonStartNeedsListeningCas) {
+  net::SimNetwork net;  // nothing bound
+  const auto si = signer_.sign_sinclave(image_);
+  const SingletonStart start = start_singleton_enclave(
+      cpu_, net, "cas.missing", image_, si.sigstruct, "s");
+  EXPECT_FALSE(start.ok());
+  EXPECT_NE(start.error.find("instance request failed"), std::string::npos);
+}
+
+// --- program registry ---
+
+TEST(ProgramRegistry, RegisterAndFind) {
+  ProgramRegistry reg;
+  EXPECT_EQ(reg.find("x"), nullptr);
+  reg.register_program("x", [](AppContext&) { return 0; });
+  ASSERT_NE(reg.find("x"), nullptr);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(ProgramRegistry, ReplaceKeepsLatest) {
+  ProgramRegistry reg;
+  reg.register_program("x", [](AppContext&) { return 1; });
+  reg.register_program("x", [](AppContext&) { return 2; });
+  AppContext ctx;
+  EXPECT_EQ((*reg.find("x"))(ctx), 2);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(ProgramRegistry, NullProgramRejected) {
+  ProgramRegistry reg;
+  EXPECT_THROW(reg.register_program("x", Program{}), Error);
+}
+
+// --- runtime failure stages ---
+
+class RuntimeFailureTest : public ::testing::Test {
+ protected:
+  RuntimeFailureTest()
+      : bed_(workload::TestbedConfig{.seed = 23, .rsa_bits = 1024}),
+        image_(core::EnclaveImage::synthetic("rt", sgx::kPageSize,
+                                             sgx::kPageSize)) {
+    bed_.programs().register_program("ok", [](AppContext&) { return 0; });
+    bed_.programs().register_program("fail", [](AppContext&) { return 3; });
+  }
+
+  workload::Testbed bed_;
+  core::EnclaveImage image_;
+};
+
+TEST_F(RuntimeFailureTest, UninitializedEnclaveRefused) {
+  const core::Signer signer(&bed_.user_signer());
+  auto si = signer.sign_baseline(image_);
+  si.sigstruct.signature[0] ^= 1;  // einit will fail
+  const StartedEnclave enclave =
+      start_enclave(bed_.cpu(), image_, si.sigstruct);
+  ASSERT_FALSE(enclave.ok());
+
+  auto rt = bed_.make_runtime(RuntimeMode::kBaseline);
+  const RunResult result = rt.run(enclave, RunOptions{});
+  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(result.error.starts_with("start:"));
+}
+
+TEST_F(RuntimeFailureTest, UnreachableCasReported) {
+  const core::Signer signer(&bed_.user_signer());
+  const auto si = signer.sign_baseline(image_);
+  const StartedEnclave enclave =
+      start_enclave(bed_.cpu(), image_, si.sigstruct);
+  auto rt = bed_.make_runtime(RuntimeMode::kBaseline);
+  RunOptions o;
+  o.cas_address = "cas.gone";
+  o.cas_identity = bed_.cas().identity();
+  o.session_name = "s";
+  const RunResult result = rt.run(enclave, o);
+  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(result.error.starts_with("attest:")) << result.error;
+}
+
+TEST_F(RuntimeFailureTest, NonzeroExitIsFailure) {
+  const core::Signer signer(&bed_.user_signer());
+  const auto si = signer.sign_baseline(image_);
+  cas::Policy policy;
+  policy.session_name = "f";
+  policy.expected_signer =
+      crypto::sha256(bed_.user_signer().public_key().modulus_be());
+  policy.expected_mr_enclave = si.sigstruct.enclave_hash;
+  policy.config.program = "fail";
+  bed_.cas().install_policy(policy);
+
+  const StartedEnclave enclave =
+      start_enclave(bed_.cpu(), image_, si.sigstruct);
+  auto rt = bed_.make_runtime(RuntimeMode::kBaseline);
+  RunOptions o;
+  o.cas_address = bed_.cas_address();
+  o.cas_identity = bed_.cas().identity();
+  o.session_name = "f";
+  const RunResult result = rt.run(enclave, o);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.exit_code, 3);
+}
+
+TEST_F(RuntimeFailureTest, CorruptedInstancePageReported) {
+  // A host that writes garbage (non-zero, non-conformant) into the
+  // instance page slot produces an enclave the runtime refuses to drive.
+  const core::Signer signer(&bed_.user_signer());
+  // Build manually so we control the raw instance page bytes.
+  const auto id = bed_.cpu().ecreate(image_.total_size(), image_.attributes,
+                                     image_.ssa_frame_size);
+  for (std::uint64_t p = 0; p < image_.code_pages(); ++p)
+    bed_.cpu().add_measured_page(id, p * sgx::kPageSize, image_.code_page(p),
+                                 sgx::SecInfo::reg_rx());
+  for (std::uint64_t p = 0; p < image_.heap_pages(); ++p)
+    bed_.cpu().add_measured_page(id,
+                                 image_.code_bytes_padded() + p * sgx::kPageSize,
+                                 ByteView{}, sgx::SecInfo::reg_rw());
+  Bytes garbage(sgx::kPageSize, 0);
+  garbage[0] = 0xde;
+  bed_.cpu().add_measured_page(id, image_.instance_page_offset(), garbage,
+                               sgx::SecInfo::reg_rw());
+
+  sgx::SigStruct sig;
+  sig.enclave_hash = bed_.cpu().current_measurement(id);
+  sig.attribute_mask = sgx::Attributes{
+      ~std::uint64_t{sgx::Attributes::kInit}, ~std::uint64_t{0}};
+  sig.sign(bed_.user_signer());
+  ASSERT_EQ(bed_.cpu().einit(id, sig), Verdict::kOk);
+
+  StartedEnclave enclave;
+  enclave.id = id;
+  enclave.einit_verdict = Verdict::kOk;
+  enclave.instance_page_offset = image_.instance_page_offset();
+
+  auto rt = bed_.make_runtime(RuntimeMode::kSinclave);
+  const RunResult result = rt.run(enclave, RunOptions{});
+  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(result.error.starts_with("instance-page:")) << result.error;
+}
+
+}  // namespace
+}  // namespace sinclave::runtime

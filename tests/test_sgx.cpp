@@ -1,0 +1,505 @@
+// Unit tests for the SGX simulator: measurement log format, SigStruct,
+// enclave lifecycle (ECREATE/EADD/EEXTEND/EINIT), reports, key derivation,
+// and launch control.
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.h"
+#include "sgx/cpu.h"
+#include "sgx/launch.h"
+#include "sgx/measurement.h"
+#include "sgx/sigstruct.h"
+
+namespace sinclave::sgx {
+namespace {
+
+crypto::Drbg rng(std::uint64_t seed) {
+  return crypto::Drbg::from_seed(seed, "sgx-tests");
+}
+
+Bytes random_page(std::uint64_t seed) {
+  auto r = rng(seed);
+  return r.generate(kPageSize);
+}
+
+// --- measurement log ---
+
+TEST(MeasurementLog, EcreateMustBeFirst) {
+  MeasurementLog log;
+  EXPECT_THROW(log.eadd(0, SecInfo::reg_rw()), SgxFault);
+  log.ecreate(1, 2 * kPageSize);
+  EXPECT_THROW(log.ecreate(1, 2 * kPageSize), SgxFault);
+}
+
+TEST(MeasurementLog, RejectsMisalignedOffsets) {
+  MeasurementLog log;
+  log.ecreate(1, 2 * kPageSize);
+  EXPECT_THROW(log.eadd(12, SecInfo::reg_rw()), SgxFault);
+  const Bytes chunk(kExtendChunkSize, 0);
+  EXPECT_THROW(log.eextend(100, chunk), SgxFault);
+  EXPECT_THROW(log.eextend(0, Bytes(100, 0)), SgxFault);
+}
+
+TEST(MeasurementLog, DeterministicForSameOperations) {
+  const Bytes page = random_page(1);
+  auto build = [&] {
+    MeasurementLog log;
+    log.ecreate(1, 2 * kPageSize);
+    log.add_measured_page(0, SecInfo::reg_rx(), page);
+    return log.finalize();
+  };
+  EXPECT_EQ(build(), build());
+}
+
+TEST(MeasurementLog, SensitiveToEveryInput) {
+  const Bytes page = random_page(2);
+  auto base = [&](auto mutate) {
+    MeasurementLog log;
+    std::uint32_t ssa = 1;
+    std::uint64_t size = 4 * kPageSize;
+    std::uint64_t offset = kPageSize;
+    SecInfo si = SecInfo::reg_rx();
+    Bytes content = page;
+    mutate(ssa, size, offset, si, content);
+    log.ecreate(ssa, size);
+    log.add_measured_page(offset, si, content);
+    return log.finalize();
+  };
+  const Measurement reference =
+      base([](auto&, auto&, auto&, auto&, auto&) {});
+  EXPECT_NE(reference, base([](auto& ssa, auto&, auto&, auto&, auto&) { ssa = 2; }));
+  EXPECT_NE(reference, base([](auto&, auto& size, auto&, auto&, auto&) {
+              size += kPageSize;
+            }));
+  EXPECT_NE(reference, base([](auto&, auto&, auto& off, auto&, auto&) {
+              off += kPageSize;
+            }));
+  EXPECT_NE(reference, base([](auto&, auto&, auto&, auto& si, auto&) {
+              si = SecInfo::reg_rw();
+            }));
+  EXPECT_NE(reference, base([](auto&, auto&, auto&, auto&, auto& content) {
+              content[4095] ^= 1;
+            }));
+}
+
+TEST(MeasurementLog, FastAndInterruptibleAgree) {
+  const Bytes page = random_page(3);
+  MeasurementLog slow;
+  FastMeasurementLog fast;
+  slow.ecreate(1, 3 * kPageSize);
+  fast.ecreate(1, 3 * kPageSize);
+  slow.add_measured_page(0, SecInfo::reg_rx(), page);
+  fast.add_measured_page(0, SecInfo::reg_rx(), page);
+  slow.add_measured_page(kPageSize, SecInfo::reg_rw(), Bytes(kPageSize, 0));
+  fast.add_measured_page(kPageSize, SecInfo::reg_rw(), Bytes(kPageSize, 0));
+  EXPECT_EQ(slow.finalize(), fast.finalize());
+}
+
+TEST(MeasurementLog, FinalizeIsRepeatableAndNonDestructive) {
+  MeasurementLog log;
+  log.ecreate(1, 2 * kPageSize);
+  const Measurement a = log.finalize();
+  const Measurement b = log.finalize();
+  EXPECT_EQ(a, b);
+  log.add_measured_page(0, SecInfo::reg_rw(), Bytes(kPageSize, 0));
+  EXPECT_NE(log.finalize(), a);
+}
+
+TEST(MeasurementLog, ResumeEqualsContinuous) {
+  // The paper's core primitive at the measurement-log level: suspend after
+  // the second page, resume elsewhere, measure a third page — identical to
+  // a continuous log.
+  const Bytes p0 = random_page(4), p1 = random_page(5), p2 = random_page(6);
+
+  MeasurementLog continuous;
+  continuous.ecreate(1, 3 * kPageSize);
+  continuous.add_measured_page(0, SecInfo::reg_rx(), p0);
+  continuous.add_measured_page(kPageSize, SecInfo::reg_rw(), p1);
+  continuous.add_measured_page(2 * kPageSize, SecInfo::reg_rw(), p2);
+
+  MeasurementLog first;
+  first.ecreate(1, 3 * kPageSize);
+  first.add_measured_page(0, SecInfo::reg_rx(), p0);
+  first.add_measured_page(kPageSize, SecInfo::reg_rw(), p1);
+  MeasurementLog second = MeasurementLog::resume(first.export_state());
+  second.add_measured_page(2 * kPageSize, SecInfo::reg_rw(), p2);
+
+  EXPECT_EQ(second.finalize(), continuous.finalize());
+}
+
+TEST(MeasurementLog, EveryOperationIsBlockAligned) {
+  // Invariant the whole design rests on: after any operation the hash sits
+  // on a 64-byte boundary and is exportable.
+  MeasurementLog log;
+  log.ecreate(1, 2 * kPageSize);
+  EXPECT_NO_THROW(log.export_state());
+  log.eadd(0, SecInfo::reg_rw());
+  EXPECT_NO_THROW(log.export_state());
+  log.eextend(0, Bytes(kExtendChunkSize, 7));
+  EXPECT_NO_THROW(log.export_state());
+}
+
+// --- SigStruct ---
+
+TEST(SigStruct, SignVerifyRoundTrip) {
+  auto r = rng(10);
+  const auto key = crypto::RsaKeyPair::generate(r, 1024);
+  SigStruct sig;
+  sig.enclave_hash.data[0] = 0xaa;
+  sig.isv_prod_id = 7;
+  sig.sign(key);
+  EXPECT_TRUE(sig.signature_valid());
+}
+
+TEST(SigStruct, TamperedFieldInvalidatesSignature) {
+  auto r = rng(11);
+  const auto key = crypto::RsaKeyPair::generate(r, 1024);
+  SigStruct sig;
+  sig.sign(key);
+  sig.isv_svn = 9;
+  EXPECT_FALSE(sig.signature_valid());
+}
+
+TEST(SigStruct, SerializationRoundTrip) {
+  auto r = rng(12);
+  const auto key = crypto::RsaKeyPair::generate(r, 1024);
+  SigStruct sig;
+  sig.enclave_hash.data[31] = 1;
+  sig.attributes.flags |= Attributes::kDebug;
+  sig.debug_allowed = true;
+  sig.date = 20231105;
+  sig.sign(key);
+  EXPECT_EQ(SigStruct::deserialize(sig.serialize()), sig);
+}
+
+TEST(SigStruct, MrSignerIsKeyHash) {
+  auto r = rng(13);
+  const auto k1 = crypto::RsaKeyPair::generate(r, 1024);
+  const auto k2 = crypto::RsaKeyPair::generate(r, 1024);
+  SigStruct a, b;
+  a.sign(k1);
+  b.sign(k2);
+  EXPECT_NE(a.mr_signer(), b.mr_signer());
+  a.sign(k2);
+  EXPECT_EQ(a.mr_signer(), b.mr_signer());
+}
+
+// --- CPU lifecycle ---
+
+class CpuTest : public ::testing::Test {
+ protected:
+  SgxCpu cpu_{SgxCpu::Config{42, {}, true}};
+  crypto::Drbg rng_ = rng(20);
+  crypto::RsaKeyPair signer_ = crypto::RsaKeyPair::generate(rng_, 1024);
+
+  SgxCpu::EnclaveId build_simple(const Bytes& page,
+                                 Attributes attrs = Attributes{}) {
+    const auto id = cpu_.ecreate(2 * kPageSize, attrs);
+    cpu_.add_measured_page(id, 0, page, SecInfo::reg_rx());
+    cpu_.add_measured_page(id, kPageSize, ByteView{}, SecInfo::reg_rw());
+    return id;
+  }
+
+  SigStruct sigstruct_for(SgxCpu::EnclaveId id,
+                          Attributes attrs = Attributes{}) {
+    SigStruct sig;
+    sig.enclave_hash = cpu_.current_measurement(id);
+    sig.attributes = attrs;
+    sig.attribute_mask = Attributes{~std::uint64_t{Attributes::kInit},
+                                    ~std::uint64_t{0}};
+    sig.debug_allowed = attrs.debug();
+    sig.sign(signer_);
+    return sig;
+  }
+};
+
+TEST_F(CpuTest, FullLifecycleInitializes) {
+  const auto id = build_simple(random_page(21));
+  EXPECT_FALSE(cpu_.initialized(id));
+  EXPECT_EQ(cpu_.einit(id, sigstruct_for(id)), Verdict::kOk);
+  EXPECT_TRUE(cpu_.initialized(id));
+  EXPECT_EQ(cpu_.identity(id).mr_enclave, cpu_.current_measurement(id));
+  EXPECT_TRUE(cpu_.identity(id).attributes.flags & Attributes::kInit);
+}
+
+TEST_F(CpuTest, EcreateRejectsBadSizes) {
+  EXPECT_THROW(cpu_.ecreate(0, Attributes{}), SgxFault);
+  EXPECT_THROW(cpu_.ecreate(kPageSize + 1, Attributes{}), SgxFault);
+  Attributes preset_init;
+  preset_init.flags |= Attributes::kInit;
+  EXPECT_THROW(cpu_.ecreate(kPageSize, preset_init), SgxFault);
+}
+
+TEST_F(CpuTest, EaddValidatesPages) {
+  const auto id = cpu_.ecreate(2 * kPageSize, Attributes{});
+  EXPECT_THROW(cpu_.eadd(id, 3 * kPageSize, ByteView{}, SecInfo::reg_rw()),
+               SgxFault);
+  EXPECT_THROW(cpu_.eadd(id, 100, ByteView{}, SecInfo::reg_rw()), SgxFault);
+  EXPECT_THROW(cpu_.eadd(id, 0, Bytes(10, 0), SecInfo::reg_rw()), SgxFault);
+  cpu_.eadd(id, 0, ByteView{}, SecInfo::reg_rw());
+  EXPECT_THROW(cpu_.eadd(id, 0, ByteView{}, SecInfo::reg_rw()), SgxFault);
+}
+
+TEST_F(CpuTest, EextendRequiresMappedPage) {
+  const auto id = cpu_.ecreate(2 * kPageSize, Attributes{});
+  EXPECT_THROW(cpu_.eextend(id, 0), SgxFault);
+}
+
+TEST_F(CpuTest, EinitRejectsMeasurementMismatch) {
+  const auto id = build_simple(random_page(22));
+  SigStruct sig = sigstruct_for(id);
+  sig.enclave_hash.data[0] ^= 1;
+  sig.sign(signer_);
+  EXPECT_EQ(cpu_.einit(id, sig), Verdict::kMeasurementMismatch);
+}
+
+TEST_F(CpuTest, EinitRejectsBadSignature) {
+  const auto id = build_simple(random_page(23));
+  SigStruct sig = sigstruct_for(id);
+  sig.signature[7] ^= 1;
+  EXPECT_EQ(cpu_.einit(id, sig), Verdict::kBadSignature);
+}
+
+TEST_F(CpuTest, EinitRejectsAttributeMismatch) {
+  Attributes debug_attrs;
+  debug_attrs.flags |= Attributes::kDebug;
+  const auto id = build_simple(random_page(24), debug_attrs);
+  // SigStruct expects non-debug, mask covers the debug bit.
+  SigStruct sig = sigstruct_for(id, Attributes{});
+  EXPECT_EQ(cpu_.einit(id, sig), Verdict::kAttributesMismatch);
+}
+
+TEST_F(CpuTest, EinitRejectsDebugWithoutPermission) {
+  Attributes debug_attrs;
+  debug_attrs.flags |= Attributes::kDebug;
+  const auto id = build_simple(random_page(25), debug_attrs);
+  SigStruct sig = sigstruct_for(id, debug_attrs);
+  sig.debug_allowed = false;
+  sig.sign(signer_);
+  EXPECT_EQ(cpu_.einit(id, sig), Verdict::kPolicyViolation);
+}
+
+TEST_F(CpuTest, ConstructionLockedAfterInit) {
+  const auto id = build_simple(random_page(26));
+  ASSERT_EQ(cpu_.einit(id, sigstruct_for(id)), Verdict::kOk);
+  EXPECT_THROW(cpu_.eadd(id, 0, ByteView{}, SecInfo::reg_rw()), SgxFault);
+  EXPECT_THROW(cpu_.eextend(id, 0), SgxFault);
+  EXPECT_THROW(cpu_.einit(id, sigstruct_for(id)), SgxFault);
+}
+
+TEST_F(CpuTest, ZeroPagesShareStorageButMeasure) {
+  // Two enclaves, one with explicit zero page, one with implicit.
+  const auto a = cpu_.ecreate(kPageSize, Attributes{});
+  cpu_.add_measured_page(a, 0, Bytes(kPageSize, 0), SecInfo::reg_rw());
+  const auto b = cpu_.ecreate(kPageSize, Attributes{});
+  cpu_.add_measured_page(b, 0, ByteView{}, SecInfo::reg_rw());
+  EXPECT_EQ(cpu_.current_measurement(a), cpu_.current_measurement(b));
+}
+
+TEST_F(CpuTest, ReportGenerationAndVerification) {
+  const auto prover = build_simple(random_page(27));
+  ASSERT_EQ(cpu_.einit(prover, sigstruct_for(prover)), Verdict::kOk);
+  const auto target = build_simple(random_page(28));
+  ASSERT_EQ(cpu_.einit(target, sigstruct_for(target)), Verdict::kOk);
+
+  ReportData data;
+  data.data[0] = 0x42;
+  const TargetInfo ti{cpu_.identity(target).mr_enclave,
+                      cpu_.identity(target).attributes};
+  const Report report = cpu_.ereport(prover, ti, data);
+
+  EXPECT_EQ(report.identity.mr_enclave, cpu_.identity(prover).mr_enclave);
+  EXPECT_EQ(report.report_data, data);
+  EXPECT_TRUE(cpu_.verify_report(target, report));
+  // The prover itself is not the target: its report key differs.
+  EXPECT_FALSE(cpu_.verify_report(prover, report));
+}
+
+TEST_F(CpuTest, TamperedReportFailsVerification) {
+  const auto prover = build_simple(random_page(29));
+  ASSERT_EQ(cpu_.einit(prover, sigstruct_for(prover)), Verdict::kOk);
+  const auto target = build_simple(random_page(30));
+  ASSERT_EQ(cpu_.einit(target, sigstruct_for(target)), Verdict::kOk);
+
+  const TargetInfo ti{cpu_.identity(target).mr_enclave,
+                      cpu_.identity(target).attributes};
+  Report report = cpu_.ereport(prover, ti, ReportData{});
+  report.report_data.data[0] ^= 1;  // adversary rewrites REPORTDATA
+  EXPECT_FALSE(cpu_.verify_report(target, report));
+}
+
+TEST_F(CpuTest, ReportsDoNotTransferAcrossPlatforms) {
+  // A report MACed on one CPU must not verify on another (different fuses).
+  SgxCpu other{SgxCpu::Config{99, {}, true}};
+  const auto prover = build_simple(random_page(31));
+  ASSERT_EQ(cpu_.einit(prover, sigstruct_for(prover)), Verdict::kOk);
+
+  // Same enclave constructed on the other CPU.
+  const auto other_id = other.ecreate(2 * kPageSize, Attributes{});
+  other.add_measured_page(other_id, 0, random_page(31), SecInfo::reg_rx());
+  other.add_measured_page(other_id, kPageSize, ByteView{}, SecInfo::reg_rw());
+  SigStruct sig;
+  sig.enclave_hash = other.current_measurement(other_id);
+  sig.attribute_mask =
+      Attributes{~std::uint64_t{Attributes::kInit}, ~std::uint64_t{0}};
+  sig.sign(signer_);
+  ASSERT_EQ(other.einit(other_id, sig), Verdict::kOk);
+
+  const TargetInfo ti{other.identity(other_id).mr_enclave,
+                      other.identity(other_id).attributes};
+  const Report report = cpu_.ereport(prover, ti, ReportData{});
+  EXPECT_FALSE(other.verify_report(other_id, report));
+}
+
+TEST_F(CpuTest, SealKeysFollowPolicy) {
+  const Bytes page = random_page(32);
+  const auto a = build_simple(page);
+  ASSERT_EQ(cpu_.einit(a, sigstruct_for(a)), Verdict::kOk);
+  const auto b = build_simple(page);  // identical enclave, same signer
+  ASSERT_EQ(cpu_.einit(b, sigstruct_for(b)), Verdict::kOk);
+  const auto c = build_simple(random_page(33));  // different code
+  ASSERT_EQ(cpu_.einit(c, sigstruct_for(c)), Verdict::kOk);
+
+  EXPECT_EQ(cpu_.egetkey_seal(a, SealPolicy::kMrEnclave),
+            cpu_.egetkey_seal(b, SealPolicy::kMrEnclave));
+  EXPECT_NE(cpu_.egetkey_seal(a, SealPolicy::kMrEnclave),
+            cpu_.egetkey_seal(c, SealPolicy::kMrEnclave));
+  // Signer policy: all three share the signer -> same key.
+  EXPECT_EQ(cpu_.egetkey_seal(a, SealPolicy::kMrSigner),
+            cpu_.egetkey_seal(c, SealPolicy::kMrSigner));
+}
+
+TEST_F(CpuTest, LaunchKeyRestrictedToLaunchEnclaves) {
+  const auto id = build_simple(random_page(34));
+  ASSERT_EQ(cpu_.einit(id, sigstruct_for(id)), Verdict::kOk);
+  EXPECT_THROW(cpu_.egetkey_launch(id), SgxFault);
+}
+
+TEST_F(CpuTest, PreInitApisFault) {
+  const auto id = build_simple(random_page(35));
+  EXPECT_THROW(cpu_.identity(id), SgxFault);
+  EXPECT_THROW(cpu_.ereport(id, TargetInfo{}, ReportData{}), SgxFault);
+  EXPECT_THROW(cpu_.egetkey_seal(id, SealPolicy::kMrEnclave), SgxFault);
+}
+
+TEST_F(CpuTest, EremoveDestroysEnclave) {
+  const auto id = build_simple(random_page(36));
+  cpu_.eremove(id);
+  EXPECT_THROW(cpu_.initialized(id), SgxFault);
+  EXPECT_THROW(cpu_.eremove(id), SgxFault);
+}
+
+// --- Launch control (pre-FLC) ---
+
+class LaunchControlTest : public ::testing::Test {
+ protected:
+  SgxCpu cpu_{SgxCpu::Config{7, {}, /*flexible_launch_control=*/false}};
+  crypto::Drbg rng_ = rng(40);
+  crypto::RsaKeyPair signer_ = crypto::RsaKeyPair::generate(rng_, 1024);
+
+  SgxCpu::EnclaveId build(Attributes attrs) {
+    const auto id = cpu_.ecreate(kPageSize, attrs);
+    cpu_.add_measured_page(id, 0, ByteView{}, SecInfo::reg_rw());
+    return id;
+  }
+
+  SigStruct sigstruct_for(SgxCpu::EnclaveId id, Attributes attrs) {
+    SigStruct sig;
+    sig.enclave_hash = cpu_.current_measurement(id);
+    sig.attributes = attrs;
+    sig.attribute_mask = Attributes{~std::uint64_t{Attributes::kInit},
+                                    ~std::uint64_t{0}};
+    sig.debug_allowed = attrs.debug();
+    sig.sign(signer_);
+    return sig;
+  }
+};
+
+TEST_F(LaunchControlTest, ProductionNeedsToken) {
+  const auto id = build(Attributes{});
+  EXPECT_EQ(cpu_.einit(id, sigstruct_for(id, Attributes{})),
+            Verdict::kPolicyViolation);
+}
+
+TEST_F(LaunchControlTest, WhitelistedSignerGetsToken) {
+  const auto id = build(Attributes{});
+  const SigStruct sig = sigstruct_for(id, Attributes{});
+
+  LaunchAuthority authority(cpu_);
+  authority.whitelist_signer(sig.mr_signer());
+  const auto token = authority.request_token(
+      cpu_.current_measurement(id), sig.mr_signer(), Attributes{});
+  ASSERT_TRUE(token.has_value());
+  EXPECT_EQ(cpu_.einit(id, sig, token), Verdict::kOk);
+}
+
+TEST_F(LaunchControlTest, NonWhitelistedSignerDenied) {
+  LaunchAuthority authority(cpu_);
+  const auto token =
+      authority.request_token(Measurement{}, SignerId{}, Attributes{});
+  EXPECT_FALSE(token.has_value());
+}
+
+TEST_F(LaunchControlTest, DebugEnclavesAlwaysLaunch) {
+  Attributes debug_attrs;
+  debug_attrs.flags |= Attributes::kDebug;
+  const auto id = build(debug_attrs);
+  EXPECT_EQ(cpu_.einit(id, sigstruct_for(id, debug_attrs)), Verdict::kOk);
+}
+
+TEST_F(LaunchControlTest, ForgedTokenRejected) {
+  const auto id = build(Attributes{});
+  const SigStruct sig = sigstruct_for(id, Attributes{});
+  EinitToken forged;
+  forged.mr_enclave = cpu_.current_measurement(id);
+  forged.mr_signer = sig.mr_signer();
+  forged.attributes = Attributes{};
+  // MAC left zero: attacker has no launch key.
+  EXPECT_EQ(cpu_.einit(id, sig, forged), Verdict::kBadMac);
+}
+
+TEST_F(LaunchControlTest, TokenForDifferentEnclaveRejected) {
+  const auto id = build(Attributes{});
+  const SigStruct sig = sigstruct_for(id, Attributes{});
+  LaunchAuthority authority(cpu_);
+  authority.whitelist_signer(sig.mr_signer());
+  Measurement other;
+  other.data[0] = 0xee;
+  const auto token =
+      authority.request_token(other, sig.mr_signer(), Attributes{});
+  ASSERT_TRUE(token.has_value());
+  EXPECT_EQ(cpu_.einit(id, sig, token), Verdict::kPolicyViolation);
+}
+
+// --- report serialization ---
+
+TEST(Report, SerializationRoundTrip) {
+  Report r;
+  r.cpu_svn.data[3] = 9;
+  r.identity.mr_enclave.data[0] = 1;
+  r.identity.mr_signer.data[1] = 2;
+  r.identity.attributes.flags = 0x55;
+  r.identity.isv_prod_id = 3;
+  r.identity.isv_svn = 4;
+  r.report_data.data[63] = 0xff;
+  r.key_id.data[5] = 6;
+  r.mac.data[15] = 7;
+  EXPECT_EQ(Report::deserialize(r.serialize()), r);
+}
+
+TEST(TargetInfo, SerializationRoundTrip) {
+  TargetInfo t;
+  t.mr_enclave.data[8] = 0x77;
+  t.attributes.xfrm = 0x1f;
+  EXPECT_EQ(TargetInfo::deserialize(t.serialize()), t);
+}
+
+TEST(EinitToken, SerializationRoundTrip) {
+  EinitToken t;
+  t.mr_enclave.data[0] = 5;
+  t.debug = true;
+  t.mac.data[0] = 9;
+  EXPECT_EQ(EinitToken::deserialize(t.serialize()), t);
+}
+
+}  // namespace
+}  // namespace sinclave::sgx

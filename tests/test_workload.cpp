@@ -1,0 +1,102 @@
+// Tests for the workload models and the testbed fixture backing the
+// macro-benchmarks (Fig. 9): both modes complete, starts are counted, and
+// the SinClave run consumes exactly one token per enclave start.
+#include <gtest/gtest.h>
+
+#include "workload/workloads.h"
+
+namespace sinclave::workload {
+namespace {
+
+WorkloadSpec tiny_spec(int processes) {
+  WorkloadSpec s;
+  s.name = "tiny-" + std::to_string(processes);
+  s.code_bytes = sgx::kPageSize;
+  s.heap_bytes = sgx::kPageSize;
+  s.process_count = processes;
+  s.file_count = 2;
+  s.file_bytes = 1024;
+  s.compute_units = 4;
+  return s;
+}
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  WorkloadTest() : bed_(TestbedConfig{.seed = 33, .rsa_bits = 1024}) {}
+  Testbed bed_;
+};
+
+TEST_F(WorkloadTest, BaselineRunCompletes) {
+  const auto result = run_workload(bed_, tiny_spec(1),
+                                   runtime::RuntimeMode::kBaseline);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.enclaves_started, 1);
+  EXPECT_GT(result.total.count(), 0);
+}
+
+TEST_F(WorkloadTest, SinclaveRunCompletes) {
+  const auto result = run_workload(bed_, tiny_spec(1),
+                                   runtime::RuntimeMode::kSinclave);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.enclaves_started, 1);
+}
+
+TEST_F(WorkloadTest, MultiProcessCountsStarts) {
+  const auto result = run_workload(bed_, tiny_spec(4),
+                                   runtime::RuntimeMode::kSinclave);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.enclaves_started, 4);
+  EXPECT_EQ(bed_.cas().tokens_used(), 4u);
+  EXPECT_EQ(bed_.cas().tokens_outstanding(), 0u);
+}
+
+TEST_F(WorkloadTest, BaselineConsumesNoTokens) {
+  const auto result = run_workload(bed_, tiny_spec(3),
+                                   runtime::RuntimeMode::kBaseline);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(bed_.cas().tokens_used(), 0u);
+}
+
+TEST_F(WorkloadTest, RepeatedRunsWork) {
+  // The same bed can run a workload repeatedly (benchmark repetitions).
+  const WorkloadSpec spec = tiny_spec(2);
+  for (int i = 0; i < 3; ++i) {
+    const auto b = run_workload(bed_, spec, runtime::RuntimeMode::kBaseline);
+    const auto s = run_workload(bed_, spec, runtime::RuntimeMode::kSinclave);
+    ASSERT_TRUE(b.ok) << b.error;
+    ASSERT_TRUE(s.ok) << s.error;
+  }
+}
+
+TEST_F(WorkloadTest, ShippedSpecsAreWellFormed) {
+  for (const auto& spec :
+       {python_workload(), openvino_workload(), pytorch_workload()}) {
+    EXPECT_FALSE(spec.name.empty());
+    EXPECT_GE(spec.process_count, 1);
+    EXPECT_EQ(spec.heap_bytes % sgx::kPageSize, 0u) << spec.name;
+    EXPECT_GE(spec.compute_units,
+              static_cast<std::uint64_t>(spec.process_count))
+        << spec.name;
+  }
+  // The paper's overhead ordering is driven by starts per run.
+  EXPECT_LT(python_workload().process_count,
+            openvino_workload().process_count);
+  EXPECT_LT(openvino_workload().process_count,
+            pytorch_workload().process_count);
+}
+
+TEST_F(WorkloadTest, TestbedChildRngsAreIndependent) {
+  auto a = bed_.child_rng("x");
+  auto b = bed_.child_rng("x");
+  EXPECT_NE(a.generate(16), b.generate(16));  // stateful parent entropy
+}
+
+TEST_F(WorkloadTest, TestbedsAreReproduciblePerSeed) {
+  Testbed one(TestbedConfig{.seed = 77, .rsa_bits = 1024});
+  Testbed two(TestbedConfig{.seed = 77, .rsa_bits = 1024});
+  EXPECT_EQ(one.user_signer().public_key(), two.user_signer().public_key());
+  EXPECT_EQ(one.cas().verifier_id(), two.cas().verifier_id());
+}
+
+}  // namespace
+}  // namespace sinclave::workload

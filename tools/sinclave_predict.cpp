@@ -1,0 +1,61 @@
+// sinclave-predict — the verifier-side measurement predictor as a CLI:
+// given a base hash and an instance-page specification, print the unique
+// expected MRENCLAVE without touching the enclave binary.
+//
+// Usage:
+//   sinclave_predict common <basehash-file>
+//   sinclave_predict singleton <basehash-file> <token-hex32> <verifier-id-hex32>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/error.h"
+#include "core/predictor.h"
+
+using namespace sinclave;
+
+namespace {
+
+Bytes read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open " + path);
+  return Bytes{std::istreambuf_iterator<char>(in),
+               std::istreambuf_iterator<char>()};
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  sinclave_predict common <basehash-file>\n"
+               "  sinclave_predict singleton <basehash-file> <token-hex32> "
+               "<verifier-id-hex32>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const std::string cmd = argc > 1 ? argv[1] : "";
+    if (cmd == "common" && argc == 3) {
+      const Bytes file = read_file(argv[2]);
+      const core::BaseHash base = core::BaseHash::decode(file);
+      std::printf("%s\n",
+                  core::MeasurementPredictor::predict_common(base).hex().c_str());
+    } else if (cmd == "singleton" && argc == 5) {
+      const Bytes file = read_file(argv[2]);
+      const core::BaseHash base = core::BaseHash::decode(file);
+      core::InstancePage page;
+      page.token = core::AttestationToken::from_view(from_hex(argv[3]));
+      page.verifier_id = Hash256::from_view(from_hex(argv[4]));
+      std::printf("%s\n",
+                  core::MeasurementPredictor::predict(base, page).hex().c_str());
+    } else {
+      return usage();
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
