@@ -1,0 +1,176 @@
+// Fleet throughput: the concurrent CAS serving layer under load.
+//
+// A fleet of starter clients hammers the instance endpoint ("singleton
+// page retrieval", the one protocol interaction SinClave adds per enclave
+// start — Fig. 7c) while the worker count sweeps 1 -> 8. Two effects are
+// measured:
+//
+//  1. Worker scaling on the *cached* retrieval path: the policy store holds
+//     the decrypted policy, the verify-once memo skips the repeat RSA
+//     verification, and the SigStruct cache serves pre-minted credentials,
+//     so per-request CPU is small and each request is dominated by the
+//     simulated backend I/O stall (the storage / attestation-provider round
+//     trips a production CAS pays per request). In that latency-bound
+//     regime — the regime thread-pooled frontends exist for — aggregate
+//     requests/sec scales with the worker count even on a single core.
+//     The acceptance bar: >= 3x at 8 workers vs 1 worker.
+//
+//  2. Cache effect on a single retrieval: a cache hit skips the RSA-CRT
+//     signature (~5 ms at the SGX key size; smaller at this benchmark's
+//     1024-bit keys, chosen so warming thousands of pool entries stays
+//     fast), which is the dominant CPU cost of Fig. 7c.
+//
+// Keys are RSA-1024 to keep setup time sane; the *relative* effects are
+// key-size independent (the cached path skips the signature entirely).
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/signer.h"
+#include "crypto/sha256.h"
+#include "server/cas_server.h"
+#include "workload/load_gen.h"
+#include "workload/testbed.h"
+
+using namespace sinclave;
+using FpMillis = std::chrono::duration<double, std::milli>;
+
+namespace {
+
+constexpr const char* kAddress = "cas.fleet";
+constexpr std::size_t kClients = 16;
+constexpr std::size_t kRequestsPerClient = 50;  // 800 requests per sweep
+constexpr std::size_t kSessions = 4;
+constexpr auto kBackendIo = std::chrono::microseconds(2000);
+
+struct SweepResult {
+  std::size_t workers = 0;
+  double rps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("== Fleet throughput: CAS serving layer, worker sweep ==\n");
+  std::printf("clients=%zu requests=%zu sessions=%zu backend-io=%lldus\n\n",
+              kClients, kClients * kRequestsPerClient, kSessions,
+              static_cast<long long>(kBackendIo.count()));
+
+  workload::TestbedConfig cfg;
+  cfg.seed = 91;
+  cfg.rsa_bits = 1024;
+  workload::Testbed bed(cfg);
+
+  const core::EnclaveImage image =
+      core::EnclaveImage::synthetic("fleet", 256 << 10, 4 << 20);
+  const core::Signer signer(&bed.user_signer());
+  const auto signed_image = signer.sign_sinclave(image);
+
+  std::vector<std::string> sessions;
+  for (std::size_t i = 0; i < kSessions; ++i) {
+    cas::Policy policy;
+    policy.session_name = "fleet-" + std::to_string(i);
+    policy.expected_signer =
+        crypto::sha256(bed.user_signer().public_key().modulus_be());
+    policy.require_singleton = true;
+    policy.base_hash = signed_image.base_hash;
+    policy.config.program = "noop";
+    bed.cas().install_policy(policy);
+    sessions.push_back(policy.session_name);
+  }
+
+  // --- 1. cached vs uncached single-retrieval latency ---------------------
+  {
+    server::CasServerConfig scfg;
+    scfg.workers = 1;
+    server::CasServer server(&bed.cas(), scfg);
+    cas::InstanceRequest request;
+    request.session_name = sessions[0];
+    request.common_sigstruct = signed_image.sigstruct;
+
+    using Clock = std::chrono::steady_clock;
+    auto t0 = Clock::now();
+    server.handle_instance(request);  // cold: verify + predict + sign
+    const double cold_ms = FpMillis(Clock::now() - t0).count();
+
+    t0 = Clock::now();
+    server.handle_instance(request);  // warm memo, still signs
+    const double warm_miss_ms = FpMillis(Clock::now() - t0).count();
+
+    server.premint(sessions[0], signed_image.sigstruct, 1);
+    t0 = Clock::now();
+    server.handle_instance(request);  // pre-minted: no RSA on the path
+    const double hit_ms = FpMillis(Clock::now() - t0).count();
+
+    std::printf("single retrieval (rsa-1024):\n");
+    std::printf("  cold (verify+sign)        %8.3f ms\n", cold_ms);
+    std::printf("  memoized verify, signing  %8.3f ms\n", warm_miss_ms);
+    std::printf("  pre-minted cache hit      %8.3f ms\n\n", hit_ms);
+  }
+
+  // --- 2. worker sweep on the cached retrieval path -----------------------
+  const std::size_t total_requests = kClients * kRequestsPerClient;
+  std::vector<SweepResult> results;
+  for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+    server::CasServerConfig scfg;
+    scfg.workers = workers;
+    scfg.policy_shards = 16;
+    scfg.sigstruct_cache_capacity = 2 * total_requests;
+    scfg.backend_io = kBackendIo;
+    server::CasServer server(&bed.cas(), scfg);
+    server.bind(bed.network(), kAddress);
+
+    // Warm the cached path: policies decrypted, commons verified, and one
+    // pre-minted credential per upcoming request.
+    const std::size_t per_session =
+        total_requests / kSessions + kClients;
+    for (const auto& session : sessions)
+      server.premint(session, signed_image.sigstruct, per_session);
+
+    workload::LoadGenConfig load;
+    load.clients = kClients;
+    load.requests_per_client = kRequestsPerClient;
+    load.address = kAddress;
+    load.sessions = sessions;
+    const auto run =
+        workload::run_instance_load(bed.network(), signed_image.sigstruct,
+                                    load);
+    if (run.failed != 0) {
+      std::printf("FAILED: %llu requests failed (%s)\n",
+                  static_cast<unsigned long long>(run.failed),
+                  run.first_error.c_str());
+      return 1;
+    }
+
+    SweepResult r;
+    r.workers = workers;
+    r.rps = run.requests_per_sec();
+    r.p50_ms = FpMillis(run.latency.p50).count();
+    r.p99_ms = FpMillis(run.latency.p99).count();
+    r.cache_hits = server.metrics().sigstruct_cache_hits.load();
+    r.cache_misses = server.metrics().sigstruct_cache_misses.load();
+    results.push_back(r);
+
+    server.unbind();
+  }
+
+  std::printf("cached retrieval path, %zu requests, %zu client threads:\n",
+              total_requests, kClients);
+  std::printf("  %-8s %12s %10s %10s %8s %8s\n", "workers", "req/s", "p50",
+              "p99", "hits", "misses");
+  for (const auto& r : results)
+    std::printf("  %-8zu %12.1f %8.2fms %8.2fms %8llu %8llu\n", r.workers,
+                r.rps, r.p50_ms, r.p99_ms,
+                static_cast<unsigned long long>(r.cache_hits),
+                static_cast<unsigned long long>(r.cache_misses));
+
+  const double speedup = results.back().rps / results.front().rps;
+  std::printf("\nspeedup at 8 workers vs 1 worker: %.2fx %s\n", speedup,
+              speedup >= 3.0 ? "(>= 3x: PASS)" : "(< 3x: FAIL)");
+  return speedup >= 3.0 ? 0 : 1;
+}

@@ -60,18 +60,66 @@ Hash256 CasService::verifier_id() const {
 
 void CasService::add_signer_key(crypto::RsaKeyPair signer) {
   const Hash256 id = crypto::sha256(signer.public_key().modulus_be());
+  std::lock_guard lock(signer_mutex_);
   signer_keys_.emplace(id, std::move(signer));
 }
 
-void CasService::install_policy(const Policy& policy) {
-  policy_db_.write_file(policy_path(policy.session_name), policy.serialize());
+bool CasService::has_signer_key(const Hash256& signer_id) const {
+  std::lock_guard lock(signer_mutex_);
+  return signer_keys_.contains(signer_id);
 }
 
-std::optional<Policy> CasService::load_policy(
+void CasService::install_policy(const Policy& policy) {
+  std::lock_guard lock(db_mutex_);
+  policy_db_.write_file(policy_path(policy.session_name),
+                        policy.serialize());
+  // Write-through *under db_mutex_*: cache updates happen in DB-write
+  // order, so a concurrent miss-path fill (also under db_mutex_) can never
+  // overwrite this install with an older policy.
+  if (PolicyCache* cache = policy_cache_.load())
+    cache->put(policy.session_name, policy);
+}
+
+void CasService::set_policy_cache(PolicyCache* cache) {
+  policy_cache_.store(cache);
+}
+
+std::optional<Policy> CasService::get_policy(
     const std::string& session_name) const {
+  if (PolicyCache* cache = policy_cache_.load()) {
+    auto cached = cache->get(session_name);
+    if (cached.has_value()) return cached;
+  }
+  std::lock_guard lock(db_mutex_);
   const auto blob = policy_db_.read_file(policy_path(session_name));
   if (!blob.has_value()) return std::nullopt;
-  return Policy::deserialize(*blob);
+  Policy loaded = Policy::deserialize(*blob);
+  // Fill the cache while still holding db_mutex_ (see install_policy).
+  if (PolicyCache* cache = policy_cache_.load())
+    cache->put(session_name, loaded);
+  return loaded;
+}
+
+void CasService::ensure_secure_server() {
+  std::call_once(secure_server_once_, [this] {
+    crypto::Drbg channel_rng = [this] {
+      std::lock_guard lock(rng_mutex_);
+      return crypto::Drbg(rng_.generate(16), "cas-channel");
+    }();
+    secure_server_ = std::make_unique<net::SecureServer>(
+        &identity_, std::move(channel_rng),
+        [this](ByteView payload, ByteView dh, std::uint64_t sid) {
+          return on_handshake(payload, dh, sid);
+        },
+        [this](std::uint64_t sid, ByteView plaintext) {
+          return on_request(sid, plaintext);
+        });
+  });
+}
+
+Bytes CasService::handle_secure(ByteView raw) {
+  ensure_secure_server();
+  return secure_server_->handle(raw);
 }
 
 void CasService::bind(net::SimNetwork& net, const std::string& address) {
@@ -86,16 +134,61 @@ void CasService::bind(net::SimNetwork& net, const std::string& address) {
     return resp.serialize();
   });
 
-  secure_server_ = std::make_unique<net::SecureServer>(
-      &identity_, crypto::Drbg(rng_.generate(16), "cas-channel"),
-      [this](ByteView payload, ByteView dh, std::uint64_t sid) {
-        return on_handshake(payload, dh, sid);
-      },
-      [this](std::uint64_t sid, ByteView plaintext) {
-        return on_request(sid, plaintext);
-      });
+  ensure_secure_server();
   net.listen(address,
-             [this](ByteView raw) { return secure_server_->handle(raw); });
+             [this](ByteView raw) { return handle_secure(raw); });
+}
+
+MintedCredential CasService::mint_credential(
+    const Policy& policy, const sgx::SigStruct& common_sigstruct,
+    InstanceTimings* timings) {
+  if (!policy.require_singleton || !policy.base_hash.has_value())
+    throw Error("cas: policy is not configured for singleton enclaves");
+
+  const crypto::RsaKeyPair* signer = nullptr;
+  {
+    std::lock_guard lock(signer_mutex_);
+    const auto it = signer_keys_.find(policy.expected_signer);
+    if (it == signer_keys_.end())
+      throw Error("cas: no signer key uploaded for this session");
+    signer = &it->second;  // map nodes are pointer-stable under inserts
+  }
+
+  MintedCredential cred;
+  {
+    std::lock_guard lock(rng_mutex_);
+    rng_.generate(cred.token.data.data(), cred.token.size());
+  }
+
+  auto mark = Clock::now();
+  core::InstancePage page;
+  page.token = cred.token;
+  page.verifier_id = verifier_id();
+  cred.mr_enclave =
+      core::MeasurementPredictor::predict(*policy.base_hash, page);
+  if (timings != nullptr) timings->predict += Clock::now() - mark;
+
+  mark = Clock::now();
+  cred.sigstruct = core::make_on_demand_sigstruct(common_sigstruct,
+                                                  cred.mr_enclave, *signer);
+  if (timings != nullptr) timings->sign += Clock::now() - mark;
+  return cred;
+}
+
+void CasService::register_token(const core::AttestationToken& token,
+                                const std::string& session_name,
+                                const sgx::Measurement& expected_mr) {
+  std::lock_guard lock(token_mutex_);
+  tokens_.emplace(token, PendingToken{session_name, expected_mr, false});
+}
+
+const char* CasService::check_retrieval_preconditions(
+    const Policy& policy) const {
+  if (!policy.require_singleton || !policy.base_hash.has_value())
+    return errors::kNotSingleton;
+  if (!has_signer_key(policy.expected_signer))
+    return errors::kNoSignerKey;
+  return nullptr;
 }
 
 InstanceResponse CasService::handle_instance(const InstanceRequest& request) {
@@ -103,22 +196,18 @@ InstanceResponse CasService::handle_instance(const InstanceRequest& request) {
   InstanceTimings t;
   const auto total_start = Clock::now();
 
-  // "Misc": decrypt and parse the session's policy from the encrypted DB.
+  // "Misc": decrypt and parse the session's policy from the encrypted DB
+  // (or the decrypted-policy cache, when the serving layer attached one).
   auto mark = Clock::now();
-  const auto policy = load_policy(request.session_name);
+  const auto policy = get_policy(request.session_name);
   t.db_load = Clock::now() - mark;
 
   if (!policy.has_value()) {
-    resp.error = "unknown session";
+    resp.error = errors::kUnknownSession;
     return resp;
   }
-  if (!policy->require_singleton || !policy->base_hash.has_value()) {
-    resp.error = "session is not configured for singleton enclaves";
-    return resp;
-  }
-  const auto signer_it = signer_keys_.find(policy->expected_signer);
-  if (signer_it == signer_keys_.end()) {
-    resp.error = "no signer key uploaded for this session";
+  if (const char* error = check_retrieval_preconditions(*policy)) {
+    resp.error = error;
     return resp;
   }
 
@@ -128,124 +217,130 @@ InstanceResponse CasService::handle_instance(const InstanceRequest& request) {
   const bool sig_ok = request.common_sigstruct.signature_valid();
   t.verify = Clock::now() - mark;
   if (!sig_ok) {
-    resp.error = "common sigstruct signature invalid";
+    resp.error = errors::kBadSignature;
     return resp;
   }
   if (request.common_sigstruct.mr_signer() != policy->expected_signer) {
-    resp.error = "common sigstruct from unexpected signer";
+    resp.error = errors::kWrongSigner;
     return resp;
   }
 
-  // Predict measurements: the common one (cross-check the received
-  // SigStruct against the policy's base hash) and the singleton one.
-  core::AttestationToken token;
-  rng_.generate(token.data.data(), token.size());
-
+  // Cross-check the received SigStruct against the policy's base hash.
   mark = Clock::now();
   const sgx::Measurement expected_common =
       core::MeasurementPredictor::predict_common(*policy->base_hash);
-  core::InstancePage page;
-  page.token = token;
-  page.verifier_id = verifier_id();
-  const sgx::Measurement expected_singleton =
-      core::MeasurementPredictor::predict(*policy->base_hash, page);
   t.predict = Clock::now() - mark;
-
   if (request.common_sigstruct.enclave_hash != expected_common) {
-    resp.error = "common sigstruct does not match session base hash";
+    resp.error = errors::kBaseHashMismatch;
     return resp;
   }
 
-  // On-demand SigStruct for the individualized enclave.
-  mark = Clock::now();
-  resp.singleton_sigstruct = core::make_on_demand_sigstruct(
-      request.common_sigstruct, expected_singleton, signer_it->second);
-  t.sign = Clock::now() - mark;
+  // Mint the singleton credential (token + prediction + on-demand
+  // SigStruct) and arm its one-time token.
+  const MintedCredential cred =
+      mint_credential(*policy, request.common_sigstruct, &t);
+  register_token(cred.token, request.session_name, cred.mr_enclave);
 
-  tokens_.emplace(token, PendingToken{request.session_name,
-                                      expected_singleton, false});
   resp.ok = true;
-  resp.token = token;
+  resp.token = cred.token;
   resp.verifier_id = verifier_id();
+  resp.singleton_sigstruct = cred.sigstruct;
 
   t.total = Clock::now() - total_start;
-  last_timings_ = t;
+  {
+    std::lock_guard lock(observe_mutex_);
+    last_timings_ = t;
+  }
   return resp;
 }
 
 std::optional<Bytes> CasService::on_handshake(ByteView client_payload,
                                               ByteView client_dh,
                                               std::uint64_t session_id) {
+  const auto verdict = [this](Verdict v) {
+    std::lock_guard lock(observe_mutex_);
+    last_attest_verdict_ = v;
+  };
+
   AttestPayload payload;
   try {
     payload = AttestPayload::deserialize(client_payload);
   } catch (const ParseError&) {
-    last_attest_verdict_ = Verdict::kMalformed;
+    verdict(Verdict::kMalformed);
     return std::nullopt;
   }
 
-  const auto policy = load_policy(payload.session_name);
+  const auto policy = get_policy(payload.session_name);
   if (!policy.has_value()) {
-    last_attest_verdict_ = Verdict::kPolicyViolation;
+    verdict(Verdict::kPolicyViolation);
     return std::nullopt;
   }
 
   // 1. Quote genuineness (the TEE provider's attestation service).
   const quote::QuoteVerification qv = attestation_->verify(payload.quote);
   if (!qv.ok()) {
-    last_attest_verdict_ = qv.verdict;
+    verdict(qv.verdict);
     return std::nullopt;
   }
 
   // 2. Channel binding: REPORTDATA must commit to the client's DH key.
   if (!(qv.report_data == net::channel_binding(client_dh))) {
-    last_attest_verdict_ = Verdict::kPolicyViolation;
+    verdict(Verdict::kPolicyViolation);
     return std::nullopt;
   }
 
   // 3. No debug enclaves unless the policy opts in.
   if (qv.identity->attributes.debug() && !policy->allow_debug) {
-    last_attest_verdict_ = Verdict::kAttributesMismatch;
+    verdict(Verdict::kAttributesMismatch);
     return std::nullopt;
   }
 
   // 4. Signer pin.
   if (qv.identity->mr_signer != policy->expected_signer) {
-    last_attest_verdict_ = Verdict::kSignerMismatch;
+    verdict(Verdict::kSignerMismatch);
     return std::nullopt;
   }
 
   // 5. Measurement check: singleton (SinClave) or pinned common (baseline).
   if (policy->require_singleton) {
     if (!payload.token.has_value()) {
-      last_attest_verdict_ = Verdict::kTokenUnknown;
+      verdict(Verdict::kTokenUnknown);
       return std::nullopt;
     }
-    const auto it = tokens_.find(*payload.token);
-    if (it == tokens_.end() ||
-        it->second.session_name != payload.session_name) {
-      last_attest_verdict_ = Verdict::kTokenUnknown;
-      return std::nullopt;
+    // Lookup, one-time check, measurement check and spend are one critical
+    // section: two attestations racing on the same token must serialize
+    // here, so exactly one can ever flip `used`.
+    {
+      std::lock_guard lock(token_mutex_);
+      const auto it = tokens_.find(*payload.token);
+      if (it == tokens_.end() ||
+          it->second.session_name != payload.session_name) {
+        verdict(Verdict::kTokenUnknown);
+        return std::nullopt;
+      }
+      if (it->second.used) {
+        verdict(Verdict::kTokenReused);
+        return std::nullopt;
+      }
+      if (qv.identity->mr_enclave != it->second.expected_mr) {
+        verdict(Verdict::kMeasurementMismatch);
+        return std::nullopt;
+      }
+      it->second.used = true;  // singleton: this token never attests again
+      ++used_count_;
+      attested_sessions_[session_id] = payload.session_name;
     }
-    if (it->second.used) {
-      last_attest_verdict_ = Verdict::kTokenReused;
-      return std::nullopt;
-    }
-    if (qv.identity->mr_enclave != it->second.expected_mr) {
-      last_attest_verdict_ = Verdict::kMeasurementMismatch;
-      return std::nullopt;
-    }
-    it->second.used = true;  // singleton: this token never attests again
   } else {
     if (!policy->expected_mr_enclave.has_value() ||
         qv.identity->mr_enclave != *policy->expected_mr_enclave) {
-      last_attest_verdict_ = Verdict::kMeasurementMismatch;
+      verdict(Verdict::kMeasurementMismatch);
       return std::nullopt;
     }
+    std::lock_guard lock(token_mutex_);
+    attested_sessions_[session_id] = payload.session_name;
   }
 
-  last_attest_verdict_ = Verdict::kOk;
-  attested_sessions_[session_id] = payload.session_name;
+  verdict(Verdict::kOk);
   return to_bytes("attested");
 }
 
@@ -257,12 +352,17 @@ Bytes CasService::on_request(std::uint64_t session_id, ByteView plaintext) {
     resp.error = "unknown command";
     return resp.serialize();
   }
-  const auto it = attested_sessions_.find(session_id);
-  if (it == attested_sessions_.end()) {
-    resp.error = "session not attested";
-    return resp.serialize();
+  std::string session_name;
+  {
+    std::lock_guard lock(token_mutex_);
+    const auto it = attested_sessions_.find(session_id);
+    if (it == attested_sessions_.end()) {
+      resp.error = "session not attested";
+      return resp.serialize();
+    }
+    session_name = it->second;
   }
-  const auto policy = load_policy(it->second);
+  const auto policy = get_policy(session_name);
   if (!policy.has_value()) {
     resp.error = "policy disappeared";
     return resp.serialize();
@@ -272,33 +372,48 @@ Bytes CasService::on_request(std::uint64_t session_id, ByteView plaintext) {
   return resp.serialize();
 }
 
+CasService::InstanceTimings CasService::last_instance_timings() const {
+  std::lock_guard lock(observe_mutex_);
+  return last_timings_;
+}
+
+Verdict CasService::last_attest_verdict() const {
+  std::lock_guard lock(observe_mutex_);
+  return last_attest_verdict_;
+}
+
 std::size_t CasService::tokens_outstanding() const {
-  std::size_t n = 0;
-  for (const auto& [token, pending] : tokens_)
-    if (!pending.used) ++n;
-  return n;
+  std::lock_guard lock(token_mutex_);
+  return tokens_.size() - used_count_;
 }
 
 std::size_t CasService::tokens_used() const {
-  return tokens_.size() - tokens_outstanding();
+  std::lock_guard lock(token_mutex_);
+  return used_count_;
 }
 
 Bytes CasService::export_state() const {
   ByteWriter w;
-  const auto names = policy_db_.list_files();
-  w.u32(static_cast<std::uint32_t>(names.size()));
-  for (const auto& name : names) {
-    const auto blob = policy_db_.read_file(name);
-    if (!blob.has_value()) throw Error("cas: policy db corrupted");
-    w.str(name);
-    w.bytes(*blob);
+  {
+    std::lock_guard lock(db_mutex_);
+    const auto names = policy_db_.list_files();
+    w.u32(static_cast<std::uint32_t>(names.size()));
+    for (const auto& name : names) {
+      const auto blob = policy_db_.read_file(name);
+      if (!blob.has_value()) throw Error("cas: policy db corrupted");
+      w.str(name);
+      w.bytes(*blob);
+    }
   }
-  w.u32(static_cast<std::uint32_t>(tokens_.size()));
-  for (const auto& [token, pending] : tokens_) {
-    w.raw(token.view());
-    w.str(pending.session_name);
-    w.raw(pending.expected_mr.view());
-    w.u8(pending.used ? 1 : 0);
+  {
+    std::lock_guard lock(token_mutex_);
+    w.u32(static_cast<std::uint32_t>(tokens_.size()));
+    for (const auto& [token, pending] : tokens_) {
+      w.raw(token.view());
+      w.str(pending.session_name);
+      w.raw(pending.expected_mr.view());
+      w.u8(pending.used ? 1 : 0);
+    }
   }
   return std::move(w).take();
 }
@@ -328,7 +443,11 @@ void CasService::import_state(ByteView state) {
     Policy policy = Policy::deserialize(blob);
     install_policy(policy);
   }
+  std::lock_guard lock(token_mutex_);
   tokens_ = std::move(tokens);
+  used_count_ = 0;
+  for (const auto& [token, pending] : tokens_)
+    if (pending.used) ++used_count_;
 }
 
 }  // namespace sinclave::cas

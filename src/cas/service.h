@@ -12,11 +12,20 @@
 //    prediction from the base hash, on-demand SigStruct signing with the
 //    enclave signer's key (which is uploaded to — and never leaves — CAS),
 //    and singleton enforcement (every token attests at most once).
+//
+// Thread-safe: all entry points may be called concurrently (the
+// server::CasServer frontend dispatches them from a worker pool). Token and
+// singleton accounting is mutex-guarded so racing attestations can never
+// double-spend a one-time token. An optional PolicyCache lets the serving
+// layer interpose a decrypted-policy store in front of the encrypted DB;
+// install_policy writes through to both.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -30,6 +39,23 @@
 #include "quote/attestation_service.h"
 
 namespace sinclave::cas {
+
+/// Error strings shared by every retrieval frontend (CasService's direct
+/// path and server::CasServer's pooled fast path) — single definitions so
+/// the two paths cannot drift.
+namespace errors {
+inline constexpr const char* kUnknownSession = "unknown session";
+inline constexpr const char* kNotSingleton =
+    "session is not configured for singleton enclaves";
+inline constexpr const char* kNoSignerKey =
+    "no signer key uploaded for this session";
+inline constexpr const char* kBadSignature =
+    "common sigstruct signature invalid";
+inline constexpr const char* kWrongSigner =
+    "common sigstruct from unexpected signer";
+inline constexpr const char* kBaseHashMismatch =
+    "common sigstruct does not match session base hash";
+}  // namespace errors
 
 /// Per-session verification policy, stored encrypted in the CAS database.
 struct Policy {
@@ -49,6 +75,27 @@ struct Policy {
 
   Bytes serialize() const;
   static Policy deserialize(ByteView data);
+};
+
+/// Cache of decrypted, parsed policies consulted before the encrypted DB.
+/// Implementations must be safe for concurrent use (the serving layer's
+/// sharded store is; see server/policy_store.h).
+class PolicyCache {
+ public:
+  virtual ~PolicyCache() = default;
+  virtual std::optional<Policy> get(const std::string& session_name) = 0;
+  virtual void put(const std::string& session_name, const Policy& policy) = 0;
+  virtual void erase(const std::string& session_name) = 0;
+};
+
+/// A freshly predicted-and-signed singleton credential: the token, the
+/// MRENCLAVE an enclave carrying that token will measure to, and the
+/// on-demand SigStruct for it. Inert until its token is registered with
+/// register_token() — which is what makes it spendable, exactly once.
+struct MintedCredential {
+  core::AttestationToken token;
+  sgx::Measurement mr_enclave;
+  sgx::SigStruct sigstruct;
 };
 
 class CasService {
@@ -74,22 +121,55 @@ class CasService {
   /// Upload an enclave signer's key pair (required for on-demand SigStruct
   /// creation for that signer's enclaves).
   void add_signer_key(crypto::RsaKeyPair signer);
+  bool has_signer_key(const Hash256& signer_id) const;
 
-  /// Install (or replace) a session policy; persisted encrypted.
+  /// Install (or replace) a session policy; persisted encrypted and written
+  /// through to the policy cache when one is attached.
   void install_policy(const Policy& policy);
+
+  /// Attach a decrypted-policy cache (not owned; must outlive serving).
+  void set_policy_cache(PolicyCache* cache);
+
+  /// Cache-aware policy lookup: cache hit skips the per-request
+  /// EncryptedVolume decrypt+parse; a miss loads from the DB and fills the
+  /// cache.
+  std::optional<Policy> get_policy(const std::string& session_name) const;
+
+  /// Shared precondition checks for singleton retrieval (both serving
+  /// fronts call this): returns an errors::* string, or nullptr when the
+  /// policy is retrieval-ready.
+  const char* check_retrieval_preconditions(const Policy& policy) const;
 
   /// Start serving: `address` (secure attestation endpoint) and
   /// `address + ".instance"` (plain starter endpoint).
   void bind(net::SimNetwork& net, const std::string& address);
 
+  /// Raw entry point of the secure attestation endpoint; usable by custom
+  /// frontends (server::CasServer) without bind().
+  Bytes handle_secure(ByteView raw);
+
   /// Direct entry points (benchmarks call these without the network).
   InstanceResponse handle_instance(const InstanceRequest& request);
 
-  const InstanceTimings& last_instance_timings() const {
-    return last_timings_;
-  }
+  /// Predict + sign a fresh singleton credential for `policy` against the
+  /// given verified common SigStruct. Pure minting: the token is NOT yet
+  /// registered and cannot attest. `policy` must be singleton-configured
+  /// and its signer key uploaded; throws Error otherwise. Thread-safe —
+  /// this is what pre-minting workers call concurrently. `timings` (when
+  /// given) accumulates the predict/sign breakdown.
+  MintedCredential mint_credential(const Policy& policy,
+                                   const sgx::SigStruct& common_sigstruct,
+                                   InstanceTimings* timings = nullptr);
+
+  /// Arm a minted credential: register its one-time token for
+  /// `session_name` with the expected singleton measurement.
+  void register_token(const core::AttestationToken& token,
+                      const std::string& session_name,
+                      const sgx::Measurement& expected_mr);
+
+  InstanceTimings last_instance_timings() const;
   /// Verdict of the most recent attestation attempt (test observability).
-  Verdict last_attest_verdict() const { return last_attest_verdict_; }
+  Verdict last_attest_verdict() const;
 
   std::size_t tokens_outstanding() const;
   std::size_t tokens_used() const;
@@ -103,12 +183,11 @@ class CasService {
   void import_state(ByteView state);
 
  private:
-  std::optional<Policy> load_policy(const std::string& session_name) const;
-
   std::optional<Bytes> on_handshake(ByteView client_payload,
                                     ByteView client_dh,
                                     std::uint64_t session_id);
   Bytes on_request(std::uint64_t session_id, ByteView plaintext);
+  void ensure_secure_server();
 
   struct PendingToken {
     std::string session_name;
@@ -118,12 +197,28 @@ class CasService {
 
   quote::AttestationService* attestation_;
   crypto::RsaKeyPair identity_;
+
+  mutable std::mutex rng_mutex_;  // guards rng_
   mutable crypto::Drbg rng_;
+
+  mutable std::mutex db_mutex_;  // guards policy_db_
   mutable fs::EncryptedVolume policy_db_;
-  std::map<Hash256, crypto::RsaKeyPair> signer_keys_;
+  // Attach/detach races with readers, hence atomic. Cache fills happen
+  // under db_mutex_ so a fill can never overwrite a newer install.
+  std::atomic<PolicyCache*> policy_cache_{nullptr};
+
+  mutable std::mutex signer_mutex_;  // guards signer_keys_ (map nodes are
+  std::map<Hash256, crypto::RsaKeyPair> signer_keys_;  // pointer-stable)
+
+  mutable std::mutex token_mutex_;  // guards tokens_ + the two below
   std::map<core::AttestationToken, PendingToken> tokens_;
+  std::size_t used_count_ = 0;  // spent tokens (avoids O(n) scans)
   std::map<std::uint64_t, std::string> attested_sessions_;
+
+  std::once_flag secure_server_once_;
   std::unique_ptr<net::SecureServer> secure_server_;
+
+  mutable std::mutex observe_mutex_;  // guards the two "last_*" fields
   InstanceTimings last_timings_;
   Verdict last_attest_verdict_ = Verdict::kOk;
 };

@@ -69,6 +69,7 @@ SecureServer::SecureServer(const crypto::RsaKeyPair* identity,
 }
 
 Bytes SecureServer::handle(ByteView raw) {
+  std::lock_guard lock(mutex_);
   try {
     ByteReader r(raw);
     const std::uint8_t type = r.u8();
@@ -155,6 +156,7 @@ Bytes SecureServer::handle(ByteView raw) {
 }
 
 void SecureServer::close_session(std::uint64_t session_id) {
+  std::lock_guard lock(mutex_);
   sessions_.erase(session_id);
 }
 

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <optional>
 
 #include "common/bytes.h"
@@ -37,6 +38,11 @@ FixedBytes<64> channel_binding(ByteView client_dh_public);
 
 /// Server half. Owns per-session traffic keys; plug `handle` into
 /// SimNetwork::listen.
+///
+/// Thread-safe: handle() may be called from many dispatcher threads at
+/// once. A coarse mutex serializes handshakes and per-session record
+/// processing (the hooks run under it — they must not call back into this
+/// SecureServer).
 class SecureServer {
  public:
   /// Decides whether to accept a handshake. Receives the client's payload
@@ -59,7 +65,10 @@ class SecureServer {
   /// Terminate a session (e.g. after config delivery).
   void close_session(std::uint64_t session_id);
 
-  std::size_t open_sessions() const { return sessions_.size(); }
+  std::size_t open_sessions() const {
+    std::lock_guard lock(mutex_);
+    return sessions_.size();
+  }
 
  private:
   struct Session {
@@ -70,6 +79,7 @@ class SecureServer {
   };
 
   const crypto::RsaKeyPair* identity_;
+  mutable std::mutex mutex_;
   crypto::Drbg rng_;
   HandshakeHook on_handshake_;
   RequestHandler on_request_;

@@ -8,38 +8,67 @@ namespace sinclave::net {
 
 void SimNetwork::listen(const std::string& address, Handler handler) {
   if (!handler) throw Error("net: null handler");
-  const auto [it, inserted] = listeners_.emplace(address, std::move(handler));
+  auto listener = std::make_shared<Listener>();
+  listener->handler = std::move(handler);
+  std::lock_guard lock(mutex_);
+  const auto [it, inserted] = listeners_.emplace(address, std::move(listener));
   (void)it;
   if (!inserted) throw Error("net: address already in use: " + address);
 }
 
 void SimNetwork::shutdown(const std::string& address) {
-  listeners_.erase(address);
+  std::unique_lock lock(mutex_);
+  const auto it = listeners_.find(address);
+  if (it == listeners_.end()) return;
+  std::shared_ptr<Listener> listener = it->second;
+  listeners_.erase(it);
+  // Block until every call that already holds this listener returns, so
+  // the service behind it may safely free its state afterwards.
+  drained_.wait(lock, [&] { return listener->in_flight == 0; });
 }
 
 bool SimNetwork::has_listener(const std::string& address) const {
+  std::lock_guard lock(mutex_);
   return listeners_.contains(address);
 }
 
 void SimNetwork::spend(std::chrono::microseconds d) {
-  virtual_time_ += d;
+  virtual_time_ns_ +=
+      std::chrono::duration_cast<std::chrono::nanoseconds>(d).count();
   if (latency_.real_sleep && d.count() > 0) std::this_thread::sleep_for(d);
 }
 
 SimNetwork::Connection SimNetwork::connect(const std::string& address) {
-  if (!listeners_.contains(address))
+  if (!has_listener(address))
     throw Error("net: connection refused: " + address);
   spend(latency_.connect);
   return Connection(this, address);
 }
 
 Bytes SimNetwork::Connection::call(ByteView request) {
-  const auto it = net_->listeners_.find(address_);
-  if (it == net_->listeners_.end())
-    throw Error("net: peer went away: " + address_);
+  std::shared_ptr<Listener> listener;
+  {
+    std::lock_guard lock(net_->mutex_);
+    const auto it = net_->listeners_.find(address_);
+    if (it == net_->listeners_.end())
+      throw Error("net: peer went away: " + address_);
+    listener = it->second;
+    ++listener->in_flight;  // visible to shutdown() under the same lock
+  }
+  // Latency (which may really sleep) and the handler itself run outside the
+  // lock so concurrent calls to different — or the same — services overlap.
   net_->spend(net_->latency_.round_trip);
   ++net_->round_trips_;
-  return it->second(request);
+  try {
+    Bytes response = listener->handler(request);
+    std::lock_guard lock(net_->mutex_);
+    if (--listener->in_flight == 0) net_->drained_.notify_all();
+    return response;
+  } catch (...) {
+    std::lock_guard lock(net_->mutex_);
+    if (--listener->in_flight == 0) net_->drained_.notify_all();
+    throw;
+  }
 }
 
 }  // namespace sinclave::net

@@ -5,13 +5,23 @@
 // latency model either really sleeps (wall-clock benchmarks, e.g. the
 // connection-setup share of Fig. 7c) or merely accounts virtual time
 // (fast deterministic tests).
+//
+// Thread-safe: many client threads may call concurrently, and handlers may
+// be registered or torn down while calls are in flight. The listener map is
+// mutex-guarded; handlers execute *outside* the lock (a handler may itself
+// use the network). shutdown() blocks until every in-flight call to that
+// address has returned, so after it returns the handler's state may be
+// freed — consequently a handler must never shut down its own address.
 #pragma once
 
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/bytes.h"
@@ -36,6 +46,7 @@ class SimNetwork {
 
   /// Register a service. Throws Error if the address is taken.
   void listen(const std::string& address, Handler handler);
+  /// Deregister and wait for in-flight calls to the address to drain.
   void shutdown(const std::string& address);
   bool has_listener(const std::string& address) const;
 
@@ -60,19 +71,30 @@ class SimNetwork {
   Connection connect(const std::string& address);
 
   /// Total virtual network time accounted so far (both modes).
-  std::chrono::nanoseconds virtual_time() const { return virtual_time_; }
+  std::chrono::nanoseconds virtual_time() const {
+    return std::chrono::nanoseconds(virtual_time_ns_.load());
+  }
   /// Total round trips performed (tests assert protocol message counts).
-  std::uint64_t round_trips() const { return round_trips_; }
+  std::uint64_t round_trips() const { return round_trips_.load(); }
 
   const LatencyModel& latency() const { return latency_; }
 
  private:
   void spend(std::chrono::microseconds d);
 
+  struct Listener {
+    Handler handler;
+    std::size_t in_flight = 0;  // guarded by SimNetwork::mutex_
+  };
+
   LatencyModel latency_;
-  std::map<std::string, Handler> listeners_;
-  std::chrono::nanoseconds virtual_time_{0};
-  std::uint64_t round_trips_ = 0;
+  mutable std::mutex mutex_;  // guards listeners_ + each Listener::in_flight
+  std::condition_variable drained_;
+  // Listeners are held by shared_ptr so a call dispatched concurrently with
+  // shutdown() keeps the closure alive for the duration of the call.
+  std::map<std::string, std::shared_ptr<Listener>> listeners_;
+  std::atomic<std::int64_t> virtual_time_ns_{0};
+  std::atomic<std::uint64_t> round_trips_{0};
 };
 
 }  // namespace sinclave::net

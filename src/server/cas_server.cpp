@@ -1,0 +1,279 @@
+#include "server/cas_server.h"
+
+#include <future>
+#include <memory>
+#include <thread>
+
+#include "core/predictor.h"
+
+namespace sinclave::server {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}  // namespace
+
+CasServer::CasServer(cas::CasService* cas, CasServerConfig config)
+    : cas_(cas),
+      config_(config),
+      policy_store_(config.policy_shards),
+      sigstruct_cache_(config.sigstruct_cache_capacity),
+      pool_(config.workers) {
+  if (cas_ == nullptr) throw Error("server: cas service required");
+  cas_->set_policy_cache(&policy_store_);
+}
+
+CasServer::~CasServer() {
+  unbind();
+  // Detach the store: it dies with this server, and CasService must not
+  // keep a pointer into it. Still-draining refill jobs fall back to the
+  // encrypted DB, which stays correct.
+  cas_->set_policy_cache(nullptr);
+  // ThreadPool's destructor drains in-flight and queued jobs before the
+  // caches above go away.
+}
+
+void CasServer::bind(net::SimNetwork& net, const std::string& address) {
+  net.listen(address + ".instance", [this](ByteView raw) {
+    return dispatch([this, req = Bytes(raw.begin(), raw.end())] {
+      cas::InstanceResponse resp;
+      try {
+        resp = handle_instance(cas::InstanceRequest::deserialize(req));
+      } catch (const ParseError& e) {
+        resp.ok = false;
+        resp.error = e.what();
+      }
+      return resp.serialize();
+    });
+  });
+  try {
+    net.listen(address, [this](ByteView raw) {
+      return dispatch([this, req = Bytes(raw.begin(), raw.end())] {
+        const auto start = Clock::now();
+        ++metrics_.attest_requests;
+        Bytes out = cas_->handle_secure(req);
+        metrics_.attest_latency.record(Clock::now() - start);
+        return out;
+      });
+    });
+  } catch (...) {
+    // Half-bound server: tear down the instance listener (its handler
+    // captures `this`) before reporting the failure.
+    net.shutdown(address + ".instance");
+    throw;
+  }
+  net_ = &net;
+  address_ = address;
+}
+
+void CasServer::unbind() {
+  if (net_ == nullptr) return;
+  net_->shutdown(address_ + ".instance");
+  net_->shutdown(address_);
+  net_ = nullptr;
+}
+
+Bytes CasServer::dispatch(std::function<Bytes()> work) {
+  // The network handler runs on the client's thread; park it on a future
+  // until a worker picks the job up. Workers never wait on other jobs, so
+  // the pool cannot deadlock on itself.
+  auto task =
+      std::make_shared<std::packaged_task<Bytes()>>(std::move(work));
+  std::future<Bytes> result = task->get_future();
+  pool_.submit([task] { (*task)(); });
+  return result.get();
+}
+
+cas::InstanceResponse CasServer::handle_instance(
+    const cas::InstanceRequest& request) {
+  const auto start = Clock::now();
+  ++metrics_.instance_requests;
+
+  if (config_.backend_io.count() > 0)
+    std::this_thread::sleep_for(config_.backend_io);
+
+  cas::InstanceResponse resp = serve_instance(request);
+
+  if (!resp.ok) ++metrics_.instance_errors;
+  metrics_.instance_latency.record(Clock::now() - start);
+  if (resp.ok) maybe_refill(request.session_name);
+  return resp;
+}
+
+bool CasServer::check_common(const cas::Policy& policy,
+                             const cas::InstanceRequest& request,
+                             std::string* error) {
+  bool flush_stale_pool = false;
+  bool verified = false;
+  {
+    std::lock_guard lock(verified_mutex_);
+    const auto it = verified_common_.find(policy.session_name);
+    if (it != verified_common_.end()) {
+      if (it->second.base_hash != *policy.base_hash ||
+          it->second.expected_signer != policy.expected_signer) {
+        // The policy rotated under the memo (new base hash, or a new
+        // signer pin — the memoized SigStruct may be signed by a now
+        // de-pinned signer): everything derived from the old memo — the
+        // memo itself and any pooled pre-minted credentials — is stale.
+        verified_common_.erase(it);
+        flush_stale_pool = true;
+      } else if (it->second.sigstruct == request.common_sigstruct) {
+        verified = true;  // repeat retrieval: skip the RSA verification
+      }
+      // Same base hash + signer but a different SigStruct (re-signed
+      // image, e.g. bumped SVN): pooled credentials copied their metadata
+      // from the old one — flushed once the new SigStruct verifies below.
+    }
+  }
+  if (flush_stale_pool) sigstruct_cache_.flush(policy.session_name);
+  if (verified) return true;
+
+  if (!request.common_sigstruct.signature_valid()) {
+    *error = cas::errors::kBadSignature;
+    return false;
+  }
+  if (request.common_sigstruct.mr_signer() != policy.expected_signer) {
+    *error = cas::errors::kWrongSigner;
+    return false;
+  }
+  const sgx::Measurement expected_common =
+      core::MeasurementPredictor::predict_common(*policy.base_hash);
+  if (request.common_sigstruct.enclave_hash != expected_common) {
+    *error = cas::errors::kBaseHashMismatch;
+    return false;
+  }
+  bool replaced_same_base = false;
+  {
+    std::lock_guard lock(verified_mutex_);
+    auto& entry = verified_common_[policy.session_name];
+    replaced_same_base = entry.base_hash == *policy.base_hash &&
+                         !(entry.sigstruct == request.common_sigstruct);
+    entry = VerifiedCommon{*policy.base_hash, policy.expected_signer,
+                           request.common_sigstruct};
+  }
+  if (replaced_same_base) sigstruct_cache_.flush(policy.session_name);
+  return true;
+}
+
+cas::InstanceResponse CasServer::serve_instance(
+    const cas::InstanceRequest& request) {
+  cas::InstanceResponse resp;
+
+  const auto policy = cas_->get_policy(request.session_name);
+  if (!policy.has_value()) {
+    resp.error = cas::errors::kUnknownSession;
+    return resp;
+  }
+  if (const char* error = cas_->check_retrieval_preconditions(*policy)) {
+    resp.error = error;
+    return resp;
+  }
+  if (!check_common(*policy, request, &resp.error)) return resp;
+
+  // Pooled credentials self-validate at pop time: a refill racing a
+  // policy update could deposit stale entries after the stale-pool flush.
+  // A credential is served only if (a) its MRENCLAVE re-predicts under
+  // the *current* base hash (~the 32 us predict cost; the ~5 ms signature
+  // stays skipped) and (b) its SigStruct carries exactly the metadata of
+  // the just-verified common one — which catches even a re-signed image
+  // with unchanged base hash and signer.
+  const auto valid = [&](const cas::MintedCredential& c) {
+    core::InstancePage page;
+    page.token = c.token;
+    page.verifier_id = cas_->verifier_id();
+    const auto& common = request.common_sigstruct;
+    return core::MeasurementPredictor::predict(*policy->base_hash, page) ==
+               c.mr_enclave &&
+           c.sigstruct.signer_key == common.signer_key &&
+           c.sigstruct.attributes == common.attributes &&
+           c.sigstruct.attribute_mask == common.attribute_mask &&
+           c.sigstruct.isv_prod_id == common.isv_prod_id &&
+           c.sigstruct.isv_svn == common.isv_svn &&
+           c.sigstruct.date == common.date &&
+           c.sigstruct.debug_allowed == common.debug_allowed;
+  };
+  cas::MintedCredential cred;
+  auto pooled = sigstruct_cache_.take_if(request.session_name, valid);
+  if (pooled.has_value()) {
+    ++metrics_.sigstruct_cache_hits;
+    cred = std::move(*pooled);
+  } else {
+    ++metrics_.sigstruct_cache_misses;
+    cred = cas_->mint_credential(*policy, request.common_sigstruct);
+  }
+
+  // Arm the one-time token. Pre-minted or not, a credential reaches this
+  // line exactly once (the pool pop is exclusive), so each token is
+  // registered exactly once.
+  cas_->register_token(cred.token, request.session_name, cred.mr_enclave);
+  ++metrics_.tokens_issued;
+
+  resp.ok = true;
+  resp.token = cred.token;
+  resp.verifier_id = cas_->verifier_id();
+  resp.singleton_sigstruct = cred.sigstruct;
+  return resp;
+}
+
+void CasServer::maybe_refill(const std::string& session) {
+  if (config_.premint_depth == 0) return;
+  if (sigstruct_cache_.pooled(session) >= config_.premint_depth) return;
+  if (!sigstruct_cache_.begin_refill(session)) return;  // refill in flight
+
+  const auto refill = [this, session] {
+    try {
+      const auto policy = cas_->get_policy(session);
+      std::optional<VerifiedCommon> common;
+      if (policy.has_value() && policy->base_hash.has_value()) {
+        std::lock_guard lock(verified_mutex_);
+        const auto it = verified_common_.find(session);
+        if (it != verified_common_.end() &&
+            it->second.base_hash == *policy->base_hash &&
+            it->second.expected_signer == policy->expected_signer)
+          common = it->second;
+      }
+      if (common.has_value()) {
+        // Bounded top-up: when LRU eviction keeps undoing puts (pool
+        // pressure above capacity), a `while (pooled < depth)` would mint
+        // forever — mint at most the current deficit and let the next
+        // request's refill try again.
+        const std::size_t have = sigstruct_cache_.pooled(session);
+        for (std::size_t i = have; i < config_.premint_depth; ++i) {
+          sigstruct_cache_.put(
+              session, cas_->mint_credential(*policy, common->sigstruct));
+          ++metrics_.preminted_credentials;
+        }
+      }
+    } catch (const Error&) {
+      // Refill is best-effort; the serving path mints inline on a miss.
+    }
+    sigstruct_cache_.end_refill(session);
+  };
+  try {
+    pool_.submit(refill);
+  } catch (const Error&) {
+    sigstruct_cache_.end_refill(session);  // pool shutting down
+  }
+}
+
+std::size_t CasServer::premint(const std::string& session,
+                               const sgx::SigStruct& common_sigstruct,
+                               std::size_t n) {
+  const auto policy = cas_->get_policy(session);
+  if (!policy.has_value() ||
+      cas_->check_retrieval_preconditions(*policy) != nullptr)
+    return 0;
+  cas::InstanceRequest probe;
+  probe.session_name = session;
+  probe.common_sigstruct = common_sigstruct;
+  std::string error;
+  if (!check_common(*policy, probe, &error)) return 0;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    sigstruct_cache_.put(session,
+                         cas_->mint_credential(*policy, common_sigstruct));
+    ++metrics_.preminted_credentials;
+  }
+  return n;
+}
+
+}  // namespace sinclave::server

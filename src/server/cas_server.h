@@ -1,0 +1,130 @@
+// Concurrent CAS serving layer: a thread-pooled frontend for CasService.
+//
+// The seed's CasService serves one request at a time and re-does three
+// expensive steps on every singleton retrieval (Fig. 7c): decrypt+parse the
+// session policy ("CAS misc"), RSA-verify the received common SigStruct,
+// and RSA-CRT-sign the on-demand SigStruct (~5 ms at 3072 bit). CasServer
+// turns that into a fleet-capable service:
+//
+//   * a fixed-size worker pool drains requests from both endpoints (the
+//     plain instance endpoint and the secure attestation endpoint), so
+//     independent requests overlap instead of serializing,
+//   * a sharded policy store (server/policy_store.h) keeps hot policies
+//     decrypted — attached to CasService as its PolicyCache, write-through
+//     on install_policy,
+//   * a verify-once memo per session skips the repeat RSA verification of
+//     an already-seen common SigStruct (invalidated when the session's
+//     base hash changes),
+//   * an LRU SigStruct cache (server/sigstruct_cache.h) serves pre-minted
+//     credentials so the hot path skips the RSA-CRT signature; workers
+//     refill per-session pools in the background,
+//   * metrics (server/metrics.h): atomic counters and latency histograms
+//     with p50/p99, exposed via metrics().
+//
+// Security invariants are inherited, not relaxed: every issued token is
+// registered exactly once with CasService's mutex-guarded token table, so
+// one-time-token and singleton guarantees hold under any interleaving
+// (tests/test_server.cpp races them).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "cas/service.h"
+#include "core/base_hash.h"
+#include "net/sim_network.h"
+#include "server/metrics.h"
+#include "server/policy_store.h"
+#include "server/sigstruct_cache.h"
+#include "server/thread_pool.h"
+
+namespace sinclave::server {
+
+struct CasServerConfig {
+  /// Worker threads draining the request queue.
+  std::size_t workers = 4;
+  /// Shards of the decrypted-policy store.
+  std::size_t policy_shards = 16;
+  /// Total pre-minted credentials held across sessions (LRU-evicted).
+  std::size_t sigstruct_cache_capacity = 4096;
+  /// Keep this many credentials pre-minted per hot session (0 = no
+  /// background pre-minting; pools can still be warmed via premint()).
+  std::size_t premint_depth = 0;
+  /// Simulated per-request backend I/O stall (the storage / attestation-
+  /// provider round trips a production CAS pays per request). Always a
+  /// real sleep; benchmarks use it to model the latency-bound regime in
+  /// which a thread pool earns its keep.
+  std::chrono::microseconds backend_io{0};
+};
+
+class CasServer {
+ public:
+  /// `cas` is borrowed and must outlive the server. The constructor
+  /// attaches the sharded policy store to it as its PolicyCache.
+  CasServer(cas::CasService* cas, CasServerConfig config = {});
+  ~CasServer();
+
+  CasServer(const CasServer&) = delete;
+  CasServer& operator=(const CasServer&) = delete;
+
+  /// Serve `address` (secure attestation) and `address + ".instance"`
+  /// (plain starter endpoint) — same wire protocol as CasService::bind,
+  /// but every request is dispatched through the worker pool.
+  void bind(net::SimNetwork& net, const std::string& address);
+  /// Stop accepting new requests (idempotent; also runs on destruction).
+  void unbind();
+
+  /// The pooled fast path; also callable directly (benchmarks).
+  cas::InstanceResponse handle_instance(const cas::InstanceRequest& request);
+
+  /// Warm the SigStruct pool: verify `common_sigstruct` for `session`
+  /// once, then mint `n` credentials into the cache. Returns the number
+  /// actually minted (0 when the session/sigstruct does not check out).
+  std::size_t premint(const std::string& session,
+                      const sgx::SigStruct& common_sigstruct, std::size_t n);
+
+  const CasServerConfig& config() const { return config_; }
+  ServerMetrics& metrics() { return metrics_; }
+  ShardedPolicyStore& policy_store() { return policy_store_; }
+  SigStructCache& sigstruct_cache() { return sigstruct_cache_; }
+  ThreadPool& pool() { return pool_; }
+
+ private:
+  /// A session's verified common SigStruct + the policy facts it was
+  /// checked against (skips repeat RSA verification; feeds background
+  /// refills). Structural comparisons only — no per-request serialization.
+  struct VerifiedCommon {
+    core::BaseHash base_hash;
+    Hash256 expected_signer;
+    sgx::SigStruct sigstruct;
+  };
+
+  cas::InstanceResponse serve_instance(const cas::InstanceRequest& request);
+  /// Checks the request's common SigStruct (memoized). Returns false and
+  /// fills `error` on rejection.
+  bool check_common(const cas::Policy& policy,
+                    const cas::InstanceRequest& request, std::string* error);
+  void maybe_refill(const std::string& session);
+  Bytes dispatch(std::function<Bytes()> work);
+
+  cas::CasService* cas_;
+  CasServerConfig config_;
+  ServerMetrics metrics_;
+  ShardedPolicyStore policy_store_;
+  SigStructCache sigstruct_cache_;
+
+  std::mutex verified_mutex_;
+  std::unordered_map<std::string, VerifiedCommon> verified_common_;
+
+  net::SimNetwork* net_ = nullptr;
+  std::string address_;
+
+  // Last member: destroyed first, so draining workers can still touch the
+  // caches and metrics above.
+  ThreadPool pool_;
+};
+
+}  // namespace sinclave::server

@@ -1,0 +1,133 @@
+#include "server/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace sinclave::server {
+
+namespace {
+
+// Geometric bucket boundaries: bound(i) = 1us * 1.5^i, precomputed in
+// integer nanoseconds so bucket_for stays a simple scan (kBuckets is 40;
+// a linear scan of a 40-entry table is cheaper than the log it replaces).
+constexpr std::array<std::int64_t, LatencyHistogram::kBuckets> kBoundsNs = [] {
+  std::array<std::int64_t, LatencyHistogram::kBuckets> b{};
+  double bound = 1000.0;  // 1 us
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b[i] = static_cast<std::int64_t>(bound);
+    bound *= 1.5;
+  }
+  return b;
+}();
+
+}  // namespace
+
+std::size_t LatencyHistogram::bucket_for(std::chrono::nanoseconds latency) {
+  const std::int64_t ns = latency.count();
+  for (std::size_t i = 0; i < kBuckets; ++i)
+    if (ns <= kBoundsNs[i]) return i;
+  return kBuckets - 1;
+}
+
+std::chrono::nanoseconds LatencyHistogram::bucket_upper_bound(
+    std::size_t index) {
+  return std::chrono::nanoseconds(kBoundsNs[index]);
+}
+
+void LatencyHistogram::record(std::chrono::nanoseconds latency) {
+  buckets_[bucket_for(latency)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_ns_.fetch_add(latency.count(), std::memory_order_relaxed);
+  std::int64_t seen = max_ns_.load(std::memory_order_relaxed);
+  while (latency.count() > seen &&
+         !max_ns_.compare_exchange_weak(seen, latency.count(),
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
+  Snapshot s;
+  std::array<std::uint64_t, kBuckets> counts;
+  for (std::size_t i = 0; i < kBuckets; ++i)
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  for (auto c : counts) s.count += c;
+  s.sum = std::chrono::nanoseconds(sum_ns_.load(std::memory_order_relaxed));
+  s.max = std::chrono::nanoseconds(max_ns_.load(std::memory_order_relaxed));
+  if (s.count == 0) return s;
+
+  const auto quantile = [&](double q) {
+    const std::uint64_t target =
+        static_cast<std::uint64_t>(q * static_cast<double>(s.count - 1)) + 1;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      seen += counts[i];
+      // The bucket's upper bound, clamped: the observed max is a tighter
+      // bound than the top bucket boundary.
+      if (seen >= target) return std::min(bucket_upper_bound(i), s.max);
+    }
+    return s.max;
+  };
+  s.p50 = quantile(0.50);
+  s.p90 = quantile(0.90);
+  s.p99 = quantile(0.99);
+  return s;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < kBuckets; ++i)
+    buckets_[i].fetch_add(other.buckets_[i].load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  sum_ns_.fetch_add(other.sum_ns_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  const std::int64_t other_max = other.max_ns_.load(std::memory_order_relaxed);
+  std::int64_t seen = max_ns_.load(std::memory_order_relaxed);
+  while (other_max > seen &&
+         !max_ns_.compare_exchange_weak(seen, other_max,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void LatencyHistogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_ns_.store(0, std::memory_order_relaxed);
+  max_ns_.store(0, std::memory_order_relaxed);
+}
+
+std::string ServerMetrics::render() const {
+  const auto line = [](const char* name, std::uint64_t v) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%-26s %llu\n", name,
+                  static_cast<unsigned long long>(v));
+    return std::string(buf);
+  };
+  const auto latency_lines = [](const char* name,
+                                const LatencyHistogram& h) {
+    const auto s = h.snapshot();
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%-26s count=%llu mean=%.1fus p50=%.1fus p90=%.1fus "
+                  "p99=%.1fus max=%.1fus\n",
+                  name, static_cast<unsigned long long>(s.count),
+                  s.mean().count() / 1e3, s.p50.count() / 1e3,
+                  s.p90.count() / 1e3, s.p99.count() / 1e3,
+                  s.max.count() / 1e3);
+    return std::string(buf);
+  };
+
+  std::string out;
+  out += line("instance_requests", instance_requests.load());
+  out += line("instance_errors", instance_errors.load());
+  out += line("attest_requests", attest_requests.load());
+  out += line("sigstruct_cache_hits", sigstruct_cache_hits.load());
+  out += line("sigstruct_cache_misses", sigstruct_cache_misses.load());
+  out += line("preminted_credentials", preminted_credentials.load());
+  out += line("tokens_issued", tokens_issued.load());
+  out += latency_lines("instance_latency", instance_latency);
+  out += latency_lines("attest_latency", attest_latency);
+  return out;
+}
+
+}  // namespace sinclave::server

@@ -1,0 +1,77 @@
+// Serving-layer metrics: atomic counters and latency histograms.
+//
+// Everything here is wait-free on the record path (relaxed atomics) so the
+// hot path never serializes on observability. Quantiles are read from a
+// fixed geometric bucket layout — each bucket spans x1.5 in latency, from
+// 1 us to ~6.5 s — which bounds the p50/p99 estimation error to the bucket
+// width, the standard tradeoff of histogram-based tail tracking.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace sinclave::server {
+
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 40;
+
+  void record(std::chrono::nanoseconds latency);
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    std::chrono::nanoseconds sum{0};
+    std::chrono::nanoseconds p50{0};
+    std::chrono::nanoseconds p90{0};
+    std::chrono::nanoseconds p99{0};
+    std::chrono::nanoseconds max{0};
+
+    std::chrono::nanoseconds mean() const {
+      if (count == 0) return std::chrono::nanoseconds{0};
+      return std::chrono::nanoseconds(
+          sum.count() / static_cast<std::int64_t>(count));
+    }
+  };
+
+  /// Consistent-enough snapshot: counts racing with record() may be off by
+  /// the in-flight samples, never torn.
+  Snapshot snapshot() const;
+
+  /// Fold another histogram into this one (merging per-thread recorders).
+  void merge(const LatencyHistogram& other);
+
+  void reset();
+
+ private:
+  static std::size_t bucket_for(std::chrono::nanoseconds latency);
+  static std::chrono::nanoseconds bucket_upper_bound(std::size_t index);
+
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::int64_t> sum_ns_{0};
+  std::atomic<std::int64_t> max_ns_{0};
+};
+
+/// All counters the CAS serving layer exports. Plain atomics — callers
+/// increment directly; text rendering for logs/benches via render().
+/// (Policy-store hit/miss counters live on ShardedPolicyStore itself.)
+struct ServerMetrics {
+  std::atomic<std::uint64_t> instance_requests{0};
+  std::atomic<std::uint64_t> instance_errors{0};
+  std::atomic<std::uint64_t> attest_requests{0};
+  std::atomic<std::uint64_t> sigstruct_cache_hits{0};
+  std::atomic<std::uint64_t> sigstruct_cache_misses{0};
+  std::atomic<std::uint64_t> preminted_credentials{0};
+  std::atomic<std::uint64_t> tokens_issued{0};
+
+  LatencyHistogram instance_latency;
+  LatencyHistogram attest_latency;
+
+  /// Human-readable dump (one "name value" pair per line).
+  std::string render() const;
+};
+
+}  // namespace sinclave::server

@@ -1,0 +1,53 @@
+#include "server/policy_store.h"
+
+namespace sinclave::server {
+
+ShardedPolicyStore::ShardedPolicyStore(std::size_t n_shards) {
+  if (n_shards == 0) n_shards = 1;
+  shards_.reserve(n_shards);
+  for (std::size_t i = 0; i < n_shards; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+}
+
+ShardedPolicyStore::Shard& ShardedPolicyStore::shard_for(
+    const std::string& session_name) const {
+  const std::size_t h = std::hash<std::string>{}(session_name);
+  return *shards_[h % shards_.size()];
+}
+
+std::optional<cas::Policy> ShardedPolicyStore::get(
+    const std::string& session_name) {
+  Shard& shard = shard_for(session_name);
+  std::lock_guard lock(shard.mutex);
+  const auto it = shard.policies.find(session_name);
+  if (it == shard.policies.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void ShardedPolicyStore::put(const std::string& session_name,
+                             const cas::Policy& policy) {
+  Shard& shard = shard_for(session_name);
+  std::lock_guard lock(shard.mutex);
+  shard.policies[session_name] = policy;
+}
+
+void ShardedPolicyStore::erase(const std::string& session_name) {
+  Shard& shard = shard_for(session_name);
+  std::lock_guard lock(shard.mutex);
+  shard.policies.erase(session_name);
+}
+
+std::size_t ShardedPolicyStore::size() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    n += shard->policies.size();
+  }
+  return n;
+}
+
+}  // namespace sinclave::server

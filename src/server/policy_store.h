@@ -1,0 +1,51 @@
+// Sharded in-memory store of decrypted, parsed session policies.
+//
+// The per-request EncryptedVolume decrypt+parse is the "CAS misc" cost that
+// dominates Fig. 7c; this store keeps hot policies decrypted behind
+// per-shard mutexes so concurrent workers only contend when their sessions
+// hash to the same shard. CasService writes through it on install_policy,
+// so a cached policy is never staler than the encrypted DB.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cas/service.h"
+
+namespace sinclave::server {
+
+class ShardedPolicyStore : public cas::PolicyCache {
+ public:
+  explicit ShardedPolicyStore(std::size_t n_shards = 16);
+
+  std::optional<cas::Policy> get(const std::string& session_name) override;
+  void put(const std::string& session_name,
+           const cas::Policy& policy) override;
+  void erase(const std::string& session_name) override;
+
+  std::size_t size() const;
+  std::size_t shard_count() const { return shards_.size(); }
+
+  std::uint64_t hits() const { return hits_.load(); }
+  std::uint64_t misses() const { return misses_.load(); }
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::string, cas::Policy> policies;
+  };
+
+  Shard& shard_for(const std::string& session_name) const;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace sinclave::server

@@ -1,0 +1,128 @@
+#include "server/sigstruct_cache.h"
+
+namespace sinclave::server {
+
+SigStructCache::SigStructCache(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+SigStructCache::SessionPool& SigStructCache::touch(
+    const std::string& session) {
+  auto it = pools_.find(session);
+  if (it == pools_.end()) {
+    it = pools_.emplace(session, std::make_unique<SessionPool>()).first;
+    lru_.push_front(session);
+    it->second->lru_position = lru_.begin();
+  } else {
+    lru_.splice(lru_.begin(), lru_, it->second->lru_position);
+  }
+  return *it->second;
+}
+
+void SigStructCache::evict_over_capacity() {
+  // Walk sessions from least recently used, discarding their oldest
+  // pre-minted credentials. Unissued tokens were never registered, so a
+  // discarded credential is dead weight, not a dangling capability.
+  auto victim = lru_.rbegin();
+  while (total_.load() > capacity_ && victim != lru_.rend()) {
+    SessionPool& pool = *pools_.at(*victim);
+    std::lock_guard pool_lock(pool.mutex);
+    while (total_.load() > capacity_ && !pool.credentials.empty()) {
+      pool.credentials.pop_front();
+      --total_;
+      ++evictions_;
+    }
+    ++victim;
+  }
+}
+
+void SigStructCache::put(const std::string& session,
+                         cas::MintedCredential credential) {
+  std::lock_guard lock(mutex_);
+  SessionPool& pool = touch(session);
+  {
+    std::lock_guard pool_lock(pool.mutex);
+    pool.credentials.push_back(std::move(credential));
+    ++total_;
+  }
+  if (total_.load() > capacity_) evict_over_capacity();
+}
+
+std::optional<cas::MintedCredential> SigStructCache::take(
+    const std::string& session) {
+  return take_if(session, nullptr);
+}
+
+std::optional<cas::MintedCredential> SigStructCache::take_if(
+    const std::string& session,
+    const std::function<bool(const cas::MintedCredential&)>& valid) {
+  SessionPool* pool = nullptr;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = pools_.find(session);
+    if (it != pools_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second->lru_position);
+      pool = it->second.get();
+    }
+  }
+  if (pool != nullptr) {
+    std::lock_guard pool_lock(pool->mutex);
+    while (!pool->credentials.empty()) {
+      cas::MintedCredential cred = std::move(pool->credentials.front());
+      pool->credentials.pop_front();
+      --total_;
+      if (!valid || valid(cred)) {
+        ++hits_;
+        return cred;
+      }
+      ++evictions_;  // stale: discarded, not served
+    }
+  }
+  ++misses_;
+  return std::nullopt;
+}
+
+bool SigStructCache::contains(const std::string& session,
+                              const sgx::Measurement& mr_enclave) const {
+  std::lock_guard lock(mutex_);
+  const auto it = pools_.find(session);
+  if (it == pools_.end()) return false;
+  std::lock_guard pool_lock(it->second->mutex);
+  for (const auto& cred : it->second->credentials)
+    if (cred.mr_enclave == mr_enclave) return true;
+  return false;
+}
+
+std::size_t SigStructCache::flush(const std::string& session) {
+  std::lock_guard lock(mutex_);
+  const auto it = pools_.find(session);
+  if (it == pools_.end()) return 0;
+  std::lock_guard pool_lock(it->second->mutex);
+  const std::size_t n = it->second->credentials.size();
+  it->second->credentials.clear();
+  total_ -= n;
+  evictions_ += n;
+  return n;
+}
+
+std::size_t SigStructCache::pooled(const std::string& session) const {
+  std::lock_guard lock(mutex_);
+  const auto it = pools_.find(session);
+  if (it == pools_.end()) return 0;
+  std::lock_guard pool_lock(it->second->mutex);
+  return it->second->credentials.size();
+}
+
+bool SigStructCache::begin_refill(const std::string& session) {
+  std::lock_guard lock(mutex_);
+  SessionPool& pool = touch(session);
+  bool expected = false;
+  return pool.refilling.compare_exchange_strong(expected, true);
+}
+
+void SigStructCache::end_refill(const std::string& session) {
+  std::lock_guard lock(mutex_);
+  const auto it = pools_.find(session);
+  if (it != pools_.end()) it->second->refilling.store(false);
+}
+
+}  // namespace sinclave::server

@@ -1,0 +1,100 @@
+// LRU cache of pre-minted on-demand SigStructs.
+//
+// Every singleton enclave needs a unique MRENCLAVE, so an on-demand
+// SigStruct can never be *reused* — a "cache hit" here means the ~5 ms
+// RSA-CRT signature was already paid ahead of time: workers pre-mint
+// credentials (token + predicted MRENCLAVE + signed SigStruct) into
+// per-session pools during idle cycles, and a retrieval pops one instead
+// of signing inline. One-time-token and singleton accounting are untouched:
+// a pooled credential's token is registered with CasService only at the
+// moment it is issued, and registered exactly once because the pop under
+// the per-session lock hands each credential to exactly one request.
+//
+// Entries are keyed by (session, predicted MRENCLAVE); capacity is bounded
+// across sessions, and the pool of the least-recently-served session is
+// evicted first (its unsold credentials are simply discarded — their tokens
+// were never registered, so nothing can spend them).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "cas/service.h"
+
+namespace sinclave::server {
+
+class SigStructCache {
+ public:
+  explicit SigStructCache(std::size_t capacity = 4096);
+
+  /// Deposit a pre-minted, not-yet-issued credential for `session`.
+  /// May evict from the least-recently-used session if over capacity.
+  void put(const std::string& session, cas::MintedCredential credential);
+
+  /// Pop a pre-minted credential for `session`. Hit: the caller serves it
+  /// (and must register its token). Miss: nullopt, mint inline.
+  std::optional<cas::MintedCredential> take(const std::string& session);
+
+  /// Like take(), but pops until `valid` accepts a credential. Rejected
+  /// credentials are discarded and counted as evictions, not hits — this
+  /// is how the serving layer drops entries a racing policy update made
+  /// stale. `valid` runs under the per-session lock; keep it cheap.
+  std::optional<cas::MintedCredential> take_if(
+      const std::string& session,
+      const std::function<bool(const cas::MintedCredential&)>& valid);
+
+  /// Whether a credential with this predicted MRENCLAVE is pooled.
+  bool contains(const std::string& session,
+                const sgx::Measurement& mr_enclave) const;
+
+  /// Discard every pooled credential of one session (policy update made
+  /// them stale). Returns the number discarded.
+  std::size_t flush(const std::string& session);
+
+  /// Credentials pooled for one session / across all sessions.
+  std::size_t pooled(const std::string& session) const;
+  std::size_t size() const { return total_.load(); }
+  std::size_t capacity() const { return capacity_; }
+
+  std::uint64_t hits() const { return hits_.load(); }
+  std::uint64_t misses() const { return misses_.load(); }
+  std::uint64_t evictions() const { return evictions_.load(); }
+
+  /// Begin-refill guard: true at most once per session until end_refill.
+  /// Lets exactly one worker top up a session's pool at a time.
+  bool begin_refill(const std::string& session);
+  void end_refill(const std::string& session);
+
+ private:
+  struct SessionPool {
+    mutable std::mutex mutex;
+    std::deque<cas::MintedCredential> credentials;
+    std::atomic<bool> refilling{false};
+    /// Position in the LRU list (most recently used at the front).
+    std::list<std::string>::iterator lru_position;
+  };
+
+  /// Find-or-create the session pool and mark it most recently used.
+  /// Caller must hold mutex_.
+  SessionPool& touch(const std::string& session);
+  void evict_over_capacity();  // caller must hold mutex_
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;  // guards pools_ map + lru_ list
+  std::unordered_map<std::string, std::unique_ptr<SessionPool>> pools_;
+  std::list<std::string> lru_;
+  std::atomic<std::size_t> total_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+}  // namespace sinclave::server

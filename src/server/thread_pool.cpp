@@ -1,0 +1,70 @@
+#include "server/thread_pool.h"
+
+#include "common/error.h"
+
+namespace sinclave::server {
+
+ThreadPool::ThreadPool(std::size_t n_workers) {
+  if (n_workers == 0) n_workers = 1;
+  workers_.reserve(n_workers);
+  for (std::size_t i = 0; i < n_workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(Job job) {
+  if (!job) throw Error("thread pool: null job");
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) throw Error("thread pool: shutting down");
+    queue_.push_back(std::move(job));
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::drain() {
+  std::unique_lock lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+std::size_t ThreadPool::queued() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Keep draining queued work during shutdown so submitted jobs (and
+      // the futures blocked on them) always complete.
+      if (queue_.empty()) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    try {
+      job();
+    } catch (...) {
+      // A job must not take down the server; errors are reported through
+      // each job's own response channel.
+    }
+    {
+      std::lock_guard lock(mutex_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace sinclave::server

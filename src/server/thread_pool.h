@@ -1,0 +1,55 @@
+// Fixed-size worker thread pool for the CAS serving layer.
+//
+// Deliberately minimal: a bounded set of workers draining an unbounded FIFO
+// of type-erased jobs. Request/response plumbing (futures) lives in the
+// caller (cas_server.cpp) — the pool itself only knows "run this".
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sinclave::server {
+
+class ThreadPool {
+ public:
+  using Job = std::function<void()>;
+
+  /// Spawns `n_workers` threads (at least 1).
+  explicit ThreadPool(std::size_t n_workers);
+
+  /// Drains the queue, then joins all workers. Jobs submitted during
+  /// destruction are rejected.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a job. Throws Error after shutdown began. A job must not
+  /// block on the completion of a job it submits itself (the classic pool
+  /// deadlock) — submit-and-forget is fine.
+  void submit(Job job);
+
+  /// Block until the queue is empty and every worker is idle.
+  void drain();
+
+  std::size_t size() const { return workers_.size(); }
+  std::size_t queued() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;       // workers wait for jobs
+  std::condition_variable idle_;       // drain() waits for quiescence
+  std::deque<Job> queue_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace sinclave::server

@@ -1,0 +1,72 @@
+#include "workload/load_gen.h"
+
+#include <mutex>
+#include <thread>
+
+#include "cas/protocol.h"
+#include "common/error.h"
+
+namespace sinclave::workload {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}  // namespace
+
+LoadGenResult run_instance_load(net::SimNetwork& net,
+                                const sgx::SigStruct& common_sigstruct,
+                                const LoadGenConfig& config) {
+  if (config.sessions.empty()) throw Error("load gen: no sessions");
+
+  LoadGenResult result;
+  server::LatencyHistogram histogram;
+  std::mutex result_mutex;  // guards ok/failed/first_error/tokens
+
+  const auto client = [&](std::size_t client_index) {
+    std::uint64_t ok = 0, failed = 0;
+    std::string first_error;
+    std::vector<std::string> tokens;
+    tokens.reserve(config.requests_per_client);
+    try {
+      auto connection = net.connect(config.address + ".instance");
+      for (std::size_t i = 0; i < config.requests_per_client; ++i) {
+        cas::InstanceRequest request;
+        request.session_name =
+            config.sessions[(client_index + i) % config.sessions.size()];
+        request.common_sigstruct = common_sigstruct;
+
+        const auto start = Clock::now();
+        const Bytes raw = connection.call(request.serialize());
+        histogram.record(Clock::now() - start);
+
+        const auto resp = cas::InstanceResponse::deserialize(raw);
+        if (resp.ok) {
+          ++ok;
+          tokens.push_back(resp.token.hex());
+        } else {
+          ++failed;
+          if (first_error.empty()) first_error = resp.error;
+        }
+      }
+    } catch (const Error& e) {
+      ++failed;
+      if (first_error.empty()) first_error = e.what();
+    }
+    std::lock_guard lock(result_mutex);
+    result.ok += ok;
+    result.failed += failed;
+    if (result.first_error.empty()) result.first_error = first_error;
+    result.tokens.insert(result.tokens.end(), tokens.begin(), tokens.end());
+  };
+
+  const auto start = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(config.clients);
+  for (std::size_t c = 0; c < config.clients; ++c)
+    threads.emplace_back(client, c);
+  for (auto& t : threads) t.join();
+  result.wall = Clock::now() - start;
+  result.latency = histogram.snapshot();
+  return result;
+}
+
+}  // namespace sinclave::workload

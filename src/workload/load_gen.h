@@ -1,0 +1,57 @@
+// Multi-client load generator for the CAS serving layer.
+//
+// Models a fleet of starters racing to bring up singleton enclaves: N
+// client threads each open a connection to the instance endpoint and issue
+// back-to-back retrieval requests (round-robin across the configured
+// sessions). Latencies land in a shared wait-free histogram; the result
+// carries aggregate requests/sec and the tail percentiles the serving
+// layer is judged on.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/sim_network.h"
+#include "server/metrics.h"
+#include "sgx/sigstruct.h"
+
+namespace sinclave::workload {
+
+struct LoadGenConfig {
+  /// Concurrent client threads.
+  std::size_t clients = 8;
+  /// Requests each client issues (total = clients * requests_per_client).
+  std::size_t requests_per_client = 100;
+  /// Base service address; clients call `address + ".instance"`.
+  std::string address;
+  /// Session names, assigned to requests round-robin.
+  std::vector<std::string> sessions;
+};
+
+struct LoadGenResult {
+  std::uint64_t ok = 0;
+  std::uint64_t failed = 0;
+  /// First error string observed (diagnosis aid when failed > 0).
+  std::string first_error;
+  std::chrono::nanoseconds wall{0};
+  server::LatencyHistogram::Snapshot latency;
+  /// Tokens returned by successful retrievals (tests assert uniqueness);
+  /// hex-encoded.
+  std::vector<std::string> tokens;
+
+  double requests_per_sec() const {
+    if (wall.count() == 0) return 0.0;
+    return static_cast<double>(ok + failed) * 1e9 /
+           static_cast<double>(wall.count());
+  }
+};
+
+/// Run the load: every request sends `common_sigstruct` for its session and
+/// expects a singleton credential back.
+LoadGenResult run_instance_load(net::SimNetwork& net,
+                                const sgx::SigStruct& common_sigstruct,
+                                const LoadGenConfig& config);
+
+}  // namespace sinclave::workload

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Run every benchmark and collect output under bench-results/ — one file
+# per bench plus a combined log. Used to track the performance trajectory
+# across PRs.
+#
+# Usage: tools/run_benches.sh [build-dir] [out-dir]
+set -u
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-bench-results}"
+
+if [ ! -d "$BUILD_DIR/bench" ]; then
+  echo "error: $BUILD_DIR/bench not found — build first:" >&2
+  echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+
+mkdir -p "$OUT_DIR"
+combined="$OUT_DIR/all.txt"
+: > "$combined"
+
+status=0
+for bench in "$BUILD_DIR"/bench/*; do
+  [ -x "$bench" ] || continue
+  name="$(basename "$bench")"
+  echo "=== $name ==="
+  out="$OUT_DIR/$name.txt"
+  if "$bench" > "$out" 2>&1; then
+    echo "    ok ($(wc -l < "$out") lines) -> $out"
+  else
+    echo "    FAILED (see $out)"
+    status=1
+  fi
+  { echo "=== $name ==="; cat "$out"; echo; } >> "$combined"
+done
+
+echo
+echo "combined output: $combined"
+exit "$status"
