@@ -1,74 +1,218 @@
 #include "net/sim_network.h"
 
 #include <thread>
+#include <utility>
 
 #include "common/error.h"
 
 namespace sinclave::net {
 
+// All mutable simulator state lives behind one shared Core so that
+// Connections and Completions can outlive the SimNetwork object (and each
+// other) without ever touching freed memory: they fail deterministically
+// instead.
+struct SimNetwork::Connection::Core {
+  struct Listener {
+    AsyncHandler handler;
+    std::size_t in_flight = 0;  // guarded by Core::mutex
+  };
+
+  explicit Core(LatencyModel latency) : latency(latency) {}
+
+  void account(std::chrono::microseconds d) {
+    virtual_time_ns +=
+        std::chrono::duration_cast<std::chrono::nanoseconds>(d).count();
+  }
+
+  void spend(std::chrono::microseconds d) {
+    account(d);
+    if (latency.real_sleep && d.count() > 0) std::this_thread::sleep_for(d);
+  }
+
+  const LatencyModel latency;
+  mutable std::mutex mutex;  // guards listeners + in_flight + destroyed
+  std::condition_variable drained;
+  // Listeners are held by shared_ptr so a request dispatched concurrently
+  // with shutdown() keeps the closure alive until it completes.
+  std::map<std::string, std::shared_ptr<Listener>> listeners;
+  bool destroyed = false;
+  std::atomic<std::int64_t> virtual_time_ns{0};
+  std::atomic<std::uint64_t> round_trips{0};
+};
+
+// One request in flight. The completion gate (`completed`) makes delivery
+// exactly-once across Completion copies; the destructor turns an
+// abandoned request into a delivered error so callers can never be
+// stranded waiting on a response that no one owes anymore.
+struct SimNetwork::Completion::State {
+  std::shared_ptr<Connection::Core> core;
+  std::shared_ptr<Connection::Core::Listener> listener;
+  Callback callback;
+  std::string address;
+  std::atomic<bool> completed{false};
+
+  void finish(Bytes response, std::exception_ptr error) {
+    if (completed.exchange(true)) return;
+    {
+      // Decrement before invoking the client callback: shutdown() promises
+      // only that the *handler side* is done with the request. A client
+      // callback may therefore still be running when shutdown returns —
+      // and may itself call shutdown without deadlocking on its own count.
+      std::lock_guard lock(core->mutex);
+      if (--listener->in_flight == 0) core->drained.notify_all();
+    }
+    callback(std::move(response), error);
+  }
+
+  ~State() {
+    if (!completed.load())
+      finish({}, std::make_exception_ptr(
+                     Error("net: request dropped: " + address)));
+  }
+};
+
+void SimNetwork::Completion::operator()(Bytes response) const {
+  if (!state_) throw Error("net: empty completion");
+  state_->finish(std::move(response), nullptr);
+}
+
+void SimNetwork::Completion::fail(std::exception_ptr error) const {
+  if (!state_) throw Error("net: empty completion");
+  state_->finish({}, error ? error
+                           : std::make_exception_ptr(
+                                 Error("net: request failed")));
+}
+
+SimNetwork::SimNetwork(LatencyModel latency)
+    : latency_(latency),
+      core_(std::make_shared<Connection::Core>(latency)) {}
+
+SimNetwork::~SimNetwork() {
+  std::map<std::string, std::shared_ptr<Connection::Core::Listener>> doomed;
+  {
+    std::lock_guard lock(core_->mutex);
+    core_->destroyed = true;
+    doomed.swap(core_->listeners);
+  }
+  // Listener closures die here (outside the lock); requests already in
+  // flight hold their own shared_ptr and complete normally.
+}
+
 void SimNetwork::listen(const std::string& address, Handler handler) {
   if (!handler) throw Error("net: null handler");
-  auto listener = std::make_shared<Listener>();
+  listen_async(address,
+               [handler = std::move(handler)](ByteView request,
+                                              Completion done) {
+                 done(handler(request));
+               });
+}
+
+void SimNetwork::listen_async(const std::string& address,
+                              AsyncHandler handler) {
+  if (!handler) throw Error("net: null handler");
+  auto listener = std::make_shared<Connection::Core::Listener>();
   listener->handler = std::move(handler);
-  std::lock_guard lock(mutex_);
-  const auto [it, inserted] = listeners_.emplace(address, std::move(listener));
+  std::lock_guard lock(core_->mutex);
+  const auto [it, inserted] =
+      core_->listeners.emplace(address, std::move(listener));
   (void)it;
   if (!inserted) throw Error("net: address already in use: " + address);
 }
 
 void SimNetwork::shutdown(const std::string& address) {
-  std::unique_lock lock(mutex_);
-  const auto it = listeners_.find(address);
-  if (it == listeners_.end()) return;
-  std::shared_ptr<Listener> listener = it->second;
-  listeners_.erase(it);
-  // Block until every call that already holds this listener returns, so
-  // the service behind it may safely free its state afterwards.
-  drained_.wait(lock, [&] { return listener->in_flight == 0; });
+  std::unique_lock lock(core_->mutex);
+  const auto it = core_->listeners.find(address);
+  if (it == core_->listeners.end()) return;
+  std::shared_ptr<Connection::Core::Listener> listener = it->second;
+  core_->listeners.erase(it);
+  // Block until every request that already holds this listener has been
+  // completed, so the service behind it may safely free its state.
+  core_->drained.wait(lock, [&] { return listener->in_flight == 0; });
 }
 
 bool SimNetwork::has_listener(const std::string& address) const {
-  std::lock_guard lock(mutex_);
-  return listeners_.contains(address);
-}
-
-void SimNetwork::spend(std::chrono::microseconds d) {
-  virtual_time_ns_ +=
-      std::chrono::duration_cast<std::chrono::nanoseconds>(d).count();
-  if (latency_.real_sleep && d.count() > 0) std::this_thread::sleep_for(d);
+  std::lock_guard lock(core_->mutex);
+  return core_->listeners.contains(address);
 }
 
 SimNetwork::Connection SimNetwork::connect(const std::string& address) {
   if (!has_listener(address))
     throw Error("net: connection refused: " + address);
-  spend(latency_.connect);
-  return Connection(this, address);
+  core_->spend(latency_.connect);
+  return Connection(core_, address);
 }
 
-Bytes SimNetwork::Connection::call(ByteView request) {
-  std::shared_ptr<Listener> listener;
+std::chrono::nanoseconds SimNetwork::virtual_time() const {
+  return std::chrono::nanoseconds(core_->virtual_time_ns.load());
+}
+
+std::uint64_t SimNetwork::round_trips() const {
+  return core_->round_trips.load();
+}
+
+void SimNetwork::Connection::async_call(ByteView request, Callback callback) {
+  dispatch(request, std::move(callback), /*sleep_latency=*/false);
+}
+
+void SimNetwork::Connection::dispatch(ByteView request, Callback callback,
+                                      bool sleep_latency) {
+  if (!callback) throw Error("net: null callback");
+  std::shared_ptr<Core::Listener> listener;
   {
-    std::lock_guard lock(net_->mutex_);
-    const auto it = net_->listeners_.find(address_);
-    if (it == net_->listeners_.end())
+    std::lock_guard lock(core_->mutex);
+    if (core_->destroyed)
+      throw Error("net: network destroyed: " + address_);
+    const auto it = core_->listeners.find(address_);
+    if (it == core_->listeners.end())
       throw Error("net: peer went away: " + address_);
     listener = it->second;
     ++listener->in_flight;  // visible to shutdown() under the same lock
   }
-  // Latency (which may really sleep) and the handler itself run outside the
-  // lock so concurrent calls to different — or the same — services overlap.
-  net_->spend(net_->latency_.round_trip);
-  ++net_->round_trips_;
+  // Round-trip latency is always accounted in virtual time; only the
+  // synchronous form really sleeps for it on the caller's thread —
+  // async_call must return immediately (issuers model wire/backend delay
+  // with server-side timers instead). The handler runs outside the lock
+  // so concurrent requests to different — or the same — services overlap.
+  if (sleep_latency)
+    core_->spend(core_->latency.round_trip);
+  else
+    core_->account(core_->latency.round_trip);
+  core_->round_trips.fetch_add(1);
+
+  auto state = std::make_shared<Completion::State>();
+  state->core = core_;
+  state->listener = listener;
+  state->callback = std::move(callback);
+  state->address = address_;
   try {
-    Bytes response = listener->handler(request);
-    std::lock_guard lock(net_->mutex_);
-    if (--listener->in_flight == 0) net_->drained_.notify_all();
-    return response;
+    listener->handler(request, Completion(state));
   } catch (...) {
-    std::lock_guard lock(net_->mutex_);
-    if (--listener->in_flight == 0) net_->drained_.notify_all();
-    throw;
+    // A synchronous handler throw is a failed request, delivered through
+    // the same exactly-once gate (no-op if the handler completed first).
+    state->finish({}, std::current_exception());
   }
+}
+
+Bytes SimNetwork::Connection::call(ByteView request) {
+  struct Waiter {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    Bytes response;
+    std::exception_ptr error;
+  };
+  auto waiter = std::make_shared<Waiter>();
+  dispatch(request, [waiter](Bytes response, std::exception_ptr error) {
+    std::lock_guard lock(waiter->mutex);
+    waiter->response = std::move(response);
+    waiter->error = error;
+    waiter->done = true;
+    waiter->cv.notify_all();
+  }, /*sleep_latency=*/true);
+  std::unique_lock lock(waiter->mutex);
+  waiter->cv.wait(lock, [&] { return waiter->done; });
+  if (waiter->error) std::rethrow_exception(waiter->error);
+  return std::move(waiter->response);
 }
 
 }  // namespace sinclave::net

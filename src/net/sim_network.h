@@ -1,17 +1,34 @@
 // In-process network simulator.
 //
 // Services register request handlers under string addresses; clients open
-// connections and perform synchronous request/response calls. A configurable
-// latency model either really sleeps (wall-clock benchmarks, e.g. the
+// connections and perform request/response calls. A configurable latency
+// model either really sleeps (wall-clock benchmarks, e.g. the
 // connection-setup share of Fig. 7c) or merely accounts virtual time
 // (fast deterministic tests).
 //
+// Two serving models share one wire:
+//
+//   * listen(address, Handler)            — synchronous: the handler returns
+//     the response bytes and the round trip is done.
+//   * listen_async(address, AsyncHandler) — completion-driven: the handler
+//     receives a Completion token and may finish the request later, from
+//     any thread (a worker pool, a timer wheel). This is what lets a
+//     frontend hold hundreds of requests in flight without parking one
+//     thread per request. The synchronous forms (listen / Connection::call)
+//     are thin wrappers over the async core.
+//
 // Thread-safe: many client threads may call concurrently, and handlers may
-// be registered or torn down while calls are in flight. The listener map is
-// mutex-guarded; handlers execute *outside* the lock (a handler may itself
-// use the network). shutdown() blocks until every in-flight call to that
-// address has returned, so after it returns the handler's state may be
-// freed — consequently a handler must never shut down its own address.
+// be registered or torn down while calls are in flight. Handlers execute
+// outside the simulator's locks (a handler may itself use the network).
+// shutdown() blocks until every in-flight request to that address has been
+// *completed*, so after it returns the handler's state may be freed —
+// consequently a handler (or anything completing on its behalf) must never
+// shut down its own address.
+//
+// Lifetime: a Connection holds the network's innards via shared_ptr, so
+// using one after shutdown() of its peer — or after the SimNetwork object
+// itself was destroyed — deterministically throws Error instead of touching
+// freed state.
 #pragma once
 
 #include <atomic>
@@ -41,28 +58,74 @@ struct LatencyModel {
 class SimNetwork {
  public:
   using Handler = std::function<Bytes(ByteView request)>;
+  /// Client-side completion: exactly one of (response, error) is
+  /// meaningful; error != nullptr means the request failed in transit
+  /// (handler threw, or the service dropped it during shutdown).
+  using Callback = std::function<void(Bytes response, std::exception_ptr error)>;
 
-  explicit SimNetwork(LatencyModel latency = {}) : latency_(latency) {}
+  /// Handler-side completion token. Copyable (so it can travel through
+  /// std::function job queues); all copies complete the same request, and
+  /// only the first completion wins. If every copy is destroyed without
+  /// completing, the request fails with Error — a dropped request never
+  /// strands its caller.
+  class Completion {
+   public:
+    Completion() = default;
+    /// Deliver the response.
+    void operator()(Bytes response) const;
+    /// Fail the request (the client's callback receives the exception).
+    void fail(std::exception_ptr error) const;
+    explicit operator bool() const { return state_ != nullptr; }
 
-  /// Register a service. Throws Error if the address is taken.
+   private:
+    friend class SimNetwork;
+    struct State;
+    explicit Completion(std::shared_ptr<State> state)
+        : state_(std::move(state)) {}
+    std::shared_ptr<State> state_;
+  };
+
+  using AsyncHandler = std::function<void(ByteView request, Completion done)>;
+
+  explicit SimNetwork(LatencyModel latency = {});
+  /// Marks the network destroyed (subsequent Connection use throws Error)
+  /// and releases listener closures. Does NOT wait for in-flight requests
+  /// — shut addresses down explicitly if handler state must outlive them.
+  ~SimNetwork();
+
+  SimNetwork(const SimNetwork&) = delete;
+  SimNetwork& operator=(const SimNetwork&) = delete;
+
+  /// Register a synchronous service. Throws Error if the address is taken.
   void listen(const std::string& address, Handler handler);
-  /// Deregister and wait for in-flight calls to the address to drain.
+  /// Register a completion-driven service. Throws Error if taken.
+  void listen_async(const std::string& address, AsyncHandler handler);
+  /// Deregister and wait for in-flight requests to the address to complete.
   void shutdown(const std::string& address);
   bool has_listener(const std::string& address) const;
 
   /// A client-side connection handle. Cheap to copy; performing a call on
-  /// a connection whose listener went away throws Error.
+  /// a connection whose listener (or whole network) went away throws Error.
   class Connection {
    public:
-    /// One synchronous round trip.
+    /// One synchronous round trip (async_call + wait).
     Bytes call(ByteView request);
+    /// Issue the request and return immediately; `callback` runs exactly
+    /// once, on whatever thread completes the request. Round-trip latency
+    /// is accounted in virtual time but never slept on the caller — async
+    /// issuers model delay with server-side timers. Throws Error only
+    /// when the request cannot be dispatched at all (no listener /
+    /// destroyed network) — in-flight failures go through the callback.
+    void async_call(ByteView request, Callback callback);
     const std::string& address() const { return address_; }
 
    private:
     friend class SimNetwork;
-    Connection(SimNetwork* net, std::string address)
-        : net_(net), address_(std::move(address)) {}
-    SimNetwork* net_;
+    struct Core;
+    Connection(std::shared_ptr<Core> core, std::string address)
+        : core_(std::move(core)), address_(std::move(address)) {}
+    void dispatch(ByteView request, Callback callback, bool sleep_latency);
+    std::shared_ptr<Core> core_;
     std::string address_;
   };
 
@@ -71,30 +134,15 @@ class SimNetwork {
   Connection connect(const std::string& address);
 
   /// Total virtual network time accounted so far (both modes).
-  std::chrono::nanoseconds virtual_time() const {
-    return std::chrono::nanoseconds(virtual_time_ns_.load());
-  }
+  std::chrono::nanoseconds virtual_time() const;
   /// Total round trips performed (tests assert protocol message counts).
-  std::uint64_t round_trips() const { return round_trips_.load(); }
+  std::uint64_t round_trips() const;
 
   const LatencyModel& latency() const { return latency_; }
 
  private:
-  void spend(std::chrono::microseconds d);
-
-  struct Listener {
-    Handler handler;
-    std::size_t in_flight = 0;  // guarded by SimNetwork::mutex_
-  };
-
   LatencyModel latency_;
-  mutable std::mutex mutex_;  // guards listeners_ + each Listener::in_flight
-  std::condition_variable drained_;
-  // Listeners are held by shared_ptr so a call dispatched concurrently with
-  // shutdown() keeps the closure alive for the duration of the call.
-  std::map<std::string, std::shared_ptr<Listener>> listeners_;
-  std::atomic<std::int64_t> virtual_time_ns_{0};
-  std::atomic<std::uint64_t> round_trips_{0};
+  std::shared_ptr<Connection::Core> core_;
 };
 
 }  // namespace sinclave::net

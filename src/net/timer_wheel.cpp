@@ -1,0 +1,67 @@
+#include "net/timer_wheel.h"
+
+#include "common/error.h"
+
+namespace sinclave::net {
+
+TimerWheel::TimerWheel() : thread_([this] { run(); }) {}
+
+TimerWheel::~TimerWheel() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  thread_.join();
+}
+
+void TimerWheel::schedule_after(std::chrono::nanoseconds delay, Callback fn) {
+  if (!fn) throw Error("timer: null callback");
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) throw Error("timer: shutting down");
+    heap_.push(Entry{Clock::now() + delay, next_seq_++, std::move(fn)});
+  }
+  wake_.notify_one();
+}
+
+std::size_t TimerWheel::pending() const {
+  std::lock_guard lock(mutex_);
+  return heap_.size();
+}
+
+void TimerWheel::run() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    if (heap_.empty()) {
+      if (stopping_) return;
+      wake_.wait(lock, [this] { return stopping_ || !heap_.empty(); });
+      continue;
+    }
+    const Clock::time_point deadline = heap_.top().deadline;
+    // Stopping fires everything immediately; otherwise sleep until the
+    // earliest deadline (re-checking when a new earlier timer arrives).
+    if (!stopping_ && Clock::now() < deadline) {
+      wake_.wait_until(lock, deadline);
+      continue;
+    }
+    // priority_queue::top() is const; the callback has to be moved out via
+    // const_cast, which is safe because pop() follows before anyone else
+    // can observe the entry.
+    Callback fn = std::move(const_cast<Entry&>(heap_.top()).fn);
+    heap_.pop();
+    lock.unlock();
+    // Counted before running so an observer woken *by* the callback
+    // already sees it included.
+    fired_.fetch_add(1, std::memory_order_relaxed);
+    try {
+      fn();
+    } catch (...) {
+      // A timer callback must not take down the wheel; completions report
+      // errors through their own response channels.
+    }
+    lock.lock();
+  }
+}
+
+}  // namespace sinclave::net

@@ -1,8 +1,8 @@
 #include "server/cas_server.h"
 
-#include <future>
 #include <memory>
 #include <thread>
+#include <utility>
 
 #include "core/predictor.h"
 
@@ -20,6 +20,18 @@ CasServer::CasServer(cas::CasService* cas, CasServerConfig config)
       pool_(config.workers) {
   if (cas_ == nullptr) throw Error("server: cas service required");
   cas_->set_policy_cache(&policy_store_);
+  if (config_.premint_depth > 0 || config_.refill_watermark > 0) {
+    // Refills are driven by pool pressure: the cache tells us when a
+    // session dropped below the watermark; nobody probes depth per
+    // request anymore.
+    const std::size_t watermark = config_.refill_watermark != 0
+                                      ? config_.refill_watermark
+                                      : config_.premint_depth;
+    sigstruct_cache_.set_low_watermark(
+        watermark, [this](const std::string& session) {
+          schedule_refill(session);
+        });
+  }
 }
 
 CasServer::~CasServer() {
@@ -28,33 +40,23 @@ CasServer::~CasServer() {
   // keep a pointer into it. Still-draining refill jobs fall back to the
   // encrypted DB, which stays correct.
   cas_->set_policy_cache(nullptr);
-  // ThreadPool's destructor drains in-flight and queued jobs before the
-  // caches above go away.
+  // ThreadPool's destructor drains in-flight and queued jobs (which may
+  // park stalls on timer_; the wheel outlives the pool) before the caches
+  // above go away.
 }
 
 void CasServer::bind(net::SimNetwork& net, const std::string& address) {
-  net.listen(address + ".instance", [this](ByteView raw) {
-    return dispatch([this, req = Bytes(raw.begin(), raw.end())] {
-      cas::InstanceResponse resp;
-      try {
-        resp = handle_instance(cas::InstanceRequest::deserialize(req));
-      } catch (const ParseError& e) {
-        resp.ok = false;
-        resp.error = e.what();
-      }
-      return resp.serialize();
-    });
-  });
+  net.listen_async(address + ".instance",
+                   [this](ByteView raw, net::SimNetwork::Completion done) {
+                     accept_instance(Bytes(raw.begin(), raw.end()),
+                                     std::move(done));
+                   });
   try {
-    net.listen(address, [this](ByteView raw) {
-      return dispatch([this, req = Bytes(raw.begin(), raw.end())] {
-        const auto start = Clock::now();
-        ++metrics_.attest_requests;
-        Bytes out = cas_->handle_secure(req);
-        metrics_.attest_latency.record(Clock::now() - start);
-        return out;
-      });
-    });
+    net.listen_async(address,
+                     [this](ByteView raw, net::SimNetwork::Completion done) {
+                       accept_attest(Bytes(raw.begin(), raw.end()),
+                                     std::move(done));
+                     });
   } catch (...) {
     // Half-bound server: tear down the instance listener (its handler
     // captures `this`) before reporting the failure.
@@ -67,20 +69,110 @@ void CasServer::bind(net::SimNetwork& net, const std::string& address) {
 
 void CasServer::unbind() {
   if (net_ == nullptr) return;
+  // shutdown() waits for every accepted request to *complete* — including
+  // ones parked on the timer wheel — so after this returns no state
+  // machine references the listeners.
   net_->shutdown(address_ + ".instance");
   net_->shutdown(address_);
   net_ = nullptr;
 }
 
-Bytes CasServer::dispatch(std::function<Bytes()> work) {
-  // The network handler runs on the client's thread; park it on a future
-  // until a worker picks the job up. Workers never wait on other jobs, so
-  // the pool cannot deadlock on itself.
-  auto task =
-      std::make_shared<std::packaged_task<Bytes()>>(std::move(work));
-  std::future<Bytes> result = task->get_future();
-  pool_.submit([task] { (*task)(); });
-  return result.get();
+void CasServer::respond(Clock::time_point accepted,
+                        LatencyHistogram* histogram, Bytes response,
+                        const net::SimNetwork::Completion& done) {
+  // Metrics land before the completion fires so a caller that observed
+  // the response always observes its own request in the counters.
+  histogram->record(Clock::now() - accepted);
+  metrics_.leave_in_flight();
+  done(std::move(response));
+}
+
+void CasServer::accept_instance(Bytes raw, net::SimNetwork::Completion done) {
+  // Stage 1 — accept, on the client's thread: account and enqueue. The
+  // client thread is never borrowed for serving work.
+  const auto accepted = Clock::now();
+  ++metrics_.instance_requests;
+  metrics_.enter_in_flight();
+  auto job = [this, raw = std::move(raw), done, accepted]() mutable {
+    // Stage 2 — serve, on a worker: parse + policy + verify + credential.
+    Bytes out;
+    try {
+      cas::InstanceResponse resp;
+      try {
+        resp = serve_instance(cas::InstanceRequest::deserialize(raw));
+      } catch (const ParseError& e) {
+        resp.ok = false;
+        resp.error = e.what();
+      }
+      if (!resp.ok) ++metrics_.instance_errors;
+      out = resp.serialize();
+    } catch (...) {
+      metrics_.leave_in_flight();
+      done.fail(std::current_exception());
+      return;
+    }
+    // Stage 3 — stall: the backend round trip parks on the timer wheel,
+    // freeing this worker; stage 4 (respond) runs when it expires.
+    // Respond is deliberately inline on the timer thread: it is
+    // non-blocking (histogram + gauge + completion), and a hop back
+    // through the pool would add queueing just to deliver bytes. If
+    // client callbacks ever grow heavy, re-enqueue here instead.
+    if (config_.backend_io.count() > 0) {
+      // The payload rides in a shared_ptr so the fallback below can still
+      // deliver it: the lambda argument is constructed (consuming the
+      // capture) before schedule_after can throw, so a plain move would
+      // leave the catch path holding a moved-from response.
+      auto payload = std::make_shared<Bytes>(std::move(out));
+      try {
+        timer_.schedule_after(
+            config_.backend_io, [this, payload, done, accepted]() {
+              respond(accepted, &metrics_.instance_latency,
+                      std::move(*payload), done);
+            });
+        return;
+      } catch (const Error&) {
+        // Wheel shutting down: respond inline rather than dropping.
+        respond(accepted, &metrics_.instance_latency, std::move(*payload),
+                done);
+        return;
+      }
+    }
+    respond(accepted, &metrics_.instance_latency, std::move(out), done);
+  };
+  try {
+    pool_.submit(std::move(job));
+  } catch (const Error&) {
+    // Pool shutting down; the dropped Completion would deliver an error
+    // anyway, but do it crisply and keep the gauge honest.
+    metrics_.leave_in_flight();
+    done.fail(std::make_exception_ptr(Error("server: shutting down")));
+  }
+}
+
+void CasServer::accept_attest(Bytes raw, net::SimNetwork::Completion done) {
+  // Counted and clocked at accept, exactly like the instance endpoint, so
+  // the two histograms are comparable (both include queue wait) and a
+  // request rejected at submit is still a counted request.
+  const auto accepted = Clock::now();
+  ++metrics_.attest_requests;
+  metrics_.enter_in_flight();
+  auto job = [this, raw = std::move(raw), done, accepted]() mutable {
+    Bytes out;
+    try {
+      out = cas_->handle_secure(raw);
+    } catch (...) {
+      metrics_.leave_in_flight();
+      done.fail(std::current_exception());
+      return;
+    }
+    respond(accepted, &metrics_.attest_latency, std::move(out), done);
+  };
+  try {
+    pool_.submit(std::move(job));
+  } catch (const Error&) {
+    metrics_.leave_in_flight();
+    done.fail(std::make_exception_ptr(Error("server: shutting down")));
+  }
 }
 
 cas::InstanceResponse CasServer::handle_instance(
@@ -88,6 +180,8 @@ cas::InstanceResponse CasServer::handle_instance(
   const auto start = Clock::now();
   ++metrics_.instance_requests;
 
+  // Direct synchronous callers pay the stall inline; only the network
+  // path gets the event-driven deferral.
   if (config_.backend_io.count() > 0)
     std::this_thread::sleep_for(config_.backend_io);
 
@@ -95,7 +189,6 @@ cas::InstanceResponse CasServer::handle_instance(
 
   if (!resp.ok) ++metrics_.instance_errors;
   metrics_.instance_latency.record(Clock::now() - start);
-  if (resp.ok) maybe_refill(request.session_name);
   return resp;
 }
 
@@ -214,12 +307,13 @@ cas::InstanceResponse CasServer::serve_instance(
   return resp;
 }
 
-void CasServer::maybe_refill(const std::string& session) {
-  if (config_.premint_depth == 0) return;
-  if (sigstruct_cache_.pooled(session) >= config_.premint_depth) return;
+void CasServer::schedule_refill(const std::string& session) {
+  const std::size_t target = refill_target();
+  if (target == 0) return;
   if (!sigstruct_cache_.begin_refill(session)) return;  // refill in flight
+  ++metrics_.refills_scheduled;
 
-  const auto refill = [this, session] {
+  const auto refill = [this, session, target] {
     try {
       const auto policy = cas_->get_policy(session);
       std::optional<VerifiedCommon> common;
@@ -232,19 +326,22 @@ void CasServer::maybe_refill(const std::string& session) {
           common = it->second;
       }
       if (common.has_value()) {
-        // Bounded top-up: when LRU eviction keeps undoing puts (pool
-        // pressure above capacity), a `while (pooled < depth)` would mint
-        // forever — mint at most the current deficit and let the next
-        // request's refill try again.
+        // Bounded top-up: mint at most the current deficit, and stop at
+        // cache capacity — a refill whose puts only evict someone else's
+        // pool (which would fire their low-watermark callback and mint
+        // forever, round-robin) is pure churn.
         const std::size_t have = sigstruct_cache_.pooled(session);
-        for (std::size_t i = have; i < config_.premint_depth; ++i) {
+        for (std::size_t i = have; i < target; ++i) {
+          if (sigstruct_cache_.size() >= sigstruct_cache_.capacity()) break;
           sigstruct_cache_.put(
               session, cas_->mint_credential(*policy, common->sigstruct));
           ++metrics_.preminted_credentials;
         }
       }
-    } catch (const Error&) {
+    } catch (...) {
       // Refill is best-effort; the serving path mints inline on a miss.
+      // Catch-all, not catch(Error): any escape past end_refill would
+      // leak the guard and starve this session's refills forever.
     }
     sigstruct_cache_.end_refill(session);
   };

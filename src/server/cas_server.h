@@ -1,14 +1,28 @@
-// Concurrent CAS serving layer: a thread-pooled frontend for CasService.
+// Event-driven CAS serving layer: a completion-based frontend for
+// CasService.
 //
 // The seed's CasService serves one request at a time and re-does three
 // expensive steps on every singleton retrieval (Fig. 7c): decrypt+parse the
 // session policy ("CAS misc"), RSA-verify the received common SigStruct,
-// and RSA-CRT-sign the on-demand SigStruct (~5 ms at 3072 bit). CasServer
-// turns that into a fleet-capable service:
+// and RSA-CRT-sign the on-demand SigStruct (~5 ms at 3072 bit). PR 1's
+// CasServer pooled the CPU work but still parked one thread per request on
+// a future — concurrency was capped by thread count even when every worker
+// was stalled on backend I/O. This version makes a request a small state
+// machine that never pins a worker while waiting:
 //
-//   * a fixed-size worker pool drains requests from both endpoints (the
-//     plain instance endpoint and the secure attestation endpoint), so
-//     independent requests overlap instead of serializing,
+//     accept (client thread)      — count it, raise the in-flight gauge,
+//                                   enqueue to the worker pool
+//     serve  (worker thread)      — parse -> policy lookup -> verify-once
+//                                   memo -> pooled credential | inline sign
+//     stall  (timer wheel)        — the simulated backend-I/O round trip
+//                                   parks on net::TimerWheel, freeing the
+//                                   worker for the next request
+//     respond (timer/worker)      — record latency, drop the gauge, fire
+//                                   the network Completion
+//
+// so 8 workers sustain hundreds of concurrent in-flight requests in the
+// latency-bound regime instead of 8. Supporting cast:
+//
 //   * a sharded policy store (server/policy_store.h) keeps hot policies
 //     decrypted — attached to CasService as its PolicyCache, write-through
 //     on install_policy,
@@ -16,10 +30,12 @@
 //     an already-seen common SigStruct (invalidated when the session's
 //     base hash changes),
 //   * an LRU SigStruct cache (server/sigstruct_cache.h) serves pre-minted
-//     credentials so the hot path skips the RSA-CRT signature; workers
-//     refill per-session pools in the background,
-//   * metrics (server/metrics.h): atomic counters and latency histograms
-//     with p50/p99, exposed via metrics().
+//     credentials so the hot path skips the RSA-CRT signature; refills are
+//     scheduled by pool pressure — the cache's low-watermark callback
+//     wakes a refiller when a pool runs dry, replacing the per-request
+//     depth probe,
+//   * metrics (server/metrics.h): atomic counters, the in-flight gauge +
+//     high-water mark, and latency histograms with p50/p99.
 //
 // Security invariants are inherited, not relaxed: every issued token is
 // registered exactly once with CasService's mutex-guarded token table, so
@@ -36,6 +52,7 @@
 #include "cas/service.h"
 #include "core/base_hash.h"
 #include "net/sim_network.h"
+#include "net/timer_wheel.h"
 #include "server/metrics.h"
 #include "server/policy_store.h"
 #include "server/sigstruct_cache.h"
@@ -53,10 +70,13 @@ struct CasServerConfig {
   /// Keep this many credentials pre-minted per hot session (0 = no
   /// background pre-minting; pools can still be warmed via premint()).
   std::size_t premint_depth = 0;
+  /// Schedule a refill when a session's pool drops below this depth
+  /// (0 = premint_depth, i.e. top up whenever the pool is not full).
+  std::size_t refill_watermark = 0;
   /// Simulated per-request backend I/O stall (the storage / attestation-
-  /// provider round trips a production CAS pays per request). Always a
-  /// real sleep; benchmarks use it to model the latency-bound regime in
-  /// which a thread pool earns its keep.
+  /// provider round trips a production CAS pays per request). On the
+  /// network path the stall parks on the timer wheel — it costs latency,
+  /// never a worker; the direct handle_instance() path sleeps inline.
   std::chrono::microseconds backend_io{0};
 };
 
@@ -72,12 +92,14 @@ class CasServer {
 
   /// Serve `address` (secure attestation) and `address + ".instance"`
   /// (plain starter endpoint) — same wire protocol as CasService::bind,
-  /// but every request is dispatched through the worker pool.
+  /// but every request runs through the event-driven state machine above.
   void bind(net::SimNetwork& net, const std::string& address);
-  /// Stop accepting new requests (idempotent; also runs on destruction).
+  /// Stop accepting new requests and wait for in-flight ones to complete
+  /// (idempotent; also runs on destruction).
   void unbind();
 
-  /// The pooled fast path; also callable directly (benchmarks).
+  /// Synchronous fast path for direct callers (benchmarks, tests); the
+  /// backend-I/O stall, if configured, is slept inline here.
   cas::InstanceResponse handle_instance(const cas::InstanceRequest& request);
 
   /// Warm the SigStruct pool: verify `common_sigstruct` for `session`
@@ -91,6 +113,7 @@ class CasServer {
   ShardedPolicyStore& policy_store() { return policy_store_; }
   SigStructCache& sigstruct_cache() { return sigstruct_cache_; }
   ThreadPool& pool() { return pool_; }
+  net::TimerWheel& timers() { return timer_; }
 
  private:
   /// A session's verified common SigStruct + the policy facts it was
@@ -107,8 +130,24 @@ class CasServer {
   /// fills `error` on rejection.
   bool check_common(const cas::Policy& policy,
                     const cas::InstanceRequest& request, std::string* error);
-  void maybe_refill(const std::string& session);
-  Bytes dispatch(std::function<Bytes()> work);
+
+  // --- the request state machine (network path) ---
+  void accept_instance(Bytes raw, net::SimNetwork::Completion done);
+  void accept_attest(Bytes raw, net::SimNetwork::Completion done);
+  /// Final stage: record latency, drop the gauge, deliver the response.
+  void respond(std::chrono::steady_clock::time_point accepted,
+               LatencyHistogram* histogram, Bytes response,
+               const net::SimNetwork::Completion& done);
+
+  /// Pool-pressure refill scheduler (the SigStructCache low-watermark
+  /// callback lands here).
+  void schedule_refill(const std::string& session);
+  std::size_t refill_target() const {
+    return config_.refill_watermark != 0 &&
+                   config_.refill_watermark > config_.premint_depth
+               ? config_.refill_watermark
+               : config_.premint_depth;
+  }
 
   cas::CasService* cas_;
   CasServerConfig config_;
@@ -122,8 +161,13 @@ class CasServer {
   net::SimNetwork* net_ = nullptr;
   std::string address_;
 
-  // Last member: destroyed first, so draining workers can still touch the
-  // caches and metrics above.
+  // Declaration order is destruction order in reverse: pool_ (last) is
+  // destroyed first, draining worker jobs that may still schedule stalls
+  // on timer_ — so the wheel must still be alive, and is. The wheel's
+  // destructor then fires any leftover stalls immediately (completions are
+  // never lost), and only afterwards do the caches and metrics above go
+  // away, which both workers and timer callbacks touch.
+  net::TimerWheel timer_;
   ThreadPool pool_;
 };
 

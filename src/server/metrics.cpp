@@ -1,6 +1,7 @@
 #include "server/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 namespace sinclave::server {
@@ -10,11 +11,14 @@ namespace {
 // Geometric bucket boundaries: bound(i) = 1us * 1.5^i, precomputed in
 // integer nanoseconds so bucket_for stays a simple scan (kBuckets is 40;
 // a linear scan of a 40-entry table is cheaper than the log it replaces).
+// Rounded to nearest, not truncated: truncation shaved one nanosecond off
+// boundaries whose exact value is not double-representable, so a sample
+// exactly at the published bound of bucket i landed in bucket i+1.
 constexpr std::array<std::int64_t, LatencyHistogram::kBuckets> kBoundsNs = [] {
   std::array<std::int64_t, LatencyHistogram::kBuckets> b{};
   double bound = 1000.0;  // 1 us
   for (std::size_t i = 0; i < b.size(); ++i) {
-    b[i] = static_cast<std::int64_t>(bound);
+    b[i] = static_cast<std::int64_t>(bound + 0.5);
     bound *= 1.5;
   }
   return b;
@@ -29,20 +33,19 @@ std::size_t LatencyHistogram::bucket_for(std::chrono::nanoseconds latency) {
   return kBuckets - 1;
 }
 
-std::chrono::nanoseconds LatencyHistogram::bucket_upper_bound(
-    std::size_t index) {
-  return std::chrono::nanoseconds(kBoundsNs[index]);
+std::chrono::nanoseconds LatencyHistogram::bucket_bound(
+    std::chrono::nanoseconds d) {
+  return std::chrono::nanoseconds(
+      kBoundsNs[bucket_for(d.count() < 0 ? std::chrono::nanoseconds{0} : d)]);
 }
 
 void LatencyHistogram::record(std::chrono::nanoseconds latency) {
+  // Clock hiccups (non-monotonic sources, merged snapshots) can hand us a
+  // negative duration; clamp so the sum and quantiles stay meaningful.
+  if (latency.count() < 0) latency = std::chrono::nanoseconds{0};
   buckets_[bucket_for(latency)].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
   sum_ns_.fetch_add(latency.count(), std::memory_order_relaxed);
-  std::int64_t seen = max_ns_.load(std::memory_order_relaxed);
-  while (latency.count() > seen &&
-         !max_ns_.compare_exchange_weak(seen, latency.count(),
-                                        std::memory_order_relaxed)) {
-  }
+  atomic_fetch_max(max_ns_, latency.count());
 }
 
 LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
@@ -50,9 +53,14 @@ LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
   std::array<std::uint64_t, kBuckets> counts;
   for (std::size_t i = 0; i < kBuckets; ++i)
     counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  // Count is derived from the buckets themselves (not a separate counter),
+  // so the quantile scan below always walks exactly the samples it counted
+  // — a racing record() can add a sample, never desynchronize the two.
   for (auto c : counts) s.count += c;
-  s.sum = std::chrono::nanoseconds(sum_ns_.load(std::memory_order_relaxed));
-  s.max = std::chrono::nanoseconds(max_ns_.load(std::memory_order_relaxed));
+  s.sum = std::chrono::nanoseconds(
+      std::max<std::int64_t>(0, sum_ns_.load(std::memory_order_relaxed)));
+  s.max = std::chrono::nanoseconds(
+      std::max<std::int64_t>(0, max_ns_.load(std::memory_order_relaxed)));
   if (s.count == 0) return s;
 
   const auto quantile = [&](double q) {
@@ -61,15 +69,20 @@ LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
     std::uint64_t seen = 0;
     for (std::size_t i = 0; i < kBuckets; ++i) {
       seen += counts[i];
-      // The bucket's upper bound, clamped: the observed max is a tighter
-      // bound than the top bucket boundary.
-      if (seen >= target) return std::min(bucket_upper_bound(i), s.max);
+      if (seen >= target)
+        return std::chrono::nanoseconds(kBoundsNs[i]);
     }
     return s.max;
   };
   s.p50 = quantile(0.50);
   s.p90 = quantile(0.90);
   s.p99 = quantile(0.99);
+  // Coherence clamps: the observed max is a tighter bound than any bucket
+  // boundary, and a reset/merge racing record() must not be able to
+  // produce p99 > max or unordered quantiles.
+  s.p50 = std::min(s.p50, s.max);
+  s.p90 = std::clamp(s.p90, s.p50, s.max);
+  s.p99 = std::clamp(s.p99, s.p90, s.max);
   return s;
 }
 
@@ -77,23 +90,30 @@ void LatencyHistogram::merge(const LatencyHistogram& other) {
   for (std::size_t i = 0; i < kBuckets; ++i)
     buckets_[i].fetch_add(other.buckets_[i].load(std::memory_order_relaxed),
                           std::memory_order_relaxed);
-  count_.fetch_add(other.count_.load(std::memory_order_relaxed),
-                   std::memory_order_relaxed);
-  sum_ns_.fetch_add(other.sum_ns_.load(std::memory_order_relaxed),
-                    std::memory_order_relaxed);
-  const std::int64_t other_max = other.max_ns_.load(std::memory_order_relaxed);
-  std::int64_t seen = max_ns_.load(std::memory_order_relaxed);
-  while (other_max > seen &&
-         !max_ns_.compare_exchange_weak(seen, other_max,
-                                        std::memory_order_relaxed)) {
-  }
+  sum_ns_.fetch_add(
+      std::max<std::int64_t>(0, other.sum_ns_.load(std::memory_order_relaxed)),
+      std::memory_order_relaxed);
+  atomic_fetch_max(max_ns_, other.max_ns_.load(std::memory_order_relaxed));
 }
 
 void LatencyHistogram::reset() {
-  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
-  count_.store(0, std::memory_order_relaxed);
-  sum_ns_.store(0, std::memory_order_relaxed);
+  // Zero the max and sum *before* the buckets: a snapshot racing this
+  // reset may then under-report the tail, but can never pair surviving
+  // bucket counts with an already-cleared population and report p99 > max
+  // (snapshot clamps against max, which goes first).
   max_ns_.store(0, std::memory_order_relaxed);
+  sum_ns_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+void ServerMetrics::enter_in_flight() {
+  atomic_fetch_max(
+      max_in_flight,
+      requests_in_flight.fetch_add(1, std::memory_order_relaxed) + 1);
+}
+
+void ServerMetrics::leave_in_flight() {
+  requests_in_flight.fetch_sub(1, std::memory_order_relaxed);
 }
 
 std::string ServerMetrics::render() const {
@@ -125,6 +145,9 @@ std::string ServerMetrics::render() const {
   out += line("sigstruct_cache_misses", sigstruct_cache_misses.load());
   out += line("preminted_credentials", preminted_credentials.load());
   out += line("tokens_issued", tokens_issued.load());
+  out += line("refills_scheduled", refills_scheduled.load());
+  out += line("requests_in_flight", requests_in_flight.load());
+  out += line("max_in_flight", max_in_flight.load());
   out += latency_lines("instance_latency", instance_latency);
   out += latency_lines("attest_latency", attest_latency);
   return out;

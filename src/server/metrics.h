@@ -1,10 +1,18 @@
-// Serving-layer metrics: atomic counters and latency histograms.
+// Serving-layer metrics: atomic counters, gauges, and latency histograms.
 //
 // Everything here is wait-free on the record path (relaxed atomics) so the
 // hot path never serializes on observability. Quantiles are read from a
 // fixed geometric bucket layout — each bucket spans x1.5 in latency, from
 // 1 us to ~6.5 s — which bounds the p50/p99 estimation error to the bucket
 // width, the standard tradeoff of histogram-based tail tracking.
+//
+// Coherence contract: record() is safe against concurrent record(),
+// merge(), reset(), and snapshot(). Readers may observe a snapshot that is
+// off by the in-flight samples, but never a torn or self-contradictory one:
+// snapshot() derives count from the buckets themselves, clamps the sum
+// non-negative, and forces p50 <= p90 <= p99 <= max, so a racing reset or
+// merge can skew values, not invariants. Negative durations (clock hiccups)
+// are clamped to zero before they can poison the sum.
 #pragma once
 
 #include <array>
@@ -14,6 +22,16 @@
 #include <string>
 
 namespace sinclave::server {
+
+/// Relaxed atomic fetch-max: raise `target` to at least `value`.
+template <typename T>
+inline void atomic_fetch_max(std::atomic<T>& target, T value) {
+  T seen = target.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !target.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
 
 class LatencyHistogram {
  public:
@@ -36,21 +54,25 @@ class LatencyHistogram {
     }
   };
 
-  /// Consistent-enough snapshot: counts racing with record() may be off by
-  /// the in-flight samples, never torn.
+  /// Consistent-enough snapshot: see the coherence contract above.
   Snapshot snapshot() const;
 
   /// Fold another histogram into this one (merging per-thread recorders).
+  /// Samples recorded into `other` while merge runs may be folded in or
+  /// not; the invariants above still hold for any later snapshot.
   void merge(const LatencyHistogram& other);
 
   void reset();
 
+  /// Exact upper bound of the bucket a latency lands in (identity for the
+  /// boundary value itself: bucket_bound(d) == bucket_bound(bucket_bound(d))).
+  /// Exposed so tests can pin the boundary semantics.
+  static std::chrono::nanoseconds bucket_bound(std::chrono::nanoseconds d);
+
  private:
   static std::size_t bucket_for(std::chrono::nanoseconds latency);
-  static std::chrono::nanoseconds bucket_upper_bound(std::size_t index);
 
   std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
-  std::atomic<std::uint64_t> count_{0};
   std::atomic<std::int64_t> sum_ns_{0};
   std::atomic<std::int64_t> max_ns_{0};
 };
@@ -66,6 +88,18 @@ struct ServerMetrics {
   std::atomic<std::uint64_t> sigstruct_cache_misses{0};
   std::atomic<std::uint64_t> preminted_credentials{0};
   std::atomic<std::uint64_t> tokens_issued{0};
+  /// Refill jobs scheduled by pool-pressure (low-watermark) events.
+  std::atomic<std::uint64_t> refills_scheduled{0};
+
+  /// Requests accepted but not yet responded to (the event-driven
+  /// frontend's core gauge: how much work is parked on timers/queues
+  /// rather than pinned to worker threads), plus its high-water mark.
+  std::atomic<std::uint64_t> requests_in_flight{0};
+  std::atomic<std::uint64_t> max_in_flight{0};
+
+  /// Gauge helpers: enter bumps the in-flight count and its watermark.
+  void enter_in_flight();
+  void leave_in_flight();
 
   LatencyHistogram instance_latency;
   LatencyHistogram attest_latency;

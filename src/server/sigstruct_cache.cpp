@@ -5,11 +5,18 @@ namespace sinclave::server {
 SigStructCache::SigStructCache(std::size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {}
 
+void SigStructCache::set_low_watermark(std::size_t watermark,
+                                       LowWatermarkCallback callback) {
+  std::lock_guard lock(mutex_);
+  watermark_ = watermark;
+  low_watermark_ = std::move(callback);
+}
+
 SigStructCache::SessionPool& SigStructCache::touch(
     const std::string& session) {
   auto it = pools_.find(session);
   if (it == pools_.end()) {
-    it = pools_.emplace(session, std::make_unique<SessionPool>()).first;
+    it = pools_.emplace(session, std::make_shared<SessionPool>()).first;
     lru_.push_front(session);
     it->second->lru_position = lru_.begin();
   } else {
@@ -18,33 +25,84 @@ SigStructCache::SessionPool& SigStructCache::touch(
   return *it->second;
 }
 
-void SigStructCache::evict_over_capacity() {
+void SigStructCache::evict_over_capacity(std::vector<std::string>* starved) {
   // Walk sessions from least recently used, discarding their oldest
   // pre-minted credentials. Unissued tokens were never registered, so a
-  // discarded credential is dead weight, not a dangling capability.
-  auto victim = lru_.rbegin();
-  while (total_.load() > capacity_ && victim != lru_.rend()) {
-    SessionPool& pool = *pools_.at(*victim);
-    std::lock_guard pool_lock(pool.mutex);
-    while (total_.load() > capacity_ && !pool.credentials.empty()) {
-      pool.credentials.pop_front();
-      --total_;
-      ++evictions_;
+  // discarded credential is dead weight, not a dangling capability. Pools
+  // drained to zero are erased entirely (concurrent holders keep the pool
+  // alive through their shared_ptr and simply miss).
+  auto it = lru_.end();
+  while (total_.load() > capacity_ && it != lru_.begin()) {
+    --it;
+    const std::string victim = *it;
+    const std::shared_ptr<SessionPool> pool = pools_.at(victim);
+    bool empty;
+    std::size_t remaining;
+    {
+      std::lock_guard pool_lock(pool->mutex);
+      while (total_.load() > capacity_ && !pool->credentials.empty()) {
+        pool->credentials.pop_front();
+        --total_;
+        ++evictions_;
+      }
+      remaining = pool->credentials.size();
+      empty = remaining == 0;
     }
-    ++victim;
+    if (watermark_ > 0 && remaining < watermark_ && low_watermark_)
+      starved->push_back(victim);
+    if (empty) {
+      pools_.erase(victim);
+      it = lru_.erase(it);
+    }
   }
+}
+
+void SigStructCache::erase_if_drained(const std::string& session) {
+  // Takes and flushes erase the pools they drained, same as eviction
+  // does, so the session map stays bounded by live credentials — not by
+  // every session ever served. The local shared_ptr keeps the pool (and
+  // the mutex inside it) alive until after the lock is released.
+  std::shared_ptr<SessionPool> pool;
+  std::lock_guard lock(mutex_);
+  const auto it = pools_.find(session);
+  if (it == pools_.end()) return;
+  pool = it->second;
+  {
+    std::lock_guard pool_lock(pool->mutex);
+    if (!pool->credentials.empty()) return;  // repopulated meanwhile
+    lru_.erase(pool->lru_position);
+    pools_.erase(it);
+  }
+}
+
+void SigStructCache::notify_starved(const std::vector<std::string>& starved) {
+  // Copy of the callback not needed: set_low_watermark is a setup-time
+  // call (documented), so reading low_watermark_ unlocked here would still
+  // be safe — but take the cheap lock to keep TSAN and future callers
+  // honest. The callback itself runs outside every cache lock.
+  LowWatermarkCallback callback;
+  {
+    std::lock_guard lock(mutex_);
+    callback = low_watermark_;
+  }
+  if (!callback) return;
+  for (const auto& session : starved) callback(session);
 }
 
 void SigStructCache::put(const std::string& session,
                          cas::MintedCredential credential) {
-  std::lock_guard lock(mutex_);
-  SessionPool& pool = touch(session);
+  std::vector<std::string> starved;
   {
-    std::lock_guard pool_lock(pool.mutex);
-    pool.credentials.push_back(std::move(credential));
-    ++total_;
+    std::lock_guard lock(mutex_);
+    SessionPool& pool = touch(session);
+    {
+      std::lock_guard pool_lock(pool.mutex);
+      pool.credentials.push_back(std::move(credential));
+      ++total_;
+    }
+    if (total_.load() > capacity_) evict_over_capacity(&starved);
   }
-  if (total_.load() > capacity_) evict_over_capacity();
+  notify_starved(starved);
 }
 
 std::optional<cas::MintedCredential> SigStructCache::take(
@@ -55,15 +113,19 @@ std::optional<cas::MintedCredential> SigStructCache::take(
 std::optional<cas::MintedCredential> SigStructCache::take_if(
     const std::string& session,
     const std::function<bool(const cas::MintedCredential&)>& valid) {
-  SessionPool* pool = nullptr;
+  std::shared_ptr<SessionPool> pool;
+  std::size_t watermark = 0;
   {
     std::lock_guard lock(mutex_);
+    watermark = watermark_;
     const auto it = pools_.find(session);
     if (it != pools_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second->lru_position);
-      pool = it->second.get();
+      pool = it->second;
     }
   }
+  std::optional<cas::MintedCredential> result;
+  std::size_t remaining = 0;
   if (pool != nullptr) {
     std::lock_guard pool_lock(pool->mutex);
     while (!pool->credentials.empty()) {
@@ -72,57 +134,90 @@ std::optional<cas::MintedCredential> SigStructCache::take_if(
       --total_;
       if (!valid || valid(cred)) {
         ++hits_;
-        return cred;
+        result = std::move(cred);
+        break;
       }
       ++evictions_;  // stale: discarded, not served
     }
+    remaining = pool->credentials.size();
   }
-  ++misses_;
-  return std::nullopt;
+  if (!result.has_value()) ++misses_;
+  if (pool != nullptr && remaining == 0) erase_if_drained(session);
+  // Pool pressure is signalled on the way *down* — a take (hit or miss)
+  // that leaves the session under the watermark wakes the refiller, so no
+  // request path ever has to probe pool depth.
+  if (watermark > 0 && remaining < watermark)
+    notify_starved({session});
+  return result;
 }
 
 bool SigStructCache::contains(const std::string& session,
                               const sgx::Measurement& mr_enclave) const {
-  std::lock_guard lock(mutex_);
-  const auto it = pools_.find(session);
-  if (it == pools_.end()) return false;
-  std::lock_guard pool_lock(it->second->mutex);
-  for (const auto& cred : it->second->credentials)
+  std::shared_ptr<SessionPool> pool;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = pools_.find(session);
+    if (it == pools_.end()) return false;
+    pool = it->second;
+  }
+  std::lock_guard pool_lock(pool->mutex);
+  for (const auto& cred : pool->credentials)
     if (cred.mr_enclave == mr_enclave) return true;
   return false;
 }
 
 std::size_t SigStructCache::flush(const std::string& session) {
-  std::lock_guard lock(mutex_);
-  const auto it = pools_.find(session);
-  if (it == pools_.end()) return 0;
-  std::lock_guard pool_lock(it->second->mutex);
-  const std::size_t n = it->second->credentials.size();
-  it->second->credentials.clear();
-  total_ -= n;
-  evictions_ += n;
+  std::size_t n = 0;
+  std::size_t watermark = 0;
+  {
+    std::lock_guard lock(mutex_);
+    watermark = watermark_;
+    const auto it = pools_.find(session);
+    if (it == pools_.end()) return 0;
+    // Local shared_ptr keeps the pool (and its locked mutex) alive past
+    // the map erase below.
+    const std::shared_ptr<SessionPool> pool = it->second;
+    {
+      std::lock_guard pool_lock(pool->mutex);
+      n = pool->credentials.size();
+      pool->credentials.clear();
+      total_ -= n;
+      evictions_ += n;
+    }
+    // Drained by definition — erase inline rather than re-acquiring the
+    // locks through erase_if_drained.
+    lru_.erase(pool->lru_position);
+    pools_.erase(it);
+  }
+  if (watermark > 0) notify_starved({session});
   return n;
 }
 
 std::size_t SigStructCache::pooled(const std::string& session) const {
+  std::shared_ptr<SessionPool> pool;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = pools_.find(session);
+    if (it == pools_.end()) return 0;
+    pool = it->second;
+  }
+  std::lock_guard pool_lock(pool->mutex);
+  return pool->credentials.size();
+}
+
+std::size_t SigStructCache::sessions() const {
   std::lock_guard lock(mutex_);
-  const auto it = pools_.find(session);
-  if (it == pools_.end()) return 0;
-  std::lock_guard pool_lock(it->second->mutex);
-  return it->second->credentials.size();
+  return pools_.size();
 }
 
 bool SigStructCache::begin_refill(const std::string& session) {
   std::lock_guard lock(mutex_);
-  SessionPool& pool = touch(session);
-  bool expected = false;
-  return pool.refilling.compare_exchange_strong(expected, true);
+  return refilling_.insert(session).second;
 }
 
 void SigStructCache::end_refill(const std::string& session) {
   std::lock_guard lock(mutex_);
-  const auto it = pools_.find(session);
-  if (it != pools_.end()) it->second->refilling.store(false);
+  refilling_.erase(session);
 }
 
 }  // namespace sinclave::server

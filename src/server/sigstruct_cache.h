@@ -13,7 +13,17 @@
 // Entries are keyed by (session, predicted MRENCLAVE); capacity is bounded
 // across sessions, and the pool of the least-recently-served session is
 // evicted first (its unsold credentials are simply discarded — their tokens
-// were never registered, so nothing can spend them).
+// were never registered, so nothing can spend them). A session pool drained
+// to zero — by eviction, take, or flush — is erased outright, so the
+// session map is bounded by live credentials, not by sessions ever served.
+//
+// Refill coordination is event-driven: the serving layer registers a
+// low-watermark callback and is notified — outside every cache lock —
+// whenever a pool's depth falls below the watermark (take, flush, or
+// eviction), instead of probing pool depth on each request. The
+// begin/end_refill guard that serializes refillers per session lives
+// *outside* the evictable pool state on purpose: evicting and recreating a
+// session's pool must not reset the guard of a refill still in flight.
 #pragma once
 
 #include <atomic>
@@ -26,6 +36,8 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
 #include "cas/service.h"
 
@@ -34,6 +46,14 @@ namespace sinclave::server {
 class SigStructCache {
  public:
   explicit SigStructCache(std::size_t capacity = 4096);
+
+  /// Pool-pressure notification: invoked with the session name whenever a
+  /// pool's depth drops below `watermark` (after a take, flush, or
+  /// eviction — including a take that misses outright). Runs outside all
+  /// cache locks; it may re-enter the cache freely. One callback at a
+  /// time; set before concurrent use begins.
+  using LowWatermarkCallback = std::function<void(const std::string& session)>;
+  void set_low_watermark(std::size_t watermark, LowWatermarkCallback callback);
 
   /// Deposit a pre-minted, not-yet-issued credential for `session`.
   /// May evict from the least-recently-used session if over capacity.
@@ -63,13 +83,16 @@ class SigStructCache {
   std::size_t pooled(const std::string& session) const;
   std::size_t size() const { return total_.load(); }
   std::size_t capacity() const { return capacity_; }
+  /// Distinct sessions currently holding a pool (bounded by eviction).
+  std::size_t sessions() const;
 
   std::uint64_t hits() const { return hits_.load(); }
   std::uint64_t misses() const { return misses_.load(); }
   std::uint64_t evictions() const { return evictions_.load(); }
 
   /// Begin-refill guard: true at most once per session until end_refill.
-  /// Lets exactly one worker top up a session's pool at a time.
+  /// Lets exactly one worker top up a session's pool at a time. The guard
+  /// survives eviction of the session's pool (see header comment).
   bool begin_refill(const std::string& session);
   void end_refill(const std::string& session);
 
@@ -77,7 +100,6 @@ class SigStructCache {
   struct SessionPool {
     mutable std::mutex mutex;
     std::deque<cas::MintedCredential> credentials;
-    std::atomic<bool> refilling{false};
     /// Position in the LRU list (most recently used at the front).
     std::list<std::string>::iterator lru_position;
   };
@@ -85,12 +107,28 @@ class SigStructCache {
   /// Find-or-create the session pool and mark it most recently used.
   /// Caller must hold mutex_.
   SessionPool& touch(const std::string& session);
-  void evict_over_capacity();  // caller must hold mutex_
+  /// Caller must hold mutex_. Sessions whose pools dropped below the
+  /// watermark are appended to `starved` for the caller to notify after
+  /// releasing the locks.
+  void evict_over_capacity(std::vector<std::string>* starved);
+  /// Fire the low-watermark callback for each starved session, outside
+  /// all cache locks.
+  void notify_starved(const std::vector<std::string>& starved);
+  /// Erase `session`'s pool if it holds no credentials (keeps the session
+  /// map bounded; the refill guard is elsewhere and unaffected).
+  void erase_if_drained(const std::string& session);
 
   const std::size_t capacity_;
-  mutable std::mutex mutex_;  // guards pools_ map + lru_ list
-  std::unordered_map<std::string, std::unique_ptr<SessionPool>> pools_;
+  mutable std::mutex mutex_;  // guards pools_ map + lru_ list + refilling_
+  // shared_ptr (not unique_ptr): take_if works on the pool outside mutex_,
+  // and eviction may erase the map entry meanwhile.
+  std::unordered_map<std::string, std::shared_ptr<SessionPool>> pools_;
   std::list<std::string> lru_;
+  /// Sessions with a refill in flight — deliberately not part of the
+  /// evictable SessionPool (end_refill must find it after eviction).
+  std::unordered_set<std::string> refilling_;
+  std::size_t watermark_ = 0;
+  LowWatermarkCallback low_watermark_;
   std::atomic<std::size_t> total_{0};
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};

@@ -1,5 +1,9 @@
 #include "workload/load_gen.h"
 
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <condition_variable>
 #include <mutex>
 #include <thread>
 
@@ -9,17 +13,83 @@
 namespace sinclave::workload {
 
 namespace {
+
 using Clock = std::chrono::steady_clock;
+
+// Tiny explicit PRNG (splitmix64) so schedules are bit-identical across
+// standard libraries — std::exponential_distribution's output is
+// implementation-defined, which would break cross-toolchain determinism.
+struct SplitMix64 {
+  std::uint64_t state;
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  /// Uniform in [0, n).
+  std::uint64_t below(std::uint64_t n) { return next() % n; }
+  /// Uniform in (0, 1] — never 0, so log() below is always finite.
+  double unit() {
+    return (static_cast<double>(next() >> 11) + 1.0) * 0x1.0p-53;
+  }
+};
+
+SplitMix64 client_rng(std::uint64_t base_seed, std::size_t client_index) {
+  // Decorrelate adjacent seeds through one scramble round; splitmix's own
+  // increment does the rest.
+  SplitMix64 rng{base_seed ^ (0x5851f42d4c957f2dull *
+                              (static_cast<std::uint64_t>(client_index) + 1))};
+  rng.next();
+  return rng;
+}
+
 }  // namespace
 
-LoadGenResult run_instance_load(net::SimNetwork& net,
-                                const sgx::SigStruct& common_sigstruct,
-                                const LoadGenConfig& config) {
+std::vector<std::vector<ScheduledRequest>> make_schedule(
+    const LoadGenConfig& config) {
   if (config.sessions.empty()) throw Error("load gen: no sessions");
+  const std::size_t streams = config.mode == LoadMode::kOpen
+                                  ? config.logical_clients
+                                  : config.clients;
+  const double mean_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          config.mean_interarrival)
+          .count();
+  std::vector<std::vector<ScheduledRequest>> schedule(streams);
+  for (std::size_t c = 0; c < streams; ++c) {
+    SplitMix64 rng = client_rng(config.base_seed, c);
+    schedule[c].reserve(config.requests_per_client);
+    double at_ns = 0.0;
+    for (std::size_t i = 0; i < config.requests_per_client; ++i) {
+      ScheduledRequest r;
+      r.session_index = rng.below(config.sessions.size());
+      if (config.mode == LoadMode::kOpen) {
+        // Exponential inter-arrival gaps via inverse CDF: a Poisson
+        // arrival stream per logical client.
+        at_ns += -mean_ns * std::log(rng.unit());
+        r.at = std::chrono::nanoseconds(static_cast<std::int64_t>(at_ns));
+      }
+      schedule[c].push_back(r);
+    }
+  }
+  return schedule;
+}
+
+namespace {
+
+LoadGenResult run_closed_loop(net::SimNetwork& net,
+                              const sgx::SigStruct& common_sigstruct,
+                              const LoadGenConfig& config) {
+  const auto schedule = make_schedule(config);
 
   LoadGenResult result;
   server::LatencyHistogram histogram;
   std::mutex result_mutex;  // guards ok/failed/first_error/tokens
+  // Measured, not assumed: a client that errors out early stops
+  // contributing, so the observed concurrency can be below `clients`.
+  std::atomic<std::uint64_t> in_flight{0}, max_in_flight{0};
+  std::atomic<std::uint64_t> samples_sum{0}, samples{0};
 
   const auto client = [&](std::size_t client_index) {
     std::uint64_t ok = 0, failed = 0;
@@ -28,15 +98,26 @@ LoadGenResult run_instance_load(net::SimNetwork& net,
     tokens.reserve(config.requests_per_client);
     try {
       auto connection = net.connect(config.address + ".instance");
-      for (std::size_t i = 0; i < config.requests_per_client; ++i) {
+      for (const ScheduledRequest& planned : schedule[client_index]) {
         cas::InstanceRequest request;
-        request.session_name =
-            config.sessions[(client_index + i) % config.sessions.size()];
+        request.session_name = config.sessions[planned.session_index];
         request.common_sigstruct = common_sigstruct;
 
+        server::atomic_fetch_max(
+            max_in_flight,
+            in_flight.fetch_add(1, std::memory_order_relaxed) + 1);
         const auto start = Clock::now();
-        const Bytes raw = connection.call(request.serialize());
+        Bytes raw;
+        try {
+          raw = connection.call(request.serialize());
+        } catch (...) {
+          in_flight.fetch_sub(1, std::memory_order_relaxed);
+          throw;
+        }
         histogram.record(Clock::now() - start);
+        samples_sum.fetch_add(in_flight.fetch_sub(1, std::memory_order_relaxed),
+                              std::memory_order_relaxed);
+        samples.fetch_add(1, std::memory_order_relaxed);
 
         const auto resp = cas::InstanceResponse::deserialize(raw);
         if (resp.ok) {
@@ -65,8 +146,189 @@ LoadGenResult run_instance_load(net::SimNetwork& net,
     threads.emplace_back(client, c);
   for (auto& t : threads) t.join();
   result.wall = Clock::now() - start;
+  result.max_in_flight = max_in_flight.load();
+  result.sustained_in_flight =
+      samples.load() == 0
+          ? 0.0
+          : static_cast<double>(samples_sum.load()) /
+                static_cast<double>(samples.load());
   result.latency = histogram.snapshot();
   return result;
+}
+
+/// Completion-side shared state of one open-loop run.
+struct OpenLoopState {
+  server::LatencyHistogram histogram;
+  std::atomic<std::uint64_t> in_flight{0};
+  std::atomic<std::uint64_t> max_in_flight{0};
+  std::atomic<std::uint64_t> in_flight_samples_sum{0};
+  std::atomic<std::uint64_t> issued{0};
+  std::atomic<std::uint64_t> completed{0};
+  std::mutex mutex;  // guards the aggregates below + completion cv
+  std::condition_variable all_done;
+  std::uint64_t ok = 0;
+  std::uint64_t failed = 0;
+  std::string first_error;
+  std::vector<std::string> tokens;
+};
+
+LoadGenResult run_open_loop(net::SimNetwork& net,
+                            const sgx::SigStruct& common_sigstruct,
+                            const LoadGenConfig& config) {
+  const auto schedule = make_schedule(config);
+  const std::size_t threads_n = std::max<std::size_t>(1, config.clients);
+  auto state = std::make_shared<OpenLoopState>();
+
+  // Each issuing thread owns the arrival streams of logical clients
+  // c % threads_n == t, merged into one time-sorted lane.
+  struct Arrival {
+    std::chrono::nanoseconds at;
+    std::size_t session_index;
+  };
+  std::vector<std::vector<Arrival>> lanes(threads_n);
+  for (std::size_t c = 0; c < schedule.size(); ++c)
+    for (const ScheduledRequest& r : schedule[c])
+      lanes[c % threads_n].push_back(Arrival{r.at, r.session_index});
+  for (auto& lane : lanes)
+    std::sort(lane.begin(), lane.end(),
+              [](const Arrival& a, const Arrival& b) { return a.at < b.at; });
+
+  const auto on_complete = [state](Clock::time_point issued, Bytes raw,
+                                   std::exception_ptr error) {
+    state->histogram.record(Clock::now() - issued);
+    // Sample the in-flight level as seen by this completion — averaging
+    // these gives the sustained concurrency the serving layer actually
+    // held, not just a momentary peak.
+    const std::uint64_t level =
+        state->in_flight.fetch_sub(1, std::memory_order_relaxed);
+    state->in_flight_samples_sum.fetch_add(level, std::memory_order_relaxed);
+    // Parse before taking the lock: completions are delivered by the
+    // server's (single) timer thread, so anything serialized here delays
+    // every later timer expiry — hold the mutex only for the aggregates.
+    std::optional<cas::InstanceResponse> resp;
+    std::string failure;
+    if (error) {
+      try {
+        std::rethrow_exception(error);
+      } catch (const std::exception& e) {
+        failure = e.what();
+      }
+    } else {
+      try {
+        resp = cas::InstanceResponse::deserialize(raw);
+        if (!resp->ok) failure = resp->error;
+      } catch (const Error& e) {
+        resp.reset();
+        failure = e.what();
+      }
+    }
+    {
+      std::lock_guard lock(state->mutex);
+      if (resp.has_value() && resp->ok) {
+        ++state->ok;
+        state->tokens.push_back(resp->token.hex());
+      } else {
+        ++state->failed;
+        if (state->first_error.empty()) state->first_error = failure;
+      }
+      state->completed.fetch_add(1, std::memory_order_relaxed);
+      state->all_done.notify_all();
+    }
+  };
+
+  const auto start = Clock::now();
+  const auto issuer = [&, state, on_complete](std::size_t thread_index) {
+    const std::vector<Arrival>& lane = lanes[thread_index];
+    // Abandoned arrivals (peer gone, connect refused) are all counted as
+    // failures so ok + failed always equals the offered load.
+    const auto abort_lane = [&](std::size_t already_issued,
+                                const std::string& why) {
+      std::lock_guard lock(state->mutex);
+      state->failed += lane.size() - already_issued;
+      if (state->first_error.empty()) state->first_error = why;
+    };
+    std::size_t issued_here = 0;
+    try {
+      auto connection = net.connect(config.address + ".instance");
+      for (const Arrival& arrival : lane) {
+        std::this_thread::sleep_until(start + arrival.at);
+        cas::InstanceRequest request;
+        request.session_name = config.sessions[arrival.session_index];
+        request.common_sigstruct = common_sigstruct;
+
+        server::atomic_fetch_max(
+            state->max_in_flight,
+            state->in_flight.fetch_add(1, std::memory_order_relaxed) + 1);
+
+        const auto issued = Clock::now();
+        try {
+          connection.async_call(request.serialize(),
+                                [on_complete, issued](Bytes raw,
+                                                      std::exception_ptr err) {
+                                  on_complete(issued, std::move(raw), err);
+                                });
+          state->issued.fetch_add(1, std::memory_order_relaxed);
+          ++issued_here;
+        } catch (const Error& e) {
+          // Dispatch failure (listener gone): undo the in-flight claim —
+          // no completion will ever fire for this arrival — and stop the
+          // lane; the peer is not coming back.
+          state->in_flight.fetch_sub(1, std::memory_order_relaxed);
+          abort_lane(issued_here, e.what());
+          break;
+        }
+      }
+    } catch (const Error& e) {
+      abort_lane(issued_here, e.what());  // connect refused: lane never ran
+    }
+  };
+
+  std::vector<std::thread> issuers;
+  issuers.reserve(threads_n);
+  for (std::size_t t = 0; t < threads_n; ++t) issuers.emplace_back(issuer, t);
+  for (auto& t : issuers) t.join();
+
+  // Every arrival was issued (or its lane aborted); wait for the tail of
+  // completions still parked server-side. `issued` is final after the
+  // joins, so the predicate cannot race a growing target.
+  {
+    std::unique_lock lock(state->mutex);
+    state->all_done.wait(lock, [&] {
+      return state->completed.load() >= state->issued.load();
+    });
+  }
+
+  LoadGenResult result;
+  result.wall = Clock::now() - start;
+  {
+    std::lock_guard lock(state->mutex);
+    result.ok = state->ok;
+    result.failed = state->failed;
+    result.first_error = state->first_error;
+    result.tokens = std::move(state->tokens);
+  }
+  result.latency = state->histogram.snapshot();
+  result.max_in_flight = state->max_in_flight.load();
+  // Divide by delivered completions (not ok+failed): dispatch failures
+  // never sampled the gauge.
+  const std::uint64_t completions = state->completed.load();
+  result.sustained_in_flight =
+      completions == 0 ? 0.0
+                       : static_cast<double>(
+                             state->in_flight_samples_sum.load()) /
+                             static_cast<double>(completions);
+  return result;
+}
+
+}  // namespace
+
+LoadGenResult run_instance_load(net::SimNetwork& net,
+                                const sgx::SigStruct& common_sigstruct,
+                                const LoadGenConfig& config) {
+  if (config.sessions.empty()) throw Error("load gen: no sessions");
+  return config.mode == LoadMode::kOpen
+             ? run_open_loop(net, common_sigstruct, config)
+             : run_closed_loop(net, common_sigstruct, config);
 }
 
 }  // namespace sinclave::workload

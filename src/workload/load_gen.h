@@ -1,11 +1,29 @@
 // Multi-client load generator for the CAS serving layer.
 //
-// Models a fleet of starters racing to bring up singleton enclaves: N
-// client threads each open a connection to the instance endpoint and issue
-// back-to-back retrieval requests (round-robin across the configured
-// sessions). Latencies land in a shared wait-free histogram; the result
-// carries aggregate requests/sec and the tail percentiles the serving
-// layer is judged on.
+// Models a fleet of starters racing to bring up singleton enclaves, in two
+// load modes:
+//
+//   * closed loop (kClosed) — N client threads each issue back-to-back
+//     synchronous retrievals; concurrency is capped at N. This is the
+//     classic benchmark shape, and what a thread-per-request frontend is
+//     judged on.
+//   * open loop (kOpen) — M logical clients, multiplexed over a few
+//     issuing threads, fire requests on a precomputed arrival schedule via
+//     Connection::async_call and never wait for responses before issuing
+//     the next arrival. Offered load is independent of service latency, so
+//     the in-flight count is free to climb far past the thread counts on
+//     either side — exactly the regime an event-driven frontend exists
+//     for.
+//
+// Reproducibility: every random decision (session choice, exponential
+// inter-arrival gaps) is drawn from a per-logical-client RNG seeded from
+// one base seed + the client index, and the whole arrival schedule is a
+// pure function of the config — make_schedule(config) twice is bytewise
+// identical (tests/test_workload.cpp asserts it).
+//
+// Latencies land in a shared wait-free histogram; the result carries
+// aggregate requests/sec, tail percentiles, and (open loop) the sustained
+// and maximum in-flight request counts.
 #pragma once
 
 #include <chrono>
@@ -19,16 +37,43 @@
 
 namespace sinclave::workload {
 
+enum class LoadMode {
+  kClosed,  // one synchronous request chain per client thread
+  kOpen,    // scheduled async arrivals; in-flight not capped by threads
+};
+
 struct LoadGenConfig {
-  /// Concurrent client threads.
+  LoadMode mode = LoadMode::kClosed;
+  /// Issuing threads. Closed loop: one logical client per thread. Open
+  /// loop: `logical_clients` arrival streams are multiplexed over these.
   std::size_t clients = 8;
-  /// Requests each client issues (total = clients * requests_per_client).
+  /// Requests each logical client issues.
   std::size_t requests_per_client = 100;
   /// Base service address; clients call `address + ".instance"`.
   std::string address;
-  /// Session names, assigned to requests round-robin.
+  /// Session names; each request picks one uniformly from its client RNG.
   std::vector<std::string> sessions;
+  /// Base seed: logical client c draws from rng(base_seed, c), so runs
+  /// are reproducible and clients are decorrelated.
+  std::uint64_t base_seed = 1;
+  /// Open loop only: independent arrival streams (the "fleet size").
+  std::size_t logical_clients = 64;
+  /// Open loop only: mean of the exponential inter-arrival gap per
+  /// logical client.
+  std::chrono::microseconds mean_interarrival{1000};
 };
+
+/// One planned request of a logical client.
+struct ScheduledRequest {
+  std::size_t session_index = 0;
+  /// Arrival time, relative to load start (always 0 in closed loop).
+  std::chrono::nanoseconds at{0};
+};
+
+/// The full deterministic arrival plan: one vector per logical client
+/// (closed loop: per thread). Pure function of the config.
+std::vector<std::vector<ScheduledRequest>> make_schedule(
+    const LoadGenConfig& config);
 
 struct LoadGenResult {
   std::uint64_t ok = 0;
@@ -40,6 +85,11 @@ struct LoadGenResult {
   /// Tokens returned by successful retrievals (tests assert uniqueness);
   /// hex-encoded.
   std::vector<std::string> tokens;
+  /// Peak concurrent requests in flight (client-side view).
+  std::uint64_t max_in_flight = 0;
+  /// Mean in-flight count sampled at each completion — the "sustained"
+  /// concurrency the serving layer actually held.
+  double sustained_in_flight = 0.0;
 
   double requests_per_sec() const {
     if (wall.count() == 0) return 0.0;

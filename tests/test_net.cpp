@@ -2,6 +2,12 @@
 // channel (server authentication, confidentiality, replay protection).
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <optional>
+#include <thread>
+#include <vector>
+
 #include "common/error.h"
 #include "crypto/sha256.h"
 #include "net/secure_channel.h"
@@ -46,6 +52,61 @@ TEST(SimNetwork, ShutdownBreaksConnections) {
   net.shutdown("svc");
   EXPECT_FALSE(net.has_listener("svc"));
   EXPECT_THROW(conn.call(Bytes{}), Error);
+}
+
+TEST(SimNetwork, CallAfterNetworkDestructionThrows) {
+  // Regression: a Connection used to hold a raw SimNetwork*, so calling
+  // through it after the network died was use-after-free, not an error.
+  std::optional<SimNetwork> net;
+  net.emplace();
+  net->listen("svc", [](ByteView) { return Bytes{1}; });
+  auto conn = net->connect("svc");
+  EXPECT_EQ(conn.call(Bytes{}), Bytes{1});
+  net.reset();
+  EXPECT_THROW(conn.call(Bytes{}), Error);
+  EXPECT_THROW(conn.async_call(Bytes{}, [](Bytes, std::exception_ptr) {}),
+               Error);
+}
+
+TEST(SimNetwork, CallRacingShutdownFailsCleanlyNeverDeadlocks) {
+  // Regression: clients hammering call() while the listener shuts down
+  // must each either get a response or a deterministic Error — and the
+  // shutdown drain must terminate.
+  SimNetwork net;
+  net.listen("svc", [](ByteView) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    return Bytes{1};
+  });
+  std::atomic<std::uint64_t> ok{0}, refused{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 4; ++t)
+    clients.emplace_back([&] {
+      std::optional<SimNetwork::Connection> conn;
+      try {
+        conn.emplace(net.connect("svc"));
+      } catch (const Error&) {
+        refused += 100;  // thread lost the race before its first call
+        return;
+      }
+      for (int i = 0; i < 100; ++i) {
+        try {
+          conn->call(Bytes{});
+          ++ok;
+        } catch (const Error&) {
+          ++refused;
+        }
+      }
+    });
+  // Gate the shutdown on observed successes (not a fixed sleep) so slow
+  // CI cannot shut down before any call lands.
+  while (ok.load() == 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  net.shutdown("svc");  // must not deadlock against the in-flight calls
+  for (auto& t : clients) t.join();
+  EXPECT_FALSE(net.has_listener("svc"));
+  EXPECT_EQ(ok.load() + refused.load(), 400u);
+  EXPECT_GT(ok.load(), 0u);       // some calls landed before shutdown
+  EXPECT_GT(refused.load(), 0u);  // and the rest failed, deterministically
 }
 
 TEST(SimNetwork, VirtualTimeAccounting) {

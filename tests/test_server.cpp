@@ -9,7 +9,9 @@
 
 #include <atomic>
 #include <set>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "core/predictor.h"
 #include "core/signer.h"
@@ -80,6 +82,78 @@ TEST(Metrics, HistogramIsThreadSafe) {
     });
   for (auto& t : threads) t.join();
   EXPECT_EQ(h.snapshot().count, 4000u);
+}
+
+TEST(Metrics, NegativeAndZeroDurationsAreClamped) {
+  LatencyHistogram h;
+  h.record(std::chrono::nanoseconds(-5000));
+  h.record(std::chrono::nanoseconds(0));
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_EQ(s.sum.count(), 0);  // the negative sample cannot poison the sum
+  EXPECT_EQ(s.max.count(), 0);
+  EXPECT_EQ(s.mean().count(), 0);
+  EXPECT_LE(s.p50, s.max);
+}
+
+TEST(Metrics, BucketUpperBoundsAreInclusive) {
+  // Regression: truncated boundary precomputation shaved 1 ns off bounds
+  // that are not double-representable, pushing a sample sitting exactly
+  // on a bucket's upper bound into the next bucket.
+  using std::chrono::nanoseconds;
+  const nanoseconds bound =
+      LatencyHistogram::bucket_bound(std::chrono::microseconds(2));
+  // The boundary value belongs to its own bucket...
+  EXPECT_EQ(LatencyHistogram::bucket_bound(bound), bound);
+  LatencyHistogram at;
+  at.record(bound);
+  EXPECT_EQ(at.snapshot().p50, bound);
+  // ...and one nanosecond past it belongs to the next.
+  LatencyHistogram past;
+  past.record(bound + nanoseconds(1));
+  EXPECT_GT(past.snapshot().p50, bound);
+}
+
+TEST(Metrics, MergeAndResetRacingRecordKeepInvariants) {
+  LatencyHistogram h, other;
+  std::atomic<bool> stop{false};
+  std::thread recorder([&] {
+    std::uint64_t i = 0;
+    while (!stop)
+      h.record(std::chrono::microseconds(1 + (i++ % 3000)));
+  });
+  std::thread churner([&] {
+    for (int i = 0; i < 200; ++i) {
+      other.record(std::chrono::microseconds(50));
+      h.merge(other);
+      h.reset();
+    }
+    stop = true;
+  });
+  for (int i = 0; i < 50; ++i) {
+    const auto s = h.snapshot();
+    EXPECT_GE(s.sum.count(), 0);
+    EXPECT_GE(s.mean().count(), 0);
+    EXPECT_LE(s.p50, s.p90);
+    EXPECT_LE(s.p90, s.p99);
+    EXPECT_LE(s.p99, s.max);
+  }
+  recorder.join();
+  churner.join();
+}
+
+TEST(Metrics, InFlightGaugeTracksHighWaterMark) {
+  ServerMetrics m;
+  m.enter_in_flight();
+  m.enter_in_flight();
+  m.enter_in_flight();
+  m.leave_in_flight();
+  EXPECT_EQ(m.requests_in_flight.load(), 2u);
+  EXPECT_EQ(m.max_in_flight.load(), 3u);
+  m.leave_in_flight();
+  m.leave_in_flight();
+  EXPECT_EQ(m.requests_in_flight.load(), 0u);
+  EXPECT_EQ(m.max_in_flight.load(), 3u);  // watermark survives
 }
 
 TEST(PolicyStore, ShardedGetPutEraseAndCounters) {
@@ -175,6 +249,98 @@ TEST(SigStructCacheTest, RefillGuardAdmitsOneWorker) {
   EXPECT_FALSE(cache.begin_refill("s"));
   cache.end_refill("s");
   EXPECT_TRUE(cache.begin_refill("s"));
+}
+
+TEST(SigStructCacheTest, EvictionErasesDrainedSessionPools) {
+  SigStructCache cache(2);
+  cas::MintedCredential cred;
+  cache.put("old", cred);
+  cache.put("hot", cred);
+  EXPECT_EQ(cache.sessions(), 2u);
+  cache.put("hot", cred);  // 3 > capacity 2: "old" drained to zero
+  EXPECT_EQ(cache.pooled("old"), 0u);
+  EXPECT_EQ(cache.sessions(), 1u);  // the empty pool is gone, not leaked
+}
+
+TEST(SigStructCacheTest, RefillGuardSurvivesPoolEviction) {
+  // Regression: the refilling flag used to live inside the evictable
+  // SessionPool, so evicting a session mid-refill recreated the pool with
+  // refilling=false — admitting a second concurrent refiller whose
+  // end_refill then clobbered the first's guard.
+  SigStructCache cache(2);
+  ASSERT_TRUE(cache.begin_refill("s"));
+  cas::MintedCredential cred;
+  cache.put("s", cred);
+  cache.put("a", cred);
+  cache.put("a", cred);  // overflow: LRU "s" drains to zero and is erased
+  EXPECT_EQ(cache.pooled("s"), 0u);
+  EXPECT_EQ(cache.sessions(), 1u);
+  EXPECT_FALSE(cache.begin_refill("s"));  // guard held across the eviction
+  cache.end_refill("s");
+  EXPECT_TRUE(cache.begin_refill("s"));
+  cache.end_refill("s");
+}
+
+TEST(SigStructCacheTest, RefillGuardRacingEvictionStaysCoherent) {
+  SigStructCache cache(4);
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> cycles{0};
+  std::thread refiller([&] {
+    cas::MintedCredential cred;
+    while (!stop) {
+      if (cache.begin_refill("s")) {
+        cache.put("s", cred);
+        cache.end_refill("s");
+        ++cycles;
+      }
+    }
+  });
+  std::thread evictor([&] {
+    cas::MintedCredential cred;
+    for (int i = 0; i < 2000; ++i)
+      cache.put("x" + std::to_string(i % 8), cred);
+    stop = true;
+  });
+  refiller.join();
+  evictor.join();
+  EXPECT_GT(cycles.load(), 0u);
+  // Whatever interleaving happened, the guard ends released exactly once.
+  EXPECT_TRUE(cache.begin_refill("s"));
+  EXPECT_FALSE(cache.begin_refill("s"));
+  cache.end_refill("s");
+}
+
+TEST(SigStructCacheTest, LowWatermarkFiresOnTakeFlushAndEviction) {
+  SigStructCache cache(4);
+  std::vector<std::string> fired;
+  cache.set_low_watermark(
+      2, [&](const std::string& session) { fired.push_back(session); });
+  cas::MintedCredential cred;
+  cache.put("s", cred);
+  cache.put("s", cred);
+  cache.put("s", cred);
+  EXPECT_TRUE(fired.empty());  // puts never signal pressure
+  (void)cache.take("s");       // 2 left: at the watermark, not below
+  EXPECT_TRUE(fired.empty());
+  (void)cache.take("s");  // 1 left: below
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], "s");
+  cache.put("s", cred);
+  cache.flush("s");  // flushed to zero: below
+  ASSERT_EQ(fired.size(), 2u);
+  // Eviction starving a session fires for the *victim*.
+  cache.put("cold", cred);
+  cache.put("cold", cred);
+  cache.put("hot", cred);
+  cache.put("hot", cred);
+  cache.put("hot", cred);  // 5 > 4: evict from "cold"
+  ASSERT_FALSE(fired.empty());
+  EXPECT_EQ(fired.back(), "cold");
+  // A miss on an empty pool is the deepest pressure of all.
+  fired.clear();
+  EXPECT_FALSE(cache.take("nothing").has_value());
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], "nothing");
 }
 
 // --- serving layer on a full testbed ---------------------------------------
