@@ -65,9 +65,39 @@ void BM_SinClaveSign(benchmark::State& state) {
   }
 }
 
+// Pure RSA-3072 signature throughput — the CPU cost a CAS pays per minted
+// on-demand SigStruct (the measurement work above is per *image*, but the
+// signature is per *singleton credential*). items_per_second is the "sign
+// ops/s" number tracked across PRs in BENCH_signing.json.
+void BM_RsaSign3072(benchmark::State& state) {
+  const crypto::RsaKeyPair& key = signer_key();
+  const Bytes msg = to_bytes("sigstruct-under-bench");
+  crypto::Montgomery::Scratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(key.sign_pkcs1_sha256(msg, scratch));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+// RSA-3072 verification with the cached per-key context (65537 ladder) —
+// the per-retrieval cost of checking a common SigStruct when the serving
+// layer's verify-once memo misses.
+void BM_RsaVerify3072(benchmark::State& state) {
+  const crypto::RsaKeyPair& key = signer_key();
+  const Bytes msg = to_bytes("sigstruct-under-bench");
+  const Bytes sig = key.sign_pkcs1_sha256(msg);
+  const crypto::RsaPublicKey& pub = key.public_key();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pub.verify_pkcs1_sha256(msg, sig));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
 BENCHMARK(BM_NativeCompile)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_BaselineSign)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SinClaveSign)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RsaSign3072)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RsaVerify3072)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

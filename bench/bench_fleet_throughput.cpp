@@ -5,32 +5,40 @@
 // start — Fig. 7c). Since the frontend became completion-driven, a request
 // parks its backend-I/O stall on the timer wheel instead of a worker
 // thread, so the old thread-per-request ceiling (workers / backend_io
-// req/s) is gone. Three measurements pin that down:
+// req/s) is gone. Four measurements pin the serving-layer properties down:
 //
 //  1. Cache effect on a single retrieval: a pre-minted cache hit skips
-//     the RSA-CRT signature (~5 ms at the SGX key size; smaller at this
+//     the RSA-CRT signature (~2 ms at the SGX key size; smaller at this
 //     benchmark's 1024-bit keys), the dominant CPU cost of Fig. 7c.
 //
-//  2. Closed-loop sync sweep, workers 1 -> 8, on the cached path with a
-//     2 ms simulated backend stall. PR 1's thread-pooled frontend scaled
-//     linearly with workers here because each worker slept through the
-//     stall; the event-driven frontend is flat-at-the-top instead: even
-//     ONE worker sustains the whole 16-client fleet, because no worker
-//     ever holds a stall. Gate: rps at 1 worker >= 4x the thread-bound
-//     ceiling (1 worker / backend_io). Also gates the no-regression bar:
-//     cached-path p50 at 8 workers stays within 2x backend_io.
+//  2. Batched vs serial minting: refills coalesce pool deficit into
+//     CasService::mint_batch calls, paying the per-batch costs (common-
+//     SigStruct verification, RNG lock, verifier id, signature scratch
+//     arena) once per k credentials. Gate: batched per-credential cost
+//     <= serial per-credential cost.
 //
-//  3. Open-loop async mode (the acceptance bar of the async frontend):
+//  3. Closed-loop sync sweep, workers 1 -> 8, on the cached path with a
+//     2 ms simulated backend stall. The event-driven frontend is
+//     flat-at-the-top: even ONE worker sustains the whole 16-client
+//     fleet, because no worker ever holds a stall. Gate: rps at 1 worker
+//     >= 4x the thread-bound ceiling (1 worker / backend_io); cached-path
+//     p50 at 8 workers stays within 2x backend_io.
+//
+//  4. Open-loop async mode (the acceptance bar of the async frontend):
 //     64 logical clients multiplexed over 4 issuing threads fire Poisson
-//     arrivals via async_call against 8 workers with a 8 ms backend
-//     stall. Offered load is independent of service time, so in-flight
-//     climbs to ~backend_io/mean_interarrival per client. Gate: sustained
-//     in-flight >= 4x worker threads.
+//     arrivals via async_call against 8 workers with an 8 ms backend
+//     stall. Gate: sustained in-flight >= 4x worker threads.
 //
 // Keys are RSA-1024 to keep setup time sane; the *relative* effects are
 // key-size independent (the cached path skips the signature entirely).
+//
+// Flags: --smoke shrinks request counts for CI bit-rot checks; --json F
+// writes the machine-readable trajectory record (tools/run_benches.sh
+// points it at BENCH_fleet.json).
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -42,12 +50,12 @@
 
 using namespace sinclave;
 using FpMillis = std::chrono::duration<double, std::milli>;
+using Clock = std::chrono::steady_clock;
 
 namespace {
 
 constexpr const char* kAddress = "cas.fleet";
 constexpr std::size_t kClients = 16;
-constexpr std::size_t kRequestsPerClient = 50;  // 800 requests per sweep
 constexpr std::size_t kSessions = 4;
 constexpr auto kBackendIo = std::chrono::microseconds(2000);
 
@@ -63,11 +71,24 @@ struct SweepResult {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+      json_path = argv[++i];
+  }
+  const std::size_t requests_per_client = smoke ? 10 : 50;
+  // Kept full-size even under --smoke: the serial-vs-batch gate needs the
+  // averaging, and 2x96 mints is milliseconds, not the slow part.
+  const std::size_t mint_count = 96;
+
   std::printf("== Fleet throughput: event-driven CAS serving layer ==\n");
-  std::printf("clients=%zu requests=%zu sessions=%zu backend-io=%lldus\n\n",
-              kClients, kClients * kRequestsPerClient, kSessions,
-              static_cast<long long>(kBackendIo.count()));
+  std::printf("clients=%zu requests=%zu sessions=%zu backend-io=%lldus%s\n\n",
+              kClients, kClients * requests_per_client, kSessions,
+              static_cast<long long>(kBackendIo.count()),
+              smoke ? " [smoke]" : "");
 
   workload::TestbedConfig cfg;
   cfg.seed = 91;
@@ -93,6 +114,7 @@ int main() {
   }
 
   // --- 1. cached vs uncached single-retrieval latency ---------------------
+  double cold_ms = 0, warm_miss_ms = 0, hit_ms = 0;
   {
     server::CasServerConfig scfg;
     scfg.workers = 1;
@@ -101,19 +123,18 @@ int main() {
     request.session_name = sessions[0];
     request.common_sigstruct = signed_image.sigstruct;
 
-    using Clock = std::chrono::steady_clock;
     auto t0 = Clock::now();
     server.handle_instance(request);  // cold: verify + predict + sign
-    const double cold_ms = FpMillis(Clock::now() - t0).count();
+    cold_ms = FpMillis(Clock::now() - t0).count();
 
     t0 = Clock::now();
     server.handle_instance(request);  // warm memo, still signs
-    const double warm_miss_ms = FpMillis(Clock::now() - t0).count();
+    warm_miss_ms = FpMillis(Clock::now() - t0).count();
 
     server.premint(sessions[0], signed_image.sigstruct, 1);
     t0 = Clock::now();
     server.handle_instance(request);  // pre-minted: no RSA on the path
-    const double hit_ms = FpMillis(Clock::now() - t0).count();
+    hit_ms = FpMillis(Clock::now() - t0).count();
 
     std::printf("single retrieval (rsa-1024):\n");
     std::printf("  cold (verify+sign)        %8.3f ms\n", cold_ms);
@@ -121,8 +142,45 @@ int main() {
     std::printf("  pre-minted cache hit      %8.3f ms\n\n", hit_ms);
   }
 
-  // --- 2. closed-loop worker sweep on the cached retrieval path -----------
-  const std::size_t total_requests = kClients * kRequestsPerClient;
+  // --- 2. batched vs serial minting (the refill path's unit economics) ----
+  // Interleaved best-of-3 chunks: per-credential cost is a few hundred
+  // microseconds, so a transient scheduler stall in one chunk must not
+  // decide the comparison.
+  double serial_ms_per_cred = 0, batch_ms_per_cred = 0;
+  {
+    const auto policy = bed.cas().get_policy(sessions[0]);
+    // Warm both paths (contexts, scratch TLS) outside the timed regions.
+    (void)bed.cas().mint_credential(*policy, signed_image.sigstruct);
+    (void)bed.cas().mint_batch(*policy, signed_image.sigstruct, 2);
+
+    const std::size_t chunk = mint_count / 3;
+    double serial_best = 1e99, batch_best = 1e99;
+    for (int rep = 0; rep < 3; ++rep) {
+      auto t0 = Clock::now();
+      for (std::size_t i = 0; i < chunk; ++i)
+        (void)bed.cas().mint_credential(*policy, signed_image.sigstruct);
+      serial_best = std::min(serial_best,
+                             FpMillis(Clock::now() - t0).count() /
+                                 static_cast<double>(chunk));
+      t0 = Clock::now();
+      const auto batch =
+          bed.cas().mint_batch(*policy, signed_image.sigstruct, chunk);
+      batch_best = std::min(batch_best,
+                            FpMillis(Clock::now() - t0).count() /
+                                static_cast<double>(batch.size()));
+    }
+    serial_ms_per_cred = serial_best;
+    batch_ms_per_cred = batch_best;
+
+    std::printf("minting 3x%zu credentials (rsa-1024), best chunk:\n", chunk);
+    std::printf("  serial mint_credential    %8.3f ms/credential\n",
+                serial_ms_per_cred);
+    std::printf("  batched mint_batch        %8.3f ms/credential  (%.2fx)\n\n",
+                batch_ms_per_cred, serial_ms_per_cred / batch_ms_per_cred);
+  }
+
+  // --- 3. closed-loop worker sweep on the cached retrieval path -----------
+  const std::size_t total_requests = kClients * requests_per_client;
   std::vector<SweepResult> results;
   for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
     server::CasServerConfig scfg;
@@ -142,7 +200,7 @@ int main() {
 
     workload::LoadGenConfig load;
     load.clients = kClients;
-    load.requests_per_client = kRequestsPerClient;
+    load.requests_per_client = requests_per_client;
     load.address = kAddress;
     load.sessions = sessions;
     load.base_seed = 91;
@@ -195,11 +253,22 @@ int main() {
   std::printf("cached-path p50 at 8 workers: %.2fms %s\n", p50_8w_ms,
               p50_8w_ms <= 2.0 * backend_ms ? "(<= 2x backend-io: PASS)"
                                             : "(regressed: FAIL)");
+  // Gate with a noise allowance: the batch path strictly removes work
+  // (per-credential RSA verify, RNG lock, arena setup), so anything past
+  // noise above serial is a real regression. Smoke runs on shared CI
+  // runners get a wider band — their chunks are the same size but the
+  // ambient scheduler noise is much larger.
+  const double mint_tolerance = smoke ? 1.10 : 1.02;
+  const bool mint_pass =
+      batch_ms_per_cred <= serial_ms_per_cred * mint_tolerance;
+  std::printf("batched vs serial minting: %.3f vs %.3f ms/cred %s\n",
+              batch_ms_per_cred, serial_ms_per_cred,
+              mint_pass ? "(batch <= serial: PASS)" : "(regressed: FAIL)");
 
-  // --- 3. open-loop async mode: in-flight >> workers ----------------------
+  // --- 4. open-loop async mode: in-flight >> workers ----------------------
   constexpr std::size_t kOpenWorkers = 8;
   constexpr std::size_t kLogicalClients = 64;
-  constexpr std::size_t kOpenRequests = 25;  // per logical client
+  const std::size_t open_requests = smoke ? 8 : 25;  // per logical client
   constexpr auto kOpenBackendIo = std::chrono::microseconds(8000);
   constexpr auto kMeanInterarrival = std::chrono::microseconds(8000);
 
@@ -210,7 +279,7 @@ int main() {
   scfg.backend_io = kOpenBackendIo;
   server::CasServer server(&bed.cas(), scfg);
   server.bind(bed.network(), kAddress);
-  const std::size_t open_total = kLogicalClients * kOpenRequests;
+  const std::size_t open_total = kLogicalClients * open_requests;
   for (const auto& session : sessions)
     server.premint(session, signed_image.sigstruct,
                    open_total / kSessions + 120);
@@ -219,7 +288,7 @@ int main() {
   load.mode = workload::LoadMode::kOpen;
   load.clients = 4;  // issuing threads
   load.logical_clients = kLogicalClients;
-  load.requests_per_client = kOpenRequests;
+  load.requests_per_client = open_requests;
   load.mean_interarrival = kMeanInterarrival;
   load.address = kAddress;
   load.sessions = sessions;
@@ -259,8 +328,44 @@ int main() {
                   ? "(>= 4x workers: PASS)"
                   : "(< 4x workers: FAIL)");
 
+  if (json_path != nullptr) {
+    if (std::FILE* f = std::fopen(json_path, "w")) {
+      std::fprintf(f, "{\n  \"smoke\": %s,\n", smoke ? "true" : "false");
+      std::fprintf(f,
+                   "  \"single_retrieval_ms\": {\"cold\": %.4f, "
+                   "\"warm_miss\": %.4f, \"cache_hit\": %.4f},\n",
+                   cold_ms, warm_miss_ms, hit_ms);
+      std::fprintf(f,
+                   "  \"mint\": {\"serial_ms_per_cred\": %.4f, "
+                   "\"batch_ms_per_cred\": %.4f, \"speedup\": %.3f},\n",
+                   serial_ms_per_cred, batch_ms_per_cred,
+                   serial_ms_per_cred / batch_ms_per_cred);
+      std::fprintf(f, "  \"closed_loop\": [\n");
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto& r = results[i];
+        std::fprintf(f,
+                     "    {\"workers\": %zu, \"ops_per_sec\": %.1f, "
+                     "\"p50_ms\": %.3f, \"p99_ms\": %.3f}%s\n",
+                     r.workers, r.rps, r.p50_ms, r.p99_ms,
+                     i + 1 < results.size() ? "," : "");
+      }
+      std::fprintf(f, "  ],\n");
+      std::fprintf(f,
+                   "  \"open_loop\": {\"ops_per_sec\": %.1f, \"p50_ms\": "
+                   "%.3f, \"p99_ms\": %.3f, \"sustained_in_flight\": %.1f, "
+                   "\"max_in_flight\": %llu}\n}\n",
+                   run.requests_per_sec(), FpMillis(run.latency.p50).count(),
+                   FpMillis(run.latency.p99).count(), run.sustained_in_flight,
+                   static_cast<unsigned long long>(run.max_in_flight));
+      std::fclose(f);
+      std::printf("\nwrote %s\n", json_path);
+    } else {
+      std::printf("\nWARNING: could not open %s for writing\n", json_path);
+    }
+  }
+
   const bool pass = detach_factor >= 4.0 &&
-                    p50_8w_ms <= 2.0 * backend_ms &&
+                    p50_8w_ms <= 2.0 * backend_ms && mint_pass &&
                     run.sustained_in_flight >= required;
   return pass ? 0 : 1;
 }

@@ -142,6 +142,12 @@ void CasService::bind(net::SimNetwork& net, const std::string& address) {
 MintedCredential CasService::mint_credential(
     const Policy& policy, const sgx::SigStruct& common_sigstruct,
     InstanceTimings* timings) {
+  return std::move(mint_batch(policy, common_sigstruct, 1, timings).front());
+}
+
+std::vector<MintedCredential> CasService::mint_batch(
+    const Policy& policy, const sgx::SigStruct& common_sigstruct,
+    std::size_t count, InstanceTimings* timings) {
   if (!policy.require_singleton || !policy.base_hash.has_value())
     throw Error("cas: policy is not configured for singleton enclaves");
 
@@ -154,25 +160,34 @@ MintedCredential CasService::mint_credential(
     signer = &it->second;  // map nodes are pointer-stable under inserts
   }
 
-  MintedCredential cred;
+  std::vector<MintedCredential> batch(count);
+  if (count == 0) return batch;
+
+  // Per-batch costs, paid once: the common-SigStruct verification (inside
+  // OnDemandSigner) plus its scratch arena, the verifier-id hash, and one
+  // RNG critical section for all the tokens.
+  core::OnDemandSigner minter(common_sigstruct, *signer);
+  const Hash256 vid = verifier_id();
   {
     std::lock_guard lock(rng_mutex_);
-    rng_.generate(cred.token.data.data(), cred.token.size());
+    for (MintedCredential& cred : batch)
+      rng_.generate(cred.token.data.data(), cred.token.size());
   }
 
-  auto mark = Clock::now();
-  core::InstancePage page;
-  page.token = cred.token;
-  page.verifier_id = verifier_id();
-  cred.mr_enclave =
-      core::MeasurementPredictor::predict(*policy.base_hash, page);
-  if (timings != nullptr) timings->predict += Clock::now() - mark;
+  for (MintedCredential& cred : batch) {
+    auto mark = Clock::now();
+    core::InstancePage page;
+    page.token = cred.token;
+    page.verifier_id = vid;
+    cred.mr_enclave =
+        core::MeasurementPredictor::predict(*policy.base_hash, page);
+    if (timings != nullptr) timings->predict += Clock::now() - mark;
 
-  mark = Clock::now();
-  cred.sigstruct = core::make_on_demand_sigstruct(common_sigstruct,
-                                                  cred.mr_enclave, *signer);
-  if (timings != nullptr) timings->sign += Clock::now() - mark;
-  return cred;
+    mark = Clock::now();
+    cred.sigstruct = minter.make(cred.mr_enclave);
+    if (timings != nullptr) timings->sign += Clock::now() - mark;
+  }
+  return batch;
 }
 
 void CasService::register_token(const core::AttestationToken& token,

@@ -28,6 +28,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "cas/protocol.h"
 #include "core/base_hash.h"
@@ -160,6 +161,16 @@ class CasService {
   MintedCredential mint_credential(const Policy& policy,
                                    const sgx::SigStruct& common_sigstruct,
                                    InstanceTimings* timings = nullptr);
+
+  /// Batch mint: `count` credentials with the per-batch costs paid once —
+  /// one signer lookup, one common-SigStruct RSA verification, one
+  /// verifier-id hash, one RNG critical section, and one Montgomery
+  /// scratch arena shared across all `count` signatures. This is the
+  /// refill path of the serving layer (server::CasServer coalesces pool
+  /// top-ups into batch jobs). Same preconditions as mint_credential.
+  std::vector<MintedCredential> mint_batch(
+      const Policy& policy, const sgx::SigStruct& common_sigstruct,
+      std::size_t count, InstanceTimings* timings = nullptr);
 
   /// Arm a minted credential: register its one-time token for
   /// `session_name` with the expected singleton measurement.

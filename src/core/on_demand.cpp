@@ -4,18 +4,26 @@
 
 namespace sinclave::core {
 
+OnDemandSigner::OnDemandSigner(const sgx::SigStruct& common,
+                               const crypto::RsaKeyPair& signer)
+    : common_(common), signer_(signer) {
+  if (!(common_.signer_key == signer_.public_key()))
+    throw Error("on-demand sigstruct: common sigstruct from different signer");
+  if (!common_.signature_valid())
+    throw Error("on-demand sigstruct: common sigstruct signature invalid");
+}
+
+sgx::SigStruct OnDemandSigner::make(const sgx::Measurement& singleton_mr) {
+  sgx::SigStruct out = common_;
+  out.enclave_hash = singleton_mr;
+  out.sign(signer_, scratch_);
+  return out;
+}
+
 sgx::SigStruct make_on_demand_sigstruct(const sgx::SigStruct& common,
                                         const sgx::Measurement& singleton_mr,
                                         const crypto::RsaKeyPair& signer) {
-  if (!(common.signer_key == signer.public_key()))
-    throw Error("on-demand sigstruct: common sigstruct from different signer");
-  if (!common.signature_valid())
-    throw Error("on-demand sigstruct: common sigstruct signature invalid");
-
-  sgx::SigStruct out = common;
-  out.enclave_hash = singleton_mr;
-  out.sign(signer);
-  return out;
+  return OnDemandSigner(common, signer).make(singleton_mr);
 }
 
 }  // namespace sinclave::core

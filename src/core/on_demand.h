@@ -24,4 +24,24 @@ sgx::SigStruct make_on_demand_sigstruct(const sgx::SigStruct& common,
                                         const sgx::Measurement& singleton_mr,
                                         const crypto::RsaKeyPair& signer);
 
+/// Batch form of the same derivation: the signer-approval precondition is
+/// checked once at construction (one RSA verification for the whole
+/// batch — not one per credential), and every make() reuses a single
+/// Montgomery scratch arena. Not thread-safe; one instance per minting
+/// thread or batch job.
+class OnDemandSigner {
+ public:
+  /// Throws Error when `common` is not the `signer`'s or does not verify.
+  /// Both references are borrowed and must outlive the signer.
+  OnDemandSigner(const sgx::SigStruct& common,
+                 const crypto::RsaKeyPair& signer);
+
+  sgx::SigStruct make(const sgx::Measurement& singleton_mr);
+
+ private:
+  const sgx::SigStruct& common_;
+  const crypto::RsaKeyPair& signer_;
+  crypto::Montgomery::Scratch scratch_;
+};
+
 }  // namespace sinclave::core

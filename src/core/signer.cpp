@@ -7,6 +7,13 @@ namespace sinclave::core {
 
 namespace {
 
+/// Shared all-zero page for heap/instance measurement (these paths run per
+/// signing and per prediction; no point re-zeroing 4 KiB each time).
+const Bytes& zero_page() {
+  static const Bytes page(sgx::kPageSize, 0);
+  return page;
+}
+
 /// Replays the full construction stream of `image` into `log`, stopping
 /// before the instance page. `after_op` runs after every measurement
 /// operation (the interruptible path uses it to export the hash state —
@@ -29,7 +36,6 @@ void measure_until_instance_page(Log& log, const EnclaveImage& image,
     }
   }
 
-  const Bytes zero_page(sgx::kPageSize, 0);
   const std::uint64_t heap_base = image.code_bytes_padded();
   for (std::uint64_t p = 0; p < image.heap_pages(); ++p) {
     const std::uint64_t off = heap_base + p * sgx::kPageSize;
@@ -37,7 +43,7 @@ void measure_until_instance_page(Log& log, const EnclaveImage& image,
     after_op();
     for (std::size_t c = 0; c < sgx::kChunksPerPage; ++c) {
       log.eextend(off + c * sgx::kExtendChunkSize,
-                  ByteView{zero_page.data() + c * sgx::kExtendChunkSize,
+                  ByteView{zero_page().data() + c * sgx::kExtendChunkSize,
                            sgx::kExtendChunkSize});
       after_op();
     }
@@ -47,9 +53,8 @@ void measure_until_instance_page(Log& log, const EnclaveImage& image,
 /// Appends the (zeroed) instance page to finish a *common* measurement.
 template <typename Log>
 void measure_zero_instance_page(Log& log, const EnclaveImage& image) {
-  const Bytes zero_page(sgx::kPageSize, 0);
   log.add_measured_page(image.instance_page_offset(), sgx::SecInfo::reg_rw(),
-                        zero_page);
+                        zero_page());
 }
 
 }  // namespace

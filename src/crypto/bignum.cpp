@@ -251,6 +251,42 @@ BigInt BigInt::gcd(BigInt a, BigInt b) {
 // Montgomery context
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// Compare two k-limb values; -1/0/1 like memcmp.
+int cmp_limbs(const std::uint64_t* a, const std::uint64_t* b, std::size_t k) {
+  for (std::size_t i = k; i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+/// In-place k-limb subtraction a -= b (caller guarantees no net underflow
+/// beyond a tracked top bit).
+void sub_limbs(std::uint64_t* a, const std::uint64_t* b, std::size_t k) {
+  std::uint64_t borrow = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const u128 sub = u128{a[i]} - b[i] - borrow;
+    a[i] = static_cast<std::uint64_t>(sub);
+    borrow = (sub >> 64) ? 1 : 0;
+  }
+}
+
+/// Window width for a fixed-window exponentiation: balances the
+/// 2^(w-1)-entry table precomputation against the bits/w multiplies.
+/// RSA-3072 CRT halves (1536-bit exponents) land on w = 5.
+int window_bits(std::size_t exp_bits) {
+  if (exp_bits > 671) return 5;
+  if (exp_bits > 239) return 4;
+  if (exp_bits > 79) return 3;
+  if (exp_bits > 23) return 2;
+  return 1;
+}
+
+thread_local Montgomery::Scratch tls_scratch;
+
+}  // namespace
+
 Montgomery::Montgomery(const BigInt& modulus) : n_(modulus) {
   if (!modulus.is_odd()) throw Error("montgomery: modulus must be odd");
   k_ = n_.limbs_.size();
@@ -265,14 +301,17 @@ Montgomery::Montgomery(const BigInt& modulus) : n_(modulus) {
   BigInt r{1};
   r = (r << (64 * k_)).mod(n_);
   rr_ = (r * r).mod(n_);
+  rr_padded_ = rr_.limbs_;
+  rr_padded_.resize(k_, 0);
 }
 
-std::vector<std::uint64_t> Montgomery::mul(
-    const std::vector<std::uint64_t>& a,
-    const std::vector<std::uint64_t>& b) const {
-  // CIOS Montgomery multiplication. a and b are k_-limb (zero padded).
-  std::vector<std::uint64_t> t(k_ + 2, 0);
-  const auto& n = n_.limbs_;
+void Montgomery::mont_mul(const std::uint64_t* a, const std::uint64_t* b,
+                          std::uint64_t* out, std::uint64_t* t) const {
+  // CIOS Montgomery multiplication; a and b are k_-limb (zero padded),
+  // every intermediate lives in the caller's (k_+2)-limb workspace `t`, so
+  // `out` may alias either input.
+  const std::uint64_t* n = n_.limbs_.data();
+  std::fill_n(t, k_ + 2, 0);
   for (std::size_t i = 0; i < k_; ++i) {
     // t += a[i] * b
     std::uint64_t carry = 0;
@@ -287,16 +326,12 @@ std::vector<std::uint64_t> Montgomery::mul(
 
     // m = t[0] * n0_inv mod 2^64; t += m * n; t >>= 64
     const std::uint64_t m = t[0] * n0_inv_;
-    carry = 0;
-    for (std::size_t j = 0; j < k_; ++j) {
+    // t[0] becomes zero by construction; only the carry matters.
+    carry = static_cast<std::uint64_t>((u128{m} * n[0] + t[0]) >> 64);
+    for (std::size_t j = 1; j < k_; ++j) {
       const u128 c2 = u128{m} * n[j] + t[j] + carry;
-      if (j == 0) {
-        // t[0] becomes zero by construction; only the carry matters.
-        carry = static_cast<std::uint64_t>(c2 >> 64);
-      } else {
-        t[j - 1] = static_cast<std::uint64_t>(c2);
-        carry = static_cast<std::uint64_t>(c2 >> 64);
-      }
+      t[j - 1] = static_cast<std::uint64_t>(c2);
+      carry = static_cast<std::uint64_t>(c2 >> 64);
     }
     cur = u128{t[k_]} + carry;
     t[k_ - 1] = static_cast<std::uint64_t>(cur);
@@ -304,55 +339,270 @@ std::vector<std::uint64_t> Montgomery::mul(
     t[k_ + 1] = 0;
   }
 
-  // Conditional subtraction: result may be >= n.
-  std::vector<std::uint64_t> result(t.begin(), t.begin() + static_cast<long>(k_));
-  bool ge = t[k_] != 0;
-  if (!ge) {
-    ge = true;
-    for (std::size_t i = k_; i-- > 0;) {
-      if (result[i] != n[i]) {
-        ge = result[i] > n[i];
-        break;
-      }
+  // Conditional subtraction: the result may be >= n (it is < 2n).
+  if (t[k_] != 0 || cmp_limbs(t, n, k_) >= 0) sub_limbs(t, n, k_);
+  std::copy_n(t, k_, out);
+}
+
+void Montgomery::mont_sqr(const std::uint64_t* a, std::uint64_t* out,
+                          std::uint64_t* wide) const {
+  // Schoolbook squaring into the wide buffer — off-diagonal products once,
+  // doubled by a one-bit shift, diagonal added — then one Montgomery
+  // reduction. ~3/4 the multiplications of mont_mul, and the windowed
+  // exponentiation ladder is overwhelmingly squarings.
+  std::fill_n(wide, 2 * k_ + 1, 0);
+  for (std::size_t i = 0; i < k_; ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = i + 1; j < k_; ++j) {
+      const u128 cur = u128{a[i]} * a[j] + wide[i + j] + carry;
+      wide[i + j] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    wide[i + k_] = carry;  // first write to this limb in the triangle
+  }
+  std::uint64_t shifted_out = 0;
+  for (std::size_t i = 0; i < 2 * k_; ++i) {
+    const std::uint64_t next = wide[i] >> 63;
+    wide[i] = (wide[i] << 1) | shifted_out;
+    shifted_out = next;
+  }
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < k_; ++i) {
+    const u128 d = u128{a[i]} * a[i];
+    u128 cur = u128{wide[2 * i]} + static_cast<std::uint64_t>(d) + carry;
+    wide[2 * i] = static_cast<std::uint64_t>(cur);
+    cur = u128{wide[2 * i + 1]} + static_cast<std::uint64_t>(d >> 64) +
+          static_cast<std::uint64_t>(cur >> 64);
+    wide[2 * i + 1] = static_cast<std::uint64_t>(cur);
+    carry = static_cast<std::uint64_t>(cur >> 64);
+  }
+  wide[2 * k_] = shifted_out + carry;  // a^2 < R^2, so this ends up zero
+  redc_wide(wide, out);
+}
+
+void Montgomery::redc_wide(std::uint64_t* wide, std::uint64_t* out) const {
+  // One Montgomery reduction of T < n * R held in wide[0..2k] (the spare
+  // top limb catches the final carry): out = T * R^-1 mod n < n.
+  const std::uint64_t* n = n_.limbs_.data();
+  for (std::size_t i = 0; i < k_; ++i) {
+    const std::uint64_t m = wide[i] * n0_inv_;
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < k_; ++j) {
+      const u128 cur = u128{m} * n[j] + wide[i + j] + carry;
+      wide[i + j] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    for (std::size_t idx = i + k_; carry != 0; ++idx) {
+      const u128 cur = u128{wide[idx]} + carry;
+      wide[idx] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
     }
   }
-  if (ge) {
-    std::uint64_t borrow = 0;
+  // Result is wide[k..2k] (top limb is 0 or 1), < 2n.
+  if (wide[2 * k_] != 0 || cmp_limbs(wide + k_, n, k_) >= 0)
+    sub_limbs(wide + k_, n, k_);
+  std::copy_n(wide + k_, k_, out);
+}
+
+void Montgomery::load_standard(const BigInt& v, std::uint64_t* out,
+                               std::uint64_t* t) const {
+  const std::size_t s = v.limbs_.size();
+  if (s <= k_) {
+    // Any k-limb value works directly: a Montgomery multiply only needs
+    // this operand < R; congruence mod n does the rest.
+    std::copy(v.limbs_.begin(), v.limbs_.end(), out);
+    std::fill_n(out + s, k_ - s, 0);
+    return;
+  }
+  // Wider values fold down Horner-style over k-limb chunks, most
+  // significant first: x = x * R + chunk, where the R-multiply is one
+  // Montgomery multiplication by R^2. The chunk add can overflow R by at
+  // most one n-subtraction's worth, so the result stays < R (congruent to
+  // v, not fully reduced — same contract as the direct path). This is how
+  // the full-width RSA message enters a half-width CRT context without a
+  // single long division.
+  const std::uint64_t* n = n_.limbs_.data();
+  std::size_t top = s % k_;
+  if (top == 0) top = k_;
+  std::size_t pos = s - top;  // limbs below pos remain to be folded
+  std::copy(v.limbs_.begin() + static_cast<long>(pos), v.limbs_.end(), out);
+  std::fill_n(out + top, k_ - top, 0);
+  while (pos > 0) {
+    pos -= k_;
+    // out < R, rr < n  =>  product < n: a valid left operand forever.
+    mont_mul(out, rr_padded_.data(), out, t);
+    std::uint64_t carry = 0;
     for (std::size_t i = 0; i < k_; ++i) {
-      const u128 sub = u128{result[i]} - n[i] - borrow;
-      result[i] = static_cast<std::uint64_t>(sub);
-      borrow = (sub >> 64) ? 1 : 0;
+      const u128 cur = u128{out[i]} + v.limbs_[pos + i] + carry;
+      out[i] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
     }
+    // Sum < n + R: a single subtraction clears any carry past R.
+    if (carry != 0) sub_limbs(out, n, k_);
   }
-  return result;
 }
 
-std::vector<std::uint64_t> Montgomery::to_mont(const BigInt& v) const {
-  BigInt reduced = v.mod(n_);
-  std::vector<std::uint64_t> padded = reduced.limbs_;
-  padded.resize(k_, 0);
-  std::vector<std::uint64_t> rr = rr_.limbs_;
-  rr.resize(k_, 0);
-  return mul(padded, rr);
+void Montgomery::store(const std::uint64_t* v, BigInt* out) const {
+  out->limbs_.resize(k_);
+  std::copy_n(v, k_, out->limbs_.data());
+  out->trim();
 }
 
-BigInt Montgomery::from_mont(std::vector<std::uint64_t> v) const {
-  std::vector<std::uint64_t> one(k_, 0);
-  one[0] = 1;
+void Montgomery::exp(const BigInt& base, const BigInt& exponent,
+                     Scratch& scratch, BigInt* out) const {
+  const std::size_t bits = exponent.bit_length();
+  if (bits == 0) {
+    out->limbs_.resize(1);
+    out->limbs_[0] = 1;
+    out->trim();
+    return;
+  }
+  const int w = window_bits(bits);
+  const std::size_t table_entries = std::size_t{1} << (w - 1);
+
+  // Carve the arena: acc | b2 | t | wide | odd-powers table.
+  std::uint64_t* arena =
+      scratch.require(3 * k_ + 3 + (2 + table_entries) * k_);
+  std::uint64_t* acc = arena;
+  std::uint64_t* b2 = arena + k_;
+  std::uint64_t* t = arena + 2 * k_;            // k_ + 2
+  std::uint64_t* wide = arena + 3 * k_ + 2;     // 2k_ + 1
+  std::uint64_t* table = arena + 5 * k_ + 3;    // table_entries * k_
+
+  // table[j] holds base^(2j+1) in Montgomery form.
+  load_standard(base, table, t);
+  mont_mul(table, rr_padded_.data(), table, t);
+  if (w > 1) {
+    mont_sqr(table, b2, wide);
+    for (std::size_t j = 1; j < table_entries; ++j)
+      mont_mul(table + (j - 1) * k_, b2, table + j * k_, t);
+  }
+
+  // Fixed-window scan, MSB first. The leading window seeds `acc` directly
+  // (no Montgomery-one needed); each further window is `gap` squarings
+  // followed by one odd-power multiply.
+  auto window = [&](std::size_t hi) {
+    // Find the lowest set bit within [hi - w + 1, hi]; the digit between
+    // is odd by construction.
+    std::size_t lo = hi + 1 >= static_cast<std::size_t>(w) ? hi + 1 - w : 0;
+    while (!exponent.bit(lo)) ++lo;
+    std::uint64_t digit = 0;
+    for (std::size_t b = hi + 1; b-- > lo;)
+      digit = (digit << 1) | (exponent.bit(b) ? 1 : 0);
+    return std::pair<std::size_t, std::uint64_t>{lo, digit};
+  };
+
+  auto [lo, digit] = window(bits - 1);
+  std::copy_n(table + (digit >> 1) * k_, k_, acc);
+  std::size_t i = lo;  // bits below i remain
+  while (i > 0) {
+    --i;
+    if (!exponent.bit(i)) {
+      mont_sqr(acc, acc, wide);
+      continue;
+    }
+    const auto [wlo, wdigit] = window(i);
+    for (std::size_t s = 0; s < i - wlo + 1; ++s) mont_sqr(acc, acc, wide);
+    mont_mul(acc, table + (wdigit >> 1) * k_, acc, t);
+    i = wlo;
+  }
+
+  // Leave Montgomery form: one reduction of the k-limb accumulator.
+  std::copy_n(acc, k_, wide);
+  std::fill_n(wide + k_, k_ + 1, 0);
+  redc_wide(wide, acc);
+  store(acc, out);
+}
+
+BigInt Montgomery::exp(const BigInt& base, const BigInt& exponent,
+                       Scratch& scratch) const {
   BigInt out;
-  out.limbs_ = mul(v, one);
-  out.trim();
+  exp(base, exponent, scratch, &out);
   return out;
 }
 
 BigInt Montgomery::exp(const BigInt& base, const BigInt& exponent) const {
-  std::vector<std::uint64_t> acc = to_mont(BigInt{1});
-  const std::vector<std::uint64_t> b = to_mont(base);
-  for (std::size_t i = exponent.bit_length(); i-- > 0;) {
-    acc = mul(acc, acc);
-    if (exponent.bit(i)) acc = mul(acc, b);
+  BigInt out;
+  exp(base, exponent, tls_scratch, &out);
+  return out;
+}
+
+void Montgomery::exp_u64(const BigInt& base, std::uint64_t exponent,
+                         Scratch& scratch, BigInt* out) const {
+  if (exponent == 0) {
+    out->limbs_.resize(1);
+    out->limbs_[0] = 1;
+    out->trim();
+    return;
   }
-  return from_mont(std::move(acc));
+  std::uint64_t* arena = scratch.require(5 * k_ + 3);
+  std::uint64_t* acc = arena;
+  std::uint64_t* b = arena + k_;
+  std::uint64_t* t = arena + 2 * k_;         // k_ + 2
+  std::uint64_t* wide = arena + 3 * k_ + 2;  // 2k_ + 1
+
+  load_standard(base, b, t);
+  mont_mul(b, rr_padded_.data(), b, t);
+  std::copy_n(b, k_, acc);
+  int i = 62 - __builtin_clzll(exponent);
+  for (; i >= 0; --i) {
+    mont_sqr(acc, acc, wide);
+    if ((exponent >> i) & 1) mont_mul(acc, b, acc, t);
+  }
+  std::copy_n(acc, k_, wide);
+  std::fill_n(wide + k_, k_ + 1, 0);
+  redc_wide(wide, acc);
+  store(acc, out);
+}
+
+BigInt Montgomery::exp_u64(const BigInt& base, std::uint64_t exponent) const {
+  BigInt out;
+  exp_u64(base, exponent, tls_scratch, &out);
+  return out;
+}
+
+void Montgomery::mul_mod(const BigInt& a, const BigInt& b, Scratch& scratch,
+                         BigInt* out) const {
+  std::uint64_t* arena = scratch.require(3 * k_ + 2);
+  std::uint64_t* am = arena;
+  std::uint64_t* bs = arena + k_;
+  std::uint64_t* t = arena + 2 * k_;  // k_ + 2
+
+  load_standard(a, am, t);
+  load_standard(b, bs, t);
+  // (a*R) * b * R^-1 = a*b mod n. After the first multiply am < n, which
+  // keeps the product bound valid even though bs may exceed n (it is < R).
+  mont_mul(am, rr_padded_.data(), am, t);
+  mont_mul(am, bs, am, t);
+  store(am, out);
+}
+
+BigInt Montgomery::mul_mod(const BigInt& a, const BigInt& b) const {
+  BigInt out;
+  mul_mod(a, b, tls_scratch, &out);
+  return out;
+}
+
+void Montgomery::reduce(const BigInt& v, Scratch& scratch, BigInt* out) const {
+  std::uint64_t* arena = scratch.require(4 * k_ + 3);
+  std::uint64_t* x = arena;
+  std::uint64_t* t = arena + k_;             // k_ + 2
+  std::uint64_t* wide = arena + 2 * k_ + 2;  // 2k_ + 1
+
+  // Fold to a congruent value < R, then an exact round trip through
+  // Montgomery form (x -> x*R mod n -> x mod n) lands strictly below n.
+  load_standard(v, x, t);
+  mont_mul(x, rr_padded_.data(), x, t);
+  std::copy_n(x, k_, wide);
+  std::fill_n(wide + k_, k_ + 1, 0);
+  redc_wide(wide, x);
+  store(x, out);
+}
+
+BigInt Montgomery::reduce(const BigInt& v) const {
+  BigInt out;
+  reduce(v, tls_scratch, &out);
+  return out;
 }
 
 }  // namespace sinclave::crypto

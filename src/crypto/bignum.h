@@ -114,21 +114,98 @@ inline BigInt BigInt::mod(const BigInt& m) const {
 }
 
 /// Montgomery multiplication context for a fixed odd modulus. Exposed so
-/// RSA can reuse one context across CRT exponentiations.
+/// RSA can reuse one context across CRT exponentiations (and cache it per
+/// key — the constructor computes n' and R^2 mod n, which costs far more
+/// than a single multiplication).
+///
+/// Exponentiation is fixed-window (4-5 bit for RSA/DH-sized exponents)
+/// over a precomputed odd-powers table, and every intermediate lives in a
+/// caller-supplied Scratch arena: the steady-state exp() path performs
+/// zero heap allocations (tests/test_alloc.cpp counts them). Wide inputs
+/// (up to 2k limbs, e.g. the full RSA message fed to a CRT half) are
+/// folded in with a Montgomery reduction instead of long division, so no
+/// bit-serial div_mod runs on the sign path at all.
+///
+/// Thread-safety: a context is immutable after construction; concurrent
+/// exp() calls are safe as long as each thread uses its own Scratch (the
+/// convenience overloads use a thread-local one).
 class Montgomery {
  public:
   explicit Montgomery(const BigInt& modulus);
 
+  const BigInt& modulus() const { return n_; }
+
+  /// Reusable workspace for the allocation-free kernels. Grows to the
+  /// largest modulus it has served and then never reallocates; one
+  /// instance per thread (or per batch job). Not thread-safe.
+  class Scratch {
+   public:
+    Scratch() = default;
+
+   private:
+    friend class Montgomery;
+    /// The arena is carved into acc/base/square/tmp/wide/table slices per
+    /// call; resize within capacity is allocation-free after warm-up.
+    std::uint64_t* require(std::size_t limbs) {
+      if (arena_.size() < limbs) arena_.resize(limbs);
+      return arena_.data();
+    }
+    std::vector<std::uint64_t> arena_;
+  };
+
+  /// (base ^ exponent) mod n. The convenience overloads draw on a
+  /// thread-local Scratch; the out-parameter form reuses `out`'s limb
+  /// storage and is fully allocation-free at steady state. `out` must not
+  /// alias `base` or `exponent`.
   BigInt exp(const BigInt& base, const BigInt& exponent) const;
+  BigInt exp(const BigInt& base, const BigInt& exponent,
+             Scratch& scratch) const;
+  void exp(const BigInt& base, const BigInt& exponent, Scratch& scratch,
+           BigInt* out) const;
+
+  /// Fixed small-exponent ladder (the RSA verify side: e = 65537 is 16
+  /// squarings + one multiplication). `out` must not alias `base`.
+  BigInt exp_u64(const BigInt& base, std::uint64_t exponent) const;
+  void exp_u64(const BigInt& base, std::uint64_t exponent, Scratch& scratch,
+               BigInt* out) const;
+
+  /// (a * b) mod n for standard-form inputs of any width — the CRT
+  /// recombination multiply, again without long division. `out` must not
+  /// alias `a` or `b`.
+  BigInt mul_mod(const BigInt& a, const BigInt& b) const;
+  void mul_mod(const BigInt& a, const BigInt& b, Scratch& scratch,
+               BigInt* out) const;
+
+  /// v mod n by Montgomery folding (k-limb chunks at one multiplication
+  /// each) — the allocation-light replacement for BigInt::mod against this
+  /// context's modulus. `out` must not alias `v`.
+  BigInt reduce(const BigInt& v) const;
+  void reduce(const BigInt& v, Scratch& scratch, BigInt* out) const;
 
  private:
-  std::vector<std::uint64_t> mul(const std::vector<std::uint64_t>& a,
-                                 const std::vector<std::uint64_t>& b) const;
-  std::vector<std::uint64_t> to_mont(const BigInt& v) const;
-  BigInt from_mont(std::vector<std::uint64_t> v) const;
+  /// CIOS Montgomery multiplication over raw k-limb operands. `t` is a
+  /// (k+2)-limb workspace; `out` may alias `a` or `b`.
+  void mont_mul(const std::uint64_t* a, const std::uint64_t* b,
+                std::uint64_t* out, std::uint64_t* t) const;
+  /// Montgomery squaring: the off-diagonal triangle is computed once and
+  /// doubled, so a squaring costs ~3/4 of a multiplication — and the
+  /// square-heavy exponentiation ladder is mostly squarings. `wide` is a
+  /// (2k+1)-limb workspace; `out` may alias `a`.
+  void mont_sqr(const std::uint64_t* a, std::uint64_t* out,
+                std::uint64_t* wide) const;
+  /// Montgomery reduction of a wide value T < n*R (2k+1 limbs, clobbered):
+  /// out = T * R^-1 mod n.
+  void redc_wide(std::uint64_t* wide, std::uint64_t* out) const;
+  /// Load `v` into `out` (k limbs), folding wider values down to v mod n
+  /// chunk by chunk (each fold is one Montgomery multiplication — no
+  /// division). `t` is a (k+2)-limb workspace.
+  void load_standard(const BigInt& v, std::uint64_t* out,
+                     std::uint64_t* t) const;
+  void store(const std::uint64_t* v, BigInt* out) const;
 
   BigInt n_;
   BigInt rr_;  // R^2 mod n
+  std::vector<std::uint64_t> rr_padded_;  // R^2 zero-padded to k limbs
   std::uint64_t n0_inv_;
   std::size_t k_;  // limb count of n
 };

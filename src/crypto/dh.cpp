@@ -27,13 +27,22 @@ const DhGroup& DhGroup::modp2048() {
   return group;
 }
 
+namespace {
+// The group is fixed, so every handshake shares one Montgomery context
+// instead of recomputing R^2 mod p per exponentiation.
+const Montgomery& modp2048_ctx() {
+  static const Montgomery ctx(DhGroup::modp2048().p);
+  return ctx;
+}
+}  // namespace
+
 DhKeyPair DhKeyPair::generate(Drbg& rng) {
   const DhGroup& grp = DhGroup::modp2048();
   DhKeyPair kp;
   Bytes exp = rng.generate(kExponentBytes);
   exp[0] |= 0x80;  // full-width exponent
   kp.x_ = BigInt::from_bytes_be(exp);
-  kp.gx_ = BigInt::mod_exp(grp.g, kp.x_, grp.p);
+  kp.gx_ = modp2048_ctx().exp(grp.g, kp.x_);
   return kp;
 }
 
@@ -47,7 +56,7 @@ Bytes DhKeyPair::shared_secret(ByteView peer_public) const {
   const BigInt p_minus_1 = grp.p - BigInt{1};
   if (peer <= BigInt{1} || peer >= p_minus_1)
     throw Error("dh: degenerate peer public value");
-  const BigInt secret = BigInt::mod_exp(peer, x_, grp.p);
+  const BigInt secret = modp2048_ctx().exp(peer, x_);
   return secret.to_bytes_be(kGroupBytes);
 }
 

@@ -31,13 +31,34 @@ Bytes pkcs1_encode(ByteView message, std::size_t em_len) {
 
 }  // namespace
 
+struct RsaPublicKey::VerifyContext {
+  explicit VerifyContext(const BigInt& modulus)
+      : n(modulus), mont(modulus) {}
+  BigInt n;  // the modulus this context was built for (staleness check)
+  Montgomery mont;
+};
+
+std::shared_ptr<const RsaPublicKey::VerifyContext>
+RsaPublicKey::verify_context() const {
+  auto ctx = verify_ctx_.load(std::memory_order_acquire);
+  if (ctx == nullptr || !(ctx->n == n)) {
+    ctx = std::make_shared<const VerifyContext>(n);
+    verify_ctx_.store(ctx, std::memory_order_release);
+  }
+  return ctx;
+}
+
 bool RsaPublicKey::verify_pkcs1_sha256(ByteView message,
                                        ByteView signature) const {
+  // A real RSA modulus is odd and > 1; anything else (e.g. a hostile
+  // deserialized SigStruct) verifies nothing.
+  if (!n.is_odd() || n <= BigInt{1}) return false;
   const std::size_t em_len = (n.bit_length() + 7) / 8;
   if (signature.size() != em_len) return false;
   const BigInt s = BigInt::from_bytes_be(signature);
   if (s >= n) return false;
-  const BigInt m = BigInt::mod_exp(s, BigInt{kRsaPublicExponent}, n);
+  // Fixed public exponent: 16 squarings + 1 multiply on the cached context.
+  const BigInt m = verify_context()->mont.exp_u64(s, kRsaPublicExponent);
   const Bytes em = m.to_bytes_be(em_len);
   const Bytes expected = pkcs1_encode(message, em_len);
   return ct_equal(em, expected);
@@ -145,46 +166,100 @@ BigInt generate_prime(std::size_t bits, Drbg& rng) {
 RsaKeyPair RsaKeyPair::generate(Drbg& rng, std::size_t bits) {
   if (bits < 512 || bits % 2 != 0)
     throw Error("rsa: key size must be an even number of bits >= 512");
+  // Multi-prime only where the factors stay large (1024-bit at the SGX key
+  // size); smaller keys keep the classic two-prime split.
+  const std::size_t n_primes = (bits >= 3072 && bits % 3 == 0) ? 3 : 2;
+  const std::size_t prime_bits = bits / n_primes;
+
   RsaKeyPair kp;
   kp.modulus_bytes_ = bits / 8;
   const BigInt e{kRsaPublicExponent};
   for (;;) {
-    kp.p_ = primes::generate_prime(bits / 2, rng);
-    kp.q_ = primes::generate_prime(bits / 2, rng);
-    if (kp.p_ == kp.q_) continue;
-    if (kp.q_ > kp.p_) std::swap(kp.p_, kp.q_);  // keep p > q for CRT
+    std::vector<BigInt> primes;
+    primes.reserve(n_primes);
+    for (std::size_t i = 0; i < n_primes; ++i)
+      primes.push_back(primes::generate_prime(prime_bits, rng));
+    bool distinct = true;
+    for (std::size_t i = 0; i < n_primes && distinct; ++i)
+      for (std::size_t j = i + 1; j < n_primes; ++j)
+        if (primes[i] == primes[j]) distinct = false;
+    if (!distinct) continue;
 
-    const BigInt p1 = kp.p_ - BigInt{1};
-    const BigInt q1 = kp.q_ - BigInt{1};
-    const BigInt phi = p1 * q1;
+    BigInt n{1}, phi{1};
+    for (const BigInt& p : primes) {
+      n = n * p;
+      phi = phi * (p - BigInt{1});
+    }
+    // Two top bits per prime guarantee full length for two primes; with
+    // three the product can fall one bit short — retry.
+    if (n.bit_length() != bits) continue;
     if (!(BigInt::gcd(e, phi) == BigInt{1})) continue;
 
-    kp.pub_.n = kp.p_ * kp.q_;
+    kp.pub_.n = n;
     kp.d_ = BigInt::mod_inverse(e, phi);
-    kp.dp_ = kp.d_.mod(p1);
-    kp.dq_ = kp.d_.mod(q1);
-    kp.qinv_ = BigInt::mod_inverse(kp.q_, kp.p_);
+    kp.primes_.clear();
+    kp.primes_.reserve(n_primes);
+    BigInt product{1};  // of all earlier primes
+    for (const BigInt& p : primes) {
+      CrtPrime leg;
+      leg.prime = p;
+      leg.exponent = kp.d_.mod(p - BigInt{1});
+      if (!kp.primes_.empty())
+        leg.coefficient = BigInt::mod_inverse(product, p);
+      // The CRT contexts live with the key: n' and R^2 are paid once per
+      // key, not once per signature.
+      leg.mont = std::make_shared<const Montgomery>(p);
+      kp.primes_.push_back(std::move(leg));
+      product = product * p;
+    }
     return kp;
   }
 }
 
-BigInt RsaKeyPair::private_op(const BigInt& input) const {
+BigInt RsaKeyPair::private_op(const BigInt& input,
+                              Montgomery::Scratch& scratch) const {
   if (input >= pub_.n) throw Error("rsa: input out of range");
-  // CRT: m1 = c^dp mod p, m2 = c^dq mod q, h = qinv*(m1-m2) mod p.
-  const Montgomery mp(p_);
-  const Montgomery mq(q_);
-  const BigInt m1 = mp.exp(input.mod(p_), dp_);
-  const BigInt m2 = mq.exp(input.mod(q_), dq_);
-  const BigInt diff = m1 >= m2 ? m1 - m2 : (m1 + p_) - m2.mod(p_);
-  const BigInt h = (qinv_ * diff).mod(p_);
-  return m2 + h * q_;
+  if (primes_.empty()) throw Error("rsa: key pair not initialized");
+  // CRT with Garner recombination: m_i = c^(d mod p_i-1) mod p_i, then
+  //   x := m_1;  x += (prod earlier primes) * h_i,
+  //   h_i = coeff_i * (m_i - x) mod p_i.
+  // The full-width input folds into each fractional-size context by
+  // Montgomery reduction inside exp(), and every mod-p_i step runs on the
+  // cached contexts — no long division anywhere on the sign path.
+  BigInt x;
+  primes_[0].mont->exp(input, primes_[0].exponent, scratch, &x);
+  BigInt product = primes_[0].prime;
+  for (std::size_t i = 1; i < primes_.size(); ++i) {
+    const CrtPrime& leg = primes_[i];
+    BigInt mi;
+    leg.mont->exp(input, leg.exponent, scratch, &mi);
+    BigInt xi;
+    leg.mont->reduce(x, scratch, &xi);
+    const BigInt diff = mi >= xi ? mi - xi : (mi + leg.prime) - xi;
+    BigInt h;
+    leg.mont->mul_mod(leg.coefficient, diff, scratch, &h);
+    x = x + product * h;
+    if (i + 1 < primes_.size()) product = product * leg.prime;
+  }
+  return x;
+}
+
+BigInt RsaKeyPair::private_op(const BigInt& input) const {
+  thread_local Montgomery::Scratch scratch;
+  return private_op(input, scratch);
+}
+
+Bytes RsaKeyPair::sign_pkcs1_sha256(ByteView message,
+                                    Montgomery::Scratch& scratch) const {
+  const Bytes em = pkcs1_encode(message, modulus_bytes_);
+  const BigInt m = BigInt::from_bytes_be(em);
+  const BigInt s = private_op(m, scratch);
+  return s.to_bytes_be(modulus_bytes_);
 }
 
 Bytes RsaKeyPair::sign_pkcs1_sha256(ByteView message) const {
-  const Bytes em = pkcs1_encode(message, modulus_bytes_);
-  const BigInt m = BigInt::from_bytes_be(em);
-  const BigInt s = private_op(m);
-  return s.to_bytes_be(modulus_bytes_);
+  thread_local Montgomery::Scratch scratch;
+  return sign_pkcs1_sha256(message, scratch);
 }
 
 }  // namespace sinclave::crypto

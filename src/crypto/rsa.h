@@ -6,7 +6,9 @@
 // verification uses the public exponent 65537.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 
 #include "common/bytes.h"
 #include "crypto/bignum.h"
@@ -19,22 +21,69 @@ inline constexpr std::size_t kRsaBytes = kRsaBits / 8;
 inline constexpr std::uint64_t kRsaPublicExponent = 65537;
 
 /// Public half: modulus + fixed exponent 65537.
+///
+/// Verification caches its Montgomery context (n' and R^2 mod n are
+/// recomputed only when `n` changes), so repeated verifies against the
+/// same key — quote verification, the common-SigStruct check — pay just
+/// the 65537 ladder: 16 squarings and one multiply. The cache is shared
+/// by copies and safe to hit concurrently.
 struct RsaPublicKey {
   BigInt n;
+
+  RsaPublicKey() = default;
+  RsaPublicKey(const RsaPublicKey& other)
+      : n(other.n), verify_ctx_(other.verify_ctx_.load()) {}
+  RsaPublicKey(RsaPublicKey&& other) noexcept
+      : n(std::move(other.n)), verify_ctx_(other.verify_ctx_.load()) {}
+  RsaPublicKey& operator=(const RsaPublicKey& other) {
+    if (this != &other) {
+      n = other.n;
+      verify_ctx_.store(other.verify_ctx_.load());
+    }
+    return *this;
+  }
+  RsaPublicKey& operator=(RsaPublicKey&& other) noexcept {
+    if (this != &other) {
+      n = std::move(other.n);
+      verify_ctx_.store(other.verify_ctx_.load());
+    }
+    return *this;
+  }
 
   Bytes modulus_be() const { return n.to_bytes_be(kRsaBytes); }
 
   /// Verify a PKCS#1 v1.5 SHA-256 signature. Returns false on any mismatch
-  /// (wrong length, bad padding, wrong digest).
+  /// (wrong length, bad padding, wrong digest, malformed modulus).
   bool verify_pkcs1_sha256(ByteView message, ByteView signature) const;
 
   Bytes serialize() const;
   static RsaPublicKey deserialize(ByteView data);
 
-  friend bool operator==(const RsaPublicKey&, const RsaPublicKey&) = default;
+  friend bool operator==(const RsaPublicKey& a, const RsaPublicKey& b) {
+    return a.n == b.n;
+  }
+
+ private:
+  struct VerifyContext;  // { modulus snapshot, Montgomery context }
+  /// Lazily built on first verify, revalidated against `n` (the field is
+  /// public and assignable), shared across copies. Atomic so concurrent
+  /// verifiers — CAS workers checking quotes against one platform key —
+  /// can race the first build safely.
+  std::shared_ptr<const VerifyContext> verify_context() const;
+  mutable std::atomic<std::shared_ptr<const VerifyContext>> verify_ctx_{};
 };
 
-/// Full key pair with CRT acceleration parameters.
+/// Full key pair with CRT acceleration parameters. Each prime's Montgomery
+/// context is built once at generation time and shared across copies, so a
+/// signature costs one windowed fractional-size exponentiation per prime
+/// plus a Garner recombination — no per-call context setup and no long
+/// division.
+///
+/// Keys of >= 3072 bits divisible by three use *multi-prime* RSA (RFC 8017
+/// §3.2: n = p1*p2*p3): schoolbook CRT cost scales with bits^3/primes^2,
+/// so three 1024-bit exponentiations undercut two 1536-bit ones by ~2.2x.
+/// The public key (n, 65537) is indistinguishable from the two-prime form;
+/// verification and the wire format are unchanged.
 class RsaKeyPair {
  public:
   /// Generate a fresh key pair; `bits` must be even and >= 512. All entropy
@@ -43,17 +92,35 @@ class RsaKeyPair {
 
   const RsaPublicKey& public_key() const { return pub_; }
 
-  /// PKCS#1 v1.5 SHA-256 signature over `message`.
+  /// PKCS#1 v1.5 SHA-256 signature over `message`. The scratch overload
+  /// lets batch signers reuse one arena across many signatures; the plain
+  /// overload draws on a thread-local arena.
   Bytes sign_pkcs1_sha256(ByteView message) const;
+  Bytes sign_pkcs1_sha256(ByteView message,
+                          Montgomery::Scratch& scratch) const;
 
   /// Raw private-key operation (used by tests to cross-check CRT math).
   BigInt private_op(const BigInt& input) const;
+  BigInt private_op(const BigInt& input, Montgomery::Scratch& scratch) const;
+
+  /// Private exponent d (tests cross-check the CRT path against the plain
+  /// mod_exp(d, n) definition).
+  const BigInt& private_exponent() const { return d_; }
 
  private:
+  /// One CRT leg: prime, reduced exponent d mod (p_i - 1), the Garner
+  /// coefficient (product of all earlier primes)^-1 mod p_i, and the
+  /// cached Montgomery context (immutable; shared by copies).
+  struct CrtPrime {
+    BigInt prime;
+    BigInt exponent;
+    BigInt coefficient;  // unused for the first prime
+    std::shared_ptr<const Montgomery> mont;
+  };
+
   RsaPublicKey pub_;
-  BigInt p_, q_;
   BigInt d_;
-  BigInt dp_, dq_, qinv_;
+  std::vector<CrtPrime> primes_;
   std::size_t modulus_bytes_ = kRsaBytes;
 };
 

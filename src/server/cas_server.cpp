@@ -1,5 +1,6 @@
 #include "server/cas_server.h"
 
+#include <algorithm>
 #include <memory>
 #include <thread>
 #include <utility>
@@ -326,16 +327,36 @@ void CasServer::schedule_refill(const std::string& session) {
           common = it->second;
       }
       if (common.has_value()) {
-        // Bounded top-up: mint at most the current deficit, and stop at
-        // cache capacity — a refill whose puts only evict someone else's
-        // pool (which would fire their low-watermark callback and mint
-        // forever, round-robin) is pure churn.
+        // Bounded top-up in batches: each round coalesces the current
+        // deficit (capped by the batch size and by cache capacity — a
+        // refill whose puts only evict someone else's pool, firing their
+        // low-watermark callback and minting forever round-robin, is pure
+        // churn) into one mint_batch call, so the per-batch costs — the
+        // common-SigStruct verification, the RNG lock, the signature
+        // scratch arena — are paid once per k credentials, not per one.
+        // The deficit is measured once at job entry, like the old
+        // per-credential loop: a hot session draining the pool as fast as
+        // we fill it must not pin this worker (and the refill guard) in
+        // here forever — it gets a fresh job from the next low-watermark
+        // event instead. Each chunk re-checks cache capacity (and re-runs
+        // the ~20us cached-context verify inside mint_batch — noise next
+        // to the chunk's signatures) so a refill never overshoots a cache
+        // that filled up meanwhile.
+        const std::size_t batch_cap =
+            std::max<std::size_t>(1, config_.mint_batch);
         const std::size_t have = sigstruct_cache_.pooled(session);
-        for (std::size_t i = have; i < target; ++i) {
-          if (sigstruct_cache_.size() >= sigstruct_cache_.capacity()) break;
-          sigstruct_cache_.put(
-              session, cas_->mint_credential(*policy, common->sigstruct));
-          ++metrics_.preminted_credentials;
+        std::size_t deficit = have < target ? target - have : 0;
+        while (deficit > 0) {
+          const std::size_t size_now = sigstruct_cache_.size();
+          const std::size_t capacity = sigstruct_cache_.capacity();
+          if (size_now >= capacity) break;
+          const std::size_t want =
+              std::min({deficit, batch_cap, capacity - size_now});
+          auto batch = cas_->mint_batch(*policy, common->sigstruct, want);
+          ++metrics_.mint_batches;
+          metrics_.preminted_credentials += batch.size();
+          deficit -= batch.size();
+          sigstruct_cache_.put_all(session, std::move(batch));
         }
       }
     } catch (...) {
@@ -365,10 +386,16 @@ std::size_t CasServer::premint(const std::string& session,
   std::string error;
   if (!check_common(*policy, probe, &error)) return 0;
 
-  for (std::size_t i = 0; i < n; ++i) {
-    sigstruct_cache_.put(session,
-                         cas_->mint_credential(*policy, common_sigstruct));
-    ++metrics_.preminted_credentials;
+  // Warm-up minting is batched too, chunked so one premint call cannot
+  // monopolize the RNG lock for an unbounded stretch.
+  const std::size_t batch_cap = std::max<std::size_t>(1, config_.mint_batch);
+  for (std::size_t minted = 0; minted < n;) {
+    const std::size_t want = std::min(batch_cap, n - minted);
+    auto batch = cas_->mint_batch(*policy, common_sigstruct, want);
+    ++metrics_.mint_batches;
+    metrics_.preminted_credentials += batch.size();
+    minted += batch.size();
+    sigstruct_cache_.put_all(session, std::move(batch));
   }
   return n;
 }

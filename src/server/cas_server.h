@@ -73,6 +73,11 @@ struct CasServerConfig {
   /// Schedule a refill when a session's pool drops below this depth
   /// (0 = premint_depth, i.e. top up whenever the pool is not full).
   std::size_t refill_watermark = 0;
+  /// Credentials signed per refill batch: one worker wakeup coalesces up
+  /// to this much pool deficit into a single CasService::mint_batch call
+  /// (one common-SigStruct verification, one RNG critical section, one
+  /// scratch arena) and deposits the result under one cache lock.
+  std::size_t mint_batch = 8;
   /// Simulated per-request backend I/O stall (the storage / attestation-
   /// provider round trips a production CAS pays per request). On the
   /// network path the stall parks on the timer wheel — it costs latency,

@@ -146,6 +146,7 @@ std::string ServerMetrics::render() const {
   out += line("preminted_credentials", preminted_credentials.load());
   out += line("tokens_issued", tokens_issued.load());
   out += line("refills_scheduled", refills_scheduled.load());
+  out += line("mint_batches", mint_batches.load());
   out += line("requests_in_flight", requests_in_flight.load());
   out += line("max_in_flight", max_in_flight.load());
   out += latency_lines("instance_latency", instance_latency);

@@ -90,6 +90,10 @@ struct ServerMetrics {
   std::atomic<std::uint64_t> tokens_issued{0};
   /// Refill jobs scheduled by pool-pressure (low-watermark) events.
   std::atomic<std::uint64_t> refills_scheduled{0};
+  /// Batch mint calls issued by the pooling paths — refill jobs and
+  /// premint() warm-up alike (each batch signs up to
+  /// CasServerConfig::mint_batch credentials in one go).
+  std::atomic<std::uint64_t> mint_batches{0};
 
   /// Requests accepted but not yet responded to (the event-driven
   /// frontend's core gauge: how much work is parked on timers/queues

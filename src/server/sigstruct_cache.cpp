@@ -105,6 +105,27 @@ void SigStructCache::put(const std::string& session,
   notify_starved(starved);
 }
 
+std::size_t SigStructCache::put_all(
+    const std::string& session,
+    std::vector<cas::MintedCredential> credentials) {
+  if (credentials.empty()) return 0;
+  const std::size_t n = credentials.size();
+  std::vector<std::string> starved;
+  {
+    std::lock_guard lock(mutex_);
+    SessionPool& pool = touch(session);
+    {
+      std::lock_guard pool_lock(pool.mutex);
+      for (cas::MintedCredential& credential : credentials)
+        pool.credentials.push_back(std::move(credential));
+      total_ += n;
+    }
+    if (total_.load() > capacity_) evict_over_capacity(&starved);
+  }
+  notify_starved(starved);
+  return n;
+}
+
 std::optional<cas::MintedCredential> SigStructCache::take(
     const std::string& session) {
   return take_if(session, nullptr);

@@ -59,6 +59,12 @@ class SigStructCache {
   /// May evict from the least-recently-used session if over capacity.
   void put(const std::string& session, cas::MintedCredential credential);
 
+  /// Deposit a whole refill batch under one lock acquisition (the batched
+  /// mint path). Eviction and low-watermark notification behave exactly
+  /// like a sequence of put()s. Returns the number deposited.
+  std::size_t put_all(const std::string& session,
+                      std::vector<cas::MintedCredential> credentials);
+
   /// Pop a pre-minted credential for `session`. Hit: the caller serves it
   /// (and must register its token). Miss: nullopt, mint inline.
   std::optional<cas::MintedCredential> take(const std::string& session);

@@ -29,6 +29,12 @@ void SigStruct::sign(const crypto::RsaKeyPair& signer) {
   signature = signer.sign_pkcs1_sha256(signing_message());
 }
 
+void SigStruct::sign(const crypto::RsaKeyPair& signer,
+                     crypto::Montgomery::Scratch& scratch) {
+  signer_key = signer.public_key();
+  signature = signer.sign_pkcs1_sha256(signing_message(), scratch);
+}
+
 bool SigStruct::signature_valid() const {
   if (signature.empty()) return false;
   return signer_key.verify_pkcs1_sha256(signing_message(), signature);

@@ -35,7 +35,11 @@ struct SigStruct {
   Bytes signing_message() const;
 
   /// Sign with the enclave signer's private key; fills signer_key+signature.
+  /// The scratch overload lets batch signers (on-demand SigStruct minting)
+  /// reuse one arena across many signatures.
   void sign(const crypto::RsaKeyPair& signer);
+  void sign(const crypto::RsaKeyPair& signer,
+            crypto::Montgomery::Scratch& scratch);
 
   /// Check the RSA signature against the embedded public key.
   bool signature_valid() const;

@@ -56,6 +56,29 @@ std::vector<std::vector<ScheduledRequest>> make_schedule(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           config.mean_interarrival)
           .count();
+  // Zipfian session choice samples the precomputed CDF by inverse
+  // transform: session i (rank i+1) carries weight 1/(i+1)^theta, so
+  // sessions[0] is the hottest. Same RNG stream as uniform mode — one
+  // draw per request — so schedules stay a pure function of the config.
+  std::vector<double> zipf_cdf;
+  if (config.session_dist == SessionDist::kZipfian) {
+    zipf_cdf.reserve(config.sessions.size());
+    double total = 0.0;
+    for (std::size_t i = 0; i < config.sessions.size(); ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), config.zipf_theta);
+      zipf_cdf.push_back(total);
+    }
+    for (double& c : zipf_cdf) c /= total;
+  }
+  const auto pick_session = [&](SplitMix64& rng) -> std::size_t {
+    if (zipf_cdf.empty()) return rng.below(config.sessions.size());
+    const double u = rng.unit();
+    const auto it = std::lower_bound(zipf_cdf.begin(), zipf_cdf.end(), u);
+    return std::min<std::size_t>(
+        static_cast<std::size_t>(it - zipf_cdf.begin()),
+        config.sessions.size() - 1);
+  };
+
   std::vector<std::vector<ScheduledRequest>> schedule(streams);
   for (std::size_t c = 0; c < streams; ++c) {
     SplitMix64 rng = client_rng(config.base_seed, c);
@@ -63,7 +86,7 @@ std::vector<std::vector<ScheduledRequest>> make_schedule(
     double at_ns = 0.0;
     for (std::size_t i = 0; i < config.requests_per_client; ++i) {
       ScheduledRequest r;
-      r.session_index = rng.below(config.sessions.size());
+      r.session_index = pick_session(rng);
       if (config.mode == LoadMode::kOpen) {
         // Exponential inter-arrival gaps via inverse CDF: a Poisson
         // arrival stream per logical client.

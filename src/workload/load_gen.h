@@ -42,6 +42,13 @@ enum class LoadMode {
   kOpen,    // scheduled async arrivals; in-flight not capped by threads
 };
 
+/// How each request picks its session.
+enum class SessionDist {
+  kUniform,  // every session equally likely
+  kZipfian,  // session i drawn with weight 1/(i+1)^theta — hot-session
+             // skew that stresses the SigStructCache's LRU eviction
+};
+
 struct LoadGenConfig {
   LoadMode mode = LoadMode::kClosed;
   /// Issuing threads. Closed loop: one logical client per thread. Open
@@ -51,8 +58,13 @@ struct LoadGenConfig {
   std::size_t requests_per_client = 100;
   /// Base service address; clients call `address + ".instance"`.
   std::string address;
-  /// Session names; each request picks one uniformly from its client RNG.
+  /// Session names; each request picks one from its client RNG according
+  /// to `session_dist` (sessions[0] is the hottest under kZipfian).
   std::vector<std::string> sessions;
+  SessionDist session_dist = SessionDist::kUniform;
+  /// Zipf skew exponent (kZipfian only). 0 degenerates to uniform; ~0.99
+  /// is the classic web-workload fit; higher is hotter.
+  double zipf_theta = 0.99;
   /// Base seed: logical client c draws from rng(base_seed, c), so runs
   /// are reproducible and clients are decorrelated.
   std::uint64_t base_seed = 1;

@@ -4,6 +4,7 @@
 #include "common/error.h"
 #include "crypto/bignum.h"
 #include "crypto/drbg.h"
+#include "crypto/rsa.h"  // primes::generate_prime for boundary tests
 
 namespace sinclave::crypto {
 namespace {
@@ -227,6 +228,128 @@ TEST(RandomBelow, StaysInRange) {
 
 TEST(Montgomery, RejectsEvenModulus) {
   EXPECT_THROW(Montgomery(BigInt{10}), Error);
+}
+
+namespace {
+
+/// The pre-windowing reference: plain MSB-first binary ladder, one
+/// (Montgomery) modular multiplication per bit plus one per set bit.
+BigInt ladder_exp(const Montgomery& ctx, const BigInt& base,
+                  const BigInt& exp) {
+  BigInt acc{1};
+  const BigInt b = ctx.reduce(base);
+  for (std::size_t i = exp.bit_length(); i-- > 0;) {
+    acc = ctx.mul_mod(acc, acc);
+    if (exp.bit(i)) acc = ctx.mul_mod(acc, b);
+  }
+  return acc;
+}
+
+BigInt rand_odd_modulus(Drbg& rng, std::size_t bytes) {
+  Bytes buf = rng.generate(bytes);
+  buf[0] |= 0x80;          // full width
+  buf[bytes - 1] |= 0x01;  // odd
+  return BigInt::from_bytes_be(buf);
+}
+
+}  // namespace
+
+TEST(Montgomery, WindowedExpMatchesBinaryLadder) {
+  // Randomized cross-check of the fixed-window implementation against the
+  // old square-and-multiply ladder, across the window-size breakpoints
+  // (1-5 bit windows) and with bases both below and far above the modulus.
+  Drbg rng = Drbg::from_seed(40, "windowed");
+  for (const std::size_t mod_bytes : {9ul, 16ul, 33ul, 64ul}) {
+    const BigInt m = rand_odd_modulus(rng, mod_bytes);
+    const Montgomery ctx(m);
+    for (const std::size_t exp_bytes : {1ul, 4ul, 11ul, 32ul, 64ul, 96ul}) {
+      const BigInt base = rand_bigint(rng, 2 * mod_bytes);  // wide input
+      const BigInt e = rand_bigint(rng, exp_bytes);
+      EXPECT_EQ(ctx.exp(base, e), ladder_exp(ctx, base, e))
+          << "mod_bytes=" << mod_bytes << " exp_bytes=" << exp_bytes;
+    }
+  }
+}
+
+TEST(Montgomery, ExpBoundaryExponents) {
+  Drbg rng = Drbg::from_seed(41, "boundary");
+  const BigInt p = rand_odd_modulus(rng, 24);
+  const Montgomery ctx(p);
+  const BigInt base = rand_bigint(rng, 24);
+  EXPECT_EQ(ctx.exp(base, BigInt{}), BigInt{1});           // e = 0
+  EXPECT_EQ(ctx.exp(base, BigInt{1}), base.mod(p));        // e = 1
+  EXPECT_EQ(ctx.exp(BigInt{}, BigInt{17}), BigInt{});      // 0^e
+  EXPECT_EQ(ctx.exp(BigInt{1}, p - BigInt{1}), BigInt{1});  // 1^e
+}
+
+TEST(Montgomery, FermatAtPrimeMinusOne) {
+  // p - 1 as an exponent boundary on a real prime: a^(p-1) ≡ 1 mod p.
+  Drbg rng = Drbg::from_seed(42, "fermat");
+  const BigInt p = primes::generate_prime(192, rng);
+  const Montgomery ctx(p);
+  for (int i = 0; i < 4; ++i) {
+    BigInt a = rand_bigint(rng, 20);
+    if (a.is_zero()) a = BigInt{2};
+    EXPECT_EQ(ctx.exp(a, p - BigInt{1}), BigInt{1});
+  }
+}
+
+TEST(Montgomery, ExpU64MatchesGeneralExp) {
+  Drbg rng = Drbg::from_seed(43, "expu64");
+  const BigInt m = rand_odd_modulus(rng, 32);
+  const Montgomery ctx(m);
+  const BigInt base = rand_bigint(rng, 32);
+  for (const std::uint64_t e : {0ull, 1ull, 2ull, 3ull, 65537ull,
+                                0x8000000000000000ull, ~0ull}) {
+    EXPECT_EQ(ctx.exp_u64(base, e), ctx.exp(base, BigInt{e})) << e;
+  }
+}
+
+TEST(Montgomery, ReduceMatchesMod) {
+  // reduce() folds arbitrary widths — including the 3x-modulus values the
+  // multi-prime CRT feeds in — without long division; cross-check against
+  // the div_mod-backed BigInt::mod.
+  Drbg rng = Drbg::from_seed(44, "reduce");
+  const BigInt m = rand_odd_modulus(rng, 24);
+  const Montgomery ctx(m);
+  for (const std::size_t bytes : {1ul, 8ul, 23ul, 24ul, 25ul, 48ul, 72ul,
+                                  100ul}) {
+    const BigInt v = rand_bigint(rng, bytes);
+    EXPECT_EQ(ctx.reduce(v), v.mod(m)) << bytes;
+  }
+  EXPECT_EQ(ctx.reduce(BigInt{}), BigInt{});
+  EXPECT_EQ(ctx.reduce(m), BigInt{});
+}
+
+TEST(Montgomery, MulModMatchesSchoolbook) {
+  Drbg rng = Drbg::from_seed(45, "mulmod");
+  const BigInt m = rand_odd_modulus(rng, 24);
+  const Montgomery ctx(m);
+  for (const std::size_t bytes : {8ul, 24ul, 48ul, 60ul}) {
+    const BigInt a = rand_bigint(rng, bytes);
+    const BigInt b = rand_bigint(rng, 24);
+    EXPECT_EQ(ctx.mul_mod(a, b), (a * b).mod(m)) << bytes;
+  }
+}
+
+TEST(Montgomery, ScratchReusedAcrossModulusSizes) {
+  // One arena serving interleaved contexts of different limb counts —
+  // exactly what the CRT sign path does with p and q (and the batcher
+  // does across keys).
+  Drbg rng = Drbg::from_seed(46, "scratch");
+  const BigInt m_small = rand_odd_modulus(rng, 16);
+  const BigInt m_large = rand_odd_modulus(rng, 64);
+  const Montgomery small(m_small), large(m_large);
+  Montgomery::Scratch scratch;
+  for (int i = 0; i < 8; ++i) {
+    const BigInt base = rand_bigint(rng, 40);
+    const BigInt e = rand_bigint(rng, 12);
+    BigInt a, b;
+    small.exp(base, e, scratch, &a);
+    large.exp(base, e, scratch, &b);
+    EXPECT_EQ(a, small.exp(base, e));
+    EXPECT_EQ(b, large.exp(base, e));
+  }
 }
 
 TEST(Montgomery, LargeExponentiationMatchesFermat) {

@@ -132,6 +132,44 @@ TEST_F(CasTest, InstanceRequestRejectsWrongBaseImage) {
   EXPECT_NE(resp.error.find("base hash"), std::string::npos);
 }
 
+TEST_F(CasTest, MintBatchMintsDistinctFirstClassCredentials) {
+  const Policy policy = singleton_policy("s");
+  cas_.install_policy(policy);
+  CasService::InstanceTimings timings;
+  const auto batch = cas_.mint_batch(policy, signed_.sigstruct, 5, &timings);
+  ASSERT_EQ(batch.size(), 5u);
+
+  std::set<std::string> tokens;
+  for (const auto& cred : batch) {
+    EXPECT_FALSE(cred.token.is_zero());
+    tokens.insert(cred.token.hex());
+    // Every batch member is a full credential: the prediction matches and
+    // the SigStruct verifies under the session signer.
+    core::InstancePage page;
+    page.token = cred.token;
+    page.verifier_id = cas_.verifier_id();
+    EXPECT_EQ(cred.mr_enclave,
+              core::MeasurementPredictor::predict(signed_.base_hash, page));
+    EXPECT_EQ(cred.sigstruct.enclave_hash, cred.mr_enclave);
+    EXPECT_TRUE(cred.sigstruct.signature_valid());
+    EXPECT_EQ(cred.sigstruct.mr_signer(), policy.expected_signer);
+  }
+  EXPECT_EQ(tokens.size(), 5u);  // no token minted twice
+  EXPECT_GT(timings.sign.count(), 0);
+  EXPECT_GT(timings.predict.count(), 0);
+  // Pure minting: nothing is registered until the serving layer issues.
+  EXPECT_EQ(cas_.tokens_outstanding(), 0u);
+}
+
+TEST_F(CasTest, MintBatchEdgeCases) {
+  const Policy policy = singleton_policy("s");
+  cas_.install_policy(policy);
+  EXPECT_TRUE(cas_.mint_batch(policy, signed_.sigstruct, 0).empty());
+  Policy not_singleton = policy;
+  not_singleton.require_singleton = false;
+  EXPECT_THROW(cas_.mint_batch(not_singleton, signed_.sigstruct, 1), Error);
+}
+
 TEST_F(CasTest, TokensAreUniqueAndTracked) {
   cas_.install_policy(singleton_policy("s"));
   const auto a = cas_.handle_instance(request("s"));

@@ -133,6 +133,78 @@ TEST(Rsa, CrtMatchesPlainExponentiation) {
   }
 }
 
+TEST(Rsa, CrtMatchesPlainPrivateExponent) {
+  // private_op against its definition: m^d mod n with the plain (non-CRT)
+  // exponentiation over the full modulus.
+  Drbg rng = test_rng(40);
+  const RsaKeyPair kp = RsaKeyPair::generate(rng, 768);
+  const BigInt n = kp.public_key().n;
+  for (int i = 0; i < 3; ++i) {
+    const BigInt m = BigInt::random_below(
+        n, [&](std::uint8_t* p, std::size_t len) { rng.generate(p, len); });
+    EXPECT_EQ(kp.private_op(m),
+              BigInt::mod_exp(m, kp.private_exponent(), n));
+  }
+}
+
+TEST(Rsa, PrivateOpBoundaryInputs) {
+  Drbg rng = test_rng(41);
+  const RsaKeyPair kp = RsaKeyPair::generate(rng, 512);
+  const BigInt n = kp.public_key().n;
+  EXPECT_EQ(kp.private_op(BigInt{}), BigInt{});     // 0^d = 0
+  EXPECT_EQ(kp.private_op(BigInt{1}), BigInt{1});   // 1^d = 1
+  // (n-1)^d = (-1)^d = n-1 (d is odd: e*d ≡ 1 mod the even phi).
+  EXPECT_EQ(kp.private_op(n - BigInt{1}), n - BigInt{1});
+}
+
+TEST(Rsa, MultiPrimeKeySignsAndVerifies) {
+  // >= 3072 bits divisible by three uses the three-prime CRT; the public
+  // side must be none the wiser.
+  Drbg rng = test_rng(42);
+  const RsaKeyPair kp = RsaKeyPair::generate(rng, 3072);
+  EXPECT_EQ(kp.public_key().n.bit_length(), 3072u);
+  const Bytes msg = to_bytes("multi-prime sigstruct");
+  const Bytes sig = kp.sign_pkcs1_sha256(msg);
+  EXPECT_EQ(sig.size(), 384u);
+  EXPECT_TRUE(kp.public_key().verify_pkcs1_sha256(msg, sig));
+  EXPECT_FALSE(kp.public_key().verify_pkcs1_sha256(to_bytes("forged"), sig));
+  // Garner recombination against the plain private exponent.
+  const BigInt n = kp.public_key().n;
+  Drbg rng2 = test_rng(43);
+  const BigInt m = BigInt::random_below(
+      n, [&](std::uint8_t* p, std::size_t len) { rng2.generate(p, len); });
+  EXPECT_EQ(kp.private_op(m), BigInt::mod_exp(m, kp.private_exponent(), n));
+}
+
+TEST(Rsa, VerifyContextTracksModulusReassignment) {
+  // The cached verification context must never outlive its modulus: a key
+  // object whose `n` is overwritten re-derives the context.
+  Drbg rng = test_rng(44);
+  const RsaKeyPair a = RsaKeyPair::generate(rng, 512);
+  const RsaKeyPair b = RsaKeyPair::generate(rng, 512);
+  const Bytes msg = to_bytes("m");
+  const Bytes sig_a = a.sign_pkcs1_sha256(msg);
+  const Bytes sig_b = b.sign_pkcs1_sha256(msg);
+
+  RsaPublicKey key = a.public_key();
+  EXPECT_TRUE(key.verify_pkcs1_sha256(msg, sig_a));  // context built for a
+  key.n = b.public_key().n;                          // rotate the modulus
+  EXPECT_TRUE(key.verify_pkcs1_sha256(msg, sig_b));
+  EXPECT_FALSE(key.verify_pkcs1_sha256(msg, sig_a));
+}
+
+TEST(Rsa, VerifyRejectsMalformedModulus) {
+  Drbg rng = test_rng(45);
+  const RsaKeyPair kp = RsaKeyPair::generate(rng, 512);
+  const Bytes sig = kp.sign_pkcs1_sha256(to_bytes("m"));
+  RsaPublicKey even;
+  even.n = kp.public_key().n + BigInt{1};  // even modulus: never a real key
+  EXPECT_FALSE(even.verify_pkcs1_sha256(to_bytes("m"), sig));
+  RsaPublicKey one;
+  one.n = BigInt{1};
+  EXPECT_FALSE(one.verify_pkcs1_sha256(to_bytes("m"), sig));
+}
+
 TEST(Rsa, PrivateOpRejectsOutOfRange) {
   Drbg rng = test_rng(18);
   const RsaKeyPair kp = RsaKeyPair::generate(rng, 512);

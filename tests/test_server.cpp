@@ -233,6 +233,34 @@ TEST(SigStructCacheTest, LruEvictsLeastRecentlyUsedSession) {
   EXPECT_GE(cache.evictions(), 1u);
 }
 
+TEST(SigStructCacheTest, PutAllDepositsBatchInOrder) {
+  SigStructCache cache(8);
+  std::vector<cas::MintedCredential> batch(3);
+  for (int i = 0; i < 3; ++i) batch[i].token.data[0] = static_cast<std::uint8_t>(i + 1);
+  EXPECT_EQ(cache.put_all("s", std::move(batch)), 3u);
+  EXPECT_EQ(cache.pooled("s"), 3u);
+  // FIFO like repeated put()s.
+  for (int i = 0; i < 3; ++i) {
+    const auto taken = cache.take("s");
+    ASSERT_TRUE(taken.has_value());
+    EXPECT_EQ(taken->token.data[0], i + 1);
+  }
+  EXPECT_EQ(cache.put_all("s", {}), 0u);
+  EXPECT_EQ(cache.pooled("s"), 0u);
+}
+
+TEST(SigStructCacheTest, PutAllEvictsOverCapacityLikePuts) {
+  SigStructCache cache(4);
+  cas::MintedCredential cred;
+  for (int i = 0; i < 3; ++i) cache.put("old", cred);
+  std::vector<cas::MintedCredential> batch(3);
+  cache.put_all("hot", std::move(batch));  // 6 > 4: evict from "old" first
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(cache.pooled("hot"), 3u);
+  EXPECT_EQ(cache.pooled("old"), 1u);
+  EXPECT_GE(cache.evictions(), 2u);
+}
+
 TEST(SigStructCacheTest, FlushDiscardsSessionPool) {
   SigStructCache cache(8);
   cas::MintedCredential cred;
@@ -549,6 +577,28 @@ TEST_F(CasServerTest, BackgroundRefillKeepsPoolWarm) {
   // Next request is served from the pool.
   ASSERT_TRUE(server.handle_instance(request("s")).ok);
   EXPECT_EQ(server.metrics().sigstruct_cache_hits.load(), 1u);
+}
+
+TEST_F(CasServerTest, RefillCoalescesDeficitIntoMintBatches) {
+  bed_.cas().install_policy(singleton_policy("s"));
+  CasServerConfig cfg;
+  cfg.workers = 2;
+  cfg.premint_depth = 9;
+  cfg.mint_batch = 4;
+  CasServer server(&bed_.cas(), cfg);
+
+  // First request misses, mints inline, and fires the low-watermark
+  // refill; the refill tops the 9-deep pool up in ceil(9/4) = 3 batches.
+  ASSERT_TRUE(server.handle_instance(request("s")).ok);
+  server.pool().drain();
+  EXPECT_EQ(server.sigstruct_cache().pooled("s"), 9u);
+  EXPECT_EQ(server.metrics().preminted_credentials.load(), 9u);
+  EXPECT_EQ(server.metrics().mint_batches.load(), 3u);
+
+  // Every pooled credential issues as a first-class hit.
+  for (int i = 0; i < 9; ++i)
+    ASSERT_TRUE(server.handle_instance(request("s")).ok);
+  EXPECT_EQ(server.metrics().sigstruct_cache_hits.load(), 9u);
 }
 
 TEST_F(CasServerTest, ConcurrentRequestsAcrossSessionsIssueUniqueTokens) {

@@ -3,6 +3,7 @@
 // the SinClave run consumes exactly one token per enclave start.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <chrono>
 #include <vector>
 
@@ -135,6 +136,74 @@ TEST(LoadGenSchedule, SeedAndClientIndexDecorrelateStreams) {
   // same seed do not mirror each other.
   EXPECT_TRUE(differs(base[0], reseeded[0]));
   EXPECT_TRUE(differs(base[0], base[1]));
+}
+
+TEST(LoadGenSchedule, ZipfianScheduleIsDeterministic) {
+  LoadGenConfig cfg;
+  cfg.mode = LoadMode::kOpen;
+  cfg.logical_clients = 4;
+  cfg.requests_per_client = 64;
+  cfg.sessions = {"hot", "warm", "cool", "cold"};
+  cfg.session_dist = SessionDist::kZipfian;
+  cfg.zipf_theta = 0.99;
+  cfg.base_seed = 7;
+
+  const auto one = make_schedule(cfg);
+  const auto two = make_schedule(cfg);
+  ASSERT_EQ(one.size(), two.size());
+  for (std::size_t c = 0; c < one.size(); ++c)
+    for (std::size_t i = 0; i < one[c].size(); ++i) {
+      EXPECT_EQ(one[c][i].session_index, two[c][i].session_index);
+      EXPECT_EQ(one[c][i].at, two[c][i].at);
+    }
+}
+
+TEST(LoadGenSchedule, ZipfianSkewsTowardLowRanks) {
+  LoadGenConfig cfg;
+  cfg.mode = LoadMode::kClosed;
+  cfg.clients = 16;
+  cfg.requests_per_client = 200;
+  cfg.sessions = {"s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7"};
+  cfg.session_dist = SessionDist::kZipfian;
+  cfg.zipf_theta = 1.2;
+  cfg.base_seed = 11;
+
+  std::array<std::size_t, 8> counts{};
+  std::size_t total = 0;
+  for (const auto& client : make_schedule(cfg))
+    for (const auto& r : client) {
+      ASSERT_LT(r.session_index, counts.size());
+      ++counts[r.session_index];
+      ++total;
+    }
+  // Rank 0 is the hot session: clearly above the uniform share and far
+  // above the coldest rank (with theta=1.2 over 8 ranks its expected
+  // share is ~42%).
+  EXPECT_GT(counts[0], total / 8 * 2);
+  EXPECT_GT(counts[0], counts[7] * 4);
+  // Monotone-ish decay head to tail (allow sampling noise in the middle).
+  EXPECT_GT(counts[0], counts[3]);
+  EXPECT_GT(counts[1], counts[6]);
+}
+
+TEST(LoadGenSchedule, UniformAndZipfianDrawDifferentSessions) {
+  LoadGenConfig cfg;
+  cfg.mode = LoadMode::kClosed;
+  cfg.clients = 2;
+  cfg.requests_per_client = 64;
+  cfg.sessions = {"a", "b", "c", "d"};
+  cfg.base_seed = 3;
+  const auto uniform = make_schedule(cfg);
+  cfg.session_dist = SessionDist::kZipfian;
+  const auto zipf = make_schedule(cfg);
+  bool differs = false;
+  for (std::size_t c = 0; c < uniform.size() && !differs; ++c)
+    for (std::size_t i = 0; i < uniform[c].size(); ++i)
+      if (uniform[c][i].session_index != zipf[c][i].session_index) {
+        differs = true;
+        break;
+      }
+  EXPECT_TRUE(differs);
 }
 
 TEST(LoadGenSchedule, ClosedLoopArrivesImmediatelyButStaysSeeded) {

@@ -3,6 +3,12 @@
 # per bench plus a combined log. Used to track the performance trajectory
 # across PRs.
 #
+# Two benches additionally emit machine-readable trajectory records:
+#   BENCH_signing.json — bench_fig7a_signing via the Google Benchmark JSON
+#     writer (BM_RsaSign3072's items_per_second is the sign ops/s series)
+#   BENCH_fleet.json   — bench_fleet_throughput --json (closed/open-loop
+#     ops/s + p50/p99, cache-hit latencies, serial-vs-batched mint cost)
+#
 # Usage: tools/run_benches.sh [build-dir] [out-dir]
 set -u
 
@@ -25,13 +31,31 @@ for bench in "$BUILD_DIR"/bench/*; do
   name="$(basename "$bench")"
   echo "=== $name ==="
   out="$OUT_DIR/$name.txt"
-  if "$bench" > "$out" 2>&1; then
+
+  # Per-bench extra flags for the machine-readable outputs.
+  extra_args=()
+  case "$name" in
+    bench_fig7a_signing)
+      extra_args=(--benchmark_out="$OUT_DIR/BENCH_signing.json"
+                  --benchmark_out_format=json)
+      ;;
+    bench_fleet_throughput)
+      extra_args=(--json "$OUT_DIR/BENCH_fleet.json")
+      ;;
+  esac
+
+  # ${arr[@]+...} keeps `set -u` happy on bash 3.2 when the array is empty.
+  if "$bench" ${extra_args[@]+"${extra_args[@]}"} > "$out" 2>&1; then
     echo "    ok ($(wc -l < "$out") lines) -> $out"
   else
     echo "    FAILED (see $out)"
     status=1
   fi
   { echo "=== $name ==="; cat "$out"; echo; } >> "$combined"
+done
+
+for json in BENCH_signing.json BENCH_fleet.json; do
+  [ -f "$OUT_DIR/$json" ] && echo "trajectory record: $OUT_DIR/$json"
 done
 
 echo
