@@ -15,6 +15,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "cas/client.h"
 #include "core/predictor.h"
 #include "core/signer.h"
 #include "crypto/sha256.h"
@@ -59,18 +60,20 @@ int main() {
   for (int i = 0; i < kIterations; ++i) {
     const auto t0 = Clock::now();
 
-    // 1. Open the connection to the verifier (O/C).
-    auto conn = bed.network().connect(bed.cas_address() + ".instance");
+    // 1. Open the connection to the verifier (O/C) — eager connect()
+    // through the SDK, so the setup cost stays separately measurable.
+    cas::CasClient client = bed.make_cas_client();
+    if (const Status s = client.connect(); !s.ok()) {
+      std::printf("FATAL: %s\n", s.message().c_str());
+      return 1;
+    }
     const auto t1 = Clock::now();
 
     // 2. Request token + on-demand SigStruct.
-    cas::InstanceRequest req;
-    req.session_name = "fig7c";
-    req.common_sigstruct = si.sigstruct;
-    const cas::InstanceResponse resp =
-        cas::InstanceResponse::deserialize(conn.call(req.serialize()));
-    if (!resp.ok) {
-      std::printf("FATAL: %s\n", resp.error.c_str());
+    const cas::InstanceResult resp =
+        client.get_instance("fig7c", si.sigstruct);
+    if (!resp.ok()) {
+      std::printf("FATAL: %s\n", resp.status.message().c_str());
       return 1;
     }
     const auto t2 = Clock::now();

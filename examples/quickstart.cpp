@@ -62,6 +62,15 @@ int main() {
   bed.cas().install_policy(policy);
   std::printf("[user]   policy 'payments-prod' installed at CAS\n");
 
+  // 2b. The wire API is typed end to end: the CasClient SDK returns
+  // StatusCodes, not strings to match — e.g. probing a session that does
+  // not exist:
+  cas::CasClient cas_client = bed.make_cas_client();
+  const cas::InstanceResult probe =
+      cas_client.get_instance("no-such-session", signed_image.sigstruct);
+  std::printf("[client] probe 'no-such-session' -> %s (\"%s\")\n",
+              to_string(probe.status.code), probe.status.message().c_str());
+
   // 3. Starter: token + on-demand SigStruct -> individualized enclave.
   const runtime::SingletonStart start = runtime::start_singleton_enclave(
       bed.cpu(), bed.network(), bed.cas_address(), image,

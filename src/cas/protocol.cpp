@@ -5,6 +5,113 @@
 
 namespace sinclave::cas {
 
+const char* to_string(Command command) {
+  switch (command) {
+    case Command::kGetInstance:
+      return "get-instance";
+    case Command::kGetConfig:
+      return "get-config";
+    case Command::kAttest:
+      return "attest";
+  }
+  return "unknown";
+}
+
+// --- envelope ---------------------------------------------------------------
+
+Bytes Envelope::serialize() const {
+  ByteWriter w;
+  w.u32(kEnvelopeMagic);
+  w.u16(version);
+  w.u8(static_cast<std::uint8_t>(command));
+  w.u8(0);  // flags, reserved
+  w.u64(request_id);
+  w.bytes(payload);
+  return std::move(w).take();
+}
+
+Envelope Envelope::deserialize(ByteView data) {
+  ByteReader r(data);
+  if (r.u32() != kEnvelopeMagic)
+    throw ParseError("envelope: bad magic");
+  Envelope e;
+  e.version = r.u16();
+  e.command = static_cast<Command>(r.u8());
+  r.skip(1);  // flags
+  e.request_id = r.u64();
+  e.payload = r.bytes();
+  r.expect_done();
+  return e;
+}
+
+bool Envelope::matches(ByteView data) {
+  if (data.size() < 4) return false;
+  const std::uint32_t magic = static_cast<std::uint32_t>(data[0]) |
+                              static_cast<std::uint32_t>(data[1]) << 8 |
+                              static_cast<std::uint32_t>(data[2]) << 16 |
+                              static_cast<std::uint32_t>(data[3]) << 24;
+  return magic == kEnvelopeMagic;
+}
+
+Envelope Envelope::reply(Bytes response_payload) const {
+  Envelope out;
+  out.version = kProtocolVersion;  // a server always answers in its version
+  out.command = command;
+  out.request_id = request_id;
+  out.payload = std::move(response_payload);
+  return out;
+}
+
+// --- status encoding --------------------------------------------------------
+
+namespace {
+
+void write_status(ByteWriter& w, const Status& status) {
+  w.u8(static_cast<std::uint8_t>(status.code));
+  // The canonical message never rides the wire; only extra detail does.
+  w.str(status.detail);
+}
+
+Status read_status(ByteReader& r) {
+  Status s;
+  s.code = static_cast<StatusCode>(r.u8());
+  s.detail = r.str();
+  return s;
+}
+
+/// Seed-era status prefix: `u8 ok | str error` (error empty on success).
+void write_status_v0(ByteWriter& w, const Status& status) {
+  w.u8(status.ok() ? 1 : 0);
+  w.str(status.ok() ? std::string{} : status.message());
+}
+
+Status read_status_v0(ByteReader& r) {
+  const bool was_ok = r.u8() != 0;
+  const std::string error = r.str();
+  if (was_ok) return Status();
+  const StatusCode code = status_code_from_legacy(error);
+  // Preserve non-canonical detail so nothing is lost in translation.
+  return error == status_message(code) ? Status(code) : Status(code, error);
+}
+
+}  // namespace
+
+StatusCode status_code_from_legacy(const std::string& error) {
+  for (const StatusCode code :
+       {StatusCode::kUnknownSession, StatusCode::kNotSingleton,
+        StatusCode::kNoSignerKey, StatusCode::kBadSignature,
+        StatusCode::kWrongSigner, StatusCode::kBaseHashMismatch,
+        StatusCode::kTokenUnknown, StatusCode::kTokenReused,
+        StatusCode::kSessionNotAttested, StatusCode::kAttestationRejected,
+        StatusCode::kMalformedRequest, StatusCode::kUnsupportedVersion,
+        StatusCode::kUnknownCommand, StatusCode::kUnavailable}) {
+    if (error == status_message(code)) return code;
+  }
+  return StatusCode::kInternal;
+}
+
+// --- messages ---------------------------------------------------------------
+
 Bytes AppConfig::serialize() const {
   ByteWriter w;
   w.str(program);
@@ -65,23 +172,42 @@ InstanceRequest InstanceRequest::deserialize(ByteView data) {
 
 Bytes InstanceResponse::serialize() const {
   ByteWriter w;
-  w.u8(ok ? 1 : 0);
-  w.str(error);
+  write_status(w, status);
   w.raw(token.view());
   w.raw(verifier_id.view());
-  w.bytes(ok ? singleton_sigstruct.serialize() : Bytes{});
+  w.bytes(ok() ? singleton_sigstruct.serialize() : Bytes{});
   return std::move(w).take();
 }
 
 InstanceResponse InstanceResponse::deserialize(ByteView data) {
   ByteReader r(data);
   InstanceResponse resp;
-  resp.ok = r.u8() != 0;
-  resp.error = r.str();
+  resp.status = read_status(r);
   resp.token = r.fixed<32>();
   resp.verifier_id = r.fixed<32>();
   const Bytes sig = r.bytes();
-  if (resp.ok) resp.singleton_sigstruct = sgx::SigStruct::deserialize(sig);
+  if (resp.ok()) resp.singleton_sigstruct = sgx::SigStruct::deserialize(sig);
+  r.expect_done();
+  return resp;
+}
+
+Bytes InstanceResponse::serialize_v0() const {
+  ByteWriter w;
+  write_status_v0(w, status);
+  w.raw(token.view());
+  w.raw(verifier_id.view());
+  w.bytes(ok() ? singleton_sigstruct.serialize() : Bytes{});
+  return std::move(w).take();
+}
+
+InstanceResponse InstanceResponse::deserialize_v0(ByteView data) {
+  ByteReader r(data);
+  InstanceResponse resp;
+  resp.status = read_status_v0(r);
+  resp.token = r.fixed<32>();
+  resp.verifier_id = r.fixed<32>();
+  const Bytes sig = r.bytes();
+  if (resp.ok()) resp.singleton_sigstruct = sgx::SigStruct::deserialize(sig);
   r.expect_done();
   return resp;
 }
@@ -107,21 +233,250 @@ AttestPayload AttestPayload::deserialize(ByteView data) {
 
 Bytes ConfigResponse::serialize() const {
   ByteWriter w;
-  w.u8(ok ? 1 : 0);
-  w.str(error);
-  w.bytes(ok ? config.serialize() : Bytes{});
+  write_status(w, status);
+  w.bytes(ok() ? config.serialize() : Bytes{});
   return std::move(w).take();
 }
 
 ConfigResponse ConfigResponse::deserialize(ByteView data) {
   ByteReader r(data);
   ConfigResponse resp;
-  resp.ok = r.u8() != 0;
-  resp.error = r.str();
+  resp.status = read_status(r);
   const Bytes cfg = r.bytes();
-  if (resp.ok) resp.config = AppConfig::deserialize(cfg);
+  if (resp.ok()) resp.config = AppConfig::deserialize(cfg);
   r.expect_done();
   return resp;
+}
+
+Bytes ConfigResponse::serialize_v0() const {
+  ByteWriter w;
+  write_status_v0(w, status);
+  w.bytes(ok() ? config.serialize() : Bytes{});
+  return std::move(w).take();
+}
+
+ConfigResponse ConfigResponse::deserialize_v0(ByteView data) {
+  ByteReader r(data);
+  ConfigResponse resp;
+  resp.status = read_status_v0(r);
+  const Bytes cfg = r.bytes();
+  if (resp.ok()) resp.config = AppConfig::deserialize(cfg);
+  r.expect_done();
+  return resp;
+}
+
+// --- shared frontend glue ---------------------------------------------------
+
+namespace {
+
+/// Legacy v0 secure-channel command byte (the old `Command::kGetConfig`).
+constexpr std::uint8_t kLegacyGetConfig = 1;
+
+void note(FrameInfo* info, const FrameInfo& value) {
+  if (info != nullptr) *info = value;
+}
+
+/// Decode the envelope and run the version/command gate common to both
+/// endpoints. Returns the response payload to send (already enveloped) via
+/// `reject`, or nullopt when dispatch should proceed.
+template <typename MakeErrorPayload>
+std::optional<Bytes> gate_envelope(const Envelope& env, Command expected,
+                                   const MakeErrorPayload& error_payload,
+                                   FrameInfo* info) {
+  FrameInfo fi;
+  fi.version = env.version;
+  fi.command = env.command;
+  fi.request_id = env.request_id;
+  if (env.version > kProtocolVersion) {
+    fi.status = StatusCode::kUnsupportedVersion;
+    note(info, fi);
+    return env.reply(error_payload(StatusCode::kUnsupportedVersion))
+        .serialize();
+  }
+  if (env.command != expected) {
+    fi.status = StatusCode::kUnknownCommand;
+    note(info, fi);
+    return env.reply(error_payload(StatusCode::kUnknownCommand)).serialize();
+  }
+  note(info, fi);
+  return std::nullopt;
+}
+
+}  // namespace
+
+Bytes serve_instance_frame(ByteView raw, const InstanceHandler& handler,
+                           FrameInfo* info) {
+  const auto error_payload = [](StatusCode code) {
+    InstanceResponse resp;
+    resp.status = Status(code);
+    return resp.serialize();
+  };
+
+  // Request decode and handler dispatch live in SEPARATE try blocks so
+  // blame lands correctly: a ParseError while decoding the frame is the
+  // client's fault (kMalformedRequest), but a ParseError escaping the
+  // handler is a server-side fault — e.g. a corrupt stored policy — and
+  // must answer kInternal, not accuse a well-formed request.
+  const auto dispatch = [&handler](const InstanceRequest& req) {
+    try {
+      return handler(req);
+    } catch (const Error&) {
+      InstanceResponse resp;
+      resp.status = Status(StatusCode::kInternal);
+      return resp;
+    }
+  };
+
+  if (!Envelope::matches(raw)) {
+    // Legacy v0 peer: raw InstanceRequest in, raw v0 response out.
+    FrameInfo fi;
+    fi.legacy = true;
+    fi.version = 0;
+    InstanceResponse resp;
+    try {
+      const InstanceRequest req = InstanceRequest::deserialize(raw);
+      resp = dispatch(req);
+    } catch (const Error&) {
+      resp = InstanceResponse{};
+      resp.status = Status(StatusCode::kMalformedRequest);
+    }
+    fi.status = resp.status.code;
+    note(info, fi);
+    return resp.serialize_v0();
+  }
+
+  Envelope env;
+  try {
+    env = Envelope::deserialize(raw);
+  } catch (const Error&) {
+    // Carried the magic but not the layout: answer a malformed-request
+    // envelope with request_id 0 (we never learned the real one).
+    FrameInfo fi;
+    fi.status = StatusCode::kMalformedRequest;
+    note(info, fi);
+    Envelope out;
+    out.payload = error_payload(StatusCode::kMalformedRequest);
+    return out.serialize();
+  }
+
+  if (auto rejected =
+          gate_envelope(env, Command::kGetInstance, error_payload, info))
+    return std::move(*rejected);
+
+  InstanceResponse resp;
+  try {
+    const InstanceRequest req = InstanceRequest::deserialize(env.payload);
+    resp = dispatch(req);
+  } catch (const Error&) {
+    resp = InstanceResponse{};
+    resp.status = Status(StatusCode::kMalformedRequest);
+  }
+  if (info != nullptr) info->status = resp.status.code;
+  return env.reply(resp.serialize()).serialize();
+}
+
+Bytes serve_config_frame(ByteView plaintext, const ConfigHandler& handler,
+                         FrameInfo* info) {
+  const auto error_payload = [](StatusCode code) {
+    ConfigResponse resp;
+    resp.status = Status(code);
+    return resp.serialize();
+  };
+  const auto run = [&handler]() {
+    try {
+      return handler();
+    } catch (const Error&) {
+      ConfigResponse resp;
+      resp.status = Status(StatusCode::kInternal);
+      return resp;
+    }
+  };
+
+  if (!Envelope::matches(plaintext)) {
+    // Legacy v0 record: `u8 command` plaintext, answered in kind. Like
+    // the seed decoder, only the command byte is interpreted — trailing
+    // bytes are tolerated, so pre-envelope peers keep working unchanged.
+    FrameInfo fi;
+    fi.legacy = true;
+    fi.version = 0;
+    fi.command = Command::kGetConfig;
+    ConfigResponse resp;
+    if (plaintext.empty()) {
+      resp.status = Status(StatusCode::kMalformedRequest);
+    } else if (plaintext[0] != kLegacyGetConfig) {
+      resp.status = Status(StatusCode::kUnknownCommand);
+    } else {
+      resp = run();
+    }
+    fi.status = resp.status.code;
+    note(info, fi);
+    return resp.serialize_v0();
+  }
+
+  Envelope env;
+  try {
+    env = Envelope::deserialize(plaintext);
+  } catch (const Error&) {
+    FrameInfo fi;
+    fi.command = Command::kGetConfig;
+    fi.status = StatusCode::kMalformedRequest;
+    note(info, fi);
+    Envelope out;
+    out.command = Command::kGetConfig;
+    out.payload = error_payload(StatusCode::kMalformedRequest);
+    return out.serialize();
+  }
+
+  if (auto rejected =
+          gate_envelope(env, Command::kGetConfig, error_payload, info))
+    return std::move(*rejected);
+
+  const ConfigResponse resp = run();
+  if (info != nullptr) info->status = resp.status.code;
+  return env.reply(resp.serialize()).serialize();
+}
+
+std::optional<AttestPayload> decode_attest_payload(ByteView raw,
+                                                   FrameInfo* info) {
+  if (Envelope::matches(raw)) {
+    FrameInfo fi;
+    try {
+      const Envelope env = Envelope::deserialize(raw);
+      fi.version = env.version;
+      fi.command = env.command;
+      fi.request_id = env.request_id;
+      if (env.version > kProtocolVersion) {
+        fi.status = StatusCode::kUnsupportedVersion;
+        note(info, fi);
+        return std::nullopt;
+      }
+      if (env.command != Command::kAttest) {
+        fi.status = StatusCode::kUnknownCommand;
+        note(info, fi);
+        return std::nullopt;
+      }
+      AttestPayload payload = AttestPayload::deserialize(env.payload);
+      note(info, fi);
+      return payload;
+    } catch (const Error&) {
+      fi.status = StatusCode::kMalformedRequest;
+      note(info, fi);
+      return std::nullopt;
+    }
+  }
+  FrameInfo fi;
+  fi.legacy = true;
+  fi.version = 0;
+  fi.command = Command::kAttest;
+  try {
+    AttestPayload payload = AttestPayload::deserialize(raw);
+    note(info, fi);
+    return payload;
+  } catch (const Error&) {
+    fi.status = StatusCode::kMalformedRequest;
+    note(info, fi);
+    return std::nullopt;
+  }
 }
 
 }  // namespace sinclave::cas

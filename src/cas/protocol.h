@@ -8,19 +8,81 @@
 //    in the attack, the TEE impersonator — presents a quote bound to the
 //    channel and (in SinClave mode) its attestation token, and receives the
 //    application configuration.
+//
+// Framing (protocol v1): every message on either endpoint travels inside a
+// versioned Envelope
+//
+//     magic u32 | version u16 | command u8 | flags u8 | request_id u64
+//     | payload (u32-length-prefixed)
+//
+// and every response payload leads with a typed Status (StatusCode u8 +
+// optional detail string) instead of the seed-era `bool ok + string error`.
+// Version rules: a server answers frames of its own major version in kind;
+// frames with a HIGHER version get a well-formed current-version response
+// carrying kUnsupportedVersion (the payload layout of the Status prefix is
+// frozen, so future clients can always decode the refusal); frames that are
+// not envelopes at all are served on the legacy (v0) path — decoded as the
+// seed-era raw message and answered in the seed-era encoding — so old peers
+// keep working. Unknown commands get kUnknownCommand, undecodable payloads
+// kMalformedRequest; a frontend never answers a parse failure with a
+// dropped or garbage reply.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/status.h"
 #include "core/instance_page.h"
 #include "quote/quote.h"
 #include "sgx/sigstruct.h"
 
 namespace sinclave::cas {
+
+// --- envelope ---------------------------------------------------------------
+
+/// First four bytes of every enveloped frame. Legacy (v0) frames can never
+/// collide: a v0 instance request starts with a u32 session-name length and
+/// a v0 secure-channel plaintext with a u8 command — neither reaches this
+/// value.
+inline constexpr std::uint32_t kEnvelopeMagic = 0xC0A5E4F1u;
+/// Current protocol version spoken by this build.
+inline constexpr std::uint16_t kProtocolVersion = 1;
+
+/// Wire commands (u8; append only).
+enum class Command : std::uint8_t {
+  /// Instance endpoint: singleton retrieval (token + on-demand SigStruct).
+  kGetInstance = 1,
+  /// Attested endpoint: fetch the application configuration.
+  kGetConfig = 2,
+  /// Attested endpoint: the handshake payload (quote + token).
+  kAttest = 3,
+};
+
+/// Stable name for logs/metrics ("get-instance", ...).
+const char* to_string(Command command);
+
+struct Envelope {
+  std::uint16_t version = kProtocolVersion;
+  Command command = Command::kGetInstance;
+  std::uint64_t request_id = 0;
+  Bytes payload;
+
+  Bytes serialize() const;
+  static Envelope deserialize(ByteView data);
+  /// Cheap sniff: does this frame start with the envelope magic? (False
+  /// selects the legacy v0 decode path.)
+  static bool matches(ByteView data);
+
+  /// Response envelope echoing this request's command and id.
+  Envelope reply(Bytes response_payload) const;
+};
+
+// --- messages ---------------------------------------------------------------
 
 /// Application configuration: everything the paper lists as
 /// behaviour-determining yet unmeasured — program selection, arguments,
@@ -40,7 +102,7 @@ struct AppConfig {
   friend bool operator==(const AppConfig&, const AppConfig&) = default;
 };
 
-/// Starter -> CAS (instance endpoint).
+/// Starter -> CAS (instance endpoint, envelope payload of kGetInstance).
 struct InstanceRequest {
   std::string session_name;
   sgx::SigStruct common_sigstruct;
@@ -49,19 +111,28 @@ struct InstanceRequest {
   static InstanceRequest deserialize(ByteView data);
 };
 
-/// CAS -> starter (instance endpoint).
+/// CAS -> starter (instance endpoint). Typed status; credential fields are
+/// meaningful only when status.ok(). Defaults to kInternal — like the
+/// seed's `bool ok = false`, a response must be explicitly marked ok.
 struct InstanceResponse {
-  bool ok = false;
-  std::string error;  // set when !ok
+  Status status{StatusCode::kInternal};
   core::AttestationToken token;
   Hash256 verifier_id;  // hash of the CAS identity key the enclave must pin
   sgx::SigStruct singleton_sigstruct;
 
-  Bytes serialize() const;
+  bool ok() const { return status.ok(); }
+
+  Bytes serialize() const;  // v1 payload (Status-prefixed)
   static InstanceResponse deserialize(ByteView data);
+  /// Seed-era (v0) encoding: `u8 ok | str error | ...` — what legacy peers
+  /// sent and still receive. Decoding reverse-maps the canonical error
+  /// strings back onto StatusCodes.
+  Bytes serialize_v0() const;
+  static InstanceResponse deserialize_v0(ByteView data);
 };
 
-/// Client handshake payload on the attestation endpoint.
+/// Client handshake payload on the attestation endpoint (envelope payload
+/// of kAttest; legacy peers send it raw).
 struct AttestPayload {
   std::string session_name;
   quote::Quote quote;
@@ -72,17 +143,63 @@ struct AttestPayload {
   static AttestPayload deserialize(ByteView data);
 };
 
-/// Encrypted request commands on an attested session.
-enum class Command : std::uint8_t { kGetConfig = 1 };
-
-/// Encrypted response to kGetConfig.
+/// Encrypted response to kGetConfig. Config meaningful only when
+/// status.ok(); defaults to kInternal (must be explicitly marked ok).
 struct ConfigResponse {
-  bool ok = false;
-  std::string error;
+  Status status{StatusCode::kInternal};
   AppConfig config;
 
-  Bytes serialize() const;
+  bool ok() const { return status.ok(); }
+
+  Bytes serialize() const;  // v1 payload (Status-prefixed)
   static ConfigResponse deserialize(ByteView data);
+  Bytes serialize_v0() const;  // seed-era `u8 ok | str error | config`
+  static ConfigResponse deserialize_v0(ByteView data);
 };
+
+/// Map a legacy (v0) error string back to its StatusCode. Strings that are
+/// not canonical messages decode as kInternal with the string preserved as
+/// the detail.
+StatusCode status_code_from_legacy(const std::string& error);
+
+// --- shared frontend glue ---------------------------------------------------
+
+/// What a decoded frame turned out to be — both serving frontends bump
+/// their per-command metrics from this, so classification can't drift.
+struct FrameInfo {
+  bool legacy = false;                      // served on the v0 path
+  std::uint16_t version = kProtocolVersion; // as sent by the peer
+  Command command = Command::kGetInstance;
+  std::uint64_t request_id = 0;
+  StatusCode status = StatusCode::kOk;      // status of the answer
+};
+
+using InstanceHandler =
+    std::function<InstanceResponse(const InstanceRequest&)>;
+
+/// Serve one instance-endpoint frame: decode (envelope or legacy v0),
+/// version-check, dispatch kGetInstance to `handler`, and encode the
+/// response in the flavor the peer spoke. Never throws on malformed input —
+/// deserializer exceptions become kMalformedRequest answers, handler
+/// exceptions kInternal. Used verbatim by CasService::bind and
+/// server::CasServer so the two frontends answer identically.
+Bytes serve_instance_frame(ByteView raw, const InstanceHandler& handler,
+                           FrameInfo* info = nullptr);
+
+using ConfigHandler = std::function<ConfigResponse()>;
+
+/// Serve one decrypted attested-endpoint record: dispatch kGetConfig to
+/// `handler` with the same envelope/legacy/version/command handling as the
+/// instance endpoint.
+Bytes serve_config_frame(ByteView plaintext, const ConfigHandler& handler,
+                         FrameInfo* info = nullptr);
+
+/// Decode a handshake payload that may be either an envelope-wrapped
+/// (v1, kAttest) or raw legacy AttestPayload. Returns nullopt — never
+/// throws — when the bytes are neither. `info` reports which flavor the
+/// peer spoke so the accept payload can answer in kind (Envelope::reply
+/// for v1, raw bytes for legacy).
+std::optional<AttestPayload> decode_attest_payload(ByteView raw,
+                                                   FrameInfo* info = nullptr);
 
 }  // namespace sinclave::cas

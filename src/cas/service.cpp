@@ -108,8 +108,9 @@ void CasService::ensure_secure_server() {
     }();
     secure_server_ = std::make_unique<net::SecureServer>(
         &identity_, std::move(channel_rng),
-        [this](ByteView payload, ByteView dh, std::uint64_t sid) {
-          return on_handshake(payload, dh, sid);
+        [this](ByteView payload, ByteView dh, std::uint64_t sid,
+               StatusCode* reject_status) {
+          return on_handshake(payload, dh, sid, reject_status);
         },
         [this](std::uint64_t sid, ByteView plaintext) {
           return on_request(sid, plaintext);
@@ -124,14 +125,12 @@ Bytes CasService::handle_secure(ByteView raw) {
 
 void CasService::bind(net::SimNetwork& net, const std::string& address) {
   net.listen(address + ".instance", [this](ByteView raw) {
-    InstanceResponse resp;
-    try {
-      resp = handle_instance(InstanceRequest::deserialize(raw));
-    } catch (const ParseError& e) {
-      resp.ok = false;
-      resp.error = e.what();
-    }
-    return resp.serialize();
+    // Envelope/legacy decode, version gate, and malformed-input handling
+    // all live in serve_instance_frame — shared with server::CasServer so
+    // the two frontends answer identically.
+    return serve_instance_frame(raw, [this](const InstanceRequest& req) {
+      return handle_instance(req);
+    });
   });
 
   ensure_secure_server();
@@ -197,13 +196,13 @@ void CasService::register_token(const core::AttestationToken& token,
   tokens_.emplace(token, PendingToken{session_name, expected_mr, false});
 }
 
-const char* CasService::check_retrieval_preconditions(
+std::optional<StatusCode> CasService::check_retrieval_preconditions(
     const Policy& policy) const {
   if (!policy.require_singleton || !policy.base_hash.has_value())
-    return errors::kNotSingleton;
+    return StatusCode::kNotSingleton;
   if (!has_signer_key(policy.expected_signer))
-    return errors::kNoSignerKey;
-  return nullptr;
+    return StatusCode::kNoSignerKey;
+  return std::nullopt;
 }
 
 InstanceResponse CasService::handle_instance(const InstanceRequest& request) {
@@ -218,11 +217,11 @@ InstanceResponse CasService::handle_instance(const InstanceRequest& request) {
   t.db_load = Clock::now() - mark;
 
   if (!policy.has_value()) {
-    resp.error = errors::kUnknownSession;
+    resp.status = Status(StatusCode::kUnknownSession);
     return resp;
   }
-  if (const char* error = check_retrieval_preconditions(*policy)) {
-    resp.error = error;
+  if (const auto refused = check_retrieval_preconditions(*policy)) {
+    resp.status = Status(*refused);
     return resp;
   }
 
@@ -232,11 +231,11 @@ InstanceResponse CasService::handle_instance(const InstanceRequest& request) {
   const bool sig_ok = request.common_sigstruct.signature_valid();
   t.verify = Clock::now() - mark;
   if (!sig_ok) {
-    resp.error = errors::kBadSignature;
+    resp.status = Status(StatusCode::kBadSignature);
     return resp;
   }
   if (request.common_sigstruct.mr_signer() != policy->expected_signer) {
-    resp.error = errors::kWrongSigner;
+    resp.status = Status(StatusCode::kWrongSigner);
     return resp;
   }
 
@@ -246,7 +245,7 @@ InstanceResponse CasService::handle_instance(const InstanceRequest& request) {
       core::MeasurementPredictor::predict_common(*policy->base_hash);
   t.predict = Clock::now() - mark;
   if (request.common_sigstruct.enclave_hash != expected_common) {
-    resp.error = errors::kBaseHashMismatch;
+    resp.status = Status(StatusCode::kBaseHashMismatch);
     return resp;
   }
 
@@ -256,7 +255,7 @@ InstanceResponse CasService::handle_instance(const InstanceRequest& request) {
       mint_credential(*policy, request.common_sigstruct, &t);
   register_token(cred.token, request.session_name, cred.mr_enclave);
 
-  resp.ok = true;
+  resp.status = Status();
   resp.token = cred.token;
   resp.verifier_id = verifier_id();
   resp.singleton_sigstruct = cred.sigstruct;
@@ -271,19 +270,28 @@ InstanceResponse CasService::handle_instance(const InstanceRequest& request) {
 
 std::optional<Bytes> CasService::on_handshake(ByteView client_payload,
                                               ByteView client_dh,
-                                              std::uint64_t session_id) {
+                                              std::uint64_t session_id,
+                                              StatusCode* reject_status) {
   const auto verdict = [this](Verdict v) {
     std::lock_guard lock(observe_mutex_);
     last_attest_verdict_ = v;
   };
 
-  AttestPayload payload;
-  try {
-    payload = AttestPayload::deserialize(client_payload);
-  } catch (const ParseError&) {
+  // Envelope-wrapped (v1 kAttest) or raw legacy payload, decoded without
+  // letting deserializer exceptions escape; the accept payload below
+  // answers in the flavor the peer spoke. Only protocol-level refusals
+  // ride back to the (unauthenticated) peer as typed statuses —
+  // verification failures stay the generic rejection so the handshake is
+  // no oracle; the fine-grained Verdict is server-side observability.
+  FrameInfo frame;
+  const auto decoded = decode_attest_payload(client_payload, &frame);
+  if (!decoded.has_value()) {
+    if (reject_status != nullptr && is_protocol_level(frame.status))
+      *reject_status = frame.status;
     verdict(Verdict::kMalformed);
     return std::nullopt;
   }
+  const AttestPayload& payload = *decoded;
 
   const auto policy = get_policy(payload.session_name);
   if (!policy.has_value()) {
@@ -356,35 +364,36 @@ std::optional<Bytes> CasService::on_handshake(ByteView client_payload,
   }
 
   verdict(Verdict::kOk);
-  return to_bytes("attested");
+  if (frame.legacy) return to_bytes("attested");
+  Envelope accept;
+  accept.command = Command::kAttest;
+  accept.request_id = frame.request_id;
+  accept.payload = to_bytes("attested");
+  return accept.serialize();
 }
 
 Bytes CasService::on_request(std::uint64_t session_id, ByteView plaintext) {
-  ConfigResponse resp;
-  ByteReader r(plaintext);
-  const auto cmd = static_cast<Command>(r.u8());
-  if (cmd != Command::kGetConfig) {
-    resp.error = "unknown command";
-    return resp.serialize();
-  }
-  std::string session_name;
-  {
-    std::lock_guard lock(token_mutex_);
-    const auto it = attested_sessions_.find(session_id);
-    if (it == attested_sessions_.end()) {
-      resp.error = "session not attested";
-      return resp.serialize();
+  return serve_config_frame(plaintext, [this, session_id]() {
+    ConfigResponse resp;
+    std::string session_name;
+    {
+      std::lock_guard lock(token_mutex_);
+      const auto it = attested_sessions_.find(session_id);
+      if (it == attested_sessions_.end()) {
+        resp.status = Status(StatusCode::kSessionNotAttested);
+        return resp;
+      }
+      session_name = it->second;
     }
-    session_name = it->second;
-  }
-  const auto policy = get_policy(session_name);
-  if (!policy.has_value()) {
-    resp.error = "policy disappeared";
-    return resp.serialize();
-  }
-  resp.ok = true;
-  resp.config = policy->config;
-  return resp.serialize();
+    const auto policy = get_policy(session_name);
+    if (!policy.has_value()) {
+      resp.status = Status(StatusCode::kUnknownSession, "policy disappeared");
+      return resp;
+    }
+    resp.status = Status();
+    resp.config = policy->config;
+    return resp;
+  });
 }
 
 CasService::InstanceTimings CasService::last_instance_timings() const {

@@ -41,22 +41,11 @@
 
 namespace sinclave::cas {
 
-/// Error strings shared by every retrieval frontend (CasService's direct
-/// path and server::CasServer's pooled fast path) — single definitions so
-/// the two paths cannot drift.
-namespace errors {
-inline constexpr const char* kUnknownSession = "unknown session";
-inline constexpr const char* kNotSingleton =
-    "session is not configured for singleton enclaves";
-inline constexpr const char* kNoSignerKey =
-    "no signer key uploaded for this session";
-inline constexpr const char* kBadSignature =
-    "common sigstruct signature invalid";
-inline constexpr const char* kWrongSigner =
-    "common sigstruct from unexpected signer";
-inline constexpr const char* kBaseHashMismatch =
-    "common sigstruct does not match session base hash";
-}  // namespace errors
+// The seed-era `cas::errors` string constants are gone: retrieval
+// refusals are StatusCodes now, and the (single) human-readable text for
+// each code lives in common/status.h's status_message table — the two
+// serving frontends and the legacy (v0) wire encoding all draw from it,
+// so they cannot drift.
 
 /// Per-session verification policy, stored encrypted in the CAS database.
 struct Policy {
@@ -137,9 +126,10 @@ class CasService {
   std::optional<Policy> get_policy(const std::string& session_name) const;
 
   /// Shared precondition checks for singleton retrieval (both serving
-  /// fronts call this): returns an errors::* string, or nullptr when the
+  /// fronts call this): returns the typed refusal, or nullopt when the
   /// policy is retrieval-ready.
-  const char* check_retrieval_preconditions(const Policy& policy) const;
+  std::optional<StatusCode> check_retrieval_preconditions(
+      const Policy& policy) const;
 
   /// Start serving: `address` (secure attestation endpoint) and
   /// `address + ".instance"` (plain starter endpoint).
@@ -196,7 +186,8 @@ class CasService {
  private:
   std::optional<Bytes> on_handshake(ByteView client_payload,
                                     ByteView client_dh,
-                                    std::uint64_t session_id);
+                                    std::uint64_t session_id,
+                                    StatusCode* reject_status);
   Bytes on_request(std::uint64_t session_id, ByteView plaintext);
   void ensure_secure_server();
 

@@ -1,0 +1,84 @@
+#include "common/status.h"
+
+namespace sinclave {
+
+const char* to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kUnknownSession:
+      return "unknown-session";
+    case StatusCode::kNotSingleton:
+      return "not-singleton";
+    case StatusCode::kNoSignerKey:
+      return "no-signer-key";
+    case StatusCode::kBadSignature:
+      return "bad-signature";
+    case StatusCode::kWrongSigner:
+      return "wrong-signer";
+    case StatusCode::kBaseHashMismatch:
+      return "base-hash-mismatch";
+    case StatusCode::kTokenUnknown:
+      return "token-unknown";
+    case StatusCode::kTokenReused:
+      return "token-reused";
+    case StatusCode::kSessionNotAttested:
+      return "session-not-attested";
+    case StatusCode::kAttestationRejected:
+      return "attestation-rejected";
+    case StatusCode::kMalformedRequest:
+      return "malformed-request";
+    case StatusCode::kUnsupportedVersion:
+      return "unsupported-version";
+    case StatusCode::kUnknownCommand:
+      return "unknown-command";
+    case StatusCode::kInternal:
+      return "internal";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+  }
+  return "unknown";
+}
+
+const char* status_message(StatusCode code) {
+  // The texts for the retrieval outcomes are the seed-era `cas::errors`
+  // strings verbatim: legacy (v0) peers receive them unchanged, and the
+  // legacy decode path reverse-maps them back to codes.
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kUnknownSession:
+      return "unknown session";
+    case StatusCode::kNotSingleton:
+      return "session is not configured for singleton enclaves";
+    case StatusCode::kNoSignerKey:
+      return "no signer key uploaded for this session";
+    case StatusCode::kBadSignature:
+      return "common sigstruct signature invalid";
+    case StatusCode::kWrongSigner:
+      return "common sigstruct from unexpected signer";
+    case StatusCode::kBaseHashMismatch:
+      return "common sigstruct does not match session base hash";
+    case StatusCode::kTokenUnknown:
+      return "token unknown";
+    case StatusCode::kTokenReused:
+      return "token already spent";
+    case StatusCode::kSessionNotAttested:
+      return "session not attested";
+    case StatusCode::kAttestationRejected:
+      return "attestation rejected";
+    case StatusCode::kMalformedRequest:
+      return "malformed request";
+    case StatusCode::kUnsupportedVersion:
+      return "unsupported protocol version";
+    case StatusCode::kUnknownCommand:
+      return "unknown command";
+    case StatusCode::kInternal:
+      return "internal error";
+    case StatusCode::kUnavailable:
+      return "service unavailable";
+  }
+  return "internal error";
+}
+
+}  // namespace sinclave

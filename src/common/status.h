@@ -1,0 +1,138 @@
+// Typed operation results for the client-facing API.
+//
+// Every wire response in the CAS protocol carries a StatusCode instead of
+// the seed-era `bool ok + std::string error`: machine-readable outcomes are
+// what retry logic, replication, and metrics key on — string matching is
+// not an error model. The canonical human-readable message for each code
+// lives in ONE table here (status_message), so the two serving frontends
+// (cas::CasService and server::CasServer) and the client SDK can never
+// drift apart in what they call the same failure.
+//
+// Status  = code + optional detail message (empty -> canonical message).
+// Result<T> = Status or a value; the small expected<> stand-in used by the
+// client SDK where an operation either yields a payload or a typed error.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/error.h"
+
+namespace sinclave {
+
+/// Wire-stable outcome codes (serialized as u8 — append only, never
+/// renumber; unknown codes decode as kInternal on old peers).
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  // Instance-endpoint (singleton retrieval) outcomes.
+  kUnknownSession = 1,
+  kNotSingleton = 2,
+  kNoSignerKey = 3,
+  kBadSignature = 4,
+  kWrongSigner = 5,
+  kBaseHashMismatch = 6,
+  // Attested-endpoint outcomes.
+  kTokenUnknown = 7,
+  kTokenReused = 8,
+  kSessionNotAttested = 9,
+  kAttestationRejected = 10,
+  // Protocol-level outcomes (any endpoint).
+  kMalformedRequest = 11,
+  kUnsupportedVersion = 12,
+  kUnknownCommand = 13,
+  kInternal = 14,
+  /// Transient: the service exists but cannot answer right now (shutting
+  /// down, overloaded, backend briefly gone). The only retryable code.
+  kUnavailable = 15,
+};
+
+/// Stable kebab-case identifier (logs, JSON, tests).
+const char* to_string(StatusCode code);
+
+/// Canonical human-readable message for a code — the single source the
+/// serving frontends and the legacy (v0) wire encoding draw from.
+const char* status_message(StatusCode code);
+
+/// True for codes a client may retry without changing the request.
+constexpr bool is_retryable(StatusCode code) {
+  return code == StatusCode::kUnavailable;
+}
+
+/// True for codes that describe the protocol exchange itself rather than
+/// a verification outcome. These are the only codes a handshake rejection
+/// record may carry to an unauthenticated peer (SecureServer sends them,
+/// SecureClient whitelists them — one predicate so the two cannot drift);
+/// everything else stays the generic rejection, keeping the handshake
+/// oracle-free.
+constexpr bool is_protocol_level(StatusCode code) {
+  return code == StatusCode::kMalformedRequest ||
+         code == StatusCode::kUnsupportedVersion ||
+         code == StatusCode::kUnknownCommand;
+}
+
+/// A typed outcome: code plus an optional detail message. `message()`
+/// falls back to the canonical text so callers always have something to
+/// print, and the wire never has to carry the common case.
+struct Status {
+  StatusCode code = StatusCode::kOk;
+  std::string detail;  // optional; empty -> status_message(code)
+
+  Status() = default;
+  explicit Status(StatusCode c) : code(c) {}
+  Status(StatusCode c, std::string d) : code(c), detail(std::move(d)) {}
+
+  bool ok() const { return code == StatusCode::kOk; }
+  bool retryable() const { return is_retryable(code); }
+  std::string message() const {
+    return detail.empty() ? status_message(code) : detail;
+  }
+
+  friend bool operator==(const Status&, const Status&) = default;
+};
+
+/// Either a value or a non-ok Status. The invariant "ok implies value" is
+/// enforced at construction: an ok() Result can only be built from a value,
+/// and value() on an error Result throws (programming error, not a wire
+/// condition).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {      // NOLINT
+    if (status_.ok())
+      throw Error("result: ok status requires a value");
+  }
+  Result(StatusCode code) : Result(Status(code)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    require();
+    return *value_;
+  }
+  T& value() & {
+    require();
+    return *value_;
+  }
+  T&& value() && {
+    require();
+    return std::move(*value_);
+  }
+  const T& operator*() const& { return value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  void require() const {
+    if (!value_.has_value())
+      throw Error("result: value() on error status (" +
+                  std::string(to_string(status_.code)) + ")");
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace sinclave

@@ -9,7 +9,7 @@ HmacSha256::HmacSha256(ByteView key) {
   if (key.size() > 64) {
     const Hash256 kh = sha256(key);
     std::memcpy(key_block, kh.data.data(), 32);
-  } else {
+  } else if (!key.empty()) {  // empty views may carry a null data()
     std::memcpy(key_block, key.data(), key.size());
   }
 

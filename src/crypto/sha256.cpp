@@ -110,9 +110,10 @@ void Sha256::process_block(const std::uint8_t* block) {
 
 void Sha256::update(ByteView data) {
   if (finalized_) throw Error("sha256: update after finalize");
-  const std::uint8_t* p = data.data();
   std::size_t n = data.size();
   state_.byte_count += n;
+  if (n == 0) return;  // empty views may carry a null data() — no memcpy
+  const std::uint8_t* p = data.data();
 
   if (buffered_ > 0) {
     const std::size_t take = std::min(n, 64 - buffered_);

@@ -265,9 +265,10 @@ void Sha256Fast::process_blocks(const std::uint8_t* data, std::size_t n_blocks) 
 }
 
 void Sha256Fast::update(ByteView data) {
-  const std::uint8_t* p = data.data();
   std::size_t n = data.size();
   byte_count_ += n;
+  if (n == 0) return;  // empty views may carry a null data() — no memcpy
+  const std::uint8_t* p = data.data();
 
   if (buffered_ > 0) {
     const std::size_t take = std::min(n, 64 - buffered_);

@@ -52,6 +52,13 @@ FixedBytes<64> channel_binding(ByteView client_dh_public) {
   return FixedBytes<64>::from_view(h.view());  // zero padded to 64 bytes
 }
 
+RecordType classify_record(ByteView raw) {
+  if (raw.empty()) return RecordType::kUnknown;
+  if (raw[0] == kMsgHandshake) return RecordType::kHandshake;
+  if (raw[0] == kMsgData) return RecordType::kData;
+  return RecordType::kUnknown;
+}
+
 // ---------------------------------------------------------------------------
 // Server
 // ---------------------------------------------------------------------------
@@ -80,11 +87,18 @@ Bytes SecureServer::handle(ByteView raw) {
       r.expect_done();
 
       const std::uint64_t session_id = next_session_;
+      StatusCode reject_status = StatusCode::kAttestationRejected;
       const auto server_payload =
-          on_handshake_(client_payload, client_dh, session_id);
+          on_handshake_(client_payload, client_dh, session_id,
+                        &reject_status);
       if (!server_payload.has_value()) {
+        // Rejection record: status byte appended after the rejected
+        // marker. Pre-status clients stop at the marker (they never read
+        // past the first byte), so the extension is wire-compatible both
+        // ways.
         ByteWriter w;
         w.u8(kStatusRejected);
+        w.u8(static_cast<std::uint8_t>(reject_status));
         return std::move(w).take();
       }
 
@@ -148,7 +162,10 @@ Bytes SecureServer::handle(ByteView raw) {
     ByteWriter w;
     w.u8(kStatusRejected);
     return std::move(w).take();
-  } catch (const ParseError&) {
+  } catch (const Error&) {
+    // Not just ParseError: malformed DH points or hook-level deserializer
+    // failures must answer a clean rejection, never escape into (and kill
+    // futures on) a frontend worker thread.
     ByteWriter w;
     w.u8(kStatusRejected);
     return std::move(w).take();
@@ -171,7 +188,8 @@ SecureClient::SecureClient(crypto::Drbg rng)
 
 std::optional<Bytes> SecureClient::connect(
     SimNetwork::Connection connection,
-    const crypto::RsaPublicKey& expected_server, ByteView client_payload) {
+    const crypto::RsaPublicKey& expected_server, ByteView client_payload,
+    StatusCode* reject_status) {
   ByteWriter req;
   req.u8(kMsgHandshake);
   req.bytes(dh_public_);
@@ -179,7 +197,22 @@ std::optional<Bytes> SecureClient::connect(
   const Bytes raw = connection.call(req.data());
 
   ByteReader r(raw);
-  if (r.u8() != kStatusOk) return std::nullopt;
+  if (r.u8() != kStatusOk) {
+    if (reject_status != nullptr) {
+      // Typed rejection when the server sent one; generic otherwise
+      // (pre-status servers end the record at the marker). Whitelisted
+      // through is_protocol_level: anything else — including a hostile
+      // 0 = "ok" on a rejected handshake, or bytes outside the enum —
+      // stays the generic rejection, so a rejected handshake can never
+      // read as success.
+      *reject_status = StatusCode::kAttestationRejected;
+      if (!r.done()) {
+        const auto code = static_cast<StatusCode>(r.u8());
+        if (is_protocol_level(code)) *reject_status = code;
+      }
+    }
+    return std::nullopt;
+  }
   const std::uint64_t session_id = r.u64();
   const Bytes server_pub = r.bytes();
   const Bytes signature = r.bytes();
@@ -191,7 +224,7 @@ std::optional<Bytes> SecureClient::connect(
   // rejection -> throw.
   if (!expected_server.verify_pkcs1_sha256(concat({dh_public_, server_pub}),
                                            signature))
-    throw Error("secure channel: server identity mismatch");
+    throw IdentityMismatchError();
 
   const Bytes secret = dh_.shared_secret(server_pub);
   TrafficKeys keys = derive_keys(secret, dh_public_, server_pub);

@@ -24,6 +24,7 @@
 #include <optional>
 
 #include "common/bytes.h"
+#include "common/status.h"
 #include "crypto/aead.h"
 #include "crypto/dh.h"
 #include "crypto/drbg.h"
@@ -36,6 +37,22 @@ namespace sinclave::net {
 /// SHA-256 of the client DH public key, zero padded to 64 bytes.
 FixedBytes<64> channel_binding(ByteView client_dh_public);
 
+/// Transport record kinds on the secure endpoint. Frontends split their
+/// per-command metrics on this — it needs no session keys (the record type
+/// byte is cleartext framing, the payloads stay encrypted).
+enum class RecordType : std::uint8_t { kHandshake, kData, kUnknown };
+RecordType classify_record(ByteView raw);
+
+/// Thrown by SecureClient::connect when the server's handshake signature
+/// does not verify under the pinned identity — an active attack, never a
+/// routine rejection. A distinct type so callers (the client SDK) can
+/// keep it loud without matching message strings.
+class IdentityMismatchError : public Error {
+ public:
+  IdentityMismatchError()
+      : Error("secure channel: server identity mismatch") {}
+};
+
 /// Server half. Owns per-session traffic keys; plug `handle` into
 /// SimNetwork::listen.
 ///
@@ -47,11 +64,14 @@ class SecureServer {
  public:
   /// Decides whether to accept a handshake. Receives the client's payload
   /// and DH public key; returns the server payload to accept, or nullopt
-  /// to reject the session.
-  using HandshakeHook =
-      std::function<std::optional<Bytes>(ByteView client_payload,
-                                         ByteView client_dh_public,
-                                         std::uint64_t session_id)>;
+  /// to reject the session. On rejection the hook may set `reject_status`
+  /// to a protocol-level code (kUnsupportedVersion, kMalformedRequest) —
+  /// it rides the rejection record so well-behaved clients learn how to
+  /// remediate; verification failures should leave the generic default
+  /// (no oracle for unauthenticated peers).
+  using HandshakeHook = std::function<std::optional<Bytes>(
+      ByteView client_payload, ByteView client_dh_public,
+      std::uint64_t session_id, StatusCode* reject_status)>;
   /// Handles one decrypted request; the return value is encrypted back.
   using RequestHandler =
       std::function<Bytes(std::uint64_t session_id, ByteView plaintext)>;
@@ -97,12 +117,15 @@ class SecureClient {
   const Bytes& dh_public() const { return dh_public_; }
 
   /// Run the handshake. `expected_server` pins the server identity —
-  /// mismatch throws Error (this is the check SinClave roots in the
-  /// instance page). Returns the server's handshake payload; nullopt when
-  /// the server rejected the session.
+  /// mismatch throws IdentityMismatchError (this is the check SinClave
+  /// roots in the instance page). Returns the server's handshake payload;
+  /// nullopt when the server rejected the session — `reject_status`, when
+  /// given, then carries the typed rejection (kAttestationRejected unless
+  /// the rejection record said otherwise; pre-status servers send none).
   std::optional<Bytes> connect(SimNetwork::Connection connection,
                                const crypto::RsaPublicKey& expected_server,
-                               ByteView client_payload);
+                               ByteView client_payload,
+                               StatusCode* reject_status = nullptr);
 
   /// Encrypted round trip; only valid after a successful connect. Throws
   /// Error if the server cannot decrypt / authenticate (torn session).

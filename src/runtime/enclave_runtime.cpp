@@ -1,6 +1,6 @@
 #include "runtime/enclave_runtime.h"
 
-#include "common/serial.h"
+#include "cas/client.h"
 #include "crypto/sha256.h"
 
 namespace sinclave::runtime {
@@ -55,9 +55,12 @@ RunResult EnclaveRuntime::run(const StartedEnclave& enclave,
     token = page->token;
   }
 
-  // 2. Channel-bound attestation.
-  net::SecureClient client(crypto::Drbg(rng_.generate(16), "runtime-channel"));
-  const sgx::ReportData binding = net::channel_binding(client.dh_public());
+  // 2. Channel-bound attestation through the client SDK.
+  cas::AttestedChannel channel(
+      net_, options.cas_address,
+      crypto::Drbg(rng_.generate(16), "runtime-channel"));
+  const sgx::ReportData binding =
+      net::channel_binding(channel.dh_public());
   const sgx::Report report =
       cpu_->ereport(enclave.id, qe_->target_info(), binding);
   const auto q = qe_->generate_quote(report);
@@ -71,36 +74,35 @@ RunResult EnclaveRuntime::run(const StartedEnclave& enclave,
   payload.quote = *q;
   payload.token = token;
 
-  std::optional<Bytes> accepted;
+  Status attest_status;
   try {
-    accepted = client.connect(net_->connect(options.cas_address),
-                              options.cas_identity, payload.serialize());
+    attest_status = channel.attest(options.cas_identity, payload);
   } catch (const Error& e) {
     result.error = std::string("attest: ") + e.what();
     return result;
   }
-  if (!accepted.has_value()) {
-    result.error = "attest: verifier rejected attestation";
+  if (!attest_status.ok()) {
+    result.error =
+        attest_status.code == StatusCode::kAttestationRejected
+            ? "attest: verifier rejected attestation"
+            : "attest: " + attest_status.message();
     return result;
   }
 
   // 3. Fetch configuration over the attested channel.
-  ByteWriter cmd;
-  cmd.u8(static_cast<std::uint8_t>(cas::Command::kGetConfig));
-  const cas::ConfigResponse cfg =
-      cas::ConfigResponse::deserialize(client.call(cmd.data()));
-  if (!cfg.ok) {
-    result.error = "config: " + cfg.error;
+  const Result<cas::AppConfig> cfg = channel.get_config();
+  if (!cfg.ok()) {
+    result.error = "config: " + cfg.status().message();
     return result;
   }
   configured_.insert(enclave.id);
-  result.config = cfg.config;
+  result.config = cfg.value();
 
   // 4. Mount + verify the encrypted volume (completeness of FS state).
   std::optional<fs::EncryptedVolume> volume;
-  if (!cfg.config.fs_key.empty()) {
+  if (!result.config.fs_key.empty()) {
     volume = fs::EncryptedVolume::adopt(
-        cfg.config.fs_key, crypto::Drbg(rng_.generate(16), "runtime-fs"),
+        result.config.fs_key, crypto::Drbg(rng_.generate(16), "runtime-fs"),
         options.volume_blobs);
     Hash256 root;
     try {
@@ -109,16 +111,16 @@ RunResult EnclaveRuntime::run(const StartedEnclave& enclave,
       result.error = "volume: file integrity verification failed";
       return result;
     }
-    if (root != cfg.config.fs_manifest_root) {
+    if (root != result.config.fs_manifest_root) {
       result.error = "volume: manifest does not match configuration";
       return result;
     }
   }
 
   // 5. Load and run the configured program.
-  const Program* program = programs_->find(cfg.config.program);
+  const Program* program = programs_->find(result.config.program);
   if (program == nullptr) {
-    result.error = "program: not found: " + cfg.config.program;
+    result.error = "program: not found: " + result.config.program;
     return result;
   }
 

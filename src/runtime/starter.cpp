@@ -1,5 +1,7 @@
 #include "runtime/starter.h"
 
+#include "cas/client.h"
+
 namespace sinclave::runtime {
 
 StartedEnclave start_enclave(
@@ -47,32 +49,27 @@ SingletonStart start_singleton_enclave(sgx::SgxCpu& cpu,
                                        const std::string& session_name) {
   SingletonStart out;
 
-  cas::InstanceRequest request;
-  request.session_name = session_name;
-  request.common_sigstruct = common_sigstruct;
-
-  cas::InstanceResponse response;
-  try {
-    auto conn = net.connect(cas_address + ".instance");
-    response = cas::InstanceResponse::deserialize(
-        conn.call(request.serialize()));
-  } catch (const Error& e) {
-    out.error = std::string("instance request failed: ") + e.what();
-    return out;
-  }
-  if (!response.ok) {
-    out.error = "verifier refused instance: " + response.error;
+  cas::CasClient client(
+      &net, cas::CasClientConfig{.address = cas_address, .retry = {}});
+  const cas::InstanceResult got =
+      client.get_instance(session_name, common_sigstruct);
+  out.status = got.status;
+  if (!got.ok()) {
+    // Transport-level failures keep the seed-era wording; typed verifier
+    // refusals carry the canonical status message.
+    out.error = got.status.code == StatusCode::kUnavailable
+                    ? "instance request failed: " + got.status.message()
+                    : "verifier refused instance: " + got.status.message();
     return out;
   }
 
   core::InstancePage page;
-  page.token = response.token;
-  page.verifier_id = response.verifier_id;
+  page.token = got.token;
+  page.verifier_id = got.verifier_id;
 
-  out.token = response.token;
-  out.verifier_id = response.verifier_id;
-  out.enclave =
-      start_enclave(cpu, image, response.singleton_sigstruct, page);
+  out.token = got.token;
+  out.verifier_id = got.verifier_id;
+  out.enclave = start_enclave(cpu, image, got.singleton_sigstruct, page);
   if (!out.enclave.ok())
     out.error = std::string("einit failed: ") +
                 to_string(out.enclave.einit_verdict);

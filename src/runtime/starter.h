@@ -42,7 +42,10 @@ struct SingletonStart {
   StartedEnclave enclave;
   core::AttestationToken token;
   Hash256 verifier_id;
-  std::string error;  // set when !ok()
+  /// Typed outcome of the retrieval (the CasClient status) — what retry
+  /// logic and tests should branch on.
+  Status status;
+  std::string error;  // human-readable; set when !ok()
 
   bool ok() const { return error.empty() && enclave.ok(); }
 };

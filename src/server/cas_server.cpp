@@ -88,25 +88,46 @@ void CasServer::respond(Clock::time_point accepted,
   done(std::move(response));
 }
 
+void CasServer::note_frame(CommandMetrics& command,
+                           const cas::FrameInfo& frame) {
+  if (frame.legacy) ++command.legacy_frames;
+  switch (frame.status) {
+    case StatusCode::kMalformedRequest:
+      ++metrics_.malformed_frames;
+      break;
+    case StatusCode::kUnsupportedVersion:
+      ++metrics_.unsupported_version_frames;
+      break;
+    case StatusCode::kUnknownCommand:
+      ++metrics_.unknown_command_frames;
+      break;
+    default:
+      break;
+  }
+  if (frame.status != StatusCode::kOk) ++command.errors;
+}
+
 void CasServer::accept_instance(Bytes raw, net::SimNetwork::Completion done) {
   // Stage 1 — accept, on the client's thread: account and enqueue. The
   // client thread is never borrowed for serving work.
   const auto accepted = Clock::now();
-  ++metrics_.instance_requests;
+  ++metrics_.get_instance.requests;
   metrics_.enter_in_flight();
   auto job = [this, raw = std::move(raw), done, accepted]() mutable {
-    // Stage 2 — serve, on a worker: parse + policy + verify + credential.
+    // Stage 2 — serve, on a worker: decode (envelope or legacy) + policy
+    // + verify + credential. serve_instance_frame contains deserializer
+    // failures — a malformed or truncated frame answers a typed
+    // kMalformedRequest, it can never escape this worker as an exception.
     Bytes out;
     try {
-      cas::InstanceResponse resp;
-      try {
-        resp = serve_instance(cas::InstanceRequest::deserialize(raw));
-      } catch (const ParseError& e) {
-        resp.ok = false;
-        resp.error = e.what();
-      }
-      if (!resp.ok) ++metrics_.instance_errors;
-      out = resp.serialize();
+      cas::FrameInfo frame;
+      out = cas::serve_instance_frame(
+          raw,
+          [this](const cas::InstanceRequest& req) {
+            return serve_instance(req);
+          },
+          &frame);
+      note_frame(metrics_.get_instance, frame);
     } catch (...) {
       metrics_.leave_in_flight();
       done.fail(std::current_exception());
@@ -127,18 +148,18 @@ void CasServer::accept_instance(Bytes raw, net::SimNetwork::Completion done) {
       try {
         timer_.schedule_after(
             config_.backend_io, [this, payload, done, accepted]() {
-              respond(accepted, &metrics_.instance_latency,
+              respond(accepted, &metrics_.get_instance.latency,
                       std::move(*payload), done);
             });
         return;
       } catch (const Error&) {
         // Wheel shutting down: respond inline rather than dropping.
-        respond(accepted, &metrics_.instance_latency, std::move(*payload),
+        respond(accepted, &metrics_.get_instance.latency, std::move(*payload),
                 done);
         return;
       }
     }
-    respond(accepted, &metrics_.instance_latency, std::move(out), done);
+    respond(accepted, &metrics_.get_instance.latency, std::move(out), done);
   };
   try {
     pool_.submit(std::move(job));
@@ -152,21 +173,31 @@ void CasServer::accept_instance(Bytes raw, net::SimNetwork::Completion done) {
 
 void CasServer::accept_attest(Bytes raw, net::SimNetwork::Completion done) {
   // Counted and clocked at accept, exactly like the instance endpoint, so
-  // the two histograms are comparable (both include queue wait) and a
-  // request rejected at submit is still a counted request.
+  // the histograms are comparable (all include queue wait) and a request
+  // rejected at submit is still a counted request. The secure endpoint's
+  // counters split per command on the cleartext record type: handshakes
+  // are kAttest, in-session records are kGetConfig.
   const auto accepted = Clock::now();
-  ++metrics_.attest_requests;
+  CommandMetrics& command =
+      net::classify_record(raw) == net::RecordType::kData
+          ? metrics_.get_config
+          : metrics_.attest;
+  ++command.requests;
   metrics_.enter_in_flight();
-  auto job = [this, raw = std::move(raw), done, accepted]() mutable {
+  auto job = [this, raw = std::move(raw), done, accepted,
+              command = &command]() mutable {
     Bytes out;
     try {
       out = cas_->handle_secure(raw);
     } catch (...) {
+      // SecureServer answers malformed records itself; anything escaping
+      // here is an internal fault, counted against the command.
+      ++command->errors;
       metrics_.leave_in_flight();
       done.fail(std::current_exception());
       return;
     }
-    respond(accepted, &metrics_.attest_latency, std::move(out), done);
+    respond(accepted, &command->latency, std::move(out), done);
   };
   try {
     pool_.submit(std::move(job));
@@ -179,7 +210,7 @@ void CasServer::accept_attest(Bytes raw, net::SimNetwork::Completion done) {
 cas::InstanceResponse CasServer::handle_instance(
     const cas::InstanceRequest& request) {
   const auto start = Clock::now();
-  ++metrics_.instance_requests;
+  ++metrics_.get_instance.requests;
 
   // Direct synchronous callers pay the stall inline; only the network
   // path gets the event-driven deferral.
@@ -188,14 +219,14 @@ cas::InstanceResponse CasServer::handle_instance(
 
   cas::InstanceResponse resp = serve_instance(request);
 
-  if (!resp.ok) ++metrics_.instance_errors;
-  metrics_.instance_latency.record(Clock::now() - start);
+  if (!resp.ok()) ++metrics_.get_instance.errors;
+  metrics_.get_instance.latency.record(Clock::now() - start);
   return resp;
 }
 
 bool CasServer::check_common(const cas::Policy& policy,
                              const cas::InstanceRequest& request,
-                             std::string* error) {
+                             Status* status) {
   bool flush_stale_pool = false;
   bool verified = false;
   {
@@ -222,17 +253,17 @@ bool CasServer::check_common(const cas::Policy& policy,
   if (verified) return true;
 
   if (!request.common_sigstruct.signature_valid()) {
-    *error = cas::errors::kBadSignature;
+    *status = Status(StatusCode::kBadSignature);
     return false;
   }
   if (request.common_sigstruct.mr_signer() != policy.expected_signer) {
-    *error = cas::errors::kWrongSigner;
+    *status = Status(StatusCode::kWrongSigner);
     return false;
   }
   const sgx::Measurement expected_common =
       core::MeasurementPredictor::predict_common(*policy.base_hash);
   if (request.common_sigstruct.enclave_hash != expected_common) {
-    *error = cas::errors::kBaseHashMismatch;
+    *status = Status(StatusCode::kBaseHashMismatch);
     return false;
   }
   bool replaced_same_base = false;
@@ -254,14 +285,14 @@ cas::InstanceResponse CasServer::serve_instance(
 
   const auto policy = cas_->get_policy(request.session_name);
   if (!policy.has_value()) {
-    resp.error = cas::errors::kUnknownSession;
+    resp.status = Status(StatusCode::kUnknownSession);
     return resp;
   }
-  if (const char* error = cas_->check_retrieval_preconditions(*policy)) {
-    resp.error = error;
+  if (const auto refused = cas_->check_retrieval_preconditions(*policy)) {
+    resp.status = Status(*refused);
     return resp;
   }
-  if (!check_common(*policy, request, &resp.error)) return resp;
+  if (!check_common(*policy, request, &resp.status)) return resp;
 
   // Pooled credentials self-validate at pop time: a refill racing a
   // policy update could deposit stale entries after the stale-pool flush.
@@ -301,7 +332,7 @@ cas::InstanceResponse CasServer::serve_instance(
   cas_->register_token(cred.token, request.session_name, cred.mr_enclave);
   ++metrics_.tokens_issued;
 
-  resp.ok = true;
+  resp.status = Status();
   resp.token = cred.token;
   resp.verifier_id = cas_->verifier_id();
   resp.singleton_sigstruct = cred.sigstruct;
@@ -378,13 +409,13 @@ std::size_t CasServer::premint(const std::string& session,
                                std::size_t n) {
   const auto policy = cas_->get_policy(session);
   if (!policy.has_value() ||
-      cas_->check_retrieval_preconditions(*policy) != nullptr)
+      cas_->check_retrieval_preconditions(*policy).has_value())
     return 0;
   cas::InstanceRequest probe;
   probe.session_name = session;
   probe.common_sigstruct = common_sigstruct;
-  std::string error;
-  if (!check_common(*policy, probe, &error)) return 0;
+  Status status;
+  if (!check_common(*policy, probe, &status)) return 0;
 
   // Warm-up minting is batched too, chunked so one premint call cannot
   // monopolize the RNG lock for an unbounded stretch.

@@ -132,9 +132,11 @@ class CasServer {
 
   cas::InstanceResponse serve_instance(const cas::InstanceRequest& request);
   /// Checks the request's common SigStruct (memoized). Returns false and
-  /// fills `error` on rejection.
+  /// fills `status` with the typed refusal on rejection.
   bool check_common(const cas::Policy& policy,
-                    const cas::InstanceRequest& request, std::string* error);
+                    const cas::InstanceRequest& request, Status* status);
+  /// Fold one decoded frame's facts into the per-command counters.
+  void note_frame(CommandMetrics& command, const cas::FrameInfo& frame);
 
   // --- the request state machine (network path) ---
   void accept_instance(Bytes raw, net::SimNetwork::Completion done);

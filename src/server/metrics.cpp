@@ -137,10 +137,26 @@ std::string ServerMetrics::render() const {
     return std::string(buf);
   };
 
+  const auto command_lines = [&](const char* name,
+                                 const CommandMetrics& cmd) {
+    std::string out;
+    out += line((std::string(name) + "_requests").c_str(),
+                cmd.requests.load());
+    out += line((std::string(name) + "_errors").c_str(), cmd.errors.load());
+    out += line((std::string(name) + "_legacy_frames").c_str(),
+                cmd.legacy_frames.load());
+    out += latency_lines((std::string(name) + "_latency").c_str(),
+                         cmd.latency);
+    return out;
+  };
+
   std::string out;
-  out += line("instance_requests", instance_requests.load());
-  out += line("instance_errors", instance_errors.load());
-  out += line("attest_requests", attest_requests.load());
+  out += command_lines("get_instance", get_instance);
+  out += command_lines("attest", attest);
+  out += command_lines("get_config", get_config);
+  out += line("malformed_frames", malformed_frames.load());
+  out += line("unsupported_version_frames", unsupported_version_frames.load());
+  out += line("unknown_command_frames", unknown_command_frames.load());
   out += line("sigstruct_cache_hits", sigstruct_cache_hits.load());
   out += line("sigstruct_cache_misses", sigstruct_cache_misses.load());
   out += line("preminted_credentials", preminted_credentials.load());
@@ -149,8 +165,6 @@ std::string ServerMetrics::render() const {
   out += line("mint_batches", mint_batches.load());
   out += line("requests_in_flight", requests_in_flight.load());
   out += line("max_in_flight", max_in_flight.load());
-  out += latency_lines("instance_latency", instance_latency);
-  out += latency_lines("attest_latency", attest_latency);
   return out;
 }
 

@@ -77,13 +77,41 @@ class LatencyHistogram {
   std::atomic<std::int64_t> max_ns_{0};
 };
 
+/// Per-wire-command counters: one block per protocol command so traffic,
+/// failures, and tails are attributable to the command that caused them.
+struct CommandMetrics {
+  std::atomic<std::uint64_t> requests{0};
+  /// Typed non-ok responses (instance endpoint; the encrypted commands
+  /// count only transport-visible failures — their payload statuses are
+  /// not observable at this layer).
+  std::atomic<std::uint64_t> errors{0};
+  /// Requests served on the legacy (v0, pre-envelope) decode path.
+  /// Wired for get_instance only: the secure endpoint's frames are
+  /// classified inside CasService (past the encryption boundary), so its
+  /// legacy/version split is not visible to the serving layer yet.
+  std::atomic<std::uint64_t> legacy_frames{0};
+  LatencyHistogram latency;
+};
+
 /// All counters the CAS serving layer exports. Plain atomics — callers
 /// increment directly; text rendering for logs/benches via render().
 /// (Policy-store hit/miss counters live on ShardedPolicyStore itself.)
 struct ServerMetrics {
-  std::atomic<std::uint64_t> instance_requests{0};
-  std::atomic<std::uint64_t> instance_errors{0};
-  std::atomic<std::uint64_t> attest_requests{0};
+  /// Instance endpoint: singleton retrieval (Command::kGetInstance).
+  CommandMetrics get_instance;
+  /// Attested endpoint, split by record: handshakes (kAttest)...
+  CommandMetrics attest;
+  /// ...and encrypted in-session commands (kGetConfig).
+  CommandMetrics get_config;
+
+  /// Protocol-level rejections on the instance endpoint: frames answered
+  /// with the matching typed status instead of being dropped. (The attest
+  /// endpoint's equivalents happen inside CasService's secure-channel
+  /// hooks and are observable through its attest verdict, not here.)
+  std::atomic<std::uint64_t> malformed_frames{0};
+  std::atomic<std::uint64_t> unsupported_version_frames{0};
+  std::atomic<std::uint64_t> unknown_command_frames{0};
+
   std::atomic<std::uint64_t> sigstruct_cache_hits{0};
   std::atomic<std::uint64_t> sigstruct_cache_misses{0};
   std::atomic<std::uint64_t> preminted_credentials{0};
@@ -104,9 +132,6 @@ struct ServerMetrics {
   /// Gauge helpers: enter bumps the in-flight count and its watermark.
   void enter_in_flight();
   void leave_in_flight();
-
-  LatencyHistogram instance_latency;
-  LatencyHistogram attest_latency;
 
   /// Human-readable dump (one "name value" pair per line).
   std::string render() const;

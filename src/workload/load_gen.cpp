@@ -7,7 +7,7 @@
 #include <mutex>
 #include <thread>
 
-#include "cas/protocol.h"
+#include "cas/client.h"
 #include "common/error.h"
 
 namespace sinclave::workload {
@@ -79,6 +79,10 @@ std::vector<std::vector<ScheduledRequest>> make_schedule(
         config.sessions.size() - 1);
   };
 
+  const double think_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(config.mean_think)
+          .count();
+
   std::vector<std::vector<ScheduledRequest>> schedule(streams);
   for (std::size_t c = 0; c < streams; ++c) {
     SplitMix64 rng = client_rng(config.base_seed, c);
@@ -92,6 +96,14 @@ std::vector<std::vector<ScheduledRequest>> make_schedule(
         // arrival stream per logical client.
         at_ns += -mean_ns * std::log(rng.unit());
         r.at = std::chrono::nanoseconds(static_cast<std::int64_t>(at_ns));
+      } else if (config.think_time == ThinkTime::kConstant) {
+        r.think = std::chrono::nanoseconds(
+            static_cast<std::int64_t>(think_ns));
+      } else if (config.think_time == ThinkTime::kExponential) {
+        // Drawn after the session pick, and only when enabled: schedules
+        // under ThinkTime::kNone stay bit-identical with seed-era ones.
+        r.think = std::chrono::nanoseconds(
+            static_cast<std::int64_t>(-think_ns * std::log(rng.unit())));
       }
       schedule[c].push_back(r);
     }
@@ -119,41 +131,33 @@ LoadGenResult run_closed_loop(net::SimNetwork& net,
     std::string first_error;
     std::vector<std::string> tokens;
     tokens.reserve(config.requests_per_client);
-    try {
-      auto connection = net.connect(config.address + ".instance");
-      for (const ScheduledRequest& planned : schedule[client_index]) {
-        cas::InstanceRequest request;
-        request.session_name = config.sessions[planned.session_index];
-        request.common_sigstruct = common_sigstruct;
+    // The SDK, not hand-rolled frames. max_attempts = 1: a load generator
+    // measures failures, it does not paper over them with retries.
+    cas::CasClient client(
+        &net, cas::CasClientConfig{.address = config.address,
+                                   .retry = {.max_attempts = 1}});
+    for (const ScheduledRequest& planned : schedule[client_index]) {
+      if (planned.think.count() > 0)
+        std::this_thread::sleep_for(planned.think);
 
-        server::atomic_fetch_max(
-            max_in_flight,
-            in_flight.fetch_add(1, std::memory_order_relaxed) + 1);
-        const auto start = Clock::now();
-        Bytes raw;
-        try {
-          raw = connection.call(request.serialize());
-        } catch (...) {
-          in_flight.fetch_sub(1, std::memory_order_relaxed);
-          throw;
-        }
-        histogram.record(Clock::now() - start);
-        samples_sum.fetch_add(in_flight.fetch_sub(1, std::memory_order_relaxed),
-                              std::memory_order_relaxed);
-        samples.fetch_add(1, std::memory_order_relaxed);
+      server::atomic_fetch_max(
+          max_in_flight,
+          in_flight.fetch_add(1, std::memory_order_relaxed) + 1);
+      const auto start = Clock::now();
+      const cas::InstanceResult got = client.get_instance(
+          config.sessions[planned.session_index], common_sigstruct);
+      histogram.record(Clock::now() - start);
+      samples_sum.fetch_add(in_flight.fetch_sub(1, std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+      samples.fetch_add(1, std::memory_order_relaxed);
 
-        const auto resp = cas::InstanceResponse::deserialize(raw);
-        if (resp.ok) {
-          ++ok;
-          tokens.push_back(resp.token.hex());
-        } else {
-          ++failed;
-          if (first_error.empty()) first_error = resp.error;
-        }
+      if (got.ok()) {
+        ++ok;
+        tokens.push_back(got.token.hex());
+      } else {
+        ++failed;
+        if (first_error.empty()) first_error = got.status.message();
       }
-    } catch (const Error& e) {
-      ++failed;
-      if (first_error.empty()) first_error = e.what();
     }
     std::lock_guard lock(result_mutex);
     result.ok += ok;
@@ -216,43 +220,26 @@ LoadGenResult run_open_loop(net::SimNetwork& net,
     std::sort(lane.begin(), lane.end(),
               [](const Arrival& a, const Arrival& b) { return a.at < b.at; });
 
-  const auto on_complete = [state](Clock::time_point issued, Bytes raw,
-                                   std::exception_ptr error) {
+  const auto on_complete = [state](Clock::time_point issued,
+                                   const cas::InstanceResult& got) {
     state->histogram.record(Clock::now() - issued);
     // Sample the in-flight level as seen by this completion — averaging
     // these gives the sustained concurrency the serving layer actually
-    // held, not just a momentary peak.
+    // held, not just a momentary peak. The SDK already decoded and typed
+    // the outcome; the mutex guards only the aggregates (completions are
+    // delivered by the server's single timer thread — keep this short).
     const std::uint64_t level =
         state->in_flight.fetch_sub(1, std::memory_order_relaxed);
     state->in_flight_samples_sum.fetch_add(level, std::memory_order_relaxed);
-    // Parse before taking the lock: completions are delivered by the
-    // server's (single) timer thread, so anything serialized here delays
-    // every later timer expiry — hold the mutex only for the aggregates.
-    std::optional<cas::InstanceResponse> resp;
-    std::string failure;
-    if (error) {
-      try {
-        std::rethrow_exception(error);
-      } catch (const std::exception& e) {
-        failure = e.what();
-      }
-    } else {
-      try {
-        resp = cas::InstanceResponse::deserialize(raw);
-        if (!resp->ok) failure = resp->error;
-      } catch (const Error& e) {
-        resp.reset();
-        failure = e.what();
-      }
-    }
     {
       std::lock_guard lock(state->mutex);
-      if (resp.has_value() && resp->ok) {
+      if (got.ok()) {
         ++state->ok;
-        state->tokens.push_back(resp->token.hex());
+        state->tokens.push_back(got.token.hex());
       } else {
         ++state->failed;
-        if (state->first_error.empty()) state->first_error = failure;
+        if (state->first_error.empty())
+          state->first_error = got.status.message();
       }
       state->completed.fetch_add(1, std::memory_order_relaxed);
       state->all_done.notify_all();
@@ -262,47 +249,28 @@ LoadGenResult run_open_loop(net::SimNetwork& net,
   const auto start = Clock::now();
   const auto issuer = [&, state, on_complete](std::size_t thread_index) {
     const std::vector<Arrival>& lane = lanes[thread_index];
-    // Abandoned arrivals (peer gone, connect refused) are all counted as
-    // failures so ok + failed always equals the offered load.
-    const auto abort_lane = [&](std::size_t already_issued,
-                                const std::string& why) {
-      std::lock_guard lock(state->mutex);
-      state->failed += lane.size() - already_issued;
-      if (state->first_error.empty()) state->first_error = why;
-    };
-    std::size_t issued_here = 0;
-    try {
-      auto connection = net.connect(config.address + ".instance");
-      for (const Arrival& arrival : lane) {
-        std::this_thread::sleep_until(start + arrival.at);
-        cas::InstanceRequest request;
-        request.session_name = config.sessions[arrival.session_index];
-        request.common_sigstruct = common_sigstruct;
+    // One SDK client per issuing thread; no retries (offered load is the
+    // experiment). The async path never throws — dispatch failures
+    // (listener gone, connect refused) are delivered through the callback
+    // as typed kUnavailable results, so ok + failed always equals the
+    // offered load without a separate abort path.
+    cas::CasClient client(
+        &net, cas::CasClientConfig{.address = config.address,
+                                   .retry = {.max_attempts = 1}});
+    for (const Arrival& arrival : lane) {
+      std::this_thread::sleep_until(start + arrival.at);
 
-        server::atomic_fetch_max(
-            state->max_in_flight,
-            state->in_flight.fetch_add(1, std::memory_order_relaxed) + 1);
+      server::atomic_fetch_max(
+          state->max_in_flight,
+          state->in_flight.fetch_add(1, std::memory_order_relaxed) + 1);
 
-        const auto issued = Clock::now();
-        try {
-          connection.async_call(request.serialize(),
-                                [on_complete, issued](Bytes raw,
-                                                      std::exception_ptr err) {
-                                  on_complete(issued, std::move(raw), err);
-                                });
-          state->issued.fetch_add(1, std::memory_order_relaxed);
-          ++issued_here;
-        } catch (const Error& e) {
-          // Dispatch failure (listener gone): undo the in-flight claim —
-          // no completion will ever fire for this arrival — and stop the
-          // lane; the peer is not coming back.
-          state->in_flight.fetch_sub(1, std::memory_order_relaxed);
-          abort_lane(issued_here, e.what());
-          break;
-        }
-      }
-    } catch (const Error& e) {
-      abort_lane(issued_here, e.what());  // connect refused: lane never ran
+      const auto issued = Clock::now();
+      client.get_instance_async(
+          config.sessions[arrival.session_index], common_sigstruct,
+          [on_complete, issued](const cas::InstanceResult& got) {
+            on_complete(issued, got);
+          });
+      state->issued.fetch_add(1, std::memory_order_relaxed);
     }
   };
 
@@ -332,8 +300,9 @@ LoadGenResult run_open_loop(net::SimNetwork& net,
   }
   result.latency = state->histogram.snapshot();
   result.max_in_flight = state->max_in_flight.load();
-  // Divide by delivered completions (not ok+failed): dispatch failures
-  // never sampled the gauge.
+  // Every issued arrival — dispatch failures included — is delivered
+  // through on_complete and samples the gauge, so completions equals
+  // ok + failed here; keep dividing by the count that actually sampled.
   const std::uint64_t completions = state->completed.load();
   result.sustained_in_flight =
       completions == 0 ? 0.0
@@ -349,6 +318,11 @@ LoadGenResult run_instance_load(net::SimNetwork& net,
                                 const sgx::SigStruct& common_sigstruct,
                                 const LoadGenConfig& config) {
   if (config.sessions.empty()) throw Error("load gen: no sessions");
+  // Validated here, on the caller's thread: the workers construct
+  // CasClients from this config, and a constructor throw inside a
+  // std::thread lambda would terminate the process instead of failing
+  // the run.
+  if (config.address.empty()) throw Error("load gen: no address");
   return config.mode == LoadMode::kOpen
              ? run_open_loop(net, common_sigstruct, config)
              : run_closed_loop(net, common_sigstruct, config);

@@ -31,4 +31,10 @@ runtime::EnclaveRuntime Testbed::make_runtime(runtime::RuntimeMode mode) {
                                  child_rng("runtime"));
 }
 
+cas::CasClient Testbed::make_cas_client(cas::RetryPolicy retry) {
+  return cas::CasClient(
+      &net_, cas::CasClientConfig{.address = config_.cas_address,
+                                  .retry = retry});
+}
+
 }  // namespace sinclave::workload

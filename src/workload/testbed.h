@@ -9,6 +9,7 @@
 #include <memory>
 #include <string>
 
+#include "cas/client.h"
 #include "cas/service.h"
 #include "crypto/drbg.h"
 #include "net/sim_network.h"
@@ -50,6 +51,9 @@ class Testbed {
 
   /// Build a runtime instance in the given mode.
   runtime::EnclaveRuntime make_runtime(runtime::RuntimeMode mode);
+
+  /// SDK client bound to this bed's network and CAS address.
+  cas::CasClient make_cas_client(cas::RetryPolicy retry = {});
 
  private:
   TestbedConfig config_;

@@ -11,6 +11,7 @@
 #include <set>
 #include <thread>
 
+#include "cas/client.h"
 #include "common/error.h"
 #include "core/signer.h"
 #include "crypto/sha256.h"
@@ -229,11 +230,6 @@ TEST_F(AsyncServingTest, BackendStallsDoNotPinWorkers) {
   server.premint("s", signed_.sigstruct, 16);  // keep the CPU path cheap
   server.bind(bed_.network(), kAddress);
 
-  cas::InstanceRequest request;
-  request.session_name = "s";
-  request.common_sigstruct = signed_.sigstruct;
-  const Bytes wire = request.serialize();
-
   // 16 concurrent clients on 2 workers. Thread-per-request serving would
   // need ceil(16/2) * 100ms = 800ms; the state machine parks all 16
   // stalls on the timer wheel concurrently.
@@ -242,10 +238,9 @@ TEST_F(AsyncServingTest, BackendStallsDoNotPinWorkers) {
   std::atomic<int> ok{0};
   for (int i = 0; i < 16; ++i)
     clients.emplace_back([&] {
-      auto conn = bed_.network().connect(std::string(kAddress) + ".instance");
-      const auto resp =
-          cas::InstanceResponse::deserialize(conn.call(wire));
-      if (resp.ok) ++ok;
+      cas::CasClient client(&bed_.network(),
+                            cas::CasClientConfig{.address = kAddress, .retry = {}});
+      if (client.get_instance("s", signed_.sigstruct).ok()) ++ok;
     });
   for (auto& t : clients) t.join();
   const auto wall = Clock::now() - start;
@@ -255,10 +250,10 @@ TEST_F(AsyncServingTest, BackendStallsDoNotPinWorkers) {
   EXPECT_LT(wall, 600ms) << "stalls appear to serialize on workers";
   EXPECT_GE(server.metrics().max_in_flight.load(), 8u);
   EXPECT_EQ(server.metrics().requests_in_flight.load(), 0u);
-  EXPECT_EQ(server.metrics().instance_requests.load(), 16u);
-  EXPECT_EQ(server.metrics().instance_latency.snapshot().count, 16u);
+  EXPECT_EQ(server.metrics().get_instance.requests.load(), 16u);
+  EXPECT_EQ(server.metrics().get_instance.latency.snapshot().count, 16u);
   // Latency includes the deferred stall.
-  EXPECT_GE(server.metrics().instance_latency.snapshot().p50,
+  EXPECT_GE(server.metrics().get_instance.latency.snapshot().p50,
             std::chrono::milliseconds(100));
 }
 
@@ -302,23 +297,19 @@ TEST_F(AsyncServingTest, UnbindCompletesParkedRequests) {
   server::CasServer server(&bed_.cas(), cfg);
   server.bind(bed_.network(), kAddress);
 
-  cas::InstanceRequest request;
-  request.session_name = "s";
-  request.common_sigstruct = signed_.sigstruct;
-
-  auto conn = bed_.network().connect(std::string(kAddress) + ".instance");
+  cas::CasClient client(&bed_.network(),
+                        cas::CasClientConfig{.address = kAddress, .retry = {}});
   std::mutex mutex;
   std::condition_variable cv;
   bool responded = false;
   bool was_ok = false;
-  conn.async_call(request.serialize(),
-                  [&](Bytes raw, std::exception_ptr error) {
-                    std::lock_guard lock(mutex);
-                    responded = true;
-                    if (!error)
-                      was_ok = cas::InstanceResponse::deserialize(raw).ok;
-                    cv.notify_all();
-                  });
+  client.get_instance_async("s", signed_.sigstruct,
+                            [&](const cas::InstanceResult& got) {
+                              std::lock_guard lock(mutex);
+                              responded = true;
+                              was_ok = got.ok();
+                              cv.notify_all();
+                            });
   server.unbind();  // drains the stall parked on the timer wheel
   // unbind guarantees the server side is quiescent; the client callback
   // trails it by a hair — wait for the delivery.
@@ -337,12 +328,9 @@ TEST_F(AsyncServingTest, LowWatermarkRefillKeepsPoolWarmOverTheNetwork) {
   server::CasServer server(&bed_.cas(), cfg);
   server.bind(bed_.network(), kAddress);
 
-  cas::InstanceRequest request;
-  request.session_name = "s";
-  request.common_sigstruct = signed_.sigstruct;
-  auto conn = bed_.network().connect(std::string(kAddress) + ".instance");
-  ASSERT_TRUE(
-      cas::InstanceResponse::deserialize(conn.call(request.serialize())).ok);
+  cas::CasClient client(&bed_.network(),
+                        cas::CasClientConfig{.address = kAddress, .retry = {}});
+  ASSERT_TRUE(client.get_instance("s", signed_.sigstruct).ok());
   server.pool().drain();
   EXPECT_EQ(server.sigstruct_cache().pooled("s"), 4u);
   EXPECT_GE(server.metrics().refills_scheduled.load(), 1u);

@@ -3,7 +3,10 @@
 // accounting — exercised directly, without the full runtime stack.
 #include <gtest/gtest.h>
 
+#include <functional>
+
 #include "cas/service.h"
+#include "common/serial.h"
 #include "core/predictor.h"
 #include "core/signer.h"
 #include "crypto/sha256.h"
@@ -62,7 +65,8 @@ TEST_F(CasTest, VerifierIdIsIdentityHash) {
 TEST_F(CasTest, InstanceRequestHappyPath) {
   cas_.install_policy(singleton_policy("s"));
   const InstanceResponse resp = cas_.handle_instance(request("s"));
-  ASSERT_TRUE(resp.ok) << resp.error;
+  ASSERT_TRUE(resp.ok()) << resp.status.message();
+  EXPECT_EQ(resp.status.code, StatusCode::kOk);
   EXPECT_FALSE(resp.token.is_zero());
   EXPECT_EQ(resp.verifier_id, cas_.verifier_id());
   EXPECT_TRUE(resp.singleton_sigstruct.signature_valid());
@@ -76,8 +80,12 @@ TEST_F(CasTest, InstanceRequestHappyPath) {
 
 TEST_F(CasTest, InstanceRequestUnknownSession) {
   const InstanceResponse resp = cas_.handle_instance(request("nope"));
-  EXPECT_FALSE(resp.ok);
-  EXPECT_EQ(resp.error, "unknown session");
+  EXPECT_FALSE(resp.ok());
+  EXPECT_EQ(resp.status.code, StatusCode::kUnknownSession);
+  // The human-readable message comes from the shared code->message table.
+  EXPECT_EQ(resp.status.message(),
+            status_message(StatusCode::kUnknownSession));
+  EXPECT_EQ(resp.status.message(), "unknown session");
 }
 
 TEST_F(CasTest, InstanceRequestBaselineSessionRefused) {
@@ -87,7 +95,8 @@ TEST_F(CasTest, InstanceRequestBaselineSessionRefused) {
   p.expected_mr_enclave = signed_.sigstruct.enclave_hash;
   cas_.install_policy(p);
   const InstanceResponse resp = cas_.handle_instance(request("base"));
-  EXPECT_FALSE(resp.ok);
+  EXPECT_FALSE(resp.ok());
+  EXPECT_EQ(resp.status.code, StatusCode::kNotSingleton);
 }
 
 TEST_F(CasTest, InstanceRequestNeedsSignerKey) {
@@ -96,8 +105,9 @@ TEST_F(CasTest, InstanceRequestNeedsSignerKey) {
                   crypto::Drbg::from_seed(7, "bare"));
   bare.install_policy(singleton_policy("s"));
   const InstanceResponse resp = bare.handle_instance(request("s"));
-  EXPECT_FALSE(resp.ok);
-  EXPECT_EQ(resp.error, "no signer key uploaded for this session");
+  EXPECT_FALSE(resp.ok());
+  EXPECT_EQ(resp.status.code, StatusCode::kNoSignerKey);
+  EXPECT_EQ(resp.status.message(), "no signer key uploaded for this session");
 }
 
 TEST_F(CasTest, InstanceRequestRejectsTamperedSigstruct) {
@@ -105,8 +115,8 @@ TEST_F(CasTest, InstanceRequestRejectsTamperedSigstruct) {
   InstanceRequest req = request("s");
   req.common_sigstruct.signature[3] ^= 1;
   const InstanceResponse resp = cas_.handle_instance(req);
-  EXPECT_FALSE(resp.ok);
-  EXPECT_EQ(resp.error, "common sigstruct signature invalid");
+  EXPECT_FALSE(resp.ok());
+  EXPECT_EQ(resp.status.code, StatusCode::kBadSignature);
 }
 
 TEST_F(CasTest, InstanceRequestRejectsForeignSigner) {
@@ -117,8 +127,8 @@ TEST_F(CasTest, InstanceRequestRejectsForeignSigner) {
   InstanceRequest req = request("s");
   req.common_sigstruct = other_signer.sign_sinclave(image_).sigstruct;
   const InstanceResponse resp = cas_.handle_instance(req);
-  EXPECT_FALSE(resp.ok);
-  EXPECT_EQ(resp.error, "common sigstruct from unexpected signer");
+  EXPECT_FALSE(resp.ok());
+  EXPECT_EQ(resp.status.code, StatusCode::kWrongSigner);
 }
 
 TEST_F(CasTest, InstanceRequestRejectsWrongBaseImage) {
@@ -128,8 +138,9 @@ TEST_F(CasTest, InstanceRequestRejectsWrongBaseImage) {
   InstanceRequest req = request("s");
   req.common_sigstruct = signer_.sign_sinclave(other).sigstruct;
   const InstanceResponse resp = cas_.handle_instance(req);
-  EXPECT_FALSE(resp.ok);
-  EXPECT_NE(resp.error.find("base hash"), std::string::npos);
+  EXPECT_FALSE(resp.ok());
+  EXPECT_EQ(resp.status.code, StatusCode::kBaseHashMismatch);
+  EXPECT_NE(resp.status.message().find("base hash"), std::string::npos);
 }
 
 TEST_F(CasTest, MintBatchMintsDistinctFirstClassCredentials) {
@@ -174,7 +185,7 @@ TEST_F(CasTest, TokensAreUniqueAndTracked) {
   cas_.install_policy(singleton_policy("s"));
   const auto a = cas_.handle_instance(request("s"));
   const auto b = cas_.handle_instance(request("s"));
-  ASSERT_TRUE(a.ok && b.ok);
+  ASSERT_TRUE(a.ok() && b.ok());
   EXPECT_NE(a.token, b.token);
   EXPECT_EQ(cas_.tokens_outstanding(), 2u);
   EXPECT_EQ(cas_.tokens_used(), 0u);
@@ -182,7 +193,7 @@ TEST_F(CasTest, TokensAreUniqueAndTracked) {
 
 TEST_F(CasTest, TimingsPopulatedAfterInstanceRequest) {
   cas_.install_policy(singleton_policy("s"));
-  ASSERT_TRUE(cas_.handle_instance(request("s")).ok);
+  ASSERT_TRUE(cas_.handle_instance(request("s")).ok());
   const auto& t = cas_.last_instance_timings();
   EXPECT_GT(t.total.count(), 0);
   EXPECT_GT(t.sign.count(), 0);
@@ -204,11 +215,11 @@ TEST_F(CasTest, PolicyReplaceTakesEffect) {
   cas_.install_policy(p2);
 
   // Old binary refused, new binary accepted.
-  EXPECT_FALSE(cas_.handle_instance(request("s")).ok);
+  EXPECT_FALSE(cas_.handle_instance(request("s")).ok());
   InstanceRequest req;
   req.session_name = "s";
   req.common_sigstruct = signed_v2.sigstruct;
-  EXPECT_TRUE(cas_.handle_instance(req).ok);
+  EXPECT_TRUE(cas_.handle_instance(req).ok());
 }
 
 // --- protocol serialization ---
@@ -230,11 +241,90 @@ TEST(Protocol, EmptyAppConfigRoundTrip) {
 
 TEST(Protocol, InstanceResponseErrorRoundTrip) {
   InstanceResponse r;
-  r.ok = false;
-  r.error = "nope";
+  r.status = Status(StatusCode::kUnknownSession, "extra detail");
   const InstanceResponse back = InstanceResponse::deserialize(r.serialize());
-  EXPECT_FALSE(back.ok);
-  EXPECT_EQ(back.error, "nope");
+  EXPECT_FALSE(back.ok());
+  EXPECT_EQ(back.status.code, StatusCode::kUnknownSession);
+  EXPECT_EQ(back.status.message(), "extra detail");
+}
+
+TEST(Protocol, EnvelopeRoundTrip) {
+  Envelope e;
+  e.command = Command::kGetInstance;
+  e.request_id = 0x1122334455667788ull;
+  e.payload = Bytes{1, 2, 3};
+  const Envelope back = Envelope::deserialize(e.serialize());
+  EXPECT_EQ(back.version, kProtocolVersion);
+  EXPECT_EQ(back.command, e.command);
+  EXPECT_EQ(back.request_id, e.request_id);
+  EXPECT_EQ(back.payload, e.payload);
+  EXPECT_TRUE(Envelope::matches(e.serialize()));
+}
+
+TEST(Protocol, EnvelopeNeverMatchesLegacyFrames) {
+  // A legacy instance request starts with the u32 length of its session
+  // name; for the magic to collide the name would have to be ~3.2 GB.
+  InstanceRequest req;
+  req.session_name = "ordinary-session";
+  EXPECT_FALSE(Envelope::matches(req.serialize()));
+  // Legacy secure-channel plaintext is a single command byte.
+  EXPECT_FALSE(Envelope::matches(Bytes{1}));
+  EXPECT_FALSE(Envelope::matches(Bytes{}));
+}
+
+TEST(Protocol, V0ResponseEncodingMatchesSeedLayout) {
+  // The v0 encoding is the seed-era wire format bit for bit: a legacy
+  // decoder reading `u8 ok | str error | token | verifier id | bytes sig`
+  // must keep working.
+  InstanceResponse r;
+  r.status = Status(StatusCode::kUnknownSession);
+  const Bytes wire = r.serialize_v0();
+  ByteReader reader(wire);
+  EXPECT_EQ(reader.u8(), 0u);                        // ok = false
+  EXPECT_EQ(reader.str(), "unknown session");        // canonical message
+  (void)reader.raw(32);                              // token
+  (void)reader.raw(32);                              // verifier id
+  EXPECT_TRUE(reader.bytes().empty());               // no sigstruct
+  reader.expect_done();
+
+  const InstanceResponse back = InstanceResponse::deserialize_v0(wire);
+  EXPECT_EQ(back.status.code, StatusCode::kUnknownSession);
+}
+
+TEST(Protocol, LegacyErrorStringsMapBackToCodes) {
+  for (const StatusCode code :
+       {StatusCode::kUnknownSession, StatusCode::kNotSingleton,
+        StatusCode::kNoSignerKey, StatusCode::kBadSignature,
+        StatusCode::kWrongSigner, StatusCode::kBaseHashMismatch}) {
+    EXPECT_EQ(status_code_from_legacy(status_message(code)), code)
+        << to_string(code);
+  }
+  // Unknown strings survive as kInternal with the text preserved.
+  EXPECT_EQ(status_code_from_legacy("weird bespoke failure"),
+            StatusCode::kInternal);
+  InstanceResponse r;
+  r.status = Status(StatusCode::kInternal, "weird bespoke failure");
+  const InstanceResponse back =
+      InstanceResponse::deserialize_v0(r.serialize_v0());
+  EXPECT_EQ(back.status.code, StatusCode::kInternal);
+  EXPECT_EQ(back.status.message(), "weird bespoke failure");
+}
+
+TEST(Protocol, ConfigResponseRoundTripsBothEncodings) {
+  ConfigResponse ok;
+  ok.status = Status();
+  ok.config.program = "prog";
+  ok.config.secrets["k"] = Bytes{9, 9};
+  EXPECT_EQ(ConfigResponse::deserialize(ok.serialize()).config, ok.config);
+  EXPECT_EQ(ConfigResponse::deserialize_v0(ok.serialize_v0()).config,
+            ok.config);
+
+  ConfigResponse denied;
+  denied.status = Status(StatusCode::kSessionNotAttested);
+  EXPECT_EQ(ConfigResponse::deserialize(denied.serialize()).status.code,
+            StatusCode::kSessionNotAttested);
+  EXPECT_EQ(ConfigResponse::deserialize_v0(denied.serialize_v0()).status.code,
+            StatusCode::kSessionNotAttested);
 }
 
 TEST(Protocol, PolicySerializationRoundTripAllFields) {
@@ -284,11 +374,131 @@ TEST(Protocol, AttestPayloadTokenOptional) {
       AttestPayload::deserialize(without.serialize()).token.has_value());
 }
 
+TEST(Protocol, LegacyConfigFrameToleratesTrailingBytesLikeTheSeed) {
+  // The seed decoder read only the command byte from the secure-channel
+  // plaintext; padding after it must still be served, not refused.
+  bool served = false;
+  const auto handler = [&]() {
+    served = true;
+    ConfigResponse resp;
+    resp.status = Status();
+    return resp;
+  };
+  FrameInfo info;
+  const Bytes padded{1, 0xaa, 0xbb};
+  const auto resp =
+      ConfigResponse::deserialize_v0(serve_config_frame(padded, handler,
+                                                        &info));
+  EXPECT_TRUE(served);
+  EXPECT_TRUE(resp.ok());
+  EXPECT_TRUE(info.legacy);
+
+  // Unknown legacy command byte and empty plaintext stay typed refusals.
+  EXPECT_EQ(ConfigResponse::deserialize_v0(
+                serve_config_frame(Bytes{9}, handler))
+                .status.code,
+            StatusCode::kUnknownCommand);
+  EXPECT_EQ(ConfigResponse::deserialize_v0(
+                serve_config_frame(Bytes{}, handler))
+                .status.code,
+            StatusCode::kMalformedRequest);
+}
+
 TEST(Protocol, MalformedBytesThrowParseError) {
   EXPECT_THROW(AppConfig::deserialize(Bytes{1, 2, 3}), ParseError);
   EXPECT_THROW(InstanceRequest::deserialize(Bytes{}), ParseError);
   EXPECT_THROW(AttestPayload::deserialize(Bytes(10, 0xff)), ParseError);
   EXPECT_THROW(ConfigResponse::deserialize(Bytes{}), ParseError);
+  EXPECT_THROW(Envelope::deserialize(Bytes{}), ParseError);
+}
+
+// Fuzz-style regression over every protocol message: all truncation
+// lengths plus seeded bit flips. A deserializer faced with hostile bytes
+// may succeed (the mutation landed somewhere inert) or throw from the
+// Error hierarchy — anything else (foreign exception, crash) is the bug
+// class that used to escape the serving frontends' worker threads.
+TEST(Protocol, TruncationAndBitFlipFuzzStaysInsideErrorHierarchy) {
+  auto rng = crypto::Drbg::from_seed(4242, "protocol-fuzz");
+  const auto signer = crypto::RsaKeyPair::generate(rng, 1024);
+  const core::EnclaveImage image = core::EnclaveImage::synthetic(
+      "fuzz", sgx::kPageSize, 2 * sgx::kPageSize);
+  const core::Signer s(&signer);
+  const auto signed_image = s.sign_sinclave(image);
+
+  InstanceRequest req;
+  req.session_name = "fuzz";
+  req.common_sigstruct = signed_image.sigstruct;
+
+  InstanceResponse ok_resp;
+  ok_resp.status = Status();
+  ok_resp.singleton_sigstruct = signed_image.sigstruct;
+
+  AttestPayload attest;
+  attest.session_name = "fuzz";
+  attest.token = core::AttestationToken::from_view(Bytes(32, 7));
+
+  ConfigResponse cfg;
+  cfg.status = Status();
+  cfg.config.program = "p";
+  cfg.config.secrets["k"] = Bytes(16, 3);
+
+  Envelope env;
+  env.command = Command::kGetInstance;
+  env.request_id = 77;
+  env.payload = req.serialize();
+
+  struct Target {
+    const char* name;
+    Bytes wire;
+    std::function<void(ByteView)> parse;
+  };
+  const std::vector<Target> targets = {
+      {"envelope", env.serialize(),
+       [](ByteView b) { (void)Envelope::deserialize(b); }},
+      {"instance-request", req.serialize(),
+       [](ByteView b) { (void)InstanceRequest::deserialize(b); }},
+      {"instance-response", ok_resp.serialize(),
+       [](ByteView b) { (void)InstanceResponse::deserialize(b); }},
+      {"instance-response-v0", ok_resp.serialize_v0(),
+       [](ByteView b) { (void)InstanceResponse::deserialize_v0(b); }},
+      {"attest-payload", attest.serialize(),
+       [](ByteView b) { (void)AttestPayload::deserialize(b); }},
+      {"config-response", cfg.serialize(),
+       [](ByteView b) { (void)ConfigResponse::deserialize(b); }},
+      {"config-response-v0", cfg.serialize_v0(),
+       [](ByteView b) { (void)ConfigResponse::deserialize_v0(b); }},
+      {"app-config", cfg.config.serialize(),
+       [](ByteView b) { (void)AppConfig::deserialize(b); }},
+  };
+
+  const auto must_stay_contained = [](const Target& t, ByteView mutated,
+                                      const char* what) {
+    try {
+      t.parse(mutated);  // success is fine: the mutation may be inert
+    } catch (const Error&) {
+      // fine: ParseError or another typed library error
+    } catch (...) {
+      FAIL() << t.name << ": non-Error exception escaped on " << what;
+    }
+  };
+
+  for (const Target& t : targets) {
+    // Every truncation length (caps the quadratic cost on big messages).
+    const std::size_t step = t.wire.size() > 512 ? 7 : 1;
+    for (std::size_t len = 0; len < t.wire.size(); len += step)
+      must_stay_contained(t, ByteView(t.wire.data(), len), "truncation");
+
+    // Seeded single-bit flips.
+    for (int i = 0; i < 200; ++i) {
+      Bytes mutated = t.wire;
+      const Bytes pick = rng.generate(8);
+      std::uint64_t r = 0;
+      for (int b = 0; b < 8; ++b) r = (r << 8) | pick[b];
+      mutated[r % mutated.size()] ^= static_cast<std::uint8_t>(
+          1u << ((r >> 32) % 8));
+      must_stay_contained(t, mutated, "bit flip");
+    }
+  }
 }
 
 }  // namespace

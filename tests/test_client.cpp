@@ -1,0 +1,366 @@
+// Tests for the CasClient SDK and the versioned wire envelope:
+//  * sync + async retrieval through the typed client,
+//  * retry-with-backoff on retryable statuses; typed refusals returned
+//    immediately,
+//  * version negotiation: legacy v0 peers still served, future-version
+//    frames answered with kUnsupportedVersion, unknown commands and
+//    malformed payloads answered typed (never dropped),
+//  * the frontends never leak deserializer exceptions for hostile frames
+//    (network-level truncation/bit-flip fuzz),
+//  * the attested channel's typed statuses.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cas/client.h"
+#include "core/signer.h"
+#include "crypto/sha256.h"
+#include "server/cas_server.h"
+#include "workload/testbed.h"
+
+namespace sinclave::cas {
+namespace {
+
+using namespace std::chrono_literals;
+
+class CasClientTest : public ::testing::Test {
+ protected:
+  CasClientTest()
+      : bed_(workload::TestbedConfig{.seed = 123}),
+        image_(core::EnclaveImage::synthetic("client", sgx::kPageSize,
+                                             2 * sgx::kPageSize)),
+        signer_(&bed_.user_signer()),
+        signed_(signer_.sign_sinclave(image_)) {
+    Policy p;
+    p.session_name = "s";
+    p.expected_signer =
+        crypto::sha256(bed_.user_signer().public_key().modulus_be());
+    p.require_singleton = true;
+    p.base_hash = signed_.base_hash;
+    p.config.program = "noop";
+    bed_.cas().install_policy(p);
+  }
+
+  workload::Testbed bed_;
+  core::EnclaveImage image_;
+  core::Signer signer_;
+  core::SinclaveSignedImage signed_;
+};
+
+TEST_F(CasClientTest, SyncRetrievalSpeaksV1AndReturnsTypedResult) {
+  CasClient client = bed_.make_cas_client();
+  const InstanceResult got = client.get_instance("s", signed_.sigstruct);
+  ASSERT_TRUE(got.ok()) << got.status.message();
+  EXPECT_EQ(got.attempts, 1u);
+  EXPECT_FALSE(got.token.is_zero());
+  EXPECT_EQ(got.verifier_id, bed_.cas().verifier_id());
+  EXPECT_TRUE(got.singleton_sigstruct.signature_valid());
+}
+
+TEST_F(CasClientTest, TypedRefusalsAreNotRetried) {
+  CasClient client = bed_.make_cas_client(
+      RetryPolicy{.max_attempts = 5, .initial_backoff = 1us});
+  const InstanceResult got =
+      client.get_instance("no-such-session", signed_.sigstruct);
+  EXPECT_EQ(got.status.code, StatusCode::kUnknownSession);
+  EXPECT_FALSE(got.status.retryable());
+  EXPECT_EQ(got.attempts, 1u);  // a typed refusal burns no retry budget
+}
+
+TEST_F(CasClientTest, TransportFailureRetriesUpToBudgetThenSurfaces) {
+  CasClient client(&bed_.network(),
+                   CasClientConfig{.address = "nobody.listens.here",
+                                   .retry = {.max_attempts = 3,
+                                             .initial_backoff = 1us}});
+  const InstanceResult got = client.get_instance("s", signed_.sigstruct);
+  EXPECT_EQ(got.status.code, StatusCode::kUnavailable);
+  EXPECT_TRUE(got.status.retryable());
+  EXPECT_EQ(got.attempts, 3u);
+}
+
+TEST_F(CasClientTest, RetryableServerStatusIsRetriedUntilItClears) {
+  // A service that answers kUnavailable twice, then serves for real —
+  // the brownout a replicated CAS will produce during failover.
+  std::atomic<int> calls{0};
+  bed_.network().listen("flaky.instance", [&](ByteView raw) {
+    const Envelope env = Envelope::deserialize(raw);
+    ++calls;
+    InstanceResponse resp;
+    if (calls.load() <= 2) {
+      resp.status = Status(StatusCode::kUnavailable);
+    } else {
+      resp = bed_.cas().handle_instance(
+          InstanceRequest::deserialize(env.payload));
+    }
+    return env.reply(resp.serialize()).serialize();
+  });
+
+  CasClient client(&bed_.network(),
+                   CasClientConfig{.address = "flaky",
+                                   .retry = {.max_attempts = 4,
+                                             .initial_backoff = 1us}});
+  const InstanceResult got = client.get_instance("s", signed_.sigstruct);
+  ASSERT_TRUE(got.ok()) << got.status.message();
+  EXPECT_EQ(got.attempts, 3u);
+  bed_.network().shutdown("flaky.instance");
+}
+
+TEST_F(CasClientTest, AsyncRetrievalDeliversTypedResultOnce) {
+  CasClient client = bed_.make_cas_client();
+  std::mutex mutex;
+  std::condition_variable cv;
+  int deliveries = 0;
+  InstanceResult got;
+  client.get_instance_async("s", signed_.sigstruct,
+                            [&](const InstanceResult& r) {
+                              std::lock_guard lock(mutex);
+                              got = r;
+                              ++deliveries;
+                              cv.notify_all();
+                            });
+  std::unique_lock lock(mutex);
+  ASSERT_TRUE(cv.wait_for(lock, 5s, [&] { return deliveries > 0; }));
+  EXPECT_EQ(deliveries, 1);
+  EXPECT_TRUE(got.ok()) << got.status.message();
+}
+
+TEST_F(CasClientTest, AsyncDispatchFailureDeliversTypedUnavailable) {
+  CasClient client(&bed_.network(),
+                   CasClientConfig{.address = "nobody.listens.here",
+                                   .retry = {.max_attempts = 2,
+                                             .initial_backoff = 0us}});
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::optional<InstanceResult> got;
+  client.get_instance_async("s", signed_.sigstruct,
+                            [&](const InstanceResult& r) {
+                              std::lock_guard lock(mutex);
+                              got = r;
+                              cv.notify_all();
+                            });
+  std::unique_lock lock(mutex);
+  ASSERT_TRUE(cv.wait_for(lock, 5s, [&] { return got.has_value(); }));
+  EXPECT_EQ(got->status.code, StatusCode::kUnavailable);
+  EXPECT_EQ(got->attempts, 2u);  // immediate re-issue consumed the budget
+}
+
+// --- version negotiation ----------------------------------------------------
+
+/// Raw-frame helper: send `frame` to the instance endpoint and decode the
+/// (always well-formed) reply in whichever flavor came back.
+InstanceResponse raw_instance_exchange(net::SimNetwork& net,
+                                       const std::string& address,
+                                       const Bytes& frame,
+                                       Envelope* reply_env = nullptr) {
+  auto conn = net.connect(address + ".instance");
+  const Bytes raw = conn.call(frame);
+  if (Envelope::matches(raw)) {
+    const Envelope env = Envelope::deserialize(raw);
+    if (reply_env != nullptr) *reply_env = env;
+    return InstanceResponse::deserialize(env.payload);
+  }
+  return InstanceResponse::deserialize_v0(raw);
+}
+
+TEST_F(CasClientTest, LegacyV0PeerStillServedByServiceFrontend) {
+  InstanceRequest req;
+  req.session_name = "s";
+  req.common_sigstruct = signed_.sigstruct;
+  // v0 wire = the raw request, answered in the v0 layout.
+  const InstanceResponse resp = raw_instance_exchange(
+      bed_.network(), bed_.cas_address(), req.serialize());
+  ASSERT_TRUE(resp.ok()) << resp.status.message();
+  EXPECT_TRUE(resp.singleton_sigstruct.signature_valid());
+}
+
+TEST_F(CasClientTest, FutureVersionFrameAnsweredUnsupportedVersion) {
+  InstanceRequest req;
+  req.session_name = "s";
+  req.common_sigstruct = signed_.sigstruct;
+  Envelope future;
+  future.version = kProtocolVersion + 1;
+  future.command = Command::kGetInstance;
+  future.request_id = 42;
+  future.payload = req.serialize();
+
+  Envelope reply;
+  const InstanceResponse resp = raw_instance_exchange(
+      bed_.network(), bed_.cas_address(), future.serialize(), &reply);
+  EXPECT_EQ(resp.status.code, StatusCode::kUnsupportedVersion);
+  EXPECT_FALSE(resp.status.retryable());
+  // The refusal is a current-version envelope echoing the request id, so
+  // the future client can correlate it.
+  EXPECT_EQ(reply.version, kProtocolVersion);
+  EXPECT_EQ(reply.request_id, 42u);
+}
+
+TEST_F(CasClientTest, UnknownCommandAnsweredTyped) {
+  Envelope bogus;
+  bogus.command = static_cast<Command>(0x77);
+  bogus.request_id = 7;
+  bogus.payload = Bytes{1, 2, 3};
+  const InstanceResponse resp = raw_instance_exchange(
+      bed_.network(), bed_.cas_address(), bogus.serialize());
+  EXPECT_EQ(resp.status.code, StatusCode::kUnknownCommand);
+}
+
+TEST_F(CasClientTest, ClientSurfacesUnsupportedVersionAsNonRetryable) {
+  // A peer that no longer (or does not yet) speak our version: whatever we
+  // send, it answers kUnsupportedVersion. The SDK must surface the typed
+  // code without burning retries.
+  bed_.network().listen("fromthefuture.instance", [](ByteView raw) {
+    const Envelope env = Envelope::deserialize(raw);
+    InstanceResponse resp;
+    resp.status = Status(StatusCode::kUnsupportedVersion);
+    return env.reply(resp.serialize()).serialize();
+  });
+  CasClient client(&bed_.network(),
+                   CasClientConfig{.address = "fromthefuture",
+                                   .retry = {.max_attempts = 4,
+                                             .initial_backoff = 1us}});
+  const InstanceResult got = client.get_instance("s", signed_.sigstruct);
+  EXPECT_EQ(got.status.code, StatusCode::kUnsupportedVersion);
+  EXPECT_EQ(got.attempts, 1u);
+  bed_.network().shutdown("fromthefuture.instance");
+}
+
+// --- malformed frames at the frontends --------------------------------------
+
+TEST_F(CasClientTest, MalformedFramesAnsweredTypedByBothFrontends) {
+  server::CasServer server(&bed_.cas(), server::CasServerConfig{.workers = 2});
+  server.bind(bed_.network(), "pooled");
+
+  for (const std::string& address :
+       {std::string(bed_.cas_address()), std::string("pooled")}) {
+    // Garbage that is not an envelope: legacy decode fails -> v0 answer.
+    const InstanceResponse legacy = raw_instance_exchange(
+        bed_.network(), address, Bytes(16, 0xee));
+    EXPECT_EQ(legacy.status.code, StatusCode::kMalformedRequest) << address;
+
+    // An envelope whose payload is garbage: typed v1 answer.
+    Envelope env;
+    env.command = Command::kGetInstance;
+    env.payload = Bytes(16, 0xee);
+    const InstanceResponse enveloped = raw_instance_exchange(
+        bed_.network(), address, env.serialize());
+    EXPECT_EQ(enveloped.status.code, StatusCode::kMalformedRequest)
+        << address;
+  }
+  EXPECT_EQ(server.metrics().malformed_frames.load(), 2u);
+  EXPECT_EQ(server.metrics().get_instance.errors.load(), 2u);
+  server.unbind();
+}
+
+TEST_F(CasClientTest, NetworkLevelFuzzNeverStrandsACaller) {
+  // The worker-thread escape regression: every hostile frame — truncated
+  // or bit-flipped, enveloped or not — must come back as a well-formed
+  // response (either flavor), never strand the round trip or tear down
+  // the server. Exercised against the pooled frontend, whose workers used
+  // to re-throw deserializer exceptions into Completion::fail.
+  server::CasServer server(&bed_.cas(), server::CasServerConfig{.workers = 2});
+  server.bind(bed_.network(), "fuzzed");
+
+  InstanceRequest req;
+  req.session_name = "s";
+  req.common_sigstruct = signed_.sigstruct;
+  Envelope env;
+  env.command = Command::kGetInstance;
+  env.request_id = 9;
+  env.payload = req.serialize();
+  const Bytes wire = env.serialize();
+
+  auto conn = bed_.network().connect("fuzzed.instance");
+  auto rng = crypto::Drbg::from_seed(99, "wire-fuzz");
+  const auto exchange = [&](const Bytes& frame) {
+    const Bytes raw = conn.call(frame);  // must not throw
+    if (Envelope::matches(raw))
+      (void)InstanceResponse::deserialize(Envelope::deserialize(raw).payload);
+    else
+      (void)InstanceResponse::deserialize_v0(raw);
+  };
+
+  for (std::size_t len = 0; len < wire.size(); len += 13)
+    exchange(Bytes(wire.begin(), wire.begin() + static_cast<long>(len)));
+  for (int i = 0; i < 100; ++i) {
+    Bytes mutated = wire;
+    const Bytes pick = rng.generate(8);
+    std::uint64_t r = 0;
+    for (int b = 0; b < 8; ++b) r = (r << 8) | pick[b];
+    mutated[r % mutated.size()] ^=
+        static_cast<std::uint8_t>(1u << ((r >> 32) % 8));
+    exchange(mutated);
+  }
+
+  // The server is still healthy: a clean request succeeds.
+  CasClient client(&bed_.network(), CasClientConfig{.address = "fuzzed", .retry = {}});
+  EXPECT_TRUE(client.get_instance("s", signed_.sigstruct).ok());
+  server.unbind();
+}
+
+// --- attested channel -------------------------------------------------------
+
+TEST_F(CasClientTest, AttestedChannelReportsTypedStatuses) {
+  AttestedChannel channel(&bed_.network(), bed_.cas_address(),
+                          crypto::Drbg::from_seed(5, "chan"));
+
+  // Config before attestation is a typed local refusal.
+  EXPECT_EQ(channel.get_config().status().code,
+            StatusCode::kSessionNotAttested);
+
+  // A payload with no valid quote: the verifier rejects the handshake —
+  // typed, non-retryable.
+  AttestPayload bogus;
+  bogus.session_name = "s";
+  const Status attest =
+      channel.attest(bed_.cas().identity(), bogus);
+  EXPECT_EQ(attest.code, StatusCode::kAttestationRejected);
+  EXPECT_FALSE(attest.retryable());
+  EXPECT_FALSE(channel.attested());
+
+  // An unreachable verifier is transient.
+  AttestedChannel lost(&bed_.network(), "cas.gone",
+                       crypto::Drbg::from_seed(6, "chan2"));
+  EXPECT_EQ(lost.attest(bed_.cas().identity(), bogus).code,
+            StatusCode::kUnavailable);
+}
+
+TEST_F(CasClientTest, FutureVersionAttestHandshakeRejectedAsUnsupported) {
+  // A future-version kAttest envelope cannot be verified by this server;
+  // the handshake rejection record carries the typed protocol-level
+  // status so the future client learns to downgrade rather than
+  // diagnosing a refused attestation.
+  AttestPayload payload;
+  payload.session_name = "s";
+  Envelope future;
+  future.version = kProtocolVersion + 1;
+  future.command = Command::kAttest;
+  future.payload = payload.serialize();
+
+  net::SecureClient client(crypto::Drbg::from_seed(9, "future-chan"));
+  StatusCode rejected = StatusCode::kOk;
+  const auto accepted =
+      client.connect(bed_.network().connect(bed_.cas_address()),
+                     bed_.cas().identity(), future.serialize(), &rejected);
+  EXPECT_FALSE(accepted.has_value());
+  EXPECT_EQ(rejected, StatusCode::kUnsupportedVersion);
+
+  // Verification failures stay the generic rejection — the handshake is
+  // not an oracle for why the verifier said no.
+  net::SecureClient client2(crypto::Drbg::from_seed(10, "bogus-chan"));
+  Envelope current = future;
+  current.version = kProtocolVersion;
+  StatusCode generic = StatusCode::kOk;
+  EXPECT_FALSE(client2
+                   .connect(bed_.network().connect(bed_.cas_address()),
+                            bed_.cas().identity(), current.serialize(),
+                            &generic)
+                   .has_value());
+  EXPECT_EQ(generic, StatusCode::kAttestationRejected);
+}
+
+}  // namespace
+}  // namespace sinclave::cas

@@ -133,7 +133,7 @@ struct ChannelFixture : ::testing::Test {
   void serve(const std::string& address) {
     server_ = std::make_unique<SecureServer>(
         &identity_, rng(2),
-        [this](ByteView payload, ByteView, std::uint64_t) {
+        [this](ByteView payload, ByteView, std::uint64_t, StatusCode*) {
           last_payload_ = Bytes{payload.begin(), payload.end()};
           return std::optional<Bytes>{to_bytes("welcome")};
         },
@@ -180,7 +180,7 @@ TEST_F(ChannelFixture, ServerIdentityPinningDetectsImpostor) {
 TEST_F(ChannelFixture, RejectedHandshakeYieldsNullopt) {
   server_ = std::make_unique<SecureServer>(
       &identity_, rng(5),
-      [](ByteView, ByteView, std::uint64_t) {
+      [](ByteView, ByteView, std::uint64_t, StatusCode*) {
         return std::optional<Bytes>{};  // reject all
       },
       [](std::uint64_t, ByteView) { return Bytes{}; });
@@ -193,12 +193,50 @@ TEST_F(ChannelFixture, RejectedHandshakeYieldsNullopt) {
   EXPECT_THROW(client.call(Bytes{}), Error);  // never connected
 }
 
+TEST_F(ChannelFixture, RejectionRecordCarriesTypedProtocolStatus) {
+  // A rejecting hook may attach a protocol-level code to the rejection
+  // record; verification refusals use the generic default.
+  server_ = std::make_unique<SecureServer>(
+      &identity_, rng(11),
+      [](ByteView, ByteView, std::uint64_t, StatusCode* reject) {
+        *reject = StatusCode::kUnsupportedVersion;
+        return std::optional<Bytes>{};
+      },
+      [](std::uint64_t, ByteView) { return Bytes{}; });
+  net_.listen("svc", [this](ByteView raw) { return server_->handle(raw); });
+
+  SecureClient client(rng(12));
+  StatusCode status = StatusCode::kOk;
+  EXPECT_FALSE(client
+                   .connect(net_.connect("svc"), identity_.public_key(), {},
+                            &status)
+                   .has_value());
+  EXPECT_EQ(status, StatusCode::kUnsupportedVersion);
+}
+
+TEST_F(ChannelFixture, HostileRejectionStatusCannotReadAsSuccess) {
+  // A hostile server answers a handshake with "rejected" + status byte 0
+  // (= kOk) or an out-of-enum byte: neither may pass the whitelist — a
+  // rejected handshake must never surface an ok (or unknown) status.
+  for (const Bytes& wire : {Bytes{0x00, 0x00}, Bytes{0x00, 0xfe}}) {
+    SimNetwork net;
+    net.listen("svc", [wire](ByteView) { return wire; });
+    SecureClient client(rng(13));
+    StatusCode status = StatusCode::kOk;
+    EXPECT_FALSE(client
+                     .connect(net.connect("svc"), identity_.public_key(), {},
+                              &status)
+                     .has_value());
+    EXPECT_EQ(status, StatusCode::kAttestationRejected);
+  }
+}
+
 TEST_F(ChannelFixture, EavesdropperSeesNoPlaintext) {
   // Wrap the transport to capture ciphertext like an on-path adversary.
   std::vector<Bytes> wire;
   server_ = std::make_unique<SecureServer>(
       &identity_, rng(7),
-      [](ByteView, ByteView, std::uint64_t) {
+      [](ByteView, ByteView, std::uint64_t, StatusCode*) {
         return std::optional<Bytes>{Bytes{}};
       },
       [](std::uint64_t, ByteView) { return to_bytes("topsecret-response"); });

@@ -50,7 +50,7 @@ TEST_P(ChannelSizes, EncryptedEchoRoundTrip) {
   net::SimNetwork net;
   net::SecureServer server(
       &identity, crypto::Drbg::from_seed(8, "srv"),
-      [](ByteView, ByteView, std::uint64_t) {
+      [](ByteView, ByteView, std::uint64_t, StatusCode*) {
         return std::optional<Bytes>{Bytes{}};
       },
       [](std::uint64_t, ByteView plaintext) {

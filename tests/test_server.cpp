@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "cas/client.h"
 #include "core/predictor.h"
 #include "core/signer.h"
 #include "crypto/sha256.h"
@@ -413,11 +414,10 @@ TEST_F(CasServerTest, ServesInstanceRequestsOverTheNetwork) {
   CasServer server(&bed_.cas(), CasServerConfig{.workers = 2});
   server.bind(bed_.network(), kServerAddress);
 
-  auto conn = bed_.network().connect(std::string(kServerAddress) +
-                                     ".instance");
-  const auto resp = cas::InstanceResponse::deserialize(
-      conn.call(request("s").serialize()));
-  ASSERT_TRUE(resp.ok) << resp.error;
+  cas::CasClient client(&bed_.network(),
+                        cas::CasClientConfig{.address = kServerAddress, .retry = {}});
+  const auto resp = client.get_instance("s", signed_.sigstruct);
+  ASSERT_TRUE(resp.ok()) << resp.status.message();
   EXPECT_FALSE(resp.token.is_zero());
   EXPECT_EQ(resp.verifier_id, bed_.cas().verifier_id());
   EXPECT_TRUE(resp.singleton_sigstruct.signature_valid());
@@ -427,23 +427,44 @@ TEST_F(CasServerTest, ServesInstanceRequestsOverTheNetwork) {
   EXPECT_EQ(resp.singleton_sigstruct.enclave_hash,
             core::MeasurementPredictor::predict(signed_.base_hash, page));
 
-  EXPECT_EQ(server.metrics().instance_requests.load(), 1u);
-  EXPECT_EQ(server.metrics().instance_errors.load(), 0u);
+  EXPECT_EQ(server.metrics().get_instance.requests.load(), 1u);
+  EXPECT_EQ(server.metrics().get_instance.errors.load(), 0u);
+  EXPECT_EQ(server.metrics().get_instance.legacy_frames.load(), 0u);
   EXPECT_EQ(server.metrics().tokens_issued.load(), 1u);
-  EXPECT_EQ(server.metrics().instance_latency.snapshot().count, 1u);
+  EXPECT_EQ(server.metrics().get_instance.latency.snapshot().count, 1u);
+}
+
+TEST_F(CasServerTest, LegacyV0FramesStillServedAndCounted) {
+  // A seed-era peer sends the raw InstanceRequest (no envelope) and
+  // expects the seed-era response layout back — answered in kind.
+  bed_.cas().install_policy(singleton_policy("s"));
+  CasServer server(&bed_.cas(), CasServerConfig{.workers = 1});
+  server.bind(bed_.network(), kServerAddress);
+
+  auto conn =
+      bed_.network().connect(std::string(kServerAddress) + ".instance");
+  const auto resp = cas::InstanceResponse::deserialize_v0(
+      conn.call(request("s").serialize()));
+  ASSERT_TRUE(resp.ok()) << resp.status.message();
+  EXPECT_TRUE(resp.singleton_sigstruct.signature_valid());
+  EXPECT_EQ(server.metrics().get_instance.legacy_frames.load(), 1u);
 }
 
 TEST_F(CasServerTest, ErrorPathsMatchDirectService) {
   bed_.cas().install_policy(singleton_policy("s"));
   CasServer server(&bed_.cas(), CasServerConfig{.workers = 1});
 
-  EXPECT_EQ(server.handle_instance(request("nope")).error, "unknown session");
+  EXPECT_EQ(server.handle_instance(request("nope")).status.code,
+            StatusCode::kUnknownSession);
 
   auto tampered = request("s");
   tampered.common_sigstruct.signature[3] ^= 1;
-  EXPECT_EQ(server.handle_instance(tampered).error,
-            "common sigstruct signature invalid");
-  EXPECT_EQ(server.metrics().instance_errors.load(), 2u);
+  EXPECT_EQ(server.handle_instance(tampered).status.code,
+            StatusCode::kBadSignature);
+  // Same typed outcome as the direct CasService path.
+  EXPECT_EQ(bed_.cas().handle_instance(tampered).status.code,
+            StatusCode::kBadSignature);
+  EXPECT_EQ(server.metrics().get_instance.errors.load(), 2u);
 }
 
 TEST_F(CasServerTest, PolicyCacheSkipsRepeatDbLoads) {
@@ -452,21 +473,21 @@ TEST_F(CasServerTest, PolicyCacheSkipsRepeatDbLoads) {
   // first request hits the decrypted-policy cache.
   bed_.cas().install_policy(singleton_policy("s"));
 
-  ASSERT_TRUE(server.handle_instance(request("s")).ok);
-  ASSERT_TRUE(server.handle_instance(request("s")).ok);
+  ASSERT_TRUE(server.handle_instance(request("s")).ok());
+  ASSERT_TRUE(server.handle_instance(request("s")).ok());
   EXPECT_EQ(server.policy_store().hits(), 2u);
   EXPECT_EQ(server.policy_store().misses(), 0u);
 
   // A policy installed before the server existed is pulled from the
   // encrypted DB once (miss), then served from the store.
-  ASSERT_FALSE(server.handle_instance(request("cold")).ok);
+  ASSERT_FALSE(server.handle_instance(request("cold")).ok());
   EXPECT_EQ(server.policy_store().misses(), 1u);
 }
 
 TEST_F(CasServerTest, PolicyReplaceTakesEffectThroughCache) {
   bed_.cas().install_policy(singleton_policy("s"));
   CasServer server(&bed_.cas(), CasServerConfig{.workers = 1});
-  ASSERT_TRUE(server.handle_instance(request("s")).ok);
+  ASSERT_TRUE(server.handle_instance(request("s")).ok());
 
   // Software update: new image version supersedes the old base hash.
   core::EnclaveImage v2 = image_;
@@ -476,11 +497,11 @@ TEST_F(CasServerTest, PolicyReplaceTakesEffectThroughCache) {
   p2.base_hash = signed_v2.base_hash;
   bed_.cas().install_policy(p2);
 
-  EXPECT_FALSE(server.handle_instance(request("s")).ok);
+  EXPECT_FALSE(server.handle_instance(request("s")).ok());
   cas::InstanceRequest v2_request;
   v2_request.session_name = "s";
   v2_request.common_sigstruct = signed_v2.sigstruct;
-  EXPECT_TRUE(server.handle_instance(v2_request).ok);
+  EXPECT_TRUE(server.handle_instance(v2_request).ok());
 }
 
 TEST_F(CasServerTest, PremintedCredentialsServeAsCacheHits) {
@@ -491,7 +512,7 @@ TEST_F(CasServerTest, PremintedCredentialsServeAsCacheHits) {
   EXPECT_EQ(server.sigstruct_cache().size(), 3u);
 
   const auto resp = server.handle_instance(request("s"));
-  ASSERT_TRUE(resp.ok) << resp.error;
+  ASSERT_TRUE(resp.ok()) << resp.status.message();
   EXPECT_EQ(server.metrics().sigstruct_cache_hits.load(), 1u);
   EXPECT_EQ(server.metrics().sigstruct_cache_misses.load(), 0u);
   EXPECT_EQ(server.sigstruct_cache().size(), 2u);
@@ -521,7 +542,7 @@ TEST_F(CasServerTest, PremintedCredentialsServeAsCacheHits) {
 TEST_F(CasServerTest, SignerRotationInvalidatesVerifyMemo) {
   bed_.cas().install_policy(singleton_policy("s"));
   CasServer server(&bed_.cas(), CasServerConfig{.workers = 1});
-  ASSERT_TRUE(server.handle_instance(request("s")).ok);  // memoized
+  ASSERT_TRUE(server.handle_instance(request("s")).ok());  // memoized
 
   // Rotate the session's signer pin (same base hash). The old signer's
   // memoized SigStruct must be re-checked and rejected, exactly as the
@@ -535,9 +556,10 @@ TEST_F(CasServerTest, SignerRotationInvalidatesVerifyMemo) {
   bed_.cas().install_policy(rotated);
 
   const auto resp = server.handle_instance(request("s"));
-  EXPECT_FALSE(resp.ok);
-  EXPECT_EQ(resp.error, "common sigstruct from unexpected signer");
-  EXPECT_EQ(resp.error, bed_.cas().handle_instance(request("s")).error);
+  EXPECT_FALSE(resp.ok());
+  EXPECT_EQ(resp.status.code, StatusCode::kWrongSigner);
+  EXPECT_EQ(resp.status.code,
+            bed_.cas().handle_instance(request("s")).status.code);
 }
 
 TEST_F(CasServerTest, ResignedCommonSigstructFlushesStalePool) {
@@ -556,7 +578,7 @@ TEST_F(CasServerTest, ResignedCommonSigstructFlushesStalePool) {
   v2_request.session_name = "s";
   v2_request.common_sigstruct = signed_v2.sigstruct;
   const auto resp = server.handle_instance(v2_request);
-  ASSERT_TRUE(resp.ok) << resp.error;
+  ASSERT_TRUE(resp.ok()) << resp.status.message();
   EXPECT_EQ(resp.singleton_sigstruct.isv_svn, 2);
   EXPECT_EQ(server.sigstruct_cache().pooled("s"), 0u);  // stale pool gone
   EXPECT_EQ(server.metrics().sigstruct_cache_hits.load(), 0u);
@@ -569,13 +591,13 @@ TEST_F(CasServerTest, BackgroundRefillKeepsPoolWarm) {
 
   // First request verifies the common SigStruct (miss) and triggers an
   // asynchronous refill of the session pool.
-  ASSERT_TRUE(server.handle_instance(request("s")).ok);
+  ASSERT_TRUE(server.handle_instance(request("s")).ok());
   server.pool().drain();
   EXPECT_EQ(server.sigstruct_cache().pooled("s"), 4u);
   EXPECT_GE(server.metrics().preminted_credentials.load(), 4u);
 
   // Next request is served from the pool.
-  ASSERT_TRUE(server.handle_instance(request("s")).ok);
+  ASSERT_TRUE(server.handle_instance(request("s")).ok());
   EXPECT_EQ(server.metrics().sigstruct_cache_hits.load(), 1u);
 }
 
@@ -589,7 +611,7 @@ TEST_F(CasServerTest, RefillCoalescesDeficitIntoMintBatches) {
 
   // First request misses, mints inline, and fires the low-watermark
   // refill; the refill tops the 9-deep pool up in ceil(9/4) = 3 batches.
-  ASSERT_TRUE(server.handle_instance(request("s")).ok);
+  ASSERT_TRUE(server.handle_instance(request("s")).ok());
   server.pool().drain();
   EXPECT_EQ(server.sigstruct_cache().pooled("s"), 9u);
   EXPECT_EQ(server.metrics().preminted_credentials.load(), 9u);
@@ -597,7 +619,7 @@ TEST_F(CasServerTest, RefillCoalescesDeficitIntoMintBatches) {
 
   // Every pooled credential issues as a first-class hit.
   for (int i = 0; i < 9; ++i)
-    ASSERT_TRUE(server.handle_instance(request("s")).ok);
+    ASSERT_TRUE(server.handle_instance(request("s")).ok());
   EXPECT_EQ(server.metrics().sigstruct_cache_hits.load(), 9u);
 }
 
@@ -625,9 +647,33 @@ TEST_F(CasServerTest, ConcurrentRequestsAcrossSessionsIssueUniqueTokens) {
                                      result.tokens.end());
   EXPECT_EQ(unique.size(), 200u);  // no token ever issued twice
   EXPECT_EQ(bed_.cas().tokens_outstanding(), 200u);
-  EXPECT_EQ(server.metrics().instance_requests.load(), 200u);
-  EXPECT_EQ(server.metrics().instance_errors.load(), 0u);
-  EXPECT_EQ(server.metrics().instance_latency.snapshot().count, 200u);
+  EXPECT_EQ(server.metrics().get_instance.requests.load(), 200u);
+  EXPECT_EQ(server.metrics().get_instance.errors.load(), 0u);
+  EXPECT_EQ(server.metrics().get_instance.latency.snapshot().count, 200u);
+}
+
+TEST_F(CasServerTest, ClosedLoopWithThinkTimeCompletesAndPacesItself) {
+  bed_.cas().install_policy(singleton_policy("s"));
+  CasServer server(&bed_.cas(), CasServerConfig{.workers = 2});
+  server.bind(bed_.network(), kServerAddress);
+
+  workload::LoadGenConfig load;
+  load.clients = 4;
+  load.requests_per_client = 5;
+  load.address = kServerAddress;
+  load.sessions = {"s"};
+  load.think_time = workload::ThinkTime::kConstant;
+  load.mean_think = std::chrono::milliseconds(5);
+  const auto start = std::chrono::steady_clock::now();
+  const auto result =
+      workload::run_instance_load(bed_.network(), signed_.sigstruct, load);
+  const auto wall = std::chrono::steady_clock::now() - start;
+
+  EXPECT_EQ(result.failed, 0u) << result.first_error;
+  EXPECT_EQ(result.ok, 20u);
+  // 5 requests x 5ms constant think per client: the run cannot finish
+  // faster than the think gaps it must sleep through.
+  EXPECT_GE(wall, std::chrono::milliseconds(25));
 }
 
 // The core singleton guarantee under concurrency: many attesters racing
@@ -679,7 +725,7 @@ TEST_F(CasServerTest, RacingReplaysOfOneTokenAttestExactlyOnce) {
   EXPECT_EQ(rejected.load(), kRacers - 1);
   EXPECT_EQ(bed_.cas().tokens_used(), 1u);
   EXPECT_EQ(bed_.cas().tokens_outstanding(), 0u);
-  EXPECT_EQ(server.metrics().attest_requests.load(),
+  EXPECT_EQ(server.metrics().attest.requests.load(),
             static_cast<std::uint64_t>(kRacers));
 }
 
