@@ -13,6 +13,16 @@ using Clock = std::chrono::steady_clock;
 std::string policy_path(const std::string& session_name) {
   return "policies/" + session_name;
 }
+
+/// Token -> stripe: tokens are uniform DRBG output, so their leading
+/// bytes are already a perfect hash.
+std::size_t token_stripe_index(const core::AttestationToken& token,
+                               std::size_t stripes) {
+  std::uint64_t h = 0;
+  for (int i = 0; i < 8; ++i)
+    h = (h << 8) | token.data[static_cast<std::size_t>(i)];
+  return static_cast<std::size_t>(h % stripes);
+}
 }  // namespace
 
 Bytes Policy::serialize() const {
@@ -48,10 +58,22 @@ CasService::CasService(quote::AttestationService* attestation,
     : attestation_(attestation),
       identity_(std::move(identity)),
       rng_(std::move(rng)),
+      token_rng_(crypto::Drbg(rng_.generate(32), "cas-token-root"),
+                 "cas-tokens", kTokenStripes),
       policy_db_(rng_.generate(32),
                  crypto::Drbg(rng_.generate(16), "cas-db-nonces")) {
   if (attestation_ == nullptr)
     throw Error("cas: attestation service required");
+}
+
+CasService::TokenStripe& CasService::token_stripe(
+    const core::AttestationToken& token) {
+  return token_stripes_[token_stripe_index(token, kTokenStripes)];
+}
+
+const CasService::TokenStripe& CasService::token_stripe(
+    const core::AttestationToken& token) const {
+  return token_stripes_[token_stripe_index(token, kTokenStripes)];
 }
 
 Hash256 CasService::verifier_id() const {
@@ -70,12 +92,13 @@ bool CasService::has_signer_key(const Hash256& signer_id) const {
 }
 
 void CasService::install_policy(const Policy& policy) {
-  std::lock_guard lock(db_mutex_);
+  std::unique_lock lock(db_mutex_);
   policy_db_.write_file(policy_path(policy.session_name),
                         policy.serialize());
-  // Write-through *under db_mutex_*: cache updates happen in DB-write
-  // order, so a concurrent miss-path fill (also under db_mutex_) can never
-  // overwrite this install with an older policy.
+  // Write-through *under the exclusive lock*: cache updates happen in
+  // DB-write order, so a concurrent miss-path fill (which holds at least
+  // the shared half of db_mutex_) can never overwrite this install with
+  // an older policy.
   if (PolicyCache* cache = policy_cache_.load())
     cache->put(policy.session_name, policy);
 }
@@ -90,11 +113,16 @@ std::optional<Policy> CasService::get_policy(
     auto cached = cache->get(session_name);
     if (cached.has_value()) return cached;
   }
-  std::lock_guard lock(db_mutex_);
+  // Read-mostly path: concurrent misses decrypt+parse in parallel under
+  // the shared lock (EncryptedVolume reads are const); installs take the
+  // exclusive half.
+  std::shared_lock lock(db_mutex_);
   const auto blob = policy_db_.read_file(policy_path(session_name));
   if (!blob.has_value()) return std::nullopt;
   Policy loaded = Policy::deserialize(*blob);
-  // Fill the cache while still holding db_mutex_ (see install_policy).
+  // Fill the cache while still holding the shared lock: an install
+  // (exclusive) cannot interleave, so every fill writes a value read
+  // after the latest completed install (see install_policy).
   if (PolicyCache* cache = policy_cache_.load())
     cache->put(session_name, loaded);
   return loaded;
@@ -121,6 +149,11 @@ void CasService::ensure_secure_server() {
 Bytes CasService::handle_secure(ByteView raw) {
   ensure_secure_server();
   return secure_server_->handle(raw);
+}
+
+net::SecureServer::Stats CasService::secure_channel_stats() {
+  ensure_secure_server();
+  return secure_server_->stats();
 }
 
 void CasService::bind(net::SimNetwork& net, const std::string& address) {
@@ -164,13 +197,15 @@ std::vector<MintedCredential> CasService::mint_batch(
 
   // Per-batch costs, paid once: the common-SigStruct verification (inside
   // OnDemandSigner) plus its scratch arena, the verifier-id hash, and one
-  // RNG critical section for all the tokens.
+  // DRBG-stripe lease for all the tokens. The lease comes from the
+  // striped token_rng_ pool, so concurrent minters draw from different
+  // generators instead of serializing on a global RNG lock.
   core::OnDemandSigner minter(common_sigstruct, *signer);
   const Hash256 vid = verifier_id();
   {
-    std::lock_guard lock(rng_mutex_);
+    const auto lease = token_rng_.lease();
     for (MintedCredential& cred : batch)
-      rng_.generate(cred.token.data.data(), cred.token.size());
+      lease.rng().generate(cred.token.data.data(), cred.token.size());
   }
 
   for (MintedCredential& cred : batch) {
@@ -192,8 +227,10 @@ std::vector<MintedCredential> CasService::mint_batch(
 void CasService::register_token(const core::AttestationToken& token,
                                 const std::string& session_name,
                                 const sgx::Measurement& expected_mr) {
-  std::lock_guard lock(token_mutex_);
-  tokens_.emplace(token, PendingToken{session_name, expected_mr, false});
+  TokenStripe& stripe = token_stripe(token);
+  std::lock_guard lock(stripe.m);
+  stripe.tokens.emplace(token,
+                        PendingToken{session_name, expected_mr, false});
 }
 
 std::optional<StatusCode> CasService::check_retrieval_preconditions(
@@ -331,12 +368,15 @@ std::optional<Bytes> CasService::on_handshake(ByteView client_payload,
       return std::nullopt;
     }
     // Lookup, one-time check, measurement check and spend are one critical
-    // section: two attestations racing on the same token must serialize
-    // here, so exactly one can ever flip `used`.
+    // section *inside the token's stripe*: two attestations racing on the
+    // same token hash to the same stripe and serialize there, so exactly
+    // one can ever flip `used`; attestations of different tokens proceed
+    // on different stripes in parallel.
     {
-      std::lock_guard lock(token_mutex_);
-      const auto it = tokens_.find(*payload.token);
-      if (it == tokens_.end() ||
+      TokenStripe& stripe = token_stripe(*payload.token);
+      std::lock_guard lock(stripe.m);
+      const auto it = stripe.tokens.find(*payload.token);
+      if (it == stripe.tokens.end() ||
           it->second.session_name != payload.session_name) {
         verdict(Verdict::kTokenUnknown);
         return std::nullopt;
@@ -350,8 +390,7 @@ std::optional<Bytes> CasService::on_handshake(ByteView client_payload,
         return std::nullopt;
       }
       it->second.used = true;  // singleton: this token never attests again
-      ++used_count_;
-      attested_sessions_[session_id] = payload.session_name;
+      ++stripe.used;
     }
   } else {
     if (!policy->expected_mr_enclave.has_value() ||
@@ -359,8 +398,11 @@ std::optional<Bytes> CasService::on_handshake(ByteView client_payload,
       verdict(Verdict::kMeasurementMismatch);
       return std::nullopt;
     }
-    std::lock_guard lock(token_mutex_);
-    attested_sessions_[session_id] = payload.session_name;
+  }
+  {
+    SessionStripe& stripe = session_stripes_[session_id % kSessionStripes];
+    std::lock_guard lock(stripe.m);
+    stripe.attested[session_id] = payload.session_name;
   }
 
   verdict(Verdict::kOk);
@@ -377,9 +419,11 @@ Bytes CasService::on_request(std::uint64_t session_id, ByteView plaintext) {
     ConfigResponse resp;
     std::string session_name;
     {
-      std::lock_guard lock(token_mutex_);
-      const auto it = attested_sessions_.find(session_id);
-      if (it == attested_sessions_.end()) {
+      const SessionStripe& stripe =
+          session_stripes_[session_id % kSessionStripes];
+      std::lock_guard lock(stripe.m);
+      const auto it = stripe.attested.find(session_id);
+      if (it == stripe.attested.end()) {
         resp.status = Status(StatusCode::kSessionNotAttested);
         return resp;
       }
@@ -407,19 +451,27 @@ Verdict CasService::last_attest_verdict() const {
 }
 
 std::size_t CasService::tokens_outstanding() const {
-  std::lock_guard lock(token_mutex_);
-  return tokens_.size() - used_count_;
+  std::size_t outstanding = 0;
+  for (const TokenStripe& stripe : token_stripes_) {
+    std::lock_guard lock(stripe.m);
+    outstanding += stripe.tokens.size() - stripe.used;
+  }
+  return outstanding;
 }
 
 std::size_t CasService::tokens_used() const {
-  std::lock_guard lock(token_mutex_);
-  return used_count_;
+  std::size_t used = 0;
+  for (const TokenStripe& stripe : token_stripes_) {
+    std::lock_guard lock(stripe.m);
+    used += stripe.used;
+  }
+  return used;
 }
 
 Bytes CasService::export_state() const {
   ByteWriter w;
   {
-    std::lock_guard lock(db_mutex_);
+    std::shared_lock lock(db_mutex_);
     const auto names = policy_db_.list_files();
     w.u32(static_cast<std::uint32_t>(names.size()));
     for (const auto& name : names) {
@@ -430,9 +482,16 @@ Bytes CasService::export_state() const {
     }
   }
   {
-    std::lock_guard lock(token_mutex_);
-    w.u32(static_cast<std::uint32_t>(tokens_.size()));
-    for (const auto& [token, pending] : tokens_) {
+    // Merge the stripes into one token-ordered map first: the serialized
+    // layout stays byte-identical to the pre-striping format (sorted by
+    // token), so sealed state round-trips across versions.
+    std::map<core::AttestationToken, PendingToken> merged;
+    for (const TokenStripe& stripe : token_stripes_) {
+      std::lock_guard lock(stripe.m);
+      merged.insert(stripe.tokens.begin(), stripe.tokens.end());
+    }
+    w.u32(static_cast<std::uint32_t>(merged.size()));
+    for (const auto& [token, pending] : merged) {
       w.raw(token.view());
       w.str(pending.session_name);
       w.raw(pending.expected_mr.view());
@@ -467,11 +526,17 @@ void CasService::import_state(ByteView state) {
     Policy policy = Policy::deserialize(blob);
     install_policy(policy);
   }
-  std::lock_guard lock(token_mutex_);
-  tokens_ = std::move(tokens);
-  used_count_ = 0;
-  for (const auto& [token, pending] : tokens_)
-    if (pending.used) ++used_count_;
+  for (TokenStripe& stripe : token_stripes_) {
+    std::lock_guard lock(stripe.m);
+    stripe.tokens.clear();
+    stripe.used = 0;
+  }
+  for (auto& [token, pending] : tokens) {
+    TokenStripe& stripe = token_stripe(token);
+    std::lock_guard lock(stripe.m);
+    if (pending.used) ++stripe.used;
+    stripe.tokens.emplace(token, std::move(pending));
+  }
 }
 
 }  // namespace sinclave::cas

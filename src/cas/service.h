@@ -13,20 +13,28 @@
 //    enclave signer's key (which is uploaded to — and never leaves — CAS),
 //    and singleton enforcement (every token attests at most once).
 //
-// Thread-safe: all entry points may be called concurrently (the
-// server::CasServer frontend dispatches them from a worker pool). Token and
-// singleton accounting is mutex-guarded so racing attestations can never
-// double-spend a one-time token. An optional PolicyCache lets the serving
+// Thread-safe and contention-striped: all entry points may be called
+// concurrently (the server::CasServer frontend dispatches them from a
+// worker pool). Token and singleton accounting is sharded into striped
+// buckets (token id -> stripe), each bucket its own critical section, so
+// racing attestations on *different* tokens never contend while two
+// attestations racing the *same* token still serialize inside its bucket
+// — the exactly-once-spend invariant is per bucket. Token minting draws
+// from a striped DRBG pool (no global RNG lock on the hot path), and the
+// encrypted policy DB sits behind a shared_mutex (concurrent decrypting
+// readers, exclusive installs). An optional PolicyCache lets the serving
 // layer interpose a decrypted-policy store in front of the encrypted DB;
 // install_policy writes through to both.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -183,6 +191,11 @@ class CasService {
   /// Replace policies and token database from a previously exported state.
   void import_state(ByteView state);
 
+  /// Contention observability of the attestation endpoint's striped
+  /// session table (stripe collisions, sessions high-water); instantiates
+  /// the secure server if it has not served yet.
+  net::SecureServer::Stats secure_channel_stats();
+
  private:
   std::optional<Bytes> on_handshake(ByteView client_payload,
                                     ByteView client_dh,
@@ -197,25 +210,51 @@ class CasService {
     bool used = false;
   };
 
+  /// One shard of the token-spend store. Lookup, one-time check,
+  /// measurement check, and spend of a token all happen inside its
+  /// stripe's critical section — the exactly-once-spend invariant is per
+  /// stripe, and tokens (uniform random 32 bytes) spread evenly.
+  struct TokenStripe {
+    mutable std::mutex m;
+    std::map<core::AttestationToken, PendingToken> tokens;
+    std::size_t used = 0;  // spent tokens in this stripe (avoids scans)
+  };
+  static constexpr std::size_t kTokenStripes = 16;
+  TokenStripe& token_stripe(const core::AttestationToken& token);
+  const TokenStripe& token_stripe(const core::AttestationToken& token) const;
+
+  /// Attested channel-session -> session-name bindings, sharded by the
+  /// (atomically allocated, hence uniform) secure-channel session id.
+  struct SessionStripe {
+    mutable std::mutex m;
+    std::map<std::uint64_t, std::string> attested;
+  };
+  static constexpr std::size_t kSessionStripes = 16;
+
   quote::AttestationService* attestation_;
   crypto::RsaKeyPair identity_;
 
-  mutable std::mutex rng_mutex_;  // guards rng_
+  mutable std::mutex rng_mutex_;  // guards rng_ (cold paths: setup forks)
   mutable crypto::Drbg rng_;
+  // Hot-path randomness (token minting): striped children of rng_, no
+  // global lock.
+  mutable crypto::DrbgPool token_rng_;
 
-  mutable std::mutex db_mutex_;  // guards policy_db_
+  // Read-mostly policy path: concurrent get_policy readers decrypt in
+  // parallel under the shared lock; install_policy is exclusive.
+  mutable std::shared_mutex db_mutex_;  // guards policy_db_
   mutable fs::EncryptedVolume policy_db_;
   // Attach/detach races with readers, hence atomic. Cache fills happen
-  // under db_mutex_ so a fill can never overwrite a newer install.
+  // under (at least the shared half of) db_mutex_ so a fill can never
+  // overwrite a newer install: installs are exclusive, so any fill wrote
+  // a value read after the previous install completed.
   std::atomic<PolicyCache*> policy_cache_{nullptr};
 
   mutable std::mutex signer_mutex_;  // guards signer_keys_ (map nodes are
   std::map<Hash256, crypto::RsaKeyPair> signer_keys_;  // pointer-stable)
 
-  mutable std::mutex token_mutex_;  // guards tokens_ + the two below
-  std::map<core::AttestationToken, PendingToken> tokens_;
-  std::size_t used_count_ = 0;  // spent tokens (avoids O(n) scans)
-  std::map<std::uint64_t, std::string> attested_sessions_;
+  std::array<TokenStripe, kTokenStripes> token_stripes_;
+  std::array<SessionStripe, kSessionStripes> session_stripes_;
 
   std::once_flag secure_server_once_;
   std::unique_ptr<net::SecureServer> secure_server_;

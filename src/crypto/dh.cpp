@@ -19,7 +19,6 @@ constexpr const char* kModp2048Hex =
     "DE2BCBF6955817183995497CEA956AE515D2261898FA0510"
     "15728E5A8AACAA68FFFFFFFFFFFFFFFF";
 constexpr std::size_t kGroupBytes = 256;
-constexpr std::size_t kExponentBytes = 48;  // 384-bit ephemeral exponent
 }  // namespace
 
 const DhGroup& DhGroup::modp2048() {
@@ -37,9 +36,15 @@ const Montgomery& modp2048_ctx() {
 }  // namespace
 
 DhKeyPair DhKeyPair::generate(Drbg& rng) {
+  return from_exponent(rng.generate(kExponentBytes));
+}
+
+DhKeyPair DhKeyPair::from_exponent(ByteView exponent_bytes) {
+  if (exponent_bytes.size() != kExponentBytes)
+    throw Error("dh: exponent must be exactly kExponentBytes");
   const DhGroup& grp = DhGroup::modp2048();
   DhKeyPair kp;
-  Bytes exp = rng.generate(kExponentBytes);
+  Bytes exp{exponent_bytes.begin(), exponent_bytes.end()};
   exp[0] |= 0x80;  // full-width exponent
   kp.x_ = BigInt::from_bytes_be(exp);
   kp.gx_ = modp2048_ctx().exp(grp.g, kp.x_);

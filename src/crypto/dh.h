@@ -22,9 +22,19 @@ struct DhGroup {
 /// One party's ephemeral key pair.
 class DhKeyPair {
  public:
+  /// Ephemeral exponent width: 384 bits (>= 192-bit security against
+  /// discrete log in this group).
+  static constexpr std::size_t kExponentBytes = 48;
+
   /// Generate an ephemeral key with a 384-bit exponent (>= 192-bit security
   /// against discrete log in this group).
   static DhKeyPair generate(Drbg& rng);
+
+  /// Deterministic construction from kExponentBytes caller-drawn exponent
+  /// bytes (top bit is forced, exactly like generate()). Lets callers hold
+  /// their DRBG lock only for the draw and run the g^x exponentiation
+  /// lock-free; generate(rng) == from_exponent(rng.generate(48)).
+  static DhKeyPair from_exponent(ByteView exponent_bytes);
 
   /// Public value g^x mod p, big-endian, fixed 256-byte width.
   Bytes public_value() const;

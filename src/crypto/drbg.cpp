@@ -78,4 +78,36 @@ void Drbg::reseed(ByteView entropy) {
   update(entropy);
 }
 
+DrbgPool::DrbgPool(Drbg root, std::string_view label, std::size_t stripes) {
+  if (stripes == 0) stripes = 1;
+  stripes_.reserve(stripes);
+  for (std::size_t i = 0; i < stripes; ++i) {
+    // Fork each stripe from the root: 32 bytes of root output as entropy,
+    // the stripe index folded into the personalization string so two
+    // stripes can never be the same generator even under entropy reuse.
+    const std::string pers =
+        std::string(label) + "-stripe-" + std::to_string(i);
+    stripes_.push_back(
+        std::make_unique<Stripe>(Drbg(root.generate(32), pers)));
+  }
+}
+
+DrbgPool::Lease DrbgPool::lease() {
+  const std::size_t n = stripes_.size();
+  const std::size_t home = static_cast<std::size_t>(
+      next_.fetch_add(1, std::memory_order_relaxed) % n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Stripe& s = *stripes_[(home + i) % n];
+    std::unique_lock lock(s.m, std::try_to_lock);
+    if (lock.owns_lock()) {
+      if (i != 0) collisions_.fetch_add(1, std::memory_order_relaxed);
+      return Lease(std::move(lock), &s.rng);
+    }
+  }
+  // Every stripe busy: wait on the home stripe.
+  collisions_.fetch_add(1, std::memory_order_relaxed);
+  Stripe& s = *stripes_[home];
+  return Lease(std::unique_lock(s.m), &s.rng);
+}
+
 }  // namespace sinclave::crypto

@@ -38,14 +38,45 @@ struct RsaPublicKey::VerifyContext {
   Montgomery mont;
 };
 
-std::shared_ptr<const RsaPublicKey::VerifyContext>
-RsaPublicKey::verify_context() const {
-  auto ctx = verify_ctx_.load(std::memory_order_acquire);
-  if (ctx == nullptr || !(ctx->n == n)) {
-    ctx = std::make_shared<const VerifyContext>(n);
-    verify_ctx_.store(ctx, std::memory_order_release);
+const RsaPublicKey::VerifyContext& RsaPublicKey::verify_context() const {
+  // Fast path: the current context, one atomic load. Mutating `n` while
+  // other threads verify is a caller-side race on `n` itself; the
+  // staleness check only has to be correct across *sequential* mutation.
+  const VerifyContext* ctx = ctx_.load(std::memory_order_acquire);
+  if (ctx != nullptr && ctx->n == n) return *ctx;
+
+  std::lock_guard lock(ctx_mutex_);
+  ctx = ctx_.load(std::memory_order_relaxed);
+  if (ctx != nullptr && ctx->n == n) return *ctx;  // lost the build race
+  auto fresh = std::make_shared<const VerifyContext>(n);
+  ctx = fresh.get();
+  // Retire, never free: a stale context may still be referenced by an
+  // in-flight verifier. Growth is bounded by modulus rotations on this
+  // object (reusing one key object for another modulus), not by verifies.
+  owned_.push_back(std::move(fresh));
+  ctx_.store(ctx, std::memory_order_release);
+  return *ctx;
+}
+
+void RsaPublicKey::adopt_context(const RsaPublicKey& other) {
+  std::shared_ptr<const VerifyContext> current;
+  {
+    std::lock_guard lock(other.ctx_mutex_);
+    const VerifyContext* raw = other.ctx_.load(std::memory_order_relaxed);
+    for (const auto& owned : other.owned_)
+      if (owned.get() == raw) {
+        current = owned;
+        break;
+      }
   }
-  return ctx;
+  std::lock_guard lock(ctx_mutex_);
+  owned_.clear();
+  if (current != nullptr && current->n == n) {
+    ctx_.store(current.get(), std::memory_order_release);
+    owned_.push_back(std::move(current));
+  } else {
+    ctx_.store(nullptr, std::memory_order_release);
+  }
 }
 
 bool RsaPublicKey::verify_pkcs1_sha256(ByteView message,
@@ -58,7 +89,7 @@ bool RsaPublicKey::verify_pkcs1_sha256(ByteView message,
   const BigInt s = BigInt::from_bytes_be(signature);
   if (s >= n) return false;
   // Fixed public exponent: 16 squarings + 1 multiply on the cached context.
-  const BigInt m = verify_context()->mont.exp_u64(s, kRsaPublicExponent);
+  const BigInt m = verify_context().mont.exp_u64(s, kRsaPublicExponent);
   const Bytes em = m.to_bytes_be(em_len);
   const Bytes expected = pkcs1_encode(message, em_len);
   return ct_equal(em, expected);

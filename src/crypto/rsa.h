@@ -9,6 +9,8 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <vector>
 
 #include "common/bytes.h"
 #include "crypto/bignum.h"
@@ -31,21 +33,33 @@ struct RsaPublicKey {
   BigInt n;
 
   RsaPublicKey() = default;
-  RsaPublicKey(const RsaPublicKey& other)
-      : n(other.n), verify_ctx_(other.verify_ctx_.load()) {}
-  RsaPublicKey(RsaPublicKey&& other) noexcept
-      : n(std::move(other.n)), verify_ctx_(other.verify_ctx_.load()) {}
+  RsaPublicKey(const RsaPublicKey& other) : n(other.n) {
+    adopt_context(other);
+  }
+  /// Moves steal the context outright (vector + atomic move, no
+  /// allocation) so they stay genuinely noexcept.
+  RsaPublicKey(RsaPublicKey&& other) noexcept : n(std::move(other.n)) {
+    std::lock_guard lock(other.ctx_mutex_);
+    owned_ = std::move(other.owned_);
+    ctx_.store(other.ctx_.load(std::memory_order_relaxed),
+               std::memory_order_release);
+    other.ctx_.store(nullptr, std::memory_order_release);
+  }
   RsaPublicKey& operator=(const RsaPublicKey& other) {
     if (this != &other) {
       n = other.n;
-      verify_ctx_.store(other.verify_ctx_.load());
+      adopt_context(other);
     }
     return *this;
   }
   RsaPublicKey& operator=(RsaPublicKey&& other) noexcept {
     if (this != &other) {
       n = std::move(other.n);
-      verify_ctx_.store(other.verify_ctx_.load());
+      std::scoped_lock lock(ctx_mutex_, other.ctx_mutex_);
+      owned_ = std::move(other.owned_);
+      ctx_.store(other.ctx_.load(std::memory_order_relaxed),
+                 std::memory_order_release);
+      other.ctx_.store(nullptr, std::memory_order_release);
     }
     return *this;
   }
@@ -66,11 +80,21 @@ struct RsaPublicKey {
  private:
   struct VerifyContext;  // { modulus snapshot, Montgomery context }
   /// Lazily built on first verify, revalidated against `n` (the field is
-  /// public and assignable), shared across copies. Atomic so concurrent
-  /// verifiers — CAS workers checking quotes against one platform key —
-  /// can race the first build safely.
-  std::shared_ptr<const VerifyContext> verify_context() const;
-  mutable std::atomic<std::shared_ptr<const VerifyContext>> verify_ctx_{};
+  /// public and assignable), shared across copies. Concurrent verifiers —
+  /// CAS workers checking quotes against one platform key, racing
+  /// attested handshakes verifying the server identity — hit the atomic
+  /// raw pointer on the fast path with no lock; the slow path (first
+  /// build / modulus rotation) serializes on ctx_mutex_ and retires the
+  /// old context into owned_ rather than freeing it, so a reference
+  /// handed to an in-flight verifier can never dangle.
+  const VerifyContext& verify_context() const;
+  /// Share `other`'s current context (if it matches our modulus) so
+  /// copies of a key pay the Montgomery setup once, not once per copy.
+  void adopt_context(const RsaPublicKey& other);
+
+  mutable std::mutex ctx_mutex_;  // guards owned_ and context builds
+  mutable std::vector<std::shared_ptr<const VerifyContext>> owned_;
+  mutable std::atomic<const VerifyContext*> ctx_{nullptr};
 };
 
 /// Full key pair with CRT acceleration parameters. Each prime's Montgomery

@@ -1,5 +1,8 @@
 #include "net/secure_channel.h"
 
+#include <array>
+#include <cassert>
+
 #include "common/error.h"
 #include "common/serial.h"
 #include "crypto/hkdf.h"
@@ -31,19 +34,68 @@ TrafficKeys derive_keys(ByteView shared_secret, ByteView client_dh,
   return keys;
 }
 
-Bytes counter_nonce(std::uint64_t counter) {
-  ByteWriter w;
-  w.u32(0);
-  w.u64(counter);
-  return std::move(w).take();
+/// Record nonce on the stack: u32(0) || u64(counter), little-endian —
+/// byte-identical to the old ByteWriter-built heap nonce, without the
+/// per-record allocation.
+using NonceBuf = std::array<std::uint8_t, crypto::kAeadNonceSize>;
+static_assert(crypto::kAeadNonceSize == 12);
+
+NonceBuf counter_nonce(std::uint64_t counter) {
+  NonceBuf nonce{};
+  for (int i = 0; i < 8; ++i)
+    nonce[4 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(counter >> (8 * i));
+  return nonce;
 }
 
+ByteView view(const NonceBuf& nonce) {
+  return ByteView{nonce.data(), nonce.size()};
+}
+
+/// Per-session associated data: str(direction) || u64(session_id). Built
+/// once per session at key derivation and cached (the data path reuses
+/// it for every record instead of re-serializing).
 Bytes session_ad(std::string_view direction, std::uint64_t session_id) {
   ByteWriter w;
   w.str(direction);
   w.u64(session_id);
   return std::move(w).take();
 }
+
+Bytes rejection_record() {
+  ByteWriter w;
+  w.u8(kStatusRejected);
+  return std::move(w).take();
+}
+
+Bytes rejection_record(StatusCode status) {
+  ByteWriter w;
+  w.u8(kStatusRejected);
+  w.u8(static_cast<std::uint8_t>(status));
+  return std::move(w).take();
+}
+
+#ifndef NDEBUG
+/// Debug-build enforcement of the "no crypto under a SecureServer lock"
+/// contract: every stripe/session lock acquisition bumps this, and the
+/// handshake path asserts it is zero before running the hook, the key
+/// derivation, or the identity signature. One counter for all servers —
+/// the assert is about *this thread* holding *any* SecureServer lock.
+thread_local int tls_secure_server_locks_held = 0;
+
+struct LockDepthGuard {
+  LockDepthGuard() { ++tls_secure_server_locks_held; }
+  ~LockDepthGuard() { --tls_secure_server_locks_held; }
+};
+#define SINCLAVE_ASSERT_NO_SECURE_SERVER_LOCK() \
+  assert(tls_secure_server_locks_held == 0 &&   \
+         "handshake crypto must not run under a SecureServer lock")
+#else
+struct LockDepthGuard {
+  LockDepthGuard() {}  // non-trivial: silences unused-variable warnings
+};
+#define SINCLAVE_ASSERT_NO_SECURE_SERVER_LOCK() ((void)0)
+#endif
 
 }  // namespace
 
@@ -65,116 +117,189 @@ RecordType classify_record(ByteView raw) {
 
 SecureServer::SecureServer(const crypto::RsaKeyPair* identity,
                            crypto::Drbg rng, HandshakeHook on_handshake,
-                           RequestHandler on_request)
+                           RequestHandler on_request,
+                           SecureServerOptions options)
     : identity_(identity),
-      rng_(std::move(rng)),
+      rng_(std::move(rng), "secure-server",
+           options.rng_stripes == 0 ? 1 : options.rng_stripes),
       on_handshake_(std::move(on_handshake)),
-      on_request_(std::move(on_request)) {
+      on_request_(std::move(on_request)),
+      stripes_(options.session_stripes == 0 ? 1 : options.session_stripes) {
   if (identity_ == nullptr) throw Error("secure server: identity required");
   if (!on_handshake_ || !on_request_)
     throw Error("secure server: hooks required");
 }
 
+std::unique_lock<std::mutex> SecureServer::lock_stripe(const Stripe& stripe) {
+  std::unique_lock lock(stripe.m, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    stripe_collisions_.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+  }
+  return lock;
+}
+
 Bytes SecureServer::handle(ByteView raw) {
-  std::lock_guard lock(mutex_);
   try {
     ByteReader r(raw);
     const std::uint8_t type = r.u8();
-
-    if (type == kMsgHandshake) {
-      const Bytes client_dh = r.bytes();
-      const Bytes client_payload = r.bytes();
-      r.expect_done();
-
-      const std::uint64_t session_id = next_session_;
-      StatusCode reject_status = StatusCode::kAttestationRejected;
-      const auto server_payload =
-          on_handshake_(client_payload, client_dh, session_id,
-                        &reject_status);
-      if (!server_payload.has_value()) {
-        // Rejection record: status byte appended after the rejected
-        // marker. Pre-status clients stop at the marker (they never read
-        // past the first byte), so the extension is wire-compatible both
-        // ways.
-        ByteWriter w;
-        w.u8(kStatusRejected);
-        w.u8(static_cast<std::uint8_t>(reject_status));
-        return std::move(w).take();
-      }
-
-      crypto::DhKeyPair server_dh = crypto::DhKeyPair::generate(rng_);
-      const Bytes server_pub = server_dh.public_value();
-      const Bytes secret = server_dh.shared_secret(client_dh);
-      TrafficKeys keys = derive_keys(secret, client_dh, server_pub);
-
-      next_session_++;
-      sessions_.emplace(session_id,
-                        Session{crypto::Aead(keys.c2s), crypto::Aead(keys.s2c),
-                                0, 0});
-
-      ByteWriter w;
-      w.u8(kStatusOk);
-      w.u64(session_id);
-      w.bytes(server_pub);
-      w.bytes(identity_->sign_pkcs1_sha256(concat({client_dh, server_pub})));
-      w.bytes(*server_payload);
-      return std::move(w).take();
-    }
-
-    if (type == kMsgData) {
-      const std::uint64_t session_id = r.u64();
-      const std::uint64_t counter = r.u64();
-      const Bytes ciphertext = r.bytes();
-      r.expect_done();
-
-      const auto it = sessions_.find(session_id);
-      if (it == sessions_.end()) {
-        ByteWriter w;
-        w.u8(kStatusRejected);
-        return std::move(w).take();
-      }
-      Session& s = it->second;
-      // Strictly increasing counters prevent replay within a session.
-      if (counter < s.recv_counter) {
-        ByteWriter w;
-        w.u8(kStatusRejected);
-        return std::move(w).take();
-      }
-      const auto plaintext = s.c2s.open(counter_nonce(counter), ciphertext,
-                                        session_ad("c2s", session_id));
-      if (!plaintext.has_value()) {
-        ByteWriter w;
-        w.u8(kStatusRejected);
-        return std::move(w).take();
-      }
-      s.recv_counter = counter + 1;
-
-      const Bytes response = on_request_(session_id, *plaintext);
-      const std::uint64_t send_counter = s.send_counter++;
-      ByteWriter w;
-      w.u8(kStatusOk);
-      w.u64(send_counter);
-      w.bytes(s.s2c.seal(counter_nonce(send_counter), response,
-                         session_ad("s2c", session_id)));
-      return std::move(w).take();
-    }
-
-    ByteWriter w;
-    w.u8(kStatusRejected);
-    return std::move(w).take();
+    if (type == kMsgHandshake) return handle_handshake(r);
+    if (type == kMsgData) return handle_data(r);
+    return rejection_record();
   } catch (const Error&) {
     // Not just ParseError: malformed DH points or hook-level deserializer
     // failures must answer a clean rejection, never escape into (and kill
     // futures on) a frontend worker thread.
-    ByteWriter w;
-    w.u8(kStatusRejected);
-    return std::move(w).take();
+    return rejection_record();
   }
 }
 
+Bytes SecureServer::handle_handshake(ByteReader& r) {
+  const Bytes client_dh = r.bytes();
+  const Bytes client_payload = r.bytes();
+  r.expect_done();
+
+  const std::uint64_t session_id =
+      next_session_.fetch_add(1, std::memory_order_relaxed);
+
+  // The quote-verification hook — the expensive part of every attested
+  // handshake — runs with no lock held: N racing handshakes verify N
+  // quotes on N cores.
+  SINCLAVE_ASSERT_NO_SECURE_SERVER_LOCK();
+  StatusCode reject_status = StatusCode::kAttestationRejected;
+  const auto server_payload =
+      on_handshake_(client_payload, client_dh, session_id, &reject_status);
+  if (!server_payload.has_value()) {
+    handshakes_rejected_.fetch_add(1, std::memory_order_relaxed);
+    // Rejection record: status byte appended after the rejected marker.
+    // Pre-status clients stop at the marker (they never read past the
+    // first byte), so the extension is wire-compatible both ways.
+    return rejection_record(reject_status);
+  }
+
+  // All key-establishment crypto stays outside every lock too. The DRBG
+  // lease is held only for the 48-byte exponent draw; the modexps, the
+  // transcript hash, the HKDF expansion, and the RSA identity signature
+  // run lock-free.
+  Bytes exponent;
+  {
+    auto lease = rng_.lease();
+    exponent = lease.rng().generate(crypto::DhKeyPair::kExponentBytes);
+  }
+  SINCLAVE_ASSERT_NO_SECURE_SERVER_LOCK();
+  const crypto::DhKeyPair server_dh =
+      crypto::DhKeyPair::from_exponent(exponent);
+  const Bytes server_pub = server_dh.public_value();
+  const Bytes secret = server_dh.shared_secret(client_dh);
+  TrafficKeys keys = derive_keys(secret, client_dh, server_pub);
+  const Bytes signature =
+      identity_->sign_pkcs1_sha256(concat({client_dh, server_pub}));
+
+  // Publish the fully-derived session: the only stripe-lock work on the
+  // handshake path is this hash-map insert.
+  auto session = std::make_shared<Session>(
+      crypto::Aead(keys.c2s), crypto::Aead(keys.s2c),
+      session_ad("c2s", session_id), session_ad("s2c", session_id));
+  {
+    Stripe& stripe = stripe_for(session_id);
+    auto lock = lock_stripe(stripe);
+    LockDepthGuard depth;
+    stripe.sessions.emplace(session_id, std::move(session));
+  }
+  sessions_opened_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t open =
+      open_count_.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::uint64_t seen = sessions_high_water_.load(std::memory_order_relaxed);
+  while (open > seen && !sessions_high_water_.compare_exchange_weak(
+                            seen, open, std::memory_order_relaxed)) {
+  }
+
+  ByteWriter w;
+  w.u8(kStatusOk);
+  w.u64(session_id);
+  w.bytes(server_pub);
+  w.bytes(signature);
+  w.bytes(*server_payload);
+  return std::move(w).take();
+}
+
+Bytes SecureServer::handle_data(ByteReader& r) {
+  const std::uint64_t session_id = r.u64();
+  const std::uint64_t counter = r.u64();
+  const Bytes ciphertext = r.bytes();
+  r.expect_done();
+
+  // Stripe lock only for the lookup; the shared_ptr keeps the session
+  // (and its keys) alive past any concurrent close_session, so a racing
+  // close can never tear a decrypt out from under us.
+  std::shared_ptr<Session> session;
+  {
+    Stripe& stripe = stripe_for(session_id);
+    auto lock = lock_stripe(stripe);
+    LockDepthGuard depth;
+    const auto it = stripe.sessions.find(session_id);
+    if (it != stripe.sessions.end()) session = it->second;
+  }
+  if (session == nullptr)
+    return rejection_record(StatusCode::kSessionNotAttested);
+
+  // Records of one session serialize on its own lock (the counter
+  // discipline needs exactly that); records of other sessions proceed in
+  // parallel.
+  std::unique_lock session_lock(session->m);
+  LockDepthGuard depth;
+  if (session->closed.load(std::memory_order_acquire)) {
+    // close_session won the race: deterministic typed rejection.
+    return rejection_record(StatusCode::kSessionNotAttested);
+  }
+  Session& s = *session;
+  // Strictly increasing counters prevent replay within a session.
+  if (counter < s.recv_counter) return rejection_record();
+  const auto plaintext =
+      s.c2s.open(view(counter_nonce(counter)), ciphertext, s.ad_c2s);
+  if (!plaintext.has_value()) return rejection_record();
+  s.recv_counter = counter + 1;
+
+  const Bytes response = on_request_(session_id, *plaintext);
+  const std::uint64_t send_counter = s.send_counter++;
+  ByteWriter w;
+  w.u8(kStatusOk);
+  w.u64(send_counter);
+  w.bytes(
+      s.s2c.seal(view(counter_nonce(send_counter)), response, s.ad_s2c));
+  return std::move(w).take();
+}
+
 void SecureServer::close_session(std::uint64_t session_id) {
-  std::lock_guard lock(mutex_);
-  sessions_.erase(session_id);
+  std::shared_ptr<Session> session;
+  {
+    Stripe& stripe = stripe_for(session_id);
+    auto lock = lock_stripe(stripe);
+    LockDepthGuard depth;
+    const auto it = stripe.sessions.find(session_id);
+    if (it == stripe.sessions.end()) return;
+    session = std::move(it->second);
+    stripe.sessions.erase(it);
+  }
+  // Flag it closed WITHOUT taking the session lock: a request handler may
+  // call close_session for its own session (it holds that lock), and an
+  // in-flight record that already entered the session completes normally
+  // — the close then applies to every later record.
+  session->closed.store(true, std::memory_order_release);
+  open_count_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+SecureServer::Stats SecureServer::stats() const {
+  Stats s;
+  s.sessions_opened = sessions_opened_.load(std::memory_order_relaxed);
+  s.handshakes_rejected =
+      handshakes_rejected_.load(std::memory_order_relaxed);
+  s.stripe_collisions =
+      stripe_collisions_.load(std::memory_order_relaxed) + rng_.collisions();
+  s.sessions_high_water =
+      sessions_high_water_.load(std::memory_order_relaxed);
+  s.open_sessions = open_count_.load(std::memory_order_relaxed);
+  return s;
 }
 
 // ---------------------------------------------------------------------------
@@ -229,7 +354,9 @@ std::optional<Bytes> SecureClient::connect(
   const Bytes secret = dh_.shared_secret(server_pub);
   TrafficKeys keys = derive_keys(secret, dh_public_, server_pub);
   session_.emplace(Session{connection, session_id, crypto::Aead(keys.c2s),
-                           crypto::Aead(keys.s2c), 0, 0});
+                           crypto::Aead(keys.s2c),
+                           session_ad("c2s", session_id),
+                           session_ad("s2c", session_id), 0, 0});
   return server_payload;
 }
 
@@ -242,20 +369,30 @@ Bytes SecureClient::call(ByteView plaintext) {
   req.u8(kMsgData);
   req.u64(s.id);
   req.u64(counter);
-  req.bytes(s.c2s.seal(counter_nonce(counter), plaintext,
-                       session_ad("c2s", s.id)));
+  req.bytes(s.c2s.seal(view(counter_nonce(counter)), plaintext, s.ad_c2s));
   const Bytes raw = s.connection.call(req.data());
 
   ByteReader r(raw);
-  if (r.u8() != kStatusOk) throw Error("secure channel: request rejected");
+  if (r.u8() != kStatusOk) {
+    // A typed rejection status may ride after the marker (e.g.
+    // kSessionNotAttested when the server closed this session); the
+    // whitelist mirrors the handshake path — out-of-enum bytes or a
+    // hostile "ok" stay the generic rejection.
+    if (!r.done()) {
+      const auto code = static_cast<StatusCode>(r.u8());
+      if (is_protocol_level(code) ||
+          code == StatusCode::kSessionNotAttested)
+        throw RecordRejectedError(code);
+    }
+    throw Error("secure channel: request rejected");
+  }
   const std::uint64_t resp_counter = r.u64();
   const Bytes ciphertext = r.bytes();
   r.expect_done();
   if (resp_counter < s.recv_counter)
     throw Error("secure channel: replayed response");
   const auto plain =
-      s.s2c.open(counter_nonce(resp_counter), ciphertext,
-                 session_ad("s2c", s.id));
+      s.s2c.open(view(counter_nonce(resp_counter)), ciphertext, s.ad_s2c);
   if (!plain.has_value())
     throw Error("secure channel: response authentication failed");
   s.recv_counter = resp_counter + 1;

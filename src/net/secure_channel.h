@@ -17,11 +17,14 @@
 // is the crux of §3.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
-#include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
+#include <unordered_map>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/status.h"
@@ -30,6 +33,10 @@
 #include "crypto/drbg.h"
 #include "crypto/rsa.h"
 #include "net/sim_network.h"
+
+namespace sinclave {
+class ByteReader;  // common/serial.h
+}
 
 namespace sinclave::net {
 
@@ -53,13 +60,51 @@ class IdentityMismatchError : public Error {
       : Error("secure channel: server identity mismatch") {}
 };
 
+/// Thrown by SecureClient::call when the server answered the data record
+/// with a typed rejection status — e.g. kSessionNotAttested when the
+/// session was closed server-side between two calls. Distinct from the
+/// generic Error so callers can branch on the code without string
+/// matching.
+class RecordRejectedError : public Error {
+ public:
+  explicit RecordRejectedError(StatusCode code)
+      : Error(std::string("secure channel: request rejected: ") +
+              status_message(code)),
+        code_(code) {}
+  StatusCode code() const { return code_; }
+
+ private:
+  StatusCode code_;
+};
+
+/// Tuning knobs for the striped session table.
+struct SecureServerOptions {
+  /// Session-table stripes: independent sessions hash to different
+  /// stripes, so their table lookups never contend on one mutex.
+  std::size_t session_stripes = 16;
+  /// DRBG stripes for handshake randomness (crypto::DrbgPool).
+  std::size_t rng_stripes = 8;
+};
+
 /// Server half. Owns per-session traffic keys; plug `handle` into
 /// SimNetwork::listen.
 ///
-/// Thread-safe: handle() may be called from many dispatcher threads at
-/// once. A coarse mutex serializes handshakes and per-session record
-/// processing (the hooks run under it — they must not call back into this
-/// SecureServer).
+/// Thread-safe and contention-striped: handle() may be called from many
+/// dispatcher threads at once. Sessions live in a striped hash table
+/// (SecureServerOptions::session_stripes shards, each with its own mutex)
+/// behind shared_ptr, with a per-session lock serializing only records of
+/// that one session. ALL handshake crypto — the HandshakeHook (quote
+/// verification, the expensive part), DH derivation, transcript hashing,
+/// HKDF, and the RSA identity signature — runs with no SecureServer lock
+/// held; a session is published to its stripe only after its keys are
+/// fully derived. Consequently (and unlike the earlier coarse-mutex
+/// design) hooks and request handlers MAY call back into this
+/// SecureServer: close_session, open_sessions, and stats are all safe
+/// from either hook, and a HandshakeHook (which runs with no lock held)
+/// may even re-enter handle(). The one restriction left is that a
+/// RequestHandler must not re-enter handle() — it runs under its
+/// session's lock, and the no-crypto-under-a-lock discipline (enforced
+/// by a debug-build assert) covers every record type.
 class SecureServer {
  public:
   /// Decides whether to accept a handshake. Receives the client's payload
@@ -77,34 +122,88 @@ class SecureServer {
       std::function<Bytes(std::uint64_t session_id, ByteView plaintext)>;
 
   SecureServer(const crypto::RsaKeyPair* identity, crypto::Drbg rng,
-               HandshakeHook on_handshake, RequestHandler on_request);
+               HandshakeHook on_handshake, RequestHandler on_request,
+               SecureServerOptions options = {});
 
   /// Raw transport entry point.
   Bytes handle(ByteView raw);
 
-  /// Terminate a session (e.g. after config delivery).
+  /// Terminate a session (e.g. after config delivery). Safe to call from
+  /// inside a hook or request handler. A data record racing the close
+  /// either completes normally (it entered its session before the close)
+  /// or receives a typed kSessionNotAttested rejection — never a torn
+  /// decrypt (keys are shared_ptr-owned and outlive in-flight records).
   void close_session(std::uint64_t session_id);
 
   std::size_t open_sessions() const {
-    std::lock_guard lock(mutex_);
-    return sessions_.size();
+    return open_count_.load(std::memory_order_relaxed);
   }
+
+  /// Contention observability for the serving layer's metrics.
+  struct Stats {
+    std::uint64_t sessions_opened = 0;
+    std::uint64_t handshakes_rejected = 0;
+    /// Lock acquisitions (session-table stripes + handshake DRBG stripes)
+    /// that found their target busy: the residual cross-session
+    /// contention of the striped design.
+    std::uint64_t stripe_collisions = 0;
+    /// Most sessions ever simultaneously open.
+    std::uint64_t sessions_high_water = 0;
+    std::uint64_t open_sessions = 0;
+  };
+  Stats stats() const;
 
  private:
   struct Session {
+    // Per-session lock: serializes records *of this session* (counter
+    // discipline demands it); records of different sessions never share a
+    // lock. The AEAD contexts and cached ADs are immutable after
+    // construction.
+    std::mutex m;
     crypto::Aead c2s;
     crypto::Aead s2c;
+    Bytes ad_c2s;  // per-session associated data, built once per session
+    Bytes ad_s2c;
     std::uint64_t recv_counter = 0;
     std::uint64_t send_counter = 0;
+    /// Set by close_session without taking `m` (close must not block on —
+    /// or deadlock with — a handler calling close for its own session).
+    std::atomic<bool> closed{false};
+
+    Session(crypto::Aead c2s_in, crypto::Aead s2c_in, Bytes ad_c2s_in,
+            Bytes ad_s2c_in)
+        : c2s(std::move(c2s_in)),
+          s2c(std::move(s2c_in)),
+          ad_c2s(std::move(ad_c2s_in)),
+          ad_s2c(std::move(ad_s2c_in)) {}
   };
 
+  struct Stripe {
+    mutable std::mutex m;
+    std::unordered_map<std::uint64_t, std::shared_ptr<Session>> sessions;
+  };
+
+  Stripe& stripe_for(std::uint64_t session_id) {
+    return stripes_[session_id % stripes_.size()];
+  }
+  /// Lock a stripe, counting contended acquisitions.
+  std::unique_lock<std::mutex> lock_stripe(const Stripe& stripe);
+
+  Bytes handle_handshake(ByteReader& r);
+  Bytes handle_data(ByteReader& r);
+
   const crypto::RsaKeyPair* identity_;
-  mutable std::mutex mutex_;
-  crypto::Drbg rng_;
+  crypto::DrbgPool rng_;
   HandshakeHook on_handshake_;
   RequestHandler on_request_;
-  std::map<std::uint64_t, Session> sessions_;
-  std::uint64_t next_session_ = 1;
+  std::vector<Stripe> stripes_;
+  std::atomic<std::uint64_t> next_session_{1};
+
+  std::atomic<std::uint64_t> open_count_{0};
+  std::atomic<std::uint64_t> sessions_opened_{0};
+  std::atomic<std::uint64_t> handshakes_rejected_{0};
+  std::atomic<std::uint64_t> stripe_collisions_{0};
+  std::atomic<std::uint64_t> sessions_high_water_{0};
 };
 
 /// Client half.
@@ -128,7 +227,9 @@ class SecureClient {
                                StatusCode* reject_status = nullptr);
 
   /// Encrypted round trip; only valid after a successful connect. Throws
-  /// Error if the server cannot decrypt / authenticate (torn session).
+  /// RecordRejectedError when the server rejected the record with a typed
+  /// status (e.g. the session was closed server-side), Error for generic
+  /// rejections and authentication failures (torn session).
   Bytes call(ByteView plaintext);
 
   bool connected() const { return session_.has_value(); }
@@ -139,6 +240,8 @@ class SecureClient {
     std::uint64_t id;
     crypto::Aead c2s;
     crypto::Aead s2c;
+    Bytes ad_c2s;  // per-session associated data, built once at connect
+    Bytes ad_s2c;
     std::uint64_t send_counter = 0;
     std::uint64_t recv_counter = 0;
   };

@@ -76,6 +76,22 @@ void CasServer::unbind() {
   net_->shutdown(address_ + ".instance");
   net_->shutdown(address_);
   net_ = nullptr;
+  refresh_secure_metrics();
+}
+
+void CasServer::refresh_secure_metrics() {
+  // On demand, never per record: mirroring three shared atomics on the
+  // fast path would reintroduce exactly the cross-core line bouncing the
+  // striped design removed. The SecureServer atomics are the source of
+  // truth and all monotone; fetch-max keeps the mirror monotone too even
+  // when two refreshes race out of order.
+  const auto secure = cas_->secure_channel_stats();
+  atomic_fetch_max(metrics_.handshake_stripe_collisions,
+                   secure.stripe_collisions);
+  atomic_fetch_max(metrics_.secure_sessions_opened,
+                   secure.sessions_opened);
+  atomic_fetch_max(metrics_.secure_sessions_high_water,
+                   secure.sessions_high_water);
 }
 
 void CasServer::respond(Clock::time_point accepted,

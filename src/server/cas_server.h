@@ -113,6 +113,11 @@ class CasServer {
   std::size_t premint(const std::string& session,
                       const sgx::SigStruct& common_sigstruct, std::size_t n);
 
+  /// Fold the SecureServer's contention stats (stripe collisions,
+  /// sessions high-water) into metrics(). On-demand — call before
+  /// rendering/reading them mid-run; unbind() refreshes automatically.
+  void refresh_secure_metrics();
+
   const CasServerConfig& config() const { return config_; }
   ServerMetrics& metrics() { return metrics_; }
   ShardedPolicyStore& policy_store() { return policy_store_; }

@@ -165,6 +165,11 @@ std::string ServerMetrics::render() const {
   out += line("mint_batches", mint_batches.load());
   out += line("requests_in_flight", requests_in_flight.load());
   out += line("max_in_flight", max_in_flight.load());
+  out += line("handshake_stripe_collisions",
+              handshake_stripe_collisions.load());
+  out += line("secure_sessions_opened", secure_sessions_opened.load());
+  out += line("secure_sessions_high_water",
+              secure_sessions_high_water.load());
   return out;
 }
 

@@ -129,6 +129,17 @@ struct ServerMetrics {
   std::atomic<std::uint64_t> requests_in_flight{0};
   std::atomic<std::uint64_t> max_in_flight{0};
 
+  /// Secure-channel contention observability, mirrored from the striped
+  /// SecureServer session table on demand (CasServer::
+  /// refresh_secure_metrics; unbind() refreshes automatically — never
+  /// per record, which would bounce these lines across workers): lock
+  /// acquisitions that found their stripe busy (the residual
+  /// cross-session contention), sessions opened, and the most sessions
+  /// ever simultaneously open.
+  std::atomic<std::uint64_t> handshake_stripe_collisions{0};
+  std::atomic<std::uint64_t> secure_sessions_opened{0};
+  std::atomic<std::uint64_t> secure_sessions_high_water{0};
+
   /// Gauge helpers: enter bumps the in-flight count and its watermark.
   void enter_in_flight();
   void leave_in_flight();

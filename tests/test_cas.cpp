@@ -3,13 +3,18 @@
 // accounting — exercised directly, without the full runtime stack.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
 
 #include "cas/service.h"
 #include "common/serial.h"
 #include "core/predictor.h"
 #include "core/signer.h"
 #include "crypto/sha256.h"
+#include "net/secure_channel.h"
 #include "quote/quoting_enclave.h"
 #include "runtime/starter.h"
 #include "sgx/cpu.h"
@@ -220,6 +225,106 @@ TEST_F(CasTest, PolicyReplaceTakesEffect) {
   req.session_name = "s";
   req.common_sigstruct = signed_v2.sigstruct;
   EXPECT_TRUE(cas_.handle_instance(req).ok());
+}
+
+// --- striped token-spend store ---
+
+TEST(CasTokenStripes, ExactlyOnceSpendUnderCrossStripeRaces) {
+  // The token store is sharded by token id. Race many *distinct* tokens
+  // (landing on different stripes) spending concurrently, with two racers
+  // per token: each token must attest exactly once, and the aggregate
+  // accounting (summed across stripes) must balance. Run under TSAN in
+  // CI, this also asserts the striped store itself is race-free.
+  crypto::Drbg rng = crypto::Drbg::from_seed(77, "token-race");
+  crypto::RsaKeyPair signer_key = crypto::RsaKeyPair::generate(rng, 1024);
+  quote::AttestationService attestation;
+  CasService cas(&attestation, crypto::RsaKeyPair::generate(rng, 1024),
+                 crypto::Drbg::from_seed(78, "token-race-cas"));
+  cas.add_signer_key(signer_key);
+
+  sgx::SgxCpu cpu(sgx::SgxCpu::Config{});
+  crypto::Drbg qe_rng = crypto::Drbg::from_seed(79, "token-race-qe");
+  quote::QuotingEnclave qe(cpu, qe_rng);
+  attestation.register_platform(qe.attestation_key());
+
+  const core::EnclaveImage image = core::EnclaveImage::synthetic(
+      "race", sgx::kPageSize, 2 * sgx::kPageSize);
+  const core::Signer signer(&signer_key);
+  const auto signed_image = signer.sign_sinclave(image);
+
+  Policy policy;
+  policy.session_name = "race";
+  policy.expected_signer =
+      crypto::sha256(signer_key.public_key().modulus_be());
+  policy.require_singleton = true;
+  policy.base_hash = signed_image.base_hash;
+  policy.config.program = "noop";
+  cas.install_policy(policy);
+
+  net::SimNetwork net;
+  cas.bind(net, "cas");
+
+  constexpr int kTokens = 8;
+  constexpr int kRacersPerToken = 2;
+  struct Attempt {
+    std::unique_ptr<net::SecureClient> client;
+    AttestPayload payload;
+    int token_index;
+  };
+  std::vector<Attempt> attempts;
+  for (int t = 0; t < kTokens; ++t) {
+    InstanceRequest req;
+    req.session_name = "race";
+    req.common_sigstruct = signed_image.sigstruct;
+    const InstanceResponse resp = cas.handle_instance(req);
+    ASSERT_TRUE(resp.ok());
+    core::InstancePage page;
+    page.token = resp.token;
+    page.verifier_id = resp.verifier_id;
+    const auto enclave = runtime::start_enclave(
+        cpu, image, resp.singleton_sigstruct, page);
+    ASSERT_TRUE(enclave.ok());
+    for (int r = 0; r < kRacersPerToken; ++r) {
+      Attempt a;
+      a.client = std::make_unique<net::SecureClient>(
+          crypto::Drbg::from_seed(
+              static_cast<std::uint64_t>(100 + t * kRacersPerToken + r),
+              "race-channel"));
+      const sgx::Report report =
+          cpu.ereport(enclave.id, qe.target_info(),
+                      net::channel_binding(a.client->dh_public()));
+      const auto quote = qe.generate_quote(report);
+      ASSERT_TRUE(quote.has_value());
+      a.payload.session_name = "race";
+      a.payload.quote = *quote;
+      a.payload.token = resp.token;
+      a.token_index = t;
+      attempts.push_back(std::move(a));
+    }
+  }
+
+  std::array<std::atomic<int>, kTokens> accepted{};
+  std::atomic<int> rejected{0};
+  std::vector<std::thread> racers;
+  for (Attempt& a : attempts) {
+    racers.emplace_back([&net, &cas, &accepted, &rejected, &a] {
+      const auto outcome =
+          a.client->connect(net.connect("cas"), cas.identity(),
+                            a.payload.serialize());
+      if (outcome.has_value())
+        ++accepted[static_cast<std::size_t>(a.token_index)];
+      else
+        ++rejected;
+    });
+  }
+  for (auto& t : racers) t.join();
+
+  for (int t = 0; t < kTokens; ++t)
+    EXPECT_EQ(accepted[static_cast<std::size_t>(t)].load(), 1)
+        << "token " << t << " must attest exactly once";
+  EXPECT_EQ(rejected.load(), kTokens * (kRacersPerToken - 1));
+  EXPECT_EQ(cas.tokens_used(), static_cast<std::size_t>(kTokens));
+  EXPECT_EQ(cas.tokens_outstanding(), 0u);
 }
 
 // --- protocol serialization ---

@@ -260,6 +260,24 @@ TEST(Dh, PublicValueFixedWidth) {
   EXPECT_EQ(DhKeyPair::generate(rng).public_value().size(), 256u);
 }
 
+TEST(Dh, FromExponentMatchesGenerate) {
+  // The secure server draws exponent bytes under its DRBG lease and runs
+  // the modexp lock-free through from_exponent — the two constructions
+  // must be the same key pair for the same bytes.
+  Drbg draw = test_rng(36);
+  const Bytes exponent = draw.generate(DhKeyPair::kExponentBytes);
+  Drbg replay = test_rng(36);
+  const DhKeyPair generated = DhKeyPair::generate(replay);
+  const DhKeyPair rebuilt = DhKeyPair::from_exponent(exponent);
+  EXPECT_EQ(generated.public_value(), rebuilt.public_value());
+
+  Drbg other_rng = test_rng(37);
+  const DhKeyPair peer = DhKeyPair::generate(other_rng);
+  EXPECT_EQ(generated.shared_secret(peer.public_value()),
+            rebuilt.shared_secret(peer.public_value()));
+  EXPECT_THROW(DhKeyPair::from_exponent(Bytes(47, 1)), Error);
+}
+
 TEST(Dh, RejectsDegeneratePeerValues) {
   Drbg rng = test_rng(33);
   const DhKeyPair kp = DhKeyPair::generate(rng);

@@ -3,11 +3,14 @@
 # per bench plus a combined log. Used to track the performance trajectory
 # across PRs.
 #
-# Two benches additionally emit machine-readable trajectory records:
+# Three benches additionally emit machine-readable trajectory records:
 #   BENCH_signing.json — bench_fig7a_signing via the Google Benchmark JSON
 #     writer (BM_RsaSign3072's items_per_second is the sign ops/s series)
 #   BENCH_fleet.json   — bench_fleet_throughput --json (closed/open-loop
 #     ops/s + p50/p99, cache-hit latencies, serial-vs-batched mint cost)
+#   BENCH_attest.json  — bench_attest_throughput --json (attested full-
+#     session throughput per worker count, stripe collisions, scaling
+#     gate; committed baseline lives in bench/baselines/)
 #
 # Usage: tools/run_benches.sh [build-dir] [out-dir]
 set -u
@@ -42,6 +45,9 @@ for bench in "$BUILD_DIR"/bench/*; do
     bench_fleet_throughput)
       extra_args=(--json "$OUT_DIR/BENCH_fleet.json")
       ;;
+    bench_attest_throughput)
+      extra_args=(--json "$OUT_DIR/BENCH_attest.json")
+      ;;
   esac
 
   # ${arr[@]+...} keeps `set -u` happy on bash 3.2 when the array is empty.
@@ -54,7 +60,7 @@ for bench in "$BUILD_DIR"/bench/*; do
   { echo "=== $name ==="; cat "$out"; echo; } >> "$combined"
 done
 
-for json in BENCH_signing.json BENCH_fleet.json; do
+for json in BENCH_signing.json BENCH_fleet.json BENCH_attest.json; do
   [ -f "$OUT_DIR/$json" ] && echo "trajectory record: $OUT_DIR/$json"
 done
 
