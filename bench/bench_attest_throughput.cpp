@@ -47,6 +47,7 @@
 #include "core/signer.h"
 #include "crypto/sha256.h"
 #include "net/secure_channel.h"
+#include "obs/trace.h"
 #include "runtime/starter.h"
 #include "server/cas_server.h"
 #include "workload/testbed.h"
@@ -270,6 +271,9 @@ int main(int argc, char** argv) {
   }
 
   // --- worker sweep: full sessions, quote verification on every one ----
+  // Phase attribution restarts here so the per-phase quantiles cover the
+  // sweep, not the warm-up (quantiles are not delta-able).
+  obs::Tracer::instance().reset_phases();
   const std::size_t tokens_before = bed.cas().tokens_used();
   std::vector<SweepResult> results;
   std::uint64_t total_failed = 0;
@@ -291,6 +295,18 @@ int main(int argc, char** argv) {
                 r.rps, r.p50_ms, r.p99_ms,
                 static_cast<unsigned long long>(r.stripe_collisions),
                 static_cast<unsigned long long>(r.open_sessions));
+
+  // Per-phase latency attribution across the sweep (tracing stayed ON the
+  // whole run — the <3% throughput budget vs the committed baseline is
+  // the cost gate for exactly this).
+  const auto phases = obs::Tracer::instance().phase_summaries();
+  std::printf("\nper-phase latency attribution (tracing enabled):\n");
+  std::printf("  %-24s %10s %12s %12s\n", "phase", "count", "p50", "p99");
+  for (const auto& ph : phases)
+    std::printf("  %-24s %10llu %10.1fus %10.1fus\n", ph.name,
+                static_cast<unsigned long long>(ph.stats.count),
+                static_cast<double>(ph.stats.p50.count()) / 1e3,
+                static_cast<double>(ph.stats.p99.count()) / 1e3);
 
   // Correctness invariants: nothing failed, and every prepared token was
   // spent exactly once (the striped spend store never double-spends or
@@ -346,6 +362,19 @@ int main(int argc, char** argv) {
             static_cast<unsigned long long>(r.stripe_collisions),
             static_cast<unsigned long long>(r.open_sessions),
             i + 1 < results.size() ? "," : "");
+      }
+      std::fprintf(f, "  ],\n");
+      std::fprintf(f, "  \"phases\": [\n");
+      for (std::size_t i = 0; i < phases.size(); ++i) {
+        const auto& ph = phases[i];
+        std::fprintf(
+            f,
+            "    {\"name\": \"%s\", \"count\": %llu, \"p50_us\": %.1f, "
+            "\"p99_us\": %.1f, \"mean_us\": %.1f}%s\n",
+            ph.name, static_cast<unsigned long long>(ph.stats.count),
+            static_cast<double>(ph.stats.p50.count()) / 1e3,
+            static_cast<double>(ph.stats.p99.count()) / 1e3, static_cast<double>(ph.stats.mean().count()) / 1e3,
+            i + 1 < phases.size() ? "," : "");
       }
       std::fprintf(f, "  ],\n");
       std::fprintf(f,

@@ -353,10 +353,25 @@ int main(int argc, char** argv) {
       std::fprintf(f,
                    "  \"open_loop\": {\"ops_per_sec\": %.1f, \"p50_ms\": "
                    "%.3f, \"p99_ms\": %.3f, \"sustained_in_flight\": %.1f, "
-                   "\"max_in_flight\": %llu}\n}\n",
+                   "\"max_in_flight\": %llu},\n",
                    run.requests_per_sec(), FpMillis(run.latency.p50).count(),
                    FpMillis(run.latency.p99).count(), run.sustained_in_flight,
                    static_cast<unsigned long long>(run.max_in_flight));
+      // Per-phase attribution of the open-loop window (the load generator
+      // scopes the tracer's phase histograms to its run).
+      std::fprintf(f, "  \"phases\": [\n");
+      for (std::size_t i = 0; i < run.phases.size(); ++i) {
+        const auto& ph = run.phases[i];
+        std::fprintf(
+            f,
+            "    {\"name\": \"%s\", \"count\": %llu, \"p50_us\": %.1f, "
+            "\"p99_us\": %.1f, \"mean_us\": %.1f}%s\n",
+            ph.name, static_cast<unsigned long long>(ph.stats.count),
+            static_cast<double>(ph.stats.p50.count()) / 1e3,
+            static_cast<double>(ph.stats.p99.count()) / 1e3, static_cast<double>(ph.stats.mean().count()) / 1e3,
+            i + 1 < run.phases.size() ? "," : "");
+      }
+      std::fprintf(f, "  ]\n}\n");
       std::fclose(f);
       std::printf("\nwrote %s\n", json_path);
     } else {

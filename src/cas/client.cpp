@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/error.h"
+#include "obs/trace.h"
 
 namespace sinclave::cas {
 
@@ -15,6 +16,29 @@ namespace {
 Status transport_status(const std::exception& e) {
   return Status(StatusCode::kUnavailable, e.what());
 }
+
+/// Client-side trace root: opens a TraceScope for the operation and
+/// records its depth-0 root span on destruction, so client-perceived
+/// latency (attempts, backoff sleeps, handshake crypto) shows up in the
+/// same phase histograms and rings as the server side.
+struct RootScope {
+  obs::Phase& root;
+  obs::TraceContext ctx;
+  std::int64_t start_ns;
+  obs::TraceScope scope;
+
+  RootScope(obs::Phase& root_phase, std::uint64_t request_id)
+      : root(root_phase),
+        ctx{obs::Tracer::instance().new_trace_id(), request_id, 0},
+        start_ns(obs::Tracer::now_ns()),
+        scope(ctx) {}
+  ~RootScope() {
+    if (ctx.active()) {
+      obs::Tracer::instance().record_phase_root(root, ctx, start_ns,
+                                                obs::Tracer::now_ns());
+    }
+  }
+};
 
 }  // namespace
 
@@ -106,12 +130,22 @@ InstanceResult CasClient::get_instance(
   request.session_name = session_name;
   request.common_sigstruct = common_sigstruct;
 
+  static obs::Phase& p_root =
+      obs::Tracer::instance().phase("client_get_instance");
+  static obs::Phase& p_attempt =
+      obs::Tracer::instance().phase("client_attempt");
+  static obs::Phase& p_backoff =
+      obs::Tracer::instance().phase("client_backoff");
+  RootScope rs(p_root, 0);
+
   InstanceResult result;
   auto backoff = core_->config.retry.initial_backoff;
   for (std::size_t attempt = 1;; ++attempt) {
     const std::uint64_t id =
         core_->next_request_id.fetch_add(1, std::memory_order_relaxed);
+    rs.ctx.request_id = id;  // the root carries the last attempt's id
     try {
+      obs::Span span(p_attempt);
       result = decode_response(
           core_->connection().call(encode_request(request, id)), id);
     } catch (const Error& e) {
@@ -122,6 +156,50 @@ InstanceResult CasClient::get_instance(
       core_->drop_connection();
     }
     result.attempts = attempt;
+    if (!result.status.retryable() ||
+        attempt >= core_->config.retry.max_attempts)
+      return result;
+    if (backoff.count() > 0) {
+      obs::Span span(p_backoff);
+      std::this_thread::sleep_for(backoff);
+    }
+    backoff *= 2;
+  }
+}
+
+IntrospectResponse CasClient::introspect(const IntrospectRequest& request) {
+  static obs::Phase& p_root =
+      obs::Tracer::instance().phase("client_introspect");
+  static obs::Phase& p_attempt =
+      obs::Tracer::instance().phase("client_attempt");
+  RootScope rs(p_root, 0);
+
+  IntrospectResponse result;
+  auto backoff = core_->config.retry.initial_backoff;
+  for (std::size_t attempt = 1;; ++attempt) {
+    const std::uint64_t id =
+        core_->next_request_id.fetch_add(1, std::memory_order_relaxed);
+    rs.ctx.request_id = id;
+    Envelope env;
+    env.command = Command::kIntrospect;
+    env.request_id = id;
+    env.payload = request.serialize();
+    try {
+      obs::Span span(p_attempt);
+      const Bytes raw = core_->connection().call(env.serialize());
+      const Envelope reply = Envelope::deserialize(raw);
+      if (reply.command != Command::kIntrospect || reply.request_id != id) {
+        result = IntrospectResponse{};
+        result.status = Status(StatusCode::kInternal,
+                               "response does not match request");
+      } else {
+        result = IntrospectResponse::deserialize(reply.payload);
+      }
+    } catch (const Error& e) {
+      result = IntrospectResponse{};
+      result.status = transport_status(e);
+      core_->drop_connection();
+    }
     if (!result.status.retryable() ||
         attempt >= core_->config.retry.max_attempts)
       return result;
@@ -197,14 +275,20 @@ AttestedChannel::AttestedChannel(net::SimNetwork* net,
 
 Status AttestedChannel::attest(const crypto::RsaPublicKey& cas_identity,
                                const AttestPayload& payload) {
+  static obs::Phase& p_root =
+      obs::Tracer::instance().phase("client_attest");
+  static obs::Phase& p_handshake =
+      obs::Tracer::instance().phase("client_handshake");
   Envelope env;
   env.command = Command::kAttest;
   env.request_id = next_request_id_++;
   env.payload = payload.serialize();
+  RootScope rs(p_root, env.request_id);
 
   std::optional<Bytes> accepted;
   StatusCode rejected = StatusCode::kAttestationRejected;
   try {
+    obs::Span span(p_handshake);
     accepted = client_.connect(net_->connect(cas_address_), cas_identity,
                                env.serialize(), &rejected);
   } catch (const net::IdentityMismatchError&) {
@@ -220,15 +304,20 @@ Status AttestedChannel::attest(const crypto::RsaPublicKey& cas_identity,
 }
 
 Result<AppConfig> AttestedChannel::get_config() {
+  static obs::Phase& p_root =
+      obs::Tracer::instance().phase("client_get_config");
+  static obs::Phase& p_call = obs::Tracer::instance().phase("client_call");
   if (!client_.connected())
     return Status(StatusCode::kSessionNotAttested, "channel not attested");
 
   Envelope env;
   env.command = Command::kGetConfig;
   env.request_id = next_request_id_++;
+  RootScope rs(p_root, env.request_id);
 
   Bytes plaintext;
   try {
+    obs::Span span(p_call);
     plaintext = client_.call(env.serialize());
   } catch (const Error& e) {
     return transport_status(e);

@@ -83,6 +83,12 @@ class CasClient {
   InstanceResult get_instance(const std::string& session_name,
                               const sgx::SigStruct& common_sigstruct);
 
+  /// Fetch the server's observability snapshot — metrics in the requested
+  /// format plus recent and slow traces — over the instance endpoint
+  /// (Command::kIntrospect). Same retry/reconnect behavior as
+  /// get_instance; a pre-introspection server answers kUnknownCommand.
+  IntrospectResponse introspect(const IntrospectRequest& request = {});
+
   /// Completion-token retrieval over SimNetwork::async_call: returns after
   /// dispatch; `callback` runs exactly once, on whatever thread completes
   /// the request — even if this CasClient has been destroyed by then (the

@@ -13,6 +13,8 @@ const char* to_string(Command command) {
       return "get-config";
     case Command::kAttest:
       return "attest";
+    case Command::kIntrospect:
+      return "introspect";
   }
   return "unknown";
 }
@@ -51,6 +53,15 @@ bool Envelope::matches(ByteView data) {
                               static_cast<std::uint32_t>(data[2]) << 16 |
                               static_cast<std::uint32_t>(data[3]) << 24;
   return magic == kEnvelopeMagic;
+}
+
+std::optional<std::uint64_t> Envelope::peek_request_id(ByteView data) {
+  // magic u32 | version u16 | command u8 | flags u8 | request_id u64
+  if (!matches(data) || data.size() < 16) return std::nullopt;
+  std::uint64_t id = 0;
+  for (std::size_t i = 0; i < 8; ++i)
+    id |= static_cast<std::uint64_t>(data[8 + i]) << (8 * i);
+  return id;
 }
 
 Envelope Envelope::reply(Bytes response_payload) const {
@@ -265,6 +276,86 @@ ConfigResponse ConfigResponse::deserialize_v0(ByteView data) {
   return resp;
 }
 
+Bytes IntrospectRequest::serialize() const {
+  ByteWriter w;
+  w.u32(max_traces);
+  w.u8(include_slow ? 1 : 0);
+  w.u8(static_cast<std::uint8_t>(format));
+  return std::move(w).take();
+}
+
+IntrospectRequest IntrospectRequest::deserialize(ByteView data) {
+  IntrospectRequest req;
+  if (data.empty()) return req;  // bare envelope: all defaults
+  ByteReader r(data);
+  req.max_traces = r.u32();
+  req.include_slow = r.u8() != 0;
+  req.format = static_cast<MetricsFormat>(r.u8());
+  r.expect_done();
+  return req;
+}
+
+void TraceReport::write(ByteWriter& w) const {
+  w.u64(trace_id);
+  w.u64(request_id);
+  w.u64(session_id);
+  w.u64(static_cast<std::uint64_t>(duration_ns));
+  w.u32(static_cast<std::uint32_t>(phases.size()));
+  for (const Phase& p : phases) {
+    w.str(p.name);
+    w.u32(p.depth);
+    w.u64(static_cast<std::uint64_t>(p.offset_ns));
+    w.u64(static_cast<std::uint64_t>(p.duration_ns));
+  }
+}
+
+TraceReport TraceReport::read(ByteReader& r) {
+  TraceReport t;
+  t.trace_id = r.u64();
+  t.request_id = r.u64();
+  t.session_id = r.u64();
+  t.duration_ns = static_cast<std::int64_t>(r.u64());
+  const std::uint32_t n = r.u32();
+  t.phases.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Phase p;
+    p.name = r.str();
+    p.depth = r.u32();
+    p.offset_ns = static_cast<std::int64_t>(r.u64());
+    p.duration_ns = static_cast<std::int64_t>(r.u64());
+    t.phases.push_back(std::move(p));
+  }
+  return t;
+}
+
+Bytes IntrospectResponse::serialize() const {
+  ByteWriter w;
+  write_status(w, status);
+  w.str(metrics);
+  w.u32(static_cast<std::uint32_t>(traces.size()));
+  for (const TraceReport& t : traces) t.write(w);
+  w.u32(static_cast<std::uint32_t>(slow_traces.size()));
+  for (const TraceReport& t : slow_traces) t.write(w);
+  return std::move(w).take();
+}
+
+IntrospectResponse IntrospectResponse::deserialize(ByteView data) {
+  ByteReader r(data);
+  IntrospectResponse resp;
+  resp.status = read_status(r);
+  resp.metrics = r.str();
+  const std::uint32_t n_traces = r.u32();
+  resp.traces.reserve(n_traces);
+  for (std::uint32_t i = 0; i < n_traces; ++i)
+    resp.traces.push_back(TraceReport::read(r));
+  const std::uint32_t n_slow = r.u32();
+  resp.slow_traces.reserve(n_slow);
+  for (std::uint32_t i = 0; i < n_slow; ++i)
+    resp.slow_traces.push_back(TraceReport::read(r));
+  r.expect_done();
+  return resp;
+}
+
 // --- shared frontend glue ---------------------------------------------------
 
 namespace {
@@ -305,6 +396,12 @@ std::optional<Bytes> gate_envelope(const Envelope& env, Command expected,
 }  // namespace
 
 Bytes serve_instance_frame(ByteView raw, const InstanceHandler& handler,
+                           FrameInfo* info) {
+  return serve_instance_frame(raw, handler, IntrospectHandler{}, info);
+}
+
+Bytes serve_instance_frame(ByteView raw, const InstanceHandler& handler,
+                           const IntrospectHandler& introspect,
                            FrameInfo* info) {
   const auto error_payload = [](StatusCode code) {
     InstanceResponse resp;
@@ -357,6 +454,35 @@ Bytes serve_instance_frame(ByteView raw, const InstanceHandler& handler,
     Envelope out;
     out.payload = error_payload(StatusCode::kMalformedRequest);
     return out.serialize();
+  }
+
+  if (env.command == Command::kIntrospect && introspect != nullptr) {
+    // The introspect branch answers with IntrospectResponse-shaped
+    // payloads (the Status prefix layout is shared, so even a client that
+    // guessed the wrong command can decode the refusal).
+    const auto introspect_error = [](StatusCode code) {
+      IntrospectResponse resp;
+      resp.status = Status(code);
+      return resp.serialize();
+    };
+    if (auto rejected =
+            gate_envelope(env, Command::kIntrospect, introspect_error, info))
+      return std::move(*rejected);
+    IntrospectResponse resp;
+    try {
+      const IntrospectRequest req = IntrospectRequest::deserialize(env.payload);
+      try {
+        resp = introspect(req);
+      } catch (const Error&) {
+        resp = IntrospectResponse{};
+        resp.status = Status(StatusCode::kInternal);
+      }
+    } catch (const Error&) {
+      resp = IntrospectResponse{};
+      resp.status = Status(StatusCode::kMalformedRequest);
+    }
+    if (info != nullptr) info->status = resp.status.code;
+    return env.reply(resp.serialize()).serialize();
   }
 
   if (auto rejected =

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/serial.h"
 #include "common/status.h"
 #include "core/instance_page.h"
 #include "quote/quote.h"
@@ -61,6 +62,10 @@ enum class Command : std::uint8_t {
   kGetConfig = 2,
   /// Attested endpoint: the handshake payload (quote + token).
   kAttest = 3,
+  /// Instance endpoint: observability introspection — metrics snapshot,
+  /// recent traces, slow-request log. Envelope-only (v1+): there is no
+  /// legacy encoding because no v0 peer ever spoke it.
+  kIntrospect = 4,
 };
 
 /// Stable name for logs/metrics ("get-instance", ...).
@@ -80,6 +85,12 @@ struct Envelope {
 
   /// Response envelope echoing this request's command and id.
   Envelope reply(Bytes response_payload) const;
+
+  /// Cheap header peek: the request id of an enveloped frame without
+  /// decoding (or validating) the payload — what the event-driven
+  /// frontend stamps into a TraceContext at accept time, before any
+  /// worker touches the frame. Nullopt for legacy/truncated frames.
+  static std::optional<std::uint64_t> peek_request_id(ByteView data);
 };
 
 // --- messages ---------------------------------------------------------------
@@ -157,6 +168,63 @@ struct ConfigResponse {
   static ConfigResponse deserialize_v0(ByteView data);
 };
 
+/// How an IntrospectResponse's metrics snapshot is rendered.
+enum class MetricsFormat : std::uint8_t {
+  kJson = 0,
+  kPrometheus = 1,
+  kText = 2,
+};
+
+/// Client -> CAS (instance endpoint, envelope payload of kIntrospect).
+/// An EMPTY payload is valid and means "all defaults" — a debugging
+/// client can poke the endpoint with a bare envelope.
+struct IntrospectRequest {
+  /// Most recent completed traces to return (bounded server-side).
+  std::uint32_t max_traces = 8;
+  bool include_slow = true;
+  MetricsFormat format = MetricsFormat::kJson;
+
+  Bytes serialize() const;
+  static IntrospectRequest deserialize(ByteView data);
+};
+
+/// One completed trace on the wire: the span tree flattened in start
+/// order, offsets relative to the trace start (absolute steady-clock
+/// timestamps are meaningless across processes).
+struct TraceReport {
+  std::uint64_t trace_id = 0;
+  std::uint64_t request_id = 0;
+  std::uint64_t session_id = 0;
+  std::int64_t duration_ns = 0;
+
+  struct Phase {
+    std::string name;
+    std::uint32_t depth = 0;
+    std::int64_t offset_ns = 0;  // from trace start
+    std::int64_t duration_ns = 0;
+  };
+  std::vector<Phase> phases;
+
+  void write(ByteWriter& w) const;
+  static TraceReport read(ByteReader& r);
+};
+
+/// CAS -> client. Metrics/traces meaningful only when status.ok().
+struct IntrospectResponse {
+  Status status{StatusCode::kInternal};
+  /// Registry snapshot rendered in the requested MetricsFormat.
+  std::string metrics;
+  /// Most recent completed traces, newest first.
+  std::vector<TraceReport> traces;
+  /// Retained slow-request log, oldest first (empty if not requested).
+  std::vector<TraceReport> slow_traces;
+
+  bool ok() const { return status.ok(); }
+
+  Bytes serialize() const;
+  static IntrospectResponse deserialize(ByteView data);
+};
+
 /// Map a legacy (v0) error string back to its StatusCode. Strings that are
 /// not canonical messages decode as kInternal with the string preserved as
 /// the detail.
@@ -184,6 +252,18 @@ using InstanceHandler =
 /// exceptions kInternal. Used verbatim by CasService::bind and
 /// server::CasServer so the two frontends answer identically.
 Bytes serve_instance_frame(ByteView raw, const InstanceHandler& handler,
+                           FrameInfo* info = nullptr);
+
+using IntrospectHandler =
+    std::function<IntrospectResponse(const IntrospectRequest&)>;
+
+/// serve_instance_frame with the observability command wired in: frames
+/// carrying Command::kIntrospect dispatch to `introspect` (version-gated
+/// like everything else; a null handler answers kUnknownCommand exactly
+/// as the overload above does, so frontends without introspection stay
+/// indistinguishable from older servers).
+Bytes serve_instance_frame(ByteView raw, const InstanceHandler& handler,
+                           const IntrospectHandler& introspect,
                            FrameInfo* info = nullptr);
 
 using ConfigHandler = std::function<ConfigResponse()>;

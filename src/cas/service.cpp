@@ -1,9 +1,12 @@
 #include "cas/service.h"
 
+#include <algorithm>
+
 #include "common/serial.h"
 #include "core/on_demand.h"
 #include "core/predictor.h"
 #include "crypto/sha256.h"
+#include "obs/trace.h"
 
 namespace sinclave::cas {
 
@@ -64,6 +67,31 @@ CasService::CasService(quote::AttestationService* attestation,
                  crypto::Drbg(rng_.generate(16), "cas-db-nonces")) {
   if (attestation_ == nullptr)
     throw Error("cas: attestation service required");
+
+  // The service's own collector: token accounting, the token-minting DRBG
+  // pool, the secure endpoint's frame classification, and the secure
+  // channel's raw stats (under channel_* names; the serving layer's
+  // ServerMetrics mirror keeps its own secure_* spellings). The registry
+  // dies with the service, so `this` cannot dangle.
+  registry_.add_collector([this](obs::MetricsSnapshot& snap) {
+    snap.gauge("tokens_outstanding", tokens_outstanding());
+    snap.counter("tokens_spent", tokens_used());
+    snap.counter("token_rng_stripe_collisions", token_rng_.collisions());
+    const SecureFrameStats frames = secure_frame_stats();
+    snap.counter("secure_attest_legacy_frames", frames.attest_legacy);
+    snap.counter("secure_attest_envelope_frames", frames.attest_envelope);
+    snap.counter("secure_config_legacy_frames", frames.config_legacy);
+    snap.counter("secure_config_envelope_frames", frames.config_envelope);
+    // ensure_secure_server(): call_once is the synchronization that makes
+    // secure_server_ safely readable here (a bare null check would race
+    // a first handshake on another thread).
+    const net::SecureServer::Stats s = secure_channel_stats();
+    snap.counter("channel_sessions_opened", s.sessions_opened);
+    snap.counter("channel_handshakes_rejected", s.handshakes_rejected);
+    snap.counter("channel_stripe_collisions", s.stripe_collisions);
+    snap.gauge("channel_sessions_high_water", s.sessions_high_water);
+    snap.gauge("channel_open_sessions", s.open_sessions);
+  });
 }
 
 CasService::TokenStripe& CasService::token_stripe(
@@ -109,6 +137,10 @@ void CasService::set_policy_cache(PolicyCache* cache) {
 
 std::optional<Policy> CasService::get_policy(
     const std::string& session_name) const {
+  // "policy_load" covers the whole lookup — cache hit or decrypt+parse —
+  // so the phase histogram shows the cache doing its job (bimodal split).
+  static obs::Phase& p_policy = obs::Tracer::instance().phase("policy_load");
+  obs::Span span(p_policy);
   if (PolicyCache* cache = policy_cache_.load()) {
     auto cached = cache->get(session_name);
     if (cached.has_value()) return cached;
@@ -148,7 +180,31 @@ void CasService::ensure_secure_server() {
 
 Bytes CasService::handle_secure(ByteView raw) {
   ensure_secure_server();
-  return secure_server_->handle(raw);
+  obs::Tracer& tracer = obs::Tracer::instance();
+  // The event-driven frontend (server::CasServer) opens its own scope on
+  // the worker before calling in and records its own root; only open one
+  // here when this is the outermost traced entry (the bind() frontend or
+  // a direct caller).
+  if (obs::TraceScope::active() || !tracer.enabled())
+    return secure_server_->handle(raw);
+
+  obs::TraceContext ctx;
+  ctx.trace_id = tracer.new_trace_id();
+  ctx.session_id = net::peek_session_id(raw).value_or(0);
+  obs::TraceScope scope(ctx);
+  const std::int64_t start = obs::Tracer::now_ns();
+  const net::RecordType type = net::classify_record(raw);
+  Bytes out = secure_server_->handle(raw);
+  static obs::Phase& p_attest = tracer.phase("request_attest");
+  static obs::Phase& p_config = tracer.phase("request_get_config");
+  static obs::Phase& p_unknown = tracer.phase("request_secure_unknown");
+  obs::Phase& root = type == net::RecordType::kHandshake ? p_attest
+                     : type == net::RecordType::kData    ? p_config
+                                                         : p_unknown;
+  // The scope carries the session id the handshake bound mid-request.
+  tracer.record_phase_root(root, obs::TraceScope::current(), start,
+                           obs::Tracer::now_ns());
+  return out;
 }
 
 net::SecureServer::Stats CasService::secure_channel_stats() {
@@ -161,9 +217,31 @@ void CasService::bind(net::SimNetwork& net, const std::string& address) {
     // Envelope/legacy decode, version gate, and malformed-input handling
     // all live in serve_instance_frame — shared with server::CasServer so
     // the two frontends answer identically.
-    return serve_instance_frame(raw, [this](const InstanceRequest& req) {
-      return handle_instance(req);
-    });
+    obs::Tracer& tracer = obs::Tracer::instance();
+    obs::TraceContext ctx;
+    ctx.trace_id = tracer.new_trace_id();
+    ctx.request_id = Envelope::peek_request_id(raw).value_or(0);
+    obs::TraceScope scope(ctx);
+    const std::int64_t start = obs::Tracer::now_ns();
+    FrameInfo frame;
+    Bytes out = serve_instance_frame(
+        raw,
+        [this](const InstanceRequest& req) { return handle_instance(req); },
+        [this](const IntrospectRequest& req) {
+          return handle_introspect(req);
+        },
+        &frame);
+    if (ctx.active()) {
+      static obs::Phase& p_instance =
+          tracer.phase("request_get_instance");
+      static obs::Phase& p_introspect =
+          tracer.phase("request_introspect");
+      tracer.record_phase_root(frame.command == Command::kIntrospect
+                                   ? p_introspect
+                                   : p_instance,
+                               ctx, start, obs::Tracer::now_ns());
+    }
+    return out;
   });
 
   ensure_secure_server();
@@ -180,6 +258,8 @@ MintedCredential CasService::mint_credential(
 std::vector<MintedCredential> CasService::mint_batch(
     const Policy& policy, const sgx::SigStruct& common_sigstruct,
     std::size_t count, InstanceTimings* timings) {
+  static obs::Phase& p_mint = obs::Tracer::instance().phase("mint");
+  obs::Span span(p_mint);
   if (!policy.require_singleton || !policy.base_hash.has_value())
     throw Error("cas: policy is not configured for singleton enclaves");
 
@@ -322,6 +402,11 @@ std::optional<Bytes> CasService::on_handshake(ByteView client_payload,
   // no oracle; the fine-grained Verdict is server-side observability.
   FrameInfo frame;
   const auto decoded = decode_attest_payload(client_payload, &frame);
+  // Legacy-vs-envelope classification lives here, past the encryption
+  // boundary, where the plaintext flavor is actually visible; the serving
+  // layer mirrors these into its per-command metrics at snapshot time.
+  (frame.legacy ? attest_legacy_frames_ : attest_envelope_frames_)
+      .fetch_add(1, std::memory_order_relaxed);
   if (!decoded.has_value()) {
     if (reject_status != nullptr && is_protocol_level(frame.status))
       *reject_status = frame.status;
@@ -337,7 +422,11 @@ std::optional<Bytes> CasService::on_handshake(ByteView client_payload,
   }
 
   // 1. Quote genuineness (the TEE provider's attestation service).
-  const quote::QuoteVerification qv = attestation_->verify(payload.quote);
+  const quote::QuoteVerification qv = [&] {
+    static obs::Phase& p_check = obs::Tracer::instance().phase("quote_check");
+    obs::Span span(p_check);
+    return attestation_->verify(payload.quote);
+  }();
   if (!qv.ok()) {
     verdict(qv.verdict);
     return std::nullopt;
@@ -373,6 +462,9 @@ std::optional<Bytes> CasService::on_handshake(ByteView client_payload,
     // one can ever flip `used`; attestations of different tokens proceed
     // on different stripes in parallel.
     {
+      static obs::Phase& p_spend =
+          obs::Tracer::instance().phase("token_spend");
+      obs::Span spend_span(p_spend);  // covers stripe-lock wait + spend
       TokenStripe& stripe = token_stripe(*payload.token);
       std::lock_guard lock(stripe.m);
       const auto it = stripe.tokens.find(*payload.token);
@@ -415,6 +507,21 @@ std::optional<Bytes> CasService::on_handshake(ByteView client_payload,
 }
 
 Bytes CasService::on_request(std::uint64_t session_id, ByteView plaintext) {
+  static obs::Phase& p_serve = obs::Tracer::instance().phase("config_serve");
+  FrameInfo frame;
+  Bytes out;
+  {
+    obs::Span span(p_serve);
+    out = serve_config_frame_inner(session_id, plaintext, &frame);
+  }
+  (frame.legacy ? config_legacy_frames_ : config_envelope_frames_)
+      .fetch_add(1, std::memory_order_relaxed);
+  return out;
+}
+
+Bytes CasService::serve_config_frame_inner(std::uint64_t session_id,
+                                           ByteView plaintext,
+                                           FrameInfo* frame) {
   return serve_config_frame(plaintext, [this, session_id]() {
     ConfigResponse resp;
     std::string session_name;
@@ -437,7 +544,75 @@ Bytes CasService::on_request(std::uint64_t session_id, ByteView plaintext) {
     resp.status = Status();
     resp.config = policy->config;
     return resp;
-  });
+  }, frame);
+}
+
+CasService::SecureFrameStats CasService::secure_frame_stats() const {
+  SecureFrameStats s;
+  s.attest_legacy = attest_legacy_frames_.load(std::memory_order_relaxed);
+  s.attest_envelope = attest_envelope_frames_.load(std::memory_order_relaxed);
+  s.config_legacy = config_legacy_frames_.load(std::memory_order_relaxed);
+  s.config_envelope = config_envelope_frames_.load(std::memory_order_relaxed);
+  return s;
+}
+
+namespace {
+
+TraceReport to_report(const obs::Trace& trace) {
+  TraceReport report;
+  report.trace_id = trace.trace_id;
+  report.request_id = trace.request_id;
+  report.session_id = trace.session_id;
+  report.duration_ns = trace.duration_ns();
+  report.phases.reserve(trace.spans.size());
+  for (const obs::CollectedSpan& span : trace.spans) {
+    TraceReport::Phase p;
+    p.name = span.name;
+    p.depth = span.depth;
+    p.offset_ns = span.start_ns - trace.start_ns;
+    p.duration_ns = span.duration_ns();
+    report.phases.push_back(std::move(p));
+  }
+  return report;
+}
+
+}  // namespace
+
+IntrospectResponse CasService::handle_introspect(
+    const IntrospectRequest& request) {
+  IntrospectResponse resp;
+  if (request.format != MetricsFormat::kJson &&
+      request.format != MetricsFormat::kPrometheus &&
+      request.format != MetricsFormat::kText) {
+    resp.status = Status(StatusCode::kMalformedRequest, "unknown format");
+    return resp;
+  }
+
+  const obs::MetricsSnapshot snap = registry_.snapshot();
+  switch (request.format) {
+    case MetricsFormat::kPrometheus:
+      resp.metrics = snap.to_prometheus();
+      break;
+    case MetricsFormat::kText:
+      resp.metrics = snap.to_text();
+      break;
+    case MetricsFormat::kJson:
+      resp.metrics = snap.to_json();
+      break;
+  }
+
+  obs::Tracer& tracer = obs::Tracer::instance();
+  // Server-side cap: introspection is a debugging endpoint, not a bulk
+  // trace exporter.
+  const std::size_t cap = std::min<std::uint32_t>(request.max_traces, 64);
+  for (const obs::Trace& trace : tracer.collect(cap))
+    resp.traces.push_back(to_report(trace));
+  if (request.include_slow) {
+    for (const obs::Trace& trace : tracer.slow_traces())
+      resp.slow_traces.push_back(to_report(trace));
+  }
+  resp.status = Status();
+  return resp;
 }
 
 CasService::InstanceTimings CasService::last_instance_timings() const {

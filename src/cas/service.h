@@ -45,6 +45,7 @@
 #include "fs/encrypted_volume.h"
 #include "net/secure_channel.h"
 #include "net/sim_network.h"
+#include "obs/registry.h"
 #include "quote/attestation_service.h"
 
 namespace sinclave::cas {
@@ -196,12 +197,38 @@ class CasService {
   /// the secure server if it has not served yet.
   net::SecureServer::Stats secure_channel_stats();
 
+  /// The unified metrics registry every layer's collectors plug into:
+  /// CasService registers its own collector (tokens, secure-channel
+  /// counters, legacy/envelope frame split) at construction, and serving
+  /// frontends (server::CasServer) add theirs on top. Snapshots are cold;
+  /// nothing on the record path touches this.
+  obs::MetricsRegistry& metrics_registry() { return registry_; }
+
+  /// Legacy-vs-envelope classification of the secure endpoint's frames.
+  /// The split happens here — past the encryption boundary — because the
+  /// serving layer only sees ciphertext (the documented legacy_frames gap
+  /// in server/metrics.h). Counted per frame served, including rejects.
+  struct SecureFrameStats {
+    std::uint64_t attest_legacy = 0;
+    std::uint64_t attest_envelope = 0;
+    std::uint64_t config_legacy = 0;
+    std::uint64_t config_envelope = 0;
+  };
+  SecureFrameStats secure_frame_stats() const;
+
+  /// Observability introspection (Command::kIntrospect on the instance
+  /// endpoint of either frontend): registry snapshot in the requested
+  /// format plus recent/slow traces from the process-wide tracer.
+  IntrospectResponse handle_introspect(const IntrospectRequest& request);
+
  private:
   std::optional<Bytes> on_handshake(ByteView client_payload,
                                     ByteView client_dh,
                                     std::uint64_t session_id,
                                     StatusCode* reject_status);
   Bytes on_request(std::uint64_t session_id, ByteView plaintext);
+  Bytes serve_config_frame_inner(std::uint64_t session_id, ByteView plaintext,
+                                 FrameInfo* frame);
   void ensure_secure_server();
 
   struct PendingToken {
@@ -262,6 +289,14 @@ class CasService {
   mutable std::mutex observe_mutex_;  // guards the two "last_*" fields
   InstanceTimings last_timings_;
   Verdict last_attest_verdict_ = Verdict::kOk;
+
+  /// Secure-endpoint frame classification (see SecureFrameStats).
+  std::atomic<std::uint64_t> attest_legacy_frames_{0};
+  std::atomic<std::uint64_t> attest_envelope_frames_{0};
+  std::atomic<std::uint64_t> config_legacy_frames_{0};
+  std::atomic<std::uint64_t> config_envelope_frames_{0};
+
+  obs::MetricsRegistry registry_;
 };
 
 }  // namespace sinclave::cas

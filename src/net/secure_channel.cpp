@@ -7,6 +7,7 @@
 #include "common/serial.h"
 #include "crypto/hkdf.h"
 #include "crypto/sha256.h"
+#include "obs/trace.h"
 
 namespace sinclave::net {
 
@@ -111,6 +112,15 @@ RecordType classify_record(ByteView raw) {
   return RecordType::kUnknown;
 }
 
+std::optional<std::uint64_t> peek_session_id(ByteView raw) {
+  // Data record: u8 kMsgData | u64 session_id (LE) | u64 counter | bytes.
+  if (raw.size() < 9 || raw[0] != kMsgData) return std::nullopt;
+  std::uint64_t id = 0;
+  for (std::size_t i = 0; i < 8; ++i)
+    id |= static_cast<std::uint64_t>(raw[1 + i]) << (8 * i);
+  return id;
+}
+
 // ---------------------------------------------------------------------------
 // Server
 // ---------------------------------------------------------------------------
@@ -161,14 +171,23 @@ Bytes SecureServer::handle_handshake(ByteReader& r) {
 
   const std::uint64_t session_id =
       next_session_.fetch_add(1, std::memory_order_relaxed);
+  // Bind the freshly-allocated session into any active trace so the
+  // handshake phases below are attributable to it.
+  obs::TraceScope::set_session(session_id);
 
   // The quote-verification hook — the expensive part of every attested
   // handshake — runs with no lock held: N racing handshakes verify N
   // quotes on N cores.
   SINCLAVE_ASSERT_NO_SECURE_SERVER_LOCK();
   StatusCode reject_status = StatusCode::kAttestationRejected;
-  const auto server_payload =
-      on_handshake_(client_payload, client_dh, session_id, &reject_status);
+  std::optional<Bytes> server_payload;
+  {
+    static obs::Phase& p_verify =
+        obs::Tracer::instance().phase("quote_verify");
+    obs::Span span(p_verify);
+    server_payload =
+        on_handshake_(client_payload, client_dh, session_id, &reject_status);
+  }
   if (!server_payload.has_value()) {
     handshakes_rejected_.fetch_add(1, std::memory_order_relaxed);
     // Rejection record: status byte appended after the rejected marker.
@@ -181,19 +200,35 @@ Bytes SecureServer::handle_handshake(ByteReader& r) {
   // lease is held only for the 48-byte exponent draw; the modexps, the
   // transcript hash, the HKDF expansion, and the RSA identity signature
   // run lock-free.
-  Bytes exponent;
+  Bytes server_pub;
+  Bytes secret;
   {
-    auto lease = rng_.lease();
-    exponent = lease.rng().generate(crypto::DhKeyPair::kExponentBytes);
+    static obs::Phase& p_dh = obs::Tracer::instance().phase("dh_derive");
+    obs::Span span(p_dh);
+    Bytes exponent;
+    {
+      auto lease = rng_.lease();
+      exponent = lease.rng().generate(crypto::DhKeyPair::kExponentBytes);
+    }
+    SINCLAVE_ASSERT_NO_SECURE_SERVER_LOCK();
+    const crypto::DhKeyPair server_dh =
+        crypto::DhKeyPair::from_exponent(exponent);
+    server_pub = server_dh.public_value();
+    secret = server_dh.shared_secret(client_dh);
   }
-  SINCLAVE_ASSERT_NO_SECURE_SERVER_LOCK();
-  const crypto::DhKeyPair server_dh =
-      crypto::DhKeyPair::from_exponent(exponent);
-  const Bytes server_pub = server_dh.public_value();
-  const Bytes secret = server_dh.shared_secret(client_dh);
-  TrafficKeys keys = derive_keys(secret, client_dh, server_pub);
-  const Bytes signature =
-      identity_->sign_pkcs1_sha256(concat({client_dh, server_pub}));
+  TrafficKeys keys;
+  {
+    static obs::Phase& p_hkdf = obs::Tracer::instance().phase("hkdf");
+    obs::Span span(p_hkdf);
+    keys = derive_keys(secret, client_dh, server_pub);
+  }
+  Bytes signature;
+  {
+    static obs::Phase& p_sign =
+        obs::Tracer::instance().phase("identity_sign");
+    obs::Span span(p_sign);
+    signature = identity_->sign_pkcs1_sha256(concat({client_dh, server_pub}));
+  }
 
   // Publish the fully-derived session: the only stripe-lock work on the
   // handshake path is this hash-map insert.
@@ -201,6 +236,9 @@ Bytes SecureServer::handle_handshake(ByteReader& r) {
       crypto::Aead(keys.c2s), crypto::Aead(keys.s2c),
       session_ad("c2s", session_id), session_ad("s2c", session_id));
   {
+    static obs::Phase& p_publish =
+        obs::Tracer::instance().phase("session_publish");
+    obs::Span span(p_publish);
     Stripe& stripe = stripe_for(session_id);
     auto lock = lock_stripe(stripe);
     LockDepthGuard depth;
@@ -228,6 +266,7 @@ Bytes SecureServer::handle_data(ByteReader& r) {
   const std::uint64_t counter = r.u64();
   const Bytes ciphertext = r.bytes();
   r.expect_done();
+  obs::TraceScope::set_session(session_id);
 
   // Stripe lock only for the lookup; the shared_ptr keeps the session
   // (and its keys) alive past any concurrent close_session, so a racing
@@ -255,8 +294,13 @@ Bytes SecureServer::handle_data(ByteReader& r) {
   Session& s = *session;
   // Strictly increasing counters prevent replay within a session.
   if (counter < s.recv_counter) return rejection_record();
-  const auto plaintext =
-      s.c2s.open(view(counter_nonce(counter)), ciphertext, s.ad_c2s);
+  std::optional<Bytes> plaintext;
+  {
+    static obs::Phase& p_open = obs::Tracer::instance().phase("record_open");
+    obs::Span span(p_open);  // span recording never acquires a lock, so
+                             // running under the session lock is fine
+    plaintext = s.c2s.open(view(counter_nonce(counter)), ciphertext, s.ad_c2s);
+  }
   if (!plaintext.has_value()) return rejection_record();
   s.recv_counter = counter + 1;
 
@@ -265,8 +309,12 @@ Bytes SecureServer::handle_data(ByteReader& r) {
   ByteWriter w;
   w.u8(kStatusOk);
   w.u64(send_counter);
-  w.bytes(
-      s.s2c.seal(view(counter_nonce(send_counter)), response, s.ad_s2c));
+  {
+    static obs::Phase& p_seal = obs::Tracer::instance().phase("record_seal");
+    obs::Span span(p_seal);
+    w.bytes(
+        s.s2c.seal(view(counter_nonce(send_counter)), response, s.ad_s2c));
+  }
   return std::move(w).take();
 }
 

@@ -50,6 +50,13 @@ FixedBytes<64> channel_binding(ByteView client_dh_public);
 enum class RecordType : std::uint8_t { kHandshake, kData, kUnknown };
 RecordType classify_record(ByteView raw);
 
+/// Cleartext session id of a data record (the id is transport framing,
+/// not payload — only the payload is encrypted). Nullopt for handshakes,
+/// truncated frames, or non-data records. Lets the event-driven frontend
+/// stamp the session into a TraceContext at accept time, before any
+/// worker decrypts anything.
+std::optional<std::uint64_t> peek_session_id(ByteView raw);
+
 /// Thrown by SecureClient::connect when the server's handshake signature
 /// does not verify under the pinned identity — an active attack, never a
 /// routine rejection. A distinct type so callers (the client SDK) can

@@ -1,0 +1,118 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+
+namespace sinclave::obs {
+
+namespace {
+
+// Geometric bucket boundaries: bound(i) = 1us * 1.5^i, precomputed in
+// integer nanoseconds so bucket_for stays a simple scan (kBuckets is 40;
+// a linear scan of a 40-entry table is cheaper than the log it replaces).
+// Rounded to nearest, not truncated: truncation shaved one nanosecond off
+// boundaries whose exact value is not double-representable, so a sample
+// exactly at the published bound of bucket i landed in bucket i+1.
+constexpr std::array<std::int64_t, LatencyHistogram::kBuckets> kBoundsNs = [] {
+  std::array<std::int64_t, LatencyHistogram::kBuckets> b{};
+  double bound = 1000.0;  // 1 us
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b[i] = static_cast<std::int64_t>(bound + 0.5);
+    bound *= 1.5;
+  }
+  return b;
+}();
+
+}  // namespace
+
+const std::array<std::int64_t, LatencyHistogram::kBuckets>&
+LatencyHistogram::bucket_bounds_ns() {
+  return kBoundsNs;
+}
+
+std::size_t LatencyHistogram::bucket_for(std::chrono::nanoseconds latency) {
+  const std::int64_t ns = latency.count();
+  for (std::size_t i = 0; i < kBuckets; ++i)
+    if (ns <= kBoundsNs[i]) return i;
+  return kBuckets - 1;
+}
+
+std::chrono::nanoseconds LatencyHistogram::bucket_bound(
+    std::chrono::nanoseconds d) {
+  return std::chrono::nanoseconds(
+      kBoundsNs[bucket_for(d.count() < 0 ? std::chrono::nanoseconds{0} : d)]);
+}
+
+void LatencyHistogram::record(std::chrono::nanoseconds latency) {
+  // Clock hiccups (non-monotonic sources, merged snapshots) can hand us a
+  // negative duration; clamp so the sum and quantiles stay meaningful.
+  if (latency.count() < 0) latency = std::chrono::nanoseconds{0};
+  buckets_[bucket_for(latency)].fetch_add(1, std::memory_order_relaxed);
+  sum_ns_.fetch_add(latency.count(), std::memory_order_relaxed);
+  atomic_fetch_max(max_ns_, latency.count());
+}
+
+std::array<std::uint64_t, LatencyHistogram::kBuckets>
+LatencyHistogram::bucket_counts() const {
+  std::array<std::uint64_t, kBuckets> counts;
+  for (std::size_t i = 0; i < kBuckets; ++i)
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  return counts;
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
+  Snapshot s;
+  const std::array<std::uint64_t, kBuckets> counts = bucket_counts();
+  // Count is derived from the buckets themselves (not a separate counter),
+  // so the quantile scan below always walks exactly the samples it counted
+  // — a racing record() can add a sample, never desynchronize the two.
+  for (auto c : counts) s.count += c;
+  s.sum = std::chrono::nanoseconds(
+      std::max<std::int64_t>(0, sum_ns_.load(std::memory_order_relaxed)));
+  s.max = std::chrono::nanoseconds(
+      std::max<std::int64_t>(0, max_ns_.load(std::memory_order_relaxed)));
+  if (s.count == 0) return s;
+
+  const auto quantile = [&](double q) {
+    const std::uint64_t target =
+        static_cast<std::uint64_t>(q * static_cast<double>(s.count - 1)) + 1;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      seen += counts[i];
+      if (seen >= target)
+        return std::chrono::nanoseconds(kBoundsNs[i]);
+    }
+    return s.max;
+  };
+  s.p50 = quantile(0.50);
+  s.p90 = quantile(0.90);
+  s.p99 = quantile(0.99);
+  // Coherence clamps: the observed max is a tighter bound than any bucket
+  // boundary, and a reset/merge racing record() must not be able to
+  // produce p99 > max or unordered quantiles.
+  s.p50 = std::min(s.p50, s.max);
+  s.p90 = std::clamp(s.p90, s.p50, s.max);
+  s.p99 = std::clamp(s.p99, s.p90, s.max);
+  return s;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < kBuckets; ++i)
+    buckets_[i].fetch_add(other.buckets_[i].load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  sum_ns_.fetch_add(
+      std::max<std::int64_t>(0, other.sum_ns_.load(std::memory_order_relaxed)),
+      std::memory_order_relaxed);
+  atomic_fetch_max(max_ns_, other.max_ns_.load(std::memory_order_relaxed));
+}
+
+void LatencyHistogram::reset() {
+  // Zero the max and sum *before* the buckets: a snapshot racing this
+  // reset may then under-report the tail, but can never pair surviving
+  // bucket counts with an already-cleared population and report p99 > max
+  // (snapshot clamps against max, which goes first).
+  max_ns_.store(0, std::memory_order_relaxed);
+  sum_ns_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace sinclave::obs

@@ -1,0 +1,88 @@
+// Wait-free latency histogram — the one quantile tracker every layer
+// shares (moved here from server/metrics.h so the observability layer is
+// the base: server/, net/, cas/ and obs:: itself all record into it).
+//
+// Everything here is wait-free on the record path (relaxed atomics) so the
+// hot path never serializes on observability. Quantiles are read from a
+// fixed geometric bucket layout — each bucket spans x1.5 in latency, from
+// 1 us to ~6.5 s — which bounds the p50/p99 estimation error to the bucket
+// width, the standard tradeoff of histogram-based tail tracking.
+//
+// Coherence contract: record() is safe against concurrent record(),
+// merge(), reset(), and snapshot(). Readers may observe a snapshot that is
+// off by the in-flight samples, but never a torn or self-contradictory one:
+// snapshot() derives count from the buckets themselves, clamps the sum
+// non-negative, and forces p50 <= p90 <= p99 <= max, so a racing reset or
+// merge can skew values, not invariants. Negative durations (clock hiccups)
+// are clamped to zero before they can poison the sum.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace sinclave::obs {
+
+/// Relaxed atomic fetch-max: raise `target` to at least `value`.
+template <typename T>
+inline void atomic_fetch_max(std::atomic<T>& target, T value) {
+  T seen = target.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !target.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 40;
+
+  void record(std::chrono::nanoseconds latency);
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    std::chrono::nanoseconds sum{0};
+    std::chrono::nanoseconds p50{0};
+    std::chrono::nanoseconds p90{0};
+    std::chrono::nanoseconds p99{0};
+    std::chrono::nanoseconds max{0};
+
+    std::chrono::nanoseconds mean() const {
+      if (count == 0) return std::chrono::nanoseconds{0};
+      return std::chrono::nanoseconds(
+          sum.count() / static_cast<std::int64_t>(count));
+    }
+  };
+
+  /// Consistent-enough snapshot: see the coherence contract above.
+  Snapshot snapshot() const;
+
+  /// Raw per-bucket counts (same coherence as snapshot) — what the
+  /// Prometheus/JSON exporters render as the full bucket series.
+  std::array<std::uint64_t, kBuckets> bucket_counts() const;
+
+  /// The fixed geometric bucket upper bounds, in integer nanoseconds.
+  static const std::array<std::int64_t, kBuckets>& bucket_bounds_ns();
+
+  /// Fold another histogram into this one (merging per-thread recorders).
+  /// Samples recorded into `other` while merge runs may be folded in or
+  /// not; the invariants above still hold for any later snapshot.
+  void merge(const LatencyHistogram& other);
+
+  void reset();
+
+  /// Exact upper bound of the bucket a latency lands in (identity for the
+  /// boundary value itself: bucket_bound(d) == bucket_bound(bucket_bound(d))).
+  /// Exposed so tests can pin the boundary semantics.
+  static std::chrono::nanoseconds bucket_bound(std::chrono::nanoseconds d);
+
+ private:
+  static std::size_t bucket_for(std::chrono::nanoseconds latency);
+
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::int64_t> sum_ns_{0};
+  std::atomic<std::int64_t> max_ns_{0};
+};
+
+}  // namespace sinclave::obs

@@ -1,0 +1,222 @@
+#include "obs/registry.h"
+
+#include <cstdio>
+
+namespace sinclave::obs {
+
+namespace {
+
+// Shortest round-trip double formatting (%.17g is lossless but noisy;
+// %.9g is exact for every bucket bound we emit and keeps the golden
+// format readable).
+std::string format_seconds(std::int64_t ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.9g", static_cast<double>(ns) / 1e9);
+  return std::string(buf);
+}
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char esc[8];
+          std::snprintf(esc, sizeof(esc), "\\u%04x", c);
+          out += esc;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string u64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return std::string(buf);
+}
+
+std::string i64(std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  return std::string(buf);
+}
+
+}  // namespace
+
+void MetricsSnapshot::counter(std::string name, std::uint64_t value) {
+  Entry e;
+  e.kind = Entry::Kind::kCounter;
+  e.name = std::move(name);
+  e.value = value;
+  entries.push_back(std::move(e));
+}
+
+void MetricsSnapshot::gauge(std::string name, std::uint64_t value) {
+  Entry e;
+  e.kind = Entry::Kind::kGauge;
+  e.name = std::move(name);
+  e.value = value;
+  entries.push_back(std::move(e));
+}
+
+void MetricsSnapshot::histogram(std::string name, const LatencyHistogram& h) {
+  Entry e;
+  e.kind = Entry::Kind::kHistogram;
+  e.name = std::move(name);
+  // Buckets first, stats second: a sample recorded in between then shows
+  // up in the stats but not the buckets, and the renderers derive the
+  // histogram _count from the buckets — so _count can trail stats.count,
+  // never exceed what the bucket series accounts for.
+  e.buckets = h.bucket_counts();
+  e.stats = h.snapshot();
+  entries.push_back(std::move(e));
+}
+
+const MetricsSnapshot::Entry* MetricsSnapshot::find(
+    const std::string& name) const {
+  for (const Entry& e : entries)
+    if (e.name == name) return &e;
+  return nullptr;
+}
+
+std::string MetricsSnapshot::to_prometheus() const {
+  const auto& bounds = LatencyHistogram::bucket_bounds_ns();
+  std::string out;
+  for (const Entry& e : entries) {
+    const std::string full = "sinclave_" + e.name;
+    switch (e.kind) {
+      case Entry::Kind::kCounter:
+        out += "# TYPE " + full + " counter\n";
+        out += full + " " + u64(e.value) + "\n";
+        break;
+      case Entry::Kind::kGauge:
+        out += "# TYPE " + full + " gauge\n";
+        out += full + " " + u64(e.value) + "\n";
+        break;
+      case Entry::Kind::kHistogram: {
+        // Prometheus histograms are cumulative and conventionally in
+        // seconds; the final +Inf bucket equals _count.
+        const std::string base = full + "_seconds";
+        out += "# TYPE " + base + " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+          cumulative += e.buckets[i];
+          out += base + "_bucket{le=\"" + format_seconds(bounds[i]) + "\"} " +
+                 u64(cumulative) + "\n";
+        }
+        out += base + "_bucket{le=\"+Inf\"} " + u64(cumulative) + "\n";
+        out += base + "_sum " + format_seconds(e.stats.sum.count()) + "\n";
+        out += base + "_count " + u64(cumulative) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  const auto& bounds = LatencyHistogram::bucket_bounds_ns();
+  std::string counters, gauges, histograms;
+  for (const Entry& e : entries) {
+    switch (e.kind) {
+      case Entry::Kind::kCounter:
+      case Entry::Kind::kGauge: {
+        std::string& dst =
+            e.kind == Entry::Kind::kCounter ? counters : gauges;
+        if (!dst.empty()) dst += ", ";
+        append_json_string(dst, e.name);
+        dst += ": " + u64(e.value);
+        break;
+      }
+      case Entry::Kind::kHistogram: {
+        if (!histograms.empty()) histograms += ", ";
+        append_json_string(histograms, e.name);
+        histograms += ": {\"count\": " + u64(e.stats.count) +
+                      ", \"sum_ns\": " + i64(e.stats.sum.count()) +
+                      ", \"mean_ns\": " + i64(e.stats.mean().count()) +
+                      ", \"p50_ns\": " + i64(e.stats.p50.count()) +
+                      ", \"p90_ns\": " + i64(e.stats.p90.count()) +
+                      ", \"p99_ns\": " + i64(e.stats.p99.count()) +
+                      ", \"max_ns\": " + i64(e.stats.max.count()) +
+                      ", \"buckets\": [";
+        // Only occupied buckets: 40 mostly-zero pairs per histogram would
+        // dominate the payload for no information.
+        bool first = true;
+        for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+          if (e.buckets[i] == 0) continue;
+          if (!first) histograms += ", ";
+          first = false;
+          histograms += "{\"le_ns\": " + i64(bounds[i]) +
+                        ", \"count\": " + u64(e.buckets[i]) + "}";
+        }
+        histograms += "]}";
+        break;
+      }
+    }
+  }
+  return "{\"counters\": {" + counters + "}, \"gauges\": {" + gauges +
+         "}, \"histograms\": {" + histograms + "}}";
+}
+
+std::string MetricsSnapshot::to_text() const {
+  std::string out;
+  char buf[192];
+  for (const Entry& e : entries) {
+    switch (e.kind) {
+      case Entry::Kind::kCounter:
+      case Entry::Kind::kGauge:
+        std::snprintf(buf, sizeof(buf), "%-26s %llu\n", e.name.c_str(),
+                      static_cast<unsigned long long>(e.value));
+        out += buf;
+        break;
+      case Entry::Kind::kHistogram:
+        std::snprintf(buf, sizeof(buf),
+                      "%-26s count=%llu mean=%.1fus p50=%.1fus p90=%.1fus "
+                      "p99=%.1fus max=%.1fus\n",
+                      e.name.c_str(),
+                      static_cast<unsigned long long>(e.stats.count),
+                      e.stats.mean().count() / 1e3, e.stats.p50.count() / 1e3,
+                      e.stats.p90.count() / 1e3, e.stats.p99.count() / 1e3,
+                      e.stats.max.count() / 1e3);
+        out += buf;
+        break;
+    }
+  }
+  return out;
+}
+
+std::uint64_t MetricsRegistry::add_collector(Collector fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t id = next_id_++;
+  collectors_.emplace_back(id, std::move(fn));
+  return id;
+}
+
+void MetricsRegistry::remove_collector(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = collectors_.begin(); it != collectors_.end(); ++it) {
+    if (it->first == id) {
+      collectors_.erase(it);
+      return;
+    }
+  }
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  // Collectors run under the mutex on purpose: remove_collector()
+  // returning then proves the callback is not mid-flight, which is what
+  // lets registrants unregister from their destructors.
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [id, fn] : collectors_) fn(snap);
+  return snap;
+}
+
+}  // namespace sinclave::obs

@@ -1,0 +1,378 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+namespace sinclave::obs {
+
+// ---------------------------------------------------------------------------
+// Ring: fixed-capacity, single-writer, overwrite-oldest span buffer.
+//
+// Every field is a relaxed atomic: there is never a data race, only the
+// possibility of reading a half-overwritten slot — which the per-slot
+// sequence counter detects (odd while the writer is inside the slot, +2
+// per completed write; Boehm's fence-based seqlock). The writer role
+// migrates between threads only under the tracer mutex (ring adoption),
+// so writer-side fields need no ordering of their own.
+// ---------------------------------------------------------------------------
+
+class Ring {
+ public:
+  static constexpr std::size_t kCapacity = Tracer::kRingCapacity;
+  static_assert((kCapacity & (kCapacity - 1)) == 0,
+                "capacity must be a power of two");
+
+  void write(const TraceContext& ctx, const char* name, std::int64_t start_ns,
+             std::int64_t end_ns, std::uint32_t depth) {
+    Slot& s = slots_[head_ & (kCapacity - 1)];
+    ++head_;
+    const std::uint64_t seq = s.seq.load(std::memory_order_relaxed);
+    s.seq.store(seq + 1, std::memory_order_relaxed);  // odd: writer inside
+    std::atomic_thread_fence(std::memory_order_release);
+    s.trace_id.store(ctx.trace_id, std::memory_order_relaxed);
+    s.request_id.store(ctx.request_id, std::memory_order_relaxed);
+    s.session_id.store(ctx.session_id, std::memory_order_relaxed);
+    s.name.store(name, std::memory_order_relaxed);
+    s.start_ns.store(start_ns, std::memory_order_relaxed);
+    s.end_ns.store(end_ns, std::memory_order_relaxed);
+    s.depth.store(depth, std::memory_order_relaxed);
+    s.seq.store(seq + 2, std::memory_order_release);  // even: complete
+  }
+
+  void drain(std::vector<CollectedSpan>& out) const {
+    for (const Slot& s : slots_) {
+      const std::uint64_t seq1 = s.seq.load(std::memory_order_acquire);
+      if (seq1 & 1) continue;  // writer mid-slot: treat as overwritten
+      CollectedSpan c;
+      c.trace_id = s.trace_id.load(std::memory_order_relaxed);
+      c.request_id = s.request_id.load(std::memory_order_relaxed);
+      c.session_id = s.session_id.load(std::memory_order_relaxed);
+      c.name = s.name.load(std::memory_order_relaxed);
+      c.start_ns = s.start_ns.load(std::memory_order_relaxed);
+      c.end_ns = s.end_ns.load(std::memory_order_relaxed);
+      c.depth = s.depth.load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (s.seq.load(std::memory_order_relaxed) != seq1) continue;
+      if (c.trace_id == 0) continue;  // never written
+      out.push_back(c);
+    }
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<std::uint64_t> trace_id{0};
+    std::atomic<std::uint64_t> request_id{0};
+    std::atomic<std::uint64_t> session_id{0};
+    std::atomic<const char*> name{""};
+    std::atomic<std::int64_t> start_ns{0};
+    std::atomic<std::int64_t> end_ns{0};
+    std::atomic<std::uint32_t> depth{0};
+  };
+
+  std::array<Slot, kCapacity> slots_{};
+  std::uint64_t head_ = 0;  // writer-only; adoption hands it off under mutex
+};
+
+// ---------------------------------------------------------------------------
+// Thread-local recording state.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct TlsState {
+  TraceContext ctx{};
+  std::uint32_t depth = 1;  // depth 0 is reserved for the root span
+};
+
+TlsState& tls() {
+  thread_local TlsState state;
+  return state;
+}
+
+}  // namespace
+
+struct Tracer::State {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<Ring>> rings;
+  std::vector<std::unique_ptr<Phase>> phases;
+  // Collection floor: records whose end is at or before this are invisible
+  // to collect() — how reset_traces() isolates without touching live rings.
+  std::int64_t floor_ns = 0;
+  // High-water mark of root ends already examined for slowness, so a trace
+  // still sitting in a ring is not re-appended to the slow log every
+  // collection.
+  std::int64_t slow_watermark_ns = 0;
+  std::deque<Trace> slow_log;
+};
+
+Tracer& Tracer::instance() {
+  // Leaky: destructors of static Spans / exiting threads may still record.
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+Tracer::Tracer()
+    : slow_threshold_ns_(50'000'000 /* 50 ms */), state_(new State()) {}
+
+std::int64_t Tracer::now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void Tracer::set_enabled(bool enabled) {
+  enabled_.store(enabled, std::memory_order_relaxed);
+}
+
+std::uint64_t Tracer::new_trace_id() {
+  if (!enabled()) return 0;
+  return next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Phase& Tracer::phase(const char* name) {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  for (const auto& p : state_->phases)
+    if (std::strcmp(p->name(), name) == 0) return *p;
+  state_->phases.emplace_back(new Phase(name));
+  return *state_->phases.back();
+}
+
+std::vector<const Phase*> Tracer::phases() const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  std::vector<const Phase*> out;
+  out.reserve(state_->phases.size());
+  for (const auto& p : state_->phases) out.push_back(p.get());
+  return out;
+}
+
+std::vector<Tracer::PhaseSummary> Tracer::phase_summaries() const {
+  std::vector<PhaseSummary> out;
+  for (const Phase* p : phases()) {
+    PhaseSummary row;
+    row.name = p->name();
+    row.stats = p->latency().snapshot();
+    if (row.stats.count > 0) out.push_back(row);
+  }
+  return out;
+}
+
+void Tracer::reset_phases() {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  for (const auto& p : state_->phases) p->latency().reset();
+}
+
+Ring& Tracer::thread_ring() {
+  thread_local std::shared_ptr<Ring> ring;
+  if (!ring) {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    // Adopt the ring of a dead thread (only the registry still holds it)
+    // before allocating a new one: thread churn must not grow memory.
+    for (const auto& r : state_->rings) {
+      if (r.use_count() == 1) {
+        ring = r;
+        break;
+      }
+    }
+    if (!ring) {
+      ring = std::make_shared<Ring>();
+      state_->rings.push_back(ring);
+    }
+  }
+  return *ring;
+}
+
+void Tracer::write_record(const TraceContext& ctx, const char* name,
+                          std::int64_t start_ns, std::int64_t end_ns,
+                          std::uint32_t depth) {
+  if (ctx.trace_id == 0) return;
+  thread_ring().write(ctx, name, start_ns, end_ns, depth);
+}
+
+std::uint32_t Tracer::enter_span() { return tls().depth++; }
+
+void Tracer::exit_span(Phase& phase, std::int64_t start_ns,
+                       std::uint32_t depth) {
+  const std::int64_t end_ns = now_ns();
+  phase.latency().record(std::chrono::nanoseconds(end_ns - start_ns));
+  TlsState& t = tls();
+  if (t.ctx.active())
+    write_record(t.ctx, phase.name(), start_ns, end_ns, depth);
+  t.depth--;
+}
+
+void Tracer::record_phase_span(Phase& phase, const TraceContext& ctx,
+                               std::int64_t start_ns, std::int64_t end_ns,
+                               std::uint32_t depth) {
+  phase.latency().record(std::chrono::nanoseconds(end_ns - start_ns));
+  write_record(ctx, phase.name(), start_ns, end_ns, depth);
+}
+
+void Tracer::record_phase_root(Phase& phase, const TraceContext& ctx,
+                               std::int64_t start_ns, std::int64_t end_ns) {
+  phase.latency().record(std::chrono::nanoseconds(end_ns - start_ns));
+  write_record(ctx, phase.name(), start_ns, end_ns, 0);
+  const std::int64_t threshold =
+      slow_threshold_ns_.load(std::memory_order_relaxed);
+  if (threshold > 0 && end_ns - start_ns >= threshold)
+    slow_total_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Tracer::set_slow_threshold(std::chrono::nanoseconds t) {
+  slow_threshold_ns_.store(t.count(), std::memory_order_relaxed);
+}
+
+std::chrono::nanoseconds Tracer::slow_threshold() const {
+  return std::chrono::nanoseconds(
+      slow_threshold_ns_.load(std::memory_order_relaxed));
+}
+
+std::vector<Trace> Tracer::assemble_locked(std::size_t max_traces) {
+  std::vector<CollectedSpan> all;
+  for (const auto& ring : state_->rings) ring->drain(all);
+
+  // Group by trace id; a trace is complete once its depth-0 root landed.
+  std::unordered_map<std::uint64_t, std::vector<CollectedSpan>> by_trace;
+  for (const CollectedSpan& c : all) by_trace[c.trace_id].push_back(c);
+
+  std::vector<Trace> traces;
+  for (auto& [trace_id, spans] : by_trace) {
+    const CollectedSpan* root = nullptr;
+    for (const CollectedSpan& c : spans)
+      if (c.depth == 0 && (root == nullptr || c.end_ns > root->end_ns))
+        root = &c;
+    if (root == nullptr) continue;          // still in flight
+    if (root->end_ns <= state_->floor_ns) continue;  // hidden by reset
+
+    Trace t;
+    t.trace_id = trace_id;
+    t.start_ns = root->start_ns;
+    t.end_ns = root->end_ns;
+    for (const CollectedSpan& c : spans) {
+      // The correlators arrive asymmetrically (request_id is known at
+      // accept, session_id only once the handshake allocates one), so the
+      // trace takes the first nonzero value any of its spans carries.
+      if (t.request_id == 0) t.request_id = c.request_id;
+      if (t.session_id == 0) t.session_id = c.session_id;
+    }
+    t.spans = std::move(spans);
+    std::sort(t.spans.begin(), t.spans.end(),
+              [](const CollectedSpan& a, const CollectedSpan& b) {
+                if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+                return a.depth < b.depth;
+              });
+    traces.push_back(std::move(t));
+  }
+
+  // Newest first; deterministic tie-break on trace id.
+  std::sort(traces.begin(), traces.end(), [](const Trace& a, const Trace& b) {
+    if (a.end_ns != b.end_ns) return a.end_ns > b.end_ns;
+    return a.trace_id > b.trace_id;
+  });
+
+  // Harvest new slow traces (oldest first, so the log reads forward in
+  // time) before truncating the return list.
+  const std::int64_t threshold =
+      slow_threshold_ns_.load(std::memory_order_relaxed);
+  std::int64_t watermark = state_->slow_watermark_ns;
+  for (auto it = traces.rbegin(); it != traces.rend(); ++it) {
+    if (it->end_ns <= state_->slow_watermark_ns) continue;
+    watermark = std::max(watermark, it->end_ns);
+    if (threshold > 0 && it->duration_ns() >= threshold) {
+      state_->slow_log.push_back(*it);
+      while (state_->slow_log.size() > kSlowLogCapacity)
+        state_->slow_log.pop_front();
+    }
+  }
+  state_->slow_watermark_ns = watermark;
+
+  if (traces.size() > max_traces) traces.resize(max_traces);
+  return traces;
+}
+
+std::vector<Trace> Tracer::collect(std::size_t max_traces) {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return assemble_locked(max_traces);
+}
+
+std::vector<Trace> Tracer::slow_traces() {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  assemble_locked(0);  // harvest anything new first
+  return std::vector<Trace>(state_->slow_log.begin(), state_->slow_log.end());
+}
+
+void Tracer::reset_traces() {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  const std::int64_t now = now_ns();
+  state_->floor_ns = now;
+  state_->slow_watermark_ns = now;
+  state_->slow_log.clear();
+}
+
+std::string Tracer::render(const Trace& trace) {
+  std::string out;
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "trace=%llu request=%llu session=%llu duration=%.3fms "
+                "spans=%zu\n",
+                static_cast<unsigned long long>(trace.trace_id),
+                static_cast<unsigned long long>(trace.request_id),
+                static_cast<unsigned long long>(trace.session_id),
+                static_cast<double>(trace.duration_ns()) / 1e6,
+                trace.spans.size());
+  out += buf;
+  for (const CollectedSpan& c : trace.spans) {
+    std::snprintf(buf, sizeof(buf), "%*s%-24s %9.3f ms  @ +%.3f ms\n",
+                  static_cast<int>(2 * (c.depth + 1)), "", c.name,
+                  static_cast<double>(c.duration_ns()) / 1e6,
+                  static_cast<double>(c.start_ns - trace.start_ns) / 1e6);
+    out += buf;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// TraceScope / Span.
+// ---------------------------------------------------------------------------
+
+TraceScope::TraceScope(const TraceContext& ctx) {
+  TlsState& t = tls();
+  saved_ctx_ = t.ctx;
+  saved_depth_ = t.depth;
+  t.ctx = ctx;
+  t.depth = 1;
+}
+
+TraceScope::~TraceScope() {
+  TlsState& t = tls();
+  t.ctx = saved_ctx_;
+  t.depth = saved_depth_;
+}
+
+bool TraceScope::active() { return tls().ctx.active(); }
+
+TraceContext TraceScope::current() { return tls().ctx; }
+
+void TraceScope::set_session(std::uint64_t session_id) {
+  TlsState& t = tls();
+  if (t.ctx.active()) t.ctx.session_id = session_id;
+}
+
+Span::Span(Phase& phase) : phase_(&phase) {
+  Tracer& tracer = Tracer::instance();
+  if (!tracer.enabled()) return;
+  armed_ = true;
+  depth_ = tracer.enter_span();
+  start_ns_ = Tracer::now_ns();
+}
+
+Span::~Span() {
+  if (!armed_) return;
+  Tracer::instance().exit_span(*phase_, start_ns_, depth_);
+}
+
+}  // namespace sinclave::obs

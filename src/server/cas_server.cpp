@@ -21,6 +21,22 @@ CasServer::CasServer(cas::CasService* cas, CasServerConfig config)
       pool_(config.workers) {
   if (cas_ == nullptr) throw Error("server: cas service required");
   cas_->set_policy_cache(&policy_store_);
+  // Every registry snapshot pulls this frontend's counters — and first
+  // refreshes the secure-channel mirrors and the legacy-frame split that
+  // only CasService (past the encryption boundary) can classify, so an
+  // export is never stale no matter how long ago anyone last called
+  // refresh_secure_metrics() by hand.
+  collector_id_ = cas_->metrics_registry().add_collector(
+      [this](obs::MetricsSnapshot& snap) {
+        refresh_secure_metrics();
+        const auto frames = cas_->secure_frame_stats();
+        atomic_fetch_max(metrics_.attest.legacy_frames, frames.attest_legacy);
+        atomic_fetch_max(metrics_.get_config.legacy_frames,
+                         frames.config_legacy);
+        metrics_.collect(snap);
+        snap.counter("policy_cache_hits", policy_store_.hits());
+        snap.counter("policy_cache_misses", policy_store_.misses());
+      });
   if (config_.premint_depth > 0 || config_.refill_watermark > 0) {
     // Refills are driven by pool pressure: the cache tells us when a
     // session dropped below the watermark; nobody probes depth per
@@ -36,6 +52,9 @@ CasServer::CasServer(cas::CasService* cas, CasServerConfig config)
 }
 
 CasServer::~CasServer() {
+  // Unregister before anything else dies: remove_collector returns only
+  // once no in-flight snapshot is inside our callback.
+  cas_->metrics_registry().remove_collector(collector_id_);
   unbind();
   // Detach the store: it dies with this server, and CasService must not
   // keep a pointer into it. Still-draining refill jobs fall back to the
@@ -96,11 +115,22 @@ void CasServer::refresh_secure_metrics() {
 
 void CasServer::respond(Clock::time_point accepted,
                         LatencyHistogram* histogram, Bytes response,
-                        const net::SimNetwork::Completion& done) {
-  // Metrics land before the completion fires so a caller that observed
-  // the response always observes its own request in the counters.
+                        const net::SimNetwork::Completion& done,
+                        const obs::TraceContext& ctx, obs::Phase* root,
+                        std::int64_t accepted_ns) {
+  // Metrics (and the trace's root span) land before the completion fires
+  // so a caller that observed the response always observes its own
+  // request in the counters — and its own trace via introspection.
+  static obs::Phase& p_respond = obs::Tracer::instance().phase("respond");
+  const std::int64_t respond_start = obs::Tracer::now_ns();
   histogram->record(Clock::now() - accepted);
   metrics_.leave_in_flight();
+  if (root != nullptr && ctx.active()) {
+    obs::Tracer& tracer = obs::Tracer::instance();
+    tracer.record_phase_span(p_respond, ctx, respond_start,
+                             obs::Tracer::now_ns(), 1);
+    tracer.record_phase_root(*root, ctx, accepted_ns, obs::Tracer::now_ns());
+  }
   done(std::move(response));
 }
 
@@ -124,25 +154,53 @@ void CasServer::note_frame(CommandMetrics& command,
 }
 
 void CasServer::accept_instance(Bytes raw, net::SimNetwork::Completion done) {
-  // Stage 1 — accept, on the client's thread: account and enqueue. The
-  // client thread is never borrowed for serving work.
+  // Stage 1 — accept, on the client's thread: account, open the trace
+  // (the request_id is peekable from the cleartext envelope header), and
+  // enqueue. The client thread is never borrowed for serving work.
+  static obs::Phase& p_queue = obs::Tracer::instance().phase("queue_wait");
+  static obs::Phase& p_serve = obs::Tracer::instance().phase("serve_frame");
+  static obs::Phase& p_stall =
+      obs::Tracer::instance().phase("backend_stall");
+  static obs::Phase& p_root =
+      obs::Tracer::instance().phase("request_get_instance");
+  static obs::Phase& p_root_introspect =
+      obs::Tracer::instance().phase("request_introspect");
   const auto accepted = Clock::now();
+  obs::TraceContext ctx;
+  ctx.trace_id = obs::Tracer::instance().new_trace_id();
+  ctx.request_id = cas::Envelope::peek_request_id(raw).value_or(0);
+  const std::int64_t accepted_ns = obs::Tracer::now_ns();
   ++metrics_.get_instance.requests;
   metrics_.enter_in_flight();
-  auto job = [this, raw = std::move(raw), done, accepted]() mutable {
+  auto job = [this, raw = std::move(raw), done, accepted, ctx,
+              accepted_ns]() mutable {
     // Stage 2 — serve, on a worker: decode (envelope or legacy) + policy
     // + verify + credential. serve_instance_frame contains deserializer
     // failures — a malformed or truncated frame answers a typed
     // kMalformedRequest, it can never escape this worker as an exception.
+    if (ctx.active()) {
+      obs::Tracer::instance().record_phase_span(p_queue, ctx, accepted_ns,
+                                                obs::Tracer::now_ns(), 1);
+    }
+    obs::TraceScope scope(ctx);
     Bytes out;
+    obs::Phase* root = &p_root;
     try {
       cas::FrameInfo frame;
-      out = cas::serve_instance_frame(
-          raw,
-          [this](const cas::InstanceRequest& req) {
-            return serve_instance(req);
-          },
-          &frame);
+      {
+        obs::Span span(p_serve);
+        out = cas::serve_instance_frame(
+            raw,
+            [this](const cas::InstanceRequest& req) {
+              return serve_instance(req);
+            },
+            [this](const cas::IntrospectRequest& req) {
+              return cas_->handle_introspect(req);
+            },
+            &frame);
+      }
+      if (frame.command == cas::Command::kIntrospect)
+        root = &p_root_introspect;
       note_frame(metrics_.get_instance, frame);
     } catch (...) {
       metrics_.leave_in_flight();
@@ -161,21 +219,29 @@ void CasServer::accept_instance(Bytes raw, net::SimNetwork::Completion done) {
       // capture) before schedule_after can throw, so a plain move would
       // leave the catch path holding a moved-from response.
       auto payload = std::make_shared<Bytes>(std::move(out));
+      const std::int64_t stall_start = obs::Tracer::now_ns();
       try {
         timer_.schedule_after(
-            config_.backend_io, [this, payload, done, accepted]() {
+            config_.backend_io,
+            [this, payload, done, accepted, ctx, root, accepted_ns,
+             stall_start]() {
+              if (ctx.active()) {
+                obs::Tracer::instance().record_phase_span(
+                    p_stall, ctx, stall_start, obs::Tracer::now_ns(), 1);
+              }
               respond(accepted, &metrics_.get_instance.latency,
-                      std::move(*payload), done);
+                      std::move(*payload), done, ctx, root, accepted_ns);
             });
         return;
       } catch (const Error&) {
         // Wheel shutting down: respond inline rather than dropping.
         respond(accepted, &metrics_.get_instance.latency, std::move(*payload),
-                done);
+                done, ctx, root, accepted_ns);
         return;
       }
     }
-    respond(accepted, &metrics_.get_instance.latency, std::move(out), done);
+    respond(accepted, &metrics_.get_instance.latency, std::move(out), done,
+            ctx, root, accepted_ns);
   };
   try {
     pool_.submit(std::move(job));
@@ -193,15 +259,35 @@ void CasServer::accept_attest(Bytes raw, net::SimNetwork::Completion done) {
   // rejected at submit is still a counted request. The secure endpoint's
   // counters split per command on the cleartext record type: handshakes
   // are kAttest, in-session records are kGetConfig.
+  static obs::Phase& p_queue = obs::Tracer::instance().phase("queue_wait");
+  static obs::Phase& p_root_attest =
+      obs::Tracer::instance().phase("request_attest");
+  static obs::Phase& p_root_config =
+      obs::Tracer::instance().phase("request_get_config");
   const auto accepted = Clock::now();
-  CommandMetrics& command =
-      net::classify_record(raw) == net::RecordType::kData
-          ? metrics_.get_config
-          : metrics_.attest;
+  const bool is_data = net::classify_record(raw) == net::RecordType::kData;
+  CommandMetrics& command = is_data ? metrics_.get_config : metrics_.attest;
+  obs::Phase* root = is_data ? &p_root_config : &p_root_attest;
+  obs::TraceContext ctx;
+  ctx.trace_id = obs::Tracer::instance().new_trace_id();
+  // Data records carry their session id as cleartext framing; handshakes
+  // get theirs late-bound (TraceScope::set_session) when the SecureServer
+  // allocates it. The envelope's request_id only decrypts in-session, so
+  // it stays 0 at this layer.
+  ctx.session_id = net::peek_session_id(raw).value_or(0);
+  const std::int64_t accepted_ns = obs::Tracer::now_ns();
   ++command.requests;
   metrics_.enter_in_flight();
-  auto job = [this, raw = std::move(raw), done, accepted,
-              command = &command]() mutable {
+  auto job = [this, raw = std::move(raw), done, accepted, ctx, accepted_ns,
+              root, command = &command]() mutable {
+    if (ctx.active()) {
+      obs::Tracer::instance().record_phase_span(p_queue, ctx, accepted_ns,
+                                                obs::Tracer::now_ns(), 1);
+    }
+    // This frontend owns the trace: CasService::handle_secure sees the
+    // active scope and records its phases into it instead of opening a
+    // second root.
+    obs::TraceScope scope(ctx);
     Bytes out;
     try {
       out = cas_->handle_secure(raw);
@@ -213,7 +299,9 @@ void CasServer::accept_attest(Bytes raw, net::SimNetwork::Completion done) {
       done.fail(std::current_exception());
       return;
     }
-    respond(accepted, &command->latency, std::move(out), done);
+    // The handshake may have late-bound the session id into our scope.
+    respond(accepted, &command->latency, std::move(out), done,
+            obs::TraceScope::current(), root, accepted_ns);
   };
   try {
     pool_.submit(std::move(job));
@@ -225,18 +313,32 @@ void CasServer::accept_attest(Bytes raw, net::SimNetwork::Completion done) {
 
 cas::InstanceResponse CasServer::handle_instance(
     const cas::InstanceRequest& request) {
+  static obs::Phase& p_root =
+      obs::Tracer::instance().phase("request_get_instance");
+  static obs::Phase& p_stall =
+      obs::Tracer::instance().phase("backend_stall");
   const auto start = Clock::now();
+  obs::TraceContext ctx;
+  ctx.trace_id = obs::Tracer::instance().new_trace_id();
+  const std::int64_t start_ns = obs::Tracer::now_ns();
+  obs::TraceScope scope(ctx);
   ++metrics_.get_instance.requests;
 
   // Direct synchronous callers pay the stall inline; only the network
   // path gets the event-driven deferral.
-  if (config_.backend_io.count() > 0)
+  if (config_.backend_io.count() > 0) {
+    obs::Span span(p_stall);
     std::this_thread::sleep_for(config_.backend_io);
+  }
 
   cas::InstanceResponse resp = serve_instance(request);
 
   if (!resp.ok()) ++metrics_.get_instance.errors;
   metrics_.get_instance.latency.record(Clock::now() - start);
+  if (ctx.active()) {
+    obs::Tracer::instance().record_phase_root(p_root, ctx, start_ns,
+                                              obs::Tracer::now_ns());
+  }
   return resp;
 }
 
@@ -297,6 +399,9 @@ bool CasServer::check_common(const cas::Policy& policy,
 
 cas::InstanceResponse CasServer::serve_instance(
     const cas::InstanceRequest& request) {
+  static obs::Phase& p_verify =
+      obs::Tracer::instance().phase("verify_common");
+  static obs::Phase& p_cred = obs::Tracer::instance().phase("credential");
   cas::InstanceResponse resp;
 
   const auto policy = cas_->get_policy(request.session_name);
@@ -308,7 +413,11 @@ cas::InstanceResponse CasServer::serve_instance(
     resp.status = Status(*refused);
     return resp;
   }
-  if (!check_common(*policy, request, &resp.status)) return resp;
+  {
+    obs::Span span(p_verify);
+    if (!check_common(*policy, request, &resp.status)) return resp;
+  }
+  obs::Span cred_span(p_cred);
 
   // Pooled credentials self-validate at pop time: a refill racing a
   // policy update could deposit stale entries after the stale-pool flush.

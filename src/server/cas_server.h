@@ -53,6 +53,7 @@
 #include "core/base_hash.h"
 #include "net/sim_network.h"
 #include "net/timer_wheel.h"
+#include "obs/trace.h"
 #include "server/metrics.h"
 #include "server/policy_store.h"
 #include "server/sigstruct_cache.h"
@@ -114,8 +115,9 @@ class CasServer {
                       const sgx::SigStruct& common_sigstruct, std::size_t n);
 
   /// Fold the SecureServer's contention stats (stripe collisions,
-  /// sessions high-water) into metrics(). On-demand — call before
-  /// rendering/reading them mid-run; unbind() refreshes automatically.
+  /// sessions high-water) into metrics(). Every registry snapshot (and
+  /// unbind()) refreshes automatically; call directly only when reading
+  /// the raw metrics() fields mid-run without snapshotting.
   void refresh_secure_metrics();
 
   const CasServerConfig& config() const { return config_; }
@@ -146,10 +148,16 @@ class CasServer {
   // --- the request state machine (network path) ---
   void accept_instance(Bytes raw, net::SimNetwork::Completion done);
   void accept_attest(Bytes raw, net::SimNetwork::Completion done);
-  /// Final stage: record latency, drop the gauge, deliver the response.
+  /// Final stage: record latency, drop the gauge, close the trace (the
+  /// respond phase plus the depth-0 root spanning accept→respond — this
+  /// runs on whatever thread the timer or worker hands us, so both are
+  /// recorded explicitly against `ctx` rather than via TraceScope), and
+  /// deliver the response.
   void respond(std::chrono::steady_clock::time_point accepted,
                LatencyHistogram* histogram, Bytes response,
-               const net::SimNetwork::Completion& done);
+               const net::SimNetwork::Completion& done,
+               const obs::TraceContext& ctx, obs::Phase* root,
+               std::int64_t accepted_ns);
 
   /// Pool-pressure refill scheduler (the SigStructCache low-watermark
   /// callback lands here).
@@ -163,6 +171,10 @@ class CasServer {
 
   cas::CasService* cas_;
   CasServerConfig config_;
+  /// This server's collector in cas_->metrics_registry() (unregistered
+  /// first thing in the destructor — remove_collector returning guarantees
+  /// no snapshot is still inside the callback touching our members).
+  std::uint64_t collector_id_ = 0;
   ServerMetrics metrics_;
   ShardedPolicyStore policy_store_;
   SigStructCache sigstruct_cache_;

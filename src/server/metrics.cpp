@@ -1,110 +1,6 @@
 #include "server/metrics.h"
 
-#include <algorithm>
-#include <cmath>
-#include <cstdio>
-
 namespace sinclave::server {
-
-namespace {
-
-// Geometric bucket boundaries: bound(i) = 1us * 1.5^i, precomputed in
-// integer nanoseconds so bucket_for stays a simple scan (kBuckets is 40;
-// a linear scan of a 40-entry table is cheaper than the log it replaces).
-// Rounded to nearest, not truncated: truncation shaved one nanosecond off
-// boundaries whose exact value is not double-representable, so a sample
-// exactly at the published bound of bucket i landed in bucket i+1.
-constexpr std::array<std::int64_t, LatencyHistogram::kBuckets> kBoundsNs = [] {
-  std::array<std::int64_t, LatencyHistogram::kBuckets> b{};
-  double bound = 1000.0;  // 1 us
-  for (std::size_t i = 0; i < b.size(); ++i) {
-    b[i] = static_cast<std::int64_t>(bound + 0.5);
-    bound *= 1.5;
-  }
-  return b;
-}();
-
-}  // namespace
-
-std::size_t LatencyHistogram::bucket_for(std::chrono::nanoseconds latency) {
-  const std::int64_t ns = latency.count();
-  for (std::size_t i = 0; i < kBuckets; ++i)
-    if (ns <= kBoundsNs[i]) return i;
-  return kBuckets - 1;
-}
-
-std::chrono::nanoseconds LatencyHistogram::bucket_bound(
-    std::chrono::nanoseconds d) {
-  return std::chrono::nanoseconds(
-      kBoundsNs[bucket_for(d.count() < 0 ? std::chrono::nanoseconds{0} : d)]);
-}
-
-void LatencyHistogram::record(std::chrono::nanoseconds latency) {
-  // Clock hiccups (non-monotonic sources, merged snapshots) can hand us a
-  // negative duration; clamp so the sum and quantiles stay meaningful.
-  if (latency.count() < 0) latency = std::chrono::nanoseconds{0};
-  buckets_[bucket_for(latency)].fetch_add(1, std::memory_order_relaxed);
-  sum_ns_.fetch_add(latency.count(), std::memory_order_relaxed);
-  atomic_fetch_max(max_ns_, latency.count());
-}
-
-LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
-  Snapshot s;
-  std::array<std::uint64_t, kBuckets> counts;
-  for (std::size_t i = 0; i < kBuckets; ++i)
-    counts[i] = buckets_[i].load(std::memory_order_relaxed);
-  // Count is derived from the buckets themselves (not a separate counter),
-  // so the quantile scan below always walks exactly the samples it counted
-  // — a racing record() can add a sample, never desynchronize the two.
-  for (auto c : counts) s.count += c;
-  s.sum = std::chrono::nanoseconds(
-      std::max<std::int64_t>(0, sum_ns_.load(std::memory_order_relaxed)));
-  s.max = std::chrono::nanoseconds(
-      std::max<std::int64_t>(0, max_ns_.load(std::memory_order_relaxed)));
-  if (s.count == 0) return s;
-
-  const auto quantile = [&](double q) {
-    const std::uint64_t target =
-        static_cast<std::uint64_t>(q * static_cast<double>(s.count - 1)) + 1;
-    std::uint64_t seen = 0;
-    for (std::size_t i = 0; i < kBuckets; ++i) {
-      seen += counts[i];
-      if (seen >= target)
-        return std::chrono::nanoseconds(kBoundsNs[i]);
-    }
-    return s.max;
-  };
-  s.p50 = quantile(0.50);
-  s.p90 = quantile(0.90);
-  s.p99 = quantile(0.99);
-  // Coherence clamps: the observed max is a tighter bound than any bucket
-  // boundary, and a reset/merge racing record() must not be able to
-  // produce p99 > max or unordered quantiles.
-  s.p50 = std::min(s.p50, s.max);
-  s.p90 = std::clamp(s.p90, s.p50, s.max);
-  s.p99 = std::clamp(s.p99, s.p90, s.max);
-  return s;
-}
-
-void LatencyHistogram::merge(const LatencyHistogram& other) {
-  for (std::size_t i = 0; i < kBuckets; ++i)
-    buckets_[i].fetch_add(other.buckets_[i].load(std::memory_order_relaxed),
-                          std::memory_order_relaxed);
-  sum_ns_.fetch_add(
-      std::max<std::int64_t>(0, other.sum_ns_.load(std::memory_order_relaxed)),
-      std::memory_order_relaxed);
-  atomic_fetch_max(max_ns_, other.max_ns_.load(std::memory_order_relaxed));
-}
-
-void LatencyHistogram::reset() {
-  // Zero the max and sum *before* the buckets: a snapshot racing this
-  // reset may then under-report the tail, but can never pair surviving
-  // bucket counts with an already-cleared population and report p99 > max
-  // (snapshot clamps against max, which goes first).
-  max_ns_.store(0, std::memory_order_relaxed);
-  sum_ns_.store(0, std::memory_order_relaxed);
-  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
-}
 
 void ServerMetrics::enter_in_flight() {
   atomic_fetch_max(
@@ -116,61 +12,38 @@ void ServerMetrics::leave_in_flight() {
   requests_in_flight.fetch_sub(1, std::memory_order_relaxed);
 }
 
+void ServerMetrics::collect(obs::MetricsSnapshot& snap) const {
+  const auto command = [&](const char* name, const CommandMetrics& cmd) {
+    const std::string base(name);
+    snap.counter(base + "_requests", cmd.requests.load());
+    snap.counter(base + "_errors", cmd.errors.load());
+    snap.counter(base + "_legacy_frames", cmd.legacy_frames.load());
+    snap.histogram(base + "_latency", cmd.latency);
+  };
+  command("get_instance", get_instance);
+  command("attest", attest);
+  command("get_config", get_config);
+  snap.counter("malformed_frames", malformed_frames.load());
+  snap.counter("unsupported_version_frames", unsupported_version_frames.load());
+  snap.counter("unknown_command_frames", unknown_command_frames.load());
+  snap.counter("sigstruct_cache_hits", sigstruct_cache_hits.load());
+  snap.counter("sigstruct_cache_misses", sigstruct_cache_misses.load());
+  snap.counter("preminted_credentials", preminted_credentials.load());
+  snap.counter("tokens_issued", tokens_issued.load());
+  snap.counter("refills_scheduled", refills_scheduled.load());
+  snap.counter("mint_batches", mint_batches.load());
+  snap.gauge("requests_in_flight", requests_in_flight.load());
+  snap.gauge("max_in_flight", max_in_flight.load());
+  snap.counter("handshake_stripe_collisions",
+               handshake_stripe_collisions.load());
+  snap.counter("secure_sessions_opened", secure_sessions_opened.load());
+  snap.gauge("secure_sessions_high_water", secure_sessions_high_water.load());
+}
+
 std::string ServerMetrics::render() const {
-  const auto line = [](const char* name, std::uint64_t v) {
-    char buf[96];
-    std::snprintf(buf, sizeof(buf), "%-26s %llu\n", name,
-                  static_cast<unsigned long long>(v));
-    return std::string(buf);
-  };
-  const auto latency_lines = [](const char* name,
-                                const LatencyHistogram& h) {
-    const auto s = h.snapshot();
-    char buf[160];
-    std::snprintf(buf, sizeof(buf),
-                  "%-26s count=%llu mean=%.1fus p50=%.1fus p90=%.1fus "
-                  "p99=%.1fus max=%.1fus\n",
-                  name, static_cast<unsigned long long>(s.count),
-                  s.mean().count() / 1e3, s.p50.count() / 1e3,
-                  s.p90.count() / 1e3, s.p99.count() / 1e3,
-                  s.max.count() / 1e3);
-    return std::string(buf);
-  };
-
-  const auto command_lines = [&](const char* name,
-                                 const CommandMetrics& cmd) {
-    std::string out;
-    out += line((std::string(name) + "_requests").c_str(),
-                cmd.requests.load());
-    out += line((std::string(name) + "_errors").c_str(), cmd.errors.load());
-    out += line((std::string(name) + "_legacy_frames").c_str(),
-                cmd.legacy_frames.load());
-    out += latency_lines((std::string(name) + "_latency").c_str(),
-                         cmd.latency);
-    return out;
-  };
-
-  std::string out;
-  out += command_lines("get_instance", get_instance);
-  out += command_lines("attest", attest);
-  out += command_lines("get_config", get_config);
-  out += line("malformed_frames", malformed_frames.load());
-  out += line("unsupported_version_frames", unsupported_version_frames.load());
-  out += line("unknown_command_frames", unknown_command_frames.load());
-  out += line("sigstruct_cache_hits", sigstruct_cache_hits.load());
-  out += line("sigstruct_cache_misses", sigstruct_cache_misses.load());
-  out += line("preminted_credentials", preminted_credentials.load());
-  out += line("tokens_issued", tokens_issued.load());
-  out += line("refills_scheduled", refills_scheduled.load());
-  out += line("mint_batches", mint_batches.load());
-  out += line("requests_in_flight", requests_in_flight.load());
-  out += line("max_in_flight", max_in_flight.load());
-  out += line("handshake_stripe_collisions",
-              handshake_stripe_collisions.load());
-  out += line("secure_sessions_opened", secure_sessions_opened.load());
-  out += line("secure_sessions_high_water",
-              secure_sessions_high_water.load());
-  return out;
+  obs::MetricsSnapshot snap;
+  collect(snap);
+  return snap.to_text();
 }
 
 }  // namespace sinclave::server

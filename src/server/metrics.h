@@ -1,81 +1,23 @@
 // Serving-layer metrics: atomic counters, gauges, and latency histograms.
 //
-// Everything here is wait-free on the record path (relaxed atomics) so the
-// hot path never serializes on observability. Quantiles are read from a
-// fixed geometric bucket layout — each bucket spans x1.5 in latency, from
-// 1 us to ~6.5 s — which bounds the p50/p99 estimation error to the bucket
-// width, the standard tradeoff of histogram-based tail tracking.
-//
-// Coherence contract: record() is safe against concurrent record(),
-// merge(), reset(), and snapshot(). Readers may observe a snapshot that is
-// off by the in-flight samples, but never a torn or self-contradictory one:
-// snapshot() derives count from the buckets themselves, clamps the sum
-// non-negative, and forces p50 <= p90 <= p99 <= max, so a racing reset or
-// merge can skew values, not invariants. Negative durations (clock hiccups)
-// are clamped to zero before they can poison the sum.
+// The latency histogram itself now lives in the base observability layer
+// (obs/histogram.h) so every layer shares one quantile tracker; the
+// aliases below keep the original sinclave::server spellings working.
+// Everything here is wait-free on the record path (relaxed atomics) so
+// the hot path never serializes on observability.
 #pragma once
 
-#include <array>
 #include <atomic>
-#include <chrono>
 #include <cstdint>
 #include <string>
 
+#include "obs/histogram.h"
+#include "obs/registry.h"
+
 namespace sinclave::server {
 
-/// Relaxed atomic fetch-max: raise `target` to at least `value`.
-template <typename T>
-inline void atomic_fetch_max(std::atomic<T>& target, T value) {
-  T seen = target.load(std::memory_order_relaxed);
-  while (value > seen &&
-         !target.compare_exchange_weak(seen, value,
-                                       std::memory_order_relaxed)) {
-  }
-}
-
-class LatencyHistogram {
- public:
-  static constexpr std::size_t kBuckets = 40;
-
-  void record(std::chrono::nanoseconds latency);
-
-  struct Snapshot {
-    std::uint64_t count = 0;
-    std::chrono::nanoseconds sum{0};
-    std::chrono::nanoseconds p50{0};
-    std::chrono::nanoseconds p90{0};
-    std::chrono::nanoseconds p99{0};
-    std::chrono::nanoseconds max{0};
-
-    std::chrono::nanoseconds mean() const {
-      if (count == 0) return std::chrono::nanoseconds{0};
-      return std::chrono::nanoseconds(
-          sum.count() / static_cast<std::int64_t>(count));
-    }
-  };
-
-  /// Consistent-enough snapshot: see the coherence contract above.
-  Snapshot snapshot() const;
-
-  /// Fold another histogram into this one (merging per-thread recorders).
-  /// Samples recorded into `other` while merge runs may be folded in or
-  /// not; the invariants above still hold for any later snapshot.
-  void merge(const LatencyHistogram& other);
-
-  void reset();
-
-  /// Exact upper bound of the bucket a latency lands in (identity for the
-  /// boundary value itself: bucket_bound(d) == bucket_bound(bucket_bound(d))).
-  /// Exposed so tests can pin the boundary semantics.
-  static std::chrono::nanoseconds bucket_bound(std::chrono::nanoseconds d);
-
- private:
-  static std::size_t bucket_for(std::chrono::nanoseconds latency);
-
-  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
-  std::atomic<std::int64_t> sum_ns_{0};
-  std::atomic<std::int64_t> max_ns_{0};
-};
+using obs::atomic_fetch_max;
+using LatencyHistogram = obs::LatencyHistogram;
 
 /// Per-wire-command counters: one block per protocol command so traffic,
 /// failures, and tails are attributable to the command that caused them.
@@ -86,15 +28,18 @@ struct CommandMetrics {
   /// not observable at this layer).
   std::atomic<std::uint64_t> errors{0};
   /// Requests served on the legacy (v0, pre-envelope) decode path.
-  /// Wired for get_instance only: the secure endpoint's frames are
-  /// classified inside CasService (past the encryption boundary), so its
-  /// legacy/version split is not visible to the serving layer yet.
+  /// get_instance counts these at the serving layer; the secure
+  /// endpoint's frames are classified inside CasService (past the
+  /// encryption boundary) and mirrored into the attest/get_config
+  /// counters whenever the registry snapshots (never per record).
   std::atomic<std::uint64_t> legacy_frames{0};
   LatencyHistogram latency;
 };
 
 /// All counters the CAS serving layer exports. Plain atomics — callers
-/// increment directly; text rendering for logs/benches via render().
+/// increment directly; export happens through the obs::MetricsRegistry
+/// (collect()) or the legacy text dump (render(), now a thin wrapper
+/// over the registry's text renderer).
 /// (Policy-store hit/miss counters live on ShardedPolicyStore itself.)
 struct ServerMetrics {
   /// Instance endpoint: singleton retrieval (Command::kGetInstance).
@@ -130,8 +75,8 @@ struct ServerMetrics {
   std::atomic<std::uint64_t> max_in_flight{0};
 
   /// Secure-channel contention observability, mirrored from the striped
-  /// SecureServer session table on demand (CasServer::
-  /// refresh_secure_metrics; unbind() refreshes automatically — never
+  /// SecureServer session table (CasServer's registry collector refreshes
+  /// the mirror at every snapshot, and unbind() refreshes it too — never
   /// per record, which would bounce these lines across workers): lock
   /// acquisitions that found their stripe busy (the residual
   /// cross-session contention), sessions opened, and the most sessions
@@ -144,7 +89,13 @@ struct ServerMetrics {
   void enter_in_flight();
   void leave_in_flight();
 
-  /// Human-readable dump (one "name value" pair per line).
+  /// Copies every counter/gauge/histogram into a registry snapshot; the
+  /// collector CasServer registers simply forwards here (after refreshing
+  /// the secure mirrors above).
+  void collect(obs::MetricsSnapshot& snap) const;
+
+  /// Human-readable dump (one "name value" pair per line) — the registry
+  /// text renderer over collect().
   std::string render() const;
 };
 

@@ -323,9 +323,15 @@ LoadGenResult run_instance_load(net::SimNetwork& net,
   // std::thread lambda would terminate the process instead of failing
   // the run.
   if (config.address.empty()) throw Error("load gen: no address");
-  return config.mode == LoadMode::kOpen
-             ? run_open_loop(net, common_sigstruct, config)
-             : run_closed_loop(net, common_sigstruct, config);
+  // Scope the per-phase attribution to this load window: quantiles are
+  // not delta-able, so the histograms restart from zero here and the
+  // result's phase rows cover exactly this run.
+  obs::Tracer::instance().reset_phases();
+  LoadGenResult result = config.mode == LoadMode::kOpen
+                             ? run_open_loop(net, common_sigstruct, config)
+                             : run_closed_loop(net, common_sigstruct, config);
+  result.phases = obs::Tracer::instance().phase_summaries();
+  return result;
 }
 
 }  // namespace sinclave::workload

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "net/sim_network.h"
+#include "obs/trace.h"
 #include "server/metrics.h"
 #include "sgx/sigstruct.h"
 
@@ -124,6 +125,12 @@ struct LoadGenResult {
   /// Mean in-flight count sampled at each completion — the "sustained"
   /// concurrency the serving layer actually held.
   double sustained_in_flight = 0.0;
+  /// Per-phase latency attribution of this load window (run_instance_load
+  /// resets the tracer's phase histograms at load start, so the rows cover
+  /// exactly this run): client_attempt, queue_wait, serve_frame,
+  /// policy_load, verify_common, credential, respond, the request_* roots,
+  /// ... — every phase that recorded at least one span.
+  std::vector<obs::Tracer::PhaseSummary> phases;
 
   double requests_per_sec() const {
     if (wall.count() == 0) return 0.0;

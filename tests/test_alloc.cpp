@@ -16,6 +16,7 @@
 #include "crypto/bignum.h"
 #include "crypto/drbg.h"
 #include "crypto/rsa.h"
+#include "obs/trace.h"
 
 namespace {
 std::atomic<std::uint64_t> g_allocations{0};
@@ -108,3 +109,44 @@ TEST(Allocation, SteadyStateSignAllocationCountIsSmallAndFlat) {
 
 }  // namespace
 }  // namespace sinclave::crypto
+
+namespace sinclave::obs {
+namespace {
+
+TEST(Allocation, SteadyStateSpanRecordingIsAllocationFree) {
+  // The tracing hot path must never allocate: a span is two clock reads,
+  // a histogram record, and a seqlocked ring-slot write. The first span a
+  // thread records registers its ring with the tracer and the first use
+  // of a phase interns it — both one-time costs paid by this warm-up.
+  Tracer& tracer = Tracer::instance();
+  Phase& phase = tracer.phase("alloc_test_phase");
+  TraceContext ctx;
+  ctx.trace_id = tracer.new_trace_id();
+  ctx.request_id = 42;
+  TraceScope scope(ctx);
+  { Span warmup(phase); }
+
+  const std::uint64_t before = g_allocations.load();
+  for (int i = 0; i < 1000; ++i) {
+    Span span(phase);
+  }
+  // Explicit cross-thread records share the same ring write path.
+  tracer.record_phase_span(phase, ctx, 0, 1000, 1);
+  tracer.record_phase_root(phase, ctx, 0, 1000);
+  EXPECT_EQ(g_allocations.load() - before, 0u);
+}
+
+TEST(Allocation, SpanWithoutScopeIsAllocationFree) {
+  Tracer& tracer = Tracer::instance();
+  Phase& phase = tracer.phase("alloc_test_scopeless");
+  { Span warmup(phase); }  // ring registration (thread may be fresh)
+
+  const std::uint64_t before = g_allocations.load();
+  for (int i = 0; i < 1000; ++i) {
+    Span span(phase);
+  }
+  EXPECT_EQ(g_allocations.load() - before, 0u);
+}
+
+}  // namespace
+}  // namespace sinclave::obs

@@ -35,20 +35,28 @@ for bench in "$BUILD_DIR"/bench/*; do
   echo "=== $name ==="
   out="$OUT_DIR/$name.txt"
 
-  # Per-bench extra flags for the machine-readable outputs.
+  # Per-bench extra flags for the machine-readable outputs; expected_json
+  # names the file the bench MUST produce (checked below — a bench that
+  # silently stops emitting its trajectory record is a failed run).
   extra_args=()
+  expected_json=""
   case "$name" in
     bench_fig7a_signing)
-      extra_args=(--benchmark_out="$OUT_DIR/BENCH_signing.json"
+      expected_json="$OUT_DIR/BENCH_signing.json"
+      extra_args=(--benchmark_out="$expected_json"
                   --benchmark_out_format=json)
       ;;
     bench_fleet_throughput)
-      extra_args=(--json "$OUT_DIR/BENCH_fleet.json")
+      expected_json="$OUT_DIR/BENCH_fleet.json"
+      extra_args=(--json "$expected_json")
       ;;
     bench_attest_throughput)
-      extra_args=(--json "$OUT_DIR/BENCH_attest.json")
+      expected_json="$OUT_DIR/BENCH_attest.json"
+      extra_args=(--json "$expected_json")
       ;;
   esac
+  # Stale records must not mask a bench that stopped writing.
+  [ -n "$expected_json" ] && rm -f "$expected_json"
 
   # ${arr[@]+...} keeps `set -u` happy on bash 3.2 when the array is empty.
   if "$bench" ${extra_args[@]+"${extra_args[@]}"} > "$out" 2>&1; then
@@ -57,12 +65,21 @@ for bench in "$BUILD_DIR"/bench/*; do
     echo "    FAILED (see $out)"
     status=1
   fi
+  if [ -n "$expected_json" ] && [ ! -s "$expected_json" ]; then
+    echo "    FAILED: expected JSON record $expected_json missing or empty"
+    echo "FAILED: $name emitted no JSON at $expected_json" >> "$combined"
+    status=1
+  fi
   { echo "=== $name ==="; cat "$out"; echo; } >> "$combined"
 done
 
 for json in BENCH_signing.json BENCH_fleet.json BENCH_attest.json; do
   [ -f "$OUT_DIR/$json" ] && echo "trajectory record: $OUT_DIR/$json"
 done
+
+if [ "$status" -ne 0 ]; then
+  echo "BENCH RUN FAILED (status=$status)" | tee -a "$combined"
+fi
 
 echo
 echo "combined output: $combined"
