@@ -1,12 +1,12 @@
 #include "cas/client.h"
 
 #include <atomic>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <utility>
 
 #include "common/error.h"
+#include "common/mutex.h"
 #include "obs/trace.h"
 
 namespace sinclave::cas {
@@ -49,18 +49,19 @@ struct CasClient::Core {
   net::SimNetwork* net = nullptr;
   CasClientConfig config;
   std::atomic<std::uint64_t> next_request_id{1};
-  std::mutex connection_mutex;
-  std::optional<net::SimNetwork::Connection> connection_cache;
+  Mutex connection_mutex{LockRank::kClientConnection, "cas.client_connection"};
+  std::optional<net::SimNetwork::Connection> connection_cache
+      GUARDED_BY(connection_mutex);
 
-  net::SimNetwork::Connection connection() {
-    std::lock_guard lock(connection_mutex);
+  net::SimNetwork::Connection connection() REQUIRES_NOT(connection_mutex) {
+    MutexLock lock(connection_mutex);
     if (!connection_cache.has_value())
       connection_cache = net->connect(config.address + ".instance");
     return *connection_cache;  // cheap copy; the handle is shareable
   }
 
-  void drop_connection() {
-    std::lock_guard lock(connection_mutex);
+  void drop_connection() REQUIRES_NOT(connection_mutex) {
+    MutexLock lock(connection_mutex);
     connection_cache.reset();
   }
 };
@@ -116,7 +117,7 @@ const CasClientConfig& CasClient::config() const { return core_->config; }
 Status CasClient::connect() {
   try {
     auto conn = core_->net->connect(core_->config.address + ".instance");
-    std::lock_guard lock(core_->connection_mutex);
+    MutexLock lock(core_->connection_mutex);
     core_->connection_cache = std::move(conn);
     return Status();
   } catch (const Error& e) {

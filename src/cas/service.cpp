@@ -110,17 +110,17 @@ Hash256 CasService::verifier_id() const {
 
 void CasService::add_signer_key(crypto::RsaKeyPair signer) {
   const Hash256 id = crypto::sha256(signer.public_key().modulus_be());
-  std::lock_guard lock(signer_mutex_);
+  MutexLock lock(signer_mutex_);
   signer_keys_.emplace(id, std::move(signer));
 }
 
 bool CasService::has_signer_key(const Hash256& signer_id) const {
-  std::lock_guard lock(signer_mutex_);
+  MutexLock lock(signer_mutex_);
   return signer_keys_.contains(signer_id);
 }
 
 void CasService::install_policy(const Policy& policy) {
-  std::unique_lock lock(db_mutex_);
+  WriterLock lock(db_mutex_);
   policy_db_.write_file(policy_path(policy.session_name),
                         policy.serialize());
   // Write-through *under the exclusive lock*: cache updates happen in
@@ -148,7 +148,7 @@ std::optional<Policy> CasService::get_policy(
   // Read-mostly path: concurrent misses decrypt+parse in parallel under
   // the shared lock (EncryptedVolume reads are const); installs take the
   // exclusive half.
-  std::shared_lock lock(db_mutex_);
+  ReaderLock lock(db_mutex_);
   const auto blob = policy_db_.read_file(policy_path(session_name));
   if (!blob.has_value()) return std::nullopt;
   Policy loaded = Policy::deserialize(*blob);
@@ -163,7 +163,7 @@ std::optional<Policy> CasService::get_policy(
 void CasService::ensure_secure_server() {
   std::call_once(secure_server_once_, [this] {
     crypto::Drbg channel_rng = [this] {
-      std::lock_guard lock(rng_mutex_);
+      MutexLock lock(rng_mutex_);
       return crypto::Drbg(rng_.generate(16), "cas-channel");
     }();
     secure_server_ = std::make_unique<net::SecureServer>(
@@ -265,10 +265,11 @@ std::vector<MintedCredential> CasService::mint_batch(
 
   const crypto::RsaKeyPair* signer = nullptr;
   {
-    std::lock_guard lock(signer_mutex_);
+    MutexLock lock(signer_mutex_);
     const auto it = signer_keys_.find(policy.expected_signer);
     if (it == signer_keys_.end())
-      throw Error("cas: no signer key uploaded for this session");
+      throw Error(std::string("cas: ") +
+                  status_message(StatusCode::kNoSignerKey));
     signer = &it->second;  // map nodes are pointer-stable under inserts
   }
 
@@ -280,6 +281,10 @@ std::vector<MintedCredential> CasService::mint_batch(
   // DRBG-stripe lease for all the tokens. The lease comes from the
   // striped token_rng_ pool, so concurrent minters draw from different
   // generators instead of serializing on a global RNG lock.
+  // The RSA-CRT signing loop below is the most expensive code in the
+  // process (~5 ms per signature); holding any lock across it would
+  // serialize the whole service behind one batch.
+  lockrank::assert_none_held("mint_batch signing");
   core::OnDemandSigner minter(common_sigstruct, *signer);
   const Hash256 vid = verifier_id();
   {
@@ -308,7 +313,7 @@ void CasService::register_token(const core::AttestationToken& token,
                                 const std::string& session_name,
                                 const sgx::Measurement& expected_mr) {
   TokenStripe& stripe = token_stripe(token);
-  std::lock_guard lock(stripe.m);
+  MutexLock lock(stripe.m);
   stripe.tokens.emplace(token,
                         PendingToken{session_name, expected_mr, false});
 }
@@ -379,7 +384,7 @@ InstanceResponse CasService::handle_instance(const InstanceRequest& request) {
 
   t.total = Clock::now() - total_start;
   {
-    std::lock_guard lock(observe_mutex_);
+    MutexLock lock(observe_mutex_);
     last_timings_ = t;
   }
   return resp;
@@ -390,7 +395,7 @@ std::optional<Bytes> CasService::on_handshake(ByteView client_payload,
                                               std::uint64_t session_id,
                                               StatusCode* reject_status) {
   const auto verdict = [this](Verdict v) {
-    std::lock_guard lock(observe_mutex_);
+    MutexLock lock(observe_mutex_);
     last_attest_verdict_ = v;
   };
 
@@ -466,7 +471,7 @@ std::optional<Bytes> CasService::on_handshake(ByteView client_payload,
           obs::Tracer::instance().phase("token_spend");
       obs::Span spend_span(p_spend);  // covers stripe-lock wait + spend
       TokenStripe& stripe = token_stripe(*payload.token);
-      std::lock_guard lock(stripe.m);
+      MutexLock lock(stripe.m);
       const auto it = stripe.tokens.find(*payload.token);
       if (it == stripe.tokens.end() ||
           it->second.session_name != payload.session_name) {
@@ -493,7 +498,7 @@ std::optional<Bytes> CasService::on_handshake(ByteView client_payload,
   }
   {
     SessionStripe& stripe = session_stripes_[session_id % kSessionStripes];
-    std::lock_guard lock(stripe.m);
+    MutexLock lock(stripe.m);
     stripe.attested[session_id] = payload.session_name;
   }
 
@@ -528,7 +533,7 @@ Bytes CasService::serve_config_frame_inner(std::uint64_t session_id,
     {
       const SessionStripe& stripe =
           session_stripes_[session_id % kSessionStripes];
-      std::lock_guard lock(stripe.m);
+      MutexLock lock(stripe.m);
       const auto it = stripe.attested.find(session_id);
       if (it == stripe.attested.end()) {
         resp.status = Status(StatusCode::kSessionNotAttested);
@@ -616,19 +621,19 @@ IntrospectResponse CasService::handle_introspect(
 }
 
 CasService::InstanceTimings CasService::last_instance_timings() const {
-  std::lock_guard lock(observe_mutex_);
+  MutexLock lock(observe_mutex_);
   return last_timings_;
 }
 
 Verdict CasService::last_attest_verdict() const {
-  std::lock_guard lock(observe_mutex_);
+  MutexLock lock(observe_mutex_);
   return last_attest_verdict_;
 }
 
 std::size_t CasService::tokens_outstanding() const {
   std::size_t outstanding = 0;
   for (const TokenStripe& stripe : token_stripes_) {
-    std::lock_guard lock(stripe.m);
+    MutexLock lock(stripe.m);
     outstanding += stripe.tokens.size() - stripe.used;
   }
   return outstanding;
@@ -637,7 +642,7 @@ std::size_t CasService::tokens_outstanding() const {
 std::size_t CasService::tokens_used() const {
   std::size_t used = 0;
   for (const TokenStripe& stripe : token_stripes_) {
-    std::lock_guard lock(stripe.m);
+    MutexLock lock(stripe.m);
     used += stripe.used;
   }
   return used;
@@ -646,7 +651,7 @@ std::size_t CasService::tokens_used() const {
 Bytes CasService::export_state() const {
   ByteWriter w;
   {
-    std::shared_lock lock(db_mutex_);
+    ReaderLock lock(db_mutex_);
     const auto names = policy_db_.list_files();
     w.u32(static_cast<std::uint32_t>(names.size()));
     for (const auto& name : names) {
@@ -662,7 +667,7 @@ Bytes CasService::export_state() const {
     // token), so sealed state round-trips across versions.
     std::map<core::AttestationToken, PendingToken> merged;
     for (const TokenStripe& stripe : token_stripes_) {
-      std::lock_guard lock(stripe.m);
+      MutexLock lock(stripe.m);
       merged.insert(stripe.tokens.begin(), stripe.tokens.end());
     }
     w.u32(static_cast<std::uint32_t>(merged.size()));
@@ -702,13 +707,13 @@ void CasService::import_state(ByteView state) {
     install_policy(policy);
   }
   for (TokenStripe& stripe : token_stripes_) {
-    std::lock_guard lock(stripe.m);
+    MutexLock lock(stripe.m);
     stripe.tokens.clear();
     stripe.used = 0;
   }
   for (auto& [token, pending] : tokens) {
     TokenStripe& stripe = token_stripe(token);
-    std::lock_guard lock(stripe.m);
+    MutexLock lock(stripe.m);
     if (pending.used) ++stripe.used;
     stripe.tokens.emplace(token, std::move(pending));
   }

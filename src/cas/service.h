@@ -32,13 +32,13 @@
 #include <chrono>
 #include <map>
 #include <memory>
-#include <mutex>
+#include <mutex>  // std::once_flag only; locking goes through common/mutex.h
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "cas/protocol.h"
+#include "common/mutex.h"
 #include "core/base_hash.h"
 #include "crypto/drbg.h"
 #include "crypto/rsa.h"
@@ -242,9 +242,9 @@ class CasService {
   /// stripe's critical section — the exactly-once-spend invariant is per
   /// stripe, and tokens (uniform random 32 bytes) spread evenly.
   struct TokenStripe {
-    mutable std::mutex m;
-    std::map<core::AttestationToken, PendingToken> tokens;
-    std::size_t used = 0;  // spent tokens in this stripe (avoids scans)
+    mutable Mutex m{LockRank::kCasTokenStripe, "cas.token_stripe"};
+    std::map<core::AttestationToken, PendingToken> tokens GUARDED_BY(m);
+    std::size_t used GUARDED_BY(m) = 0;  // spent tokens (avoids scans)
   };
   static constexpr std::size_t kTokenStripes = 16;
   TokenStripe& token_stripe(const core::AttestationToken& token);
@@ -253,32 +253,37 @@ class CasService {
   /// Attested channel-session -> session-name bindings, sharded by the
   /// (atomically allocated, hence uniform) secure-channel session id.
   struct SessionStripe {
-    mutable std::mutex m;
-    std::map<std::uint64_t, std::string> attested;
+    mutable Mutex m{LockRank::kCasSessionStripe, "cas.session_stripe"};
+    std::map<std::uint64_t, std::string> attested GUARDED_BY(m);
   };
   static constexpr std::size_t kSessionStripes = 16;
 
   quote::AttestationService* attestation_;
   crypto::RsaKeyPair identity_;
 
-  mutable std::mutex rng_mutex_;  // guards rng_ (cold paths: setup forks)
-  mutable crypto::Drbg rng_;
+  // Cold paths only (setup forks); token minting uses token_rng_ below.
+  mutable Mutex rng_mutex_{LockRank::kCasRng, "cas.rng"};
+  mutable crypto::Drbg rng_ GUARDED_BY(rng_mutex_);
   // Hot-path randomness (token minting): striped children of rng_, no
   // global lock.
   mutable crypto::DrbgPool token_rng_;
 
   // Read-mostly policy path: concurrent get_policy readers decrypt in
   // parallel under the shared lock; install_policy is exclusive.
-  mutable std::shared_mutex db_mutex_;  // guards policy_db_
-  mutable fs::EncryptedVolume policy_db_;
+  mutable SharedMutex db_mutex_{LockRank::kCasPolicyDb, "cas.policy_db"};
+  mutable fs::EncryptedVolume policy_db_ GUARDED_BY(db_mutex_);
   // Attach/detach races with readers, hence atomic. Cache fills happen
   // under (at least the shared half of) db_mutex_ so a fill can never
   // overwrite a newer install: installs are exclusive, so any fill wrote
   // a value read after the previous install completed.
   std::atomic<PolicyCache*> policy_cache_{nullptr};
 
-  mutable std::mutex signer_mutex_;  // guards signer_keys_ (map nodes are
-  std::map<Hash256, crypto::RsaKeyPair> signer_keys_;  // pointer-stable)
+  // Map nodes are pointer-stable, so signing borrows a key reference
+  // after releasing the lock (kCasSigner outranks kCryptoRsaCtx: inserts
+  // move an RsaKeyPair — and its context locks — under signer_mutex_).
+  mutable Mutex signer_mutex_{LockRank::kCasSigner, "cas.signer_keys"};
+  std::map<Hash256, crypto::RsaKeyPair> signer_keys_
+      GUARDED_BY(signer_mutex_);
 
   std::array<TokenStripe, kTokenStripes> token_stripes_;
   std::array<SessionStripe, kSessionStripes> session_stripes_;
@@ -286,9 +291,9 @@ class CasService {
   std::once_flag secure_server_once_;
   std::unique_ptr<net::SecureServer> secure_server_;
 
-  mutable std::mutex observe_mutex_;  // guards the two "last_*" fields
-  InstanceTimings last_timings_;
-  Verdict last_attest_verdict_ = Verdict::kOk;
+  mutable Mutex observe_mutex_{LockRank::kCasObserve, "cas.observe"};
+  InstanceTimings last_timings_ GUARDED_BY(observe_mutex_);
+  Verdict last_attest_verdict_ GUARDED_BY(observe_mutex_) = Verdict::kOk;
 
   /// Secure-endpoint frame classification (see SecureFrameStats).
   std::atomic<std::uint64_t> attest_legacy_frames_{0};

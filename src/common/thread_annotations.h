@@ -1,0 +1,66 @@
+#pragma once
+
+// Clang Thread Safety Analysis attribute macros.
+//
+// These expand to clang's `capability` attribute family when the compiler
+// supports it (clang with -Wthread-safety) and to nothing elsewhere (GCC
+// builds them out), so annotated code stays portable while the dedicated
+// clang CI job proves the locking discipline at compile time.
+//
+// Usage contract for this repo:
+//   - every mutex is a `sinclave::Mutex` / `sinclave::SharedMutex`
+//     (tools/lint_invariants.py rejects raw std::mutex outside
+//     common/mutex.h), so every lock participates in the analysis;
+//   - data owned by a lock is annotated GUARDED_BY(lock);
+//   - functions that take a lock internally are annotated
+//     REQUIRES_NOT(lock) so self-deadlock is a compile error;
+//   - functions that must run with a lock held are annotated
+//     REQUIRES(lock).
+
+#if defined(__clang__) && !defined(SINCLAVE_NO_THREAD_SAFETY_ANALYSIS)
+#define SINCLAVE_TSA(x) __attribute__((x))
+#else
+#define SINCLAVE_TSA(x)  // no-op: GCC and MSVC do not implement the analysis
+#endif
+
+#define CAPABILITY(x) SINCLAVE_TSA(capability(x))
+#define SCOPED_CAPABILITY SINCLAVE_TSA(scoped_lockable)
+
+#define GUARDED_BY(x) SINCLAVE_TSA(guarded_by(x))
+#define PT_GUARDED_BY(x) SINCLAVE_TSA(pt_guarded_by(x))
+
+#define ACQUIRED_BEFORE(...) SINCLAVE_TSA(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) SINCLAVE_TSA(acquired_after(__VA_ARGS__))
+
+#define REQUIRES(...) SINCLAVE_TSA(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  SINCLAVE_TSA(requires_shared_capability(__VA_ARGS__))
+
+// "Caller must NOT hold these locks." Mapped to clang's locks_excluded:
+// without -Wthread-safety-negative this is checked wherever the analysis
+// can see the caller holding the lock, which is exactly the self-deadlock
+// class we care about (e.g. a MetricsRegistry collector calling
+// snapshot(), or minting under signer_mutex_). The debug lock-rank
+// detector in common/mutex.h covers the dynamic remainder.
+#define REQUIRES_NOT(...) SINCLAVE_TSA(locks_excluded(__VA_ARGS__))
+#define EXCLUDES(...) SINCLAVE_TSA(locks_excluded(__VA_ARGS__))
+
+#define ACQUIRE(...) SINCLAVE_TSA(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) SINCLAVE_TSA(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) SINCLAVE_TSA(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) SINCLAVE_TSA(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) SINCLAVE_TSA(release_generic_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE(...) SINCLAVE_TSA(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  SINCLAVE_TSA(try_acquire_shared_capability(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x) SINCLAVE_TSA(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) SINCLAVE_TSA(assert_shared_capability(x))
+
+#define RETURN_CAPABILITY(x) SINCLAVE_TSA(lock_returned(x))
+
+// Escape hatch. Every use must carry a one-line justification comment;
+// typical reasons are dynamic lock selection (per-stripe leases the
+// static analysis cannot name) and objects under construction.
+#define NO_THREAD_SAFETY_ANALYSIS SINCLAVE_TSA(no_thread_safety_analysis)

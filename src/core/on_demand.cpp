@@ -1,6 +1,9 @@
 #include "core/on_demand.h"
 
+#include <string>
+
 #include "common/error.h"
+#include "common/status.h"
 
 namespace sinclave::core {
 
@@ -10,7 +13,8 @@ OnDemandSigner::OnDemandSigner(const sgx::SigStruct& common,
   if (!(common_.signer_key == signer_.public_key()))
     throw Error("on-demand sigstruct: common sigstruct from different signer");
   if (!common_.signature_valid())
-    throw Error("on-demand sigstruct: common sigstruct signature invalid");
+    throw Error(std::string("on-demand sigstruct: ") +
+                status_message(StatusCode::kBadSignature));
 }
 
 sgx::SigStruct OnDemandSigner::make(const sgx::Measurement& singleton_mr) {

@@ -92,22 +92,25 @@ DrbgPool::DrbgPool(Drbg root, std::string_view label, std::size_t stripes) {
   }
 }
 
-DrbgPool::Lease DrbgPool::lease() {
+// Dynamic stripe selection: the acquired Mutex escapes inside the returned
+// Lease, which TSA cannot model; the lock-rank detector checks it at
+// runtime.
+DrbgPool::Lease DrbgPool::lease() NO_THREAD_SAFETY_ANALYSIS {
   const std::size_t n = stripes_.size();
   const std::size_t home = static_cast<std::size_t>(
       next_.fetch_add(1, std::memory_order_relaxed) % n);
   for (std::size_t i = 0; i < n; ++i) {
     Stripe& s = *stripes_[(home + i) % n];
-    std::unique_lock lock(s.m, std::try_to_lock);
-    if (lock.owns_lock()) {
+    if (s.m.try_lock()) {
       if (i != 0) collisions_.fetch_add(1, std::memory_order_relaxed);
-      return Lease(std::move(lock), &s.rng);
+      return Lease(&s.m, &s.rng);
     }
   }
   // Every stripe busy: wait on the home stripe.
   collisions_.fetch_add(1, std::memory_order_relaxed);
   Stripe& s = *stripes_[home];
-  return Lease(std::unique_lock(s.m), &s.rng);
+  s.m.lock();
+  return Lease(&s.m, &s.rng);
 }
 
 }  // namespace sinclave::crypto

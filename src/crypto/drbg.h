@@ -8,11 +8,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string_view>
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/mutex.h"
 
 namespace sinclave::crypto {
 
@@ -61,26 +61,35 @@ class DrbgPool {
 
   /// RAII stripe lease: holds the stripe's lock for its lifetime. Keep it
   /// only while drawing bytes — do derived computation after release.
+  ///
+  /// A lease is a movable lock handle over a dynamically chosen stripe, a
+  /// shape Clang TSA cannot follow; the debug lock-rank detector tracks
+  /// the underlying Mutex at runtime instead.
   class Lease {
    public:
-    Lease(Lease&& other) noexcept
-        : lock_(std::move(other.lock_)), rng_(other.rng_) {
+    Lease(Lease&& other) noexcept : m_(other.m_), rng_(other.rng_) {
+      other.m_ = nullptr;
       other.rng_ = nullptr;
     }
     Lease(const Lease&) = delete;
     Lease& operator=(const Lease&) = delete;
     Lease& operator=(Lease&&) = delete;
+    // Dynamic stripe lease: TSA cannot see the constructor-side acquire.
+    ~Lease() NO_THREAD_SAFETY_ANALYSIS {
+      if (m_ != nullptr) m_->unlock();
+    }
 
     Drbg& rng() const { return *rng_; }
 
    private:
     friend class DrbgPool;
-    Lease(std::unique_lock<std::mutex> lock, Drbg* rng)
-        : lock_(std::move(lock)), rng_(rng) {}
-    std::unique_lock<std::mutex> lock_;
+    Lease(Mutex* locked_m, Drbg* rng) : m_(locked_m), rng_(rng) {}
+    Mutex* m_;  // held for the lease's lifetime; null after move-from
     Drbg* rng_;
   };
 
+  /// Callers must hold no stripe lease already (enforced at runtime by the
+  /// lock-rank detector: stripes share one rank, so a second lease aborts).
   Lease lease();
 
   std::size_t stripes() const { return stripes_.size(); }
@@ -92,8 +101,8 @@ class DrbgPool {
 
  private:
   struct Stripe {
-    std::mutex m;
-    Drbg rng;
+    Mutex m{LockRank::kCryptoDrbg, "crypto.drbg_stripe"};
+    Drbg rng GUARDED_BY(m);
     explicit Stripe(Drbg r) : rng(std::move(r)) {}
   };
 

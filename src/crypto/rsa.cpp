@@ -45,7 +45,7 @@ const RsaPublicKey::VerifyContext& RsaPublicKey::verify_context() const {
   const VerifyContext* ctx = ctx_.load(std::memory_order_acquire);
   if (ctx != nullptr && ctx->n == n) return *ctx;
 
-  std::lock_guard lock(ctx_mutex_);
+  MutexLock lock(ctx_mutex_);
   ctx = ctx_.load(std::memory_order_relaxed);
   if (ctx != nullptr && ctx->n == n) return *ctx;  // lost the build race
   auto fresh = std::make_shared<const VerifyContext>(n);
@@ -61,7 +61,7 @@ const RsaPublicKey::VerifyContext& RsaPublicKey::verify_context() const {
 void RsaPublicKey::adopt_context(const RsaPublicKey& other) {
   std::shared_ptr<const VerifyContext> current;
   {
-    std::lock_guard lock(other.ctx_mutex_);
+    MutexLock lock(other.ctx_mutex_);
     const VerifyContext* raw = other.ctx_.load(std::memory_order_relaxed);
     for (const auto& owned : other.owned_)
       if (owned.get() == raw) {
@@ -69,7 +69,7 @@ void RsaPublicKey::adopt_context(const RsaPublicKey& other) {
         break;
       }
   }
-  std::lock_guard lock(ctx_mutex_);
+  MutexLock lock(ctx_mutex_);
   owned_.clear();
   if (current != nullptr && current->n == n) {
     ctx_.store(current.get(), std::memory_order_release);

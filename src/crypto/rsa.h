@@ -9,10 +9,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/mutex.h"
 #include "crypto/bignum.h"
 #include "crypto/drbg.h"
 
@@ -38,8 +38,11 @@ struct RsaPublicKey {
   }
   /// Moves steal the context outright (vector + atomic move, no
   /// allocation) so they stay genuinely noexcept.
-  RsaPublicKey(RsaPublicKey&& other) noexcept : n(std::move(other.n)) {
-    std::lock_guard lock(other.ctx_mutex_);
+  // *this is under construction and unshared, so writing owned_ without
+  // this->ctx_mutex_ is fine — a fact TSA cannot express.
+  RsaPublicKey(RsaPublicKey&& other) noexcept NO_THREAD_SAFETY_ANALYSIS
+      : n(std::move(other.n)) {
+    MutexLock lock(other.ctx_mutex_);
     owned_ = std::move(other.owned_);
     ctx_.store(other.ctx_.load(std::memory_order_relaxed),
                std::memory_order_release);
@@ -55,11 +58,23 @@ struct RsaPublicKey {
   RsaPublicKey& operator=(RsaPublicKey&& other) noexcept {
     if (this != &other) {
       n = std::move(other.n);
-      std::scoped_lock lock(ctx_mutex_, other.ctx_mutex_);
-      owned_ = std::move(other.owned_);
-      ctx_.store(other.ctx_.load(std::memory_order_relaxed),
-                 std::memory_order_release);
-      other.ctx_.store(nullptr, std::memory_order_release);
+      // Two phases instead of one scoped_lock over both context mutexes:
+      // ctx_mutex_ locks share one rank, so holding both at once would be
+      // (and deterministically trips) a lock-order violation. Steal under
+      // the source lock, then install under ours.
+      std::vector<std::shared_ptr<const VerifyContext>> stolen;
+      const VerifyContext* stolen_ctx = nullptr;
+      {
+        MutexLock lock(other.ctx_mutex_);
+        stolen = std::move(other.owned_);
+        stolen_ctx = other.ctx_.load(std::memory_order_relaxed);
+        other.ctx_.store(nullptr, std::memory_order_release);
+      }
+      {
+        MutexLock lock(ctx_mutex_);
+        owned_ = std::move(stolen);
+        ctx_.store(stolen_ctx, std::memory_order_release);
+      }
     }
     return *this;
   }
@@ -68,7 +83,9 @@ struct RsaPublicKey {
 
   /// Verify a PKCS#1 v1.5 SHA-256 signature. Returns false on any mismatch
   /// (wrong length, bad padding, wrong digest, malformed modulus).
-  bool verify_pkcs1_sha256(ByteView message, ByteView signature) const;
+  /// Crypto-heavy: must not run under this key's context lock.
+  bool verify_pkcs1_sha256(ByteView message, ByteView signature) const
+      REQUIRES_NOT(ctx_mutex_);
 
   Bytes serialize() const;
   static RsaPublicKey deserialize(ByteView data);
@@ -87,13 +104,15 @@ struct RsaPublicKey {
   /// build / modulus rotation) serializes on ctx_mutex_ and retires the
   /// old context into owned_ rather than freeing it, so a reference
   /// handed to an in-flight verifier can never dangle.
-  const VerifyContext& verify_context() const;
+  const VerifyContext& verify_context() const REQUIRES_NOT(ctx_mutex_);
   /// Share `other`'s current context (if it matches our modulus) so
   /// copies of a key pay the Montgomery setup once, not once per copy.
-  void adopt_context(const RsaPublicKey& other);
+  void adopt_context(const RsaPublicKey& other) REQUIRES_NOT(ctx_mutex_);
 
-  mutable std::mutex ctx_mutex_;  // guards owned_ and context builds
-  mutable std::vector<std::shared_ptr<const VerifyContext>> owned_;
+  // Guards owned_ and context builds.
+  mutable Mutex ctx_mutex_{LockRank::kCryptoRsaCtx, "crypto.rsa_ctx"};
+  mutable std::vector<std::shared_ptr<const VerifyContext>> owned_
+      GUARDED_BY(ctx_mutex_);
   mutable std::atomic<const VerifyContext*> ctx_{nullptr};
 };
 

@@ -1,7 +1,6 @@
 #include "net/secure_channel.h"
 
 #include <array>
-#include <cassert>
 
 #include "common/error.h"
 #include "common/serial.h"
@@ -76,27 +75,10 @@ Bytes rejection_record(StatusCode status) {
   return std::move(w).take();
 }
 
-#ifndef NDEBUG
-/// Debug-build enforcement of the "no crypto under a SecureServer lock"
-/// contract: every stripe/session lock acquisition bumps this, and the
-/// handshake path asserts it is zero before running the hook, the key
-/// derivation, or the identity signature. One counter for all servers —
-/// the assert is about *this thread* holding *any* SecureServer lock.
-thread_local int tls_secure_server_locks_held = 0;
-
-struct LockDepthGuard {
-  LockDepthGuard() { ++tls_secure_server_locks_held; }
-  ~LockDepthGuard() { --tls_secure_server_locks_held; }
-};
-#define SINCLAVE_ASSERT_NO_SECURE_SERVER_LOCK() \
-  assert(tls_secure_server_locks_held == 0 &&   \
-         "handshake crypto must not run under a SecureServer lock")
-#else
-struct LockDepthGuard {
-  LockDepthGuard() {}  // non-trivial: silences unused-variable warnings
-};
-#define SINCLAVE_ASSERT_NO_SECURE_SERVER_LOCK() ((void)0)
-#endif
+// The old hand-rolled tls_secure_server_locks_held counter is gone: the
+// "no crypto under a lock" contract is now enforced by the common debug
+// lock-rank detector (lockrank::assert_none_held below), which covers
+// *every* sinclave::Mutex this thread holds — not just this server's.
 
 }  // namespace
 
@@ -140,15 +122,6 @@ SecureServer::SecureServer(const crypto::RsaKeyPair* identity,
     throw Error("secure server: hooks required");
 }
 
-std::unique_lock<std::mutex> SecureServer::lock_stripe(const Stripe& stripe) {
-  std::unique_lock lock(stripe.m, std::try_to_lock);
-  if (!lock.owns_lock()) {
-    stripe_collisions_.fetch_add(1, std::memory_order_relaxed);
-    lock.lock();
-  }
-  return lock;
-}
-
 Bytes SecureServer::handle(ByteView raw) {
   try {
     ByteReader r(raw);
@@ -178,7 +151,7 @@ Bytes SecureServer::handle_handshake(ByteReader& r) {
   // The quote-verification hook — the expensive part of every attested
   // handshake — runs with no lock held: N racing handshakes verify N
   // quotes on N cores.
-  SINCLAVE_ASSERT_NO_SECURE_SERVER_LOCK();
+  lockrank::assert_none_held("handshake quote verification");
   StatusCode reject_status = StatusCode::kAttestationRejected;
   std::optional<Bytes> server_payload;
   {
@@ -210,7 +183,7 @@ Bytes SecureServer::handle_handshake(ByteReader& r) {
       auto lease = rng_.lease();
       exponent = lease.rng().generate(crypto::DhKeyPair::kExponentBytes);
     }
-    SINCLAVE_ASSERT_NO_SECURE_SERVER_LOCK();
+    lockrank::assert_none_held("handshake key derivation");
     const crypto::DhKeyPair server_dh =
         crypto::DhKeyPair::from_exponent(exponent);
     server_pub = server_dh.public_value();
@@ -240,8 +213,7 @@ Bytes SecureServer::handle_handshake(ByteReader& r) {
         obs::Tracer::instance().phase("session_publish");
     obs::Span span(p_publish);
     Stripe& stripe = stripe_for(session_id);
-    auto lock = lock_stripe(stripe);
-    LockDepthGuard depth;
+    ContendedMutexLock lock(stripe.m, stripe_collisions_);
     stripe.sessions.emplace(session_id, std::move(session));
   }
   sessions_opened_.fetch_add(1, std::memory_order_relaxed);
@@ -274,8 +246,7 @@ Bytes SecureServer::handle_data(ByteReader& r) {
   std::shared_ptr<Session> session;
   {
     Stripe& stripe = stripe_for(session_id);
-    auto lock = lock_stripe(stripe);
-    LockDepthGuard depth;
+    ContendedMutexLock lock(stripe.m, stripe_collisions_);
     const auto it = stripe.sessions.find(session_id);
     if (it != stripe.sessions.end()) session = it->second;
   }
@@ -284,14 +255,14 @@ Bytes SecureServer::handle_data(ByteReader& r) {
 
   // Records of one session serialize on its own lock (the counter
   // discipline needs exactly that); records of other sessions proceed in
-  // parallel.
-  std::unique_lock session_lock(session->m);
-  LockDepthGuard depth;
-  if (session->closed.load(std::memory_order_acquire)) {
+  // parallel. Alias first, lock through the alias: thread-safety analysis
+  // matches guarded accesses below against the lock expression s.m.
+  Session& s = *session;
+  MutexLock session_lock(s.m);
+  if (s.closed.load(std::memory_order_acquire)) {
     // close_session won the race: deterministic typed rejection.
     return rejection_record(StatusCode::kSessionNotAttested);
   }
-  Session& s = *session;
   // Strictly increasing counters prevent replay within a session.
   if (counter < s.recv_counter) return rejection_record();
   std::optional<Bytes> plaintext;
@@ -322,8 +293,7 @@ void SecureServer::close_session(std::uint64_t session_id) {
   std::shared_ptr<Session> session;
   {
     Stripe& stripe = stripe_for(session_id);
-    auto lock = lock_stripe(stripe);
-    LockDepthGuard depth;
+    ContendedMutexLock lock(stripe.m, stripe_collisions_);
     const auto it = stripe.sessions.find(session_id);
     if (it == stripe.sessions.end()) return;
     session = std::move(it->second);

@@ -21,12 +21,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "crypto/aead.h"
 #include "crypto/dh.h"
@@ -111,7 +111,8 @@ struct SecureServerOptions {
 /// may even re-enter handle(). The one restriction left is that a
 /// RequestHandler must not re-enter handle() — it runs under its
 /// session's lock, and the no-crypto-under-a-lock discipline (enforced
-/// by a debug-build assert) covers every record type.
+/// by the debug lock-rank detector: every handshake crypto stage runs
+/// behind lockrank::assert_none_held) covers every record type.
 class SecureServer {
  public:
   /// Decides whether to accept a handshake. Receives the client's payload
@@ -165,14 +166,15 @@ class SecureServer {
     // Per-session lock: serializes records *of this session* (counter
     // discipline demands it); records of different sessions never share a
     // lock. The AEAD contexts and cached ADs are immutable after
-    // construction.
-    std::mutex m;
+    // construction. Ranked above the stripe lock: the request handler
+    // runs under this lock and may call close_session (stripe).
+    Mutex m{LockRank::kSecureSession, "net.secure_session"};
     crypto::Aead c2s;
     crypto::Aead s2c;
     Bytes ad_c2s;  // per-session associated data, built once per session
     Bytes ad_s2c;
-    std::uint64_t recv_counter = 0;
-    std::uint64_t send_counter = 0;
+    std::uint64_t recv_counter GUARDED_BY(m) = 0;
+    std::uint64_t send_counter GUARDED_BY(m) = 0;
     /// Set by close_session without taking `m` (close must not block on —
     /// or deadlock with — a handler calling close for its own session).
     std::atomic<bool> closed{false};
@@ -186,15 +188,17 @@ class SecureServer {
   };
 
   struct Stripe {
-    mutable std::mutex m;
-    std::unordered_map<std::uint64_t, std::shared_ptr<Session>> sessions;
+    mutable Mutex m{LockRank::kSecureStripe, "net.secure_stripe"};
+    std::unordered_map<std::uint64_t, std::shared_ptr<Session>> sessions
+        GUARDED_BY(m);
   };
 
   Stripe& stripe_for(std::uint64_t session_id) {
     return stripes_[session_id % stripes_.size()];
   }
-  /// Lock a stripe, counting contended acquisitions.
-  std::unique_lock<std::mutex> lock_stripe(const Stripe& stripe);
+  // Stripe locking uses ContendedMutexLock(stripe.m, stripe_collisions_)
+  // inline: it counts contended acquisitions for stats() while keeping
+  // the acquisition visible to thread-safety analysis.
 
   Bytes handle_handshake(ByteReader& r);
   Bytes handle_data(ByteReader& r);

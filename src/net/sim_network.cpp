@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/error.h"
+#include "common/mutex.h"
 
 namespace sinclave::net {
 
@@ -30,12 +31,14 @@ struct SimNetwork::Connection::Core {
   }
 
   const LatencyModel latency;
-  mutable std::mutex mutex;  // guards listeners + in_flight + destroyed
-  std::condition_variable drained;
+  // Guards listeners + in_flight + destroyed.
+  mutable Mutex mutex{LockRank::kNetCore, "net.sim_core"};
+  CondVar drained;
   // Listeners are held by shared_ptr so a request dispatched concurrently
   // with shutdown() keeps the closure alive until it completes.
-  std::map<std::string, std::shared_ptr<Listener>> listeners;
-  bool destroyed = false;
+  std::map<std::string, std::shared_ptr<Listener>> listeners
+      GUARDED_BY(mutex);
+  bool destroyed GUARDED_BY(mutex) = false;
   std::atomic<std::int64_t> virtual_time_ns{0};
   std::atomic<std::uint64_t> round_trips{0};
 };
@@ -58,7 +61,7 @@ struct SimNetwork::Completion::State {
       // only that the *handler side* is done with the request. A client
       // callback may therefore still be running when shutdown returns —
       // and may itself call shutdown without deadlocking on its own count.
-      std::lock_guard lock(core->mutex);
+      MutexLock lock(core->mutex);
       if (--listener->in_flight == 0) core->drained.notify_all();
     }
     callback(std::move(response), error);
@@ -90,7 +93,7 @@ SimNetwork::SimNetwork(LatencyModel latency)
 SimNetwork::~SimNetwork() {
   std::map<std::string, std::shared_ptr<Connection::Core::Listener>> doomed;
   {
-    std::lock_guard lock(core_->mutex);
+    MutexLock lock(core_->mutex);
     core_->destroyed = true;
     doomed.swap(core_->listeners);
   }
@@ -112,7 +115,7 @@ void SimNetwork::listen_async(const std::string& address,
   if (!handler) throw Error("net: null handler");
   auto listener = std::make_shared<Connection::Core::Listener>();
   listener->handler = std::move(handler);
-  std::lock_guard lock(core_->mutex);
+  MutexLock lock(core_->mutex);
   const auto [it, inserted] =
       core_->listeners.emplace(address, std::move(listener));
   (void)it;
@@ -120,18 +123,18 @@ void SimNetwork::listen_async(const std::string& address,
 }
 
 void SimNetwork::shutdown(const std::string& address) {
-  std::unique_lock lock(core_->mutex);
+  MutexLock lock(core_->mutex);
   const auto it = core_->listeners.find(address);
   if (it == core_->listeners.end()) return;
   std::shared_ptr<Connection::Core::Listener> listener = it->second;
   core_->listeners.erase(it);
   // Block until every request that already holds this listener has been
   // completed, so the service behind it may safely free its state.
-  core_->drained.wait(lock, [&] { return listener->in_flight == 0; });
+  while (listener->in_flight != 0) core_->drained.wait(core_->mutex);
 }
 
 bool SimNetwork::has_listener(const std::string& address) const {
-  std::lock_guard lock(core_->mutex);
+  MutexLock lock(core_->mutex);
   return core_->listeners.contains(address);
 }
 
@@ -159,7 +162,7 @@ void SimNetwork::Connection::dispatch(ByteView request, Callback callback,
   if (!callback) throw Error("net: null callback");
   std::shared_ptr<Core::Listener> listener;
   {
-    std::lock_guard lock(core_->mutex);
+    MutexLock lock(core_->mutex);
     if (core_->destroyed)
       throw Error("net: network destroyed: " + address_);
     const auto it = core_->listeners.find(address_);
@@ -195,22 +198,22 @@ void SimNetwork::Connection::dispatch(ByteView request, Callback callback,
 
 Bytes SimNetwork::Connection::call(ByteView request) {
   struct Waiter {
-    std::mutex mutex;
-    std::condition_variable cv;
-    bool done = false;
-    Bytes response;
-    std::exception_ptr error;
+    Mutex mutex{LockRank::kNetWaiter, "net.call_waiter"};
+    CondVar cv;
+    bool done GUARDED_BY(mutex) = false;
+    Bytes response GUARDED_BY(mutex);
+    std::exception_ptr error GUARDED_BY(mutex);
   };
   auto waiter = std::make_shared<Waiter>();
   dispatch(request, [waiter](Bytes response, std::exception_ptr error) {
-    std::lock_guard lock(waiter->mutex);
+    MutexLock lock(waiter->mutex);
     waiter->response = std::move(response);
     waiter->error = error;
     waiter->done = true;
     waiter->cv.notify_all();
   }, /*sleep_latency=*/true);
-  std::unique_lock lock(waiter->mutex);
-  waiter->cv.wait(lock, [&] { return waiter->done; });
+  MutexLock lock(waiter->mutex);
+  while (!waiter->done) waiter->cv.wait(waiter->mutex);
   if (waiter->error) std::rethrow_exception(waiter->error);
   return std::move(waiter->response);
 }

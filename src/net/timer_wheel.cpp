@@ -8,7 +8,7 @@ TimerWheel::TimerWheel() : thread_([this] { run(); }) {}
 
 TimerWheel::~TimerWheel() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   wake_.notify_all();
@@ -18,7 +18,7 @@ TimerWheel::~TimerWheel() {
 void TimerWheel::schedule_after(std::chrono::nanoseconds delay, Callback fn) {
   if (!fn) throw Error("timer: null callback");
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopping_) throw Error("timer: shutting down");
     heap_.push(Entry{Clock::now() + delay, next_seq_++, std::move(fn)});
   }
@@ -26,31 +26,33 @@ void TimerWheel::schedule_after(std::chrono::nanoseconds delay, Callback fn) {
 }
 
 std::size_t TimerWheel::pending() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return heap_.size();
 }
 
 void TimerWheel::run() {
-  std::unique_lock lock(mutex_);
   for (;;) {
-    if (heap_.empty()) {
-      if (stopping_) return;
-      wake_.wait(lock, [this] { return stopping_ || !heap_.empty(); });
-      continue;
+    Callback fn;
+    {
+      MutexLock lock(mutex_);
+      if (heap_.empty()) {
+        if (stopping_) return;
+        while (!(stopping_ || !heap_.empty())) wake_.wait(mutex_);
+        continue;
+      }
+      const Clock::time_point deadline = heap_.top().deadline;
+      // Stopping fires everything immediately; otherwise sleep until the
+      // earliest deadline (re-checking when a new earlier timer arrives).
+      if (!stopping_ && Clock::now() < deadline) {
+        wake_.wait_until(mutex_, deadline);
+        continue;
+      }
+      // priority_queue::top() is const; the callback has to be moved out
+      // via const_cast, which is safe because pop() follows before anyone
+      // else can observe the entry.
+      fn = std::move(const_cast<Entry&>(heap_.top()).fn);
+      heap_.pop();
     }
-    const Clock::time_point deadline = heap_.top().deadline;
-    // Stopping fires everything immediately; otherwise sleep until the
-    // earliest deadline (re-checking when a new earlier timer arrives).
-    if (!stopping_ && Clock::now() < deadline) {
-      wake_.wait_until(lock, deadline);
-      continue;
-    }
-    // priority_queue::top() is const; the callback has to be moved out via
-    // const_cast, which is safe because pop() follows before anyone else
-    // can observe the entry.
-    Callback fn = std::move(const_cast<Entry&>(heap_.top()).fn);
-    heap_.pop();
-    lock.unlock();
     // Counted before running so an observer woken *by* the callback
     // already sees it included.
     fired_.fetch_add(1, std::memory_order_relaxed);
@@ -60,7 +62,6 @@ void TimerWheel::run() {
       // A timer callback must not take down the wheel; completions report
       // errors through their own response channels.
     }
-    lock.lock();
   }
 }
 

@@ -18,13 +18,13 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace sinclave::net {
 
@@ -43,10 +43,11 @@ class TimerWheel {
   /// as the timer thread gets to them — never inline on the caller).
   /// Throws Error after shutdown began. Callbacks run on the timer thread
   /// and must not block on it (scheduling further timers is fine).
-  void schedule_after(std::chrono::nanoseconds delay, Callback fn);
+  void schedule_after(std::chrono::nanoseconds delay, Callback fn)
+      REQUIRES_NOT(mutex_);
 
   /// Timers scheduled but not yet fired.
-  std::size_t pending() const;
+  std::size_t pending() const REQUIRES_NOT(mutex_);
   /// Timers fired so far (including any fired early at shutdown).
   std::uint64_t fired() const { return fired_.load(); }
 
@@ -63,13 +64,14 @@ class TimerWheel {
     }
   };
 
-  void run();
+  void run() REQUIRES_NOT(mutex_);
 
-  mutable std::mutex mutex_;
-  std::condition_variable wake_;
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::uint64_t next_seq_ = 0;
-  bool stopping_ = false;
+  mutable Mutex mutex_{LockRank::kTimerWheel, "net.timer_wheel"};
+  CondVar wake_;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_
+      GUARDED_BY(mutex_);
+  std::uint64_t next_seq_ GUARDED_BY(mutex_) = 0;
+  bool stopping_ GUARDED_BY(mutex_) = false;
   std::atomic<std::uint64_t> fired_{0};
   std::thread thread_;  // last member: started after, joined before the rest
 };

@@ -193,14 +193,14 @@ std::string MetricsSnapshot::to_text() const {
 }
 
 std::uint64_t MetricsRegistry::add_collector(Collector fn) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const std::uint64_t id = next_id_++;
   collectors_.emplace_back(id, std::move(fn));
   return id;
 }
 
 void MetricsRegistry::remove_collector(std::uint64_t id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto it = collectors_.begin(); it != collectors_.end(); ++it) {
     if (it->first == id) {
       collectors_.erase(it);
@@ -213,7 +213,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   // Collectors run under the mutex on purpose: remove_collector()
   // returning then proves the callback is not mid-flight, which is what
   // lets registrants unregister from their destructors.
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   MetricsSnapshot snap;
   for (const auto& [id, fn] : collectors_) fn(snap);
   return snap;

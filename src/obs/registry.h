@@ -24,10 +24,10 @@
 #include <array>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "obs/histogram.h"
 
 namespace sinclave::obs {
@@ -68,17 +68,18 @@ class MetricsRegistry {
   /// Collectors run in registration order at every snapshot(), under the
   /// registry mutex — keep them cheap and never call back into the
   /// registry from inside one (self-deadlock).
-  std::uint64_t add_collector(Collector fn);
+  std::uint64_t add_collector(Collector fn) REQUIRES_NOT(mutex_);
 
   /// Blocks until no snapshot is running the collector, then removes it.
-  void remove_collector(std::uint64_t id);
+  void remove_collector(std::uint64_t id) REQUIRES_NOT(mutex_);
 
-  MetricsSnapshot snapshot() const;
+  MetricsSnapshot snapshot() const REQUIRES_NOT(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::uint64_t next_id_ = 1;
-  std::vector<std::pair<std::uint64_t, Collector>> collectors_;
+  mutable Mutex mutex_{LockRank::kMetricsRegistry, "obs.metrics_registry"};
+  std::uint64_t next_id_ GUARDED_BY(mutex_) = 1;
+  std::vector<std::pair<std::uint64_t, Collector>> collectors_
+      GUARDED_BY(mutex_);
 };
 
 }  // namespace sinclave::obs

@@ -4,8 +4,9 @@
 #include <cstdio>
 #include <cstring>
 #include <deque>
-#include <mutex>
 #include <unordered_map>
+
+#include "common/mutex.h"
 
 namespace sinclave::obs {
 
@@ -97,17 +98,17 @@ TlsState& tls() {
 }  // namespace
 
 struct Tracer::State {
-  std::mutex mutex;
-  std::vector<std::shared_ptr<Ring>> rings;
-  std::vector<std::unique_ptr<Phase>> phases;
+  Mutex mutex{LockRank::kObsTrace, "obs.trace_state"};
+  std::vector<std::shared_ptr<Ring>> rings GUARDED_BY(mutex);
+  std::vector<std::unique_ptr<Phase>> phases GUARDED_BY(mutex);
   // Collection floor: records whose end is at or before this are invisible
   // to collect() — how reset_traces() isolates without touching live rings.
-  std::int64_t floor_ns = 0;
+  std::int64_t floor_ns GUARDED_BY(mutex) = 0;
   // High-water mark of root ends already examined for slowness, so a trace
   // still sitting in a ring is not re-appended to the slow log every
   // collection.
-  std::int64_t slow_watermark_ns = 0;
-  std::deque<Trace> slow_log;
+  std::int64_t slow_watermark_ns GUARDED_BY(mutex) = 0;
+  std::deque<Trace> slow_log GUARDED_BY(mutex);
 };
 
 Tracer& Tracer::instance() {
@@ -135,7 +136,7 @@ std::uint64_t Tracer::new_trace_id() {
 }
 
 Phase& Tracer::phase(const char* name) {
-  std::lock_guard<std::mutex> lock(state_->mutex);
+  MutexLock lock(state_->mutex);
   for (const auto& p : state_->phases)
     if (std::strcmp(p->name(), name) == 0) return *p;
   state_->phases.emplace_back(new Phase(name));
@@ -143,7 +144,7 @@ Phase& Tracer::phase(const char* name) {
 }
 
 std::vector<const Phase*> Tracer::phases() const {
-  std::lock_guard<std::mutex> lock(state_->mutex);
+  MutexLock lock(state_->mutex);
   std::vector<const Phase*> out;
   out.reserve(state_->phases.size());
   for (const auto& p : state_->phases) out.push_back(p.get());
@@ -162,14 +163,14 @@ std::vector<Tracer::PhaseSummary> Tracer::phase_summaries() const {
 }
 
 void Tracer::reset_phases() {
-  std::lock_guard<std::mutex> lock(state_->mutex);
+  MutexLock lock(state_->mutex);
   for (const auto& p : state_->phases) p->latency().reset();
 }
 
 Ring& Tracer::thread_ring() {
   thread_local std::shared_ptr<Ring> ring;
   if (!ring) {
-    std::lock_guard<std::mutex> lock(state_->mutex);
+    MutexLock lock(state_->mutex);
     // Adopt the ring of a dead thread (only the registry still holds it)
     // before allocating a new one: thread churn must not grow memory.
     for (const auto& r : state_->rings) {
@@ -232,6 +233,9 @@ std::chrono::nanoseconds Tracer::slow_threshold() const {
 }
 
 std::vector<Trace> Tracer::assemble_locked(std::size_t max_traces) {
+  // Every caller holds state_->mutex; State is opaque in the header, so
+  // the contract is asserted here instead of spelled as REQUIRES there.
+  state_->mutex.assert_held();
   std::vector<CollectedSpan> all;
   for (const auto& ring : state_->rings) ring->drain(all);
 
@@ -295,18 +299,18 @@ std::vector<Trace> Tracer::assemble_locked(std::size_t max_traces) {
 }
 
 std::vector<Trace> Tracer::collect(std::size_t max_traces) {
-  std::lock_guard<std::mutex> lock(state_->mutex);
+  MutexLock lock(state_->mutex);
   return assemble_locked(max_traces);
 }
 
 std::vector<Trace> Tracer::slow_traces() {
-  std::lock_guard<std::mutex> lock(state_->mutex);
+  MutexLock lock(state_->mutex);
   assemble_locked(0);  // harvest anything new first
   return std::vector<Trace>(state_->slow_log.begin(), state_->slow_log.end());
 }
 
 void Tracer::reset_traces() {
-  std::lock_guard<std::mutex> lock(state_->mutex);
+  MutexLock lock(state_->mutex);
   const std::int64_t now = now_ns();
   state_->floor_ns = now;
   state_->slow_watermark_ns = now;

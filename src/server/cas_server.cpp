@@ -348,7 +348,7 @@ bool CasServer::check_common(const cas::Policy& policy,
   bool flush_stale_pool = false;
   bool verified = false;
   {
-    std::lock_guard lock(verified_mutex_);
+    MutexLock lock(verified_mutex_);
     const auto it = verified_common_.find(policy.session_name);
     if (it != verified_common_.end()) {
       if (it->second.base_hash != *policy.base_hash ||
@@ -386,7 +386,7 @@ bool CasServer::check_common(const cas::Policy& policy,
   }
   bool replaced_same_base = false;
   {
-    std::lock_guard lock(verified_mutex_);
+    MutexLock lock(verified_mutex_);
     auto& entry = verified_common_[policy.session_name];
     replaced_same_base = entry.base_hash == *policy.base_hash &&
                          !(entry.sigstruct == request.common_sigstruct);
@@ -475,7 +475,7 @@ void CasServer::schedule_refill(const std::string& session) {
       const auto policy = cas_->get_policy(session);
       std::optional<VerifiedCommon> common;
       if (policy.has_value() && policy->base_hash.has_value()) {
-        std::lock_guard lock(verified_mutex_);
+        MutexLock lock(verified_mutex_);
         const auto it = verified_common_.find(session);
         if (it != verified_common_.end() &&
             it->second.base_hash == *policy->base_hash &&

@@ -45,11 +45,11 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "cas/service.h"
+#include "common/mutex.h"
 #include "core/base_hash.h"
 #include "net/sim_network.h"
 #include "net/timer_wheel.h"
@@ -179,8 +179,9 @@ class CasServer {
   ShardedPolicyStore policy_store_;
   SigStructCache sigstruct_cache_;
 
-  std::mutex verified_mutex_;
-  std::unordered_map<std::string, VerifiedCommon> verified_common_;
+  Mutex verified_mutex_{LockRank::kServerVerified, "server.verified_common"};
+  std::unordered_map<std::string, VerifiedCommon> verified_common_
+      GUARDED_BY(verified_mutex_);
 
   net::SimNetwork* net_ = nullptr;
   std::string address_;

@@ -18,7 +18,7 @@ ShardedPolicyStore::Shard& ShardedPolicyStore::shard_for(
 std::optional<cas::Policy> ShardedPolicyStore::get(
     const std::string& session_name) {
   Shard& shard = shard_for(session_name);
-  std::lock_guard lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   const auto it = shard.policies.find(session_name);
   if (it == shard.policies.end()) {
     ++misses_;
@@ -31,20 +31,20 @@ std::optional<cas::Policy> ShardedPolicyStore::get(
 void ShardedPolicyStore::put(const std::string& session_name,
                              const cas::Policy& policy) {
   Shard& shard = shard_for(session_name);
-  std::lock_guard lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   shard.policies[session_name] = policy;
 }
 
 void ShardedPolicyStore::erase(const std::string& session_name) {
   Shard& shard = shard_for(session_name);
-  std::lock_guard lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   shard.policies.erase(session_name);
 }
 
 std::size_t ShardedPolicyStore::size() const {
   std::size_t n = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard lock(shard->mutex);
+    MutexLock lock(shard->mutex);
     n += shard->policies.size();
   }
   return n;

@@ -10,13 +10,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "cas/service.h"
+#include "common/mutex.h"
 
 namespace sinclave::server {
 
@@ -37,8 +37,8 @@ class ShardedPolicyStore : public cas::PolicyCache {
 
  private:
   struct Shard {
-    mutable std::mutex mutex;
-    std::unordered_map<std::string, cas::Policy> policies;
+    mutable Mutex mutex{LockRank::kPolicyShard, "server.policy_shard"};
+    std::unordered_map<std::string, cas::Policy> policies GUARDED_BY(mutex);
   };
 
   Shard& shard_for(const std::string& session_name) const;

@@ -7,7 +7,7 @@ SigStructCache::SigStructCache(std::size_t capacity)
 
 void SigStructCache::set_low_watermark(std::size_t watermark,
                                        LowWatermarkCallback callback) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   watermark_ = watermark;
   low_watermark_ = std::move(callback);
 }
@@ -39,7 +39,7 @@ void SigStructCache::evict_over_capacity(std::vector<std::string>* starved) {
     bool empty;
     std::size_t remaining;
     {
-      std::lock_guard pool_lock(pool->mutex);
+      MutexLock pool_lock(pool->mutex);
       while (total_.load() > capacity_ && !pool->credentials.empty()) {
         pool->credentials.pop_front();
         --total_;
@@ -63,12 +63,12 @@ void SigStructCache::erase_if_drained(const std::string& session) {
   // every session ever served. The local shared_ptr keeps the pool (and
   // the mutex inside it) alive until after the lock is released.
   std::shared_ptr<SessionPool> pool;
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = pools_.find(session);
   if (it == pools_.end()) return;
   pool = it->second;
   {
-    std::lock_guard pool_lock(pool->mutex);
+    MutexLock pool_lock(pool->mutex);
     if (!pool->credentials.empty()) return;  // repopulated meanwhile
     lru_.erase(pool->lru_position);
     pools_.erase(it);
@@ -82,7 +82,7 @@ void SigStructCache::notify_starved(const std::vector<std::string>& starved) {
   // honest. The callback itself runs outside every cache lock.
   LowWatermarkCallback callback;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     callback = low_watermark_;
   }
   if (!callback) return;
@@ -93,10 +93,10 @@ void SigStructCache::put(const std::string& session,
                          cas::MintedCredential credential) {
   std::vector<std::string> starved;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     SessionPool& pool = touch(session);
     {
-      std::lock_guard pool_lock(pool.mutex);
+      MutexLock pool_lock(pool.mutex);
       pool.credentials.push_back(std::move(credential));
       ++total_;
     }
@@ -112,10 +112,10 @@ std::size_t SigStructCache::put_all(
   const std::size_t n = credentials.size();
   std::vector<std::string> starved;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     SessionPool& pool = touch(session);
     {
-      std::lock_guard pool_lock(pool.mutex);
+      MutexLock pool_lock(pool.mutex);
       for (cas::MintedCredential& credential : credentials)
         pool.credentials.push_back(std::move(credential));
       total_ += n;
@@ -137,7 +137,7 @@ std::optional<cas::MintedCredential> SigStructCache::take_if(
   std::shared_ptr<SessionPool> pool;
   std::size_t watermark = 0;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     watermark = watermark_;
     const auto it = pools_.find(session);
     if (it != pools_.end()) {
@@ -148,7 +148,7 @@ std::optional<cas::MintedCredential> SigStructCache::take_if(
   std::optional<cas::MintedCredential> result;
   std::size_t remaining = 0;
   if (pool != nullptr) {
-    std::lock_guard pool_lock(pool->mutex);
+    MutexLock pool_lock(pool->mutex);
     while (!pool->credentials.empty()) {
       cas::MintedCredential cred = std::move(pool->credentials.front());
       pool->credentials.pop_front();
@@ -176,12 +176,12 @@ bool SigStructCache::contains(const std::string& session,
                               const sgx::Measurement& mr_enclave) const {
   std::shared_ptr<SessionPool> pool;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = pools_.find(session);
     if (it == pools_.end()) return false;
     pool = it->second;
   }
-  std::lock_guard pool_lock(pool->mutex);
+  MutexLock pool_lock(pool->mutex);
   for (const auto& cred : pool->credentials)
     if (cred.mr_enclave == mr_enclave) return true;
   return false;
@@ -191,7 +191,7 @@ std::size_t SigStructCache::flush(const std::string& session) {
   std::size_t n = 0;
   std::size_t watermark = 0;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     watermark = watermark_;
     const auto it = pools_.find(session);
     if (it == pools_.end()) return 0;
@@ -199,7 +199,7 @@ std::size_t SigStructCache::flush(const std::string& session) {
     // the map erase below.
     const std::shared_ptr<SessionPool> pool = it->second;
     {
-      std::lock_guard pool_lock(pool->mutex);
+      MutexLock pool_lock(pool->mutex);
       n = pool->credentials.size();
       pool->credentials.clear();
       total_ -= n;
@@ -217,27 +217,27 @@ std::size_t SigStructCache::flush(const std::string& session) {
 std::size_t SigStructCache::pooled(const std::string& session) const {
   std::shared_ptr<SessionPool> pool;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = pools_.find(session);
     if (it == pools_.end()) return 0;
     pool = it->second;
   }
-  std::lock_guard pool_lock(pool->mutex);
+  MutexLock pool_lock(pool->mutex);
   return pool->credentials.size();
 }
 
 std::size_t SigStructCache::sessions() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return pools_.size();
 }
 
 bool SigStructCache::begin_refill(const std::string& session) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return refilling_.insert(session).second;
 }
 
 void SigStructCache::end_refill(const std::string& session) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   refilling_.erase(session);
 }
 

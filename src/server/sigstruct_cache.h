@@ -32,7 +32,6 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -40,6 +39,7 @@
 #include <vector>
 
 #include "cas/service.h"
+#include "common/mutex.h"
 
 namespace sinclave::server {
 
@@ -53,21 +53,25 @@ class SigStructCache {
   /// cache locks; it may re-enter the cache freely. One callback at a
   /// time; set before concurrent use begins.
   using LowWatermarkCallback = std::function<void(const std::string& session)>;
-  void set_low_watermark(std::size_t watermark, LowWatermarkCallback callback);
+  void set_low_watermark(std::size_t watermark, LowWatermarkCallback callback)
+      EXCLUDES(mutex_);
 
   /// Deposit a pre-minted, not-yet-issued credential for `session`.
   /// May evict from the least-recently-used session if over capacity.
-  void put(const std::string& session, cas::MintedCredential credential);
+  void put(const std::string& session, cas::MintedCredential credential)
+      EXCLUDES(mutex_);
 
   /// Deposit a whole refill batch under one lock acquisition (the batched
   /// mint path). Eviction and low-watermark notification behave exactly
   /// like a sequence of put()s. Returns the number deposited.
   std::size_t put_all(const std::string& session,
-                      std::vector<cas::MintedCredential> credentials);
+                      std::vector<cas::MintedCredential> credentials)
+      EXCLUDES(mutex_);
 
   /// Pop a pre-minted credential for `session`. Hit: the caller serves it
   /// (and must register its token). Miss: nullopt, mint inline.
-  std::optional<cas::MintedCredential> take(const std::string& session);
+  std::optional<cas::MintedCredential> take(const std::string& session)
+      EXCLUDES(mutex_);
 
   /// Like take(), but pops until `valid` accepts a credential. Rejected
   /// credentials are discarded and counted as evictions, not hits — this
@@ -75,22 +79,23 @@ class SigStructCache {
   /// stale. `valid` runs under the per-session lock; keep it cheap.
   std::optional<cas::MintedCredential> take_if(
       const std::string& session,
-      const std::function<bool(const cas::MintedCredential&)>& valid);
+      const std::function<bool(const cas::MintedCredential&)>& valid)
+      EXCLUDES(mutex_);
 
   /// Whether a credential with this predicted MRENCLAVE is pooled.
   bool contains(const std::string& session,
-                const sgx::Measurement& mr_enclave) const;
+                const sgx::Measurement& mr_enclave) const EXCLUDES(mutex_);
 
   /// Discard every pooled credential of one session (policy update made
   /// them stale). Returns the number discarded.
-  std::size_t flush(const std::string& session);
+  std::size_t flush(const std::string& session) EXCLUDES(mutex_);
 
   /// Credentials pooled for one session / across all sessions.
-  std::size_t pooled(const std::string& session) const;
+  std::size_t pooled(const std::string& session) const EXCLUDES(mutex_);
   std::size_t size() const { return total_.load(); }
   std::size_t capacity() const { return capacity_; }
   /// Distinct sessions currently holding a pool (bounded by eviction).
-  std::size_t sessions() const;
+  std::size_t sessions() const EXCLUDES(mutex_);
 
   std::uint64_t hits() const { return hits_.load(); }
   std::uint64_t misses() const { return misses_.load(); }
@@ -99,42 +104,46 @@ class SigStructCache {
   /// Begin-refill guard: true at most once per session until end_refill.
   /// Lets exactly one worker top up a session's pool at a time. The guard
   /// survives eviction of the session's pool (see header comment).
-  bool begin_refill(const std::string& session);
-  void end_refill(const std::string& session);
+  bool begin_refill(const std::string& session) EXCLUDES(mutex_);
+  void end_refill(const std::string& session) EXCLUDES(mutex_);
 
  private:
   struct SessionPool {
-    mutable std::mutex mutex;
-    std::deque<cas::MintedCredential> credentials;
+    mutable Mutex mutex{LockRank::kSigstructPool, "server.sigstruct_pool"};
+    std::deque<cas::MintedCredential> credentials GUARDED_BY(mutex);
     /// Position in the LRU list (most recently used at the front).
+    /// Guarded by the *cache* mutex_, not the pool mutex — it indexes
+    /// cache-level state (a cross-object guard TSA cannot spell).
     std::list<std::string>::iterator lru_position;
   };
 
   /// Find-or-create the session pool and mark it most recently used.
-  /// Caller must hold mutex_.
-  SessionPool& touch(const std::string& session);
-  /// Caller must hold mutex_. Sessions whose pools dropped below the
-  /// watermark are appended to `starved` for the caller to notify after
-  /// releasing the locks.
-  void evict_over_capacity(std::vector<std::string>* starved);
+  SessionPool& touch(const std::string& session) REQUIRES(mutex_);
+  /// Sessions whose pools dropped below the watermark are appended to
+  /// `starved` for the caller to notify after releasing the locks.
+  void evict_over_capacity(std::vector<std::string>* starved)
+      REQUIRES(mutex_);
   /// Fire the low-watermark callback for each starved session, outside
   /// all cache locks.
-  void notify_starved(const std::vector<std::string>& starved);
+  void notify_starved(const std::vector<std::string>& starved)
+      REQUIRES_NOT(mutex_);
   /// Erase `session`'s pool if it holds no credentials (keeps the session
   /// map bounded; the refill guard is elsewhere and unaffected).
-  void erase_if_drained(const std::string& session);
+  void erase_if_drained(const std::string& session) REQUIRES_NOT(mutex_);
 
   const std::size_t capacity_;
-  mutable std::mutex mutex_;  // guards pools_ map + lru_ list + refilling_
+  // Guards pools_ map + lru_ list + refilling_ + the watermark pair.
+  mutable Mutex mutex_{LockRank::kSigstructCache, "server.sigstruct_cache"};
   // shared_ptr (not unique_ptr): take_if works on the pool outside mutex_,
   // and eviction may erase the map entry meanwhile.
-  std::unordered_map<std::string, std::shared_ptr<SessionPool>> pools_;
-  std::list<std::string> lru_;
+  std::unordered_map<std::string, std::shared_ptr<SessionPool>> pools_
+      GUARDED_BY(mutex_);
+  std::list<std::string> lru_ GUARDED_BY(mutex_);
   /// Sessions with a refill in flight — deliberately not part of the
   /// evictable SessionPool (end_refill must find it after eviction).
-  std::unordered_set<std::string> refilling_;
-  std::size_t watermark_ = 0;
-  LowWatermarkCallback low_watermark_;
+  std::unordered_set<std::string> refilling_ GUARDED_BY(mutex_);
+  std::size_t watermark_ GUARDED_BY(mutex_) = 0;
+  LowWatermarkCallback low_watermark_ GUARDED_BY(mutex_);
   std::atomic<std::size_t> total_{0};
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};

@@ -13,7 +13,7 @@ ThreadPool::ThreadPool(std::size_t n_workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   wake_.notify_all();
@@ -23,7 +23,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(Job job) {
   if (!job) throw Error("thread pool: null job");
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopping_) throw Error("thread pool: shutting down");
     queue_.push_back(std::move(job));
   }
@@ -31,12 +31,12 @@ void ThreadPool::submit(Job job) {
 }
 
 void ThreadPool::drain() {
-  std::unique_lock lock(mutex_);
-  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lock(mutex_);
+  while (!(queue_.empty() && active_ == 0)) idle_.wait(mutex_);
 }
 
 std::size_t ThreadPool::queued() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return queue_.size();
 }
 
@@ -44,8 +44,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     Job job;
     {
-      std::unique_lock lock(mutex_);
-      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!(stopping_ || !queue_.empty())) wake_.wait(mutex_);
       // Keep draining queued work during shutdown so submitted jobs (and
       // the futures blocked on them) always complete.
       if (queue_.empty()) return;
@@ -60,7 +60,7 @@ void ThreadPool::worker_loop() {
       // each job's own response channel.
     }
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       --active_;
       if (queue_.empty() && active_ == 0) idle_.notify_all();
     }

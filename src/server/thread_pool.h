@@ -5,13 +5,13 @@
 // caller (cas_server.cpp) — the pool itself only knows "run this".
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace sinclave::server {
 
@@ -32,23 +32,23 @@ class ThreadPool {
   /// Enqueue a job. Throws Error after shutdown began. A job must not
   /// block on the completion of a job it submits itself (the classic pool
   /// deadlock) — submit-and-forget is fine.
-  void submit(Job job);
+  void submit(Job job) REQUIRES_NOT(mutex_);
 
   /// Block until the queue is empty and every worker is idle.
-  void drain();
+  void drain() REQUIRES_NOT(mutex_);
 
   std::size_t size() const { return workers_.size(); }
-  std::size_t queued() const;
+  std::size_t queued() const REQUIRES_NOT(mutex_);
 
  private:
-  void worker_loop();
+  void worker_loop() REQUIRES_NOT(mutex_);
 
-  mutable std::mutex mutex_;
-  std::condition_variable wake_;       // workers wait for jobs
-  std::condition_variable idle_;       // drain() waits for quiescence
-  std::deque<Job> queue_;
-  std::size_t active_ = 0;
-  bool stopping_ = false;
+  mutable Mutex mutex_{LockRank::kThreadPool, "server.thread_pool"};
+  CondVar wake_;                       // workers wait for jobs
+  CondVar idle_;                       // drain() waits for quiescence
+  std::deque<Job> queue_ GUARDED_BY(mutex_);
+  std::size_t active_ GUARDED_BY(mutex_) = 0;
+  bool stopping_ GUARDED_BY(mutex_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -3,12 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
-#include <condition_variable>
-#include <mutex>
 #include <thread>
 
 #include "cas/client.h"
 #include "common/error.h"
+#include "common/mutex.h"
 
 namespace sinclave::workload {
 
@@ -120,7 +119,7 @@ LoadGenResult run_closed_loop(net::SimNetwork& net,
 
   LoadGenResult result;
   server::LatencyHistogram histogram;
-  std::mutex result_mutex;  // guards ok/failed/first_error/tokens
+  Mutex result_mutex{LockRank::kWorkloadResult, "workload.result"};
   // Measured, not assumed: a client that errors out early stops
   // contributing, so the observed concurrency can be below `clients`.
   std::atomic<std::uint64_t> in_flight{0}, max_in_flight{0};
@@ -159,7 +158,7 @@ LoadGenResult run_closed_loop(net::SimNetwork& net,
         if (first_error.empty()) first_error = got.status.message();
       }
     }
-    std::lock_guard lock(result_mutex);
+    MutexLock lock(result_mutex);
     result.ok += ok;
     result.failed += failed;
     if (result.first_error.empty()) result.first_error = first_error;
@@ -191,12 +190,13 @@ struct OpenLoopState {
   std::atomic<std::uint64_t> in_flight_samples_sum{0};
   std::atomic<std::uint64_t> issued{0};
   std::atomic<std::uint64_t> completed{0};
-  std::mutex mutex;  // guards the aggregates below + completion cv
-  std::condition_variable all_done;
-  std::uint64_t ok = 0;
-  std::uint64_t failed = 0;
-  std::string first_error;
-  std::vector<std::string> tokens;
+  // Guards the aggregates below + completion cv.
+  Mutex mutex{LockRank::kWorkloadResult, "workload.open_loop"};
+  CondVar all_done;
+  std::uint64_t ok GUARDED_BY(mutex) = 0;
+  std::uint64_t failed GUARDED_BY(mutex) = 0;
+  std::string first_error GUARDED_BY(mutex);
+  std::vector<std::string> tokens GUARDED_BY(mutex);
 };
 
 LoadGenResult run_open_loop(net::SimNetwork& net,
@@ -232,7 +232,7 @@ LoadGenResult run_open_loop(net::SimNetwork& net,
         state->in_flight.fetch_sub(1, std::memory_order_relaxed);
     state->in_flight_samples_sum.fetch_add(level, std::memory_order_relaxed);
     {
-      std::lock_guard lock(state->mutex);
+      MutexLock lock(state->mutex);
       if (got.ok()) {
         ++state->ok;
         state->tokens.push_back(got.token.hex());
@@ -283,16 +283,15 @@ LoadGenResult run_open_loop(net::SimNetwork& net,
   // completions still parked server-side. `issued` is final after the
   // joins, so the predicate cannot race a growing target.
   {
-    std::unique_lock lock(state->mutex);
-    state->all_done.wait(lock, [&] {
-      return state->completed.load() >= state->issued.load();
-    });
+    MutexLock lock(state->mutex);
+    while (state->completed.load() < state->issued.load())
+      state->all_done.wait(state->mutex);
   }
 
   LoadGenResult result;
   result.wall = Clock::now() - start;
   {
-    std::lock_guard lock(state->mutex);
+    MutexLock lock(state->mutex);
     result.ok = state->ok;
     result.failed = state->failed;
     result.first_error = state->first_error;

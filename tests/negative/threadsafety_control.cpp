@@ -1,0 +1,37 @@
+// Control for the negative-compile check: identical shape to
+// threadsafety_violation.cpp but with correct locking. This file MUST
+// compile cleanly under
+//
+//   clang++ -fsyntax-only -Wthread-safety -Werror=thread-safety
+//
+// so that a failure of the violation file is attributable to the TSA
+// diagnostic rather than a broken include path or flag typo.
+
+#include "common/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() {
+    sinclave::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  int read() {
+    sinclave::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  sinclave::Mutex mu_{sinclave::LockRank::kCasObserve, "negative.counter"};
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump();
+  return c.read();
+}

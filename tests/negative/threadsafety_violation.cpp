@@ -1,0 +1,41 @@
+// Negative-compile fixture: this file MUST FAIL to compile under
+//
+//   clang++ -fsyntax-only -Wthread-safety -Werror=thread-safety
+//
+// CI compiles it expecting a nonzero exit. If it ever compiles cleanly,
+// the thread-safety annotations in common/mutex.h have silently lost
+// their teeth (e.g. the macros collapsed to no-ops under clang) and the
+// whole -Wthread-safety gate is vacuous. The companion file
+// threadsafety_control.cpp is the same shape with correct locking and
+// must PASS, proving the failure here is the TSA diagnostic and not a
+// broken include path.
+//
+// Deliberately OUTSIDE the tests/*.cpp glob (tests/negative/ is not
+// built into any test binary).
+
+#include "common/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  // BUG (on purpose): touches value_ without holding mu_.
+  void bump() { ++value_; }
+
+  int read() {
+    sinclave::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  sinclave::Mutex mu_{sinclave::LockRank::kCasObserve, "negative.counter"};
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump();
+  return c.read();
+}

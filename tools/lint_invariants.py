@@ -1,0 +1,359 @@
+#!/usr/bin/env python3
+"""Repo invariant linter: fast, AST-free checks of documented invariants.
+
+The repository's layering and concurrency rules are enforceable without a
+compiler — they are confinement rules about which tokens may appear in
+which files. This linter codifies the four documented ones:
+
+  wire-confinement    Wire-protocol serialization (InstanceRequest &
+                      friends ::serialize/::deserialize, the *_v0 legacy
+                      encoders) stays inside src/cas/protocol.* and
+                      src/cas/client.*. Everything else goes through the
+                      shared frontend glue so the two serving frontends
+                      answer identically.
+  raw-mutex           No std::mutex / std::shared_mutex / std::lock_guard
+                      / std::condition_variable (etc.) outside
+                      src/common/mutex.h. All locking goes through
+                      sinclave::Mutex so Clang thread-safety analysis and
+                      the debug lock-rank detector see every acquisition.
+                      (std::once_flag / std::call_once stay allowed: they
+                      are not lock-order-relevant.)
+  status-strings      The canonical error texts live in ONE table —
+                      status_message() in src/common/status.cpp. No other
+                      src/ file may repeat one as a string literal; compose
+                      with status_message(StatusCode::...) instead, so the
+                      frontends can never drift.
+  alloc-free          Files on the allocation-free signing hot path
+                      (asserted by tests/test_alloc.cpp's counting
+                      operator new) must not contain allocation tokens
+                      (new / malloc / make_unique / ...) at all.
+
+Diagnostics are file:line, exit status is nonzero when anything fired.
+--self-test seeds one violation of each class in a temp tree and checks
+every rule both fires on it and stays quiet on a clean tree.
+"""
+
+import argparse
+import re
+import sys
+import tempfile
+from pathlib import Path
+
+SOURCE_GLOBS = ("*.h", "*.cpp")
+
+# --- rule scopes -----------------------------------------------------------
+
+WIRE_ALLOWED = {
+    "src/cas/protocol.h",
+    "src/cas/protocol.cpp",
+    "src/cas/client.h",
+    "src/cas/client.cpp",
+}
+
+MUTEX_ALLOWED = {
+    "src/common/mutex.h",
+    "src/common/mutex.cpp",
+    "src/common/thread_annotations.h",
+}
+
+STATUS_TABLE = "src/common/status.cpp"
+
+# The signing hot path: tests/test_alloc.cpp proves these allocation-free
+# at runtime; the lint proves nobody reintroduces an allocation token.
+ALLOC_FREE_FILES = (
+    "src/crypto/bignum.h",
+    "src/crypto/bignum.cpp",
+    "src/crypto/sha256.cpp",
+    "src/crypto/sha256_fast.cpp",
+    "src/crypto/hmac.cpp",
+)
+
+WIRE_TYPES = (
+    "InstanceRequest|InstanceResponse|ConfigResponse|AttestPayload|"
+    "IntrospectRequest|IntrospectResponse"
+)
+RE_WIRE = re.compile(
+    r"\b(?:%s)\s*::\s*(?:serialize|deserialize)\b"
+    r"|\b(?:serialize_v0|deserialize_v0)\s*\(" % WIRE_TYPES
+)
+
+RE_RAW_MUTEX = re.compile(
+    r"\bstd\s*::\s*(?:mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"recursive_timed_mutex|shared_timed_mutex|condition_variable|"
+    r"condition_variable_any|lock_guard|unique_lock|scoped_lock|"
+    r"shared_lock|try_to_lock|defer_lock|adopt_lock)\b"
+)
+
+RE_ALLOC = re.compile(
+    r"\bnew\b|\bmalloc\b|\bcalloc\b|\brealloc\b|\bstrdup\b|"
+    r"\bmake_unique\b|\bmake_shared\b"
+)
+
+# Only table entries this long are distinctive enough to lint on ("ok"
+# and other short strings would false-positive everywhere).
+STATUS_MIN_LEN = 10
+
+
+def strip_code(text, blank_strings):
+    """Replace comments (and optionally string/char literals) with spaces.
+
+    Line structure is preserved so match offsets map back to line numbers.
+    Handles // and /* */ comments, escape sequences, and the simple raw
+    string form R"(...)" used in this codebase.
+    """
+    out = []
+    n = len(text)
+    i = 0
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append("".join(ch if ch == "\n" else " " for ch in text[i:j]))
+            i = j
+        elif c == "R" and text[i : i + 3] == 'R"(':
+            j = text.find(')"', i + 3)
+            j = n if j == -1 else j + 2
+            seg = text[i:j]
+            if blank_strings:
+                seg = "".join(ch if ch == "\n" else " " for ch in seg)
+            out.append(seg)
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            seg = text[i:j]
+            if blank_strings:
+                seg = quote + " " * max(0, len(seg) - 2) + (
+                    quote if seg.endswith(quote) and len(seg) > 1 else ""
+                )
+            out.append(seg)
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def line_of(text, offset):
+    return text.count("\n", 0, offset) + 1
+
+
+def iter_sources(root):
+    src = root / "src"
+    if not src.is_dir():
+        return
+    for pattern in SOURCE_GLOBS:
+        yield from sorted(src.rglob(pattern))
+
+
+def rel(root, path):
+    return path.relative_to(root).as_posix()
+
+
+def status_literals(root):
+    """String literals of the status_message() table (the canonical texts)."""
+    table = root / STATUS_TABLE
+    if not table.is_file():
+        return []
+    text = table.read_text(encoding="utf-8")
+    match = re.search(r"const\s+char\s*\*\s*status_message\b", text)
+    if match is None:
+        return []
+    # The function body ends at the first close brace in column zero.
+    end = text.find("\n}", match.start())
+    body = text[match.start() : end if end != -1 else len(text)]
+    literals = re.findall(r'return\s+"((?:[^"\\]|\\.)*)"', body)
+    return [lit for lit in literals if len(lit) >= STATUS_MIN_LEN]
+
+
+def check_wire(root, findings):
+    for path in iter_sources(root):
+        relpath = rel(root, path)
+        if relpath in WIRE_ALLOWED:
+            continue
+        text = strip_code(path.read_text(encoding="utf-8"), blank_strings=True)
+        for m in RE_WIRE.finditer(text):
+            findings.append(
+                (relpath, line_of(text, m.start()), "wire-confinement",
+                 "wire-protocol serialization '%s' outside "
+                 "src/cas/protocol.*|client.* — route through the shared "
+                 "frontend glue (serve_instance_frame & friends)"
+                 % " ".join(m.group(0).split())))
+
+
+def check_raw_mutex(root, findings):
+    for path in iter_sources(root):
+        relpath = rel(root, path)
+        if relpath in MUTEX_ALLOWED:
+            continue
+        text = strip_code(path.read_text(encoding="utf-8"), blank_strings=True)
+        for m in RE_RAW_MUTEX.finditer(text):
+            findings.append(
+                (relpath, line_of(text, m.start()), "raw-mutex",
+                 "raw '%s' outside common/mutex.h — use sinclave::Mutex/"
+                 "SharedMutex/CondVar so thread-safety analysis and the "
+                 "lock-rank detector see it" % m.group(0)))
+
+
+def check_status_strings(root, findings):
+    literals = status_literals(root)
+    if not literals:
+        findings.append(
+            (STATUS_TABLE, 1, "status-strings",
+             "could not extract the status_message() table "
+             "(moved or renamed? update tools/lint_invariants.py)"))
+        return
+    for path in iter_sources(root):
+        relpath = rel(root, path)
+        if relpath == STATUS_TABLE:
+            continue
+        # Comments stripped, string literals kept: the rule is about
+        # duplicated message *strings*, not prose mentioning a message.
+        text = strip_code(path.read_text(encoding="utf-8"),
+                          blank_strings=False)
+        for lit in literals:
+            for m in re.finditer(re.escape('"' + lit + '"'), text):
+                findings.append(
+                    (relpath, line_of(text, m.start()), "status-strings",
+                     'canonical error text "%s" duplicated outside the '
+                     "status_message table — compose with "
+                     "status_message(StatusCode::...)" % lit))
+
+
+def check_alloc_free(root, findings):
+    for relpath in ALLOC_FREE_FILES:
+        path = root / relpath
+        if not path.is_file():
+            continue
+        text = strip_code(path.read_text(encoding="utf-8"), blank_strings=True)
+        for m in RE_ALLOC.finditer(text):
+            findings.append(
+                (relpath, line_of(text, m.start()), "alloc-free",
+                 "allocation token '%s' in a file tests/test_alloc.cpp "
+                 "asserts allocation-free" % m.group(0)))
+
+
+CHECKS = (check_wire, check_raw_mutex, check_status_strings, check_alloc_free)
+
+
+def run_all(root):
+    findings = []
+    for check in CHECKS:
+        check(root, findings)
+    return sorted(findings)
+
+
+# --- self test -------------------------------------------------------------
+
+SELFTEST_STATUS_CPP = '''
+#include "common/status.h"
+const char* status_message(StatusCode code) {
+  switch (code) {
+    case StatusCode::kTokenReused:
+      return "token already spent";
+  }
+  return "internal error";
+}
+'''
+
+# One file per violation class; each also carries a line that must NOT
+# fire (comment/string forms), proving the stripper does its job.
+SELFTEST_VIOLATIONS = {
+    "src/server/bad_wire.cpp": (
+        "// InstanceRequest::deserialize in a comment is fine\n"
+        "auto r = InstanceRequest::deserialize(raw);\n",
+        "wire-confinement",
+    ),
+    "src/server/bad_mutex.cpp": (
+        "// prose about std::mutex stays legal\n"
+        "static std::mutex m;\n",
+        "raw-mutex",
+    ),
+    "src/server/bad_status.cpp": (
+        'throw Error("token already spent");\n',
+        "status-strings",
+    ),
+    "src/crypto/bignum.cpp": (
+        "// never reallocates (comment token must not fire)\n"
+        "int* leak = new int;\n",
+        "alloc-free",
+    ),
+}
+
+
+def self_test():
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="lint_selftest_") as tmp:
+        root = Path(tmp)
+        (root / "src/common").mkdir(parents=True)
+        (root / "src/common/status.cpp").write_text(SELFTEST_STATUS_CPP)
+
+        # Clean tree: nothing may fire.
+        clean = run_all(root)
+        if clean:
+            failures.append("clean tree produced findings: %r" % (clean,))
+
+        for relpath, (content, _) in SELFTEST_VIOLATIONS.items():
+            path = root / relpath
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(content)
+
+        findings = run_all(root)
+        fired = {rule for (_, _, rule, _) in findings}
+        for relpath, (_, rule) in SELFTEST_VIOLATIONS.items():
+            hits = [f for f in findings if f[0] == relpath and f[2] == rule]
+            if len(hits) != 1:
+                failures.append(
+                    "rule %s: expected exactly 1 finding in %s, got %r"
+                    % (rule, relpath, hits))
+        unexpected = len(findings) - len(SELFTEST_VIOLATIONS)
+        if unexpected:
+            failures.append("unexpected extra findings: %r" % (findings,))
+        if fired != {r for (_, r) in SELFTEST_VIOLATIONS.values()}:
+            failures.append("rules fired: %r" % (sorted(fired),))
+
+    for failure in failures:
+        print("self-test FAIL: %s" % failure, file=sys.stderr)
+    if not failures:
+        print("self-test: all %d violation classes detected, clean tree "
+              "clean" % len(SELFTEST_VIOLATIONS))
+    return 1 if failures else 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root", type=Path,
+        default=Path(__file__).resolve().parent.parent,
+        help="repository root (default: parent of tools/)")
+    parser.add_argument(
+        "--self-test", action="store_true",
+        help="seed one violation per rule in a temp tree and verify each "
+             "is caught (and that a clean tree passes)")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+
+    findings = run_all(args.root)
+    for relpath, line, rule, message in findings:
+        print("%s:%d: [%s] %s" % (relpath, line, rule, message))
+    if findings:
+        print("%d invariant violation(s)" % len(findings), file=sys.stderr)
+        return 1
+    print("lint_invariants: OK (%d rules)" % len(CHECKS))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
