@@ -13,9 +13,25 @@ namespace sinclave::cas {
 
 namespace {
 
+using SteadyClock = std::chrono::steady_clock;
+
 Status transport_status(const std::exception& e) {
   return Status(StatusCode::kUnavailable, e.what());
 }
+
+/// SplitMix64 — same fixed-constant scrambler the fault injector and load
+/// generator use, so jitter draws are identical across toolchains.
+std::uint64_t splitmix(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Monotonic source of distinct default jitter seeds: clients constructed
+/// with jitter_seed == 0 each draw the next value, so a fleet built from
+/// one config still de-synchronizes its retry schedules.
+std::atomic<std::uint64_t> g_jitter_counter{1};
 
 /// Client-side trace root: opens a TraceScope for the operation and
 /// records its depth-0 root span on destruction, so client-perceived
@@ -48,10 +64,22 @@ struct RootScope {
 struct CasClient::Core {
   net::SimNetwork* net = nullptr;
   CasClientConfig config;
+  /// Resolved jitter stream: config.retry.jitter_seed, or a fresh draw
+  /// from g_jitter_counter when that is 0.
+  std::uint64_t jitter_seed = 0;
   std::atomic<std::uint64_t> next_request_id{1};
   Mutex connection_mutex{LockRank::kClientConnection, "cas.client_connection"};
   std::optional<net::SimNetwork::Connection> connection_cache
       GUARDED_BY(connection_mutex);
+
+  // Circuit breaker (enabled iff retry.breaker_threshold > 0): counts
+  // consecutive retryable failures across *operations and attempts*, and
+  // holds the wall-clock point until which the breaker stays open.
+  Mutex breaker_mutex{LockRank::kClientBreaker, "cas.client_breaker"};
+  std::size_t breaker_consecutive GUARDED_BY(breaker_mutex) = 0;
+  SteadyClock::time_point breaker_open_until GUARDED_BY(breaker_mutex){};
+  std::atomic<std::uint64_t> breaker_trips{0};
+  std::atomic<std::uint64_t> breaker_fast_fails{0};
 
   net::SimNetwork::Connection connection() REQUIRES_NOT(connection_mutex) {
     MutexLock lock(connection_mutex);
@@ -64,7 +92,79 @@ struct CasClient::Core {
     MutexLock lock(connection_mutex);
     connection_cache.reset();
   }
+
+  /// False = the breaker is open: the caller must fail fast with
+  /// breaker_open_detail() and not touch the wire. Counts the refusal.
+  bool breaker_allows() REQUIRES_NOT(breaker_mutex) {
+    if (config.retry.breaker_threshold == 0) return true;
+    MutexLock lock(breaker_mutex);
+    if (SteadyClock::now() < breaker_open_until) {
+      breaker_fast_fails.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
+  }
+
+  /// Feed one attempt's outcome to the breaker. Any answer from the
+  /// server — success or typed refusal — proves it alive and closes the
+  /// streak; only retryable failures (kUnavailable, transport) count
+  /// toward opening.
+  void breaker_record(bool retryable_failure) REQUIRES_NOT(breaker_mutex) {
+    if (config.retry.breaker_threshold == 0) return;
+    MutexLock lock(breaker_mutex);
+    if (!retryable_failure) {
+      breaker_consecutive = 0;
+      return;
+    }
+    if (++breaker_consecutive >= config.retry.breaker_threshold) {
+      breaker_consecutive = 0;
+      breaker_open_until =
+          SteadyClock::now() +
+          std::chrono::duration_cast<SteadyClock::duration>(
+              config.retry.breaker_cooldown);
+      breaker_trips.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
 };
+
+namespace {
+
+/// Shared retry pacing for the sync loops: tracks the operation's start,
+/// and after each retryable failure decides whether another attempt fits
+/// the budgets — sleeping the jittered (or server-hinted) backoff when it
+/// does.
+struct RetryPacer {
+  const RetryPolicy& policy;
+  std::uint64_t seed;
+  SteadyClock::time_point start = SteadyClock::now();
+
+  /// After a retryable failure on attempt #`attempt`: true = backoff
+  /// slept, go again; false = out of attempts or deadline budget, return
+  /// the last typed result as-is.
+  bool pace(std::size_t attempt, const Status& last, obs::Phase* backoff) {
+    if (attempt >= policy.max_attempts) return false;
+    auto sleep = policy.backoff_before(attempt, seed);
+    // A server that told us when to come back knows better than our dice.
+    if (const auto hint = parse_retry_after(last.detail))
+      sleep = std::chrono::duration_cast<std::chrono::microseconds>(*hint);
+    if (policy.deadline.count() > 0) {
+      const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+          SteadyClock::now() - start);
+      if (elapsed + sleep >= policy.deadline) return false;
+    }
+    if (sleep.count() > 0) {
+      if (backoff != nullptr) {
+        obs::Span span(*backoff);
+        std::this_thread::sleep_for(sleep);
+      } else {
+        std::this_thread::sleep_for(sleep);
+      }
+    }
+    return true;
+  }
+};
+
+}  // namespace
 
 namespace {
 
@@ -103,6 +203,29 @@ InstanceResult decode_response(ByteView raw, std::uint64_t request_id) {
 
 }  // namespace
 
+std::chrono::microseconds RetryPolicy::backoff_before(
+    std::size_t retry, std::uint64_t seed) const {
+  if (retry == 0) retry = 1;
+  const std::uint64_t base =
+      initial_backoff.count() > 0
+          ? static_cast<std::uint64_t>(initial_backoff.count())
+          : 0;
+  const std::uint64_t cap =
+      max_backoff.count() > 0 ? static_cast<std::uint64_t>(max_backoff.count())
+                              : base;
+  if (base == 0 || cap == 0) return std::chrono::microseconds{0};
+  // Saturating exponential window: base << (retry-1), clamped to cap
+  // (shift capped at 63 so large retry counts cannot overflow).
+  std::uint64_t window = base;
+  const std::size_t doublings = retry - 1;
+  for (std::size_t i = 0; i < doublings && window < cap; ++i) window <<= 1;
+  if (window > cap) window = cap;
+  // Full jitter: uniform in [0, window] from the (seed, retry) stream.
+  const std::uint64_t draw =
+      splitmix(seed ^ splitmix(retry * 0x9e3779b97f4a7c15ull));
+  return std::chrono::microseconds{draw % (window + 1)};
+}
+
 CasClient::CasClient(net::SimNetwork* net, CasClientConfig config)
     : core_(std::make_shared<Core>()) {
   if (net == nullptr) throw Error("cas client: network required");
@@ -110,6 +233,15 @@ CasClient::CasClient(net::SimNetwork* net, CasClientConfig config)
   if (config.retry.max_attempts == 0) config.retry.max_attempts = 1;
   core_->net = net;
   core_->config = std::move(config);
+  core_->jitter_seed =
+      core_->config.retry.jitter_seed != 0
+          ? core_->config.retry.jitter_seed
+          : splitmix(g_jitter_counter.fetch_add(1, std::memory_order_relaxed));
+}
+
+CasClient::Stats CasClient::stats() const {
+  return Stats{core_->breaker_trips.load(std::memory_order_relaxed),
+               core_->breaker_fast_fails.load(std::memory_order_relaxed)};
 }
 
 const CasClientConfig& CasClient::config() const { return core_->config; }
@@ -140,7 +272,12 @@ InstanceResult CasClient::get_instance(
   RootScope rs(p_root, 0);
 
   InstanceResult result;
-  auto backoff = core_->config.retry.initial_backoff;
+  if (!core_->breaker_allows()) {
+    result.status = Status(StatusCode::kUnavailable, breaker_open_detail());
+    result.attempts = 0;
+    return result;
+  }
+  RetryPacer pacer{core_->config.retry, core_->jitter_seed};
   for (std::size_t attempt = 1;; ++attempt) {
     const std::uint64_t id =
         core_->next_request_id.fetch_add(1, std::memory_order_relaxed);
@@ -157,14 +294,11 @@ InstanceResult CasClient::get_instance(
       core_->drop_connection();
     }
     result.attempts = attempt;
-    if (!result.status.retryable() ||
-        attempt >= core_->config.retry.max_attempts)
+    const bool retryable = result.status.retryable();
+    core_->breaker_record(retryable);
+    if (!retryable || !pacer.pace(attempt, result.status, &p_backoff))
       return result;
-    if (backoff.count() > 0) {
-      obs::Span span(p_backoff);
-      std::this_thread::sleep_for(backoff);
-    }
-    backoff *= 2;
+    if (!core_->breaker_allows()) return result;  // tripped mid-operation
   }
 }
 
@@ -176,7 +310,11 @@ IntrospectResponse CasClient::introspect(const IntrospectRequest& request) {
   RootScope rs(p_root, 0);
 
   IntrospectResponse result;
-  auto backoff = core_->config.retry.initial_backoff;
+  if (!core_->breaker_allows()) {
+    result.status = Status(StatusCode::kUnavailable, breaker_open_detail());
+    return result;
+  }
+  RetryPacer pacer{core_->config.retry, core_->jitter_seed};
   for (std::size_t attempt = 1;; ++attempt) {
     const std::uint64_t id =
         core_->next_request_id.fetch_add(1, std::memory_order_relaxed);
@@ -201,11 +339,11 @@ IntrospectResponse CasClient::introspect(const IntrospectRequest& request) {
       result.status = transport_status(e);
       core_->drop_connection();
     }
-    if (!result.status.retryable() ||
-        attempt >= core_->config.retry.max_attempts)
+    const bool retryable = result.status.retryable();
+    core_->breaker_record(retryable);
+    if (!retryable || !pacer.pace(attempt, result.status, nullptr))
       return result;
-    if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
-    backoff *= 2;
+    if (!core_->breaker_allows()) return result;  // tripped mid-operation
   }
 }
 
@@ -217,17 +355,32 @@ void CasClient::get_instance_async(const std::string& session_name,
   request.common_sigstruct = common_sigstruct;
   const std::uint64_t id =
       core_->next_request_id.fetch_add(1, std::memory_order_relaxed);
+  if (!core_->breaker_allows()) {
+    // Fail fast inline — the breaker refuses before anything is dispatched,
+    // so the callback runs on the caller's thread here.
+    InstanceResult result;
+    result.status = Status(StatusCode::kUnavailable, breaker_open_detail());
+    result.attempts = 0;
+    callback(result);
+    return;
+  }
+  const auto deadline_at =
+      core_->config.retry.deadline.count() > 0
+          ? SteadyClock::now() + core_->config.retry.deadline
+          : SteadyClock::time_point::max();
   issue_async(core_, encode_request(request, id), id,
-              core_->config.retry.max_attempts, 0, std::move(callback));
+              core_->config.retry.max_attempts, 0, deadline_at,
+              std::move(callback));
 }
 
 void CasClient::issue_async(std::shared_ptr<Core> core, Bytes wire,
                             std::uint64_t request_id,
                             std::size_t attempts_left,
                             std::size_t attempts_used,
+                            SteadyClock::time_point deadline_at,
                             InstanceCallback callback) {
   auto on_complete = [core, wire, request_id, attempts_left, attempts_used,
-                      callback = std::move(callback)](
+                      deadline_at, callback = std::move(callback)](
                          Bytes raw, std::exception_ptr error) mutable {
     InstanceResult result;
     if (error != nullptr) {
@@ -243,11 +396,14 @@ void CasClient::issue_async(std::shared_ptr<Core> core, Bytes wire,
       result = decode_response(raw, request_id);
     }
     result.attempts = attempts_used + 1;
-    if (result.status.retryable() && attempts_left > 1) {
+    const bool retryable = result.status.retryable();
+    core->breaker_record(retryable);
+    if (retryable && attempts_left > 1 && SteadyClock::now() < deadline_at &&
+        core->breaker_allows()) {
       // Re-issue inline: no sleeping on the completion thread (it may be
       // the server's timer thread). Open-loop issuers model pacing.
       issue_async(core, std::move(wire), request_id, attempts_left - 1,
-                  attempts_used + 1, std::move(callback));
+                  attempts_used + 1, deadline_at, std::move(callback));
       return;
     }
     callback(result);

@@ -40,10 +40,40 @@ namespace sinclave::cas {
 struct RetryPolicy {
   /// Total attempts, including the first (1 = never retry).
   std::size_t max_attempts = 3;
-  /// Backoff before the first retry; doubles per further retry. Only the
-  /// sync path sleeps — the async path re-issues immediately (an async
-  /// issuer models pacing itself; see get_instance_async).
+  /// Base of the backoff window before the first retry; the window
+  /// doubles per further retry (saturating at max_backoff) and the actual
+  /// sleep is drawn *full-jitter* — uniform in [0, window] — so a fleet
+  /// of clients knocked back by the same brownout does not return as a
+  /// synchronized retry storm. Only the sync path sleeps — the async path
+  /// re-issues immediately (an async issuer models pacing itself; see
+  /// get_instance_async). A server retry-after hint, when present in a
+  /// kUnavailable detail, overrides the drawn sleep.
   std::chrono::microseconds initial_backoff{200};
+  /// Saturation cap for one backoff window.
+  std::chrono::microseconds max_backoff{100'000};
+  /// Seed of the jitter stream. 0 (the default) auto-derives a distinct
+  /// seed per CasClient, so even a fleet constructed with identical
+  /// configs de-synchronizes; set nonzero for bit-reproducible sleeps.
+  std::uint64_t jitter_seed = 0;
+  /// Overall per-operation time budget across attempts AND backoff
+  /// sleeps (0 = unlimited). When the remaining budget cannot fit the
+  /// next backoff, the operation returns its last typed failure instead
+  /// of burning the rest of max_attempts.
+  std::chrono::microseconds deadline{0};
+  /// Circuit breaker: this many *consecutive* retryable failures open it
+  /// (0 = disabled). While open, operations fail fast — typed
+  /// kUnavailable with breaker_open_detail(), zero wire attempts — until
+  /// breaker_cooldown elapses and the next operation probes.
+  std::size_t breaker_threshold = 0;
+  std::chrono::microseconds breaker_cooldown{50'000};
+
+  /// The backoff drawn before retry #`retry` (1-based) from jitter stream
+  /// `seed`: uniform in [0, min(max_backoff, initial_backoff <<
+  /// (retry-1))]. A pure function — tests assert both reproducibility
+  /// (same seed => same schedule) and fleet de-synchronization (distinct
+  /// seeds => distinct schedules).
+  std::chrono::microseconds backoff_before(std::size_t retry,
+                                           std::uint64_t seed) const;
 };
 
 struct CasClientConfig {
@@ -60,7 +90,9 @@ struct InstanceResult {
   core::AttestationToken token;
   Hash256 verifier_id;
   sgx::SigStruct singleton_sigstruct;
-  /// Attempts spent (retries + 1); observability for retry tests.
+  /// Attempts spent (retries + 1); observability for retry tests. 0 means
+  /// the circuit breaker failed the operation fast — nothing touched the
+  /// wire.
   std::size_t attempts = 0;
 
   bool ok() const { return status.ok(); }
@@ -100,12 +132,21 @@ class CasClient {
                           const sgx::SigStruct& common_sigstruct,
                           InstanceCallback callback);
 
+  /// Client-side resilience counters. trips = times the breaker opened;
+  /// fast_fails = operations (or async re-issues) refused while open.
+  struct Stats {
+    std::uint64_t breaker_trips = 0;
+    std::uint64_t breaker_fast_fails = 0;
+  };
+  Stats stats() const;
+
  private:
   struct Core;
   static void issue_async(std::shared_ptr<Core> core, Bytes wire,
                           std::uint64_t request_id,
                           std::size_t attempts_left,
                           std::size_t attempts_used,
+                          std::chrono::steady_clock::time_point deadline_at,
                           InstanceCallback callback);
 
   std::shared_ptr<Core> core_;

@@ -115,7 +115,8 @@ StatusCode status_code_from_legacy(const std::string& error) {
         StatusCode::kTokenUnknown, StatusCode::kTokenReused,
         StatusCode::kSessionNotAttested, StatusCode::kAttestationRejected,
         StatusCode::kMalformedRequest, StatusCode::kUnsupportedVersion,
-        StatusCode::kUnknownCommand, StatusCode::kUnavailable}) {
+        StatusCode::kUnknownCommand, StatusCode::kUnavailable,
+        StatusCode::kDeadlineExceeded}) {
     if (error == status_message(code)) return code;
   }
   return StatusCode::kInternal;

@@ -61,6 +61,7 @@ namespace sinclave {
 enum class LockRank : std::uint16_t {
   kWorkloadResult = 110,    // load_gen result aggregation / open-loop state
   kClientConnection = 100,  // cas::CasClient connection cache
+  kClientBreaker = 98,      // cas::CasClient circuit-breaker state
   kServerVerified = 92,     // server::CasServer verified-common memo
   kSigstructCache = 90,     // server::SigStructCache map + LRU
   kSigstructPool = 88,      // server::SigStructCache per-session pool
@@ -78,6 +79,7 @@ enum class LockRank : std::uint16_t {
   kCryptoRsaCtx = 40,       // crypto::RsaPublicKey verify-context build
   kCryptoDrbg = 38,         // crypto::DrbgPool stripe
   kNetCore = 30,            // net::SimNetwork listener/in-flight core
+  kNetFault = 29,           // net::FaultInjector trace log
   kNetWaiter = 28,          // net::SimNetwork synchronous-call waiter
   kTimerWheel = 26,         // net::TimerWheel heap
   kObsTrace = 10,           // obs::Tracer cold-path state (phase registry)

@@ -36,6 +36,8 @@ const char* to_string(StatusCode code) {
       return "internal";
     case StatusCode::kUnavailable:
       return "unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline-exceeded";
   }
   return "unknown";
 }
@@ -77,8 +79,42 @@ const char* status_message(StatusCode code) {
       return "internal error";
     case StatusCode::kUnavailable:
       return "service unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline exceeded";
   }
   return "internal error";
+}
+
+std::string retry_after_detail(std::chrono::milliseconds retry_after) {
+  return std::string(status_message(StatusCode::kUnavailable)) +
+         " (retry-after-ms=" + std::to_string(retry_after.count()) + ")";
+}
+
+std::optional<std::chrono::milliseconds> parse_retry_after(
+    std::string_view detail) {
+  constexpr std::string_view kKey = "retry-after-ms=";
+  const auto pos = detail.find(kKey);
+  if (pos == std::string_view::npos) return std::nullopt;
+  std::string_view rest = detail.substr(pos + kKey.size());
+  std::int64_t value = 0;
+  std::size_t digits = 0;
+  while (digits < rest.size() && rest[digits] >= '0' && rest[digits] <= '9') {
+    value = value * 10 + (rest[digits] - '0');
+    ++digits;
+    if (value > 86'400'000) return std::nullopt;  // cap: one day is absurd
+  }
+  if (digits == 0) return std::nullopt;
+  return std::chrono::milliseconds(value);
+}
+
+std::string deadline_phase_detail(const char* phase) {
+  return std::string(status_message(StatusCode::kDeadlineExceeded)) + " in " +
+         phase;
+}
+
+std::string breaker_open_detail() {
+  return std::string(status_message(StatusCode::kUnavailable)) +
+         " (circuit breaker open)";
 }
 
 }  // namespace sinclave

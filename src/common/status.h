@@ -13,9 +13,11 @@
 // client SDK where an operation either yields a payload or a typed error.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 
 #include "common/error.h"
@@ -46,6 +48,12 @@ enum class StatusCode : std::uint8_t {
   /// Transient: the service exists but cannot answer right now (shutting
   /// down, overloaded, backend briefly gone). The only retryable code.
   kUnavailable = 15,
+  /// The request's deadline expired before the server could finish it
+  /// (queue wait, or too little budget left to cover the backend stall).
+  /// Deliberately NOT retryable: an expired deadline means the caller's
+  /// time budget is gone — retrying the same doomed request is exactly
+  /// the storm deadlines exist to stop. Re-issue with a fresh budget.
+  kDeadlineExceeded = 16,
 };
 
 /// Stable kebab-case identifier (logs, JSON, tests).
@@ -54,6 +62,26 @@ const char* to_string(StatusCode code);
 /// Canonical human-readable message for a code — the single source the
 /// serving frontends and the legacy (v0) wire encoding draw from.
 const char* status_message(StatusCode code);
+
+/// Canonical detail composers for statuses that carry a structured hint.
+/// Clients parse these back out, so the format fragments are part of the
+/// wire contract: they are composed and parsed HERE only —
+/// tools/lint_invariants.py confines the format literals to status.cpp the
+/// same way it confines the canonical message table.
+///
+/// Detail for a load-shed kUnavailable: "service unavailable
+/// (retry-after-ms=N)". Clients that find the hint pace their next retry
+/// by it instead of their own backoff.
+std::string retry_after_detail(std::chrono::milliseconds retry_after);
+/// Extract the retry-after hint from a detail string; nullopt when absent.
+std::optional<std::chrono::milliseconds> parse_retry_after(
+    std::string_view detail);
+/// Detail for kDeadlineExceeded naming the phase that overran
+/// ("queue-wait", "backend-stall", "client-budget").
+std::string deadline_phase_detail(const char* phase);
+/// Detail for a client-side circuit-breaker fast-fail (kUnavailable
+/// without any wire attempt).
+std::string breaker_open_detail();
 
 /// True for codes a client may retry without changing the request.
 constexpr bool is_retryable(StatusCode code) {

@@ -1,0 +1,177 @@
+#include "net/fault_plan.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/registry.h"
+
+namespace sinclave::net {
+
+namespace {
+
+// The same splitmix64 scramble the load generator uses for its schedules:
+// bit-identical across standard libraries, so fault traces are
+// reproducible cross-toolchain.
+std::uint64_t splitmix(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// Uniform in [0, 1), a pure function of (seed, op, address, kind): every
+/// fault dimension draws independently, and nothing about one endpoint's
+/// draws perturbs another's.
+double draw(std::uint64_t seed, std::uint64_t op, std::uint64_t addr_hash,
+            std::uint64_t kind) {
+  const std::uint64_t h =
+      splitmix(seed ^ splitmix(op * 0x9e3779b97f4a7c15ull + kind) ^
+               addr_hash);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+constexpr std::size_t kTraceCap = 1 << 20;  // 1 MiB of trace, then truncate
+
+bool matches(const FaultWindow& w, std::uint64_t op,
+             const std::string& address) {
+  return op >= w.from_op && op < w.until_op &&
+         address.compare(0, w.address_prefix.size(), w.address_prefix) == 0;
+}
+
+void merge(EndpointFaults& into, const EndpointFaults& from) {
+  into.drop_request = std::max(into.drop_request, from.drop_request);
+  into.drop_response = std::max(into.drop_response, from.drop_response);
+  into.reset = std::max(into.reset, from.reset);
+  into.corrupt_response =
+      std::max(into.corrupt_response, from.corrupt_response);
+  if (from.delay > into.delay || into.delay_amount.count() == 0)
+    into.delay_amount = std::max(into.delay_amount, from.delay_amount);
+  into.delay = std::max(into.delay, from.delay);
+}
+
+}  // namespace
+
+void FaultInjector::set_plan(FaultPlan plan) {
+  const bool active = !plan.empty();
+  {
+    MutexLock lock(mutex_);
+    plan_ = std::move(plan);
+    trace_.clear();
+    trace_truncated_ = false;
+  }
+  clock_.store(0);
+  requests_dropped_.store(0);
+  responses_dropped_.store(0);
+  resets_.store(0);
+  corruptions_.store(0);
+  delays_.store(0);
+  active_.store(active, std::memory_order_release);
+}
+
+EndpointFaults FaultInjector::effective(const FaultPlan& plan,
+                                        std::uint64_t op,
+                                        const std::string& address) const {
+  EndpointFaults f;
+  const auto it = plan.per_endpoint.find(address);
+  if (it != plan.per_endpoint.end()) f = it->second;
+  for (const FaultWindow& w : plan.windows)
+    if (matches(w, op, address)) merge(f, w.faults);
+  return f;
+}
+
+FaultDecision FaultInjector::decide(const std::string& address) {
+  FaultDecision d;
+  MutexLock lock(mutex_);
+  const std::uint64_t op = clock_.fetch_add(1, std::memory_order_relaxed);
+  const EndpointFaults f = effective(plan_, op, address);
+  if (!f.any()) return d;
+
+  const std::uint64_t seed = plan_.seed;
+  const std::uint64_t addr = fnv1a(address);
+  // Request-side faults are mutually exclusive (a reset request was not
+  // also dropped); response-side faults apply only when a request made it.
+  if (f.drop_request > 0 && draw(seed, op, addr, 1) < f.drop_request) {
+    d.drop_request = true;
+  } else if (f.reset > 0 && draw(seed, op, addr, 2) < f.reset) {
+    d.reset = true;
+  } else {
+    if (f.drop_response > 0 && draw(seed, op, addr, 3) < f.drop_response)
+      d.drop_response = true;
+    if (!d.drop_response && f.corrupt_response > 0 &&
+        draw(seed, op, addr, 4) < f.corrupt_response) {
+      d.corrupt_response = true;
+      d.corrupt_bit = splitmix(seed ^ op ^ addr);
+    }
+  }
+  if (f.delay > 0 && draw(seed, op, addr, 5) < f.delay) d.delay = f.delay_amount;
+
+  const auto note = [&](const char* kind) {
+    if (trace_.size() >= kTraceCap) {
+      if (!trace_truncated_) {
+        trace_ += "...truncated\n";
+        trace_truncated_ = true;
+      }
+      return;
+    }
+    trace_ += "op=" + std::to_string(op) + " addr=" + address +
+              " kind=" + kind + "\n";
+  };
+  if (d.drop_request) {
+    requests_dropped_.fetch_add(1, std::memory_order_relaxed);
+    note("drop-request");
+  }
+  if (d.reset) {
+    resets_.fetch_add(1, std::memory_order_relaxed);
+    note("reset");
+  }
+  if (d.drop_response) {
+    responses_dropped_.fetch_add(1, std::memory_order_relaxed);
+    note("drop-response");
+  }
+  if (d.corrupt_response) {
+    corruptions_.fetch_add(1, std::memory_order_relaxed);
+    note("corrupt");
+  }
+  if (d.delay.count() > 0) {
+    delays_.fetch_add(1, std::memory_order_relaxed);
+    note("delay");
+  }
+  return d;
+}
+
+FaultInjector::Stats FaultInjector::stats() const {
+  Stats s;
+  s.ops = clock_.load();
+  s.requests_dropped = requests_dropped_.load();
+  s.responses_dropped = responses_dropped_.load();
+  s.resets = resets_.load();
+  s.corruptions = corruptions_.load();
+  s.delays = delays_.load();
+  return s;
+}
+
+std::string FaultInjector::trace() const {
+  MutexLock lock(mutex_);
+  return trace_;
+}
+
+void FaultInjector::collect(obs::MetricsSnapshot& snap) const {
+  const Stats s = stats();
+  snap.counter("net_fault_ops", s.ops);
+  snap.counter("net_fault_requests_dropped", s.requests_dropped);
+  snap.counter("net_fault_responses_dropped", s.responses_dropped);
+  snap.counter("net_fault_resets", s.resets);
+  snap.counter("net_fault_corruptions", s.corruptions);
+  snap.counter("net_fault_delays", s.delays);
+}
+
+}  // namespace sinclave::net

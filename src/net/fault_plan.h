@@ -1,0 +1,168 @@
+// Deterministic network fault injection for SimNetwork.
+//
+// A FaultPlan describes, per endpoint and per scripted window, the
+// probability of each fault kind; SimNetwork consults a FaultInjector at
+// every dispatch, behind the existing async_call/listen_async contract, so
+// every caller exercises faults unchanged. Fault decisions are a pure
+// function of (seed, logical-clock op index, address, fault kind): the
+// same plan driven by the same single-threaded call sequence produces a
+// byte-identical fault trace (tests/test_net.cpp asserts it), which is
+// what makes a chaos run a *reproducible* experiment rather than an
+// anecdote.
+//
+// The logical clock is the injector's dispatch counter — not wall time —
+// so scripted windows ("partition from op 0 to op 3", "brownout for the
+// first thousand requests") key off protocol progress and stay meaningful
+// under sanitizers and on loaded CI machines.
+//
+// Fault semantics (all delivered through the normal completion machinery,
+// never as a hang):
+//
+//   * drop_request  — the handler never sees the request; the caller's
+//     callback receives a transport Error (clients map it to kUnavailable).
+//   * reset         — connection reset at dispatch; same caller-visible
+//     shape as drop_request but counted separately (models RST vs loss).
+//   * drop_response — the handler runs to completion (server-side effects
+//     happen: tokens get spent!) but the response is replaced by a
+//     transport Error. This is the fault that distinguishes "server never
+//     saw it" from "client never heard back" — the crux of exactly-once.
+//   * corrupt       — one deterministic bit of the response payload is
+//     flipped; clients see a typed decode failure, not garbage behavior.
+//   * delay         — extra latency, accounted in virtual time (and slept
+//     only on the synchronous call path, never on a completion thread).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+
+namespace sinclave::obs {
+class MetricsSnapshot;
+}  // namespace sinclave::obs
+
+namespace sinclave::net {
+
+/// Per-endpoint fault probabilities, each drawn independently per dispatch.
+struct EndpointFaults {
+  double drop_request = 0.0;
+  double drop_response = 0.0;
+  double reset = 0.0;
+  double corrupt_response = 0.0;
+  double delay = 0.0;
+  /// Added latency when the delay fault fires.
+  std::chrono::microseconds delay_amount{0};
+
+  bool any() const {
+    return drop_request > 0 || drop_response > 0 || reset > 0 ||
+           corrupt_response > 0 || delay > 0;
+  }
+};
+
+/// A scripted fault window keyed off the injector's logical clock: ops in
+/// [from_op, until_op) whose address starts with `address_prefix` take
+/// `faults` in addition to any per-endpoint entry (field-wise max). An
+/// empty prefix matches every address. Windows are how partitions and
+/// brownouts are scripted: full drop for the first K ops, then heal.
+struct FaultWindow {
+  std::uint64_t from_op = 0;
+  std::uint64_t until_op = UINT64_MAX;
+  std::string address_prefix;
+  EndpointFaults faults;
+};
+
+/// The whole experiment: one seed, exact-match per-endpoint faults, and
+/// scripted windows. A default-constructed plan injects nothing.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  std::map<std::string, EndpointFaults> per_endpoint;
+  std::vector<FaultWindow> windows;
+
+  bool empty() const { return per_endpoint.empty() && windows.empty(); }
+};
+
+/// What one dispatch must suffer. Request-side faults (drop_request,
+/// reset) pre-empt the handler; response-side faults ride inside the
+/// Completion state and apply when the handler finishes.
+struct FaultDecision {
+  bool drop_request = false;
+  bool drop_response = false;
+  bool reset = false;
+  bool corrupt_response = false;
+  std::chrono::microseconds delay{0};
+  /// Which response bit to flip (mod payload size) when corrupting.
+  std::uint64_t corrupt_bit = 0;
+
+  bool any() const {
+    return drop_request || drop_response || reset || corrupt_response ||
+           delay.count() > 0;
+  }
+};
+
+/// The decision engine SimNetwork embeds. Thread-safe; when no plan is
+/// installed the per-dispatch cost is one relaxed atomic load.
+class FaultInjector {
+ public:
+  /// Install (or clear, with {}) the plan. Resets the logical clock,
+  /// counters, and trace so each plan is a fresh experiment.
+  void set_plan(FaultPlan plan) REQUIRES_NOT(mutex_);
+
+  bool active() const {
+    return active_.load(std::memory_order_acquire);
+  }
+
+  /// Advance the logical clock and decide this dispatch's faults.
+  /// Deterministic: the decision depends only on (seed, op index, address).
+  FaultDecision decide(const std::string& address) REQUIRES_NOT(mutex_);
+
+  /// Injected-fault counters (counted at decision time, exactly when the
+  /// trace records them — so trace and counters can never disagree).
+  struct Stats {
+    std::uint64_t ops = 0;
+    std::uint64_t requests_dropped = 0;
+    std::uint64_t responses_dropped = 0;
+    std::uint64_t resets = 0;
+    std::uint64_t corruptions = 0;
+    std::uint64_t delays = 0;
+
+    std::uint64_t total_faults() const {
+      return requests_dropped + responses_dropped + resets + corruptions +
+             delays;
+    }
+  };
+  Stats stats() const;
+
+  /// The fault trace: one "op=N addr=A kind=K\n" line per injected fault,
+  /// in decision order. Byte-identical across runs of the same plan and
+  /// call sequence (single-threaded drive; concurrent drives are still
+  /// deterministic per-op but the interleaving of lines is not).
+  std::string trace() const REQUIRES_NOT(mutex_);
+
+  /// Contribute net_fault_* counters to a metrics snapshot.
+  void collect(obs::MetricsSnapshot& snap) const;
+
+ private:
+  /// Effective faults for (op, address): exact per-endpoint entry merged
+  /// field-wise-max with every matching window.
+  EndpointFaults effective(const FaultPlan& plan, std::uint64_t op,
+                           const std::string& address) const;
+
+  std::atomic<bool> active_{false};
+  std::atomic<std::uint64_t> clock_{0};
+  std::atomic<std::uint64_t> requests_dropped_{0};
+  std::atomic<std::uint64_t> responses_dropped_{0};
+  std::atomic<std::uint64_t> resets_{0};
+  std::atomic<std::uint64_t> corruptions_{0};
+  std::atomic<std::uint64_t> delays_{0};
+
+  mutable Mutex mutex_{LockRank::kNetFault, "net.fault_injector"};
+  FaultPlan plan_ GUARDED_BY(mutex_);
+  std::string trace_ GUARDED_BY(mutex_);
+  bool trace_truncated_ GUARDED_BY(mutex_) = false;
+};
+
+}  // namespace sinclave::net

@@ -5,6 +5,7 @@
 
 #include "common/error.h"
 #include "common/mutex.h"
+#include "obs/registry.h"
 
 namespace sinclave::net {
 
@@ -41,6 +42,9 @@ struct SimNetwork::Connection::Core {
   bool destroyed GUARDED_BY(mutex) = false;
   std::atomic<std::int64_t> virtual_time_ns{0};
   std::atomic<std::uint64_t> round_trips{0};
+  // Fault injection (internally synchronized; one relaxed load per
+  // dispatch when no plan is installed).
+  FaultInjector faults;
 };
 
 // One request in flight. The completion gate (`completed`) makes delivery
@@ -53,9 +57,25 @@ struct SimNetwork::Completion::State {
   Callback callback;
   std::string address;
   std::atomic<bool> completed{false};
+  // Response-side injected faults, decided at dispatch time and applied
+  // here so the handler's side effects (token spends!) happen while the
+  // caller still observes loss/corruption — the asymmetry real networks
+  // have and exactly-once machinery exists for.
+  bool fault_drop_response = false;
+  bool fault_corrupt_response = false;
+  std::uint64_t fault_corrupt_bit = 0;
 
   void finish(Bytes response, std::exception_ptr error) {
     if (completed.exchange(true)) return;
+    if (error == nullptr && fault_drop_response) {
+      response.clear();
+      error = std::make_exception_ptr(
+          Error("net: fault injected: response dropped: " + address));
+    } else if (error == nullptr && fault_corrupt_response &&
+               !response.empty()) {
+      response[(fault_corrupt_bit / 8) % response.size()] ^=
+          static_cast<std::uint8_t>(1u << (fault_corrupt_bit % 8));
+    }
     {
       // Decrement before invoking the client callback: shutdown() promises
       // only that the *handler side* is done with the request. A client
@@ -153,6 +173,26 @@ std::uint64_t SimNetwork::round_trips() const {
   return core_->round_trips.load();
 }
 
+void SimNetwork::set_fault_plan(FaultPlan plan) {
+  core_->faults.set_plan(std::move(plan));
+}
+
+FaultInjector::Stats SimNetwork::fault_stats() const {
+  return core_->faults.stats();
+}
+
+std::string SimNetwork::fault_trace() const { return core_->faults.trace(); }
+
+std::uint64_t SimNetwork::register_fault_metrics(
+    obs::MetricsRegistry& registry) const {
+  // Capture the core by shared_ptr: a collector left registered past this
+  // SimNetwork's lifetime still reads valid (frozen) counters.
+  return registry.add_collector(
+      [core = core_](obs::MetricsSnapshot& snap) {
+        core->faults.collect(snap);
+      });
+}
+
 void SimNetwork::Connection::async_call(ByteView request, Callback callback) {
   dispatch(request, std::move(callback), /*sleep_latency=*/false);
 }
@@ -171,6 +211,11 @@ void SimNetwork::Connection::dispatch(ByteView request, Callback callback,
     listener = it->second;
     ++listener->in_flight;  // visible to shutdown() under the same lock
   }
+  // Fault decision happens after admission (in_flight counted, outside
+  // the core lock) so every injected failure flows through the same
+  // exactly-once completion gate as a real one.
+  FaultDecision fault;
+  if (core_->faults.active()) fault = core_->faults.decide(address_);
   // Round-trip latency is always accounted in virtual time; only the
   // synchronous form really sleeps for it on the caller's thread —
   // async_call must return immediately (issuers model wire/backend delay
@@ -180,6 +225,12 @@ void SimNetwork::Connection::dispatch(ByteView request, Callback callback,
     core_->spend(core_->latency.round_trip);
   else
     core_->account(core_->latency.round_trip);
+  if (fault.delay.count() > 0) {
+    if (sleep_latency)
+      core_->spend(fault.delay);
+    else
+      core_->account(fault.delay);
+  }
   core_->round_trips.fetch_add(1);
 
   auto state = std::make_shared<Completion::State>();
@@ -187,6 +238,20 @@ void SimNetwork::Connection::dispatch(ByteView request, Callback callback,
   state->listener = listener;
   state->callback = std::move(callback);
   state->address = address_;
+  state->fault_drop_response = fault.drop_response;
+  state->fault_corrupt_response = fault.corrupt_response;
+  state->fault_corrupt_bit = fault.corrupt_bit;
+  if (fault.drop_request || fault.reset) {
+    // The handler never sees the request; the caller gets a typed
+    // transport failure through the normal completion path (which also
+    // settles the in-flight count).
+    state->finish(
+        {}, std::make_exception_ptr(Error(
+                fault.reset
+                    ? "net: fault injected: connection reset: " + address_
+                    : "net: fault injected: request dropped: " + address_)));
+    return;
+  }
   try {
     listener->handler(request, Completion(state));
   } catch (...) {

@@ -40,6 +40,11 @@
 #include <string>
 
 #include "common/bytes.h"
+#include "net/fault_plan.h"
+
+namespace sinclave::obs {
+class MetricsRegistry;
+}  // namespace sinclave::obs
 
 namespace sinclave::net {
 
@@ -135,6 +140,22 @@ class SimNetwork {
   std::chrono::nanoseconds virtual_time() const;
   /// Total round trips performed (tests assert protocol message counts).
   std::uint64_t round_trips() const;
+
+  // --- deterministic fault injection (see net/fault_plan.h) ---------------
+  //
+  // Faults apply at dispatch, behind the async_call/listen_async contract:
+  // a dropped or reset request delivers a transport Error through the
+  // caller's callback (never a hang), a dropped response suppresses the
+  // handler's answer after its side effects happened, a corrupted response
+  // reaches the caller with one bit flipped. Install {} to heal.
+  void set_fault_plan(FaultPlan plan);
+  FaultInjector::Stats fault_stats() const;
+  /// Byte-identical across same-plan, same-sequence runs.
+  std::string fault_trace() const;
+  /// Register the per-fault-kind counters as a collector in `registry`;
+  /// returns the collector id (caller removes it). The collector holds the
+  /// network's core alive, so it stays valid even past ~SimNetwork.
+  std::uint64_t register_fault_metrics(obs::MetricsRegistry& registry) const;
 
   const LatencyModel& latency() const { return latency_; }
 

@@ -15,24 +15,41 @@ TimerWheel::~TimerWheel() {
   thread_.join();
 }
 
-void TimerWheel::schedule_after(std::chrono::nanoseconds delay, Callback fn) {
+TimerWheel::TimerId TimerWheel::schedule_after(std::chrono::nanoseconds delay,
+                                               Callback fn) {
   if (!fn) throw Error("timer: null callback");
+  TimerId id = 0;
   {
     MutexLock lock(mutex_);
     if (stopping_) throw Error("timer: shutting down");
-    heap_.push(Entry{Clock::now() + delay, next_seq_++, std::move(fn)});
+    id = next_seq_++;
+    pending_ids_.insert(id);
+    heap_.push(Entry{Clock::now() + delay, id, std::move(fn)});
   }
   wake_.notify_one();
+  return id;
+}
+
+bool TimerWheel::cancel(TimerId id) {
+  MutexLock lock(mutex_);
+  // Winning the race = removing the id from pending_ids_ before the run
+  // loop (or the shutdown drain) pops its entry. The entry stays in the
+  // heap until reaped; cancelled_ tells the reaper to destroy it unfired.
+  if (pending_ids_.erase(id) == 0) return false;
+  cancelled_.insert(id);
+  cancelled_count_.fetch_add(1, std::memory_order_relaxed);
+  return true;
 }
 
 std::size_t TimerWheel::pending() const {
   MutexLock lock(mutex_);
-  return heap_.size();
+  return pending_ids_.size();
 }
 
 void TimerWheel::run() {
   for (;;) {
     Callback fn;
+    bool fire = false;
     {
       MutexLock lock(mutex_);
       if (heap_.empty()) {
@@ -50,8 +67,19 @@ void TimerWheel::run() {
       // priority_queue::top() is const; the callback has to be moved out
       // via const_cast, which is safe because pop() follows before anyone
       // else can observe the entry.
-      fn = std::move(const_cast<Entry&>(heap_.top()).fn);
+      Entry& top = const_cast<Entry&>(heap_.top());
+      // A cancelled entry is reaped, not fired: its callback is destroyed
+      // outside the lock below (destroying it may deliver a completion
+      // error — never under our mutex), and cancel()'s promise that the
+      // callback won't run is kept even by the shutdown drain.
+      fire = cancelled_.erase(top.seq) == 0;
+      if (fire) pending_ids_.erase(top.seq);
+      fn = std::move(top.fn);
       heap_.pop();
+    }
+    if (!fire) {
+      fn = nullptr;  // destroy the cancelled callback outside the lock
+      continue;
     }
     // Counted before running so an observer woken *by* the callback
     // already sees it included.

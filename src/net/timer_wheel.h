@@ -10,10 +10,19 @@
 // simpler and cache-friendlier than bucketed spokes. The name keeps the
 // io_uring/kernel-timer mental model the serving layer is written against.
 //
-// Shutdown semantics: the destructor fires every still-pending callback
-// immediately (early, not never). Callbacks are completion tokens for
-// in-flight requests — dropping them would deadlock whoever waits on the
-// response, while firing early merely shortens a simulated stall.
+// Shutdown semantics: the destructor fires every still-pending (and not
+// cancelled) callback immediately (early, not never). Callbacks are
+// completion tokens for in-flight requests — dropping them would deadlock
+// whoever waits on the response, while firing early merely shortens a
+// simulated stall.
+//
+// Cancellation: schedule_after returns a TimerId; cancel(id) guarantees
+// exactly-once resolution among {cancel, fire, shutdown-drain} — it
+// returns true iff the callback will never run (the wheel destroys it
+// without invoking it; a callback holding a network Completion then
+// delivers its dropped-request error, so cancellation is observable, never
+// silent). Returning false means the callback fired, is firing right now,
+// or the id was never pending.
 #pragma once
 
 #include <atomic>
@@ -22,6 +31,7 @@
 #include <functional>
 #include <queue>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "common/mutex.h"
@@ -32,6 +42,7 @@ class TimerWheel {
  public:
   using Callback = std::function<void()>;
   using Clock = std::chrono::steady_clock;
+  using TimerId = std::uint64_t;
 
   TimerWheel();
   ~TimerWheel();
@@ -43,18 +54,26 @@ class TimerWheel {
   /// as the timer thread gets to them — never inline on the caller).
   /// Throws Error after shutdown began. Callbacks run on the timer thread
   /// and must not block on it (scheduling further timers is fine).
-  void schedule_after(std::chrono::nanoseconds delay, Callback fn)
+  /// Returns an id for cancel().
+  TimerId schedule_after(std::chrono::nanoseconds delay, Callback fn)
       REQUIRES_NOT(mutex_);
 
-  /// Timers scheduled but not yet fired.
+  /// Prevent a scheduled callback from ever running. True iff this call
+  /// won the race — the callback will be destroyed unfired (even by the
+  /// shutdown drain). False: it already fired / is firing / was unknown.
+  bool cancel(TimerId id) REQUIRES_NOT(mutex_);
+
+  /// Timers scheduled but not yet fired or cancelled.
   std::size_t pending() const REQUIRES_NOT(mutex_);
   /// Timers fired so far (including any fired early at shutdown).
   std::uint64_t fired() const { return fired_.load(); }
+  /// Timers resolved by cancel() — never fired.
+  std::uint64_t cancelled() const { return cancelled_count_.load(); }
 
  private:
   struct Entry {
     Clock::time_point deadline;
-    std::uint64_t seq = 0;  // FIFO among equal deadlines
+    std::uint64_t seq = 0;  // FIFO among equal deadlines; doubles as id
     Callback fn;
   };
   struct Later {
@@ -72,7 +91,14 @@ class TimerWheel {
       GUARDED_BY(mutex_);
   std::uint64_t next_seq_ GUARDED_BY(mutex_) = 0;
   bool stopping_ GUARDED_BY(mutex_) = false;
+  /// Ids scheduled and not yet resolved (fire/cancel/drain). Membership
+  /// here is what cancel() races for; the heap entry itself may lag.
+  std::unordered_set<TimerId> pending_ids_ GUARDED_BY(mutex_);
+  /// Cancelled ids whose heap entries have not been reaped yet; the run
+  /// loop skips (and destroys) them without firing.
+  std::unordered_set<TimerId> cancelled_ GUARDED_BY(mutex_);
   std::atomic<std::uint64_t> fired_{0};
+  std::atomic<std::uint64_t> cancelled_count_{0};
   std::thread thread_;  // last member: started after, joined before the rest
 };
 

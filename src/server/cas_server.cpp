@@ -11,6 +11,29 @@ namespace sinclave::server {
 
 namespace {
 using Clock = std::chrono::steady_clock;
+
+/// Answer a frame with a blanket refusal (shed / deadline-exceeded) in
+/// whatever wire flavor it arrived in: serve_instance_frame handles
+/// envelope, legacy, and introspect frames alike and never throws on
+/// malformed input — so overload answers are as typed and parseable as
+/// served ones, at frame-decode cost only.
+Bytes refusal_frame(const Bytes& raw, const Status& status,
+                    cas::FrameInfo* frame) {
+  return cas::serve_instance_frame(
+      raw,
+      [&](const cas::InstanceRequest&) {
+        cas::InstanceResponse resp;
+        resp.status = status;
+        return resp;
+      },
+      [&](const cas::IntrospectRequest&) {
+        cas::IntrospectResponse resp;
+        resp.status = status;
+        return resp;
+      },
+      frame);
+}
+
 }  // namespace
 
 CasServer::CasServer(cas::CasService* cas, CasServerConfig config)
@@ -172,7 +195,26 @@ void CasServer::accept_instance(Bytes raw, net::SimNetwork::Completion done) {
   const std::int64_t accepted_ns = obs::Tracer::now_ns();
   ++metrics_.get_instance.requests;
   metrics_.enter_in_flight();
-  auto job = [this, raw = std::move(raw), done, accepted, ctx,
+  // Admission control, on the accept thread: past the limit the request
+  // is shed — answered right now with a typed kUnavailable carrying a
+  // retry-after hint, never queued and never silently dropped. The gauge
+  // includes this request, so the test is `> limit`: at most the number
+  // of concurrently-accepting client threads can overshoot the limit.
+  if (config_.admission_limit != 0 &&
+      metrics_.requests_in_flight.load(std::memory_order_relaxed) >
+          config_.admission_limit) {
+    ++metrics_.requests_shed;
+    const Status shed(StatusCode::kUnavailable,
+                      retry_after_detail(config_.shed_retry_after));
+    cas::FrameInfo frame;
+    Bytes out = refusal_frame(raw, shed, &frame);
+    note_frame(metrics_.get_instance, frame);
+    respond(accepted, &metrics_.get_instance.latency, std::move(out), done,
+            ctx, &p_root, accepted_ns);
+    return;
+  }
+  const auto deadline = accepted + config_.request_deadline;
+  auto job = [this, raw = std::move(raw), done, accepted, deadline, ctx,
               accepted_ns]() mutable {
     // Stage 2 — serve, on a worker: decode (envelope or legacy) + policy
     // + verify + credential. serve_instance_frame contains deserializer
@@ -183,6 +225,28 @@ void CasServer::accept_instance(Bytes raw, net::SimNetwork::Completion done) {
                                                 obs::Tracer::now_ns(), 1);
     }
     obs::TraceScope scope(ctx);
+    // Deadline check before any work: a request is doomed when queue wait
+    // already ate its budget, or when what remains cannot cover the
+    // backend stall. Answering kDeadlineExceeded *here* means no
+    // credential is ever minted for a doomed request (exactly-once
+    // accounting stays exact: tokens issued == ok responses delivered)
+    // and no timer slot is occupied by one.
+    if (config_.request_deadline.count() > 0) {
+      const auto now = Clock::now();
+      if (now + config_.backend_io > deadline) {
+        ++metrics_.deadline_exceeded;
+        const char* phase =
+            now > deadline ? "queue-wait" : "backend-stall";
+        const Status expired(StatusCode::kDeadlineExceeded,
+                             deadline_phase_detail(phase));
+        cas::FrameInfo frame;
+        Bytes out = refusal_frame(raw, expired, &frame);
+        note_frame(metrics_.get_instance, frame);
+        respond(accepted, &metrics_.get_instance.latency, std::move(out),
+                done, ctx, &p_root, accepted_ns);
+        return;
+      }
+    }
     Bytes out;
     obs::Phase* root = &p_root;
     try {
@@ -278,6 +342,20 @@ void CasServer::accept_attest(Bytes raw, net::SimNetwork::Completion done) {
   const std::int64_t accepted_ns = obs::Tracer::now_ns();
   ++command.requests;
   metrics_.enter_in_flight();
+  // Admission control mirrors the instance endpoint. The secure wire has
+  // no cleartext response frame to put a Status in before a session
+  // exists, so the shed is a typed transport failure carrying the
+  // canonical retry-after detail — clients surface it as kUnavailable.
+  if (config_.admission_limit != 0 &&
+      metrics_.requests_in_flight.load(std::memory_order_relaxed) >
+          config_.admission_limit) {
+    ++metrics_.requests_shed;
+    ++command.errors;
+    metrics_.leave_in_flight();
+    done.fail(std::make_exception_ptr(
+        Error(retry_after_detail(config_.shed_retry_after))));
+    return;
+  }
   auto job = [this, raw = std::move(raw), done, accepted, ctx, accepted_ns,
               root, command = &command]() mutable {
     if (ctx.active()) {

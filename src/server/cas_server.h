@@ -84,6 +84,22 @@ struct CasServerConfig {
   /// network path the stall parks on the timer wheel — it costs latency,
   /// never a worker; the direct handle_instance() path sleeps inline.
   std::chrono::microseconds backend_io{0};
+  /// Admission cap on accepted-but-unanswered requests (queued + serving
+  /// + stalled), 0 = unbounded. Arrivals beyond it are *shed*: answered
+  /// immediately on the accept thread with a typed kUnavailable carrying
+  /// a retry-after hint — never queued, never a silent drop, and never a
+  /// worker's time.
+  std::size_t admission_limit = 0;
+  /// The retry-after hint attached to shed responses (clients pace their
+  /// next retry by it; see RetryPolicy).
+  std::chrono::milliseconds shed_retry_after{5};
+  /// Per-request deadline covering the whole server-side life of a
+  /// request — queue wait through backend stall (0 = none). A request
+  /// whose remaining budget, after queue wait, cannot cover the backend
+  /// stall is answered kDeadlineExceeded *before* serving: no credential
+  /// is minted for a doomed request, and no timer slot is occupied by
+  /// one.
+  std::chrono::microseconds request_deadline{0};
 };
 
 class CasServer {

@@ -34,6 +34,8 @@ void ServerMetrics::collect(obs::MetricsSnapshot& snap) const {
   snap.counter("mint_batches", mint_batches.load());
   snap.gauge("requests_in_flight", requests_in_flight.load());
   snap.gauge("max_in_flight", max_in_flight.load());
+  snap.counter("requests_shed", requests_shed.load());
+  snap.counter("deadline_exceeded", deadline_exceeded.load());
   snap.counter("handshake_stripe_collisions",
                handshake_stripe_collisions.load());
   snap.counter("secure_sessions_opened", secure_sessions_opened.load());

@@ -71,8 +71,21 @@ struct ServerMetrics {
   /// Requests accepted but not yet responded to (the event-driven
   /// frontend's core gauge: how much work is parked on timers/queues
   /// rather than pinned to worker threads), plus its high-water mark.
+  /// max_in_flight doubles as the admission queue's depth high-water:
+  /// with an admission_limit configured it can exceed the limit by at
+  /// most the number of concurrently-shedding client threads.
   std::atomic<std::uint64_t> requests_in_flight{0};
   std::atomic<std::uint64_t> max_in_flight{0};
+
+  /// Graceful degradation: requests answered kUnavailable+retry-after by
+  /// admission control instead of being queued, and requests answered
+  /// kDeadlineExceeded because their deadline could not be met (queue
+  /// wait ate it, or the remaining budget cannot cover the backend
+  /// stall). Both are also counted in the per-command errors — so
+  /// `requests == ok_responses + errors` stays the closing equation, and
+  /// these two break the errors down by overload cause.
+  std::atomic<std::uint64_t> requests_shed{0};
+  std::atomic<std::uint64_t> deadline_exceeded{0};
 
   /// Secure-channel contention observability, mirrored from the striped
   /// SecureServer session table (CasServer's registry collector refreshes

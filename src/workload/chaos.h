@@ -1,0 +1,86 @@
+// Named chaos scenarios: the robustness counterpart of the load generator.
+//
+// Each scenario assembles a full Testbed, installs a deterministic
+// net::FaultPlan (and, where the scenario calls for it, an overloaded
+// server::CasServer or a live adversary from src/attack), drives real
+// client traffic through the fault field, and then checks *explicit pass
+// criteria* — not "it didn't crash" but the invariants the system claims
+// to keep under exactly this abuse:
+//
+//   * every failure the client observes is a typed Status (untyped
+//     exceptions escaping the SDK fail the scenario),
+//   * every one-time token is spent at most once, and the spend ledger
+//     closes against client-observed successes,
+//   * the server's graceful-degradation metrics (requests_shed,
+//     deadline_exceeded) plus ok responses account for every request the
+//     fault plan let through — nothing vanishes,
+//   * after the plan heals, clean traffic succeeds (no poisoned state).
+//
+// The scenarios (chaos_scenario_names() returns exactly these):
+//
+//   connection-churn       resets + request drops against per-op fresh
+//                          clients; tokens stay unique; heals clean
+//   mid-handshake-drops    secure-channel handshakes under request and
+//                          response drops; tokens spend at most once even
+//                          when the client never learns of success
+//   replay-storm           racing handshakes replaying each one-time
+//                          token under injected delay jitter; exactly one
+//                          winner per token
+//   byzantine-impersonator the §3 TEE impersonator attacking mid-chaos;
+//                          zero steals while honest traffic survives
+//   backend-brownout       30% request drops into a shedding, deadlined
+//                          CasServer; full accounting closure (the PR's
+//                          acceptance gate)
+//   partition-and-heal     a scripted total partition trips the client
+//                          circuit breaker; the partition lifts and the
+//                          breaker closes after its cooldown
+//
+// Determinism: the fault schedule is a pure function of (config.seed,
+// dispatch order). Thread interleavings still vary, so scenario *criteria*
+// are written as order-independent invariants, never exact latencies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sinclave::workload {
+
+struct ChaosConfig {
+  std::uint64_t seed = 1;
+  /// Shrink op counts for sanitizer CI runs (same scenarios, same
+  /// criteria, ~10x less traffic).
+  bool smoke = false;
+};
+
+struct ChaosScenarioResult {
+  std::string name;
+  bool passed = false;
+  /// One entry per violated pass criterion (empty iff passed).
+  std::vector<std::string> failures;
+
+  // Accounting, for the BENCH_chaos.json report and for the suite's own
+  // closure checks.
+  std::uint64_t ops = 0;               ///< client operations issued
+  std::uint64_t ok = 0;                ///< operations that succeeded
+  std::uint64_t typed_failures = 0;    ///< operations failed with a Status
+  std::uint64_t untyped_failures = 0;  ///< exceptions escaping the SDK (must be 0)
+  std::uint64_t attempts = 0;          ///< wire attempts across retries
+  std::uint64_t requests_shed = 0;     ///< server admission-control refusals
+  std::uint64_t deadline_exceeded = 0; ///< server deadline refusals
+  std::uint64_t faults_injected = 0;   ///< fault-injector total_faults()
+  std::uint64_t breaker_trips = 0;     ///< client circuit-breaker opens
+  double wall_ms = 0.0;
+};
+
+/// The scenario registry, in suite order.
+std::vector<std::string> chaos_scenario_names();
+
+/// Run one scenario by name; throws Error for an unknown name.
+ChaosScenarioResult run_chaos_scenario(const std::string& name,
+                                       const ChaosConfig& config);
+
+/// Run every scenario in registry order.
+std::vector<ChaosScenarioResult> run_chaos_suite(const ChaosConfig& config);
+
+}  // namespace sinclave::workload

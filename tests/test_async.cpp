@@ -7,9 +7,12 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <thread>
+#include <vector>
 
 #include "cas/client.h"
 #include "common/error.h"
@@ -189,6 +192,95 @@ TEST(TimerWheelTest, CallbackExceptionsDoNotKillTheWheel) {
   std::unique_lock lock(mutex);
   ASSERT_TRUE(cv.wait_for(lock, 5s, [&] { return fired.load(); }));
   EXPECT_EQ(wheel.fired(), 2u);
+}
+
+TEST(TimerWheelTest, CancelPreventsTheCallbackFromEverRunning) {
+  std::atomic<bool> cancelled_ran{false};
+  std::atomic<bool> kept_ran{false};
+  {
+    net::TimerWheel wheel;
+    const auto doomed = wheel.schedule_after(10s, [&] { cancelled_ran = true; });
+    wheel.schedule_after(10s, [&] { kept_ran = true; });
+    EXPECT_EQ(wheel.pending(), 2u);
+    EXPECT_TRUE(wheel.cancel(doomed));
+    EXPECT_FALSE(wheel.cancel(doomed));  // second cancel finds nothing pending
+    EXPECT_EQ(wheel.pending(), 1u);
+    EXPECT_EQ(wheel.cancelled(), 1u);
+  }  // the shutdown drain fires the kept timer early but honors the cancel
+  EXPECT_FALSE(cancelled_ran.load());
+  EXPECT_TRUE(kept_ran.load());
+}
+
+TEST(TimerWheelTest, CancelAfterFireReturnsFalse) {
+  net::TimerWheel wheel;
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool fired = false;
+  const auto id = wheel.schedule_after(0ms, [&] {
+    std::lock_guard lock(mutex);
+    fired = true;
+    cv.notify_all();
+  });
+  std::unique_lock lock(mutex);
+  ASSERT_TRUE(cv.wait_for(lock, 5s, [&] { return fired; }));
+  EXPECT_FALSE(wheel.cancel(id));       // lost the race: it already ran
+  EXPECT_FALSE(wheel.cancel(id + 99));  // unknown ids are never "cancelled"
+  EXPECT_EQ(wheel.cancelled(), 0u);
+  EXPECT_EQ(wheel.fired(), 1u);
+}
+
+TEST(TimerWheelTest, CancelRacingFireDeliversEveryCompletionExactlyOnce) {
+  // Regression for the shutdown/cancel race: a timer callback holding a
+  // network Completion must resolve exactly once no matter which of
+  // {fire, cancel, shutdown-drain} wins. Cancelled callbacks are destroyed
+  // unfired, so their Completion delivers the dropped-request error — the
+  // caller always hears back, and never twice.
+  net::SimNetwork net;
+  auto wheel = std::make_unique<net::TimerWheel>();
+  std::mutex ids_mutex;
+  std::vector<net::TimerWheel::TimerId> ids;
+  net.listen_async("svc", [&](ByteView, net::SimNetwork::Completion done) {
+    const auto id = wheel->schedule_after(std::chrono::microseconds(50),
+                                          [done] { done(Bytes{1}); });
+    std::lock_guard lock(ids_mutex);
+    ids.push_back(id);
+  });
+  auto conn = net.connect("svc");
+
+  constexpr int kOps = 400;
+  std::atomic<int> delivered{0};
+  std::atomic<int> ok{0};
+  std::atomic<bool> stop{false};
+  std::thread canceller([&] {
+    while (!stop.load()) {
+      std::optional<net::TimerWheel::TimerId> victim;
+      {
+        std::lock_guard lock(ids_mutex);
+        if (!ids.empty()) {
+          victim = ids.back();
+          ids.pop_back();
+        }
+      }
+      if (victim.has_value())
+        (void)wheel->cancel(*victim);
+      else
+        std::this_thread::yield();
+    }
+  });
+  for (int i = 0; i < kOps; ++i) {
+    conn.async_call(Bytes{}, [&](Bytes, std::exception_ptr error) {
+      ++delivered;
+      if (error == nullptr) ++ok;
+    });
+  }
+  stop = true;
+  canceller.join();
+  // Destroying the wheel drains it: surviving timers fire early, cancelled
+  // entries are destroyed unfired (their Completions deliver the error).
+  wheel.reset();
+  EXPECT_EQ(delivered.load(), kOps);
+  EXPECT_GT(ok.load(), 0);
+  net.shutdown("svc");
 }
 
 // --- CasServer: the request state machine -----------------------------------

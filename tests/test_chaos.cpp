@@ -1,0 +1,78 @@
+// The chaos scenario suite, one test per named scenario (smoke-sized so
+// ASan/TSAN CI can afford the whole file). Each scenario carries its own
+// explicit pass criteria — typed failures only, exactly-once token spend,
+// metrics closure, post-heal recovery — so a test failure prints the
+// precise violated criterion, not just "scenario failed".
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "workload/chaos.h"
+
+namespace sinclave::workload {
+namespace {
+
+ChaosConfig smoke_config() {
+  ChaosConfig config;
+  config.seed = 7;
+  config.smoke = true;
+  return config;
+}
+
+void expect_passed(const ChaosScenarioResult& r) {
+  EXPECT_TRUE(r.passed) << r.name << " violated " << r.failures.size()
+                        << " criteria";
+  for (const std::string& f : r.failures)
+    ADD_FAILURE() << r.name << ": " << f;
+  EXPECT_EQ(r.untyped_failures, 0u)
+      << r.name << ": exceptions escaped the SDK";
+}
+
+TEST(Chaos, RegistryNamesAreStableAndComplete) {
+  const auto names = chaos_scenario_names();
+  ASSERT_EQ(names.size(), 6u);
+  for (const char* expected :
+       {"connection-churn", "mid-handshake-drops", "replay-storm",
+        "byzantine-impersonator", "backend-brownout", "partition-and-heal"})
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  EXPECT_THROW(run_chaos_scenario("no-such-scenario", smoke_config()), Error);
+}
+
+TEST(Chaos, ConnectionChurn) {
+  expect_passed(run_chaos_scenario("connection-churn", smoke_config()));
+}
+
+TEST(Chaos, MidHandshakeDrops) {
+  expect_passed(run_chaos_scenario("mid-handshake-drops", smoke_config()));
+}
+
+TEST(Chaos, ReplayStorm) {
+  expect_passed(run_chaos_scenario("replay-storm", smoke_config()));
+}
+
+TEST(Chaos, ByzantineImpersonator) {
+  expect_passed(run_chaos_scenario("byzantine-impersonator", smoke_config()));
+}
+
+TEST(Chaos, BackendBrownout) {
+  const ChaosScenarioResult r =
+      run_chaos_scenario("backend-brownout", smoke_config());
+  expect_passed(r);
+  // The brownout must actually have bitten: faults injected, and the
+  // accounting fields populated (the closure equations themselves are the
+  // scenario's own criteria).
+  EXPECT_GT(r.faults_injected, 0u);
+  EXPECT_GT(r.attempts, r.ok);
+}
+
+TEST(Chaos, PartitionAndHeal) {
+  const ChaosScenarioResult r =
+      run_chaos_scenario("partition-and-heal", smoke_config());
+  expect_passed(r);
+  EXPECT_EQ(r.breaker_trips, 1u);
+}
+
+}  // namespace
+}  // namespace sinclave::workload

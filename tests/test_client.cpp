@@ -10,10 +10,14 @@
 //  * the attested channel's typed statuses.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cas/client.h"
@@ -360,6 +364,134 @@ TEST_F(CasClientTest, FutureVersionAttestHandshakeRejectedAsUnsupported) {
                             &generic)
                    .has_value());
   EXPECT_EQ(generic, StatusCode::kAttestationRejected);
+}
+
+// --- client resilience: jittered backoff, deadline budget, breaker ----------
+
+TEST(RetryPolicyBackoff, PureReproducibleAndFleetDesynchronized) {
+  RetryPolicy policy;
+  policy.initial_backoff = 100us;
+  policy.max_backoff = 800us;
+
+  // Reproducibility: the schedule is a pure function of (retry, seed).
+  for (std::size_t retry = 1; retry <= 6; ++retry) {
+    const auto first = policy.backoff_before(retry, 42);
+    EXPECT_EQ(first, policy.backoff_before(retry, 42)) << "retry " << retry;
+    // Full jitter: uniform in [0, window], window doubling then saturating.
+    const auto window =
+        std::min(policy.max_backoff, policy.initial_backoff * (1u << (retry - 1)));
+    EXPECT_GE(first.count(), 0) << "retry " << retry;
+    EXPECT_LE(first, window) << "retry " << retry;
+  }
+
+  // Fleet de-synchronization: distinct jitter seeds draw distinct sleeps.
+  // (Deterministic — backoff_before is pure, so this can never flake.)
+  std::set<std::chrono::microseconds::rep> draws;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed)
+    draws.insert(policy.backoff_before(4, seed).count());
+  EXPECT_GE(draws.size(), 6u)
+      << "8 clients retrying in lockstep would re-create the storm";
+}
+
+TEST_F(CasClientTest, DeadlineBudgetCutsRetriesBeforeMaxAttempts) {
+  // A huge attempt budget against a dead address: the per-operation
+  // deadline must stop the retry loop long before max_attempts does.
+  CasClient client(&bed_.network(),
+                   CasClientConfig{.address = "nobody.listens.here",
+                                   .retry = {.max_attempts = 10000,
+                                             .initial_backoff = 1ms,
+                                             .max_backoff = 1ms,
+                                             .jitter_seed = 9,
+                                             .deadline = 20ms}});
+  const auto start = std::chrono::steady_clock::now();
+  const InstanceResult got = client.get_instance("s", signed_.sigstruct);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(got.status.code, StatusCode::kUnavailable);
+  EXPECT_GE(got.attempts, 1u);
+  EXPECT_LT(got.attempts, 10000u);  // the budget, not the count, ended it
+  EXPECT_LT(elapsed, 5s);  // and it ended promptly, not after 10000 sleeps
+}
+
+TEST_F(CasClientTest, RetryAfterHintPacesTheNextAttempt) {
+  // A shedding server embeds a retry-after hint in its kUnavailable
+  // detail; the client must pace by the hint instead of its own (here
+  // near-zero) jitter window.
+  std::atomic<int> calls{0};
+  bed_.network().listen("shedding.instance", [&](ByteView raw) {
+    const Envelope env = Envelope::deserialize(raw);
+    ++calls;
+    InstanceResponse resp;
+    if (calls.load() <= 2) {
+      resp.status = Status(StatusCode::kUnavailable,
+                           retry_after_detail(std::chrono::milliseconds(25)));
+    } else {
+      resp = bed_.cas().handle_instance(
+          InstanceRequest::deserialize(env.payload));
+    }
+    return env.reply(resp.serialize()).serialize();
+  });
+
+  // Sanity: the hint round-trips through the canonical composer/parser.
+  const auto hint =
+      parse_retry_after(retry_after_detail(std::chrono::milliseconds(25)));
+  ASSERT_TRUE(hint.has_value());
+  EXPECT_EQ(*hint, std::chrono::milliseconds(25));
+
+  CasClient client(&bed_.network(),
+                   CasClientConfig{.address = "shedding",
+                                   .retry = {.max_attempts = 4,
+                                             .initial_backoff = 1us,
+                                             .max_backoff = 1us}});
+  const auto start = std::chrono::steady_clock::now();
+  const InstanceResult got = client.get_instance("s", signed_.sigstruct);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_TRUE(got.ok()) << got.status.message();
+  EXPECT_EQ(got.attempts, 3u);
+  // Two hinted sleeps of 25 ms each; jitter alone would have been ~2 us.
+  EXPECT_GE(elapsed, 40ms);
+  bed_.network().shutdown("shedding.instance");
+}
+
+TEST_F(CasClientTest, BreakerOpensFailsFastAndClosesOnAHealthyProbe) {
+  CasClient client(&bed_.network(),
+                   CasClientConfig{.address = "late",
+                                   .retry = {.max_attempts = 1,
+                                             .initial_backoff = 1us,
+                                             .breaker_threshold = 2,
+                                             .breaker_cooldown = 30ms}});
+  // Two consecutive transport failures reach the threshold and trip it.
+  for (int i = 0; i < 2; ++i) {
+    const InstanceResult got = client.get_instance("s", signed_.sigstruct);
+    EXPECT_EQ(got.status.code, StatusCode::kUnavailable);
+    EXPECT_EQ(got.attempts, 1u);
+  }
+  EXPECT_EQ(client.stats().breaker_trips, 1u);
+
+  // While open: typed fast-fail, zero wire attempts, counted.
+  const InstanceResult fast = client.get_instance("s", signed_.sigstruct);
+  EXPECT_EQ(fast.status.code, StatusCode::kUnavailable);
+  EXPECT_EQ(fast.attempts, 0u);  // nothing touched the wire
+  EXPECT_EQ(fast.status.message(), breaker_open_detail());
+  EXPECT_EQ(client.stats().breaker_fast_fails, 1u);
+
+  // The service comes back; after the cooldown the next operation probes
+  // the wire, succeeds, and the breaker closes (no further trips).
+  bed_.network().listen("late.instance", [&](ByteView raw) {
+    const Envelope env = Envelope::deserialize(raw);
+    return env
+        .reply(bed_.cas()
+                   .handle_instance(InstanceRequest::deserialize(env.payload))
+                   .serialize())
+        .serialize();
+  });
+  std::this_thread::sleep_for(40ms);
+  const InstanceResult probe = client.get_instance("s", signed_.sigstruct);
+  ASSERT_TRUE(probe.ok()) << probe.status.message();
+  EXPECT_EQ(probe.attempts, 1u);
+  const InstanceResult after = client.get_instance("s", signed_.sigstruct);
+  EXPECT_TRUE(after.ok());
+  EXPECT_EQ(client.stats().breaker_trips, 1u);  // closed cleanly, stayed shut
+  bed_.network().shutdown("late.instance");
 }
 
 }  // namespace

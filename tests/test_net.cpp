@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <mutex>
 #include <optional>
@@ -469,6 +470,160 @@ TEST_F(ChannelFixture, HooksMayCallBackIntoTheServer) {
   EXPECT_EQ(server_->open_sessions(), 0u);
   // Every later record gets the typed closed-session rejection.
   EXPECT_THROW(client.call(to_bytes("second")), RecordRejectedError);
+}
+
+// --- deterministic fault injection ------------------------------------------
+
+TEST(FaultInjection, SameSeedSameSequenceGivesByteIdenticalTrace) {
+  // The headline determinism contract: the same plan driven by the same
+  // single-threaded call sequence on a fresh network must produce a
+  // byte-identical fault trace, equal counters, and the same set of
+  // observed typed failures — a chaos run is an experiment, not an
+  // anecdote.
+  struct Run {
+    std::string trace;
+    FaultInjector::Stats stats;
+    std::uint64_t failures = 0;
+    std::uint64_t handled = 0;
+  };
+  const auto drive = [] {
+    SimNetwork net;
+    std::atomic<std::uint64_t> handled{0};
+    net.listen("svc", [&](ByteView) {
+      ++handled;
+      return Bytes{42};
+    });
+    FaultPlan plan;
+    plan.seed = 2026;
+    auto& faults = plan.per_endpoint["svc"];
+    faults.drop_request = 0.25;
+    faults.drop_response = 0.2;
+    faults.reset = 0.1;
+    faults.delay = 0.15;
+    faults.delay_amount = std::chrono::microseconds(10);
+    net.set_fault_plan(plan);
+    auto conn = net.connect("svc");
+    Run run;
+    for (int i = 0; i < 200; ++i) {
+      try {
+        (void)conn.call(Bytes{});
+      } catch (const Error&) {
+        ++run.failures;
+      }
+    }
+    run.trace = net.fault_trace();
+    run.stats = net.fault_stats();
+    run.handled = handled.load();
+    return run;
+  };
+
+  const Run a = drive();
+  const Run b = drive();
+  ASSERT_FALSE(a.trace.empty());
+  EXPECT_EQ(a.trace, b.trace);  // byte-identical
+  EXPECT_EQ(a.stats.ops, 200u);
+  EXPECT_EQ(a.stats.ops, b.stats.ops);
+  EXPECT_EQ(a.stats.requests_dropped, b.stats.requests_dropped);
+  EXPECT_EQ(a.stats.responses_dropped, b.stats.responses_dropped);
+  EXPECT_EQ(a.stats.resets, b.stats.resets);
+  EXPECT_EQ(a.stats.delays, b.stats.delays);
+  EXPECT_EQ(a.failures, b.failures);
+  // The injected-fault counters close against the client's observed typed
+  // failures: exactly the drops and resets fail the call (delays do not).
+  EXPECT_EQ(a.failures, a.stats.requests_dropped + a.stats.resets +
+                            a.stats.responses_dropped);
+  EXPECT_GT(a.failures, 0u);
+  // Request-side faults pre-empt the handler; response drops do not.
+  EXPECT_EQ(a.handled, 200u - a.stats.requests_dropped - a.stats.resets);
+}
+
+TEST(FaultInjection, DropRequestPreemptsHandlerDropResponseDoesNot) {
+  SimNetwork net;
+  std::atomic<int> handled{0};
+  net.listen("svc", [&](ByteView) {
+    ++handled;
+    return Bytes{7};
+  });
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.per_endpoint["svc"].drop_request = 1.0;
+  net.set_fault_plan(plan);
+  auto conn = net.connect("svc");
+  EXPECT_THROW(conn.call(Bytes{}), Error);
+  EXPECT_EQ(handled.load(), 0);  // the handler never saw the request
+  EXPECT_EQ(net.fault_stats().requests_dropped, 1u);
+
+  plan.per_endpoint["svc"] = {};
+  plan.per_endpoint["svc"].drop_response = 1.0;
+  net.set_fault_plan(plan);  // fresh experiment: clock and counters reset
+  EXPECT_THROW(conn.call(Bytes{}), Error);
+  EXPECT_EQ(handled.load(), 1);  // side effects happened; the answer vanished
+  EXPECT_EQ(net.fault_stats().responses_dropped, 1u);
+
+  net.set_fault_plan({});  // heal
+  EXPECT_EQ(conn.call(Bytes{}), Bytes{7});
+}
+
+TEST(FaultInjection, AsyncFaultsDeliverThroughTheCallbackNeverThrow) {
+  SimNetwork net;
+  net.listen("svc", [](ByteView) { return Bytes{1}; });
+  FaultPlan plan;
+  plan.seed = 8;
+  plan.per_endpoint["svc"].reset = 1.0;
+  net.set_fault_plan(plan);
+  auto conn = net.connect("svc");
+  std::atomic<int> calls{0};
+  std::atomic<bool> failed{false};
+  conn.async_call(Bytes{}, [&](Bytes, std::exception_ptr error) {
+    ++calls;
+    failed = error != nullptr;
+  });
+  EXPECT_EQ(calls.load(), 1);  // exactly once, never a hang
+  EXPECT_TRUE(failed.load());
+  EXPECT_EQ(net.fault_stats().resets, 1u);
+}
+
+TEST(FaultInjection, CorruptResponseFlipsExactlyOneBit) {
+  SimNetwork net;
+  const Bytes clean(64, 0x00);
+  net.listen("svc", [&](ByteView) { return clean; });
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.per_endpoint["svc"].corrupt_response = 1.0;
+  net.set_fault_plan(plan);
+  auto conn = net.connect("svc");
+  for (int i = 0; i < 16; ++i) {
+    const Bytes got = conn.call(Bytes{});
+    ASSERT_EQ(got.size(), clean.size());
+    int flipped = 0;
+    for (std::size_t b = 0; b < got.size(); ++b)
+      flipped += std::popcount(
+          static_cast<unsigned char>(got[b] ^ clean[b]));
+    EXPECT_EQ(flipped, 1) << "op " << i;
+  }
+  EXPECT_EQ(net.fault_stats().corruptions, 16u);
+}
+
+TEST(FaultInjection, WindowsKeyOffTheLogicalClockNotWallTime) {
+  SimNetwork net;
+  net.listen("svc", [](ByteView) { return Bytes{1}; });
+  FaultPlan plan;
+  plan.seed = 3;
+  FaultWindow window;
+  window.from_op = 0;
+  window.until_op = 3;
+  window.address_prefix = "svc";
+  window.faults.drop_request = 1.0;
+  plan.windows.push_back(window);
+  net.set_fault_plan(plan);
+  auto conn = net.connect("svc");
+  for (int i = 0; i < 3; ++i) EXPECT_THROW(conn.call(Bytes{}), Error);
+  // Logical op 3 falls outside [0, 3): the partition has healed purely by
+  // protocol progress — no sleeping, no wall clock.
+  EXPECT_EQ(conn.call(Bytes{}), Bytes{1});
+  const auto stats = net.fault_stats();
+  EXPECT_EQ(stats.requests_dropped, 3u);
+  EXPECT_EQ(stats.ops, 4u);
 }
 
 TEST(ChannelBinding, CommitsToDhKey) {

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <set>
 #include <string>
 #include <thread>
@@ -727,6 +728,92 @@ TEST_F(CasServerTest, RacingReplaysOfOneTokenAttestExactlyOnce) {
   EXPECT_EQ(bed_.cas().tokens_outstanding(), 0u);
   EXPECT_EQ(server.metrics().attest.requests.load(),
             static_cast<std::uint64_t>(kRacers));
+}
+
+// --- overload protection: admission shedding + request deadlines ------------
+
+TEST_F(CasServerTest, AdmissionLimitShedsTypedWithRetryAfterHint) {
+  bed_.cas().install_policy(singleton_policy("s"));
+  CasServerConfig cfg;
+  cfg.workers = 2;
+  cfg.backend_io = std::chrono::milliseconds(20);  // park admitted requests
+  cfg.admission_limit = 2;
+  cfg.shed_retry_after = std::chrono::milliseconds(7);
+  CasServer server(&bed_.cas(), cfg);
+  server.bind(bed_.network(), kServerAddress);
+
+  constexpr int kClients = 8;
+  std::atomic<int> ok{0}, shed{0}, other{0};
+  std::atomic<long long> hint_ms{-1};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&] {
+      cas::CasClient client(
+          &bed_.network(),
+          cas::CasClientConfig{.address = kServerAddress,
+                               .retry = {.max_attempts = 1}});
+      const auto got = client.get_instance("s", signed_.sigstruct);
+      if (got.ok()) {
+        ++ok;
+      } else if (got.status.code == StatusCode::kUnavailable) {
+        ++shed;
+        if (const auto hint = parse_retry_after(got.status.detail))
+          hint_ms = hint->count();
+      } else {
+        ++other;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  EXPECT_GT(ok.load(), 0);    // the admitted window was served
+  EXPECT_GT(shed.load(), 0);  // the overflow was refused, not queued forever
+  EXPECT_EQ(other.load(), 0); // every refusal was the typed shed status
+  EXPECT_EQ(ok.load() + shed.load(), kClients);
+  // The refusal carries the configured retry-after hint, parseable by the
+  // canonical extractor (the format is a wire contract, not prose).
+  EXPECT_EQ(hint_ms.load(), 7);
+  const auto& m = server.metrics();
+  EXPECT_EQ(m.requests_shed.load(), static_cast<std::uint64_t>(shed.load()));
+  // Accounting closure: shed refusals count as answered-with-error, so
+  // requests == ok + errors and nothing vanishes.
+  EXPECT_EQ(m.get_instance.requests.load(),
+            static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(m.get_instance.errors.load(),
+            static_cast<std::uint64_t>(shed.load()));
+  EXPECT_EQ(m.tokens_issued.load(), static_cast<std::uint64_t>(ok.load()));
+}
+
+TEST_F(CasServerTest, RequestDeadlineRefusesFastWithoutOccupyingTimers) {
+  bed_.cas().install_policy(singleton_policy("s"));
+  CasServerConfig cfg;
+  cfg.workers = 1;
+  cfg.backend_io = std::chrono::milliseconds(50);
+  cfg.request_deadline = std::chrono::milliseconds(1);  // can never fit 50ms
+  CasServer server(&bed_.cas(), cfg);
+  server.bind(bed_.network(), kServerAddress);
+
+  cas::CasClient client(&bed_.network(),
+                        cas::CasClientConfig{.address = kServerAddress,
+                                             .retry = {.max_attempts = 3}});
+  const auto start = std::chrono::steady_clock::now();
+  const auto got = client.get_instance("s", signed_.sigstruct);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  EXPECT_EQ(got.status.code, StatusCode::kDeadlineExceeded);
+  // Deliberately non-retryable: the budget is gone, retrying the same
+  // doomed request is the storm deadlines exist to stop.
+  EXPECT_FALSE(got.status.retryable());
+  EXPECT_EQ(got.attempts, 1u);
+  // Refused up front — the server never parked the doomed request on the
+  // 50 ms backend stall.
+  EXPECT_LT(elapsed, std::chrono::milliseconds(40));
+  EXPECT_EQ(server.timers().pending(), 0u);
+  const auto& m = server.metrics();
+  EXPECT_EQ(m.deadline_exceeded.load(), 1u);
+  EXPECT_EQ(m.get_instance.errors.load(), 1u);
+  EXPECT_EQ(m.tokens_issued.load(), 0u);  // no token minted for a doomed request
 }
 
 }  // namespace

@@ -23,6 +23,12 @@ which files. This linter codifies the four documented ones:
                       src/ file may repeat one as a string literal; compose
                       with status_message(StatusCode::...) instead, so the
                       frontends can never drift.
+  status-details      Structured status-detail fragments that clients parse
+                      back out ("retry-after-ms=", "circuit breaker open")
+                      are a wire contract: composed and parsed ONLY by the
+                      helpers in src/common/status.cpp (retry_after_detail,
+                      parse_retry_after, breaker_open_detail). No other
+                      src/ file may embed the format as a literal.
   alloc-free          Files on the allocation-free signing hot path
                       (asserted by tests/test_alloc.cpp's counting
                       operator new) must not contain allocation tokens
@@ -92,6 +98,10 @@ RE_ALLOC = re.compile(
 # Only table entries this long are distinctive enough to lint on ("ok"
 # and other short strings would false-positive everywhere).
 STATUS_MIN_LEN = 10
+
+# Structured detail fragments clients parse back out of a Status — wire
+# contract, composed/parsed only by the src/common/status.cpp helpers.
+DETAIL_FRAGMENTS = ("retry-after-ms=", "circuit breaker open")
 
 
 def strip_code(text, blank_strings):
@@ -230,6 +240,25 @@ def check_status_strings(root, findings):
                      "status_message(StatusCode::...)" % lit))
 
 
+def check_status_details(root, findings):
+    for path in iter_sources(root):
+        relpath = rel(root, path)
+        if relpath == STATUS_TABLE:
+            continue
+        # Comments stripped, string literals kept: prose may discuss the
+        # format, code may not embed it.
+        text = strip_code(path.read_text(encoding="utf-8"),
+                          blank_strings=False)
+        for frag in DETAIL_FRAGMENTS:
+            for m in re.finditer(re.escape(frag), text):
+                findings.append(
+                    (relpath, line_of(text, m.start()), "status-details",
+                     "status-detail format fragment '%s' outside "
+                     "src/common/status.cpp — compose/parse with "
+                     "retry_after_detail / parse_retry_after / "
+                     "breaker_open_detail" % frag))
+
+
 def check_alloc_free(root, findings):
     for relpath in ALLOC_FREE_FILES:
         path = root / relpath
@@ -243,7 +272,8 @@ def check_alloc_free(root, findings):
                  "asserts allocation-free" % m.group(0)))
 
 
-CHECKS = (check_wire, check_raw_mutex, check_status_strings, check_alloc_free)
+CHECKS = (check_wire, check_raw_mutex, check_status_strings,
+          check_status_details, check_alloc_free)
 
 
 def run_all(root):
@@ -282,6 +312,11 @@ SELFTEST_VIOLATIONS = {
     "src/server/bad_status.cpp": (
         'throw Error("token already spent");\n',
         "status-strings",
+    ),
+    "src/server/bad_detail.cpp": (
+        "// prose saying retry-after-ms= in a comment stays legal\n"
+        'resp.status.detail = "try later (retry-after-ms=5)";\n',
+        "status-details",
     ),
     "src/crypto/bignum.cpp": (
         "// never reallocates (comment token must not fire)\n"

@@ -3,7 +3,7 @@
 # per bench plus a combined log. Used to track the performance trajectory
 # across PRs.
 #
-# Three benches additionally emit machine-readable trajectory records:
+# Four benches additionally emit machine-readable trajectory records:
 #   BENCH_signing.json — bench_fig7a_signing via the Google Benchmark JSON
 #     writer (BM_RsaSign3072's items_per_second is the sign ops/s series)
 #   BENCH_fleet.json   — bench_fleet_throughput --json (closed/open-loop
@@ -11,6 +11,10 @@
 #   BENCH_attest.json  — bench_attest_throughput --json (attested full-
 #     session throughput per worker count, stripe collisions, scaling
 #     gate; committed baseline lives in bench/baselines/)
+#   BENCH_chaos.json   — bench_chaos --json (the named chaos scenarios:
+#     per-scenario pass/fail, ops/ok/typed-failure counts, faults
+#     injected, shed + deadline refusals, breaker trips; the bench exits
+#     nonzero — failing the run — unless every scenario passed)
 #
 # Usage: tools/run_benches.sh [build-dir] [out-dir]
 set -u
@@ -54,6 +58,10 @@ for bench in "$BUILD_DIR"/bench/*; do
       expected_json="$OUT_DIR/BENCH_attest.json"
       extra_args=(--json "$expected_json")
       ;;
+    bench_chaos)
+      expected_json="$OUT_DIR/BENCH_chaos.json"
+      extra_args=(--json "$expected_json")
+      ;;
   esac
   # Stale records must not mask a bench that stopped writing.
   [ -n "$expected_json" ] && rm -f "$expected_json"
@@ -73,7 +81,8 @@ for bench in "$BUILD_DIR"/bench/*; do
   { echo "=== $name ==="; cat "$out"; echo; } >> "$combined"
 done
 
-for json in BENCH_signing.json BENCH_fleet.json BENCH_attest.json; do
+for json in BENCH_signing.json BENCH_fleet.json BENCH_attest.json \
+            BENCH_chaos.json; do
   [ -f "$OUT_DIR/$json" ] && echo "trajectory record: $OUT_DIR/$json"
 done
 
