@@ -1,0 +1,106 @@
+// Differential oracle for the hash and AEAD layers.
+//
+// sha256 (the interruptible SinClave variant) and sha256_fast (the
+// optimized baseline of the Fig. 6 comparison) are independent
+// implementations of the same function — any divergence is a bug in one
+// of them. On top of that: streaming must equal one-shot regardless of
+// update boundaries, export/resume at a block boundary must be lossless,
+// and the AEAD must round-trip honest records while rejecting every
+// tampered byte and swapped associated-data string.
+#include "harnesses.h"
+
+#include <cstddef>
+
+#include "common/error.h"
+#include "crypto/aead.h"
+#include "crypto/aes.h"
+#include "crypto/hkdf.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+#include "crypto/sha256_fast.h"
+#include "fuzz_util.h"
+
+namespace sinclave::fuzz {
+
+int run_sha_aead_diff(const std::uint8_t* data, std::size_t size) {
+  FuzzInput in(data, size);
+  const std::uint8_t mode = in.u8();
+
+  switch (mode % 4) {
+    case 0: {
+      const Bytes msg = in.rest();
+      require(crypto::sha256(msg) == crypto::sha256_fast(msg),
+              "sha256 and sha256_fast disagree");
+      break;
+    }
+    case 1: {
+      // Streaming with fuzz-chosen split points == one-shot.
+      const std::size_t cut1 = in.below(4096);
+      const std::size_t cut2 = in.below(4096);
+      const Bytes msg = in.rest();
+      const std::size_t a = cut1 < msg.size() ? cut1 : msg.size();
+      const std::size_t b =
+          a + (cut2 < msg.size() - a ? cut2 : msg.size() - a);
+      crypto::Sha256 h;
+      h.update(ByteView(msg).subspan(0, a));
+      h.update(ByteView(msg).subspan(a, b - a));
+      h.update(ByteView(msg).subspan(b));
+      require(h.finalize() == crypto::sha256(msg),
+              "streaming sha256 diverges from one-shot");
+      break;
+    }
+    case 2: {
+      // Export at a 64-byte boundary, resume, finish: must equal the
+      // uninterrupted hash — this IS the base-hash mechanism the paper
+      // builds on, so the property is load-bearing.
+      const std::size_t blocks = in.below(8);
+      const Bytes msg = in.rest();
+      const std::size_t head =
+          64 * blocks <= msg.size() ? 64 * blocks : (msg.size() / 64) * 64;
+      crypto::Sha256 h;
+      h.update(ByteView(msg).subspan(0, head));
+      require(h.exportable(), "block-aligned hasher not exportable");
+      const crypto::Sha256State state = h.export_state();
+      crypto::Sha256 resumed = crypto::Sha256::resume(
+          crypto::Sha256State::decode(state.encode()));
+      resumed.update(ByteView(msg).subspan(head));
+      require(resumed.finalize() == crypto::sha256(msg),
+              "export/resume changed the digest");
+      break;
+    }
+    case 3: {
+      const Bytes key = crypto::hkdf(Bytes{}, in.take(16), Bytes{}, 32);
+      Bytes nonce = in.take(crypto::kAeadNonceSize);
+      nonce.resize(crypto::kAeadNonceSize, 0);
+      const std::size_t flip = in.u16();
+      const Bytes ad = in.chunk();
+      const Bytes pt = in.rest();
+      const crypto::Aead aead(key);
+      const Bytes sealed = aead.seal(nonce, pt, ad);
+      const auto opened = aead.open(nonce, sealed, ad);
+      require(opened.has_value() && *opened == pt,
+              "AEAD cannot open its own record");
+      if (!sealed.empty()) {
+        Bytes tampered = sealed;
+        tampered[flip % sealed.size()] ^= 0x01;
+        require(!aead.open(nonce, tampered, ad).has_value(),
+                "AEAD accepted a tampered record");
+      }
+      Bytes other_ad = ad;
+      other_ad.push_back(0);
+      require(!aead.open(nonce, sealed, other_ad).has_value(),
+              "AEAD accepted swapped associated data");
+      require(!aead.open(nonce, ByteView(sealed).subspan(0, sealed.size() / 2),
+                         ad)
+                   .has_value(),
+              "AEAD accepted a truncated record");
+      // hmac/hkdf determinism (the AEAD's subkey schedule rests on it).
+      require(crypto::hmac_sha256(key, pt) == crypto::hmac_sha256(key, pt),
+              "hmac_sha256 is not deterministic");
+      break;
+    }
+  }
+  return 0;
+}
+
+}  // namespace sinclave::fuzz

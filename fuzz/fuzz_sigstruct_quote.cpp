@@ -1,0 +1,93 @@
+// SGX structure parsing: SigStruct, Report, TargetInfo, Quote, and the
+// exported SHA-256 mid-state (the base-hash wire format).
+//
+// Properties: garbage dies as a typed Error; successful decodes are
+// fixed points of serialize∘deserialize (full equality, these types have
+// operator==); the derived accessors (mr_signer, signature_valid,
+// signed_message, resume) tolerate any successfully-decoded value —
+// a hostile SigStruct with a degenerate RSA key must fail verification
+// with `false` or a typed Error, not UB.
+#include "harnesses.h"
+
+#include "common/error.h"
+#include "crypto/sha256.h"
+#include "fuzz_util.h"
+#include "quote/quote.h"
+#include "sgx/report.h"
+#include "sgx/sigstruct.h"
+
+namespace sinclave::fuzz {
+namespace {
+
+template <typename T>
+void round_trip(const Bytes& input) {
+  try {
+    const T first = T::deserialize(ByteView(input));
+    const T second = T::deserialize(first.serialize());
+    require(second == first, "decode(serialize(x)) != x");
+  } catch (const Error&) {
+  }
+}
+
+}  // namespace
+
+int run_sigstruct_quote(const std::uint8_t* data, std::size_t size) {
+  FuzzInput in(data, size);
+  const std::uint8_t mode = in.u8();
+  const Bytes input = in.rest();
+
+  switch (mode % 5) {
+    case 0: {
+      try {
+        const sgx::SigStruct s = sgx::SigStruct::deserialize(ByteView(input));
+        require(sgx::SigStruct::deserialize(s.serialize()) == s,
+                "sigstruct decode not a fixed point");
+        (void)s.signing_message();
+        try {
+          // Verification math over an attacker-chosen key may reject with
+          // a typed Error (e.g. an even or zero RSA modulus); it must not
+          // crash or accept by accident — acceptance is checked by the
+          // protocol_session harness with real keys.
+          (void)s.signature_valid();
+          (void)s.mr_signer();
+        } catch (const Error&) {
+        }
+      } catch (const Error&) {
+      }
+      break;
+    }
+    case 1:
+      round_trip<sgx::Report>(input);
+      break;
+    case 2:
+      round_trip<sgx::TargetInfo>(input);
+      break;
+    case 3: {
+      try {
+        const quote::Quote q = quote::Quote::deserialize(ByteView(input));
+        require(quote::Quote::deserialize(q.serialize()) == q,
+                "quote decode not a fixed point");
+        (void)q.signed_message();
+      } catch (const Error&) {
+      }
+      break;
+    }
+    case 4: {
+      try {
+        const crypto::Sha256State s = crypto::Sha256State::decode(input);
+        require(crypto::Sha256State::decode(s.encode()) == s,
+                "sha256 state decode not a fixed point");
+        // A decoded state sits on a block boundary by construction
+        // (decode enforces byte_count % 64 == 0), so resuming from it and
+        // finalizing must be well-defined.
+        crypto::Sha256 resumed = crypto::Sha256::resume(s);
+        (void)resumed.finalize();
+      } catch (const Error&) {
+      }
+      break;
+    }
+  }
+  return 0;
+}
+
+}  // namespace sinclave::fuzz

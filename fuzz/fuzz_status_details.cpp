@@ -1,0 +1,86 @@
+// Status-code mappings and the structured detail-string parsers.
+//
+// These strings are wire contract (clients parse retry hints back out of
+// them), so the parsers face attacker-controlled text. Properties:
+//  * parse_retry_after never throws on any string and never yields a
+//    value above its documented one-day cap;
+//  * composing a detail and parsing it back round-trips the value;
+//  * every wire status byte maps into the enum (to_string never falls
+//    through to "unknown") and known bytes map to themselves;
+//  * the legacy error-string reverse map agrees with the forward
+//    status_message table on every code.
+#include "harnesses.h"
+
+#include <chrono>
+#include <string>
+
+#include "cas/protocol.h"
+#include "common/status.h"
+#include "fuzz_util.h"
+
+namespace sinclave::fuzz {
+
+int run_status_details(const std::uint8_t* data, std::size_t size) {
+  FuzzInput in(data, size);
+  const std::uint8_t mode = in.u8();
+
+  switch (mode % 4) {
+    case 0: {
+      const Bytes raw = in.rest();
+      const std::string detail(raw.begin(), raw.end());
+      const auto parsed = parse_retry_after(detail);
+      if (parsed.has_value())
+        require(parsed->count() >= 0 && parsed->count() <= 86'400'000,
+                "retry-after outside its documented cap");
+      break;
+    }
+    case 1: {
+      // Compose-then-parse round trips, with fuzz-chosen values. The
+      // composers are total; the parser must find exactly what they wrote.
+      const auto ms = std::chrono::milliseconds(in.u32() % 86'400'001);
+      const auto parsed = parse_retry_after(retry_after_detail(ms));
+      require(parsed.has_value() && *parsed == ms,
+              "retry_after_detail does not round-trip");
+      require(!parse_retry_after(breaker_open_detail()).has_value(),
+              "breaker detail misread as a retry hint");
+      const Bytes raw = in.rest();
+      const std::string phase(raw.begin(), raw.end());
+      (void)deadline_phase_detail(phase.c_str());
+      break;
+    }
+    case 2: {
+      const std::uint8_t wire = in.u8();
+      const StatusCode code = status_code_from_wire(wire);
+      require(std::string(to_string(code)) != "unknown",
+              "wire byte mapped outside the enum");
+      if (wire <= static_cast<std::uint8_t>(StatusCode::kDeadlineExceeded))
+        require(static_cast<std::uint8_t>(code) == wire,
+                "known wire byte did not map to itself");
+      else
+        require(code == StatusCode::kInternal,
+                "unknown wire byte must decode as kInternal");
+      // Status carries any (code, detail) through its accessors.
+      const Bytes raw = in.rest();
+      const Status s(code, std::string(raw.begin(), raw.end()));
+      (void)s.message();
+      (void)s.retryable();
+      break;
+    }
+    case 3: {
+      // Legacy reverse map: canonical strings map back to their code,
+      // anything else lands on kInternal.
+      const std::uint8_t wire = in.u8();
+      const StatusCode code = status_code_from_wire(wire);
+      if (code != StatusCode::kOk && code != StatusCode::kInternal)
+        require(cas::status_code_from_legacy(status_message(code)) == code,
+                "legacy map disagrees with status_message");
+      const Bytes raw = in.rest();
+      (void)cas::status_code_from_legacy(
+          std::string(raw.begin(), raw.end()));
+      break;
+    }
+  }
+  return 0;
+}
+
+}  // namespace sinclave::fuzz

@@ -1,0 +1,56 @@
+#include "fuzz_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sinclave::fuzz {
+
+std::uint8_t FuzzInput::u8() {
+  if (remaining() < 1) return 0;
+  return data_[pos_++];
+}
+
+std::uint16_t FuzzInput::u16() {
+  return static_cast<std::uint16_t>(u8() | (u8() << 8));
+}
+
+std::uint32_t FuzzInput::u32() {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(u8()) << (8 * i);
+  return v;
+}
+
+std::uint64_t FuzzInput::u64() {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(u8()) << (8 * i);
+  return v;
+}
+
+std::uint32_t FuzzInput::below(std::uint32_t bound) {
+  if (bound == 0) return 0;
+  if (bound <= 256) return u8() % bound;
+  return u32() % bound;
+}
+
+Bytes FuzzInput::take(std::size_t n) {
+  if (n > remaining()) n = remaining();
+  Bytes out(data_ + pos_, data_ + pos_ + n);
+  pos_ += n;
+  return out;
+}
+
+Bytes FuzzInput::chunk() {
+  return take(u16());
+}
+
+Bytes FuzzInput::rest() {
+  return take(remaining());
+}
+
+void require(bool condition, const char* what) {
+  if (condition) return;
+  std::fprintf(stderr, "fuzz invariant violated: %s\n", what);
+  std::abort();
+}
+
+}  // namespace sinclave::fuzz

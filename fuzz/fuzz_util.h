@@ -1,0 +1,74 @@
+// Shared plumbing for the fuzz harnesses (fuzz/fuzz_*.cpp).
+//
+// Every harness body is an ordinary named function
+//
+//     int run_<name>(const std::uint8_t* data, std::size_t size)
+//
+// declared in fuzz/harnesses.h and compiled into a plain static library
+// with NO fuzzer runtime attached. The thin entry points under fuzz/main/
+// wrap one body each in LLVMFuzzerTestOneInput, so the same code runs
+//
+//   * under clang as a real libFuzzer target (-fsanitize=fuzzer,...),
+//   * under gcc through the standalone replay/mutation driver
+//     (fuzz/main/standalone_main.cpp) with ASan+UBSan,
+//   * inside the tier-1 GTest corpus-replay gate
+//     (tests/test_fuzz_regression.cpp), which links the bodies directly.
+//
+// FuzzInput is the FuzzedDataProvider stand-in: it carves the raw fuzz
+// input into integers, choices, and byte chunks. It NEVER throws and never
+// reads past the end — exhausted reads yield zeros/empties — so harnesses
+// can decode structured operation sequences from arbitrary bytes without
+// bounds bookkeeping. Determinism rule: the same input bytes must drive
+// the same operations, or corpus replay loses its meaning.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace sinclave::fuzz {
+
+class FuzzInput {
+ public:
+  FuzzInput(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit FuzzInput(ByteView data)
+      : data_(data.data()), size_(data.size()) {}
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool empty() const { return remaining() == 0; }
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  bool boolean() { return (u8() & 1) != 0; }
+
+  /// Uniform-ish value in [0, bound); bound 0 yields 0. Consumes one byte
+  /// for bounds up to 255, four otherwise.
+  std::uint32_t below(std::uint32_t bound);
+
+  /// Up to n bytes — fewer when the input is exhausted.
+  Bytes take(std::size_t n);
+  /// A u16-length-prefixed chunk, clamped to what is left. The prefix lets
+  /// the fuzzer learn to vary chunk boundaries instead of us fixing them.
+  Bytes chunk();
+  /// Everything left (consumes it).
+  Bytes rest();
+  /// Everything left, without consuming (a view into the fuzz input —
+  /// valid only for the duration of the harness call).
+  ByteView rest_view() const { return ByteView(data_ + pos_, remaining()); }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+/// Fuzzer-visible invariant check: prints the message and aborts on
+/// failure. Deliberately NOT assert(): it must fire identically in every
+/// build flavor (libFuzzer, standalone driver, GTest replay, Release).
+void require(bool condition, const char* what);
+
+}  // namespace sinclave::fuzz

@@ -1,0 +1,51 @@
+// The fuzz harness bodies, as plain named functions.
+//
+// Each returns 0 (the libFuzzer convention) and encodes one property
+// suite; see the respective fuzz/fuzz_<name>.cpp for what it checks.
+// Entry points (fuzz/main/) and the tier-1 corpus-replay test
+// (tests/test_fuzz_regression.cpp) both dispatch through this header.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sinclave::fuzz {
+
+/// Envelope + every protocol message decoder (v1 and legacy v0):
+/// only typed errors escape, successful decodes re-serialize stably,
+/// frame servers never throw at all.
+int run_envelope(const std::uint8_t* data, std::size_t size);
+
+/// SecureServer/SecureClient record and handshake decoding against live
+/// sessions: garbage never throws out of handle(), never corrupts the
+/// server for a subsequent honest client.
+int run_secure_record(const std::uint8_t* data, std::size_t size);
+
+/// Sealed-state import: corrupt/truncated/rolled-back blobs are refused
+/// without UB, and a failed CasService::import_state leaves NO partially
+/// applied policy or token state behind.
+int run_persistence(const std::uint8_t* data, std::size_t size);
+
+/// SigStruct / Report / TargetInfo / Quote / Sha256State parsing:
+/// typed errors only, decode(serialize(x)) == x.
+int run_sigstruct_quote(const std::uint8_t* data, std::size_t size);
+
+/// Status detail parsers (parse_retry_after and friends) plus the
+/// wire/legacy status-code mappings.
+int run_status_details(const std::uint8_t* data, std::size_t size);
+
+/// Differential oracle: Montgomery exp/exp_u64/mul_mod/reduce vs a naive
+/// square-and-multiply / long-division reference.
+int run_bignum_diff(const std::uint8_t* data, std::size_t size);
+
+/// Differential oracle: sha256 (interruptible) vs sha256_fast, streaming
+/// vs one-shot, export/resume, and AEAD seal/open tamper rejection.
+int run_sha_aead_diff(const std::uint8_t* data, std::size_t size);
+
+/// Structured stateful fuzzing: decode the input into a sequence of
+/// protocol operations against a live CasService (instance requests,
+/// attestations, config fetches, introspection, garbage frames) and check
+/// the global invariants after every step.
+int run_protocol_session(const std::uint8_t* data, std::size_t size);
+
+}  // namespace sinclave::fuzz

@@ -1,0 +1,11 @@
+// libFuzzer entry point for the envelope harness; the body lives in
+// fuzz/fuzz_envelope.cpp so the tier-1 corpus-replay test can link it too.
+#include <cstddef>
+#include <cstdint>
+
+#include "harnesses.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return sinclave::fuzz::run_envelope(data, size);
+}

@@ -1,0 +1,11 @@
+// libFuzzer entry point for the protocol_session harness; the body lives in
+// fuzz/fuzz_protocol_session.cpp so the tier-1 corpus-replay test can link it too.
+#include <cstddef>
+#include <cstdint>
+
+#include "harnesses.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return sinclave::fuzz::run_protocol_session(data, size);
+}

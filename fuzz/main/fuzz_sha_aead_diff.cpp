@@ -1,0 +1,11 @@
+// libFuzzer entry point for the sha_aead_diff harness; the body lives in
+// fuzz/fuzz_sha_aead_diff.cpp so the tier-1 corpus-replay test can link it too.
+#include <cstddef>
+#include <cstdint>
+
+#include "harnesses.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return sinclave::fuzz::run_sha_aead_diff(data, size);
+}

@@ -1,0 +1,145 @@
+// Standalone driver for the fuzz harnesses — the gcc fallback.
+//
+// libFuzzer is clang-only; this driver gives the same harness binaries a
+// life under any toolchain: it replays corpus files/directories exactly
+// like a libFuzzer binary invoked on them, and adds a DETERMINISTIC
+// mutation loop (xorshift PRNG, fixed default seed) so `run_fuzzers.sh
+// --smoke` exercises decoders with hostile inputs even where only gcc +
+// ASan/UBSan are available. It is not a coverage-guided fuzzer and does
+// not pretend to be one — coverage-guided runs happen under clang in CI.
+//
+//   fuzz_<name> [options] [corpus-file-or-dir]...
+//     -runs=N      mutation iterations after replay (default 0)
+//     -seed=S      PRNG seed (default 1 — deterministic by default)
+//     -max_len=L   mutated input size cap (default 4096)
+//
+// Before each mutated execution the input is written to
+// crash-<basename>.bin, so after an abort the file on disk IS the
+// reproducer — move it into fuzz/corpus/regressions/ and it becomes a
+// tier-1 regression test (tests/test_fuzz_regression.cpp).
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+using Input = std::vector<std::uint8_t>;
+
+std::uint64_t xorshift(std::uint64_t& s) {
+  s ^= s << 13;
+  s ^= s >> 7;
+  s ^= s << 17;
+  return s;
+}
+
+Input read_file(const std::filesystem::path& path) {
+  std::ifstream f(path, std::ios::binary);
+  return Input(std::istreambuf_iterator<char>(f),
+               std::istreambuf_iterator<char>());
+}
+
+Input mutate(const Input& base, std::uint64_t& rng, std::size_t max_len) {
+  Input out = base;
+  if (out.size() > max_len) out.resize(max_len);
+  const int edits = 1 + static_cast<int>(xorshift(rng) % 8);
+  for (int i = 0; i < edits; ++i) {
+    switch (xorshift(rng) % 4) {
+      case 0:  // flip a byte
+        if (!out.empty())
+          out[xorshift(rng) % out.size()] ^=
+              static_cast<std::uint8_t>(xorshift(rng));
+        break;
+      case 1:  // insert a byte
+        if (out.size() < max_len)
+          out.insert(out.begin() +
+                         static_cast<std::ptrdiff_t>(
+                             xorshift(rng) % (out.size() + 1)),
+                     static_cast<std::uint8_t>(xorshift(rng)));
+        break;
+      case 2:  // truncate
+        if (!out.empty()) out.resize(xorshift(rng) % out.size());
+        break;
+      case 3:  // overwrite a run with one value
+        if (!out.empty()) {
+          const std::size_t at = xorshift(rng) % out.size();
+          const std::size_t len =
+              1 + xorshift(rng) % (out.size() - at);
+          std::memset(out.data() + at,
+                      static_cast<int>(xorshift(rng) & 0xFF), len);
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t runs = 0;
+  std::uint64_t seed = 1;
+  std::size_t max_len = 4096;
+  std::vector<Input> corpus;
+  std::size_t replayed = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("-runs=", 0) == 0) {
+      runs = std::strtoull(arg.c_str() + 6, nullptr, 10);
+    } else if (arg.rfind("-seed=", 0) == 0) {
+      seed = std::strtoull(arg.c_str() + 6, nullptr, 10);
+    } else if (arg.rfind("-max_len=", 0) == 0) {
+      max_len = std::strtoull(arg.c_str() + 9, nullptr, 10);
+    } else if (arg.rfind("-", 0) == 0) {
+      // Ignore unknown dash options so libFuzzer-style invocations
+      // (e.g. -rss_limit_mb=...) do not break the fallback driver.
+    } else if (std::filesystem::is_directory(arg)) {
+      std::vector<std::filesystem::path> files;
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(arg))
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      std::sort(files.begin(), files.end());  // determinism
+      for (const auto& f : files) corpus.push_back(read_file(f));
+    } else if (std::filesystem::is_regular_file(arg)) {
+      corpus.push_back(read_file(arg));
+    } else {
+      std::fprintf(stderr, "standalone driver: no such input: %s\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+
+  for (const Input& input : corpus) {
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+    ++replayed;
+  }
+
+  const std::string crash_file =
+      "crash-" + std::filesystem::path(argv[0]).filename().string() + ".bin";
+  std::uint64_t rng = seed ? seed : 1;
+  for (std::uint64_t i = 0; i < runs; ++i) {
+    const Input& base =
+        corpus.empty() ? Input{} : corpus[xorshift(rng) % corpus.size()];
+    const Input input = mutate(base, rng, max_len);
+    {
+      std::ofstream f(crash_file, std::ios::binary | std::ios::trunc);
+      f.write(reinterpret_cast<const char*>(input.data()),
+              static_cast<std::streamsize>(input.size()));
+    }
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+  }
+  std::remove(crash_file.c_str());
+
+  std::printf("standalone driver: %zu corpus inputs replayed, "
+              "%llu mutated runs, all clean\n",
+              replayed, static_cast<unsigned long long>(runs));
+  return 0;
+}

@@ -84,9 +84,17 @@ void write_status(ByteWriter& w, const Status& status) {
 }
 
 Status read_status(ByteReader& r) {
+  const std::uint8_t raw = r.u8();
   Status s;
-  s.code = static_cast<StatusCode>(r.u8());
+  s.code = status_code_from_wire(raw);
   s.detail = r.str();
+  // A code this build does not know collapses to kInternal; keep the raw
+  // byte visible (when no detail rode along) so the downgrade is
+  // diagnosable rather than silent.
+  if (s.code == StatusCode::kInternal &&
+      raw != static_cast<std::uint8_t>(StatusCode::kInternal) &&
+      s.detail.empty())
+    s.detail = "unrecognized status code " + std::to_string(raw);
   return s;
 }
 
@@ -148,14 +156,17 @@ AppConfig AppConfig::deserialize(ByteView data) {
   ByteReader r(data);
   AppConfig c;
   c.program = r.str();
-  const std::uint32_t n_args = r.u32();
+  // Counts are validated against the bytes left (every element costs at
+  // least its length prefixes) so forged counts die as ParseError here
+  // instead of driving huge loops or allocations.
+  const std::uint32_t n_args = r.count(4);
   for (std::uint32_t i = 0; i < n_args; ++i) c.args.push_back(r.str());
-  const std::uint32_t n_env = r.u32();
+  const std::uint32_t n_env = r.count(8);
   for (std::uint32_t i = 0; i < n_env; ++i) {
     std::string k = r.str();
     c.env[k] = r.str();
   }
-  const std::uint32_t n_secrets = r.u32();
+  const std::uint32_t n_secrets = r.count(8);
   for (std::uint32_t i = 0; i < n_secrets; ++i) {
     std::string k = r.str();
     c.secrets[k] = r.bytes();
@@ -316,7 +327,9 @@ TraceReport TraceReport::read(ByteReader& r) {
   t.request_id = r.u64();
   t.session_id = r.u64();
   t.duration_ns = static_cast<std::int64_t>(r.u64());
-  const std::uint32_t n = r.u32();
+  // Each phase costs at least str-prefix(4) + u32(4) + 2×u64(16) = 24
+  // bytes; a count claiming more is hostile and dies before reserve().
+  const std::uint32_t n = r.count(24);
   t.phases.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
     Phase p;
@@ -345,11 +358,14 @@ IntrospectResponse IntrospectResponse::deserialize(ByteView data) {
   IntrospectResponse resp;
   resp.status = read_status(r);
   resp.metrics = r.str();
-  const std::uint32_t n_traces = r.u32();
+  // A trace costs at least 4×u64 + phase-count u32 = 36 bytes on the
+  // wire; validating the counts up front keeps forged values away from
+  // reserve() (std::length_error is not part of the ParseError contract).
+  const std::uint32_t n_traces = r.count(36);
   resp.traces.reserve(n_traces);
   for (std::uint32_t i = 0; i < n_traces; ++i)
     resp.traces.push_back(TraceReport::read(r));
-  const std::uint32_t n_slow = r.u32();
+  const std::uint32_t n_slow = r.count(36);
   resp.slow_traces.reserve(n_slow);
   for (std::uint32_t i = 0; i < n_slow; ++i)
     resp.slow_traces.push_back(TraceReport::read(r));

@@ -684,13 +684,20 @@ Bytes CasService::export_state() const {
 void CasService::import_state(ByteView state) {
   ByteReader r(state);
   std::map<core::AttestationToken, PendingToken> tokens;
-  std::vector<std::pair<std::string, Bytes>> policies;
-  const std::uint32_t n_policies = r.u32();
+  std::vector<Policy> policies;
+  // Sequence counts validated against remaining input (a policy entry
+  // costs at least its two u32 length prefixes, a token entry 32+4+32+1
+  // bytes) so a corrupt count dies as ParseError before any allocation.
+  const std::uint32_t n_policies = r.count(8);
   for (std::uint32_t i = 0; i < n_policies; ++i) {
-    std::string name = r.str();
-    policies.emplace_back(std::move(name), r.bytes());
+    r.str();  // name: recomputed from the policy's session_name on install
+    const Bytes blob = r.bytes();
+    // Decode NOW, inside the parse phase: a corrupt nested policy blob
+    // must fail the whole import, not surface mid-commit after earlier
+    // policies were already installed (partially-applied state).
+    policies.push_back(Policy::deserialize(blob));
   }
-  const std::uint32_t n_tokens = r.u32();
+  const std::uint32_t n_tokens = r.count(69);
   for (std::uint32_t i = 0; i < n_tokens; ++i) {
     const auto token = r.fixed<32>();
     PendingToken pending;
@@ -702,10 +709,7 @@ void CasService::import_state(ByteView state) {
   r.expect_done();
 
   // Commit only after the whole state parsed.
-  for (auto& [name, blob] : policies) {
-    Policy policy = Policy::deserialize(blob);
-    install_policy(policy);
-  }
+  for (Policy& policy : policies) install_policy(policy);
   for (TokenStripe& stripe : token_stripes_) {
     MutexLock lock(stripe.m);
     stripe.tokens.clear();

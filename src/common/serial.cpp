@@ -76,6 +76,14 @@ Bytes ByteReader::bytes() {
   return raw(n);
 }
 
+std::uint32_t ByteReader::count(std::size_t min_element_bytes) {
+  const std::uint32_t n = u32();
+  if (min_element_bytes == 0) min_element_bytes = 1;
+  if (n > remaining() / min_element_bytes)
+    throw ParseError("element count exceeds remaining input");
+  return n;
+}
+
 std::string ByteReader::str() {
   const Bytes b = bytes();
   return std::string{b.begin(), b.end()};

@@ -56,6 +56,15 @@ class ByteReader {
   Bytes bytes();
   /// Read a u32-length-prefixed UTF-8 string.
   std::string str();
+  /// Read a u32 element count and validate it against the bytes left:
+  /// every element of the upcoming sequence costs at least
+  /// `min_element_bytes` on the wire, so any count exceeding
+  /// remaining()/min_element_bytes is a forgery, not a short read.
+  /// Rejecting it HERE (typed ParseError) keeps hostile counts from
+  /// reaching reserve()/resize() — a u32 of 0xFFFFFFFF must never turn
+  /// into a multi-gigabyte allocation attempt whose bad_alloc escapes the
+  /// ParseError contract every decoder promises.
+  std::uint32_t count(std::size_t min_element_bytes);
   /// Skip n bytes.
   void skip(std::size_t n);
 

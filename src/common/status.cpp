@@ -42,6 +42,12 @@ const char* to_string(StatusCode code) {
   return "unknown";
 }
 
+StatusCode status_code_from_wire(std::uint8_t code) {
+  return code <= static_cast<std::uint8_t>(StatusCode::kDeadlineExceeded)
+             ? static_cast<StatusCode>(code)
+             : StatusCode::kInternal;
+}
+
 const char* status_message(StatusCode code) {
   // The texts for the retrieval outcomes are the seed-era `cas::errors`
   // strings verbatim: legacy (v0) peers receive them unchanged, and the

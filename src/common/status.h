@@ -59,6 +59,14 @@ enum class StatusCode : std::uint8_t {
 /// Stable kebab-case identifier (logs, JSON, tests).
 const char* to_string(StatusCode code);
 
+/// Map a wire status byte onto the enum. Bytes beyond the last code this
+/// build knows decode as kInternal — the documented contract for old
+/// peers meeting codes appended later. Decoders must route every wire
+/// status byte through this (never a bare static_cast): an
+/// out-of-enum value would otherwise flow into switch statements that
+/// assume the enum is exhaustive.
+StatusCode status_code_from_wire(std::uint8_t code);
+
 /// Canonical human-readable message for a code — the single source the
 /// serving frontends and the legacy (v0) wire encoding draw from.
 const char* status_message(StatusCode code);

@@ -33,6 +33,13 @@ which files. This linter codifies the four documented ones:
                       (asserted by tests/test_alloc.cpp's counting
                       operator new) must not contain allocation tokens
                       (new / malloc / make_unique / ...) at all.
+  fuzz-coverage       Every attacker-facing decoder — wire types with a
+                      static deserialize in src/cas/protocol.h, the
+                      decode/parse/serve free functions there, unseal_state
+                      in src/cas/persistence.h, and the status parsers in
+                      src/common/status.h — must be exercised by name in
+                      at least one fuzz harness body (fuzz/fuzz_*.cpp). A
+                      new decoder cannot land unfuzzed.
 
 Diagnostics are file:line, exit status is nonzero when anything fired.
 --self-test seeds one violation of each class in a temp tree and checks
@@ -102,6 +109,25 @@ STATUS_MIN_LEN = 10
 # Structured detail fragments clients parse back out of a Status — wire
 # contract, composed/parsed only by the src/common/status.cpp helpers.
 DETAIL_FRAGMENTS = ("retry-after-ms=", "circuit breaker open")
+
+# Headers whose byte-facing decoders the fuzz layer must cover. A header
+# that does not exist is skipped (the rule is about decoders that DO
+# exist going unfuzzed, not about repo layout).
+FUZZ_DECODER_HEADERS = (
+    "src/cas/protocol.h",
+    "src/cas/persistence.h",
+    "src/common/status.h",
+)
+
+# `static T deserialize(...)` declarations: the return type names the wire
+# type, which is exactly the token a harness uses (stable<cas::T>, ...).
+RE_FUZZ_STRUCT_DECODER = re.compile(
+    r"static\s+(\w+)\s+deserialize(?:_v0)?\s*\(")
+
+# Free-function decoders/parsers of attacker-controlled bytes.
+RE_FUZZ_FREE_DECODER = re.compile(
+    r"\b((?:decode|parse|unseal)_\w+|serve_\w+_frame|"
+    r"status_code_from_\w+)\s*\(")
 
 
 def strip_code(text, blank_strings):
@@ -272,8 +298,37 @@ def check_alloc_free(root, findings):
                  "asserts allocation-free" % m.group(0)))
 
 
+def check_fuzz_coverage(root, findings):
+    harness_text = ""
+    fuzz_dir = root / "fuzz"
+    if fuzz_dir.is_dir():
+        for path in sorted(fuzz_dir.glob("fuzz_*.cpp")):
+            harness_text += strip_code(
+                path.read_text(encoding="utf-8"), blank_strings=True)
+    for relpath in FUZZ_DECODER_HEADERS:
+        path = root / relpath
+        if not path.is_file():
+            continue
+        text = strip_code(path.read_text(encoding="utf-8"),
+                          blank_strings=True)
+        seen = set()
+        for regex in (RE_FUZZ_STRUCT_DECODER, RE_FUZZ_FREE_DECODER):
+            for m in regex.finditer(text):
+                symbol = m.group(1)
+                if symbol in seen:
+                    continue
+                seen.add(symbol)
+                if re.search(r"\b%s\b" % re.escape(symbol), harness_text):
+                    continue
+                findings.append(
+                    (relpath, line_of(text, m.start()), "fuzz-coverage",
+                     "decoder '%s' is not exercised by any fuzz harness "
+                     "body (fuzz/fuzz_*.cpp) — attacker-facing byte "
+                     "parsers must be fuzzed" % symbol))
+
+
 CHECKS = (check_wire, check_raw_mutex, check_status_strings,
-          check_status_details, check_alloc_free)
+          check_status_details, check_alloc_free, check_fuzz_coverage)
 
 
 def run_all(root):
@@ -322,6 +377,16 @@ SELFTEST_VIOLATIONS = {
         "// never reallocates (comment token must not fire)\n"
         "int* leak = new int;\n",
         "alloc-free",
+    ),
+    # A wire type with a deserialize and no fuzz/ harness mentioning it.
+    # (The temp tree has no fuzz/ directory at all, which is the same
+    # failure mode as an unfuzzed decoder.)
+    "src/cas/protocol.h": (
+        "// a comment saying static Bar deserialize( must not fire\n"
+        "struct UnfuzzedThing {\n"
+        "  static UnfuzzedThing deserialize(ByteView data);\n"
+        "};\n",
+        "fuzz-coverage",
     ),
 }
 

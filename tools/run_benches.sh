@@ -81,9 +81,18 @@ for bench in "$BUILD_DIR"/bench/*; do
   { echo "=== $name ==="; cat "$out"; echo; } >> "$combined"
 done
 
+# Keep a run-stamped copy of every trajectory record under
+# bench-results/history/ so successive runs accumulate a comparable
+# series instead of overwriting each other.
+stamp="$(date -u +%Y%m%dT%H%M%SZ)"
+mkdir -p "$OUT_DIR/history"
 for json in BENCH_signing.json BENCH_fleet.json BENCH_attest.json \
             BENCH_chaos.json; do
-  [ -f "$OUT_DIR/$json" ] && echo "trajectory record: $OUT_DIR/$json"
+  if [ -f "$OUT_DIR/$json" ]; then
+    cp "$OUT_DIR/$json" "$OUT_DIR/history/${json%.json}-$stamp.json"
+    echo "trajectory record: $OUT_DIR/$json" \
+         "(history/${json%.json}-$stamp.json)"
+  fi
 done
 
 if [ "$status" -ne 0 ]; then

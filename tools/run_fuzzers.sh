@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Build-and-run driver for the fuzz harnesses (fuzz/).
+#
+#   tools/run_fuzzers.sh --smoke [builddir]   deterministic short pass (CI gate)
+#   tools/run_fuzzers.sh --long  [builddir]   open-ended fuzzing session
+#
+# The CMake configure writes <builddir>/fuzz_flavor:
+#   libfuzzer   clang: coverage-guided libFuzzer binaries
+#   standalone  gcc:   corpus replay + deterministic mutations under
+#               ASan/UBSan (not coverage-guided — see fuzz/fuzz_util.h)
+#
+# Both modes replay the generated seed corpus AND the checked-in
+# regression corpus (fuzz/corpus/regressions/) first, so every fixed
+# crash stays fixed. --smoke uses fixed seeds and bounded run counts:
+# two invocations on the same tree do exactly the same work.
+#
+# --long with libFuzzer grows a live corpus under <builddir>/corpus-live
+# and honours FUZZ_TIME (seconds per harness, default 300). On a crash,
+# libFuzzer leaves crash-* / the standalone driver leaves
+# crash-<harness>.bin in the working directory: minimize it, move it to
+# fuzz/corpus/regressions/<harness>-<what>.bin, and it becomes a tier-1
+# regression test automatically (tests/test_fuzz_regression.cpp).
+set -euo pipefail
+
+mode="${1:---smoke}"
+build="${2:-build-fuzz}"
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$root"
+
+case "$mode" in
+  --smoke|--long) ;;
+  *) echo "usage: $0 [--smoke|--long] [builddir]" >&2; exit 2 ;;
+esac
+
+cmake -S . -B "$build" -DSINCLAVE_FUZZ=ON \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+cmake --build "$build" -j"$(nproc)" > /dev/null
+flavor="$(cat "$build/fuzz_flavor")"
+
+seeds="$build/corpus-seeds"
+rm -rf "$seeds"
+"$build/tools/gen_corpus" "$seeds"
+
+# Mutation budgets per harness (smoke). The stateful harnesses spin up
+# full attestation stacks per input; the pure decoders are ~free.
+runs_for() {
+  case "$1" in
+    fuzz_protocol_session) echo 25 ;;
+    fuzz_persistence|fuzz_secure_record) echo 60 ;;
+    *) echo 400 ;;
+  esac
+}
+
+status=0
+for bin in "$build"/fuzz/fuzz_*; do
+  [ -x "$bin" ] || continue
+  name="$(basename "$bin")"
+  inputs=()
+  [ -d "$seeds/$name" ] && inputs+=("$seeds/$name")
+  regressions=(fuzz/corpus/regressions/"$name"-*)
+  [ -e "${regressions[0]}" ] && inputs+=("${regressions[@]}")
+
+  echo "=== $name ($flavor, $mode)"
+  if [ "$flavor" = libfuzzer ]; then
+    if [ "$mode" = --smoke ]; then
+      "$bin" -seed=1 -runs="$(runs_for "$name")" -max_len=4096 \
+             "${inputs[@]}" || status=1
+    else
+      live="$build/corpus-live/$name"
+      mkdir -p "$live"
+      "$bin" -seed=1 -max_total_time="${FUZZ_TIME:-300}" -max_len=4096 \
+             "$live" "${inputs[@]}" || status=1
+    fi
+  else
+    if [ "$mode" = --smoke ]; then
+      "$bin" -seed=1 -runs="$(runs_for "$name")" -max_len=4096 \
+             "${inputs[@]}" || status=1
+    else
+      "$bin" -seed=1 -runs=$(( $(runs_for "$name") * 100 )) -max_len=4096 \
+             "${inputs[@]}" || status=1
+    fi
+  fi
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "run_fuzzers: FAILURES above — reproducers left in $(pwd)" >&2
+  exit 1
+fi
+echo "run_fuzzers: all harnesses clean"
