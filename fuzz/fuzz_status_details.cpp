@@ -24,7 +24,7 @@ int run_status_details(const std::uint8_t* data, std::size_t size) {
   FuzzInput in(data, size);
   const std::uint8_t mode = in.u8();
 
-  switch (mode % 4) {
+  switch (mode % 5) {
     case 0: {
       const Bytes raw = in.rest();
       const std::string detail(raw.begin(), raw.end());
@@ -53,7 +53,7 @@ int run_status_details(const std::uint8_t* data, std::size_t size) {
       const StatusCode code = status_code_from_wire(wire);
       require(std::string(to_string(code)) != "unknown",
               "wire byte mapped outside the enum");
-      if (wire <= static_cast<std::uint8_t>(StatusCode::kDeadlineExceeded))
+      if (wire <= static_cast<std::uint8_t>(StatusCode::kNotLeader))
         require(static_cast<std::uint8_t>(code) == wire,
                 "known wire byte did not map to itself");
       else
@@ -77,6 +77,38 @@ int run_status_details(const std::uint8_t* data, std::size_t size) {
       const Bytes raw = in.rest();
       (void)cas::status_code_from_legacy(
           std::string(raw.begin(), raw.end()));
+      break;
+    }
+    case 4: {
+      // Leader-hint detail (clients re-route by it, so it faces hostile
+      // text). Arbitrary details never throw; any extracted hint is a
+      // printable endpoint name and a fixed point of compose-then-parse.
+      const Bytes raw = in.chunk();
+      const std::string detail(raw.begin(), raw.end());
+      const auto hint = parse_leader_hint(detail);
+      if (hint.has_value()) {
+        require(!hint->empty() && hint->size() <= 256,
+                "leader hint outside its documented bounds");
+        for (const char c : *hint)
+          require(c >= 0x21 && c <= 0x7e, "leader hint not printable");
+        const auto again = parse_leader_hint(not_leader_detail(*hint));
+        require(again.has_value() && *again == *hint,
+                "leader hint is not a compose/parse fixed point");
+      }
+      // Compose from a fuzz-chosen well-formed address: must round-trip.
+      Bytes addr_bytes = in.take(1 + in.below(64));
+      std::string address;
+      for (const std::uint8_t b : addr_bytes) {
+        const char c = static_cast<char>(0x21 + (b % 0x5e));  // printable
+        if (c != ')') address.push_back(c);
+      }
+      if (!address.empty()) {
+        const auto parsed = parse_leader_hint(not_leader_detail(address));
+        require(parsed.has_value() && *parsed == address,
+                "not_leader_detail does not round-trip");
+      }
+      require(!parse_leader_hint(not_leader_detail("")).has_value(),
+              "hintless detail must parse to no hint");
       break;
     }
   }

@@ -48,4 +48,10 @@ int run_sha_aead_diff(const std::uint8_t* data, std::size_t size);
 /// the global invariants after every step.
 int run_protocol_session(const std::uint8_t* data, std::size_t size);
 
+/// Replication (v2) wire messages: every raft decoder rejects garbage
+/// with typed errors and re-serializes stably, RaftCore::handle_frame
+/// answers arbitrary bytes with a well-formed reply frame, and the
+/// sealed raft store refuses arbitrary blobs in kind.
+int run_replication(const std::uint8_t* data, std::size_t size);
+
 }  // namespace sinclave::fuzz

@@ -1,0 +1,11 @@
+// libFuzzer entry point for the replication harness; the body lives in
+// fuzz/fuzz_replication.cpp so the tier-1 corpus-replay test can link it too.
+#include <cstddef>
+#include <cstdint>
+
+#include "harnesses.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return sinclave::fuzz::run_replication(data, size);
+}

@@ -71,6 +71,11 @@ struct CasClient::Core {
   Mutex connection_mutex{LockRank::kClientConnection, "cas.client_connection"};
   std::optional<net::SimNetwork::Connection> connection_cache
       GUARDED_BY(connection_mutex);
+  /// Where requests go right now: config.address until a kNotLeader
+  /// leader hint (or a peer rotation after transport failure) moves it.
+  std::string current GUARDED_BY(connection_mutex);
+  std::size_t cluster_cursor GUARDED_BY(connection_mutex) = 0;
+  std::atomic<std::uint64_t> leader_redirects{0};
 
   // Circuit breaker (enabled iff retry.breaker_threshold > 0): counts
   // consecutive retryable failures across *operations and attempts*, and
@@ -84,13 +89,44 @@ struct CasClient::Core {
   net::SimNetwork::Connection connection() REQUIRES_NOT(connection_mutex) {
     MutexLock lock(connection_mutex);
     if (!connection_cache.has_value())
-      connection_cache = net->connect(config.address + ".instance");
+      connection_cache = net->connect(current + ".instance");
     return *connection_cache;  // cheap copy; the handle is shareable
   }
 
   void drop_connection() REQUIRES_NOT(connection_mutex) {
     MutexLock lock(connection_mutex);
     connection_cache.reset();
+  }
+
+  /// Follow a kNotLeader leader hint: retarget and count the redirect.
+  /// The redirected attempt is issued immediately — no backoff sleep.
+  void redirect_to(const std::string& address)
+      REQUIRES_NOT(connection_mutex) {
+    {
+      MutexLock lock(connection_mutex);
+      if (current != address) {
+        current = address;
+        connection_cache.reset();
+      }
+    }
+    leader_redirects.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// After a transport failure (or hintless kNotLeader) with a cluster
+  /// configured: advance to the next peer so the paced retry probes a
+  /// different node. No-op without a cluster list.
+  void rotate_peer() REQUIRES_NOT(connection_mutex) {
+    if (config.cluster.empty()) return;
+    MutexLock lock(connection_mutex);
+    for (std::size_t i = 0; i < config.cluster.size(); ++i) {
+      const std::string& next =
+          config.cluster[cluster_cursor++ % config.cluster.size()];
+      if (next != current) {
+        current = next;
+        connection_cache.reset();
+        return;
+      }
+    }
   }
 
   /// False = the breaker is open: the caller must fail fast with
@@ -237,18 +273,28 @@ CasClient::CasClient(net::SimNetwork* net, CasClientConfig config)
       core_->config.retry.jitter_seed != 0
           ? core_->config.retry.jitter_seed
           : splitmix(g_jitter_counter.fetch_add(1, std::memory_order_relaxed));
+  {
+    MutexLock lock(core_->connection_mutex);
+    core_->current = core_->config.address;
+  }
 }
 
 CasClient::Stats CasClient::stats() const {
   return Stats{core_->breaker_trips.load(std::memory_order_relaxed),
-               core_->breaker_fast_fails.load(std::memory_order_relaxed)};
+               core_->breaker_fast_fails.load(std::memory_order_relaxed),
+               core_->leader_redirects.load(std::memory_order_relaxed)};
+}
+
+std::string CasClient::current_address() const {
+  MutexLock lock(core_->connection_mutex);
+  return core_->current;
 }
 
 const CasClientConfig& CasClient::config() const { return core_->config; }
 
 Status CasClient::connect() {
   try {
-    auto conn = core_->net->connect(core_->config.address + ".instance");
+    auto conn = core_->net->connect(current_address() + ".instance");
     MutexLock lock(core_->connection_mutex);
     core_->connection_cache = std::move(conn);
     return Status();
@@ -287,13 +333,34 @@ InstanceResult CasClient::get_instance(
       result = decode_response(
           core_->connection().call(encode_request(request, id)), id);
     } catch (const Error& e) {
-      // Transport failure: the listener may have moved; reconnect on the
-      // next attempt.
+      // Transport failure: the listener may have moved; reconnect (and,
+      // in a cluster, probe the next peer) on the next attempt.
       result = InstanceResult{};
       result.status = transport_status(e);
       core_->drop_connection();
+      core_->rotate_peer();
     }
     result.attempts = attempt;
+    if (result.status.code == StatusCode::kNotLeader) {
+      // The follower told us who leads: re-route the next attempt there
+      // IMMEDIATELY — no backoff sleep, the answer was not a failure but
+      // a forwarding address. A hintless kNotLeader (election still in
+      // flight) falls through to paced peer rotation below.
+      if (const auto hint = parse_leader_hint(result.status.detail);
+          hint.has_value() && attempt < core_->config.retry.max_attempts) {
+        core_->redirect_to(*hint);
+        core_->breaker_record(false);
+        continue;
+      }
+      if (!core_->config.cluster.empty() &&
+          pacer.pace(attempt, result.status, &p_backoff)) {
+        core_->rotate_peer();
+        core_->breaker_record(false);
+        continue;
+      }
+      core_->breaker_record(false);
+      return result;
+    }
     const bool retryable = result.status.retryable();
     core_->breaker_record(retryable);
     if (!retryable || !pacer.pace(attempt, result.status, &p_backoff))
@@ -338,6 +405,9 @@ IntrospectResponse CasClient::introspect(const IntrospectRequest& request) {
       result = IntrospectResponse{};
       result.status = transport_status(e);
       core_->drop_connection();
+      // Introspection is a read: ANY replica answers it, so rotation is
+      // the whole failover story here (no kNotLeader to parse).
+      core_->rotate_peer();
     }
     const bool retryable = result.status.retryable();
     core_->breaker_record(retryable);
@@ -392,10 +462,23 @@ void CasClient::issue_async(std::shared_ptr<Core> core, Bytes wire,
         result.status = Status(StatusCode::kUnavailable, "transport failure");
       }
       core->drop_connection();
+      core->rotate_peer();
     } else {
       result = decode_response(raw, request_id);
     }
     result.attempts = attempts_used + 1;
+    if (result.status.code == StatusCode::kNotLeader && attempts_left > 1) {
+      // Same immediate re-route as the sync path; the async path never
+      // sleeps anyway, so hinted and hintless differ only in target.
+      if (const auto hint = parse_leader_hint(result.status.detail))
+        core->redirect_to(*hint);
+      else
+        core->rotate_peer();
+      core->breaker_record(false);
+      issue_async(core, std::move(wire), request_id, attempts_left - 1,
+                  attempts_used + 1, deadline_at, std::move(callback));
+      return;
+    }
     const bool retryable = result.status.retryable();
     core->breaker_record(retryable);
     if (retryable && attempts_left > 1 && SteadyClock::now() < deadline_at &&

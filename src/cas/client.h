@@ -28,6 +28,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "cas/protocol.h"
 #include "common/status.h"
@@ -80,6 +81,16 @@ struct CasClientConfig {
   /// Base CAS address; the instance endpoint listens at
   /// `address + ".instance"`, the attestation endpoint at `address`.
   std::string address;
+  /// Replicated-cluster membership (base addresses; may include
+  /// `address`). When non-empty, two routing behaviors turn on:
+  ///   * a kNotLeader answer whose detail parses to a leader hint
+  ///     re-routes the NEXT attempt to that address immediately — no
+  ///     backoff sleep (the cluster told us exactly where to go);
+  ///   * transport failures and hintless kNotLeader answers rotate to the
+  ///     next cluster peer before the normal paced retry, so a killed
+  ///     leader is survived by discovering its successor.
+  /// Empty (the default) keeps the single-server behavior bit-for-bit.
+  std::vector<std::string> cluster;
   RetryPolicy retry;
 };
 
@@ -133,12 +144,19 @@ class CasClient {
                           InstanceCallback callback);
 
   /// Client-side resilience counters. trips = times the breaker opened;
-  /// fast_fails = operations (or async re-issues) refused while open.
+  /// fast_fails = operations (or async re-issues) refused while open;
+  /// leader_redirects = attempts re-routed by a kNotLeader leader hint.
   struct Stats {
     std::uint64_t breaker_trips = 0;
     std::uint64_t breaker_fast_fails = 0;
+    std::uint64_t leader_redirects = 0;
   };
   Stats stats() const;
+
+  /// The base address requests currently target (== config().address
+  /// until a leader hint or peer rotation moved it). Failover
+  /// observability for tests and benches.
+  std::string current_address() const;
 
  private:
   struct Core;

@@ -15,6 +15,12 @@ const char* to_string(Command command) {
       return "attest";
     case Command::kIntrospect:
       return "introspect";
+    case Command::kVoteRequest:
+      return "vote-request";
+    case Command::kAppendEntries:
+      return "append-entries";
+    case Command::kInstallSnapshot:
+      return "install-snapshot";
   }
   return "unknown";
 }
@@ -124,7 +130,7 @@ StatusCode status_code_from_legacy(const std::string& error) {
         StatusCode::kSessionNotAttested, StatusCode::kAttestationRejected,
         StatusCode::kMalformedRequest, StatusCode::kUnsupportedVersion,
         StatusCode::kUnknownCommand, StatusCode::kUnavailable,
-        StatusCode::kDeadlineExceeded}) {
+        StatusCode::kDeadlineExceeded, StatusCode::kNotLeader}) {
     if (error == status_message(code)) return code;
   }
   return StatusCode::kInternal;

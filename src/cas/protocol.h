@@ -66,6 +66,17 @@ enum class Command : std::uint8_t {
   /// recent traces, slow-request log. Envelope-only (v1+): there is no
   /// legacy encoding because no v0 peer ever spoke it.
   kIntrospect = 4,
+  // Inter-CAS replication traffic (cas/replication.h). These ride ONLY
+  // v2 envelopes on the dedicated `<address>.raft` endpoint — a v1 client
+  // endpoint receiving one answers kUnknownCommand, and a v1 client
+  // hitting the raft endpoint answers kUnsupportedVersion, so the v1
+  // surface is untouched.
+  /// Raft leader election: RequestVote.
+  kVoteRequest = 5,
+  /// Raft log replication + heartbeat: AppendEntries.
+  kAppendEntries = 6,
+  /// Raft snapshot transfer for lagging/compacted followers.
+  kInstallSnapshot = 7,
 };
 
 /// Stable name for logs/metrics ("get-instance", ...).

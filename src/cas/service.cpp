@@ -91,6 +91,7 @@ CasService::CasService(quote::AttestationService* attestation,
     snap.counter("channel_stripe_collisions", s.stripe_collisions);
     snap.gauge("channel_sessions_high_water", s.sessions_high_water);
     snap.gauge("channel_open_sessions", s.open_sessions);
+    snap.counter("channel_sessions_expired", s.sessions_expired);
   });
 }
 
@@ -174,8 +175,22 @@ void CasService::ensure_secure_server() {
         },
         [this](std::uint64_t sid, ByteView plaintext) {
           return on_request(sid, plaintext);
-        });
+        },
+        secure_options_);
   });
+}
+
+void CasService::set_secure_server_options(net::SecureServerOptions options) {
+  secure_options_ = options;
+}
+
+std::size_t CasService::sweep_idle_sessions() {
+  ensure_secure_server();
+  return secure_server_->sweep_idle();
+}
+
+void CasService::set_replication_gate(ReplicationGate* gate) {
+  replication_gate_.store(gate, std::memory_order_release);
 }
 
 Bytes CasService::handle_secure(ByteView raw) {
@@ -314,8 +329,40 @@ void CasService::register_token(const core::AttestationToken& token,
                                 const sgx::Measurement& expected_mr) {
   TokenStripe& stripe = token_stripe(token);
   MutexLock lock(stripe.m);
+  // emplace: re-applying the same log entry after a restart must not
+  // reset a token that was meanwhile spent.
   stripe.tokens.emplace(token,
                         PendingToken{session_name, expected_mr, false});
+}
+
+Status CasService::peek_spend(const core::AttestationToken& token,
+                              const std::string& session_name,
+                              const sgx::Measurement& mr_enclave) const {
+  const TokenStripe& stripe = token_stripe(token);
+  MutexLock lock(stripe.m);
+  const auto it = stripe.tokens.find(token);
+  if (it == stripe.tokens.end() || it->second.session_name != session_name)
+    return Status(StatusCode::kTokenUnknown);
+  if (it->second.used) return Status(StatusCode::kTokenReused);
+  if (mr_enclave != it->second.expected_mr)
+    return Status(StatusCode::kAttestationRejected);
+  return Status();
+}
+
+Status CasService::apply_replicated_spend(const core::AttestationToken& token,
+                                          const std::string& session_name,
+                                          const sgx::Measurement& mr_enclave) {
+  TokenStripe& stripe = token_stripe(token);
+  MutexLock lock(stripe.m);
+  const auto it = stripe.tokens.find(token);
+  if (it == stripe.tokens.end() || it->second.session_name != session_name)
+    return Status(StatusCode::kTokenUnknown);
+  if (it->second.used) return Status(StatusCode::kTokenReused);
+  if (mr_enclave != it->second.expected_mr)
+    return Status(StatusCode::kAttestationRejected);
+  it->second.used = true;  // singleton: this token never attests again
+  ++stripe.used;
+  return Status();
 }
 
 std::optional<StatusCode> CasService::check_retrieval_preconditions(
@@ -372,10 +419,25 @@ InstanceResponse CasService::handle_instance(const InstanceRequest& request) {
   }
 
   // Mint the singleton credential (token + prediction + on-demand
-  // SigStruct) and arm its one-time token.
+  // SigStruct) and arm its one-time token. In cluster mode the arming is
+  // a log entry: the gate answers only after a majority committed it and
+  // THIS node applied it (register_token via the log), so a credential
+  // is never released that a failover could forget.
   const MintedCredential cred =
       mint_credential(*policy, request.common_sigstruct, &t);
-  register_token(cred.token, request.session_name, cred.mr_enclave);
+  if (ReplicationGate* gate =
+          replication_gate_.load(std::memory_order_acquire);
+      gate != nullptr) {
+    const Status committed =
+        gate->register_token(cred.token, request.session_name,
+                             cred.mr_enclave);
+    if (!committed.ok()) {
+      resp.status = committed;
+      return resp;
+    }
+  } else {
+    register_token(cred.token, request.session_name, cred.mr_enclave);
+  }
 
   resp.status = Status();
   resp.token = cred.token;
@@ -461,12 +523,53 @@ std::optional<Bytes> CasService::on_handshake(ByteView client_payload,
       verdict(Verdict::kTokenUnknown);
       return std::nullopt;
     }
-    // Lookup, one-time check, measurement check and spend are one critical
-    // section *inside the token's stripe*: two attestations racing on the
-    // same token hash to the same stripe and serialize there, so exactly
-    // one can ever flip `used`; attestations of different tokens proceed
-    // on different stripes in parallel.
-    {
+    if (ReplicationGate* gate =
+            replication_gate_.load(std::memory_order_acquire);
+        gate != nullptr) {
+      // Cluster mode. A cheap local precheck first (rejects that need no
+      // log traffic), then the spend commits through the replicated log
+      // with no lock held; apply_replicated_spend — run on every node in
+      // log order — is the authoritative mark-used. Two handshakes racing
+      // the same token may both pass the precheck and both propose; the
+      // log serializes them, the first applied spend wins everywhere, and
+      // the loser's own proposal answers kTokenReused.
+      Status spent = peek_spend(*payload.token, payload.session_name,
+                                qv.identity->mr_enclave);
+      // A local "token unknown" is only authoritative on a caught-up
+      // leader: a lagging replica (follower, or a fresh leader before
+      // its no-op applies) may simply not have applied the registration
+      // yet. Commit the spend through the log instead — it serializes
+      // after every registration, so the apply verdict is authoritative
+      // (and a follower answers kNotLeader, routing the client onward).
+      const bool local_miss_untrusted =
+          spent.code == StatusCode::kTokenUnknown && !gate->ready();
+      if (spent.ok() || local_miss_untrusted) {
+        static obs::Phase& p_spend =
+            obs::Tracer::instance().phase("token_spend");
+        obs::Span spend_span(p_spend);  // covers the replicated commit
+        spent = gate->spend_token(*payload.token, payload.session_name,
+                                  qv.identity->mr_enclave);
+      }
+      if (!spent.ok()) {
+        // kNotLeader is protocol-level, so the client learns to re-route;
+        // verification outcomes stay the generic rejection as ever.
+        if (reject_status != nullptr && is_protocol_level(spent.code))
+          *reject_status = spent.code;
+        verdict(spent.code == StatusCode::kTokenReused
+                    ? Verdict::kTokenReused
+                : spent.code == StatusCode::kTokenUnknown
+                    ? Verdict::kTokenUnknown
+                : spent.code == StatusCode::kAttestationRejected
+                    ? Verdict::kMeasurementMismatch
+                    : Verdict::kStale);  // routing/liveness refusals
+        return std::nullopt;
+      }
+    } else {
+      // Lookup, one-time check, measurement check and spend are one
+      // critical section *inside the token's stripe*: two attestations
+      // racing on the same token hash to the same stripe and serialize
+      // there, so exactly one can ever flip `used`; attestations of
+      // different tokens proceed on different stripes in parallel.
       static obs::Phase& p_spend =
           obs::Tracer::instance().phase("token_spend");
       obs::Span spend_span(p_spend);  // covers stripe-lock wait + spend

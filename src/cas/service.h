@@ -97,6 +97,42 @@ struct MintedCredential {
   sgx::SigStruct sigstruct;
 };
 
+/// Replication interposition point (server::ClusterNode implements this
+/// over cas::RaftCore). When a gate is attached, the two one-time-token
+/// state transitions — arming a freshly minted token and spending it at
+/// attestation — are committed through the replicated log instead of
+/// mutating only this node's stripes: the gate proposes the transition,
+/// blocks until a cluster majority has committed it, and every node
+/// (including this one) then applies it via register_token /
+/// apply_replicated_spend in identical log order. Both gate calls are
+/// made with NO CasService lock held.
+class ReplicationGate {
+ public:
+  virtual ~ReplicationGate() = default;
+  /// Replicate the arming of a minted token. Ok only once committed
+  /// cluster-wide; kNotLeader (with leader hint) when this node cannot
+  /// commit writes; kUnavailable when no majority answers in time.
+  virtual Status register_token(const core::AttestationToken& token,
+                                const std::string& session_name,
+                                const sgx::Measurement& expected_mr) = 0;
+  /// Replicate a token spend. Ok iff THIS proposal is the first committed
+  /// spend of the token cluster-wide; kTokenReused when a concurrent
+  /// spend won the log race; kTokenUnknown / kAttestationRejected
+  /// mirroring the local apply outcomes; kNotLeader / kUnavailable for
+  /// routing and liveness failures.
+  virtual Status spend_token(const core::AttestationToken& token,
+                             const std::string& session_name,
+                             const sgx::Measurement& mr_enclave) = 0;
+  /// True when this replica's APPLIED state is authoritative for
+  /// negative token lookups (a caught-up leader). A lagging replica can
+  /// answer "token unknown" for a token whose registration is committed
+  /// but not yet applied here — the serving path must then commit the
+  /// spend through the log (which serializes after every registration)
+  /// instead of trusting the local miss. Defaults to true: a gateless /
+  /// single-authority deployment is always authoritative.
+  virtual bool ready() const { return true; }
+};
+
 class CasService {
  public:
   /// Wall-clock breakdown of the last instance request (Fig. 7c series).
@@ -172,10 +208,38 @@ class CasService {
       std::size_t count, InstanceTimings* timings = nullptr);
 
   /// Arm a minted credential: register its one-time token for
-  /// `session_name` with the expected singleton measurement.
+  /// `session_name` with the expected singleton measurement. Idempotent
+  /// (re-registering an armed token is a no-op) — the replicated log may
+  /// apply the same entry again after a restart.
   void register_token(const core::AttestationToken& token,
                       const std::string& session_name,
                       const sgx::Measurement& expected_mr);
+
+  /// Attach (or detach, nullptr) the replication gate. Not owned; must
+  /// outlive serving. With a gate attached, handle_instance and the
+  /// attested handshake commit token transitions through it (see
+  /// ReplicationGate).
+  void set_replication_gate(ReplicationGate* gate);
+
+  /// Read-only spend precheck for the gated handshake path: the typed
+  /// refusal a spend of `token` would earn right now (kTokenUnknown,
+  /// kTokenReused, kAttestationRejected on measurement mismatch), or ok
+  /// when it looks spendable. Purely advisory — the authoritative spend
+  /// is the replicated apply — but it keeps doomed proposals out of the
+  /// log.
+  Status peek_spend(const core::AttestationToken& token,
+                    const std::string& session_name,
+                    const sgx::Measurement& mr_enclave) const;
+
+  /// Apply a committed spend from the replicated log. Deterministic and
+  /// idempotent: the FIRST application spends the token (ok); any later
+  /// one answers kTokenReused; a token this node never armed answers
+  /// kTokenUnknown; a measurement mismatch answers kAttestationRejected
+  /// without spending. Every node applies the same entries in the same
+  /// order, so all outcomes agree cluster-wide.
+  Status apply_replicated_spend(const core::AttestationToken& token,
+                                const std::string& session_name,
+                                const sgx::Measurement& mr_enclave);
 
   InstanceTimings last_instance_timings() const;
   /// Verdict of the most recent attestation attempt (test observability).
@@ -196,6 +260,16 @@ class CasService {
   /// session table (stripe collisions, sessions high-water); instantiates
   /// the secure server if it has not served yet.
   net::SecureServer::Stats secure_channel_stats();
+
+  /// Options for the lazily created secure server (idle TTL, stripe
+  /// counts). Must be called before the first secure-endpoint traffic —
+  /// once the server exists the options are fixed.
+  void set_secure_server_options(net::SecureServerOptions options);
+
+  /// Run one idle-TTL sweep increment (one stripe; see
+  /// SecureServer::sweep_idle). The serving layers call this from a
+  /// periodic TimerWheel task. Returns sessions reaped.
+  std::size_t sweep_idle_sessions();
 
   /// The unified metrics registry every layer's collectors plug into:
   /// CasService registers its own collector (tokens, secure-channel
@@ -290,6 +364,11 @@ class CasService {
 
   std::once_flag secure_server_once_;
   std::unique_ptr<net::SecureServer> secure_server_;
+  net::SecureServerOptions secure_options_{};
+
+  /// Attach/detach races with serving threads, hence atomic (same
+  /// discipline as policy_cache_).
+  std::atomic<ReplicationGate*> replication_gate_{nullptr};
 
   mutable Mutex observe_mutex_{LockRank::kCasObserve, "cas.observe"};
   InstanceTimings last_timings_ GUARDED_BY(observe_mutex_);

@@ -59,6 +59,10 @@ namespace sinclave {
 ///   - leaves (trace registration, DRBG stripes, sim-network core) are
 ///     acquired with callbacks and crypto already outside all locks.
 enum class LockRank : std::uint16_t {
+  kWorkloadPlatform = 112,  // ClusterBed's simulated-CPU/QE serialization
+                            // (SgxCpu and QuotingEnclave are not internally
+                            // synchronized; held across enclave construction
+                            // and quoting, never across network calls)
   kWorkloadResult = 110,    // load_gen result aggregation / open-loop state
   kClientConnection = 100,  // cas::CasClient connection cache
   kClientBreaker = 98,      // cas::CasClient circuit-breaker state
@@ -67,8 +71,16 @@ enum class LockRank : std::uint16_t {
   kSigstructPool = 88,      // server::SigStructCache per-session pool
   kThreadPool = 86,         // server::ThreadPool queue
   kMetricsRegistry = 80,    // obs::MetricsRegistry collector list
+  kClusterLifecycle = 76,   // server::ClusterNode incarnation swap (held
+                            // across the idle sweep's stripe lock and a
+                            // restart's RaftCore start, both lower)
   kSecureSession = 70,      // net::SecureServer per-session record state
   kSecureStripe = 68,       // net::SecureServer session-table stripe
+  kClusterRaft = 64,        // cas::RaftCore consensus state (above the CAS
+                            // ranks: the leader applies committed entries
+                            // into the policy db / token stripes while
+                            // holding it; below the secure-channel ranks,
+                            // which are never held across a proposal)
   kCasSigner = 60,          // cas::CasService signer key map
   kCasRng = 58,             // cas::CasService root RNG / lazy secure server
   kCasPolicyDb = 56,        // cas::CasService policy database (shared)

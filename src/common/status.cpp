@@ -38,12 +38,14 @@ const char* to_string(StatusCode code) {
       return "unavailable";
     case StatusCode::kDeadlineExceeded:
       return "deadline-exceeded";
+    case StatusCode::kNotLeader:
+      return "not-leader";
   }
   return "unknown";
 }
 
 StatusCode status_code_from_wire(std::uint8_t code) {
-  return code <= static_cast<std::uint8_t>(StatusCode::kDeadlineExceeded)
+  return code <= static_cast<std::uint8_t>(StatusCode::kNotLeader)
              ? static_cast<StatusCode>(code)
              : StatusCode::kInternal;
 }
@@ -87,6 +89,8 @@ const char* status_message(StatusCode code) {
       return "service unavailable";
     case StatusCode::kDeadlineExceeded:
       return "deadline exceeded";
+    case StatusCode::kNotLeader:
+      return "not the cluster leader";
   }
   return "internal error";
 }
@@ -121,6 +125,28 @@ std::string deadline_phase_detail(const char* phase) {
 std::string breaker_open_detail() {
   return std::string(status_message(StatusCode::kUnavailable)) +
          " (circuit breaker open)";
+}
+
+std::string not_leader_detail(const std::string& leader_address) {
+  std::string detail = status_message(StatusCode::kNotLeader);
+  if (!leader_address.empty())
+    detail += " (leader=" + leader_address + ")";
+  return detail;
+}
+
+std::optional<std::string> parse_leader_hint(std::string_view detail) {
+  constexpr std::string_view kKey = "leader=";
+  const auto pos = detail.find(kKey);
+  if (pos == std::string_view::npos) return std::nullopt;
+  std::string_view rest = detail.substr(pos + kKey.size());
+  const auto end = rest.find(')');
+  if (end != std::string_view::npos) rest = rest.substr(0, end);
+  // An address is a short printable endpoint name; anything else (empty,
+  // absurdly long, control bytes) is a hostile or corrupt detail — no hint.
+  if (rest.empty() || rest.size() > 256) return std::nullopt;
+  for (const char c : rest)
+    if (c < 0x21 || c > 0x7e) return std::nullopt;
+  return std::string(rest);
 }
 
 }  // namespace sinclave

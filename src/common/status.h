@@ -54,6 +54,13 @@ enum class StatusCode : std::uint8_t {
   /// time budget is gone — retrying the same doomed request is exactly
   /// the storm deadlines exist to stop. Re-issue with a fresh budget.
   kDeadlineExceeded = 16,
+  /// Replicated-cluster routing: this node is a follower and the request
+  /// needs the leader (writes: singleton retrieval, token spend, policy
+  /// install). Deliberately NOT retryable by blind repetition — the
+  /// detail carries a leader hint ("leader=ADDR") and CasClient re-routes
+  /// to it immediately, with no backoff sleep. Reads (get_policy,
+  /// introspect) are served by any replica and never see this code.
+  kNotLeader = 17,
 };
 
 /// Stable kebab-case identifier (logs, JSON, tests).
@@ -90,6 +97,13 @@ std::string deadline_phase_detail(const char* phase);
 /// Detail for a client-side circuit-breaker fast-fail (kUnavailable
 /// without any wire attempt).
 std::string breaker_open_detail();
+/// Detail for kNotLeader carrying the current leader's address:
+/// "not the cluster leader (leader=ADDR)". An empty address (election in
+/// progress, leader unknown) omits the hint entirely.
+std::string not_leader_detail(const std::string& leader_address);
+/// Extract the leader address from a kNotLeader detail; nullopt when the
+/// hint is absent or empty.
+std::optional<std::string> parse_leader_hint(std::string_view detail);
 
 /// True for codes a client may retry without changing the request.
 constexpr bool is_retryable(StatusCode code) {
@@ -101,11 +115,22 @@ constexpr bool is_retryable(StatusCode code) {
 /// record may carry to an unauthenticated peer (SecureServer sends them,
 /// SecureClient whitelists them — one predicate so the two cannot drift);
 /// everything else stays the generic rejection, keeping the handshake
-/// oracle-free.
+/// oracle-free. kNotLeader qualifies: "wrong replica, go to the leader"
+/// is routing topology (public), not a verification outcome — and a
+/// follower must be able to bounce an attested handshake before spending
+/// the one-time token it carries. kUnavailable qualifies for the same
+/// reason: "could not commit your spend, retry" (a deposed/stopping
+/// leader, a cluster without quorum) says nothing about the token —
+/// and WITHOUT it a liveness refusal would ride the generic rejection,
+/// which a client must treat as terminal, turning every failover blip
+/// into a lost credential. It reveals no token state: a reused token
+/// still answers the same generic rejection as any verification failure.
 constexpr bool is_protocol_level(StatusCode code) {
   return code == StatusCode::kMalformedRequest ||
          code == StatusCode::kUnsupportedVersion ||
-         code == StatusCode::kUnknownCommand;
+         code == StatusCode::kUnknownCommand ||
+         code == StatusCode::kNotLeader ||
+         code == StatusCode::kUnavailable;
 }
 
 /// A typed outcome: code plus an optional detail message. `message()`

@@ -1,6 +1,7 @@
 #include "net/secure_channel.h"
 
 #include <array>
+#include <chrono>
 
 #include "common/error.h"
 #include "common/serial.h"
@@ -116,7 +117,8 @@ SecureServer::SecureServer(const crypto::RsaKeyPair* identity,
            options.rng_stripes == 0 ? 1 : options.rng_stripes),
       on_handshake_(std::move(on_handshake)),
       on_request_(std::move(on_request)),
-      stripes_(options.session_stripes == 0 ? 1 : options.session_stripes) {
+      stripes_(options.session_stripes == 0 ? 1 : options.session_stripes),
+      idle_ttl_(options.idle_ttl) {
   if (identity_ == nullptr) throw Error("secure server: identity required");
   if (!on_handshake_ || !on_request_)
     throw Error("secure server: hooks required");
@@ -208,6 +210,11 @@ Bytes SecureServer::handle_handshake(ByteReader& r) {
   auto session = std::make_shared<Session>(
       crypto::Aead(keys.c2s), crypto::Aead(keys.s2c),
       session_ad("c2s", session_id), session_ad("s2c", session_id));
+  session->last_activity_ns.store(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count(),
+      std::memory_order_relaxed);
   {
     static obs::Phase& p_publish =
         obs::Tracer::instance().phase("session_publish");
@@ -252,6 +259,13 @@ Bytes SecureServer::handle_data(ByteReader& r) {
   }
   if (session == nullptr)
     return rejection_record(StatusCode::kSessionNotAttested);
+  // Stamp before serving: a session being actively driven never looks
+  // idle to the sweep, however long the request handler runs.
+  session->last_activity_ns.store(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count(),
+      std::memory_order_relaxed);
 
   // Records of one session serialize on its own lock (the counter
   // discipline needs exactly that); records of other sessions proceed in
@@ -307,6 +321,42 @@ void SecureServer::close_session(std::uint64_t session_id) {
   open_count_.fetch_sub(1, std::memory_order_relaxed);
 }
 
+std::size_t SecureServer::sweep_idle() {
+  if (idle_ttl_.count() <= 0) return 0;
+  const std::int64_t cutoff =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count() -
+      idle_ttl_.count();
+  Stripe& stripe =
+      stripes_[sweep_cursor_.fetch_add(1, std::memory_order_relaxed) %
+               stripes_.size()];
+  // Reaped sessions leave the stripe under its lock but are destroyed —
+  // AEAD contexts and all — outside it.
+  std::vector<std::shared_ptr<Session>> reaped;
+  {
+    ContendedMutexLock lock(stripe.m, stripe_collisions_);
+    for (auto it = stripe.sessions.begin(); it != stripe.sessions.end();) {
+      if (it->second->last_activity_ns.load(std::memory_order_relaxed) <=
+          cutoff) {
+        reaped.push_back(std::move(it->second));
+        it = stripe.sessions.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (const auto& session : reaped) {
+    // Same close discipline as close_session: flag without the session
+    // lock; an in-flight record that already entered completes normally,
+    // every later record gets the typed kSessionNotAttested rejection.
+    session->closed.store(true, std::memory_order_release);
+    open_count_.fetch_sub(1, std::memory_order_relaxed);
+    sessions_expired_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return reaped.size();
+}
+
 SecureServer::Stats SecureServer::stats() const {
   Stats s;
   s.sessions_opened = sessions_opened_.load(std::memory_order_relaxed);
@@ -317,6 +367,7 @@ SecureServer::Stats SecureServer::stats() const {
   s.sessions_high_water =
       sessions_high_water_.load(std::memory_order_relaxed);
   s.open_sessions = open_count_.load(std::memory_order_relaxed);
+  s.sessions_expired = sessions_expired_.load(std::memory_order_relaxed);
   return s;
 }
 

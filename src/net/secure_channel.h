@@ -18,6 +18,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -91,6 +92,11 @@ struct SecureServerOptions {
   std::size_t session_stripes = 16;
   /// DRBG stripes for handshake randomness (crypto::DrbgPool).
   std::size_t rng_stripes = 8;
+  /// Reap sessions idle for at least this long when sweep_idle() runs
+  /// (0 = sessions live until close_session, the pre-TTL behavior). A
+  /// long-running CAS needs this: abandoned sessions — clients that
+  /// attested and vanished — otherwise accumulate keys forever.
+  std::chrono::nanoseconds idle_ttl{0};
 };
 
 /// Server half. Owns per-session traffic keys; plug `handle` into
@@ -147,6 +153,15 @@ class SecureServer {
     return open_count_.load(std::memory_order_relaxed);
   }
 
+  /// Sweep ONE stripe (round-robin cursor) for sessions whose last
+  /// activity is older than options.idle_ttl, reaping each like
+  /// close_session would (typed kSessionNotAttested for any later
+  /// record). One stripe per call keeps each sweep's stripe-lock hold
+  /// bounded, so a periodic TimerWheel caller never stalls the serving
+  /// path behind a full-table scan. Returns the number reaped; no-op
+  /// (returns 0) when idle_ttl is 0.
+  std::size_t sweep_idle();
+
   /// Contention observability for the serving layer's metrics.
   struct Stats {
     std::uint64_t sessions_opened = 0;
@@ -158,6 +173,8 @@ class SecureServer {
     /// Most sessions ever simultaneously open.
     std::uint64_t sessions_high_water = 0;
     std::uint64_t open_sessions = 0;
+    /// Sessions reaped by the idle-TTL sweep.
+    std::uint64_t sessions_expired = 0;
   };
   Stats stats() const;
 
@@ -178,6 +195,11 @@ class SecureServer {
     /// Set by close_session without taking `m` (close must not block on —
     /// or deadlock with — a handler calling close for its own session).
     std::atomic<bool> closed{false};
+    /// steady_clock ns of the last record served (stamped at publish,
+    /// then per data record). Atomic so the idle sweep can read it under
+    /// only the stripe lock — taking the session lock there would invert
+    /// the stripe < session rank order.
+    std::atomic<std::int64_t> last_activity_ns{0};
 
     Session(crypto::Aead c2s_in, crypto::Aead s2c_in, Bytes ad_c2s_in,
             Bytes ad_s2c_in)
@@ -208,6 +230,7 @@ class SecureServer {
   HandshakeHook on_handshake_;
   RequestHandler on_request_;
   std::vector<Stripe> stripes_;
+  std::chrono::nanoseconds idle_ttl_;
   std::atomic<std::uint64_t> next_session_{1};
 
   std::atomic<std::uint64_t> open_count_{0};
@@ -215,6 +238,8 @@ class SecureServer {
   std::atomic<std::uint64_t> handshakes_rejected_{0};
   std::atomic<std::uint64_t> stripe_collisions_{0};
   std::atomic<std::uint64_t> sessions_high_water_{0};
+  std::atomic<std::uint64_t> sessions_expired_{0};
+  std::atomic<std::uint64_t> sweep_cursor_{0};
 };
 
 /// Client half.

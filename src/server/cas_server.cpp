@@ -72,6 +72,25 @@ CasServer::CasServer(cas::CasService* cas, CasServerConfig config)
           schedule_refill(session);
         });
   }
+  if (config_.session_idle_ttl.count() > 0) {
+    net::SecureServerOptions options;
+    options.idle_ttl = config_.session_idle_ttl;
+    cas_->set_secure_server_options(options);
+    arm_idle_sweep();
+  }
+}
+
+void CasServer::arm_idle_sweep() {
+  try {
+    timer_.schedule_after(config_.idle_sweep_interval, [this] {
+      // cas_ is borrowed and outlives this server, so the tick fired by
+      // the wheel destructor is still safe.
+      cas_->sweep_idle_sessions();
+      arm_idle_sweep();
+    });
+  } catch (const Error&) {
+    // Timer wheel shutting down: the server is being destroyed.
+  }
 }
 
 CasServer::~CasServer() {

@@ -100,6 +100,14 @@ struct CasServerConfig {
   /// is minted for a doomed request, and no timer slot is occupied by
   /// one.
   std::chrono::microseconds request_deadline{0};
+  /// Reap secure-channel sessions idle at least this long (0 = never; the
+  /// pre-TTL behavior). Abandoned sessions — clients that attested and
+  /// vanished — otherwise hold keys forever; see SecureServerOptions.
+  std::chrono::microseconds session_idle_ttl{0};
+  /// How often the idle sweep fires on the timer wheel. Each firing scans
+  /// ONE session-table stripe (round-robin), so a full table pass takes
+  /// session_stripes firings and no single sweep stalls serving.
+  std::chrono::microseconds idle_sweep_interval{10'000};
 };
 
 class CasServer {
@@ -178,6 +186,8 @@ class CasServer {
   /// Pool-pressure refill scheduler (the SigStructCache low-watermark
   /// callback lands here).
   void schedule_refill(const std::string& session);
+  /// Self-rescheduling idle-session sweep tick (session_idle_ttl > 0).
+  void arm_idle_sweep();
   std::size_t refill_target() const {
     return config_.refill_watermark != 0 &&
                    config_.refill_watermark > config_.premint_depth

@@ -37,6 +37,7 @@ const std::map<std::string, HarnessFn>& harnesses() {
       {"fuzz_bignum_diff", run_bignum_diff},
       {"fuzz_sha_aead_diff", run_sha_aead_diff},
       {"fuzz_protocol_session", run_protocol_session},
+      {"fuzz_replication", run_replication},
   };
   return table;
 }

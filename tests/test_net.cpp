@@ -382,6 +382,54 @@ TEST_F(ChannelFixture, CallAfterCloseSessionIsTypedRejection) {
   }
 }
 
+TEST_F(ChannelFixture, IdleSessionsAreSweptActiveOnesSurvive) {
+  // Two attested sessions; one keeps calling past the TTL, the other goes
+  // quiet. Driving the round-robin sweep across every stripe must reap
+  // exactly the idle one — typed kSessionNotAttested for its next record,
+  // the sessions_expired stat up by one, and the warm session untouched.
+  SecureServerOptions options;
+  options.idle_ttl = std::chrono::milliseconds(20);
+  server_ = std::make_unique<SecureServer>(
+      &identity_, rng(30),
+      [](ByteView, ByteView, std::uint64_t, StatusCode*) {
+        return std::optional<Bytes>{Bytes{}};
+      },
+      [](std::uint64_t, ByteView plaintext) {
+        return Bytes{plaintext.begin(), plaintext.end()};
+      },
+      options);
+  net_.listen("svc", [this](ByteView raw) { return server_->handle(raw); });
+
+  SecureClient active(rng(31));
+  SecureClient idle(rng(32));
+  ASSERT_TRUE(active.connect(net_.connect("svc"), identity_.public_key(), {})
+                  .has_value());
+  ASSERT_TRUE(idle.connect(net_.connect("svc"), identity_.public_key(), {})
+                  .has_value());
+  EXPECT_EQ(server_->open_sessions(), 2u);
+
+  // Keep one session warm while the other's last activity ages past the
+  // TTL (each call re-stamps the activity clock).
+  for (int i = 0; i < 6; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_EQ(active.call(to_bytes("ping")), to_bytes("ping"));
+  }
+  std::size_t reaped = 0;
+  for (std::size_t i = 0; i < options.session_stripes; ++i)
+    reaped += server_->sweep_idle();
+  EXPECT_EQ(reaped, 1u);
+  EXPECT_EQ(server_->open_sessions(), 1u);
+  EXPECT_EQ(server_->stats().sessions_expired, 1u);
+
+  EXPECT_EQ(active.call(to_bytes("still-here")), to_bytes("still-here"));
+  try {
+    idle.call(to_bytes("ghost"));
+    FAIL() << "expired session accepted a record";
+  } catch (const RecordRejectedError& e) {
+    EXPECT_EQ(e.code(), StatusCode::kSessionNotAttested);
+  }
+}
+
 TEST_F(ChannelFixture, CloseSessionRacingInFlightRecordsNeverTears) {
   // Replay a captured raw data frame from many threads while the session
   // is closed mid-flight: every handle() must answer either a valid

@@ -16,6 +16,7 @@
 
 #include "cas/persistence.h"
 #include "cas/protocol.h"
+#include "cas/replication.h"
 #include "cas/service.h"
 #include "common/serial.h"
 #include "core/signer.h"
@@ -139,6 +140,8 @@ int main(int argc, char** argv) {
                mode(1, Bytes{0x10, 0x27, 0x00, 0x00, 'a', 't', 't'}));
     write_seed(dir, "wire_bytes", mode(2, Bytes{0x07, 'd', 'e', 't'}));
     write_seed(dir, "legacy_text", mode(3, text("\x05 deadline exceeded")));
+    write_seed(dir, "leader_hint",
+               mode(4, chunk(text("not the leader (leader=cas-node2)"))));
   }
 
   // --- fuzz_sigstruct_quote -----------------------------------------------
@@ -242,6 +245,64 @@ int main(int argc, char** argv) {
     write_seed(dir, "forged_established", established);
     write_seed(dir, "evil_handshake", mode(2, data_record));
     write_seed(dir, "evil_data_response", mode(3, data_record));
+  }
+
+  // --- fuzz_replication ---------------------------------------------------
+  {
+    const stdfs::path dir = out / "fuzz_replication";
+    cas::LogEntry entry;
+    entry.term = 3;
+    entry.command = cas::LogCommand::kSpendToken;
+    entry.entry_id = (1ull << 56) | 7;
+    cas::TokenCommand spend;
+    spend.token = token;
+    spend.session_name = "cluster";
+    spend.mr_enclave.data.fill(0x3C);
+    entry.payload = spend.serialize();
+    write_seed(dir, "log_entry_spend", mode(0, entry.serialize()));
+    write_seed(dir, "token_command", mode(0, spend.serialize()));
+
+    cas::VoteRequestMsg vote;
+    vote.term = 5;
+    vote.candidate_id = 2;
+    vote.last_log_index = 9;
+    vote.last_log_term = 4;
+    write_seed(dir, "vote_request", mode(1, vote.serialize()));
+
+    cas::AppendRequestMsg append;
+    append.term = 5;
+    append.leader_id = 2;
+    append.prev_log_index = 8;
+    append.prev_log_term = 4;
+    append.leader_commit = 8;
+    append.entries.push_back(entry);
+    write_seed(dir, "append_request", mode(2, append.serialize()));
+
+    cas::SnapshotRequestMsg snap;
+    snap.term = 6;
+    snap.leader_id = 3;
+    snap.last_included_index = 12;
+    snap.last_included_term = 5;
+    snap.state = text("exported-cas-state");
+    write_seed(dir, "snapshot_request", mode(3, snap.serialize()));
+
+    cas::RaftReply reply;
+    reply.status = Status(StatusCode::kNotLeader, "not leader (leader=n2)");
+    reply.body = cas::AppendResponseMsg{5, false, 0, 8}.serialize();
+    write_seed(dir, "raft_reply", mode(4, reply.serialize()));
+
+    write_seed(dir, "constructed_fields",
+               mode(5, rng.generate(96)));
+    write_seed(dir, "sealed_store", mode(6, rng.generate(64)));
+
+    cas::Envelope raft_env;
+    raft_env.version = cas::kReplicationVersion;
+    raft_env.command = cas::Command::kVoteRequest;
+    raft_env.request_id = 11;
+    raft_env.payload = vote.serialize();
+    write_seed(dir, "frame_vote", mode(7, mode(0, raft_env.serialize())));
+    write_seed(dir, "frame_hostile",
+               mode(7, mode(0, text("not an envelope at all"))));
   }
 
   // --- fuzz_protocol_session ----------------------------------------------

@@ -108,7 +108,8 @@ STATUS_MIN_LEN = 10
 
 # Structured detail fragments clients parse back out of a Status — wire
 # contract, composed/parsed only by the src/common/status.cpp helpers.
-DETAIL_FRAGMENTS = ("retry-after-ms=", "circuit breaker open")
+DETAIL_FRAGMENTS = ("retry-after-ms=", "circuit breaker open",
+                    "leader=")
 
 # Headers whose byte-facing decoders the fuzz layer must cover. A header
 # that does not exist is skipped (the rule is about decoders that DO
@@ -116,6 +117,7 @@ DETAIL_FRAGMENTS = ("retry-after-ms=", "circuit breaker open")
 FUZZ_DECODER_HEADERS = (
     "src/cas/protocol.h",
     "src/cas/persistence.h",
+    "src/cas/replication.h",
     "src/common/status.h",
 )
 

@@ -3,7 +3,7 @@
 # per bench plus a combined log. Used to track the performance trajectory
 # across PRs.
 #
-# Four benches additionally emit machine-readable trajectory records:
+# Five benches additionally emit machine-readable trajectory records:
 #   BENCH_signing.json — bench_fig7a_signing via the Google Benchmark JSON
 #     writer (BM_RsaSign3072's items_per_second is the sign ops/s series)
 #   BENCH_fleet.json   — bench_fleet_throughput --json (closed/open-loop
@@ -15,6 +15,11 @@
 #     per-scenario pass/fail, ops/ok/typed-failure counts, faults
 #     injected, shed + deadline refusals, breaker trips; the bench exits
 #     nonzero — failing the run — unless every scenario passed)
+#   BENCH_cluster.json — bench_cluster --json (kill-the-leader failover
+#     gate on the 3-node replicated CAS: per-phase spend throughput,
+#     recovery latency, leader redirects, and the cluster-wide
+#     zero-double-spend ledger audit; exits nonzero unless every gate
+#     holds)
 #
 # Usage: tools/run_benches.sh [build-dir] [out-dir]
 set -u
@@ -62,6 +67,10 @@ for bench in "$BUILD_DIR"/bench/*; do
       expected_json="$OUT_DIR/BENCH_chaos.json"
       extra_args=(--json "$expected_json")
       ;;
+    bench_cluster)
+      expected_json="$OUT_DIR/BENCH_cluster.json"
+      extra_args=(--json "$expected_json")
+      ;;
   esac
   # Stale records must not mask a bench that stopped writing.
   [ -n "$expected_json" ] && rm -f "$expected_json"
@@ -87,7 +96,7 @@ done
 stamp="$(date -u +%Y%m%dT%H%M%SZ)"
 mkdir -p "$OUT_DIR/history"
 for json in BENCH_signing.json BENCH_fleet.json BENCH_attest.json \
-            BENCH_chaos.json; do
+            BENCH_chaos.json BENCH_cluster.json; do
   if [ -f "$OUT_DIR/$json" ]; then
     cp "$OUT_DIR/$json" "$OUT_DIR/history/${json%.json}-$stamp.json"
     echo "trajectory record: $OUT_DIR/$json" \
